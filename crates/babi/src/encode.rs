@@ -1,0 +1,212 @@
+//! Conversion of text samples into the index form consumed by the model and
+//! the accelerator.
+//!
+//! The accelerator's INPUT & WRITE module receives each sentence as a list
+//! of word indices and embeds it by summing embedding-weight columns (paper
+//! Eq 2). [`Encoder`] produces exactly that representation: per-sentence
+//! word-index lists plus one temporal token marking the sentence's age
+//! (most recent = `<t0>`), the question's index list, and the answer's class
+//! index.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Sample, Vocab};
+
+/// A sample in word-index form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedSample {
+    /// One word-index list per story sentence (oldest first), each ending
+    /// with its temporal token when the encoder has `time_tokens > 0`.
+    pub sentences: Vec<Vec<usize>>,
+    /// The question as word indices.
+    pub question: Vec<usize>,
+    /// The answer class (an index into the vocabulary).
+    pub answer: usize,
+}
+
+impl EncodedSample {
+    /// Total number of story words — the number of embedding-column reads
+    /// the write path performs.
+    pub fn story_words(&self) -> usize {
+        self.sentences.iter().map(Vec::len).sum()
+    }
+}
+
+/// Encodes [`Sample`]s against a fixed [`Vocab`].
+///
+/// ```
+/// use mann_babi::{DatasetBuilder, Encoder, TaskId, Vocab};
+///
+/// let data = DatasetBuilder::new().train_samples(4).test_samples(1).seed(7)
+///     .build_task(TaskId::SingleSupportingFact);
+/// let vocab = Vocab::from_samples(data.train.iter().chain(&data.test))
+///     .with_time_tokens(Encoder::DEFAULT_TIME_TOKENS);
+/// let enc = Encoder::new(vocab);
+/// let e = enc.encode(&data.train[0]).expect("in-vocabulary");
+/// assert_eq!(e.sentences.len(), data.train[0].story.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Encoder {
+    vocab: Vocab,
+    time_tokens: usize,
+}
+
+impl Encoder {
+    /// Default number of temporal tokens (maximum tracked story length).
+    pub const DEFAULT_TIME_TOKENS: usize = 20;
+
+    /// Creates an encoder over `vocab` with the default temporal-token
+    /// budget.
+    pub fn new(vocab: Vocab) -> Self {
+        Self {
+            vocab,
+            time_tokens: Self::DEFAULT_TIME_TOKENS,
+        }
+    }
+
+    /// Creates an encoder with a custom temporal-token budget (0 disables
+    /// temporal markers).
+    pub fn with_time_tokens(vocab: Vocab, time_tokens: usize) -> Self {
+        Self { vocab, time_tokens }
+    }
+
+    /// The vocabulary this encoder resolves against.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encodes one sample.
+    ///
+    /// Sentences older than the temporal budget share the oldest marker.
+    /// Returns `None` when any token (including the answer) is out of
+    /// vocabulary.
+    pub fn encode(&self, sample: &Sample) -> Option<EncodedSample> {
+        let n = sample.story.len();
+        let mut sentences = Vec::with_capacity(n);
+        for (i, sent) in sample.story.iter().enumerate() {
+            let mut ids = Vec::with_capacity(sent.len() + 1);
+            for w in sent {
+                ids.push(self.vocab.index_of(w)?);
+            }
+            if self.time_tokens > 0 {
+                let age = (n - 1 - i).min(self.time_tokens - 1);
+                ids.push(self.vocab.index_of(&format!("<t{age}>"))?);
+            }
+            sentences.push(ids);
+        }
+        let question = sample
+            .question
+            .iter()
+            .map(|w| self.vocab.index_of(w))
+            .collect::<Option<Vec<usize>>>()?;
+        let answer = self.vocab.index_of(&sample.answer)?;
+        Some(EncodedSample {
+            sentences,
+            question,
+            answer,
+        })
+    }
+
+    /// Encodes a batch, skipping samples with out-of-vocabulary tokens and
+    /// reporting how many were skipped.
+    pub fn encode_all<'a, I: IntoIterator<Item = &'a Sample>>(
+        &self,
+        samples: I,
+    ) -> (Vec<EncodedSample>, usize) {
+        let mut out = Vec::new();
+        let mut skipped = 0;
+        for s in samples {
+            match self.encode(s) {
+                Some(e) => out.push(e),
+                None => skipped += 1,
+            }
+        }
+        (out, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sentence;
+    use crate::TaskId;
+
+    fn sample() -> Sample {
+        Sample::new(
+            TaskId::SingleSupportingFact,
+            vec![
+                sentence(&["mary", "moved", "to", "the", "kitchen"]),
+                sentence(&["john", "went", "to", "the", "garden"]),
+            ],
+            sentence(&["where", "is", "mary"]),
+            "kitchen",
+            vec![0],
+        )
+    }
+
+    fn encoder() -> Encoder {
+        let v = Vocab::from_samples([&sample()]).with_time_tokens(4);
+        Encoder::with_time_tokens(v, 4)
+    }
+
+    #[test]
+    fn encode_appends_time_tokens_most_recent_zero() {
+        let enc = encoder();
+        let e = enc.encode(&sample()).unwrap();
+        let v = enc.vocab();
+        // Sentence 0 is the older one → <t1>; sentence 1 → <t0>.
+        assert_eq!(*e.sentences[0].last().unwrap(), v.index_of("<t1>").unwrap());
+        assert_eq!(*e.sentences[1].last().unwrap(), v.index_of("<t0>").unwrap());
+    }
+
+    #[test]
+    fn encode_without_time_tokens_keeps_raw_lengths() {
+        let v = Vocab::from_samples([&sample()]);
+        let enc = Encoder::with_time_tokens(v, 0);
+        let e = enc.encode(&sample()).unwrap();
+        assert_eq!(e.sentences[0].len(), 5);
+        assert_eq!(e.story_words(), 10);
+    }
+
+    #[test]
+    fn old_sentences_share_oldest_marker() {
+        let mut story = Vec::new();
+        for _ in 0..6 {
+            story.push(sentence(&["mary", "moved", "to", "the", "kitchen"]));
+        }
+        let s = Sample::new(
+            TaskId::SingleSupportingFact,
+            story,
+            sentence(&["where", "is", "mary"]),
+            "kitchen",
+            vec![0],
+        );
+        let v = Vocab::from_samples([&s]).with_time_tokens(3);
+        let enc = Encoder::with_time_tokens(v, 3);
+        let e = enc.encode(&s).unwrap();
+        let oldest = enc.vocab().index_of("<t2>").unwrap();
+        assert_eq!(*e.sentences[0].last().unwrap(), oldest);
+        assert_eq!(*e.sentences[1].last().unwrap(), oldest);
+        assert_eq!(*e.sentences[2].last().unwrap(), oldest);
+        assert_ne!(*e.sentences[5].last().unwrap(), oldest);
+    }
+
+    #[test]
+    fn out_of_vocab_returns_none() {
+        let enc = encoder();
+        let mut s = sample();
+        s.answer = "zebra".into();
+        assert!(enc.encode(&s).is_none());
+    }
+
+    #[test]
+    fn encode_all_reports_skips() {
+        let enc = encoder();
+        let good = sample();
+        let mut bad = sample();
+        bad.question[0] = "unknown".into();
+        let (out, skipped) = enc.encode_all([&good, &bad]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Reading and writing the classic bAbI text format.
+//!
+//! The original corpus ships as numbered-line text files:
+//!
+//! ```text
+//! 1 mary moved to the kitchen .
+//! 2 john went to the garden .
+//! 3 where is mary ?    kitchen    1
+//! ```
+//!
+//! Line numbers restart at 1 for each new story; question lines carry the
+//! answer and the supporting-fact line numbers after tabs. This module
+//! serializes generated samples into that exact format and parses it back,
+//! so the reproduction can both export its synthetic corpus and — when a
+//! real bAbI download is available — run every experiment on the original
+//! data unchanged.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Sample, Sentence, TaskId};
+
+/// Error from parsing a bAbI-format document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBabiError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseBabiError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        Self {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBabiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "babi parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseBabiError {}
+
+/// Serializes samples into one bAbI-format document. Each sample becomes
+/// one story block (line numbering restarts at 1).
+pub fn write_babi(samples: &[Sample]) -> String {
+    samples.iter().map(Sample::to_babi_text).collect()
+}
+
+/// Parses a bAbI-format document into samples labelled with `task`.
+///
+/// Statement lines accumulate into the current story; each question line
+/// (tab-separated answer + supporting facts) closes one sample over the
+/// story so far. A line number of 1 starts a new story. Multi-word answers
+/// (comma-separated in the original corpus) are joined with `_`, matching
+/// the generator convention.
+///
+/// # Errors
+///
+/// Returns [`ParseBabiError`] on malformed lines (missing number, question
+/// without answer, bad supporting index).
+pub fn parse_babi(task: TaskId, text: &str) -> Result<Vec<Sample>, ParseBabiError> {
+    let mut samples = Vec::new();
+    let mut story: Vec<Sentence> = Vec::new();
+    // bAbI supporting-fact references use the block's line numbers, which
+    // count question lines too; map them onto story indices.
+    let mut line_to_story: HashMap<usize, usize> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (num, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| ParseBabiError::new(lineno, "missing line number"))?;
+        let num: usize = num
+            .parse()
+            .map_err(|_| ParseBabiError::new(lineno, format!("bad line number {num:?}")))?;
+        if num == 1 {
+            story.clear();
+            line_to_story.clear();
+        }
+        if let Some((question_part, answer_part)) = rest.split_once('\t') {
+            // Question line: "<words> ?\t<answer>\t<supports>".
+            let question = tokenize(question_part.trim_end_matches(['?', ' ']));
+            if question.is_empty() {
+                return Err(ParseBabiError::new(lineno, "empty question"));
+            }
+            let mut tabs = answer_part.split('\t');
+            let answer_raw = tabs
+                .next()
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .ok_or_else(|| ParseBabiError::new(lineno, "question without answer"))?;
+            let answer = answer_raw.replace(',', "_").to_lowercase();
+            let supporting = match tabs.next() {
+                None => Vec::new(),
+                Some(s) => s
+                    .split_whitespace()
+                    .map(|tok| {
+                        let n: usize = tok.parse().map_err(|_| {
+                            ParseBabiError::new(lineno, format!("bad supporting index {tok:?}"))
+                        })?;
+                        line_to_story.get(&n).copied().ok_or_else(|| {
+                            ParseBabiError::new(
+                                lineno,
+                                format!("supporting index {n} beyond story"),
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, _>>()?,
+            };
+            samples.push(Sample::new(task, story.clone(), question, answer, supporting));
+        } else {
+            // Statement line.
+            let sentence = tokenize(rest.trim_end_matches(['.', ' ']));
+            if sentence.is_empty() {
+                return Err(ParseBabiError::new(lineno, "empty statement"));
+            }
+            line_to_story.insert(num, story.len());
+            story.push(sentence);
+        }
+    }
+    Ok(samples)
+}
+
+fn tokenize(s: &str) -> Sentence {
+    s.split_whitespace()
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetBuilder;
+
+    #[test]
+    fn round_trips_generated_samples() {
+        for task in TaskId::all() {
+            let data = DatasetBuilder::new()
+                .train_samples(12)
+                .test_samples(0)
+                .seed(42)
+                .build_task(task);
+            let text = write_babi(&data.train);
+            let parsed = parse_babi(task, &text).unwrap_or_else(|e| panic!("{task}: {e}"));
+            assert_eq!(parsed.len(), data.train.len(), "{task}");
+            for (orig, back) in data.train.iter().zip(&parsed) {
+                assert_eq!(orig.story, back.story, "{task}");
+                assert_eq!(orig.question, back.question, "{task}");
+                assert_eq!(orig.answer, back.answer, "{task}");
+                assert_eq!(orig.supporting, back.supporting, "{task}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_the_canonical_example() {
+        let text = "1 Mary moved to the bathroom .\n\
+                    2 John went to the hallway .\n\
+                    3 Where is Mary ?\tbathroom\t1\n\
+                    1 Daniel went back to the hallway .\n\
+                    2 Where is Daniel ?\thallway\t1\n";
+        let samples = parse_babi(TaskId::SingleSupportingFact, text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].answer, "bathroom");
+        assert_eq!(samples[0].supporting, vec![0]);
+        assert_eq!(samples[0].story.len(), 2);
+        // Line numbering reset started a fresh story.
+        assert_eq!(samples[1].story.len(), 1);
+        assert_eq!(samples[1].story[0][0], "daniel");
+    }
+
+    #[test]
+    fn multiple_questions_share_a_growing_story() {
+        let text = "1 mary moved to the kitchen .\n\
+                    2 where is mary ?\tkitchen\t1\n\
+                    3 mary moved to the garden .\n\
+                    4 where is mary ?\tgarden\t3\n";
+        let samples = parse_babi(TaskId::SingleSupportingFact, text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].story.len(), 1);
+        assert_eq!(samples[1].story.len(), 2);
+        assert_eq!(samples[1].supporting, vec![1]);
+    }
+
+    #[test]
+    fn comma_answers_become_compound_tokens() {
+        let text = "1 mary picked up the milk .\n\
+                    2 mary picked up the apple .\n\
+                    3 what is mary carrying ?\tmilk,apple\t1 2\n";
+        let samples = parse_babi(TaskId::ListsSets, text).unwrap();
+        assert_eq!(samples[0].answer, "milk_apple");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let missing_number = "mary moved .\n";
+        let err = parse_babi(TaskId::SingleSupportingFact, missing_number).unwrap_err();
+        assert_eq!(err.line(), 1);
+
+        let bad_support = "1 mary moved to the kitchen .\n2 where is mary ?\tkitchen\tseven\n";
+        let err = parse_babi(TaskId::SingleSupportingFact, bad_support).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("supporting"));
+
+        let out_of_range = "1 mary moved to the kitchen .\n2 where is mary ?\tkitchen\t9\n";
+        let err = parse_babi(TaskId::SingleSupportingFact, out_of_range).unwrap_err();
+        assert!(err.to_string().contains("beyond story"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "\n1 mary moved to the kitchen .\n\n2 where is mary ?\tkitchen\t1\n\n";
+        let samples = parse_babi(TaskId::SingleSupportingFact, text).unwrap();
+        assert_eq!(samples.len(), 1);
+    }
+}

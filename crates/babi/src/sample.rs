@@ -1,0 +1,147 @@
+//! Story, question, and answer containers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TaskId;
+
+/// A tokenized sentence — lowercase words without punctuation.
+pub type Sentence = Vec<String>;
+
+/// One QA sample: a story (context sentences, written to the accelerator's
+/// external memory), one question, the single-token answer, and the indices
+/// of the story sentences that support the answer.
+///
+/// ```
+/// use mann_babi::{Sample, TaskId};
+///
+/// let s = Sample::new(
+///     TaskId::SingleSupportingFact,
+///     vec![vec!["mary".into(), "moved".into(), "to".into(), "the".into(), "kitchen".into()]],
+///     vec!["where".into(), "is".into(), "mary".into()],
+///     "kitchen",
+///     vec![0],
+/// );
+/// assert_eq!(s.answer, "kitchen");
+/// assert_eq!(s.story.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Which of the 20 task archetypes generated this sample.
+    pub task: TaskId,
+    /// Context sentences, in narrative order.
+    pub story: Vec<Sentence>,
+    /// The question, tokenized.
+    pub question: Sentence,
+    /// The answer as a single token (list answers are joined with `_`).
+    pub answer: String,
+    /// Indices into `story` of the supporting facts (for debugging and
+    /// attention-trace demos; the model never sees them).
+    pub supporting: Vec<usize>,
+}
+
+impl Sample {
+    /// Creates a sample; `answer` is converted to an owned token.
+    pub fn new(
+        task: TaskId,
+        story: Vec<Sentence>,
+        question: Sentence,
+        answer: impl Into<String>,
+        supporting: Vec<usize>,
+    ) -> Self {
+        Self {
+            task,
+            story,
+            question,
+            answer: answer.into(),
+            supporting,
+        }
+    }
+
+    /// All tokens in the sample (story, question, answer) — used to build
+    /// vocabularies.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.story
+            .iter()
+            .flatten()
+            .chain(self.question.iter())
+            .map(String::as_str)
+            .chain(std::iter::once(self.answer.as_str()))
+    }
+
+    /// Total number of words across the story — drives the accelerator's
+    /// write-path cycle count.
+    pub fn story_words(&self) -> usize {
+        self.story.iter().map(Vec::len).sum()
+    }
+
+    /// Renders the sample in the classic bAbI text format (numbered lines,
+    /// question with answer and supporting facts).
+    pub fn to_babi_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, sent) in self.story.iter().enumerate() {
+            let _ = writeln!(out, "{} {} .", i + 1, sent.join(" "));
+        }
+        let supports: Vec<String> = self.supporting.iter().map(|i| (i + 1).to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{} {} ?\t{}\t{}",
+            self.story.len() + 1,
+            self.question.join(" "),
+            self.answer,
+            supports.join(" ")
+        );
+        out
+    }
+}
+
+/// Builds a [`Sentence`] from string slices — generator convenience.
+pub fn sentence(words: &[&str]) -> Sentence {
+    words.iter().map(|w| (*w).to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample::new(
+            TaskId::SingleSupportingFact,
+            vec![
+                sentence(&["mary", "moved", "to", "the", "kitchen"]),
+                sentence(&["john", "went", "to", "the", "garden"]),
+            ],
+            sentence(&["where", "is", "mary"]),
+            "kitchen",
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn tokens_cover_story_question_answer() {
+        let s = sample();
+        let toks: Vec<&str> = s.tokens().collect();
+        assert!(toks.contains(&"mary"));
+        assert!(toks.contains(&"where"));
+        assert!(toks.contains(&"kitchen"));
+        assert_eq!(toks.len(), 5 + 5 + 3 + 1);
+    }
+
+    #[test]
+    fn story_words_counts_all() {
+        assert_eq!(sample().story_words(), 10);
+    }
+
+    #[test]
+    fn babi_text_format() {
+        let text = sample().to_babi_text();
+        assert!(text.starts_with("1 mary moved to the kitchen .\n"));
+        assert!(text.contains("3 where is mary ?\tkitchen\t1"));
+    }
+
+    #[test]
+    fn sentence_helper_owns_words() {
+        let s = sentence(&["a", "b"]);
+        assert_eq!(s, vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

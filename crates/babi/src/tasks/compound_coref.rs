@@ -1,0 +1,112 @@
+//! Task 13 — compound coreference.
+//!
+//! A conjunction sentence followed by a plural pronoun ("mary and john went
+//! to the office. then they moved to the garden."); the question asks where
+//! one of the pair is.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, LOCATIONS, MOVE_VERBS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 13.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompoundCoreference {
+    _priv: (),
+}
+
+impl CompoundCoreference {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for CompoundCoreference {
+    fn id(&self) -> TaskId {
+        TaskId::CompoundCoreference
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_pairs = rng.gen_range(1..=2);
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut final_state: Vec<(&str, &str, usize, &str)> = Vec::new();
+        let people = pick_distinct(rng, PERSONS, 2 * n_pairs);
+        for chunk in people.chunks(2) {
+            let (a, b) = (chunk[0], chunk[1]);
+            let first = pick(rng, LOCATIONS);
+            story.push(sentence(&[a, "and", b, pick(rng, MOVE_VERBS), "to", "the", first]));
+            let second = pick(rng, LOCATIONS);
+            story.push(sentence(&[
+                "then",
+                "they",
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                second,
+            ]));
+            final_state.push((a, b, story.len() - 1, second));
+        }
+        let (a, b, idx, answer) = final_state[rng.gen_range(0..final_state.len())];
+        let subject = if rng.gen_bool(0.5) { a } else { b };
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "is", subject]),
+            answer,
+            vec![idx - 1, idx],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question.last().expect("subject").clone();
+        let mut group: Vec<String> = Vec::new();
+        let mut loc = String::new();
+        for sent in &s.story {
+            if sent[0] == "then" {
+                if group.contains(&subject) {
+                    loc = sent.last().expect("loc").clone();
+                }
+            } else {
+                group = vec![sent[0].clone(), sent[2].clone()];
+                if group.contains(&subject) {
+                    loc = sent.last().expect("loc").clone();
+                }
+            }
+        }
+        loc
+    }
+
+    #[test]
+    fn answers_match_plural_pronoun_resolution() {
+        let g = CompoundCoreference::new();
+        let mut rng = StdRng::seed_from_u64(131);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn pronoun_sentence_follows_conjunction() {
+        let g = CompoundCoreference::new();
+        let mut rng = StdRng::seed_from_u64(132);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            for (i, sent) in s.story.iter().enumerate() {
+                if sent[0] == "then" {
+                    assert!(i > 0);
+                    assert_eq!(s.story[i - 1][1], "and");
+                }
+            }
+        }
+    }
+}

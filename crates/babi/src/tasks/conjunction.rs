@@ -1,0 +1,102 @@
+//! Task 12 — conjunction.
+//!
+//! Two people move together ("mary and john went to the office"); the
+//! question asks where one of them is.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, LOCATIONS, MOVE_VERBS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 12.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conjunction {
+    _priv: (),
+}
+
+impl Conjunction {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for Conjunction {
+    fn id(&self) -> TaskId {
+        TaskId::Conjunction
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut last: BTreeMap<&str, (usize, &str)> = BTreeMap::new();
+        for i in 0..rng.gen_range(3..=5) {
+            let pair = pick_distinct(rng, PERSONS, 2);
+            let loc = pick(rng, LOCATIONS);
+            story.push(sentence(&[
+                pair[0],
+                "and",
+                pair[1],
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                loc,
+            ]));
+            last.insert(pair[0], (i, loc));
+            last.insert(pair[1], (i, loc));
+        }
+        let known: Vec<&str> = last.keys().copied().collect();
+        let subject = known[rng.gen_range(0..known.len())];
+        let (idx, answer) = last[subject];
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "is", subject]),
+            answer,
+            vec![idx],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question.last().expect("subject").clone();
+        let mut loc = String::new();
+        for sent in &s.story {
+            if sent[0] == subject || sent[2] == subject {
+                loc = sent.last().expect("loc").clone();
+            }
+        }
+        loc
+    }
+
+    #[test]
+    fn answers_match_replay() {
+        let g = Conjunction::new();
+        let mut rng = StdRng::seed_from_u64(121);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn sentences_join_two_distinct_people() {
+        let g = Conjunction::new();
+        let mut rng = StdRng::seed_from_u64(122);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            for sent in &s.story {
+                assert_eq!(sent[1], "and");
+                assert_ne!(sent[0], sent[2]);
+            }
+        }
+    }
+}

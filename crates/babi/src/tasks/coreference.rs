@@ -1,0 +1,121 @@
+//! Task 11 — basic coreference.
+//!
+//! Pairs of sentences where the second uses a pronoun referring to the
+//! person in the first ("mary went to the kitchen. afterwards she went to
+//! the garden."). The question asks where that person is.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, LOCATIONS, MOVE_VERBS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Pronoun for each person name (alternating gender in the bAbI name pools).
+pub fn pronoun(person: &str) -> &'static str {
+    match person {
+        "mary" | "sandra" | "julie" => "she",
+        _ => "he",
+    }
+}
+
+/// Generator for bAbI task 11.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicCoreference {
+    _priv: (),
+}
+
+impl BasicCoreference {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for BasicCoreference {
+    fn id(&self) -> TaskId {
+        TaskId::BasicCoreference
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_pairs = rng.gen_range(2..=3);
+        let actors = pick_distinct(rng, PERSONS, n_pairs);
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut final_loc: Vec<(&str, usize, &str)> = Vec::new(); // (person, idx, loc)
+        for person in &actors {
+            let first = pick(rng, LOCATIONS);
+            story.push(sentence(&[person, pick(rng, MOVE_VERBS), "to", "the", first]));
+            let second = pick(rng, LOCATIONS);
+            story.push(sentence(&[
+                "afterwards",
+                pronoun(person),
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                second,
+            ]));
+            final_loc.push((person, story.len() - 1, second));
+        }
+        let (subject, idx, answer) = final_loc[rng.gen_range(0..final_loc.len())];
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "is", subject]),
+            answer,
+            vec![idx - 1, idx],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question.last().expect("subject").clone();
+        let mut current: Option<String> = None; // person of the open pair
+        let mut loc = String::new();
+        for sent in &s.story {
+            if sent[0] == "afterwards" {
+                if current.as_deref() == Some(subject.as_str()) {
+                    loc = sent.last().expect("loc").clone();
+                }
+            } else {
+                current = Some(sent[0].clone());
+                if sent[0] == subject {
+                    loc = sent.last().expect("loc").clone();
+                }
+            }
+        }
+        loc
+    }
+
+    #[test]
+    fn answers_match_pronoun_resolution() {
+        let g = BasicCoreference::new();
+        let mut rng = StdRng::seed_from_u64(111);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn pronouns_match_gender_pools() {
+        assert_eq!(pronoun("mary"), "she");
+        assert_eq!(pronoun("john"), "he");
+    }
+
+    #[test]
+    fn supporting_facts_are_the_pair() {
+        let g = BasicCoreference::new();
+        let mut rng = StdRng::seed_from_u64(112);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.supporting.len(), 2);
+            assert_eq!(s.supporting[0] + 1, s.supporting[1]);
+            assert_eq!(s.story[s.supporting[1]][0], "afterwards");
+        }
+    }
+}

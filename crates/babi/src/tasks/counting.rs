@@ -1,0 +1,143 @@
+//! Task 7 — counting.
+//!
+//! A person picks up and puts down objects; the question asks how many
+//! objects they are carrying. Answers are number words `none`..`three`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, pick_other, OBJECTS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Number words used as answer classes.
+pub const NUMBER_WORDS: &[&str] = &["none", "one", "two", "three"];
+
+/// Generator for bAbI task 7.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counting {
+    _priv: (),
+}
+
+impl Counting {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for Counting {
+    fn id(&self) -> TaskId {
+        TaskId::Counting
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let subject = pick(rng, PERSONS);
+        let distractor = pick_other(rng, PERSONS, subject);
+        let objs = pick_distinct(rng, OBJECTS, 3);
+        let mut carried: Vec<&str> = Vec::new();
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut supporting: Vec<usize> = Vec::new();
+        let n_events = rng.gen_range(4..=8);
+        for _ in 0..n_events {
+            if rng.gen_bool(0.3) {
+                // Distractor event (never affects the count).
+                story.push(sentence(&[
+                    distractor,
+                    "picked",
+                    "up",
+                    "the",
+                    pick(rng, OBJECTS),
+                ]));
+                continue;
+            }
+            let can_drop = !carried.is_empty();
+            let can_take = carried.len() < 3;
+            let drop = can_drop && (!can_take || rng.gen_bool(0.4));
+            if drop {
+                let k = rng.gen_range(0..carried.len());
+                let obj = carried.remove(k);
+                story.push(sentence(&[subject, "put", "down", "the", obj]));
+            } else {
+                let available: Vec<&&str> = objs.iter().filter(|o| !carried.contains(*o)).collect();
+                if available.is_empty() {
+                    continue;
+                }
+                let obj = *available[rng.gen_range(0..available.len())];
+                carried.push(obj);
+                story.push(sentence(&[subject, "picked", "up", "the", obj]));
+            }
+            supporting.push(story.len() - 1);
+        }
+        if story.is_empty() {
+            // Guarantee at least one subject event.
+            let obj = objs[0];
+            story.push(sentence(&[subject, "picked", "up", "the", obj]));
+            carried.push(obj);
+            supporting.push(0);
+        }
+        let answer = NUMBER_WORDS[carried.len()];
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["how", "many", "objects", "is", subject, "carrying"]),
+            answer,
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question[4].clone();
+        let mut count: i32 = 0;
+        for sent in &s.story {
+            if sent[0] != subject {
+                continue;
+            }
+            match sent[1].as_str() {
+                "picked" => count += 1,
+                "put" => count -= 1,
+                other => panic!("unexpected verb {other}"),
+            }
+        }
+        NUMBER_WORDS[count as usize].to_owned()
+    }
+
+    #[test]
+    fn answers_match_replay_count() {
+        let g = Counting::new();
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn answer_is_a_number_word() {
+        let g = Counting::new();
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            assert!(NUMBER_WORDS.contains(&s.answer.as_str()));
+        }
+    }
+
+    #[test]
+    fn supporting_facts_are_subject_events_only() {
+        let g = Counting::new();
+        let mut rng = StdRng::seed_from_u64(73);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let subject = &s.question[4];
+            for &i in &s.supporting {
+                assert_eq!(&s.story[i][0], subject);
+            }
+        }
+    }
+}

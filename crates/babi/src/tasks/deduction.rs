@@ -1,0 +1,134 @@
+//! Task 15 — basic deduction.
+//!
+//! Category facts ("sheep are afraid of wolves") plus membership facts
+//! ("gertrude is a sheep"); the question requires one deduction step
+//! ("what is gertrude afraid of" → wolves).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick_distinct, ANIMAL_NAMES, SPECIES};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Pluralizes a species token the way the bAbI corpus does.
+pub fn plural(species: &str) -> String {
+    match species {
+        "mouse" => "mice".to_owned(),
+        "wolf" => "wolves".to_owned(),
+        "sheep" => "sheep".to_owned(),
+        other => format!("{other}s"),
+    }
+}
+
+/// Generator for bAbI task 15.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicDeduction {
+    _priv: (),
+}
+
+impl BasicDeduction {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for BasicDeduction {
+    fn id(&self) -> TaskId {
+        TaskId::BasicDeduction
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_species = rng.gen_range(3..=4);
+        let species = pick_distinct(rng, SPECIES, n_species);
+        let names = pick_distinct(rng, ANIMAL_NAMES, n_species);
+        // species[i] is afraid of species[(i+1) % n].
+        let mut lines: Vec<(Sentence, bool, usize)> = Vec::new(); // (sentence, is_fear_fact, species idx)
+        for i in 0..n_species {
+            let prey = plural(species[i]);
+            let predator = plural(species[(i + 1) % n_species]);
+            lines.push((
+                sentence(&[&prey, "are", "afraid", "of", &predator]),
+                true,
+                i,
+            ));
+            lines.push((
+                sentence(&[names[i], "is", "a", species[i]]),
+                false,
+                i,
+            ));
+        }
+        lines.shuffle(rng);
+        let story: Vec<Sentence> = lines.iter().map(|(s, _, _)| s.clone()).collect();
+        let target = rng.gen_range(0..n_species);
+        let answer = plural(species[(target + 1) % n_species]);
+        let supporting: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, idx))| *idx == target)
+            .map(|(i, _)| i)
+            .collect();
+        let mut supporting = supporting;
+        supporting.sort_unstable();
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["what", "is", names[target], "afraid", "of"]),
+            answer,
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> Option<String> {
+        let name = s.question[2].clone();
+        let mut species_of: Option<String> = None;
+        for sent in &s.story {
+            if sent[0] == name && sent[1] == "is" {
+                species_of = Some(sent.last().expect("species").clone());
+            }
+        }
+        let sp = plural(&species_of?);
+        for sent in &s.story {
+            if sent[0] == sp && sent[1] == "are" {
+                return Some(sent.last().expect("predator").clone());
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn answers_follow_one_deduction_step() {
+        let g = BasicDeduction::new();
+        let mut rng = StdRng::seed_from_u64(151);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn plural_handles_irregulars() {
+        assert_eq!(plural("mouse"), "mice");
+        assert_eq!(plural("wolf"), "wolves");
+        assert_eq!(plural("sheep"), "sheep");
+        assert_eq!(plural("cat"), "cats");
+    }
+
+    #[test]
+    fn supporting_facts_are_membership_and_fear() {
+        let g = BasicDeduction::new();
+        let mut rng = StdRng::seed_from_u64(152);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.supporting.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Task 10 — indefinite knowledge.
+//!
+//! Facts may be definite ("bill is in the park") or indefinite ("bill is
+//! either in the school or the cinema"); the yes/no/maybe question must
+//! handle the uncertainty.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, pick_other, LOCATIONS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 10.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndefiniteKnowledge {
+    _priv: (),
+}
+
+impl IndefiniteKnowledge {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fact {
+    At(usize, &'static str),
+    Either(usize, &'static str, &'static str),
+}
+
+impl TaskGenerator for IndefiniteKnowledge {
+    fn id(&self) -> TaskId {
+        TaskId::IndefiniteKnowledge
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let statics = |s: &str| -> &'static str {
+            PERSONS
+                .iter()
+                .chain(LOCATIONS)
+                .find(|w| **w == s)
+                .copied()
+                .expect("known token")
+        };
+        let actors = pick_distinct(rng, PERSONS, 2);
+        let mut know: BTreeMap<&str, Fact> = BTreeMap::new();
+        let mut story: Vec<Sentence> = Vec::new();
+        for i in 0..rng.gen_range(3..=6) {
+            let person = statics(actors[rng.gen_range(0..actors.len())]);
+            if rng.gen_bool(0.5) {
+                let pair = pick_distinct(rng, LOCATIONS, 2);
+                let (a, b) = (statics(pair[0]), statics(pair[1]));
+                story.push(sentence(&[person, "is", "either", "in", "the", a, "or", "the", b]));
+                know.insert(person, Fact::Either(i, a, b));
+            } else {
+                let loc = statics(pick(rng, LOCATIONS));
+                story.push(sentence(&[person, "is", "in", "the", loc]));
+                know.insert(person, Fact::At(i, loc));
+            }
+        }
+        let known: Vec<&str> = know.keys().copied().collect();
+        let subject = known[rng.gen_range(0..known.len())];
+        let (idx, asked, answer) = match know[subject] {
+            Fact::At(i, loc) => {
+                if rng.gen_bool(0.5) {
+                    (i, loc, "yes")
+                } else {
+                    (i, pick_other(rng, LOCATIONS, loc), "no")
+                }
+            }
+            Fact::Either(i, a, b) => match rng.gen_range(0..3) {
+                0 => (i, a, "maybe"),
+                1 => (i, b, "maybe"),
+                _ => {
+                    let mut other = pick(rng, LOCATIONS);
+                    while other == a || other == b {
+                        other = pick(rng, LOCATIONS);
+                    }
+                    (i, other, "no")
+                }
+            },
+        };
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["is", subject, "in", "the", asked]),
+            answer,
+            vec![idx],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question[1].clone();
+        let asked = s.question.last().expect("loc").clone();
+        let mut latest: Option<Vec<String>> = None;
+        for sent in &s.story {
+            if sent[0] != subject {
+                continue;
+            }
+            if sent[2] == "either" {
+                latest = Some(vec![sent[5].clone(), sent[8].clone()]);
+            } else {
+                latest = Some(vec![sent.last().expect("loc").clone()]);
+            }
+        }
+        match latest {
+            Some(locs) if locs.len() == 1 && locs[0] == asked => "yes".into(),
+            Some(locs) if locs.len() == 1 => "no".into(),
+            Some(locs) if locs.contains(&asked) => "maybe".into(),
+            Some(_) => "no".into(),
+            None => "maybe".into(),
+        }
+    }
+
+    #[test]
+    fn answers_match_replay() {
+        let g = IndefiniteKnowledge::new();
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn uses_three_answer_classes() {
+        let g = IndefiniteKnowledge::new();
+        let mut rng = StdRng::seed_from_u64(102);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(g.generate(&mut rng).answer);
+        }
+        assert!(seen.contains("yes") && seen.contains("no") && seen.contains("maybe"));
+    }
+}

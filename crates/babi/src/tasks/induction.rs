@@ -1,0 +1,135 @@
+//! Task 16 — basic induction.
+//!
+//! Exemplar facts ("lily is a swan. lily is white.") let the reader induce a
+//! species → color rule, then apply it to a new individual ("bernhard is a
+//! swan. what color is bernhard?" → white).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick_distinct, ANIMAL_NAMES, COLORS, SPECIES};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 16.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicInduction {
+    _priv: (),
+}
+
+impl BasicInduction {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for BasicInduction {
+    fn id(&self) -> TaskId {
+        TaskId::BasicInduction
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_rules = rng.gen_range(2..=3);
+        let species = pick_distinct(rng, SPECIES, n_rules);
+        let colors = pick_distinct(rng, COLORS, n_rules);
+        let names = pick_distinct(rng, ANIMAL_NAMES, n_rules + 1);
+        let mut lines: Vec<(Sentence, usize)> = Vec::new(); // (sentence, rule idx or usize::MAX)
+        for i in 0..n_rules {
+            lines.push((sentence(&[names[i], "is", "a", species[i]]), i));
+            lines.push((sentence(&[names[i], "is", colors[i]]), i));
+        }
+        // The query individual belongs to one known species.
+        let target_rule = rng.gen_range(0..n_rules);
+        let query_name = names[n_rules];
+        lines.push((
+            sentence(&[query_name, "is", "a", species[target_rule]]),
+            target_rule,
+        ));
+        lines.shuffle(rng);
+        let story: Vec<Sentence> = lines.iter().map(|(s, _)| s.clone()).collect();
+        let supporting: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, (sent, rule))| {
+                *rule == target_rule && (sent[0] == query_name || sent[0] == names[target_rule])
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut supporting = supporting;
+        supporting.sort_unstable();
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["what", "color", "is", query_name]),
+            colors[target_rule],
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> Option<String> {
+        let name = s.question.last().expect("name").clone();
+        // Find the query's species.
+        let species = s
+            .story
+            .iter()
+            .find(|sent| sent[0] == name && sent[2] == "a")
+            .map(|sent| sent.last().expect("species").clone())?;
+        // Find an exemplar of the same species and its color.
+        for sent in &s.story {
+            if sent[0] != name && sent.get(2).map(String::as_str) == Some("a")
+                && sent.last().map(String::as_str) == Some(species.as_str())
+            {
+                let exemplar = sent[0].clone();
+                for c in &s.story {
+                    if c[0] == exemplar && c.len() == 3 {
+                        return Some(c[2].clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn answers_follow_induced_rule() {
+        let g = BasicInduction::new();
+        let mut rng = StdRng::seed_from_u64(161);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn query_individual_has_no_stated_color() {
+        let g = BasicInduction::new();
+        let mut rng = StdRng::seed_from_u64(162);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let name = s.question.last().unwrap();
+            for sent in &s.story {
+                if &sent[0] == name {
+                    assert_eq!(sent.len(), 4, "query has a direct color fact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supporting_facts_cover_rule_and_membership() {
+        let g = BasicInduction::new();
+        let mut rng = StdRng::seed_from_u64(163);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.supporting.len(), 3, "{}", s.to_babi_text());
+        }
+    }
+}

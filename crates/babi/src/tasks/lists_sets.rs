@@ -1,0 +1,139 @@
+//! Task 8 — lists / sets.
+//!
+//! Like counting, but the answer enumerates *which* objects the person is
+//! carrying. Multi-object answers are joined into one class token with `_`
+//! in sorted order (`apple_milk`), matching how a single-label output layer
+//! treats list answers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, pick_other, OBJECTS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 8.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListsSets {
+    _priv: (),
+}
+
+impl ListsSets {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical answer token for a carried set: `nothing`, a single object,
+    /// or the sorted objects joined by `_`.
+    pub fn answer_token(carried: &[&str]) -> String {
+        if carried.is_empty() {
+            return "nothing".to_owned();
+        }
+        let mut sorted: Vec<&str> = carried.to_vec();
+        sorted.sort_unstable();
+        sorted.join("_")
+    }
+}
+
+impl TaskGenerator for ListsSets {
+    fn id(&self) -> TaskId {
+        TaskId::ListsSets
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let subject = pick(rng, PERSONS);
+        let distractor = pick_other(rng, PERSONS, subject);
+        let objs = pick_distinct(rng, OBJECTS, 2); // cap at 2 → bounded class count
+        let mut carried: Vec<&str> = Vec::new();
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut supporting: Vec<usize> = Vec::new();
+        for _ in 0..rng.gen_range(3..=7) {
+            if rng.gen_bool(0.3) {
+                story.push(sentence(&[
+                    distractor,
+                    "picked",
+                    "up",
+                    "the",
+                    pick(rng, OBJECTS),
+                ]));
+                continue;
+            }
+            let can_drop = !carried.is_empty();
+            let can_take = carried.len() < objs.len();
+            let drop = can_drop && (!can_take || rng.gen_bool(0.4));
+            if drop {
+                let k = rng.gen_range(0..carried.len());
+                let obj = carried.remove(k);
+                story.push(sentence(&[subject, "put", "down", "the", obj]));
+            } else {
+                let available: Vec<&&str> = objs.iter().filter(|o| !carried.contains(*o)).collect();
+                if available.is_empty() {
+                    continue;
+                }
+                let obj = *available[rng.gen_range(0..available.len())];
+                carried.push(obj);
+                story.push(sentence(&[subject, "picked", "up", "the", obj]));
+            }
+            supporting.push(story.len() - 1);
+        }
+        if story.is_empty() {
+            story.push(sentence(&[subject, "picked", "up", "the", objs[0]]));
+            carried.push(objs[0]);
+            supporting.push(0);
+        }
+        let answer = Self::answer_token(&carried);
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["what", "is", subject, "carrying"]),
+            answer,
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question[2].clone();
+        let mut carried: Vec<String> = Vec::new();
+        for sent in &s.story {
+            if sent[0] != subject {
+                continue;
+            }
+            let obj = sent.last().expect("object").clone();
+            match sent[1].as_str() {
+                "picked" => carried.push(obj),
+                "put" => {
+                    let pos = carried.iter().position(|o| *o == obj).expect("carried");
+                    carried.remove(pos);
+                }
+                other => panic!("unexpected verb {other}"),
+            }
+        }
+        let refs: Vec<&str> = carried.iter().map(String::as_str).collect();
+        ListsSets::answer_token(&refs)
+    }
+
+    #[test]
+    fn answers_match_replay() {
+        let g = ListsSets::new();
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn answer_token_is_canonical() {
+        assert_eq!(ListsSets::answer_token(&[]), "nothing");
+        assert_eq!(ListsSets::answer_token(&["milk"]), "milk");
+        assert_eq!(ListsSets::answer_token(&["milk", "apple"]), "apple_milk");
+        assert_eq!(ListsSets::answer_token(&["apple", "milk"]), "apple_milk");
+    }
+}

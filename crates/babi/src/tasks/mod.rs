@@ -1,0 +1,285 @@
+//! The 20 bAbI task archetypes.
+//!
+//! Each task module implements [`TaskGenerator`]: a deterministic,
+//! RNG-driven producer of [`Sample`]s with the same narrative structure,
+//! vocabulary footprint, and answer-class layout as the corresponding
+//! original bAbI task. [`TaskId::generator`] returns the generator for a
+//! task; [`TaskId::all`] enumerates the full suite in paper order.
+
+mod compound_coref;
+mod conjunction;
+mod counting;
+mod coreference;
+mod deduction;
+mod indefinite;
+mod induction;
+mod lists_sets;
+mod motivations;
+mod negation;
+mod path_finding;
+mod positional;
+mod single_fact;
+mod size;
+mod three_arg;
+mod three_facts;
+mod time;
+mod two_arg;
+mod two_facts;
+mod yes_no;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::Sample;
+
+pub use compound_coref::CompoundCoreference;
+pub use conjunction::Conjunction;
+pub use counting::Counting;
+pub use coreference::BasicCoreference;
+pub use deduction::BasicDeduction;
+pub use indefinite::IndefiniteKnowledge;
+pub use induction::BasicInduction;
+pub use lists_sets::ListsSets;
+pub use motivations::AgentMotivations;
+pub use negation::SimpleNegation;
+pub use path_finding::{solve as solve_path, PathFinding};
+pub use positional::PositionalReasoning;
+pub use single_fact::SingleSupportingFact;
+pub use size::SizeReasoning;
+pub use three_arg::ThreeArgRelations;
+pub use three_facts::ThreeSupportingFacts;
+pub use time::TimeReasoning;
+pub use two_arg::TwoArgRelations;
+pub use two_facts::TwoSupportingFacts;
+pub use yes_no::YesNoQuestions;
+
+/// A procedural generator for one bAbI task archetype.
+///
+/// Implementations must be pure functions of the RNG state: two generators
+/// fed identically-seeded RNGs must produce identical samples.
+pub trait TaskGenerator {
+    /// The task this generator produces.
+    fn id(&self) -> TaskId;
+
+    /// Generates one sample (story + question + answer).
+    fn generate(&self, rng: &mut StdRng) -> Sample;
+}
+
+/// Identifier of one of the 20 bAbI tasks, in the paper's numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TaskId {
+    /// Task 1: single supporting fact.
+    SingleSupportingFact,
+    /// Task 2: two supporting facts.
+    TwoSupportingFacts,
+    /// Task 3: three supporting facts.
+    ThreeSupportingFacts,
+    /// Task 4: two-argument relations.
+    TwoArgRelations,
+    /// Task 5: three-argument relations.
+    ThreeArgRelations,
+    /// Task 6: yes/no questions.
+    YesNoQuestions,
+    /// Task 7: counting.
+    Counting,
+    /// Task 8: lists / sets.
+    ListsSets,
+    /// Task 9: simple negation.
+    SimpleNegation,
+    /// Task 10: indefinite knowledge.
+    IndefiniteKnowledge,
+    /// Task 11: basic coreference.
+    BasicCoreference,
+    /// Task 12: conjunction.
+    Conjunction,
+    /// Task 13: compound coreference.
+    CompoundCoreference,
+    /// Task 14: time reasoning.
+    TimeReasoning,
+    /// Task 15: basic deduction.
+    BasicDeduction,
+    /// Task 16: basic induction.
+    BasicInduction,
+    /// Task 17: positional reasoning.
+    PositionalReasoning,
+    /// Task 18: size reasoning.
+    SizeReasoning,
+    /// Task 19: path finding.
+    PathFinding,
+    /// Task 20: agent motivations.
+    AgentMotivations,
+}
+
+impl TaskId {
+    /// All 20 tasks in paper order.
+    pub fn all() -> [TaskId; 20] {
+        use TaskId::*;
+        [
+            SingleSupportingFact,
+            TwoSupportingFacts,
+            ThreeSupportingFacts,
+            TwoArgRelations,
+            ThreeArgRelations,
+            YesNoQuestions,
+            Counting,
+            ListsSets,
+            SimpleNegation,
+            IndefiniteKnowledge,
+            BasicCoreference,
+            Conjunction,
+            CompoundCoreference,
+            TimeReasoning,
+            BasicDeduction,
+            BasicInduction,
+            PositionalReasoning,
+            SizeReasoning,
+            PathFinding,
+            AgentMotivations,
+        ]
+    }
+
+    /// The 1-based task number used in the paper's tables and figures.
+    pub fn number(self) -> usize {
+        Self::all()
+            .iter()
+            .position(|t| *t == self)
+            .expect("task present in all()")
+            + 1
+    }
+
+    /// Constructs a task from its 1-based number.
+    ///
+    /// Returns `None` when `n` is outside `1..=20`.
+    pub fn from_number(n: usize) -> Option<TaskId> {
+        Self::all().get(n.checked_sub(1)?).copied()
+    }
+
+    /// Human-readable task name matching the bAbI naming.
+    pub fn name(self) -> &'static str {
+        use TaskId::*;
+        match self {
+            SingleSupportingFact => "single-supporting-fact",
+            TwoSupportingFacts => "two-supporting-facts",
+            ThreeSupportingFacts => "three-supporting-facts",
+            TwoArgRelations => "two-arg-relations",
+            ThreeArgRelations => "three-arg-relations",
+            YesNoQuestions => "yes-no-questions",
+            Counting => "counting",
+            ListsSets => "lists-sets",
+            SimpleNegation => "simple-negation",
+            IndefiniteKnowledge => "indefinite-knowledge",
+            BasicCoreference => "basic-coreference",
+            Conjunction => "conjunction",
+            CompoundCoreference => "compound-coreference",
+            TimeReasoning => "time-reasoning",
+            BasicDeduction => "basic-deduction",
+            BasicInduction => "basic-induction",
+            PositionalReasoning => "positional-reasoning",
+            SizeReasoning => "size-reasoning",
+            PathFinding => "path-finding",
+            AgentMotivations => "agent-motivations",
+        }
+    }
+
+    /// Returns the generator implementing this task.
+    pub fn generator(self) -> Box<dyn TaskGenerator> {
+        use TaskId::*;
+        match self {
+            SingleSupportingFact => Box::new(single_fact::SingleSupportingFact::new()),
+            TwoSupportingFacts => Box::new(two_facts::TwoSupportingFacts::new()),
+            ThreeSupportingFacts => Box::new(three_facts::ThreeSupportingFacts::new()),
+            TwoArgRelations => Box::new(two_arg::TwoArgRelations::new()),
+            ThreeArgRelations => Box::new(three_arg::ThreeArgRelations::new()),
+            YesNoQuestions => Box::new(yes_no::YesNoQuestions::new()),
+            Counting => Box::new(counting::Counting::new()),
+            ListsSets => Box::new(lists_sets::ListsSets::new()),
+            SimpleNegation => Box::new(negation::SimpleNegation::new()),
+            IndefiniteKnowledge => Box::new(indefinite::IndefiniteKnowledge::new()),
+            BasicCoreference => Box::new(coreference::BasicCoreference::new()),
+            Conjunction => Box::new(conjunction::Conjunction::new()),
+            CompoundCoreference => Box::new(compound_coref::CompoundCoreference::new()),
+            TimeReasoning => Box::new(time::TimeReasoning::new()),
+            BasicDeduction => Box::new(deduction::BasicDeduction::new()),
+            BasicInduction => Box::new(induction::BasicInduction::new()),
+            PositionalReasoning => Box::new(positional::PositionalReasoning::new()),
+            SizeReasoning => Box::new(size::SizeReasoning::new()),
+            PathFinding => Box::new(path_finding::PathFinding::new()),
+            AgentMotivations => Box::new(motivations::AgentMotivations::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qa{}-{}", self.number(), self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_lists_twenty_distinct_tasks() {
+        let all = TaskId::all();
+        assert_eq!(all.len(), 20);
+        let mut set: Vec<TaskId> = all.to_vec();
+        set.sort();
+        set.dedup();
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn numbering_roundtrips() {
+        for t in TaskId::all() {
+            assert_eq!(TaskId::from_number(t.number()), Some(t));
+        }
+        assert_eq!(TaskId::from_number(0), None);
+        assert_eq!(TaskId::from_number(21), None);
+    }
+
+    #[test]
+    fn display_includes_number_and_name() {
+        assert_eq!(
+            TaskId::SingleSupportingFact.to_string(),
+            "qa1-single-supporting-fact"
+        );
+        assert_eq!(TaskId::AgentMotivations.to_string(), "qa20-agent-motivations");
+    }
+
+    #[test]
+    fn every_generator_produces_consistent_samples() {
+        for t in TaskId::all() {
+            let g = t.generator();
+            assert_eq!(g.id(), t);
+            let mut rng = StdRng::seed_from_u64(1234);
+            for _ in 0..25 {
+                let s = g.generate(&mut rng);
+                assert_eq!(s.task, t, "{t}");
+                assert!(!s.story.is_empty(), "{t}: empty story");
+                assert!(!s.question.is_empty(), "{t}: empty question");
+                assert!(!s.answer.is_empty(), "{t}: empty answer");
+                assert!(
+                    s.supporting.iter().all(|&i| i < s.story.len()),
+                    "{t}: supporting index out of range"
+                );
+                for sent in &s.story {
+                    assert!(!sent.is_empty(), "{t}: empty sentence");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        for t in TaskId::all() {
+            let g = t.generator();
+            let mut r1 = StdRng::seed_from_u64(777);
+            let mut r2 = StdRng::seed_from_u64(777);
+            for _ in 0..5 {
+                assert_eq!(g.generate(&mut r1), g.generate(&mut r2), "{t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Task 20 — agent motivations.
+//!
+//! A state fact ("john is hungry") explains a subsequent move ("john went to
+//! the kitchen"); the question asks why the agent went there.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, MOTIVATIONS, MOVE_VERBS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 20.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgentMotivations {
+    _priv: (),
+}
+
+impl AgentMotivations {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for AgentMotivations {
+    fn id(&self) -> TaskId {
+        TaskId::AgentMotivations
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_agents = rng.gen_range(2..=3);
+        let agents = pick_distinct(rng, PERSONS, n_agents);
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut episodes: Vec<(&str, &str, &str, usize, usize)> = Vec::new();
+        for agent in &agents {
+            let (state, place) = MOTIVATIONS[rng.gen_range(0..MOTIVATIONS.len())];
+            story.push(sentence(&[agent, "is", state]));
+            let state_idx = story.len() - 1;
+            story.push(sentence(&[agent, pick(rng, MOVE_VERBS), "to", "the", place]));
+            episodes.push((agent, state, place, state_idx, story.len() - 1));
+        }
+        let (agent, state, place, si, mi) = episodes[rng.gen_range(0..episodes.len())];
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["why", "did", agent, "go", "to", "the", place]),
+            state,
+            vec![si, mi],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> Option<String> {
+        let agent = s.question[2].clone();
+        let place = s.question.last().expect("place").clone();
+        let mut state: Option<String> = None;
+        for sent in &s.story {
+            if sent[0] != agent {
+                continue;
+            }
+            if sent[1] == "is" {
+                state = Some(sent.last().expect("state").clone());
+            } else if sent.last().map(String::as_str) == Some(place.as_str()) {
+                return state;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn answers_match_state_lookup() {
+        let g = AgentMotivations::new();
+        let mut rng = StdRng::seed_from_u64(201);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn destination_matches_motivation_table() {
+        let g = AgentMotivations::new();
+        let mut rng = StdRng::seed_from_u64(202);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let place = s.question.last().unwrap().as_str();
+            assert!(MOTIVATIONS
+                .iter()
+                .any(|(st, pl)| *st == s.answer && *pl == place));
+        }
+    }
+
+    #[test]
+    fn supporting_facts_are_state_then_move() {
+        let g = AgentMotivations::new();
+        let mut rng = StdRng::seed_from_u64(203);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.supporting.len(), 2);
+            assert_eq!(s.story[s.supporting[0]][1], "is");
+        }
+    }
+}

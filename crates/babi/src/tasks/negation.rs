@@ -1,0 +1,139 @@
+//! Task 9 — simple negation.
+//!
+//! Stories mix positive facts ("mary is in the kitchen") and negated facts
+//! ("mary is not in the kitchen"); the yes/no question must respect the most
+//! recent statement about the subject.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, pick_other, LOCATIONS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 9.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimpleNegation {
+    _priv: (),
+}
+
+impl SimpleNegation {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Latest knowledge about a person: either a definite location or a location
+/// they are known *not* to be in.
+#[derive(Debug, Clone, Copy)]
+enum Knowledge {
+    At(usize, &'static str),
+    NotAt(usize, &'static str),
+}
+
+impl TaskGenerator for SimpleNegation {
+    fn id(&self) -> TaskId {
+        TaskId::SimpleNegation
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let statics = |s: &str| -> &'static str {
+            PERSONS
+                .iter()
+                .chain(LOCATIONS)
+                .find(|w| **w == s)
+                .copied()
+                .expect("known token")
+        };
+        let actors = pick_distinct(rng, PERSONS, 2);
+        let mut know: BTreeMap<&str, Knowledge> = BTreeMap::new();
+        let mut story: Vec<Sentence> = Vec::new();
+        for i in 0..rng.gen_range(4..=7) {
+            let person = statics(actors[rng.gen_range(0..actors.len())]);
+            let loc = statics(pick(rng, LOCATIONS));
+            if rng.gen_bool(0.4) {
+                story.push(sentence(&[person, "is", "not", "in", "the", loc]));
+                know.insert(person, Knowledge::NotAt(i, loc));
+            } else {
+                story.push(sentence(&[person, "is", "in", "the", loc]));
+                know.insert(person, Knowledge::At(i, loc));
+            }
+        }
+        let known: Vec<&str> = know.keys().copied().collect();
+        let subject = known[rng.gen_range(0..known.len())];
+        let (idx, asked, answer) = match know[subject] {
+            Knowledge::At(i, loc) => {
+                if rng.gen_bool(0.5) {
+                    (i, loc, "yes")
+                } else {
+                    (i, pick_other(rng, LOCATIONS, loc), "no")
+                }
+            }
+            // If the latest fact is a negation, only ask about that location
+            // (anything else would be unanswerable).
+            Knowledge::NotAt(i, loc) => (i, loc, "no"),
+        };
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["is", subject, "in", "the", asked]),
+            answer,
+            vec![idx],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question[1].clone();
+        let asked = s.question.last().expect("loc").clone();
+        let mut latest: Option<(bool, String)> = None; // (negated, loc)
+        for sent in &s.story {
+            if sent[0] != subject {
+                continue;
+            }
+            let negated = sent[2] == "not";
+            latest = Some((negated, sent.last().expect("loc").clone()));
+        }
+        match latest {
+            Some((false, loc)) if loc == asked => "yes".into(),
+            Some((false, _)) => "no".into(),
+            Some((true, loc)) if loc == asked => "no".into(),
+            _ => "maybe".into(),
+        }
+    }
+
+    #[test]
+    fn answers_match_replay() {
+        let g = SimpleNegation::new();
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn negated_sentences_contain_not() {
+        let g = SimpleNegation::new();
+        let mut rng = StdRng::seed_from_u64(92);
+        let mut saw_negation = false;
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            for sent in &s.story {
+                if sent.contains(&"not".to_owned()) {
+                    saw_negation = true;
+                    assert_eq!(sent[2], "not");
+                }
+            }
+        }
+        assert!(saw_negation, "no negated sentence in 50 samples");
+    }
+}

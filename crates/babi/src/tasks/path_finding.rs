@@ -1,0 +1,165 @@
+//! Task 19 — path finding.
+//!
+//! Rooms are connected by compass relations; the question asks for the
+//! two-step route between two rooms. The answer is a compound token like
+//! `north_east` (bAbI answers this task with a direction list).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick_distinct, LOCATIONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 19.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathFinding {
+    _priv: (),
+}
+
+impl PathFinding {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn delta(dir: &str) -> (i32, i32) {
+    match dir {
+        "north" => (0, 1),
+        "south" => (0, -1),
+        "east" => (1, 0),
+        "west" => (-1, 0),
+        other => panic!("unknown direction {other}"),
+    }
+}
+
+fn dir_of(d: (i32, i32)) -> &'static str {
+    match d {
+        (0, 1) => "north",
+        (0, -1) => "south",
+        (1, 0) => "east",
+        (-1, 0) => "west",
+        other => panic!("non-unit delta {other:?}"),
+    }
+}
+
+impl TaskGenerator for PathFinding {
+    fn id(&self) -> TaskId {
+        TaskId::PathFinding
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        // Three rooms on an L: start → mid → goal, with axis-aligned steps on
+        // different axes, so the unique 2-step path is (step1, step2).
+        let rooms = pick_distinct(rng, LOCATIONS, 3);
+        let axis1 = if rng.gen_bool(0.5) { (1, 0) } else { (0, 1) };
+        let axis2 = if axis1.0 == 1 { (0, 1) } else { (1, 0) };
+        let s1 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let s2 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let step1 = (axis1.0 * s1, axis1.1 * s1);
+        let step2 = (axis2.0 * s2, axis2.1 * s2);
+
+        // Each fact states "the <B> is <dir> of the <A>" for a step A → B.
+        let mut lines: Vec<Sentence> = vec![
+            sentence(&["the", rooms[1], "is", dir_of(step1), "of", "the", rooms[0]]),
+            sentence(&["the", rooms[2], "is", dir_of(step2), "of", "the", rooms[1]]),
+        ];
+        let order_swapped = rng.gen_bool(0.5);
+        if order_swapped {
+            lines.swap(0, 1);
+        }
+        let story = lines;
+        let answer = format!("{}_{}", dir_of(step1), dir_of(step2));
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["how", "do", "you", "go", "from", "the", rooms[0], "to", "the", rooms[2]]),
+            answer,
+            vec![0, 1],
+        )
+    }
+}
+
+/// Finds the unique 2-step route implied by a task-19 story — shared by the
+/// tests and the attention-trace example.
+pub fn solve(story: &[Sentence], from: &str, to: &str) -> Option<String> {
+    use std::collections::HashMap;
+    let mut coord: HashMap<String, (i32, i32)> = HashMap::new();
+    for sent in story {
+        // "the B is <dir> of the A"
+        let b = sent[1].clone();
+        let dir = sent[3].clone();
+        let a = sent.last().expect("room").clone();
+        let d = delta(&dir);
+        if let Some(&pa) = coord.get(&a) {
+            coord.insert(b, (pa.0 + d.0, pa.1 + d.1));
+        } else if let Some(&pb) = coord.get(&b) {
+            coord.insert(a, (pb.0 - d.0, pb.1 - d.1));
+        } else {
+            coord.insert(a.clone(), (0, 0));
+            coord.insert(b, d);
+        }
+    }
+    let (fx, fy) = *coord.get(from)?;
+    let (tx, ty) = *coord.get(to)?;
+    let (dx, dy) = (tx - fx, ty - fy);
+    if dx.abs() + dy.abs() != 2 || dx.abs() == 2 || dy.abs() == 2 {
+        return None;
+    }
+    // Canonical order: the axis stated first in the story's chain is taken
+    // first; here we return x-then-y unless only y-then-x matches the story
+    // chain. For the generator's L-shape either order reaches the goal; we
+    // emit first-step-axis = the step leaving `from` in the story graph.
+    let first = (dx.signum(), 0);
+    let second = (0, dy.signum());
+    if dx != 0 && dy != 0 {
+        // Choose the order whose intermediate room exists in the story.
+        let mid_x = (fx + dx, fy);
+        let has_mid_x = coord.values().any(|&p| p == mid_x);
+        if has_mid_x {
+            Some(format!("{}_{}", dir_of(first), dir_of(second)))
+        } else {
+            Some(format!("{}_{}", dir_of(second), dir_of(first)))
+        }
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn answers_match_graph_solver() {
+        let g = PathFinding::new();
+        let mut rng = StdRng::seed_from_u64(191);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            let from = s.question[6].clone();
+            let to = s.question.last().expect("goal").clone();
+            assert_eq!(
+                Some(s.answer.clone()),
+                solve(&s.story, &from, &to),
+                "{}",
+                s.to_babi_text()
+            );
+        }
+    }
+
+    #[test]
+    fn answer_is_two_directions() {
+        let g = PathFinding::new();
+        let mut rng = StdRng::seed_from_u64(192);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let parts: Vec<&str> = s.answer.split('_').collect();
+            assert_eq!(parts.len(), 2);
+            for p in parts {
+                assert!(crate::world::DIRECTIONS.contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Task 17 — positional reasoning.
+//!
+//! Shapes are placed on an implicit grid and described by pairwise relations
+//! ("the triangle is to the right of the square"); the question asks a
+//! yes/no relation that may require composing two facts.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick_distinct, SHAPES};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 17.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PositionalReasoning {
+    _priv: (),
+}
+
+impl PositionalReasoning {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn relation_words(dx: i32, dy: i32) -> Option<&'static [&'static str]> {
+    match (dx.signum(), dy.signum()) {
+        (1, 0) => Some(&["to", "the", "right", "of"]),
+        (-1, 0) => Some(&["to", "the", "left", "of"]),
+        (0, 1) => Some(&["above"]),
+        (0, -1) => Some(&["below"]),
+        _ => None,
+    }
+}
+
+impl TaskGenerator for PositionalReasoning {
+    fn id(&self) -> TaskId {
+        TaskId::PositionalReasoning
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        // Place three distinct shapes at distinct grid points on an L so each
+        // adjacent pair differs along exactly one axis.
+        let shapes = pick_distinct(rng, SHAPES, 3);
+        let origin = (0i32, 0i32);
+        let step1 = if rng.gen_bool(0.5) { (1, 0) } else { (0, 1) };
+        let step2 = if step1.0 == 1 { (0, 1) } else { (1, 0) };
+        let sign1 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let sign2 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let pos = [
+            origin,
+            (origin.0 + sign1 * step1.0, origin.1 + sign1 * step1.1),
+            (
+                origin.0 + sign1 * step1.0 + sign2 * step2.0,
+                origin.1 + sign1 * step1.1 + sign2 * step2.1,
+            ),
+        ];
+        // Describe adjacent pairs.
+        let mut story: Vec<Sentence> = Vec::new();
+        for i in 0..2 {
+            let (dx, dy) = (pos[i + 1].0 - pos[i].0, pos[i + 1].1 - pos[i].1);
+            let rel = relation_words(dx, dy).expect("axis-aligned step");
+            let mut words = vec!["the", shapes[i + 1], "is"];
+            words.extend_from_slice(rel);
+            words.extend_from_slice(&["the", shapes[i]]);
+            story.push(sentence(&words));
+        }
+        // Question: a relation between the two endpoints (requires both facts).
+        let (a, b) = (2usize, 0usize);
+        let (dx, dy) = (pos[a].0 - pos[b].0, pos[a].1 - pos[b].1);
+        // Ask about one axis of the true displacement, or flip it for "no".
+        let (asked_rel, truth): (&[&str], bool) = if rng.gen_bool(0.5) {
+            // Truthful axis question.
+            if dx != 0 && (dy == 0 || rng.gen_bool(0.5)) {
+                (relation_words(dx, 0).expect("dx != 0"), true)
+            } else {
+                (relation_words(0, dy).expect("dy != 0"), true)
+            }
+        } else {
+            // Flipped.
+            if dx != 0 && (dy == 0 || rng.gen_bool(0.5)) {
+                (relation_words(-dx, 0).expect("dx != 0"), false)
+            } else {
+                (relation_words(0, -dy).expect("dy != 0"), false)
+            }
+        };
+        let mut q = vec!["is", "the", shapes[a]];
+        q.extend_from_slice(asked_rel);
+        q.extend_from_slice(&["the", shapes[b]]);
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&q),
+            if truth { "yes" } else { "no" },
+            vec![0, 1],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// Replay oracle: rebuild coordinates from the two facts, evaluate the
+    /// asked relation.
+    fn oracle(s: &Sample) -> String {
+        let mut coord: HashMap<String, (i32, i32)> = HashMap::new();
+        for sent in &s.story {
+            let w: Vec<&str> = sent.iter().map(String::as_str).collect();
+            // "the X is <rel...> the Y"
+            let x = w[1].to_owned();
+            let y = w.last().expect("base").to_string();
+            let rel = &w[3..w.len() - 2];
+            let delta = match rel {
+                ["to", "the", "right", "of"] => (1, 0),
+                ["to", "the", "left", "of"] => (-1, 0),
+                ["above"] => (0, 1),
+                ["below"] => (0, -1),
+                other => panic!("unknown relation {other:?}"),
+            };
+            let base = *coord.entry(y).or_insert((0, 0));
+            coord.insert(x, (base.0 + delta.0, base.1 + delta.1));
+        }
+        let q: Vec<&str> = s.question.iter().map(String::as_str).collect();
+        let a = coord[q[2]];
+        let b = coord[*q.last().expect("base")];
+        let rel = &q[3..q.len() - 2];
+        let holds = match rel {
+            ["to", "the", "right", "of"] => a.0 > b.0,
+            ["to", "the", "left", "of"] => a.0 < b.0,
+            ["above"] => a.1 > b.1,
+            ["below"] => a.1 < b.1,
+            other => panic!("unknown relation {other:?}"),
+        };
+        if holds { "yes".into() } else { "no".into() }
+    }
+
+    #[test]
+    fn answers_match_coordinate_replay() {
+        let g = PositionalReasoning::new();
+        let mut rng = StdRng::seed_from_u64(171);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn both_facts_are_supporting() {
+        let g = PositionalReasoning::new();
+        let mut rng = StdRng::seed_from_u64(172);
+        let s = g.generate(&mut rng);
+        assert_eq!(s.supporting, vec![0, 1]);
+    }
+
+    #[test]
+    fn answers_are_balanced() {
+        let g = PositionalReasoning::new();
+        let mut rng = StdRng::seed_from_u64(173);
+        let mut yes = 0;
+        for _ in 0..400 {
+            if g.generate(&mut rng).answer == "yes" {
+                yes += 1;
+            }
+        }
+        assert!((120..280).contains(&yes), "yes count {yes}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Task 1 — single supporting fact.
+//!
+//! Persons move between locations; the question asks where one person is.
+//! Exactly one story sentence (that person's latest move) supports the
+//! answer.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, LOCATIONS, MOVE_VERBS, PERSONS};
+use crate::{Sample, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 1.
+///
+/// ```
+/// use mann_babi::tasks::{SingleSupportingFact, TaskGenerator};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let s = SingleSupportingFact::new().generate(&mut rng);
+/// assert_eq!(s.question[0], "where");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleSupportingFact {
+    _priv: (),
+}
+
+impl SingleSupportingFact {
+    /// Creates the generator with the default story shape (4–8 sentences).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for SingleSupportingFact {
+    fn id(&self) -> TaskId {
+        TaskId::SingleSupportingFact
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_sentences = rng.gen_range(4..=8);
+        let n_actors = rng.gen_range(2..=4);
+        let actors = pick_distinct(rng, PERSONS, n_actors);
+        let mut location_of: BTreeMap<&str, (usize, &str)> = BTreeMap::new();
+        let mut story = Vec::with_capacity(n_sentences);
+        for i in 0..n_sentences {
+            let person = *actors
+                .get(rng.gen_range(0..actors.len()))
+                .expect("non-empty actors");
+            let verb = pick(rng, MOVE_VERBS);
+            let loc = pick(rng, LOCATIONS);
+            story.push(sentence(&[person, verb, "to", "the", loc]));
+            location_of.insert(person, (i, loc));
+        }
+        // Ask about a person we have seen move (guaranteed: pick from map).
+        let known: Vec<&str> = location_of.keys().copied().collect();
+        let subject = known[rng.gen_range(0..known.len())];
+        let (support, answer) = location_of[subject];
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "is", subject]),
+            answer,
+            vec![support],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Independent oracle: replay the story and check the answer.
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question.last().expect("question subject").clone();
+        let mut loc = String::new();
+        for sent in &s.story {
+            if sent[0] == subject {
+                loc = sent.last().expect("location").clone();
+            }
+        }
+        loc
+    }
+
+    #[test]
+    fn answers_match_story_replay() {
+        let g = SingleSupportingFact::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn supporting_fact_is_the_latest_move_of_subject() {
+        let g = SingleSupportingFact::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            let subject = s.question.last().unwrap();
+            let idx = s.supporting[0];
+            assert_eq!(&s.story[idx][0], subject);
+            // No later sentence mentions the subject moving.
+            for later in &s.story[idx + 1..] {
+                assert_ne!(&later[0], subject);
+            }
+        }
+    }
+
+    #[test]
+    fn answer_is_a_location() {
+        let g = SingleSupportingFact::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert!(crate::world::LOCATIONS.contains(&s.answer.as_str()));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Task 18 — size reasoning.
+//!
+//! Pairwise size facts over a hidden total order ("the box is bigger than
+//! the chocolate"); the yes/no question may require chaining facts
+//! transitively ("does the chocolate fit in the suitcase?").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::SIZED_ITEMS;
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 18.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeReasoning {
+    _priv: (),
+}
+
+impl SizeReasoning {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for SizeReasoning {
+    fn id(&self) -> TaskId {
+        TaskId::SizeReasoning
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        // SIZED_ITEMS is ordered smallest → largest; pick a contiguous run so
+        // the total order is known, then state adjacent facts.
+        let n = rng.gen_range(3..=4);
+        let start = rng.gen_range(0..=SIZED_ITEMS.len() - n);
+        let chain = &SIZED_ITEMS[start..start + n];
+        let mut lines: Vec<(Sentence, usize)> = Vec::new();
+        for i in 0..n - 1 {
+            // chain[i+1] is bigger than chain[i].
+            lines.push((
+                sentence(&["the", chain[i + 1], "is", "bigger", "than", "the", chain[i]]),
+                i,
+            ));
+        }
+        lines.shuffle(rng);
+        let story: Vec<Sentence> = lines.iter().map(|(s, _)| s.clone()).collect();
+        // Question about a pair (possibly non-adjacent → transitivity).
+        let mut a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while a == b {
+            b = rng.gen_range(0..n);
+        }
+        let fits = rng.gen_bool(0.5);
+        let (question, truth) = if fits {
+            // "does the X fit in the Y" — true iff X smaller than Y.
+            (
+                sentence(&["does", "the", chain[a], "fit", "in", "the", chain[b]]),
+                a < b,
+            )
+        } else {
+            (
+                sentence(&["is", "the", chain[a], "bigger", "than", "the", chain[b]]),
+                a > b,
+            )
+        };
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        // Supporting facts: the adjacent links between a and b.
+        let supporting: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, link))| (a..b).contains(link))
+            .map(|(i, _)| i)
+            .collect();
+        let mut supporting = supporting;
+        supporting.sort_unstable();
+        Sample::new(
+            self.id(),
+            story,
+            question,
+            if truth { "yes" } else { "no" },
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        // Build the partial order, take transitive closure over the chain.
+        let mut bigger: Vec<(String, String)> = Vec::new();
+        for sent in &s.story {
+            bigger.push((sent[1].clone(), sent.last().expect("smaller").clone()));
+        }
+        let is_bigger = |x: &str, y: &str| -> bool {
+            // BFS over "bigger-than" edges.
+            let mut frontier = vec![x.to_owned()];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(cur) = frontier.pop() {
+                if !seen.insert(cur.clone()) {
+                    continue;
+                }
+                for (b, sm) in &bigger {
+                    if *b == cur {
+                        if sm == y {
+                            return true;
+                        }
+                        frontier.push(sm.clone());
+                    }
+                }
+            }
+            false
+        };
+        let q: Vec<&str> = s.question.iter().map(String::as_str).collect();
+        let truth = match q.as_slice() {
+            ["does", "the", x, "fit", "in", "the", y] => is_bigger(y, x),
+            ["is", "the", x, "bigger", "than", "the", y] => is_bigger(x, y),
+            other => panic!("unknown question {other:?}"),
+        };
+        if truth { "yes".into() } else { "no".into() }
+    }
+
+    #[test]
+    fn answers_match_transitive_closure() {
+        let g = SizeReasoning::new();
+        let mut rng = StdRng::seed_from_u64(181);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn supporting_facts_span_the_chain() {
+        let g = SizeReasoning::new();
+        let mut rng = StdRng::seed_from_u64(182);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            assert!(!s.supporting.is_empty());
+        }
+    }
+}

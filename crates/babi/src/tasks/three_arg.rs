@@ -1,0 +1,122 @@
+//! Task 5 — three-argument relations.
+//!
+//! Give/receive events ("mary gave the cake to john"); questions ask for the
+//! giver, the receiver, or the object.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, OBJECTS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeArgRelations {
+    _priv: (),
+}
+
+impl ThreeArgRelations {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for ThreeArgRelations {
+    fn id(&self) -> TaskId {
+        TaskId::ThreeArgRelations
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_events = rng.gen_range(3..=6);
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut events: Vec<(&str, &str, &str, usize)> = Vec::new(); // giver, obj, recv, idx
+        for _ in 0..n_events {
+            let pair = pick_distinct(rng, PERSONS, 2);
+            let obj = pick(rng, OBJECTS);
+            story.push(sentence(&[pair[0], "gave", "the", obj, "to", pair[1]]));
+            events.push((pair[0], obj, pair[1], story.len() - 1));
+        }
+        // Pick a question form, then anchor it to the LAST event matching
+        // the form's key so the answer is unique under latest-wins replay.
+        let form = rng.gen_range(0..3);
+        let seed_event = events[rng.gen_range(0..events.len())];
+        let (giver, obj, recv, idx) = *events
+            .iter()
+            .rev()
+            .find(|e| match form {
+                0 => e.1 == seed_event.1 && e.2 == seed_event.2, // (obj, recv)
+                1 => e.0 == seed_event.0 && e.2 == seed_event.2, // (giver, recv)
+                _ => e.1 == seed_event.1,                        // obj
+            })
+            .expect("seed event matches itself");
+        let (question, answer) = match form {
+            0 => (sentence(&["who", "gave", "the", obj, "to", recv]), giver),
+            1 => (sentence(&["what", "did", giver, "give", "to", recv]), obj),
+            _ => (sentence(&["who", "received", "the", obj]), recv),
+        };
+        Sample::new(self.id(), story, question, answer, vec![idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> Option<String> {
+        let q: Vec<&str> = s.question.iter().map(String::as_str).collect();
+        // Scan story last-to-first to honour "latest event wins".
+        for sent in s.story.iter().rev() {
+            let w: Vec<&str> = sent.iter().map(String::as_str).collect();
+            let [giver, "gave", "the", obj, "to", recv] = w.as_slice() else {
+                panic!("unexpected event shape");
+            };
+            match q.as_slice() {
+                ["who", "gave", "the", qo, "to", qr] if qo == obj && qr == recv => {
+                    return Some((*giver).into());
+                }
+                ["what", "did", qg, "give", "to", qr] if qg == giver && qr == recv => {
+                    return Some((*obj).into());
+                }
+                ["who", "received", "the", qo] if qo == obj => return Some((*recv).into()),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn answers_match_latest_event() {
+        let g = ThreeArgRelations::new();
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn giver_and_receiver_differ() {
+        let g = ThreeArgRelations::new();
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            for sent in &s.story {
+                assert_ne!(sent.first(), sent.last());
+            }
+        }
+    }
+
+    #[test]
+    fn supporting_fact_mentions_the_object_or_people() {
+        let g = ThreeArgRelations::new();
+        let mut rng = StdRng::seed_from_u64(53);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            let fact = &s.story[s.supporting[0]];
+            assert!(s.question.iter().any(|w| fact.contains(w) && w.len() > 3));
+        }
+    }
+}

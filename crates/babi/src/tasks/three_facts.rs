@@ -1,0 +1,149 @@
+//! Task 3 — three supporting facts.
+//!
+//! A person carries an object through several locations; the question asks
+//! where the object was *before* a given location, which requires the pickup
+//! plus two consecutive moves (three supporting facts).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, pick_other, LOCATIONS, MOVE_VERBS, OBJECTS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeSupportingFacts {
+    _priv: (),
+}
+
+impl ThreeSupportingFacts {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for ThreeSupportingFacts {
+    fn id(&self) -> TaskId {
+        TaskId::ThreeSupportingFacts
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let carrier = pick(rng, PERSONS);
+        let obj = pick(rng, OBJECTS);
+        let distractor = pick_other(rng, PERSONS, carrier);
+
+        // The carrier visits a chain of distinct locations while holding the
+        // object.
+        let chain = pick_distinct(rng, LOCATIONS, 3);
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut supporting = Vec::new();
+
+        // Move to the first location, pick the object up there.
+        story.push(sentence(&[carrier, pick(rng, MOVE_VERBS), "to", "the", chain[0]]));
+        let first_move = story.len() - 1;
+        story.push(sentence(&[carrier, "picked", "up", "the", obj]));
+        let pickup = story.len() - 1;
+
+        // Interleave distractor sentences.
+        let mut move_indices = vec![first_move];
+        for loc in &chain[1..] {
+            if rng.gen_bool(0.5) {
+                story.push(sentence(&[
+                    distractor,
+                    pick(rng, MOVE_VERBS),
+                    "to",
+                    "the",
+                    pick(rng, LOCATIONS),
+                ]));
+            }
+            story.push(sentence(&[carrier, pick(rng, MOVE_VERBS), "to", "the", loc]));
+            move_indices.push(story.len() - 1);
+        }
+
+        // "where was the <obj> before the <chain[k]>" → chain[k-1].
+        let k = rng.gen_range(1..chain.len());
+        let answer = chain[k - 1];
+        supporting.push(pickup);
+        supporting.push(move_indices[k - 1]);
+        supporting.push(move_indices[k]);
+        supporting.sort_unstable();
+        supporting.dedup();
+
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "was", "the", obj, "before", "the", chain[k]]),
+            answer,
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Replay oracle for "where was the X before the L".
+    fn oracle(s: &Sample) -> Option<String> {
+        let obj = s.question[3].clone();
+        let before_loc = s.question.last().expect("loc").clone();
+        let mut carrier: Option<String> = None;
+        let mut trail: Vec<String> = Vec::new();
+        let mut person_loc: std::collections::HashMap<String, String> = Default::default();
+        for sent in &s.story {
+            let w: Vec<&str> = sent.iter().map(String::as_str).collect();
+            match w.as_slice() {
+                [p, _, "to", "the", l] => {
+                    person_loc.insert((*p).into(), (*l).into());
+                    if carrier.as_deref() == Some(*p) {
+                        trail.push((*l).into());
+                    }
+                }
+                [p, "picked", "up", "the", o] if *o == obj => {
+                    carrier = Some((*p).into());
+                    if let Some(l) = person_loc.get(*p) {
+                        if trail.last() != Some(l) {
+                            trail.push(l.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let pos = trail.iter().rposition(|l| *l == before_loc)?;
+        trail.get(pos.checked_sub(1)?).cloned()
+    }
+
+    #[test]
+    fn answers_match_story_replay() {
+        let g = ThreeSupportingFacts::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn supporting_facts_are_two_or_three_sorted() {
+        let g = ThreeSupportingFacts::new();
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            assert!((2..=3).contains(&s.supporting.len()), "{:?}", s.supporting);
+            assert!(s.supporting.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn question_has_before_form() {
+        let g = ThreeSupportingFacts::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let s = g.generate(&mut rng);
+        assert_eq!(s.question[0], "where");
+        assert!(s.question.contains(&"before".to_owned()));
+    }
+}

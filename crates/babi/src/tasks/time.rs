@@ -1,0 +1,137 @@
+//! Task 14 — time reasoning.
+//!
+//! Statements carry time-of-day labels in shuffled narrative order
+//! ("yesterday julie went to the park", "this morning julie went to
+//! school"); the question asks where a person was before a given location in
+//! *chronological* order.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, LOCATIONS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Time labels in chronological order; each is a single token so the
+/// bag-of-words encoder keeps it intact.
+pub const TIME_LABELS: &[&str] = &["yesterday", "this_morning", "this_afternoon", "this_evening"];
+
+/// Generator for bAbI task 14.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeReasoning {
+    _priv: (),
+}
+
+impl TimeReasoning {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for TimeReasoning {
+    fn id(&self) -> TaskId {
+        TaskId::TimeReasoning
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let subject = pick(rng, PERSONS);
+        let n_times = rng.gen_range(3..=TIME_LABELS.len());
+        let locs = pick_distinct(rng, LOCATIONS, n_times);
+        // Chronological itinerary: TIME_LABELS[i] → locs[i].
+        let mut lines: Vec<(usize, Sentence)> = (0..n_times)
+            .map(|i| {
+                (
+                    i,
+                    sentence(&[TIME_LABELS[i], subject, "went", "to", "the", locs[i]]),
+                )
+            })
+            .collect();
+        lines.shuffle(rng);
+        let story: Vec<Sentence> = lines.iter().map(|(_, s)| s.clone()).collect();
+        // "where was <subject> before the <locs[k]>" → locs[k-1].
+        let k = rng.gen_range(1..n_times);
+        let answer = locs[k - 1];
+        let supporting: Vec<usize> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, (chron, _))| *chron == k || *chron == k - 1)
+            .map(|(story_idx, _)| story_idx)
+            .collect();
+        let mut supporting = supporting;
+        supporting.sort_unstable();
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "was", subject, "before", "the", locs[k]]),
+            answer,
+            supporting,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> Option<String> {
+        let subject = s.question[2].clone();
+        let before_loc = s.question.last().expect("loc").clone();
+        // Reconstruct the chronological itinerary from the time labels.
+        let mut itinerary: Vec<(usize, String)> = Vec::new();
+        for sent in &s.story {
+            if sent[1] != subject {
+                continue;
+            }
+            let t = TIME_LABELS
+                .iter()
+                .position(|l| *l == sent[0])
+                .expect("known time label");
+            itinerary.push((t, sent.last().expect("loc").clone()));
+        }
+        itinerary.sort_by_key(|(t, _)| *t);
+        let pos = itinerary.iter().position(|(_, l)| *l == before_loc)?;
+        itinerary.get(pos.checked_sub(1)?).map(|(_, l)| l.clone())
+    }
+
+    #[test]
+    fn answers_match_chronological_replay() {
+        let g = TimeReasoning::new();
+        let mut rng = StdRng::seed_from_u64(141);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn story_order_is_often_shuffled() {
+        let g = TimeReasoning::new();
+        let mut rng = StdRng::seed_from_u64(142);
+        let mut shuffled = 0;
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            let times: Vec<usize> = s
+                .story
+                .iter()
+                .map(|sent| TIME_LABELS.iter().position(|l| *l == sent[0]).unwrap())
+                .collect();
+            if times.windows(2).any(|w| w[0] > w[1]) {
+                shuffled += 1;
+            }
+        }
+        assert!(shuffled > 30, "only {shuffled}/100 shuffled");
+    }
+
+    #[test]
+    fn supporting_facts_cover_the_two_relevant_times() {
+        let g = TimeReasoning::new();
+        let mut rng = StdRng::seed_from_u64(143);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.supporting.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Task 4 — two-argument relations.
+//!
+//! Spatial facts like "the office is north of the bedroom"; the question
+//! asks either "what is north of the bedroom" or "what is the office north
+//! of".
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, DIRECTIONS, LOCATIONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoArgRelations {
+    _priv: (),
+}
+
+impl TwoArgRelations {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for TwoArgRelations {
+    fn id(&self) -> TaskId {
+        TaskId::TwoArgRelations
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        // A chain of distinct rooms connected by one direction each.
+        let n_rooms = rng.gen_range(3..=4);
+        let rooms = pick_distinct(rng, LOCATIONS, n_rooms);
+        let mut story: Vec<Sentence> = Vec::new();
+        let mut facts: Vec<(&str, &str, &str, usize)> = Vec::new(); // (a, dir, b, idx)
+        for w in rooms.windows(2) {
+            let dir = pick(rng, DIRECTIONS);
+            story.push(sentence(&["the", w[0], "is", dir, "of", "the", w[1]]));
+            facts.push((w[0], dir, w[1], story.len() - 1));
+        }
+        let (a, dir, b, idx) = facts[rng.gen_range(0..facts.len())];
+        // Two question forms; both answered by the same fact.
+        let (question, answer) = if rng.gen_bool(0.5) {
+            (sentence(&["what", "is", dir, "of", "the", b]), a)
+        } else {
+            (sentence(&["what", "is", "the", a, dir, "of"]), b)
+        };
+        Sample::new(self.id(), story, question, answer, vec![idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> Option<String> {
+        let q: Vec<&str> = s.question.iter().map(String::as_str).collect();
+        for sent in &s.story {
+            let w: Vec<&str> = sent.iter().map(String::as_str).collect();
+            let [_, a, _, dir, _, _, b] = w.as_slice() else {
+                panic!("unexpected fact shape");
+            };
+            match q.as_slice() {
+                ["what", "is", qd, "of", "the", qb] if qd == dir && qb == b => {
+                    return Some((*a).into());
+                }
+                ["what", "is", "the", qa, qd, "of"] if qa == a && qd == dir => {
+                    return Some((*b).into());
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn answers_match_fact_lookup() {
+        let g = TwoArgRelations::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn single_supporting_fact() {
+        let g = TwoArgRelations::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.supporting.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rooms_in_chain_are_distinct() {
+        let g = TwoArgRelations::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            for sent in &s.story {
+                assert_ne!(sent[1], sent[6], "self-relation in {}", s.to_babi_text());
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Task 2 — two supporting facts.
+//!
+//! Persons move and pick up / put down objects; the question asks where an
+//! object is. Answering requires combining the pickup fact with the
+//! carrier's latest move (two supporting facts).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, LOCATIONS, MOVE_VERBS, OBJECTS, PERSONS};
+use crate::{Sample, Sentence, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoSupportingFacts {
+    _priv: (),
+}
+
+impl TwoSupportingFacts {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PersonState {
+    location: Option<(usize, &'static str)>,
+    carrying: Option<(usize, &'static str)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ObjectState {
+    carrier: Option<&'static str>,
+    /// Last known location and its supporting fact indices.
+    known: Option<(&'static str, Vec<usize>)>,
+}
+
+impl TaskGenerator for TwoSupportingFacts {
+    fn id(&self) -> TaskId {
+        TaskId::TwoSupportingFacts
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        loop {
+            if let Some(s) = self.try_generate(rng) {
+                return s;
+            }
+        }
+    }
+}
+
+impl TwoSupportingFacts {
+    fn try_generate(&self, rng: &mut StdRng) -> Option<Sample> {
+        let n_sentences = rng.gen_range(6..=10);
+        let actors = pick_distinct(rng, PERSONS, 3);
+        let objects = pick_distinct(rng, OBJECTS, 2);
+        // All tokens come from the const pools, so 'static references are
+        // recoverable by lookup.
+        let statics = |s: &str| -> &'static str {
+            PERSONS
+                .iter()
+                .chain(LOCATIONS)
+                .chain(OBJECTS)
+                .find(|w| **w == s)
+                .copied()
+                .expect("token from a known pool")
+        };
+        let actors: Vec<&'static str> = actors.iter().map(|a| statics(a)).collect();
+        let objects: Vec<&'static str> = objects.iter().map(|o| statics(o)).collect();
+
+        let mut person: BTreeMap<&'static str, PersonState> = actors
+            .iter()
+            .map(|&a| (a, PersonState::default()))
+            .collect();
+        let mut object: BTreeMap<&'static str, ObjectState> = objects
+            .iter()
+            .map(|&o| (o, ObjectState::default()))
+            .collect();
+
+        let mut story: Vec<Sentence> = Vec::with_capacity(n_sentences);
+        for i in 0..n_sentences {
+            let who = actors[rng.gen_range(0..actors.len())];
+            let ps = *person.get(&who).expect("tracked person");
+            // Choose a feasible action: move, pickup (if free-handed and a
+            // free object exists and location known), or put down.
+            let free_objs: Vec<&'static str> = objects
+                .iter()
+                .copied()
+                .filter(|o| object[o].carrier.is_none())
+                .collect();
+            let can_pickup = ps.carrying.is_none() && ps.location.is_some() && !free_objs.is_empty();
+            let can_drop = ps.carrying.is_some();
+            let action = match (can_pickup, can_drop, rng.gen_range(0..4)) {
+                (true, _, 1) => 1,
+                (_, true, 2) => 2,
+                _ => 0,
+            };
+            match action {
+                1 => {
+                    let obj = free_objs[rng.gen_range(0..free_objs.len())];
+                    story.push(sentence(&[who, "picked", "up", "the", obj]));
+                    person.get_mut(&who).expect("tracked").carrying = Some((i, obj));
+                    let (mi, loc) = ps.location.expect("checked");
+                    let os = object.get_mut(&obj).expect("tracked");
+                    os.carrier = Some(who);
+                    os.known = Some((loc, vec![mi.min(i), mi.max(i)]));
+                }
+                2 => {
+                    let (_, obj) = person.get_mut(&who).expect("tracked").carrying.take().expect("checked");
+                    story.push(sentence(&[who, "put", "down", "the", obj]));
+                    object.get_mut(&obj).expect("tracked").carrier = None;
+                    // The object stays where it was dropped; `known` already
+                    // points at the carrier's current location.
+                }
+                _ => {
+                    let verb = pick(rng, MOVE_VERBS);
+                    let loc = statics(pick(rng, LOCATIONS));
+                    story.push(sentence(&[who, verb, "to", "the", loc]));
+                    person.get_mut(&who).expect("tracked").location = Some((i, loc));
+                    if let Some((pi, obj)) = ps.carrying {
+                        let os = object.get_mut(&obj).expect("tracked");
+                        os.known = Some((loc, vec![pi, i]));
+                    }
+                }
+            }
+        }
+
+        // Ask about an object with a known location (BTreeMap gives a stable
+        // candidate order).
+        let candidates: Vec<(&'static str, &'static str, Vec<usize>)> = object
+            .iter()
+            .filter_map(|(o, st)| st.known.as_ref().map(|(l, s)| (*o, *l, s.clone())))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let (obj, loc, mut supporting) = candidates[rng.gen_range(0..candidates.len())].clone();
+        supporting.sort_unstable();
+        supporting.dedup();
+        Some(Sample::new(
+            self.id(),
+            story,
+            sentence(&["where", "is", "the", obj]),
+            loc,
+            supporting,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    use rand::SeedableRng;
+
+    /// Replay oracle: track carrier and location of every object.
+    fn oracle(s: &Sample) -> Option<String> {
+        let obj = s.question.last().expect("object").clone();
+        let mut carrier_of: HashMap<String, String> = HashMap::new();
+        let mut loc_of_person: HashMap<String, String> = HashMap::new();
+        let mut loc_of_obj: HashMap<String, String> = HashMap::new();
+        for sent in &s.story {
+            let words: Vec<&str> = sent.iter().map(String::as_str).collect();
+            match words.as_slice() {
+                [p, _, "to", "the", l] => {
+                    loc_of_person.insert((*p).into(), (*l).into());
+                    if let Some((o, _)) = carrier_of.iter().find(|(_, c)| c.as_str() == *p) {
+                        let o = o.clone();
+                        loc_of_obj.insert(o, (*l).into());
+                    }
+                }
+                [p, "picked", "up", "the", o] => {
+                    carrier_of.insert((*o).into(), (*p).into());
+                    if let Some(l) = loc_of_person.get(*p) {
+                        loc_of_obj.insert((*o).into(), l.clone());
+                    }
+                }
+                [p, "put", "down", "the", o] => {
+                    if carrier_of.get(*o).map(String::as_str) == Some(*p) {
+                        carrier_of.remove(*o);
+                    }
+                }
+                other => panic!("unexpected sentence {other:?}"),
+            }
+        }
+        loc_of_obj.get(&obj).cloned()
+    }
+
+    #[test]
+    fn answers_match_story_replay() {
+        let g = TwoSupportingFacts::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(Some(s.answer.clone()), oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn has_one_or_two_supporting_facts_in_order() {
+        let g = TwoSupportingFacts::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            assert!(!s.supporting.is_empty() && s.supporting.len() <= 2);
+            assert!(s.supporting.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn an_object_is_never_carried_by_two_people() {
+        let g = TwoSupportingFacts::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            let mut carrier: HashMap<String, String> = HashMap::new();
+            for sent in &s.story {
+                let w: Vec<&str> = sent.iter().map(String::as_str).collect();
+                match w.as_slice() {
+                    [p, "picked", "up", "the", o] => {
+                        assert!(
+                            carrier.insert((*o).into(), (*p).into()).is_none(),
+                            "double pickup of {o} in {}",
+                            s.to_babi_text()
+                        );
+                    }
+                    [_, "put", "down", "the", o] => {
+                        carrier.remove(*o);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Task 6 — yes/no questions.
+//!
+//! Movement stories as in task 1; the question asks "is X in the Y" and the
+//! answer is `yes` or `no`.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::sample::sentence;
+use crate::world::{pick, pick_distinct, pick_other, LOCATIONS, MOVE_VERBS, PERSONS};
+use crate::{Sample, TaskGenerator, TaskId};
+
+/// Generator for bAbI task 6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YesNoQuestions {
+    _priv: (),
+}
+
+impl YesNoQuestions {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskGenerator for YesNoQuestions {
+    fn id(&self) -> TaskId {
+        TaskId::YesNoQuestions
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_sentences = rng.gen_range(4..=8);
+        let n_actors = rng.gen_range(2..=3);
+        let actors = pick_distinct(rng, PERSONS, n_actors);
+        let mut last: BTreeMap<&str, (usize, &str)> = BTreeMap::new();
+        let mut story = Vec::with_capacity(n_sentences);
+        for i in 0..n_sentences {
+            let person = actors[rng.gen_range(0..actors.len())];
+            let loc = pick(rng, LOCATIONS);
+            story.push(sentence(&[person, pick(rng, MOVE_VERBS), "to", "the", loc]));
+            last.insert(person, (i, loc));
+        }
+        let known: Vec<&str> = last.keys().copied().collect();
+        let subject = known[rng.gen_range(0..known.len())];
+        let (idx, actual) = last[subject];
+        // Balance yes/no by asking about the true location half the time.
+        let (asked, answer) = if rng.gen_bool(0.5) {
+            (actual, "yes")
+        } else {
+            (pick_other(rng, LOCATIONS, actual), "no")
+        };
+        Sample::new(
+            self.id(),
+            story,
+            sentence(&["is", subject, "in", "the", asked]),
+            answer,
+            vec![idx],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn oracle(s: &Sample) -> String {
+        let subject = s.question[1].clone();
+        let asked = s.question.last().expect("loc").clone();
+        let mut actual = String::new();
+        for sent in &s.story {
+            if sent[0] == subject {
+                actual = sent.last().expect("loc").clone();
+            }
+        }
+        if actual == asked { "yes".into() } else { "no".into() }
+    }
+
+    #[test]
+    fn answers_match_replay() {
+        let g = YesNoQuestions::new();
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            assert_eq!(s.answer, oracle(&s), "{}", s.to_babi_text());
+        }
+    }
+
+    #[test]
+    fn answer_classes_are_roughly_balanced() {
+        let g = YesNoQuestions::new();
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut yes = 0;
+        let n = 400;
+        for _ in 0..n {
+            if g.generate(&mut rng).answer == "yes" {
+                yes += 1;
+            }
+        }
+        let frac = yes as f32 / n as f32;
+        assert!((0.35..0.65).contains(&frac), "yes fraction {frac}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Token ↔ index vocabulary.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Sample;
+
+/// A bidirectional token ↔ index map.
+///
+/// Index 0 is reserved for the padding token `<pad>`; temporal tokens
+/// (`<t0>`, `<t1>`, …) are appended by [`Vocab::with_time_tokens`]. The
+/// vocabulary size is the output dimension `|I|` of the model's output layer
+/// (answers are predicted over the whole vocabulary, as in the paper's NLP
+/// setting where `|I| >> |E|`).
+///
+/// ```
+/// use mann_babi::Vocab;
+///
+/// let mut v = Vocab::new();
+/// let i = v.intern("kitchen");
+/// assert_eq!(v.index_of("kitchen"), Some(i));
+/// assert_eq!(v.token(i), Some("kitchen"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+/// The reserved padding token at index 0.
+pub const PAD: &str = "<pad>";
+
+impl Vocab {
+    /// Creates a vocabulary containing only the padding token.
+    pub fn new() -> Self {
+        let mut v = Self {
+            tokens: Vec::new(),
+            index: HashMap::new(),
+        };
+        v.intern(PAD);
+        v
+    }
+
+    /// Builds a vocabulary over all tokens of `samples`, in first-seen order.
+    pub fn from_samples<'a, I: IntoIterator<Item = &'a Sample>>(samples: I) -> Self {
+        let mut v = Self::new();
+        for s in samples {
+            for tok in s.tokens() {
+                v.intern(tok);
+            }
+        }
+        v
+    }
+
+    /// Appends `n` temporal tokens `<t0>..<t{n-1}>` (most-recent-first
+    /// sentence age markers used by the encoder).
+    pub fn with_time_tokens(mut self, n: usize) -> Self {
+        for i in 0..n {
+            self.intern(&format!("<t{i}>"));
+        }
+        self
+    }
+
+    /// Returns the index of `token`, inserting it if absent.
+    pub fn intern(&mut self, token: &str) -> usize {
+        if let Some(&i) = self.index.get(token) {
+            return i;
+        }
+        let i = self.tokens.len();
+        self.tokens.push(token.to_owned());
+        self.index.insert(token.to_owned(), i);
+        i
+    }
+
+    /// Index of `token`, or `None` when out of vocabulary.
+    pub fn index_of(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// Token at `index`, or `None` when out of range.
+    pub fn token(&self, index: usize) -> Option<&str> {
+        self.tokens.get(index).map(String::as_str)
+    }
+
+    /// Number of tokens including `<pad>` — the model's `|I|`.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether only structural tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 1
+    }
+
+    /// Iterates over `(index, token)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.tokens.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::sentence;
+    use crate::TaskId;
+
+    #[test]
+    fn pad_is_index_zero() {
+        let v = Vocab::new();
+        assert_eq!(v.index_of(PAD), Some(0));
+        assert_eq!(v.token(0), Some(PAD));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("apple");
+        let b = v.intern("apple");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn from_samples_covers_answers() {
+        let s = Sample::new(
+            TaskId::SingleSupportingFact,
+            vec![sentence(&["mary", "moved", "to", "the", "kitchen"])],
+            sentence(&["where", "is", "mary"]),
+            "kitchen",
+            vec![0],
+        );
+        let v = Vocab::from_samples([&s]);
+        assert!(v.index_of("kitchen").is_some());
+        assert!(v.index_of("where").is_some());
+        // "mary" appears twice but is interned once.
+        assert_eq!(
+            v.iter().filter(|(_, t)| *t == "mary").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn time_tokens_are_appended() {
+        let v = Vocab::new().with_time_tokens(3);
+        assert!(v.index_of("<t0>").is_some());
+        assert!(v.index_of("<t2>").is_some());
+        assert!(v.index_of("<t3>").is_none());
+    }
+
+    #[test]
+    fn unknown_lookups_return_none() {
+        let v = Vocab::new();
+        assert_eq!(v.index_of("zebra"), None);
+        assert_eq!(v.token(99), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared entity pools and sampling helpers for the task generators.
+//!
+//! These mirror the entity inventories of the original bAbI corpus so the
+//! generated vocabularies have comparable sizes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Person names used across tasks.
+pub const PERSONS: &[&str] = &[
+    "mary", "john", "daniel", "sandra", "fred", "bill", "jeff", "julie",
+];
+
+/// Room / place names.
+pub const LOCATIONS: &[&str] = &[
+    "kitchen", "garden", "office", "bathroom", "bedroom", "hallway", "park", "school", "cinema",
+];
+
+/// Portable objects.
+pub const OBJECTS: &[&str] = &[
+    "apple", "football", "milk", "book", "ball", "cake", "newspaper",
+];
+
+/// Movement verbs (synonyms; all mean "moved").
+pub const MOVE_VERBS: &[&str] = &["moved", "went", "travelled", "journeyed"];
+
+/// Compass directions.
+pub const DIRECTIONS: &[&str] = &["north", "south", "east", "west"];
+
+/// Animal species for the deduction/induction tasks.
+pub const SPECIES: &[&str] = &["mouse", "cat", "wolf", "sheep", "swan", "frog", "lion"];
+
+/// Given names for animals.
+pub const ANIMAL_NAMES: &[&str] = &["gertrude", "lily", "bernhard", "brian", "greg", "emily"];
+
+/// Colors for the induction task.
+pub const COLORS: &[&str] = &["white", "gray", "yellow", "green"];
+
+/// Geometric shapes for positional reasoning.
+pub const SHAPES: &[&str] = &["triangle", "square", "circle", "rectangle"];
+
+/// Containers ordered by size (smallest first) for size reasoning.
+pub const SIZED_ITEMS: &[&str] = &["chocolate", "box", "suitcase", "chest", "container"];
+
+/// Motivational states and the place each one sends an agent to.
+pub const MOTIVATIONS: &[(&str, &str)] = &[
+    ("hungry", "kitchen"),
+    ("thirsty", "kitchen"),
+    ("tired", "bedroom"),
+    ("bored", "garden"),
+];
+
+/// Picks one element of `pool` uniformly.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool.choose(rng).expect("non-empty pool")
+}
+
+/// Picks `n` distinct elements of `pool` (order randomized).
+///
+/// # Panics
+///
+/// Panics if `n > pool.len()`.
+pub fn pick_distinct<'a, R: Rng>(rng: &mut R, pool: &[&'a str], n: usize) -> Vec<&'a str> {
+    assert!(n <= pool.len(), "cannot pick {n} from pool of {}", pool.len());
+    let mut shuffled: Vec<&str> = pool.to_vec();
+    shuffled.shuffle(rng);
+    shuffled.truncate(n);
+    shuffled
+}
+
+/// Picks one element different from `not` (assumes `pool` has ≥ 2 distinct
+/// entries).
+pub fn pick_other<'a, R: Rng>(rng: &mut R, pool: &[&'a str], not: &str) -> &'a str {
+    loop {
+        let c = pick(rng, pool);
+        if c != not {
+            return c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [
+            PERSONS, LOCATIONS, OBJECTS, MOVE_VERBS, DIRECTIONS, SPECIES, ANIMAL_NAMES, COLORS,
+            SHAPES, SIZED_ITEMS,
+        ] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase());
+                assert!(!w.contains(' '));
+            }
+        }
+    }
+
+    #[test]
+    fn pick_distinct_returns_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let picked = pick_distinct(&mut rng, PERSONS, 4);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+        }
+    }
+
+    #[test]
+    fn pick_other_avoids_excluded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_ne!(pick_other(&mut rng, LOCATIONS, "kitchen"), "kitchen");
+        }
+    }
+
+    #[test]
+    fn motivations_map_to_known_locations() {
+        for (_, loc) in MOTIVATIONS {
+            assert!(LOCATIONS.contains(loc));
+        }
+    }
+}

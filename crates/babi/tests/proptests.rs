@@ -1,0 +1,99 @@
+//! Property-based tests over all 20 task generators and the encoder.
+
+use mann_babi::{DatasetBuilder, Encoder, TaskId, Vocab};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generator, under any seed, produces structurally valid samples.
+    #[test]
+    fn all_generators_are_well_formed(seed in any::<u64>(), task_no in 1usize..=20) {
+        let task = TaskId::from_number(task_no).expect("valid task number");
+        let g = task.generator();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = g.generate(&mut rng);
+        prop_assert_eq!(s.task, task);
+        prop_assert!(!s.story.is_empty());
+        prop_assert!((1..=30).contains(&s.story.len()), "story length {}", s.story.len());
+        prop_assert!(!s.question.is_empty());
+        prop_assert!(!s.answer.is_empty());
+        prop_assert!(s.supporting.iter().all(|&i| i < s.story.len()));
+        // Tokens are lowercase single words.
+        for tok in s.tokens() {
+            prop_assert!(!tok.contains(' '));
+            prop_assert_eq!(tok.to_lowercase(), tok);
+        }
+    }
+
+    /// The encoder round-trips any generated sample when the vocabulary is
+    /// built from it.
+    #[test]
+    fn encoder_round_trips_generated_samples(seed in any::<u64>(), task_no in 1usize..=20) {
+        let task = TaskId::from_number(task_no).expect("valid task number");
+        let g = task.generator();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = g.generate(&mut rng);
+        let vocab = Vocab::from_samples([&s]).with_time_tokens(Encoder::DEFAULT_TIME_TOKENS);
+        let enc = Encoder::new(vocab);
+        let e = enc.encode(&s).expect("sample tokens are in its own vocab");
+        prop_assert_eq!(e.sentences.len(), s.story.len());
+        prop_assert_eq!(enc.vocab().token(e.answer), Some(s.answer.as_str()));
+        // Each encoded sentence has the original words plus one time token.
+        for (enc_sent, txt_sent) in e.sentences.iter().zip(&s.story) {
+            prop_assert_eq!(enc_sent.len(), txt_sent.len() + 1);
+        }
+    }
+
+    /// Dataset builds are deterministic functions of (seed, sizes, task).
+    #[test]
+    fn dataset_builder_is_deterministic(seed in any::<u64>(), task_no in 1usize..=20) {
+        let task = TaskId::from_number(task_no).expect("valid task number");
+        let mk = || DatasetBuilder::new().seed(seed).train_samples(6).test_samples(3).build_task(task);
+        prop_assert_eq!(mk(), mk());
+    }
+}
+
+/// Vocabulary sizes across tasks stay in the range the paper's output layer
+/// assumes (|I| in the tens-to-hundreds, well above the embedding dim).
+#[test]
+fn vocabulary_sizes_are_babi_like() {
+    for task in TaskId::all() {
+        let data = DatasetBuilder::new()
+            .train_samples(200)
+            .test_samples(50)
+            .seed(7)
+            .build_task(task);
+        let vocab = Vocab::from_samples(data.train.iter().chain(&data.test));
+        let n = vocab.len();
+        assert!(
+            (10..=200).contains(&n),
+            "{task}: vocabulary size {n} outside bAbI-like range"
+        );
+    }
+}
+
+/// Every answer token also appears in some question or story across a large
+/// sample, so the output classes are learnable.
+#[test]
+fn answers_are_within_answerable_class_sets() {
+    for task in TaskId::all() {
+        let data = DatasetBuilder::new()
+            .train_samples(300)
+            .test_samples(100)
+            .seed(11)
+            .build_task(task);
+        let train_answers: std::collections::HashSet<&str> =
+            data.train.iter().map(|s| s.answer.as_str()).collect();
+        let unseen = data
+            .test
+            .iter()
+            .filter(|s| !train_answers.contains(s.answer.as_str()))
+            .count();
+        // Allow a small tail of unseen classes (compound answers in tasks 8/19).
+        let frac = unseen as f32 / data.test.len() as f32;
+        assert!(frac < 0.1, "{task}: {frac} of test answers unseen in train");
+    }
+}

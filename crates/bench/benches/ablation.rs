@@ -1,0 +1,85 @@
+//! Criterion benches of the ablation axes: datapath fractional width,
+//! KDE kernel choice, and accelerator tree width — timing the components
+//! whose design points the `ablation` binary evaluates for quality.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mann_babi::EncodedSample;
+use mann_hw::{quantize_params, AccelConfig, Accelerator, DatapathConfig};
+use mann_ith::{Kde, Kernel};
+use memn2n::{ModelConfig, Params, TrainedModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn model() -> TrainedModel {
+    let params = Params::init(
+        ModelConfig {
+            embed_dim: 32,
+            hops: 2,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        96,
+        &mut StdRng::seed_from_u64(11),
+    );
+    TrainedModel {
+        task: mann_babi::TaskId::SingleSupportingFact,
+        params,
+        encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+    }
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let m = model();
+    let mut group = c.benchmark_group("quantize_params");
+    for &bits in &[4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| black_box(quantize_params(&m.params, bits)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kde_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let samples: Vec<f32> = (0..500).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let mut group = c.benchmark_group("kde_density");
+    for kernel in [Kernel::Epanechnikov, Kernel::Gaussian] {
+        let kde = Kde::fit(&samples, kernel);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernel:?}")),
+            &kde,
+            |b, kde| b.iter(|| black_box(kde.density(black_box(1.234)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tree_width(c: &mut Criterion) {
+    let m = model();
+    let sample = EncodedSample {
+        sentences: (0..8).map(|i| vec![i, i + 1, i + 2]).collect(),
+        question: vec![1, 2],
+        answer: 0,
+    };
+    let mut group = c.benchmark_group("accel_tree_width");
+    group.sample_size(20);
+    for &w in &[2usize, 8, 16] {
+        let accel = Accelerator::new(
+            m.clone(),
+            AccelConfig {
+                datapath: DatapathConfig {
+                    tree_width: w,
+                    ..DatapathConfig::default()
+                },
+                ..AccelConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| black_box(accel.run(&sample)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantization, bench_kde_kernels, bench_tree_width);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench of the Fig 2(b) runner: logit-statistics collection and
+//! the distribution binning behind the figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mann_babi::TaskId;
+use mann_core::experiments::fig2b;
+use mann_core::{SuiteConfig, TaskSuite};
+use mann_ith::LogitStats;
+
+fn bench_fig2b(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact],
+        train_samples: 150,
+        test_samples: 10,
+        ..SuiteConfig::quick()
+    };
+    let suite = TaskSuite::build(&cfg);
+    let task = &suite.tasks[0];
+
+    let mut group = c.benchmark_group("fig2b");
+    group.sample_size(10);
+    group.bench_function("runner", |b| b.iter(|| black_box(fig2b::run(task, 6, 48))));
+    group.bench_function("logit_stats_collect", |b| {
+        b.iter(|| black_box(LogitStats::collect(&task.model, &task.train_set)))
+    });
+    group.finish();
+
+    println!("\n{}", fig2b::run(task, 4, 32).render());
+}
+
+criterion_group!(benches, bench_fig2b);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench of the Fig 3 sweep (ρ × ordering) on a reduced suite,
+//! plus the underlying MIPS strategies in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mann_babi::TaskId;
+use mann_core::experiments::fig3;
+use mann_core::{SuiteConfig, TaskSuite};
+use mann_ith::search::{ExhaustiveMips, MipsStrategy, ThresholdedMips};
+use mann_ith::ThresholdingCalibrator;
+use memn2n::forward::forward_until_output;
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact],
+        train_samples: 200,
+        test_samples: 25,
+        ..SuiteConfig::quick()
+    };
+    let suite = TaskSuite::build(&cfg);
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("sweep_runner", |b| {
+        b.iter(|| black_box(fig3::run(&suite, &fig3::Fig3Config::default())))
+    });
+    group.finish();
+
+    // The per-inference search strategies.
+    let task = &suite.tasks[0];
+    let ith = ThresholdingCalibrator::new()
+        .rho(1.0)
+        .calibrate(&task.model, &task.train_set);
+    let h = forward_until_output(&task.model.params, &task.test_set[0]);
+    let mut group = c.benchmark_group("mips");
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(ExhaustiveMips.search(&task.model.params, &h)))
+    });
+    let strategy = ThresholdedMips::new(&ith);
+    group.bench_function("thresholded", |b| {
+        b.iter(|| black_box(strategy.search(&task.model.params, &h)))
+    });
+    group.finish();
+
+    println!("\n{}", fig3::run(&suite, &fig3::Fig3Config::default()).render());
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

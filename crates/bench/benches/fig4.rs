@@ -1,0 +1,29 @@
+//! Criterion bench of the Fig 4 per-task efficiency runner on a reduced
+//! suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mann_babi::TaskId;
+use mann_core::experiments::fig4;
+use mann_core::{SuiteConfig, TaskSuite};
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact, TaskId::Conjunction],
+        train_samples: 120,
+        test_samples: 12,
+        ..SuiteConfig::quick()
+    };
+    let suite = TaskSuite::build(&cfg);
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("per_task_runner", |b| {
+        b.iter(|| black_box(fig4::run(&suite)))
+    });
+    group.finish();
+
+    println!("\n{}", fig4::run(&suite).render());
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

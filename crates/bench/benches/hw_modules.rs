@@ -1,0 +1,153 @@
+//! Criterion benches of the cycle-level hardware modules: the host stream
+//! protocol, the MEM module's softmax datapath, the OUTPUT search with and
+//! without thresholding, and a whole-accelerator inference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mann_babi::EncodedSample;
+use mann_hw::modules::{decode_stream, encode_sample_stream, MemModule, OutputModule};
+use mann_hw::{AccelConfig, Accelerator, DatapathConfig};
+use mann_ith::threshold::ClassThreshold;
+use mann_ith::{Kernel, ThresholdingModel};
+use mann_linalg::Matrix;
+use memn2n::{ModelConfig, Params, TrainedModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample(l: usize) -> EncodedSample {
+    EncodedSample {
+        sentences: (0..l).map(|i| vec![i % 14, (i + 3) % 14, (i + 7) % 14]).collect(),
+        question: vec![1, 2],
+        answer: 0,
+    }
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_stream");
+    let s = sample(12);
+    group.bench_function("encode", |b| b.iter(|| black_box(encode_sample_stream(&s))));
+    let words = encode_sample_stream(&s);
+    group.bench_function("decode", |b| b.iter(|| black_box(decode_stream(&words).unwrap())));
+    group.finish();
+}
+
+fn bench_mem_module(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_module");
+    let mut rng = StdRng::seed_from_u64(5);
+    for &l in &[8usize, 32] {
+        let mut mem = MemModule::new(32, &DatapathConfig::default());
+        for _ in 0..l {
+            let row: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            mem.write(row.clone(), row);
+        }
+        let key: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("address", l), &l, |b, _| {
+            b.iter(|| black_box(mem.address(&key)))
+        });
+        let (attention, _) = mem.address(&key);
+        group.bench_with_input(BenchmarkId::new("read", l), &l, |b, _| {
+            b.iter(|| black_box(mem.read(&attention)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_output_module(c: &mut Criterion) {
+    let mut group = c.benchmark_group("output_module");
+    let mut rng = StdRng::seed_from_u64(6);
+    let v = 256usize;
+    let mut w_o = Matrix::zeros(v, 32);
+    for x in w_o.as_mut_slice() {
+        *x = rng.gen_range(-1.0..1.0);
+    }
+    let h: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let exhaustive = OutputModule::new(w_o.clone(), &DatapathConfig::default());
+    group.bench_function("exhaustive", |b| b.iter(|| black_box(exhaustive.search(&h))));
+
+    // Threshold that fires after ~10% of rows.
+    let ith = ThresholdingModel {
+        thresholds: (0..v)
+            .map(|i| ClassThreshold {
+                theta: if i < v / 10 { Some(-1e9) } else { None },
+            })
+            .collect(),
+        order: (0..v).rev().collect(),
+        silhouettes: vec![0.0; v],
+        rho: 1.0,
+        kernel: Kernel::Epanechnikov,
+    };
+    let thresholded = OutputModule::new(w_o, &DatapathConfig::default()).with_thresholding(&ith, true);
+    group.bench_function("thresholded", |b| b.iter(|| black_box(thresholded.search(&h))));
+    group.finish();
+}
+
+fn bench_accelerator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelerator");
+    group.sample_size(20);
+    let params = Params::init(
+        ModelConfig {
+            embed_dim: 32,
+            hops: 3,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        128,
+        &mut StdRng::seed_from_u64(7),
+    );
+    let model = TrainedModel {
+        task: mann_babi::TaskId::SingleSupportingFact,
+        params,
+        encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+    };
+    let accel = Accelerator::new(model, AccelConfig::default());
+    let s = sample(10);
+    group.bench_function("inference", |b| b.iter(|| black_box(accel.run(&s))));
+    group.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    use mann_hw::write_path::WritePathSim;
+    use mann_hw::{ClockDomain, PcieLink};
+    let mut group = c.benchmark_group("write_path_sim");
+    let sim = WritePathSim::new(512, PcieLink::default(), ClockDomain::mhz(25.0));
+    let s = sample(12);
+    group.bench_function("token_level", |b| b.iter(|| black_box(sim.run(&s))));
+    group.finish();
+}
+
+fn bench_gru_controller(c: &mut Criterion) {
+    use memn2n::ControllerKind;
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(30);
+    let s = sample(8);
+    for kind in [ControllerKind::Linear, ControllerKind::Gru] {
+        let params = Params::init(
+            ModelConfig {
+                embed_dim: 24,
+                hops: 2,
+                tie_embeddings: false,
+                controller: kind,
+            },
+            64,
+            &mut StdRng::seed_from_u64(21),
+        );
+        let model = TrainedModel {
+            task: mann_babi::TaskId::SingleSupportingFact,
+            params,
+            encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+        };
+        let accel = Accelerator::new(model, AccelConfig::default());
+        group.bench_function(format!("{kind:?}"), |b| b.iter(|| black_box(accel.run(&s))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream,
+    bench_mem_module,
+    bench_output_module,
+    bench_accelerator,
+    bench_write_path,
+    bench_gru_controller
+);
+criterion_main!(benches);

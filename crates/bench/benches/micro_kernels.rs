@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the numeric kernels on the critical path:
+//! softmax (exact and LUT), dot products (f32 and fixed-point), the KDE,
+//! and the forward pass.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mann_babi::EncodedSample;
+use mann_linalg::activation::{softmax_lut, ExpLut};
+use mann_linalg::fixed::fixed_dot;
+use mann_linalg::{Matrix, Vector};
+use memn2n::{forward, ModelConfig, Params};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    for &n in &[16usize, 64, 256] {
+        let v: Vector = (0..n).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+        group.bench_with_input(BenchmarkId::new("exact", n), &v, |b, v| {
+            b.iter(|| black_box(v.softmax()))
+        });
+        let lut = ExpLut::default();
+        let xs: Vec<f32> = v.as_slice().to_vec();
+        group.bench_with_input(BenchmarkId::new("lut", n), &xs, |b, xs| {
+            b.iter(|| black_box(softmax_lut(xs, &lut)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for &n in &[32usize, 128, 512] {
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let bvec: Vec<f32> = (0..n).map(|i| (i as f32 * 0.07).sin()).collect();
+        let va = Vector::from(a.clone());
+        let vb = Vector::from(bvec.clone());
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |bch, _| {
+            bch.iter(|| black_box(va.dot(&vb).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", n), &n, |bch, _| {
+            bch.iter(|| black_box(fixed_dot(&a, &bvec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    for &(r, cl) in &[(64usize, 32usize), (256, 32), (1024, 32)] {
+        let mut m = Matrix::zeros(r, cl);
+        let mut rng = StdRng::seed_from_u64(1);
+        for x in m.as_mut_slice() {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        let v: Vector = (0..cl).map(|i| (i as f32 * 0.3).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{r}x{cl}")), &m, |b, m| {
+            b.iter(|| black_box(m.matvec(&v).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_forward");
+    for &hops in &[1usize, 3] {
+        let params = Params::init(
+            ModelConfig {
+                embed_dim: 32,
+                hops,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            180,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let sample = EncodedSample {
+            sentences: (0..10).map(|i| vec![i, i + 1, i + 2, i + 3]).collect(),
+            question: vec![20, 21, 22],
+            answer: 5,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, _| {
+            b.iter(|| black_box(forward(&params, &sample)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_softmax, bench_dot, bench_matvec, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench of the Table I experiment runner on a reduced suite —
+//! regenerates the table's measurement pipeline under timing. The printed
+//! table itself comes from `cargo run -p mann-bench --bin table1`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mann_babi::TaskId;
+use mann_core::experiments::table1;
+use mann_core::{SuiteConfig, TaskSuite};
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+        train_samples: 120,
+        test_samples: 15,
+        ..SuiteConfig::quick()
+    };
+    let suite = TaskSuite::build(&cfg);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("full_runner", |b| {
+        b.iter(|| black_box(table1::run(&suite, &table1::Table1Config::default())))
+    });
+    group.bench_function("single_frequency", |b| {
+        b.iter(|| {
+            black_box(table1::run(
+                &suite,
+                &table1::Table1Config {
+                    repetitions: 100,
+                    frequencies_mhz: vec![25.0],
+                },
+            ))
+        })
+    });
+    group.finish();
+
+    // Print the reduced-scale table once so `cargo bench` output includes
+    // the reproduced rows.
+    let t = table1::run(&suite, &table1::Table1Config::default());
+    println!("\n{}", t.render());
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

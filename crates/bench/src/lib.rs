@@ -1,0 +1,137 @@
+//! Benchmark harnesses for the reproduction.
+//!
+//! * Binaries (`src/bin/`) regenerate the paper's tables and figures:
+//!   `table1`, `fig2b`, `fig3`, `fig4`, `ablation`. Each accepts
+//!   `--tasks N`, `--train N`, `--test N` and `--seed N` to trade fidelity
+//!   for runtime (defaults reproduce the full 20-task suite).
+//! * Criterion benches (`benches/`) measure the component kernels: the
+//!   softmax/attention datapath, MIPS strategies, the cycle-level modules,
+//!   and the end-to-end simulator.
+
+use mann_babi::TaskId;
+use mann_core::SuiteConfig;
+
+/// Parsed command-line options shared by the reproduction binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Number of tasks (1–20, taken from the front of the paper ordering).
+    pub tasks: usize,
+    /// Training samples per task.
+    pub train: usize,
+    /// Test samples per task.
+    pub test: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Timing repetitions (Table I uses 100).
+    pub reps: u64,
+    /// Train one joint model over all tasks (the paper's setting) instead
+    /// of per-task models.
+    pub joint: bool,
+}
+
+impl Default for HarnessArgs {
+    /// Paper-scale defaults: all 20 tasks, 1000/100 splits, 100 reps.
+    fn default() -> Self {
+        Self {
+            tasks: 20,
+            train: 1000,
+            test: 100,
+            seed: 0,
+            reps: 100,
+            joint: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--key value` pairs from an iterator of arguments
+    /// (unknown keys are ignored so binaries can add their own).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when a value is missing or unparsable.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(key) = it.next() {
+            let mut grab = |name: &str| -> u64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("usage: {name} <number>"))
+            };
+            match key.as_str() {
+                "--tasks" => out.tasks = grab("--tasks") as usize,
+                "--train" => out.train = grab("--train") as usize,
+                "--test" => out.test = grab("--test") as usize,
+                "--seed" => out.seed = grab("--seed"),
+                "--reps" => out.reps = grab("--reps"),
+                "--joint" => out.joint = true,
+                _ => {}
+            }
+        }
+        out.tasks = out.tasks.clamp(1, 20);
+        out
+    }
+
+    /// Converts the arguments into a suite configuration (quick model
+    /// hyper-parameters, the requested data sizes).
+    pub fn suite_config(&self) -> SuiteConfig {
+        let mut cfg = SuiteConfig::quick();
+        cfg.tasks = TaskId::all()[..self.tasks].to_vec();
+        cfg.train_samples = self.train;
+        cfg.test_samples = self.test;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Builds the suite per the `--joint` flag.
+    pub fn build_suite(&self) -> mann_core::TaskSuite {
+        let cfg = self.suite_config();
+        if self.joint {
+            mann_core::TaskSuite::build_joint(&cfg)
+        } else {
+            mann_core::TaskSuite::build(&cfg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_reads_known_flags_and_ignores_others() {
+        let a = HarnessArgs::parse(
+            ["--tasks", "3", "--zzz", "--train", "50", "--reps", "7", "--joint"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert_eq!(a.tasks, 3);
+        assert_eq!(a.train, 50);
+        assert_eq!(a.reps, 7);
+        assert!(a.joint);
+        assert_eq!(a.test, HarnessArgs::default().test);
+    }
+
+    #[test]
+    fn tasks_are_clamped() {
+        let a = HarnessArgs::parse(["--tasks", "99"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(a.tasks, 20);
+    }
+
+    #[test]
+    fn suite_config_reflects_args() {
+        let a = HarnessArgs {
+            tasks: 2,
+            train: 10,
+            test: 5,
+            seed: 9,
+            reps: 1,
+            joint: false,
+        };
+        let cfg = a.suite_config();
+        assert_eq!(cfg.tasks.len(), 2);
+        assert_eq!(cfg.train_samples, 10);
+        assert_eq!(cfg.seed, 9);
+    }
+}

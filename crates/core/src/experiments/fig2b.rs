@@ -1,0 +1,175 @@
+//! Fig 2(b): the per-class logit mixture distributions that motivate
+//! inference thresholding.
+
+use mann_ith::LogitStats;
+use serde::{Deserialize, Serialize};
+
+use crate::report::fnum;
+use crate::TrainedTask;
+
+/// Histogram view of one class's logit mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDistribution {
+    /// Class index.
+    pub class: usize,
+    /// The class token, when resolvable.
+    pub token: Option<String>,
+    /// On-class sample count (`z_i` when `i` is the answer).
+    pub on_count: usize,
+    /// Off-class sample count.
+    pub off_count: usize,
+    /// Binned on-class frequencies.
+    pub on_bins: Vec<f32>,
+    /// Binned off-class frequencies.
+    pub off_bins: Vec<f32>,
+    /// Bin range `[lo, hi]`.
+    pub range: (f32, f32),
+    /// Silhouette coefficient of the class.
+    pub silhouette: f32,
+}
+
+/// The Fig 2(b) result: the most-populated classes of one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2b {
+    /// Task number.
+    pub task_number: usize,
+    /// Per-class distributions, most-populated first.
+    pub classes: Vec<ClassDistribution>,
+}
+
+impl Fig2b {
+    /// Renders text histograms (each bin as a height-coded glyph).
+    pub fn render(&self) -> String {
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let spark = |bins: &[f32]| -> String {
+            let max = bins.iter().copied().fold(0.0f32, f32::max).max(1e-9);
+            bins.iter()
+                .map(|&b| glyphs[((b / max) * 9.0).round() as usize])
+                .collect()
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Logit distributions, task {} (rows: on-class vs off-class)\n",
+            self.task_number
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "class {:>4} {:<12} silhouette {:>6}  range [{:.2}, {:.2}]\n",
+                c.class,
+                c.token.as_deref().unwrap_or("?"),
+                fnum(c.silhouette as f64, 3),
+                c.range.0,
+                c.range.1,
+            ));
+            out.push_str(&format!("  on  ({:>5}) |{}|\n", c.on_count, spark(&c.on_bins)));
+            out.push_str(&format!("  off ({:>5}) |{}|\n", c.off_count, spark(&c.off_bins)));
+        }
+        out
+    }
+}
+
+/// Collects the logit mixtures of the `top_k` most-populated answer classes
+/// of one trained task.
+pub fn run(task: &TrainedTask, top_k: usize, bins: usize) -> Fig2b {
+    let stats = LogitStats::collect(&task.model, &task.train_set);
+    let mut by_count: Vec<usize> = (0..stats.on.len()).collect();
+    by_count.sort_by_key(|&i| std::cmp::Reverse(stats.on[i].len()));
+    let classes = by_count
+        .into_iter()
+        .take(top_k)
+        .filter(|&i| !stats.on[i].is_empty())
+        .map(|i| {
+            let on = &stats.on[i];
+            let off = &stats.off[i];
+            let lo = on
+                .min()
+                .unwrap_or(0.0)
+                .min(off.min().unwrap_or(f32::INFINITY))
+                - 0.5;
+            let hi = on
+                .max()
+                .unwrap_or(1.0)
+                .max(off.max().unwrap_or(f32::NEG_INFINITY))
+                + 0.5;
+            ClassDistribution {
+                class: i,
+                token: task.model.encoder.vocab().token(i).map(str::to_owned),
+                on_count: on.len(),
+                off_count: off.len(),
+                on_bins: on.binned(bins, lo, hi),
+                off_bins: off.binned(bins, lo, hi),
+                range: (lo, hi),
+                silhouette: task.ith.silhouettes[i],
+            }
+        })
+        .collect();
+    Fig2b {
+        task_number: task.task.number(),
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SuiteConfig, TaskSuite};
+    use mann_babi::TaskId;
+
+    fn task() -> TrainedTask {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact],
+            train_samples: 150,
+            test_samples: 10,
+            ..SuiteConfig::quick()
+        };
+        TaskSuite::build(&cfg).tasks.remove(0)
+    }
+
+    #[test]
+    fn distributions_cover_populated_classes() {
+        let f = run(&task(), 4, 24);
+        assert!(!f.classes.is_empty());
+        for c in &f.classes {
+            assert!(c.on_count > 0);
+            assert_eq!(c.on_bins.len(), 24);
+            assert!(c.range.0 < c.range.1);
+            // Answer classes in task 1 are locations.
+            assert!(c.token.is_some());
+        }
+        // Sorted by population.
+        for w in f.classes.windows(2) {
+            assert!(w[0].on_count >= w[1].on_count);
+        }
+    }
+
+    #[test]
+    fn on_class_sits_right_of_off_class() {
+        // The motivating structure: logits of the true class concentrate at
+        // higher values than off-class logits.
+        let f = run(&task(), 2, 32);
+        for c in &f.classes {
+            let centroid = |bins: &[f32]| -> f32 {
+                let total: f32 = bins.iter().sum();
+                bins.iter()
+                    .enumerate()
+                    .map(|(i, b)| i as f32 * b)
+                    .sum::<f32>()
+                    / total.max(1e-9)
+            };
+            assert!(
+                centroid(&c.on_bins) > centroid(&c.off_bins),
+                "class {} on-centroid not right of off-centroid",
+                c.class
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_sparklines() {
+        let f = run(&task(), 2, 16);
+        let s = f.render();
+        assert!(s.contains("on  ("));
+        assert!(s.contains("off ("));
+        assert!(s.contains("silhouette"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Fig 3: accuracy and number of comparisons against the thresholding
+//! constant ρ, with and without index ordering.
+
+use mann_ith::search::{ExhaustiveMips, MipsStrategy, ThresholdedMips};
+use mann_ith::{LogitStats, ThresholdingCalibrator};
+use memn2n::forward::forward_until_output;
+use serde::{Deserialize, Serialize};
+
+use crate::report::{percent, TextTable};
+use crate::TaskSuite;
+
+/// Fig 3 runner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Config {
+    /// The ρ sweep (the paper plots 1.0, 0.99, 0.95, 0.9).
+    pub rhos: Vec<f32>,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Self {
+            rhos: vec![1.0, 0.99, 0.95, 0.9],
+        }
+    }
+}
+
+/// One operating point of Fig 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Point {
+    /// `None` is the w/o-ITH baseline; `Some(ρ)` a thresholded point.
+    pub rho: Option<f32>,
+    /// Whether silhouette index ordering was used.
+    pub ordered: bool,
+    /// Absolute accuracy over the workload.
+    pub accuracy: f64,
+    /// Accuracy normalized to the w/o-ITH baseline.
+    pub accuracy_norm: f64,
+    /// Mean comparisons per inference, normalized to `|I|`.
+    pub comparisons_norm: f64,
+}
+
+/// The Fig 3 result: the baseline plus the (ρ × ordering) grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// All points: the baseline first, then ordered sweep, then unordered
+    /// sweep.
+    pub points: Vec<Fig3Point>,
+}
+
+impl Fig3 {
+    /// The point for `(rho, ordered)`.
+    pub fn point(&self, rho: Option<f32>, ordered: bool) -> Option<&Fig3Point> {
+        self.points
+            .iter()
+            .find(|p| p.rho == rho && (p.rho.is_none() || p.ordered == ordered))
+    }
+
+    /// Renders the figure as a table (one row per operating point).
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Config".into(),
+            "Accuracy".into(),
+            "Accuracy (norm)".into(),
+            "#Comparisons (norm)".into(),
+        ]);
+        for p in &self.points {
+            let label = match p.rho {
+                None => "w/o ITH".to_owned(),
+                Some(r) if p.ordered => format!("ITH ({r})"),
+                Some(r) => format!("ITH ({r}) w/o ordering"),
+            };
+            t.row(vec![
+                label,
+                percent(p.accuracy),
+                percent(p.accuracy_norm),
+                percent(p.comparisons_norm),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Sweeps ρ with and without ordering over every task's test set.
+///
+/// Logit statistics are collected once per task and re-thresholded per ρ,
+/// exactly as Steps 1–3 of Algorithm 1 factor.
+pub fn run(suite: &TaskSuite, config: &Fig3Config) -> Fig3 {
+    // Pre-collect per-task statistics and hidden states.
+    struct TaskCtx<'a> {
+        task: &'a crate::TrainedTask,
+        stats: LogitStats,
+        hiddens: Vec<mann_linalg::Vector>,
+    }
+    let ctxs: Vec<TaskCtx> = suite
+        .tasks
+        .iter()
+        .map(|t| TaskCtx {
+            stats: LogitStats::collect(&t.model, &t.train_set),
+            hiddens: t
+                .test_set
+                .iter()
+                .map(|s| forward_until_output(&t.model.params, s))
+                .collect(),
+            task: t,
+        })
+        .collect();
+
+    let mut points = Vec::new();
+
+    // Baseline: exhaustive search.
+    {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for ctx in &ctxs {
+            for (h, s) in ctx.hiddens.iter().zip(&ctx.task.test_set) {
+                let r = ExhaustiveMips.search(&ctx.task.model.params, h);
+                if r.label == s.answer {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let accuracy = correct as f64 / total.max(1) as f64;
+        points.push(Fig3Point {
+            rho: None,
+            ordered: true,
+            accuracy,
+            accuracy_norm: 1.0,
+            comparisons_norm: 1.0,
+        });
+    }
+    let baseline_accuracy = points[0].accuracy;
+
+    for &ordered in &[true, false] {
+        for &rho in &config.rhos {
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            let mut cmp_frac_sum = 0.0f64;
+            for ctx in &ctxs {
+                let ith = ThresholdingCalibrator::new()
+                    .rho(rho)
+                    .calibrate_from_stats(&ctx.stats);
+                let strategy = if ordered {
+                    ThresholdedMips::new(&ith)
+                } else {
+                    ThresholdedMips::without_ordering(&ith)
+                };
+                let classes = ctx.task.model.params.vocab_size as f64;
+                for (h, s) in ctx.hiddens.iter().zip(&ctx.task.test_set) {
+                    let r = strategy.search(&ctx.task.model.params, h);
+                    if r.label == s.answer {
+                        correct += 1;
+                    }
+                    cmp_frac_sum += r.comparisons as f64 / classes;
+                    total += 1;
+                }
+            }
+            let accuracy = correct as f64 / total.max(1) as f64;
+            points.push(Fig3Point {
+                rho: Some(rho),
+                ordered,
+                accuracy,
+                accuracy_norm: accuracy / baseline_accuracy.max(1e-12),
+                comparisons_norm: cmp_frac_sum / total.max(1) as f64,
+            });
+        }
+    }
+    Fig3 { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuiteConfig;
+    use mann_babi::TaskId;
+
+    fn suite() -> TaskSuite {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact],
+            train_samples: 200,
+            test_samples: 30,
+            ..SuiteConfig::quick()
+        };
+        TaskSuite::build(&cfg)
+    }
+
+    #[test]
+    fn figure_has_baseline_plus_grid() {
+        let f = run(&suite(), &Fig3Config::default());
+        assert_eq!(f.points.len(), 1 + 2 * 4);
+        assert!(f.point(None, true).is_some());
+        assert!(f.point(Some(0.9), false).is_some());
+        let rendered = f.render();
+        assert!(rendered.contains("w/o ITH"));
+        assert!(rendered.contains("w/o ordering"));
+    }
+
+    #[test]
+    fn comparisons_fall_as_rho_falls_and_baseline_is_one() {
+        let f = run(&suite(), &Fig3Config::default());
+        assert!((f.point(None, true).unwrap().comparisons_norm - 1.0).abs() < 1e-9);
+        let c: Vec<f64> = [1.0f32, 0.99, 0.95, 0.9]
+            .iter()
+            .map(|&r| f.point(Some(r), true).unwrap().comparisons_norm)
+            .collect();
+        assert!(c[0] < 1.0, "rho=1.0 saves nothing: {}", c[0]);
+        for w in c.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "comparisons rose: {c:?}");
+        }
+    }
+
+    #[test]
+    fn rho_one_accuracy_within_tolerance() {
+        let f = run(&suite(), &Fig3Config::default());
+        let p = f.point(Some(1.0), true).unwrap();
+        // Paper: < 0.1 % loss; allow a little more on a 30-question split.
+        assert!(p.accuracy_norm > 0.93, "accuracy_norm {}", p.accuracy_norm);
+    }
+
+    #[test]
+    fn ordering_does_not_cost_comparisons() {
+        let f = run(&suite(), &Fig3Config::default());
+        for rho in [1.0f32, 0.99, 0.95, 0.9] {
+            let o = f.point(Some(rho), true).unwrap().comparisons_norm;
+            let u = f.point(Some(rho), false).unwrap().comparisons_norm;
+            assert!(o <= u * 1.1, "rho {rho}: ordered {o} vs unordered {u}");
+        }
+    }
+}

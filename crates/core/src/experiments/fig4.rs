@@ -1,0 +1,170 @@
+//! Fig 4: per-task energy efficiency normalized to the GPU.
+
+use mann_hw::ClockDomain;
+use mann_platform::{flops_per_kj, CpuModel, ExecutionModel, GpuModel};
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::SuiteFpga;
+use crate::report::{ratio, TextTable};
+use crate::workload::run_task;
+use crate::TaskSuite;
+
+/// The per-task configurations Fig 4 plots (besides the GPU reference).
+pub const FIG4_CONFIGS: [&str; 5] = [
+    "CPU",
+    "FPGA 25 MHz",
+    "FPGA+ITH 25 MHz",
+    "FPGA 100 MHz",
+    "FPGA+ITH 100 MHz",
+];
+
+/// One task's bar group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// bAbI task number (1–20).
+    pub task_number: usize,
+    /// Task name.
+    pub task_name: String,
+    /// Energy efficiency vs GPU, in [`FIG4_CONFIGS`] order.
+    pub efficiency_vs_gpu: Vec<f64>,
+}
+
+/// The Fig 4 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// One row per task.
+    pub rows: Vec<Fig4Row>,
+}
+
+impl Fig4 {
+    /// Renders the figure as a table (rows = tasks, columns = configs).
+    pub fn render(&self) -> String {
+        let mut header = vec!["Task".into()];
+        header.extend(FIG4_CONFIGS.iter().map(|s| (*s).to_owned()));
+        let mut t = TextTable::new(header);
+        for r in &self.rows {
+            let mut cells = vec![format!("{:2} {}", r.task_number, r.task_name)];
+            cells.extend(r.efficiency_vs_gpu.iter().map(|&x| ratio(x)));
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// Geometric-mean efficiency across tasks for config index `i`.
+    pub fn geomean(&self, config_idx: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.efficiency_vs_gpu[config_idx].max(1e-12).ln())
+            .sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+}
+
+/// Measures every task under every Fig 4 configuration.
+pub fn run(suite: &TaskSuite) -> Fig4 {
+    let cpu = CpuModel::new();
+    let gpu = GpuModel::new();
+    let f25 = SuiteFpga::new(suite, ClockDomain::mhz(25.0), false);
+    let i25 = SuiteFpga::new(suite, ClockDomain::mhz(25.0), true);
+    let f100 = SuiteFpga::new(suite, ClockDomain::mhz(100.0), false);
+    let i100 = SuiteFpga::new(suite, ClockDomain::mhz(100.0), true);
+    let configs: [(&dyn ExecutionModel, bool); 5] = [
+        (&cpu, false),
+        (&f25, false),
+        (&i25, true),
+        (&f100, false),
+        (&i100, true),
+    ];
+
+    let rows = suite
+        .tasks
+        .iter()
+        .map(|task| {
+            let (gt, ge, gf, _, _) = run_task(&gpu, task, false);
+            let g_eff = flops_per_kj(gf, gt, ge / gt);
+            let efficiency_vs_gpu = configs
+                .iter()
+                .map(|(platform, ith)| {
+                    let (t, e, f, _, _) = run_task(*platform, task, *ith);
+                    flops_per_kj(f, t, e / t) / g_eff
+                })
+                .collect();
+            Fig4Row {
+                task_number: task.task.number(),
+                task_name: task.task.name().to_owned(),
+                efficiency_vs_gpu,
+            }
+        })
+        .collect();
+    Fig4 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuiteConfig;
+    use mann_babi::TaskId;
+
+    fn suite() -> TaskSuite {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact, TaskId::Conjunction],
+            train_samples: 120,
+            test_samples: 12,
+            ..SuiteConfig::quick()
+        };
+        TaskSuite::build(&cfg)
+    }
+
+    #[test]
+    fn every_task_gets_all_configs() {
+        let f = run(&suite());
+        assert_eq!(f.rows.len(), 2);
+        for r in &f.rows {
+            assert_eq!(r.efficiency_vs_gpu.len(), FIG4_CONFIGS.len());
+            assert!(r.efficiency_vs_gpu.iter().all(|&x| x.is_finite() && x > 0.0));
+        }
+        let rendered = f.render();
+        assert!(rendered.contains("single-supporting-fact"));
+    }
+
+    #[test]
+    fn fpga_dominates_on_every_task() {
+        let f = run(&suite());
+        for r in &f.rows {
+            let cpu = r.efficiency_vs_gpu[0];
+            let f25 = r.efficiency_vs_gpu[1];
+            assert!(
+                f25 > cpu && f25 > 1.0,
+                "task {}: FPGA {f25} vs CPU {cpu}",
+                r.task_number
+            );
+        }
+    }
+
+    #[test]
+    fn ith_increases_the_margin() {
+        let f = run(&suite());
+        for r in &f.rows {
+            let f25 = r.efficiency_vs_gpu[1];
+            let i25 = r.efficiency_vs_gpu[2];
+            // ITH reduces time; even with its power adder the efficiency
+            // should not collapse. At paper scale (large |I|) ITH wins
+            // outright; at this test's small vocabularies parity is enough.
+            assert!(i25 > f25 * 0.75, "task {}: {i25} vs {f25}", r.task_number);
+        }
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let f = run(&suite());
+        let vals: Vec<f64> = f.rows.iter().map(|r| r.efficiency_vs_gpu[1]).collect();
+        let g = f.geomean(1);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(0.0f64, f64::max);
+        assert!(g >= min && g <= max);
+    }
+}

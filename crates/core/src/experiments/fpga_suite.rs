@@ -1,0 +1,135 @@
+//! A suite-wide FPGA platform: one loaded accelerator per task.
+//!
+//! The FPGA carries its model in BRAM, so a multi-task workload needs one
+//! accelerator instance per task (the paper reprograms weights per task the
+//! same way). `SuiteFpga` dispatches each inference to the accelerator of
+//! the sample's task.
+
+use std::collections::HashMap;
+
+use mann_babi::{EncodedSample, TaskId};
+use mann_hw::ClockDomain;
+use mann_platform::{ExecutionModel, FpgaPlatform, Measurement, MipsMode};
+use memn2n::TrainedModel;
+
+use crate::TaskSuite;
+
+/// Per-task FPGA accelerators behind one [`ExecutionModel`].
+#[derive(Debug, Clone)]
+pub struct SuiteFpga {
+    platforms: HashMap<TaskId, FpgaPlatform>,
+    ith: bool,
+    mhz: f64,
+}
+
+impl SuiteFpga {
+    /// Loads every task's model at `clock`; `with_ith` additionally loads
+    /// each task's calibrated thresholds.
+    pub fn new(suite: &TaskSuite, clock: ClockDomain, with_ith: bool) -> Self {
+        let platforms = suite
+            .tasks
+            .iter()
+            .map(|t| {
+                let p = if with_ith {
+                    FpgaPlatform::with_thresholding(t.model.clone(), clock, t.ith.clone())
+                } else {
+                    FpgaPlatform::new(t.model.clone(), clock)
+                };
+                (t.task, p)
+            })
+            .collect();
+        Self {
+            platforms,
+            ith: with_ith,
+            mhz: clock.freq_mhz(),
+        }
+    }
+
+    /// The accelerator loaded for `task`, if present.
+    pub fn platform(&self, task: TaskId) -> Option<&FpgaPlatform> {
+        self.platforms.get(&task)
+    }
+}
+
+impl ExecutionModel for SuiteFpga {
+    fn name(&self) -> String {
+        if self.ith {
+            format!("FPGA+ITH {:.0} MHz", self.mhz)
+        } else {
+            format!("FPGA {:.0} MHz", self.mhz)
+        }
+    }
+
+    fn run_inference(
+        &self,
+        model: &TrainedModel,
+        sample: &EncodedSample,
+        mips: MipsMode<'_>,
+    ) -> Measurement {
+        let platform = self
+            .platforms
+            .get(&model.task)
+            .unwrap_or_else(|| panic!("no accelerator loaded for {}", model.task));
+        platform.run_inference(model, sample, mips)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuiteConfig;
+
+    fn suite() -> TaskSuite {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact, TaskId::Conjunction],
+            train_samples: 60,
+            test_samples: 8,
+            ..SuiteConfig::quick()
+        };
+        TaskSuite::build(&cfg)
+    }
+
+    #[test]
+    fn dispatches_to_the_right_task() {
+        let s = suite();
+        let fpga = SuiteFpga::new(&s, ClockDomain::mhz(25.0), false);
+        for t in &s.tasks {
+            let m = fpga.run_inference(&t.model, &t.test_set[0], MipsMode::Exhaustive);
+            assert!(m.time_s > 0.0);
+        }
+        assert!(fpga.platform(TaskId::Conjunction).is_some());
+        assert!(fpga.platform(TaskId::Counting).is_none());
+    }
+
+    #[test]
+    fn names_encode_clock_and_ith() {
+        let s = suite();
+        assert_eq!(
+            SuiteFpga::new(&s, ClockDomain::mhz(50.0), false).name(),
+            "FPGA 50 MHz"
+        );
+        assert_eq!(
+            SuiteFpga::new(&s, ClockDomain::mhz(75.0), true).name(),
+            "FPGA+ITH 75 MHz"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no accelerator")]
+    fn unknown_task_panics() {
+        let s = suite();
+        let fpga = SuiteFpga::new(&s, ClockDomain::mhz(25.0), false);
+        let other_cfg = SuiteConfig {
+            tasks: vec![TaskId::Counting],
+            train_samples: 30,
+            test_samples: 4,
+            ..SuiteConfig::quick()
+        };
+        let other = TaskSuite::build(&other_cfg);
+        let _ = fpga.run_inference(
+            &other.tasks[0].model,
+            &other.tasks[0].test_set[0],
+            MipsMode::Exhaustive,
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment runners — one module per paper artifact.
+//!
+//! | module   | paper artifact | regenerating binary |
+//! |----------|----------------|---------------------|
+//! | [`table1`] | Table I      | `cargo run -p mann-bench --bin table1` |
+//! | [`fig2b`]  | Fig 2(b)     | `cargo run -p mann-bench --bin fig2b`  |
+//! | [`fig3`]   | Fig 3        | `cargo run -p mann-bench --bin fig3`   |
+//! | [`fig4`]   | Fig 4        | `cargo run -p mann-bench --bin fig4`   |
+
+pub mod fig2b;
+pub mod fig3;
+pub mod fig4;
+pub mod table1;
+
+mod fpga_suite;
+
+pub use fpga_suite::SuiteFpga;

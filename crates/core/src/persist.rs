@@ -1,0 +1,144 @@
+//! Saving and loading trained models and calibrations.
+//!
+//! The paper's workflow ships a *pre-trained* model to the accelerator;
+//! this module provides the equivalent artifact: a JSON bundle of the
+//! trained weights, the encoder (vocabulary), and the calibrated
+//! thresholding model, loadable by the `infer` binary or downstream users.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use mann_ith::ThresholdingModel;
+use memn2n::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+/// A deployable model artifact: weights + encoder + thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// The trained model (weights and encoder).
+    pub model: TrainedModel,
+    /// The calibrated thresholding model (Steps 1–3 of Algorithm 1).
+    pub ith: ThresholdingModel,
+    /// Exhaustive test accuracy recorded at training time.
+    pub test_accuracy: f32,
+}
+
+/// Errors from bundle (de)serialization.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "bundle io error: {e}"),
+            PersistError::Format(e) => write!(f, "bundle format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+impl ModelBundle {
+    /// Builds a bundle from a trained task (cloning its artifacts).
+    pub fn from_trained_task(task: &crate::TrainedTask) -> Self {
+        Self {
+            model: task.model.clone(),
+            ith: task.ith.clone(),
+            test_accuracy: task.test_accuracy,
+        }
+    }
+
+    /// Writes the bundle as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let json = serde_json::to_string(self)?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a bundle back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when the file is missing or malformed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SuiteConfig, TaskSuite};
+    use mann_babi::TaskId;
+
+    fn bundle() -> ModelBundle {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::AgentMotivations],
+            train_samples: 60,
+            test_samples: 10,
+            ..SuiteConfig::quick()
+        };
+        let suite = TaskSuite::build(&cfg);
+        ModelBundle::from_trained_task(&suite.tasks[0])
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let b = bundle();
+        let dir = std::env::temp_dir().join("mann_accel_persist_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("bundle.json");
+        b.save(&path).expect("save");
+        let back = ModelBundle::load(&path).expect("load");
+        assert_eq!(b, back);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn loading_missing_file_reports_io_error() {
+        let err = ModelBundle::load("/nonexistent/mann/bundle.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn loading_garbage_reports_format_error() {
+        let dir = std::env::temp_dir().join("mann_accel_persist_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("garbage.json");
+        fs::write(&path, "{not json").expect("write");
+        let err = ModelBundle::load(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fixed-width text-table rendering for the experiment reports.
+
+/// A simple left-padded text table builder.
+///
+/// ```
+/// use mann_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+/// t.row(vec!["alpha".into(), "1.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("alpha"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column set.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fnum(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a ratio as `12.34x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The "1" and "2" cells start at the same column.
+        let p1 = lines[2].find('1').unwrap();
+        let p2 = lines[3].find('2').unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(ratio(83.738), "83.74x");
+        assert_eq!(percent(0.9312), "93.1%");
+    }
+}

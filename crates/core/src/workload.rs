@@ -1,0 +1,154 @@
+//! Workload execution: a platform over a suite's test sets, with the
+//! paper's repetition multiplier.
+
+use mann_platform::{ExecutionModel, MipsMode};
+use serde::{Deserialize, Serialize};
+
+use crate::{TaskSuite, TrainedTask};
+
+/// Aggregated measurement of one platform over a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Platform label.
+    pub name: String,
+    /// Total time, seconds (including repetitions).
+    pub time_s: f64,
+    /// Time-weighted average power, watts.
+    pub power_w: f64,
+    /// Total work, FLOPs (including repetitions).
+    pub flops: u64,
+    /// Fraction of inferences answered correctly.
+    pub accuracy: f64,
+    /// Inferences measured (before the repetition multiplier).
+    pub inferences: usize,
+}
+
+impl WorkloadResult {
+    /// Energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.time_s * self.power_w
+    }
+
+    /// Raw FLOPS/kJ (see [`mann_platform::flops_per_kj`]).
+    pub fn flops_per_kj(&self) -> f64 {
+        mann_platform::flops_per_kj(self.flops, self.time_s, self.power_w)
+    }
+}
+
+/// Runs `platform` over every test sample of every task in `suite`,
+/// scaling totals by `repetitions` (the paper repeats timings 100 times).
+///
+/// `use_ith` selects the thresholded output search where the platform
+/// supports a per-call mode (CPU/GPU); FPGA platforms carry their mode in
+/// their configuration.
+pub fn run_workload(
+    platform: &dyn ExecutionModel,
+    suite: &TaskSuite,
+    use_ith: bool,
+    repetitions: u64,
+) -> WorkloadResult {
+    let mut time_s = 0.0f64;
+    let mut energy_j = 0.0f64;
+    let mut flops = 0u64;
+    let mut correct = 0usize;
+    let mut n = 0usize;
+    for task in &suite.tasks {
+        let (t, e, f, c, k) = run_task(platform, task, use_ith);
+        time_s += t;
+        energy_j += e;
+        flops += f;
+        correct += c;
+        n += k;
+    }
+    let reps = repetitions.max(1);
+    let total_time = time_s * reps as f64;
+    let total_flops = flops * reps;
+    WorkloadResult {
+        name: platform.name(),
+        time_s: total_time,
+        power_w: if total_time > 0.0 {
+            energy_j * reps as f64 / total_time
+        } else {
+            0.0
+        },
+        flops: total_flops,
+        accuracy: if n > 0 { correct as f64 / n as f64 } else { 0.0 },
+        inferences: n,
+    }
+}
+
+/// Runs one task's test set once (no repetition multiplier); returns
+/// `(time, energy, flops, correct, count)`.
+pub fn run_task(
+    platform: &dyn ExecutionModel,
+    task: &TrainedTask,
+    use_ith: bool,
+) -> (f64, f64, u64, usize, usize) {
+    let mut time_s = 0.0f64;
+    let mut energy_j = 0.0f64;
+    let mut flops = 0u64;
+    let mut correct = 0usize;
+    for sample in &task.test_set {
+        let mode = if use_ith {
+            MipsMode::Thresholded(&task.ith)
+        } else {
+            MipsMode::Exhaustive
+        };
+        let m = platform.run_inference(&task.model, sample, mode);
+        time_s += m.time_s;
+        energy_j += m.energy_j();
+        flops += m.flops;
+        if m.correct {
+            correct += 1;
+        }
+    }
+    (time_s, energy_j, flops, correct, task.test_set.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuiteConfig;
+    use mann_babi::TaskId;
+    use mann_platform::{CpuModel, GpuModel};
+
+    fn suite() -> TaskSuite {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact],
+            train_samples: 60,
+            test_samples: 10,
+            ..SuiteConfig::quick()
+        };
+        TaskSuite::build(&cfg)
+    }
+
+    #[test]
+    fn repetitions_scale_time_and_flops_linearly() {
+        let s = suite();
+        let one = run_workload(&CpuModel::new(), &s, false, 1);
+        let hundred = run_workload(&CpuModel::new(), &s, false, 100);
+        assert!((hundred.time_s / one.time_s - 100.0).abs() < 1e-6);
+        assert_eq!(hundred.flops, one.flops * 100);
+        // Power and accuracy are intensive quantities.
+        assert!((hundred.power_w - one.power_w).abs() < 1e-9);
+        assert!((hundred.accuracy - one.accuracy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_and_cpu_report_distinct_names() {
+        let s = suite();
+        let c = run_workload(&CpuModel::new(), &s, false, 1);
+        let g = run_workload(&GpuModel::new(), &s, false, 1);
+        assert_eq!(c.name, "CPU");
+        assert_eq!(g.name, "GPU");
+        assert!(c.inferences == 10 && g.inferences == 10);
+    }
+
+    #[test]
+    fn flops_per_kj_is_positive_and_finite() {
+        let s = suite();
+        let r = run_workload(&CpuModel::new(), &s, false, 100);
+        let v = r.flops_per_kj();
+        assert!(v.is_finite() && v > 0.0);
+    }
+}

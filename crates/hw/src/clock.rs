@@ -1,0 +1,160 @@
+//! Clock-domain arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// A cycle count (newtype over `u64` so cycle math cannot silently mix with
+/// byte counts or FLOPs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw count.
+    pub fn new(count: u64) -> Self {
+        Self(count)
+    }
+
+    /// The raw count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Cycles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(c: u64) -> Self {
+        Cycles(c)
+    }
+}
+
+/// An FPGA clock domain; the paper evaluates 25, 50, 75 and 100 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    freq_hz: f64,
+}
+
+impl ClockDomain {
+    /// A clock at `mhz` megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not positive.
+    pub fn mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "clock frequency must be positive");
+        Self {
+            freq_hz: mhz * 1e6,
+        }
+    }
+
+    /// Frequency in hertz.
+    pub fn freq_hz(self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Frequency in megahertz.
+    pub fn freq_mhz(self) -> f64 {
+        self.freq_hz / 1e6
+    }
+
+    /// Wall-clock seconds taken by `cycles` in this domain.
+    pub fn seconds(self, cycles: Cycles) -> f64 {
+        cycles.get() as f64 / self.freq_hz
+    }
+
+    /// The paper's four operating points.
+    pub fn paper_frequencies() -> [ClockDomain; 4] {
+        [Self::mhz(25.0), Self::mhz(50.0), Self::mhz(75.0), Self::mhz(100.0)]
+    }
+}
+
+impl Default for ClockDomain {
+    /// 100 MHz, the paper's fastest configuration.
+    fn default() -> Self {
+        Self::mhz(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycles::new(10) + Cycles::new(5);
+        assert_eq!(a.get(), 15);
+        let mut b = a;
+        b += Cycles::new(1);
+        assert_eq!(b.get(), 16);
+        assert_eq!((Cycles::new(3) * 4).get(), 12);
+        let s: Cycles = [Cycles::new(1), Cycles::new(2)].into_iter().sum();
+        assert_eq!(s.get(), 3);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let max = Cycles::new(u64::MAX);
+        assert_eq!(max.saturating_add(Cycles::new(1)), max);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let clk = ClockDomain::mhz(25.0);
+        assert!((clk.seconds(Cycles::new(25_000_000)) - 1.0).abs() < 1e-9);
+        assert!((clk.freq_mhz() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_frequencies_are_ascending() {
+        let f = ClockDomain::paper_frequencies();
+        assert_eq!(f.len(), 4);
+        for w in f.windows(2) {
+            assert!(w[0].freq_hz() < w[1].freq_hz());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::mhz(0.0);
+    }
+}

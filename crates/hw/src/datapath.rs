@@ -1,0 +1,88 @@
+//! Shared datapath configuration for all modules.
+
+use serde::{Deserialize, Serialize};
+
+/// Structural parameters of the fixed-point datapath.
+///
+/// These pick the area/latency point of the implementation and are the
+/// knobs of the hardware ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatapathConfig {
+    /// Leaves of each dot-product adder tree (parallel MAC lanes).
+    pub tree_width: usize,
+    /// Pipeline latency of the exponential LUT unit.
+    pub exp_latency: u64,
+    /// Per-operation latency of the (non-pipelined) divider.
+    pub div_latency: u64,
+    /// Entries in the exponential LUT.
+    pub exp_lut_entries: usize,
+    /// Parallel MAC lanes in the OUTPUT module. The paper implements the
+    /// output matrix multiplication "as a series of dot products because the
+    /// hardware is insufficient to parallelize it directly", so this is
+    /// deliberately narrow (2), which is what makes the output layer
+    /// dominate inference time and inference thresholding effective
+    /// (default 1: a single sequential MAC).
+    pub output_lanes: usize,
+    /// Fractional bits of the datapath quantization (Q`(31-frac)`.`frac`
+    /// within a 32-bit word); 16 is the shipped Q16.16 design.
+    pub frac_bits: u32,
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        Self {
+            tree_width: 8,
+            exp_latency: 4,
+            div_latency: 24,
+            exp_lut_entries: 256,
+            output_lanes: 1,
+            frac_bits: 16,
+        }
+    }
+}
+
+impl DatapathConfig {
+    /// Validates the structural parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tree_width == 0 {
+            return Err("tree_width must be positive".into());
+        }
+        if self.div_latency == 0 {
+            return Err("div_latency must be positive".into());
+        }
+        if self.exp_lut_entries < 2 {
+            return Err("exp_lut_entries must be at least 2".into());
+        }
+        if self.output_lanes == 0 {
+            return Err("output_lanes must be positive".into());
+        }
+        if self.frac_bits == 0 || self.frac_bits > 30 {
+            return Err("frac_bits must be in 1..=30".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(DatapathConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let base = DatapathConfig::default();
+        assert!(DatapathConfig { tree_width: 0, ..base }.validate().is_err());
+        assert!(DatapathConfig { div_latency: 0, ..base }.validate().is_err());
+        assert!(DatapathConfig { exp_lut_entries: 1, ..base }.validate().is_err());
+        assert!(DatapathConfig { output_lanes: 0, ..base }.validate().is_err());
+        assert!(DatapathConfig { frac_bits: 31, ..base }.validate().is_err());
+    }
+}

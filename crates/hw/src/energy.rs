@@ -1,0 +1,117 @@
+//! FPGA power and energy model.
+//!
+//! Table I's measured board power grows sub-linearly with clock frequency
+//! (14.71 W @ 25 MHz → 20.10 W @ 100 MHz) because at higher clocks the
+//! fabric idles longer waiting on the host interface. The model splits power
+//! into
+//!
+//! * static leakage + board overhead (fans, regulators, DDR refresh),
+//! * clock-tree switching proportional to frequency,
+//! * datapath activity proportional to frequency × busy fraction,
+//! * a small adder for the inference-thresholding compare/threshold logic,
+//!   which toggles every output cycle when enabled (the measured ITH
+//!   configurations draw slightly more power while finishing sooner).
+
+use serde::{Deserialize, Serialize};
+
+/// Decomposed FPGA power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static + board power, watts.
+    pub static_w: f64,
+    /// Clock-tree power per MHz, watts.
+    pub clock_w_per_mhz: f64,
+    /// Datapath power per MHz at 100 % busy, watts.
+    pub active_w_per_mhz: f64,
+    /// Extra power of the thresholding comparators when enabled, watts.
+    pub ith_overhead_w: f64,
+}
+
+impl Default for PowerModel {
+    /// Calibrated against Table I (see `platform::calibration` for the
+    /// derivation).
+    fn default() -> Self {
+        Self {
+            static_w: 12.2,
+            clock_w_per_mhz: 0.05,
+            active_w_per_mhz: 0.055,
+            ith_overhead_w: 1.5,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Average board power at `freq_mhz` with the fabric busy for
+    /// `busy_fraction` of wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_fraction` is outside `[0, 1]` or `freq_mhz` is not
+    /// positive.
+    pub fn power_w(&self, freq_mhz: f64, busy_fraction: f64, ith_enabled: bool) -> f64 {
+        assert!(freq_mhz > 0.0, "frequency must be positive");
+        assert!(
+            (0.0..=1.0).contains(&busy_fraction),
+            "busy fraction {busy_fraction} outside [0, 1]"
+        );
+        self.static_w
+            + self.clock_w_per_mhz * freq_mhz
+            + self.active_w_per_mhz * freq_mhz * busy_fraction
+            + if ith_enabled { self.ith_overhead_w } else { 0.0 }
+    }
+
+    /// Energy in joules for a run of `seconds` at the given operating point.
+    pub fn energy_j(
+        &self,
+        freq_mhz: f64,
+        busy_fraction: f64,
+        ith_enabled: bool,
+        seconds: f64,
+    ) -> f64 {
+        self.power_w(freq_mhz, busy_fraction, ith_enabled) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_grows_with_frequency() {
+        let m = PowerModel::default();
+        let p25 = m.power_w(25.0, 0.4, false);
+        let p100 = m.power_w(100.0, 0.15, false);
+        assert!(p100 > p25);
+    }
+
+    #[test]
+    fn calibration_is_in_table1_ballpark() {
+        let m = PowerModel::default();
+        // Busy fractions approximate the compute/interface split of Table I.
+        let p25 = m.power_w(25.0, 0.40, false);
+        let p100 = m.power_w(100.0, 0.15, false);
+        assert!((13.0..17.0).contains(&p25), "25 MHz power {p25}");
+        assert!((18.0..22.0).contains(&p100), "100 MHz power {p100}");
+    }
+
+    #[test]
+    fn ith_adds_constant_overhead() {
+        let m = PowerModel::default();
+        let base = m.power_w(50.0, 0.3, false);
+        let with = m.power_w(50.0, 0.3, true);
+        assert!((with - base - m.ith_overhead_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = PowerModel::default();
+        let e = m.energy_j(50.0, 0.5, false, 2.0);
+        assert!((e - 2.0 * m.power_w(50.0, 0.5, false)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy fraction")]
+    fn invalid_busy_fraction_rejected() {
+        let _ = PowerModel::default().power_w(25.0, 1.5, false);
+    }
+}

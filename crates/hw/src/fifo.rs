@@ -1,0 +1,135 @@
+//! Bounded hardware FIFO with occupancy statistics.
+
+/// A bounded FIFO modelling the `FIFO_IN` / `FIFO_OUT` queues between the
+/// host and the accelerator and the inter-module queues of Fig 1.
+///
+/// `push` on a full FIFO is refused (returning the value) rather than
+/// dropping — backpressure, exactly like an AXI-Stream `tready` deassert.
+///
+/// ```
+/// use mann_hw::fifo::HwFifo;
+///
+/// let mut f = HwFifo::new(2);
+/// assert!(f.push(1u32).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert_eq!(f.push(3), Err(3)); // full → backpressure
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwFifo<T> {
+    capacity: usize,
+    queue: std::collections::VecDeque<T>,
+    total_pushed: u64,
+    max_occupancy: usize,
+}
+
+impl<T> HwFifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self {
+            capacity,
+            queue: std::collections::VecDeque::with_capacity(capacity),
+            total_pushed: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Attempts to enqueue; a full FIFO refuses and hands the value back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the FIFO is full (backpressure).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.queue.len() >= self.capacity {
+            return Err(value);
+        }
+        self.queue.push_back(value);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total elements ever pushed (for throughput accounting).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// High-water mark of occupancy (for FIFO sizing reports).
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = HwFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_returns_value() {
+        let mut f = HwFifo::new(1);
+        f.push("a").unwrap();
+        assert_eq!(f.push("b"), Err("b"));
+        assert!(f.is_full());
+        f.pop();
+        assert!(f.push("b").is_ok());
+    }
+
+    #[test]
+    fn statistics_track_usage() {
+        let mut f = HwFifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.total_pushed(), 3);
+        assert_eq!(f.max_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = HwFifo::<u8>::new(0);
+    }
+}

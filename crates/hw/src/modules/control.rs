@@ -1,0 +1,250 @@
+//! The CONTROL module and the host stream protocol.
+//!
+//! Control signals are "embedded in the data" (paper §III): the host
+//! serializes an inference as a stream of 32-bit words — opcodes followed by
+//! payload — and the CONTROL module decodes them and sequences the other
+//! modules. The protocol here is the minimal QA instruction set:
+//!
+//! | word            | meaning                                   |
+//! |-----------------|-------------------------------------------|
+//! | `BEGIN_STORY`   | reset memories                            |
+//! | `SENTENCE n`    | next `n` words are one sentence           |
+//! | `QUESTION n`    | next `n` words are the question           |
+//! | `RUN_INFERENCE` | start the read/output phase               |
+
+use mann_babi::EncodedSample;
+
+use crate::Cycles;
+
+/// One 32-bit word of the host stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostWord {
+    /// Reset memories for a new story.
+    BeginStory,
+    /// A sentence of the given word count follows.
+    Sentence(u16),
+    /// The question of the given word count follows.
+    Question(u16),
+    /// Begin the recurrent read and output phase.
+    RunInference,
+    /// A word index payload.
+    Word(u32),
+}
+
+impl HostWord {
+    /// Raw 32-bit encoding: top byte is the opcode, low 24 bits the payload.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            HostWord::BeginStory => 0x0100_0000,
+            HostWord::Sentence(n) => 0x0200_0000 | u32::from(n),
+            HostWord::Question(n) => 0x0300_0000 | u32::from(n),
+            HostWord::RunInference => 0x0400_0000,
+            HostWord::Word(w) => w & 0x00FF_FFFF,
+        }
+    }
+
+    /// Decodes a raw word.
+    pub fn from_u32(raw: u32) -> HostWord {
+        match raw >> 24 {
+            0x01 => HostWord::BeginStory,
+            0x02 => HostWord::Sentence((raw & 0xFFFF) as u16),
+            0x03 => HostWord::Question((raw & 0xFFFF) as u16),
+            0x04 => HostWord::RunInference,
+            _ => HostWord::Word(raw & 0x00FF_FFFF),
+        }
+    }
+}
+
+/// Errors the CONTROL decoder can detect in a malformed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The stream ended inside a sentence or question payload.
+    TruncatedPayload,
+    /// A payload word appeared where an opcode was expected.
+    UnexpectedWord,
+    /// The stream did not start with `BEGIN_STORY`.
+    MissingBegin,
+    /// No `RUN_INFERENCE` terminator.
+    MissingRun,
+    /// No question before `RUN_INFERENCE`.
+    MissingQuestion,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            StreamError::TruncatedPayload => "stream ended inside a payload",
+            StreamError::UnexpectedWord => "payload word in opcode position",
+            StreamError::MissingBegin => "stream does not begin with BEGIN_STORY",
+            StreamError::MissingRun => "stream lacks RUN_INFERENCE",
+            StreamError::MissingQuestion => "no question before RUN_INFERENCE",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A decoded inference input: per-sentence word indices plus the question.
+pub type DecodedInput = (Vec<Vec<usize>>, Vec<usize>);
+
+/// Serializes an encoded sample into the host stream.
+pub fn encode_sample_stream(sample: &EncodedSample) -> Vec<u32> {
+    let mut out = vec![HostWord::BeginStory.to_u32()];
+    for sent in &sample.sentences {
+        out.push(HostWord::Sentence(sent.len() as u16).to_u32());
+        out.extend(sent.iter().map(|&w| HostWord::Word(w as u32).to_u32()));
+    }
+    out.push(HostWord::Question(sample.question.len() as u16).to_u32());
+    out.extend(sample.question.iter().map(|&w| HostWord::Word(w as u32).to_u32()));
+    out.push(HostWord::RunInference.to_u32());
+    out
+}
+
+/// Decodes a host stream back into sentence/question index lists.
+///
+/// # Errors
+///
+/// Returns the first [`StreamError`] encountered in a malformed stream.
+pub fn decode_stream(words: &[u32]) -> Result<DecodedInput, StreamError> {
+    let mut iter = words.iter().map(|&w| HostWord::from_u32(w));
+    if iter.next() != Some(HostWord::BeginStory) {
+        return Err(StreamError::MissingBegin);
+    }
+    let mut sentences = Vec::new();
+    let mut question: Option<Vec<usize>> = None;
+    loop {
+        match iter.next() {
+            Some(HostWord::Sentence(n)) => {
+                sentences.push(take_words(&mut iter, n as usize)?);
+            }
+            Some(HostWord::Question(n)) => {
+                question = Some(take_words(&mut iter, n as usize)?);
+            }
+            Some(HostWord::RunInference) => {
+                let q = question.ok_or(StreamError::MissingQuestion)?;
+                return Ok((sentences, q));
+            }
+            Some(HostWord::Word(_)) => return Err(StreamError::UnexpectedWord),
+            Some(HostWord::BeginStory) => {
+                sentences.clear();
+                question = None;
+            }
+            None => return Err(StreamError::MissingRun),
+        }
+    }
+}
+
+fn take_words<I: Iterator<Item = HostWord>>(
+    iter: &mut I,
+    n: usize,
+) -> Result<Vec<usize>, StreamError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match iter.next() {
+            Some(HostWord::Word(w)) => out.push(w as usize),
+            Some(_) | None => return Err(StreamError::TruncatedPayload),
+        }
+    }
+    Ok(out)
+}
+
+/// The CONTROL module: decodes the stream and accounts one cycle per stream
+/// word (the FIFO pop + dispatch rate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControlModule;
+
+impl ControlModule {
+    /// Creates the module.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Decodes `words`, returning the parsed inference input and the decode
+    /// occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamError`] from the decoder.
+    pub fn dispatch(&self, words: &[u32]) -> Result<(DecodedInput, Cycles), StreamError> {
+        let parsed = decode_stream(words)?;
+        Ok((parsed, Cycles::new(words.len() as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EncodedSample {
+        EncodedSample {
+            sentences: vec![vec![1, 2, 3], vec![4, 5]],
+            question: vec![6, 7],
+            answer: 1,
+        }
+    }
+
+    #[test]
+    fn stream_round_trips() {
+        let s = sample();
+        let words = encode_sample_stream(&s);
+        let (sentences, question) = decode_stream(&words).unwrap();
+        assert_eq!(sentences, s.sentences);
+        assert_eq!(question, s.question);
+    }
+
+    #[test]
+    fn word_encoding_round_trips() {
+        for w in [
+            HostWord::BeginStory,
+            HostWord::Sentence(17),
+            HostWord::Question(3),
+            HostWord::RunInference,
+            HostWord::Word(12345),
+        ] {
+            assert_eq!(HostWord::from_u32(w.to_u32()), w);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let mut words = encode_sample_stream(&sample());
+        words.truncate(3);
+        assert!(matches!(
+            decode_stream(&words),
+            Err(StreamError::TruncatedPayload | StreamError::MissingRun)
+        ));
+    }
+
+    #[test]
+    fn missing_begin_is_detected() {
+        let words = vec![HostWord::RunInference.to_u32()];
+        assert_eq!(decode_stream(&words), Err(StreamError::MissingBegin));
+    }
+
+    #[test]
+    fn missing_question_is_detected() {
+        let words = vec![
+            HostWord::BeginStory.to_u32(),
+            HostWord::RunInference.to_u32(),
+        ];
+        assert_eq!(decode_stream(&words), Err(StreamError::MissingQuestion));
+    }
+
+    #[test]
+    fn control_charges_one_cycle_per_word() {
+        let s = sample();
+        let words = encode_sample_stream(&s);
+        let (_, cycles) = ControlModule::new().dispatch(&words).unwrap();
+        assert_eq!(cycles.get(), words.len() as u64);
+    }
+
+    #[test]
+    fn second_begin_story_resets_state() {
+        let s = sample();
+        let mut words = vec![HostWord::BeginStory.to_u32(), HostWord::Sentence(1).to_u32(), HostWord::Word(9).to_u32()];
+        words.extend(encode_sample_stream(&s));
+        let (sentences, _) = decode_stream(&words).unwrap();
+        assert_eq!(sentences, s.sentences, "stale sentence survived reset");
+    }
+}

@@ -1,0 +1,141 @@
+//! The INPUT & WRITE module: index-based embedding (Eq 2).
+//!
+//! For each input word the module reads *one column* of the embedding
+//! weight from BRAM and accumulates it into the sentence register — the
+//! paper's key efficiency point: no dense matrix-vector product, no
+//! multiplications at all for a bag-of-words input.
+
+use mann_linalg::{Fixed, Matrix};
+
+use crate::Cycles;
+
+/// The embedding accumulator. Holds quantized address and content embedding
+/// weights (the `emb_a` / `emb_c` blocks of Fig 1; `emb_q` shares the
+/// address weights).
+#[derive(Debug, Clone)]
+pub struct InputWriteModule {
+    w_emb_a: Matrix,
+    w_emb_c: Matrix,
+    embed_dim: usize,
+}
+
+impl InputWriteModule {
+    /// Creates the module over pre-quantized embedding weights
+    /// (`E x V` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two weights disagree in shape.
+    pub fn new(w_emb_a: Matrix, w_emb_c: Matrix) -> Self {
+        assert_eq!(w_emb_a.shape(), w_emb_c.shape(), "embedding shape mismatch");
+        let embed_dim = w_emb_a.rows();
+        Self {
+            w_emb_a,
+            w_emb_c,
+            embed_dim,
+        }
+    }
+
+    /// Embedding dimension `E`.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Embeds one sentence into its address and content vectors.
+    ///
+    /// Timing: both accumulators run in parallel (independent BRAMs), one
+    /// word per cycle at II = 1, plus two cycles to flush the accumulator
+    /// into the memory row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word index is out of vocabulary range.
+    pub fn embed_sentence(&self, words: &[usize]) -> (Vec<f32>, Vec<f32>, Cycles) {
+        let a = self.accumulate(&self.w_emb_a, words);
+        let c = self.accumulate(&self.w_emb_c, words);
+        let cycles = Cycles::new(words.len() as u64 + 2);
+        (a, c, cycles)
+    }
+
+    /// Embeds the question through the address embedding (`emb_q` in
+    /// Fig 1) — the first read key of Eq 3.
+    pub fn embed_question(&self, words: &[usize]) -> (Vec<f32>, Cycles) {
+        let q = self.accumulate(&self.w_emb_a, words);
+        (q, Cycles::new(words.len() as u64 + 2))
+    }
+
+    /// Fixed-point column accumulation.
+    fn accumulate(&self, weight: &Matrix, words: &[usize]) -> Vec<f32> {
+        let mut acc = vec![Fixed::ZERO; self.embed_dim];
+        for &w in words {
+            assert!(w < weight.cols(), "word index {w} out of range");
+            for (r, slot) in acc.iter_mut().enumerate() {
+                *slot += Fixed::from_f32(weight[(r, w)]);
+            }
+        }
+        acc.into_iter().map(Fixed::to_f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> InputWriteModule {
+        let mut a = Matrix::zeros(3, 5);
+        let mut c = Matrix::zeros(3, 5);
+        for i in 0..3 {
+            for j in 0..5 {
+                a[(i, j)] = (i * 5 + j) as f32 * 0.25;
+                c[(i, j)] = -((i * 5 + j) as f32) * 0.5;
+            }
+        }
+        InputWriteModule::new(a, c)
+    }
+
+    #[test]
+    fn embedding_sums_columns() {
+        let m = module();
+        let (a, c, _) = m.embed_sentence(&[1, 3]);
+        // Column 1 + column 3 of each weight.
+        for r in 0..3 {
+            let expect_a = (r * 5 + 1) as f32 * 0.25 + (r * 5 + 3) as f32 * 0.25;
+            assert!((a[r] - expect_a).abs() < 1e-3, "row {r}");
+            let expect_c = -((r * 5 + 1) as f32) * 0.5 - ((r * 5 + 3) as f32) * 0.5;
+            assert!((c[r] - expect_c).abs() < 1e-3, "row {r}");
+        }
+    }
+
+    #[test]
+    fn repeated_words_accumulate() {
+        let m = module();
+        let (a1, _, _) = m.embed_sentence(&[2]);
+        let (a2, _, _) = m.embed_sentence(&[2, 2]);
+        for (x1, x2) in a1.iter().zip(&a2) {
+            assert!((x2 - 2.0 * x1).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_word_count() {
+        let m = module();
+        let (_, _, c3) = m.embed_sentence(&[0, 1, 2]);
+        let (_, _, c1) = m.embed_sentence(&[0]);
+        assert_eq!(c3.get(), 5);
+        assert_eq!(c1.get(), 3);
+    }
+
+    #[test]
+    fn question_uses_address_embedding() {
+        let m = module();
+        let (q, _) = m.embed_question(&[4]);
+        let (a, _, _) = m.embed_sentence(&[4]);
+        assert_eq!(q, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_word_panics() {
+        let _ = module().embed_sentence(&[5]);
+    }
+}

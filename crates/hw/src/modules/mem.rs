@@ -1,0 +1,227 @@
+//! The MEM module: address memory (content-based addressing, Eq 1) and
+//! content memory (soft read, Eq 5).
+//!
+//! Softmax runs element-wise and sequential, as the paper describes: scores
+//! stream through the pipelined dot-product tree, a running-max register
+//! stabilizes the exponent, the exp LUT pipeline produces numerators, an
+//! adder tree forms the denominator, and one non-pipelined divider
+//! normalizes score by score.
+
+use mann_linalg::activation::ExpLut;
+use mann_linalg::Fixed;
+
+use crate::adder_tree::AdderTree;
+use crate::div_unit::DivUnit;
+use crate::exp_unit::ExpUnit;
+use crate::{Cycles, DatapathConfig};
+
+/// Address + content memory with the softmax datapath.
+#[derive(Debug, Clone)]
+pub struct MemModule {
+    rows_a: Vec<Vec<f32>>,
+    rows_c: Vec<Vec<f32>>,
+    tree: AdderTree,
+    exp: ExpUnit,
+    div: DivUnit,
+    embed_dim: usize,
+}
+
+impl MemModule {
+    /// Creates an empty memory for `embed_dim`-wide rows with the given
+    /// datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datapath config is invalid.
+    pub fn new(embed_dim: usize, dp: &DatapathConfig) -> Self {
+        dp.validate().expect("valid datapath");
+        Self {
+            rows_a: Vec::new(),
+            rows_c: Vec::new(),
+            tree: AdderTree::new(dp.tree_width),
+            exp: ExpUnit::new(ExpLut::new(dp.exp_lut_entries, -16.0), dp.exp_latency),
+            div: DivUnit::new(dp.div_latency),
+            embed_dim,
+        }
+    }
+
+    /// Clears both memories (the `BEGIN_STORY` control action).
+    pub fn reset(&mut self) {
+        self.rows_a.clear();
+        self.rows_c.clear();
+    }
+
+    /// Number of occupied memory slots `L`.
+    pub fn len(&self) -> usize {
+        self.rows_a.len()
+    }
+
+    /// Whether the memory holds no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.rows_a.is_empty()
+    }
+
+    /// Writes one embedded sentence into the next slot of both memories
+    /// (performed by the write path while streaming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row width differs from `embed_dim`.
+    pub fn write(&mut self, addr_row: Vec<f32>, content_row: Vec<f32>) {
+        assert_eq!(addr_row.len(), self.embed_dim, "address row width");
+        assert_eq!(content_row.len(), self.embed_dim, "content row width");
+        self.rows_a.push(addr_row);
+        self.rows_c.push(content_row);
+    }
+
+    /// Content-based addressing (Eq 1): returns the attention weights and
+    /// the cycles of the score/softmax pipeline.
+    pub fn address(&self, key: &[f32]) -> (Vec<f32>, Cycles) {
+        let l = self.rows_a.len();
+        if l == 0 {
+            return (Vec::new(), Cycles::ZERO);
+        }
+        // Scores: one pipelined dot product per row.
+        let mut scores = Vec::with_capacity(l);
+        let mut score_cycles = Cycles::ZERO;
+        let per_dot = (self.embed_dim.div_ceil(self.tree.width())) as u64;
+        for row in &self.rows_a {
+            let (s, _) = self.tree.fixed_dot(row, key);
+            scores.push(s.to_f32());
+            // II = issues-per-dot; latency amortized below.
+            score_cycles += Cycles::new(per_dot);
+        }
+        score_cycles += Cycles::new(self.tree.depth() + 1);
+
+        // Stable softmax: running max costs nothing extra (register compare
+        // overlapped with the score pass).
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let shifted: Vec<f32> = scores.iter().map(|s| s - max).collect();
+        let (exps, exp_cycles) = self.exp.eval_batch(&shifted);
+
+        // Denominator via the adder tree.
+        let (denom, sum_cycles) = self.tree.reduce(&exps);
+
+        // Sequential normalization.
+        let (normalized, div_cycles) = self.div.div_batch(&exps, denom);
+        let attention: Vec<f32> = if denom.is_zero() {
+            // Divider guard: all-flushed exponents fall back to uniform.
+            vec![1.0 / l as f32; l]
+        } else {
+            normalized.into_iter().map(Fixed::to_f32).collect()
+        };
+
+        (
+            attention,
+            score_cycles + exp_cycles + sum_cycles + div_cycles,
+        )
+    }
+
+    /// Soft read (Eq 5): weighted sum of content rows.
+    pub fn read(&self, attention: &[f32]) -> (Vec<f32>, Cycles) {
+        assert_eq!(attention.len(), self.rows_c.len(), "attention length");
+        let mut acc = vec![Fixed::ZERO; self.embed_dim];
+        for (a, row) in attention.iter().zip(&self.rows_c) {
+            let af = Fixed::from_f32(*a);
+            for (slot, &x) in acc.iter_mut().zip(row) {
+                *slot += af * Fixed::from_f32(x);
+            }
+        }
+        let per_row = (self.embed_dim.div_ceil(self.tree.width())) as u64;
+        let cycles = Cycles::new(self.rows_c.len() as u64 * per_row + self.tree.depth() + 1);
+        (acc.into_iter().map(Fixed::to_f32).collect(), cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(l: usize, e: usize) -> MemModule {
+        let mut m = MemModule::new(e, &DatapathConfig::default());
+        for i in 0..l {
+            let row_a: Vec<f32> = (0..e).map(|j| ((i + j) as f32 * 0.1).sin()).collect();
+            let row_c: Vec<f32> = (0..e).map(|j| ((i * j) as f32 * 0.1).cos()).collect();
+            m.write(row_a, row_c);
+        }
+        m
+    }
+
+    #[test]
+    fn attention_is_a_distribution() {
+        let m = filled(6, 8);
+        let key: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).cos()).collect();
+        let (a, cycles) = m.address(&key);
+        assert_eq!(a.len(), 6);
+        let sum: f32 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-2, "{sum}");
+        assert!(a.iter().all(|&x| x >= 0.0));
+        assert!(cycles.get() > 0);
+    }
+
+    #[test]
+    fn attention_matches_float_softmax_closely() {
+        let m = filled(5, 8);
+        let key: Vec<f32> = vec![0.5; 8];
+        let (a, _) = m.address(&key);
+        // Reference float computation.
+        let scores: Vec<f32> = (0..5)
+            .map(|i| m.rows_a[i].iter().zip(&key).map(|(x, y)| x * y).sum())
+            .collect();
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for (hw, sw) in a.iter().zip(exps.iter().map(|e| e / z)) {
+            assert!((hw - sw).abs() < 5e-3, "{hw} vs {sw}");
+        }
+    }
+
+    #[test]
+    fn read_is_attention_weighted_sum() {
+        let m = filled(3, 4);
+        let attention = vec![1.0, 0.0, 0.0];
+        let (r, _) = m.read(&attention);
+        for (x, y) in r.iter().zip(&m.rows_c[0]) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reset_empties_memory() {
+        let mut m = filled(4, 4);
+        assert_eq!(m.len(), 4);
+        m.reset();
+        assert!(m.is_empty());
+        let (a, c) = (m.address(&[0.0; 4]).0, m.address(&[0.0; 4]).1);
+        assert!(a.is_empty());
+        assert_eq!(c, Cycles::ZERO);
+    }
+
+    #[test]
+    fn addressing_cycles_grow_with_memory_size() {
+        let key = vec![0.1f32; 8];
+        let small = filled(4, 8).address(&key).1;
+        let large = filled(16, 8).address(&key).1;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn divider_dominates_addressing_time() {
+        // With the default datapath (div latency 16, tree width 8), the
+        // sequential divider is the largest addressing term — the paper's
+        // motivation for calling softmax costly.
+        let m = filled(10, 32);
+        let key = vec![0.1f32; 32];
+        let (_, total) = m.address(&key);
+        let div_only = 10 * DatapathConfig::default().div_latency;
+        assert!(total.get() > div_only, "{total} vs divider {div_only}");
+        assert!(div_only as f64 / total.get() as f64 > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn wrong_row_width_panics() {
+        let mut m = MemModule::new(4, &DatapathConfig::default());
+        m.write(vec![0.0; 3], vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The OUTPUT module: sequential maximum inner-product search (Eq 6),
+//! optionally with inference thresholding.
+//!
+//! The output weight rows stream out of BRAM one per issue; a compare
+//! register tracks the running maximum. With thresholding enabled, each
+//! logit is additionally compared against its class threshold (in the
+//! silhouette probe order) and the search retires early on the first hit —
+//! Fig 2(b).
+
+use mann_ith::ThresholdingModel;
+use mann_linalg::{Fixed, Matrix};
+
+use crate::adder_tree::AdderTree;
+use crate::{Cycles, DatapathConfig};
+
+/// Result of the output-layer search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputResult {
+    /// Predicted class index.
+    pub label: usize,
+    /// Output rows evaluated (= logit comparisons).
+    pub comparisons: usize,
+    /// Whether a threshold fired.
+    pub speculated: bool,
+    /// Occupancy of the module.
+    pub cycles: Cycles,
+}
+
+/// The sequential output layer.
+#[derive(Debug, Clone)]
+pub struct OutputModule {
+    w_o: Matrix,
+    tree: AdderTree,
+    /// Cycles per evaluated output row: `ceil(E / output_lanes)` MAC issues
+    /// plus the compare.
+    row_cycles: u64,
+    /// Quantized per-class thresholds in probe order, when thresholding is
+    /// configured: `(class, theta)`.
+    plan: Option<Vec<(usize, Option<Fixed>)>>,
+}
+
+impl OutputModule {
+    /// Creates the module over a pre-quantized `V x E` output weight,
+    /// without thresholding.
+    pub fn new(w_o: Matrix, dp: &DatapathConfig) -> Self {
+        dp.validate().expect("valid datapath");
+        let row_cycles = w_o.cols().div_ceil(dp.output_lanes) as u64 + 1;
+        Self {
+            w_o,
+            tree: AdderTree::new(dp.output_lanes),
+            row_cycles,
+            plan: None,
+        }
+    }
+
+    /// Installs a calibrated thresholding model (quantizing its thresholds
+    /// onto the datapath). `use_ordering` selects the silhouette probe
+    /// order (Step 3) or natural index order (the Fig 3 ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholding model's class count differs from the
+    /// output rows.
+    pub fn with_thresholding(mut self, ith: &ThresholdingModel, use_ordering: bool) -> Self {
+        assert_eq!(
+            ith.classes(),
+            self.w_o.rows(),
+            "thresholding classes vs output rows"
+        );
+        let order: Vec<usize> = if use_ordering {
+            ith.order.clone()
+        } else {
+            (0..ith.classes()).collect()
+        };
+        self.plan = Some(
+            order
+                .into_iter()
+                .map(|i| (i, ith.thresholds[i].theta.map(Fixed::from_f32)))
+                .collect(),
+        );
+        self
+    }
+
+    /// Number of output classes `|I|`.
+    pub fn classes(&self) -> usize {
+        self.w_o.rows()
+    }
+
+    /// Runs the search for hidden state `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` width differs from `E`.
+    pub fn search(&self, h: &[f32]) -> OutputResult {
+        assert_eq!(h.len(), self.w_o.cols(), "hidden width");
+        let per_dot = self.row_cycles;
+        let epilogue = self.tree.depth() + 2;
+
+        let mut best = 0usize;
+        let mut best_z = Fixed::MIN;
+        let mut comparisons = 0usize;
+
+        match &self.plan {
+            Some(plan) => {
+                for &(class, theta) in plan {
+                    let (z, _) = self.tree.fixed_dot(self.w_o.row(class), h);
+                    comparisons += 1;
+                    if let Some(t) = theta {
+                        if z > t {
+                            return OutputResult {
+                                label: class,
+                                comparisons,
+                                speculated: true,
+                                cycles: Cycles::new(comparisons as u64 * per_dot + epilogue),
+                            };
+                        }
+                    }
+                    if z > best_z {
+                        best_z = z;
+                        best = class;
+                    }
+                }
+            }
+            None => {
+                for class in 0..self.w_o.rows() {
+                    let (z, _) = self.tree.fixed_dot(self.w_o.row(class), h);
+                    comparisons += 1;
+                    if z > best_z {
+                        best_z = z;
+                        best = class;
+                    }
+                }
+            }
+        }
+        OutputResult {
+            label: best,
+            comparisons,
+            speculated: false,
+            cycles: Cycles::new(comparisons as u64 * per_dot + epilogue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mann_ith::threshold::ClassThreshold;
+    use mann_ith::Kernel;
+
+    fn w_o() -> Matrix {
+        // 5 classes, E = 4; class 3 has the largest row.
+        let mut m = Matrix::zeros(5, 4);
+        for i in 0..5 {
+            for j in 0..4 {
+                m[(i, j)] = if i == 3 { 1.0 } else { 0.1 * i as f32 };
+            }
+        }
+        m
+    }
+
+    fn ith(thetas: Vec<Option<f32>>, order: Vec<usize>) -> ThresholdingModel {
+        let n = thetas.len();
+        ThresholdingModel {
+            thresholds: thetas
+                .into_iter()
+                .map(|theta| ClassThreshold { theta })
+                .collect(),
+            order,
+            silhouettes: vec![0.0; n],
+            rho: 1.0,
+            kernel: Kernel::Epanechnikov,
+        }
+    }
+
+    #[test]
+    fn exhaustive_search_finds_argmax() {
+        let m = OutputModule::new(w_o(), &DatapathConfig::default());
+        let r = m.search(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(r.label, 3);
+        assert_eq!(r.comparisons, 5);
+        assert!(!r.speculated);
+    }
+
+    #[test]
+    fn threshold_hit_stops_early() {
+        let m = OutputModule::new(w_o(), &DatapathConfig::default())
+            .with_thresholding(&ith(vec![None, None, None, Some(2.0), None], vec![3, 0, 1, 2, 4]), true);
+        let r = m.search(&[1.0, 1.0, 1.0, 1.0]); // z_3 = 4 > 2
+        assert_eq!(r.label, 3);
+        assert_eq!(r.comparisons, 1);
+        assert!(r.speculated);
+    }
+
+    #[test]
+    fn miss_falls_back_to_exact_argmax() {
+        let m = OutputModule::new(w_o(), &DatapathConfig::default())
+            .with_thresholding(&ith(vec![Some(100.0); 5], (0..5).collect()), true);
+        let r = m.search(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(r.label, 3);
+        assert_eq!(r.comparisons, 5);
+        assert!(!r.speculated);
+    }
+
+    #[test]
+    fn cycles_track_comparisons() {
+        let m = OutputModule::new(w_o(), &DatapathConfig::default());
+        let full = m.search(&[1.0; 4]);
+        let m_early = OutputModule::new(w_o(), &DatapathConfig::default())
+            .with_thresholding(&ith(vec![Some(-100.0); 5], (0..5).collect()), true);
+        let early = m_early.search(&[1.0; 4]);
+        assert!(early.cycles < full.cycles);
+        assert_eq!(early.comparisons, 1);
+    }
+
+    #[test]
+    fn unordered_probing_uses_index_order() {
+        let mut thetas = vec![None; 5];
+        thetas[4] = Some(-100.0);
+        let model = ith(thetas, vec![4, 0, 1, 2, 3]);
+        let ordered = OutputModule::new(w_o(), &DatapathConfig::default())
+            .with_thresholding(&model, true)
+            .search(&[1.0; 4]);
+        assert_eq!(ordered.comparisons, 1);
+        let unordered = OutputModule::new(w_o(), &DatapathConfig::default())
+            .with_thresholding(&model, false)
+            .search(&[1.0; 4]);
+        assert_eq!(unordered.comparisons, 5);
+        assert_eq!(unordered.label, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes")]
+    fn class_count_mismatch_panics() {
+        let _ = OutputModule::new(w_o(), &DatapathConfig::default())
+            .with_thresholding(&ith(vec![None; 3], vec![0, 1, 2]), true);
+    }
+}

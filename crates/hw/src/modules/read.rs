@@ -1,0 +1,223 @@
+//! The READ module: the recurrent controller (Eqs 3–4).
+//!
+//! The blue loop of Fig 1: the controller combines the read vector with
+//! `W_r k` and feeds its output back as the next hop's key — the recurrent
+//! path that makes MANNs awkward on batch-oriented accelerators and natural
+//! on a dataflow architecture.
+
+use mann_linalg::{Fixed, Matrix};
+use memn2n::GruParams;
+
+use crate::adder_tree::AdderTree;
+use crate::sigmoid_unit::SigmoidUnit;
+use crate::{Cycles, DatapathConfig};
+
+/// The controller datapath variant loaded into the READ module.
+#[derive(Debug, Clone)]
+enum ControllerHw {
+    /// Eq 4: one `E x E` weight, one matvec per hop.
+    Linear { w_r: Matrix },
+    /// Gated: six `E x E` weights plus the σ/tanh unit.
+    Gru {
+        weights: Box<GruParams>,
+        sigmoid: SigmoidUnit,
+    },
+}
+
+/// The read-key controller.
+#[derive(Debug, Clone)]
+pub struct ReadModule {
+    controller: ControllerHw,
+    embed_dim: usize,
+    tree: AdderTree,
+}
+
+impl ReadModule {
+    /// Creates the linear controller (Eq 4) over a pre-quantized `E x E`
+    /// weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_r` is not square or the datapath is invalid.
+    pub fn new(w_r: Matrix, dp: &DatapathConfig) -> Self {
+        assert_eq!(w_r.rows(), w_r.cols(), "controller weight must be square");
+        dp.validate().expect("valid datapath");
+        let embed_dim = w_r.rows();
+        Self {
+            controller: ControllerHw::Linear { w_r },
+            embed_dim,
+            tree: AdderTree::new(dp.tree_width),
+        }
+    }
+
+    /// Creates the gated (GRU) controller over pre-quantized gate weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate weights are not square/consistent or the
+    /// datapath is invalid.
+    pub fn new_gru(weights: GruParams, dp: &DatapathConfig) -> Self {
+        dp.validate().expect("valid datapath");
+        let e = weights.w_z.rows();
+        for m in weights.matrices() {
+            assert_eq!(m.shape(), (e, e), "gate weight must be E x E");
+        }
+        Self {
+            controller: ControllerHw::Gru {
+                weights: Box::new(weights),
+                sigmoid: SigmoidUnit::new(dp),
+            },
+            embed_dim: e,
+            tree: AdderTree::new(dp.tree_width),
+        }
+    }
+
+    /// Embedding dimension `E`.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Whether the gated controller is loaded.
+    pub fn is_gated(&self) -> bool {
+        matches!(self.controller, ControllerHw::Gru { .. })
+    }
+
+    /// One controller step: Eq 4 (`h = r + W_r k`) or the GRU recurrence.
+    ///
+    /// Timing (linear): `E` pipelined row dot products plus the elementwise
+    /// add. Timing (GRU): six matvecs, two sigmoid batches, one tanh batch,
+    /// and the elementwise combines — the gating tax the paper's linear
+    /// controller avoids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `k` width differs from `E`.
+    pub fn step(&self, r: &[f32], k: &[f32]) -> (Vec<f32>, Cycles) {
+        let e = self.embed_dim();
+        assert_eq!(r.len(), e, "read vector width");
+        assert_eq!(k.len(), e, "key width");
+        match &self.controller {
+            ControllerHw::Linear { w_r } => {
+                let mut h = Vec::with_capacity(e);
+                let per_dot = (e.div_ceil(self.tree.width())) as u64;
+                for (row, &rv) in w_r.iter_rows().zip(r) {
+                    let (wk, _) = self.tree.fixed_dot(row, k);
+                    let sum = Fixed::from_f32(rv) + wk;
+                    h.push(sum.to_f32());
+                }
+                let cycles = Cycles::new(e as u64 * per_dot + self.tree.depth() + 2);
+                (h, cycles)
+            }
+            ControllerHw::Gru { weights, sigmoid } => self.gru_step(weights, sigmoid, r, k),
+        }
+    }
+
+    /// Fixed-point GRU step.
+    fn gru_step(
+        &self,
+        w: &GruParams,
+        sigmoid: &SigmoidUnit,
+        r: &[f32],
+        k: &[f32],
+    ) -> (Vec<f32>, Cycles) {
+        let e = self.embed_dim();
+        let per_dot = (e.div_ceil(self.tree.width())) as u64;
+        let matvec_cycles = Cycles::new(e as u64 * per_dot + self.tree.depth() + 1);
+        let mut total = Cycles::ZERO;
+
+        let matvec = |m: &Matrix, x: &[f32]| -> Vec<f32> {
+            (0..e)
+                .map(|row| self.tree.fixed_dot(m.row(row), x).0.to_f32())
+                .collect()
+        };
+        // Gate pre-activations: a = W r + U k (the add overlaps the tree).
+        let az: Vec<f32> = matvec(&w.w_z, r)
+            .iter()
+            .zip(matvec(&w.u_z, k))
+            .map(|(a, b)| a + b)
+            .collect();
+        total += matvec_cycles * 2;
+        let ag: Vec<f32> = matvec(&w.w_g, r)
+            .iter()
+            .zip(matvec(&w.u_g, k))
+            .map(|(a, b)| a + b)
+            .collect();
+        total += matvec_cycles * 2;
+        let (z, zc) = sigmoid.sigmoid_batch(&az);
+        let (g, gc) = sigmoid.sigmoid_batch(&ag);
+        total += zc + gc;
+
+        let gk: Vec<f32> = g
+            .iter()
+            .zip(k)
+            .map(|(gv, &kv)| (*gv * Fixed::from_f32(kv)).to_f32())
+            .collect();
+        total += Cycles::new(1); // elementwise, E parallel lanes
+        let ah: Vec<f32> = matvec(&w.w_h, r)
+            .iter()
+            .zip(matvec(&w.u_h, &gk))
+            .map(|(a, b)| a + b)
+            .collect();
+        total += matvec_cycles * 2;
+        let (ht, hc) = sigmoid.tanh_batch(&ah);
+        total += hc;
+
+        let h: Vec<f32> = z
+            .iter()
+            .zip(k)
+            .zip(ht)
+            .map(|((zv, &kv), hv)| {
+                ((Fixed::ONE - *zv) * Fixed::from_f32(kv) + *zv * hv).to_f32()
+            })
+            .collect();
+        total += Cycles::new(2);
+        (h, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(e: usize) -> ReadModule {
+        let mut w = Matrix::zeros(e, e);
+        for i in 0..e {
+            for j in 0..e {
+                w[(i, j)] = if i == j { 0.5 } else { 0.0 };
+            }
+        }
+        ReadModule::new(w, &DatapathConfig::default())
+    }
+
+    #[test]
+    fn identity_like_controller() {
+        let m = module(4);
+        let r = vec![1.0, 2.0, 3.0, 4.0];
+        let k = vec![2.0, 2.0, 2.0, 2.0];
+        let (h, _) = m.step(&r, &k);
+        // h = r + 0.5 * k.
+        for (i, &x) in h.iter().enumerate() {
+            assert!((x - (r[i] + 1.0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cycles_scale_quadratically_with_dim() {
+        let small = module(8).step(&[0.0; 8], &[0.0; 8]).1;
+        let large = module(32).step(&[0.0; 32], &[0.0; 32]).1;
+        assert!(large.get() > small.get() * 4, "{large} vs {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_weight_rejected() {
+        let _ = ReadModule::new(Matrix::zeros(3, 4), &DatapathConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn wrong_operand_width_panics() {
+        let m = module(4);
+        let _ = m.step(&[0.0; 3], &[0.0; 4]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Host ↔ FPGA interface model.
+//!
+//! The paper observes that above ~50 MHz the host-FPGA interface dominates
+//! inference time ("the improvement was not linear"). The model here is the
+//! standard two-term DMA cost: a fixed per-transfer software/driver latency
+//! plus bandwidth-limited streaming. Interface time is independent of the
+//! fabric clock, which is exactly what flattens the frequency scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// PCIe link + driver-stack cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieLink {
+    /// Effective streaming bandwidth in bytes/second (well below the wire
+    /// rate: a Gen3 x8 link delivers ~1.5 GB/s to a single-channel DMA
+    /// engine through a vendor driver).
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed software + DMA-setup latency per transfer, seconds.
+    pub latency_per_transfer_s: f64,
+}
+
+impl Default for PcieLink {
+    /// Calibrated so a QA inference (two small transfers) costs ~130 µs of
+    /// interface time, reproducing Table I's sub-linear frequency scaling.
+    fn default() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 1.5e9,
+            latency_per_transfer_s: 65e-6,
+        }
+    }
+}
+
+impl PcieLink {
+    /// Time for one transfer of `bytes` payload.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.latency_per_transfer_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Interface time of one QA inference: the input stream (story +
+    /// question words, 4 bytes each, plus control words) and the answer
+    /// read-back.
+    pub fn inference_time_s(&self, input_words: usize) -> f64 {
+        let in_bytes = (input_words as u64 + 8) * 4; // +8 control words
+        let out_bytes = 8; // answer index + status
+        self.transfer_time_s(in_bytes) + self.transfer_time_s(out_bytes)
+    }
+
+    /// One-time cost of shipping the trained model (`bytes` of weights).
+    pub fn model_upload_time_s(&self, bytes: u64) -> f64 {
+        self.transfer_time_s(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_floor_dominates_small_transfers() {
+        let link = PcieLink::default();
+        let t_small = link.transfer_time_s(64);
+        assert!(t_small >= link.latency_per_transfer_s);
+        assert!(t_small < link.latency_per_transfer_s * 1.01);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let link = PcieLink::default();
+        let t = link.transfer_time_s(1_500_000_000);
+        assert!((t - (1.0 + link.latency_per_transfer_s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inference_time_counts_two_transfers() {
+        let link = PcieLink::default();
+        let t = link.inference_time_s(50);
+        assert!(t > 2.0 * link.latency_per_transfer_s);
+        assert!(t < 2.5 * link.latency_per_transfer_s);
+    }
+
+    #[test]
+    fn interface_time_is_clock_independent() {
+        // The type has no clock input at all; this test documents the fact.
+        let link = PcieLink::default();
+        assert_eq!(link.inference_time_s(40), link.inference_time_s(40));
+    }
+}

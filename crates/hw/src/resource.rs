@@ -1,0 +1,193 @@
+//! FPGA resource estimates.
+//!
+//! Closing the EDA loop: the simulator's structural parameters imply an area
+//! footprint. The estimates below use standard per-primitive costs (a
+//! 32-bit fixed-point adder ≈ 32 LUTs + 32 FFs, a 32×32 multiplier ≈ 4 DSP
+//! slices, BRAM in 36 Kb tiles) so configurations can be sanity-checked
+//! against the Virtex UltraScale part the paper used.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DatapathConfig;
+
+/// A bag of FPGA primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+    /// 36 Kb block RAM tiles.
+    pub bram36: u64,
+}
+
+impl ResourceEstimate {
+    /// Component-wise sum.
+    pub fn combined(self, other: Self) -> Self {
+        Self {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            dsps: self.dsps + other.dsps,
+            bram36: self.bram36 + other.bram36,
+        }
+    }
+
+    /// Utilization fractions against a device budget
+    /// (`(luts, ffs, dsps, bram)`).
+    pub fn utilization(&self, budget: &ResourceEstimate) -> (f64, f64, f64, f64) {
+        (
+            self.luts as f64 / budget.luts as f64,
+            self.ffs as f64 / budget.ffs as f64,
+            self.dsps as f64 / budget.dsps as f64,
+            self.bram36 as f64 / budget.bram36 as f64,
+        )
+    }
+
+    /// Whether the design fits the budget on every axis.
+    pub fn fits(&self, budget: &ResourceEstimate) -> bool {
+        let (l, f, d, b) = self.utilization(budget);
+        l <= 1.0 && f <= 1.0 && d <= 1.0 && b <= 1.0
+    }
+}
+
+/// The Virtex UltraScale XCVU095 (VCU107 board) budget.
+pub const VCU107_BUDGET: ResourceEstimate = ResourceEstimate {
+    luts: 537_600,
+    ffs: 1_075_200,
+    dsps: 768,
+    bram36: 1_728,
+};
+
+const ADDER_LUTS: u64 = 32;
+const ADDER_FFS: u64 = 32;
+const MULT_DSPS: u64 = 4;
+const WORD_BITS: u64 = 32;
+const BRAM_BITS: u64 = 36 * 1024;
+
+fn bram_tiles(words: u64) -> u64 {
+    (words * WORD_BITS).div_ceil(BRAM_BITS).max(1)
+}
+
+/// Estimates the full accelerator for a model of `embed_dim` x `vocab_size`
+/// with up to `max_story` memory slots.
+pub fn estimate_accelerator(
+    dp: &DatapathConfig,
+    embed_dim: usize,
+    vocab_size: usize,
+    max_story: usize,
+) -> ResourceEstimate {
+    let e = embed_dim as u64;
+    let v = vocab_size as u64;
+    let l = max_story as u64;
+    let w = dp.tree_width as u64;
+
+    // INPUT & WRITE: two embedding BRAMs (E x V each) + E parallel adders
+    // per accumulator (x3 accumulators: emb_a, emb_c, emb_q).
+    let input_write = ResourceEstimate {
+        luts: 3 * e * ADDER_LUTS,
+        ffs: 3 * e * ADDER_FFS + 3 * e * WORD_BITS,
+        dsps: 0,
+        bram36: 2 * bram_tiles(e * v),
+    };
+
+    // MEM: address/content memories (L x E each), one MAC tree (w mults +
+    // w-1 adders), exp LUT BRAM, one divider (~300 LUTs), softmax registers.
+    let mem = ResourceEstimate {
+        luts: (w - 1) * ADDER_LUTS + 300 + 4 * WORD_BITS,
+        ffs: (w - 1) * ADDER_FFS + 2 * e * WORD_BITS,
+        dsps: w * MULT_DSPS,
+        bram36: 2 * bram_tiles(l * e) + bram_tiles(dp.exp_lut_entries as u64),
+    };
+
+    // READ: W_r BRAM (E x E) + its own MAC tree + h/k registers.
+    let read = ResourceEstimate {
+        luts: (w - 1) * ADDER_LUTS + 2 * e * WORD_BITS / 8,
+        ffs: (w - 1) * ADDER_FFS + 2 * e * WORD_BITS,
+        dsps: w * MULT_DSPS,
+        bram36: bram_tiles(e * e),
+    };
+
+    // OUTPUT: W_o BRAM (V x E) + MAC tree + compare + threshold BRAM.
+    let output = ResourceEstimate {
+        luts: (w - 1) * ADDER_LUTS + 2 * WORD_BITS,
+        ffs: (w - 1) * ADDER_FFS + 3 * WORD_BITS,
+        dsps: w * MULT_DSPS,
+        bram36: bram_tiles(v * e) + bram_tiles(v),
+    };
+
+    // CONTROL + FIFOs: decode logic and two 512-word stream FIFOs.
+    let control = ResourceEstimate {
+        luts: 500,
+        ffs: 400,
+        dsps: 0,
+        bram36: 2 * bram_tiles(512),
+    };
+
+    input_write
+        .combined(mem)
+        .combined(read)
+        .combined(output)
+        .combined(control)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_design_fits_vcu107() {
+        let est = estimate_accelerator(&DatapathConfig::default(), 32, 180, 20);
+        assert!(est.fits(&VCU107_BUDGET), "{est:?}");
+        let (l, f, d, b) = est.utilization(&VCU107_BUDGET);
+        // A bAbI-sized design is tiny on a VU095.
+        assert!(l < 0.1 && f < 0.1 && d < 0.2 && b < 0.2, "{l} {f} {d} {b}");
+    }
+
+    #[test]
+    fn wider_trees_cost_more_dsps() {
+        let narrow = estimate_accelerator(
+            &DatapathConfig {
+                tree_width: 4,
+                ..DatapathConfig::default()
+            },
+            32,
+            100,
+            20,
+        );
+        let wide = estimate_accelerator(
+            &DatapathConfig {
+                tree_width: 16,
+                ..DatapathConfig::default()
+            },
+            32,
+            100,
+            20,
+        );
+        assert!(wide.dsps > narrow.dsps);
+    }
+
+    #[test]
+    fn bigger_vocab_costs_more_bram() {
+        let small = estimate_accelerator(&DatapathConfig::default(), 32, 50, 20);
+        let large = estimate_accelerator(&DatapathConfig::default(), 32, 5000, 20);
+        assert!(large.bram36 > small.bram36);
+    }
+
+    #[test]
+    fn utilization_and_fits_agree() {
+        let huge = ResourceEstimate {
+            luts: VCU107_BUDGET.luts + 1,
+            ..Default::default()
+        };
+        assert!(!huge.fits(&VCU107_BUDGET));
+        assert!(
+            ResourceEstimate::default()
+                .combined(huge)
+                .utilization(&VCU107_BUDGET)
+                .0
+                > 1.0
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! VCD-lite signal tracing.
+//!
+//! A minimal value-change-dump writer so accelerator runs can be inspected
+//! in a waveform viewer (GTKWave reads the output). The accelerator records
+//! phase-level signals (module busy flags, attention argmax, output
+//! comparisons); tests and the `hw_trace` example exercise the writer.
+
+use std::fmt::Write as _;
+
+/// Handle to a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+/// An in-memory VCD recording.
+#[derive(Debug, Clone, Default)]
+pub struct SignalTrace {
+    signals: Vec<(String, u32)>,
+    events: Vec<(u64, usize, u64)>,
+}
+
+impl SignalTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a signal of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or over 64.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
+        assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+        self.signals.push((name.to_owned(), width));
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Records `value` on `signal` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was not declared by this trace.
+    pub fn record(&mut self, signal: SignalId, cycle: u64, value: u64) {
+        assert!(signal.0 < self.signals.len(), "undeclared signal");
+        self.events.push((cycle, signal.0, value));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the recording as a VCD document (1 ns per cycle).
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module accelerator $end");
+        for (i, (name, width)) in self.signals.iter().enumerate() {
+            let _ = writeln!(out, "$var wire {width} {} {name} $end", ident(i));
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut events = self.events.clone();
+        events.sort_by_key(|(cycle, sig, _)| (*cycle, *sig));
+        let mut last_cycle = None;
+        for (cycle, sig, value) in events {
+            if last_cycle != Some(cycle) {
+                let _ = writeln!(out, "#{cycle}");
+                last_cycle = Some(cycle);
+            }
+            let width = self.signals[sig].1;
+            if width == 1 {
+                let _ = writeln!(out, "{}{}", value & 1, ident(sig));
+            } else {
+                let _ = writeln!(out, "b{value:b} {}", ident(sig));
+            }
+        }
+        out
+    }
+}
+
+/// VCD identifier characters for signal `i` (printable ASCII, base 94).
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcd_contains_declarations_and_events() {
+        let mut t = SignalTrace::new();
+        let busy = t.add_signal("mem_busy", 1);
+        let cmp = t.add_signal("output_comparisons", 16);
+        t.record(busy, 0, 1);
+        t.record(busy, 10, 0);
+        t.record(cmp, 10, 42);
+        let vcd = t.to_vcd();
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("mem_busy"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#10"));
+        assert!(vcd.contains("b101010"));
+    }
+
+    #[test]
+    fn events_are_emitted_in_cycle_order() {
+        let mut t = SignalTrace::new();
+        let s = t.add_signal("x", 1);
+        t.record(s, 20, 1);
+        t.record(s, 5, 0);
+        let vcd = t.to_vcd();
+        let p5 = vcd.find("#5").expect("#5 present");
+        let p20 = vcd.find("#20").expect("#20 present");
+        assert!(p5 < p20);
+    }
+
+    #[test]
+    fn ident_is_unique_for_many_signals() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn recording_foreign_signal_panics() {
+        let mut a = SignalTrace::new();
+        let mut b = SignalTrace::new();
+        let sig = b.add_signal("other", 1);
+        let _ = b;
+        a.record(sig, 0, 1);
+    }
+}

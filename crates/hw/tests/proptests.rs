@@ -1,0 +1,139 @@
+//! Property tests for the hardware simulator: protocol robustness,
+//! functional equivalence with the reference model, timing monotonicity.
+
+use mann_babi::EncodedSample;
+use mann_hw::modules::{decode_stream, encode_sample_stream};
+use mann_hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig};
+use memn2n::{ModelConfig, Params, TrainedModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random tiny model + sample pair (untrained weights — equivalence must
+/// hold regardless of training).
+fn random_case(seed: u64, vocab: usize, e: usize, hops: usize) -> (TrainedModel, EncodedSample) {
+    let params = Params::init(
+        ModelConfig {
+            embed_dim: e,
+            hops,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        vocab,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let mut r = StdRng::seed_from_u64(seed ^ 0xABCD);
+    use rand::Rng;
+    let n_sent = r.gen_range(1..6);
+    let sentences = (0..n_sent)
+        .map(|_| {
+            (0..r.gen_range(1..6))
+                .map(|_| r.gen_range(0..vocab))
+                .collect()
+        })
+        .collect();
+    let question = (0..r.gen_range(1..4)).map(|_| r.gen_range(0..vocab)).collect();
+    let sample = EncodedSample {
+        sentences,
+        question,
+        answer: 0,
+    };
+    // A TrainedModel needs an encoder; build a dummy vocabulary of the right
+    // size.
+    let mut v = mann_babi::Vocab::new();
+    for i in 0..vocab {
+        v.intern(&format!("w{i}"));
+    }
+    // Vocab::new already holds <pad>; trim logic not needed as long as
+    // params.vocab_size == vocab — assert to be safe.
+    let model = TrainedModel {
+        task: mann_babi::TaskId::SingleSupportingFact,
+        params,
+        encoder: mann_babi::Encoder::with_time_tokens(v, 0),
+    };
+    (model, sample)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The CONTROL decoder never panics on arbitrary word soup.
+    #[test]
+    fn decoder_is_total(words in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let _ = decode_stream(&words);
+    }
+
+    /// Encode → decode is the identity for any structurally valid sample.
+    #[test]
+    fn stream_round_trip(
+        sents in proptest::collection::vec(proptest::collection::vec(0usize..5000, 1..8), 1..6),
+        q in proptest::collection::vec(0usize..5000, 1..5),
+    ) {
+        let sample = EncodedSample { sentences: sents.clone(), question: q.clone(), answer: 0 };
+        let words = encode_sample_stream(&sample);
+        let (ds, dq) = decode_stream(&words).expect("well-formed");
+        prop_assert_eq!(ds, sents);
+        prop_assert_eq!(dq, q);
+    }
+
+    /// The fixed-point accelerator agrees with the f32 reference model on
+    /// random (untrained) weights in the vast majority of cases, and its
+    /// logits pipeline never panics.
+    #[test]
+    fn hw_sw_equivalence(seed in 0u64..500) {
+        let (model, sample) = random_case(seed, 20, 8, 2);
+        let accel = Accelerator::new(model.clone(), AccelConfig::default());
+        let hw = accel.run(&sample);
+        let sw = model.predict(&sample);
+        // Random logits can tie closely; require the hw answer to be within
+        // quantization slack of the sw winner.
+        let trace = memn2n::forward(&model.params, &sample);
+        let z_hw = trace.logits[hw.answer];
+        let z_sw = trace.logits[sw];
+        prop_assert!(z_sw - z_hw < 0.02, "hw {} ({z_hw}) vs sw {} ({z_sw})", hw.answer, z_sw);
+    }
+
+    /// More memory slots never make addressing cheaper; higher clock never
+    /// makes compute slower.
+    #[test]
+    fn timing_monotonicity(seed in 0u64..100) {
+        let (model, sample) = random_case(seed, 15, 8, 2);
+        let mut bigger = sample.clone();
+        bigger.sentences.push(vec![1, 2, 3]);
+        let accel = Accelerator::new(model, AccelConfig::default());
+        let small_run = accel.run(&sample);
+        let big_run = accel.run(&bigger);
+        prop_assert!(big_run.cycles >= small_run.cycles);
+    }
+
+    /// Tree width only affects timing, never the computed answer.
+    #[test]
+    fn tree_width_is_functionally_transparent(seed in 0u64..100, width in 1usize..32) {
+        let (model, sample) = random_case(seed, 12, 8, 1);
+        let base = Accelerator::new(model.clone(), AccelConfig::default()).run(&sample);
+        let other = Accelerator::new(
+            model,
+            AccelConfig {
+                datapath: DatapathConfig { tree_width: width, ..DatapathConfig::default() },
+                ..AccelConfig::default()
+            },
+        )
+        .run(&sample);
+        prop_assert_eq!(base.answer, other.answer);
+    }
+
+    /// Compute seconds scale exactly inversely with frequency.
+    #[test]
+    fn clock_scaling_is_exact(seed in 0u64..50, mhz in 10.0f64..400.0) {
+        let (model, sample) = random_case(seed, 12, 8, 2);
+        let base = Accelerator::new(model.clone(), AccelConfig {
+            clock: ClockDomain::mhz(100.0), ..AccelConfig::default()
+        }).run(&sample);
+        let other = Accelerator::new(model, AccelConfig {
+            clock: ClockDomain::mhz(mhz), ..AccelConfig::default()
+        }).run(&sample);
+        prop_assert_eq!(base.cycles, other.cycles);
+        let expect = base.compute_s * 100.0 / mhz;
+        prop_assert!((other.compute_s - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+}

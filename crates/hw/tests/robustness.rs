@@ -1,0 +1,146 @@
+//! Degenerate-input robustness: the accelerator and its modules must handle
+//! empty stories, empty questions, single-token inputs, and extreme clock
+//! settings without panicking or producing non-finite state.
+
+use mann_babi::EncodedSample;
+use mann_hw::write_path::WritePathSim;
+use mann_hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig, PcieLink};
+use memn2n::{ModelConfig, Params, TrainedModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(vocab: usize, e: usize, hops: usize) -> TrainedModel {
+    let params = Params::init(
+        ModelConfig {
+            embed_dim: e,
+            hops,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        vocab,
+        &mut StdRng::seed_from_u64(1),
+    );
+    TrainedModel {
+        task: mann_babi::TaskId::SingleSupportingFact,
+        params,
+        encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+    }
+}
+
+#[test]
+fn empty_story_still_answers() {
+    let accel = Accelerator::new(model(10, 6, 2), AccelConfig::default());
+    let sample = EncodedSample {
+        sentences: vec![],
+        question: vec![1, 2],
+        answer: 0,
+    };
+    let run = accel.run(&sample);
+    assert!(run.answer < 10);
+    assert!(run.cycles.get() > 0);
+    assert!(run.total_s.is_finite());
+}
+
+#[test]
+fn empty_question_embeds_to_zero_and_still_answers() {
+    let accel = Accelerator::new(model(10, 6, 2), AccelConfig::default());
+    let sample = EncodedSample {
+        sentences: vec![vec![1, 2], vec![3]],
+        question: vec![],
+        answer: 0,
+    };
+    let run = accel.run(&sample);
+    assert!(run.answer < 10);
+}
+
+#[test]
+fn single_word_single_sentence_minimum() {
+    let accel = Accelerator::new(model(4, 2, 1), AccelConfig::default());
+    let sample = EncodedSample {
+        sentences: vec![vec![0]],
+        question: vec![1],
+        answer: 2,
+    };
+    let run = accel.run(&sample);
+    assert!(run.answer < 4);
+    assert_eq!(run.comparisons, 4);
+}
+
+#[test]
+fn long_stories_scale_without_overflow() {
+    let accel = Accelerator::new(model(30, 8, 3), AccelConfig::default());
+    let sample = EncodedSample {
+        sentences: (0..200).map(|i| vec![i % 30, (i + 1) % 30, (i + 2) % 30]).collect(),
+        question: vec![1],
+        answer: 0,
+    };
+    let run = accel.run(&sample);
+    assert!(run.cycles.get() > 10_000);
+    assert!(run.total_s.is_finite() && run.total_s > 0.0);
+}
+
+#[test]
+fn extreme_clocks_are_usable() {
+    let m = model(10, 6, 1);
+    let sample = EncodedSample {
+        sentences: vec![vec![1]],
+        question: vec![2],
+        answer: 0,
+    };
+    for mhz in [0.001f64, 1.0, 10_000.0] {
+        let accel = Accelerator::new(
+            m.clone(),
+            AccelConfig {
+                clock: ClockDomain::mhz(mhz),
+                ..AccelConfig::default()
+            },
+        );
+        let run = accel.run(&sample);
+        assert!(run.compute_s.is_finite() && run.compute_s > 0.0, "{mhz} MHz");
+    }
+}
+
+#[test]
+fn narrowest_datapath_still_functions() {
+    let accel = Accelerator::new(
+        model(12, 4, 2),
+        AccelConfig {
+            datapath: DatapathConfig {
+                tree_width: 1,
+                output_lanes: 1,
+                exp_lut_entries: 2,
+                frac_bits: 1,
+                ..DatapathConfig::default()
+            },
+            ..AccelConfig::default()
+        },
+    );
+    let sample = EncodedSample {
+        sentences: vec![vec![1, 2]],
+        question: vec![3],
+        answer: 0,
+    };
+    // Q31.1 arithmetic is uselessly coarse, but must not panic.
+    let run = accel.run(&sample);
+    assert!(run.answer < 12);
+}
+
+#[test]
+fn write_path_sim_handles_minimal_and_empty_stories() {
+    let sim = WritePathSim::new(8, PcieLink::default(), ClockDomain::mhz(50.0));
+    let minimal = EncodedSample {
+        sentences: vec![vec![0]],
+        question: vec![1],
+        answer: 0,
+    };
+    let r = sim.run(&minimal);
+    assert_eq!(r.words, 1 + 2 + 2 + 1);
+    let empty_story = EncodedSample {
+        sentences: vec![],
+        question: vec![1],
+        answer: 0,
+    };
+    let r = sim.run(&empty_story);
+    assert_eq!(r.words, 1 + 2 + 1);
+    assert!(r.cycles.get() > 0);
+}

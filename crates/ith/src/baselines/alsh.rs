@@ -1,0 +1,314 @@
+//! Asymmetric LSH for MIPS (Shrivastava & Li, NIPS 2014).
+//!
+//! MIPS is reduced to cosine near-neighbour search by the asymmetric
+//! transform: every row `x` is scaled into the unit ball and augmented with
+//! `m` norm-powers `‖x‖², ‖x‖⁴, …`; the query is augmented with `m` halves.
+//! Sign random projections then hash the augmented vectors into `L` tables
+//! of `K`-bit buckets; a query exhaustively scores only the rows sharing a
+//! bucket in some table.
+
+use mann_linalg::Vector;
+use memn2n::forward::output_logit;
+use memn2n::Params;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{MipsResult, MipsStrategy};
+
+/// ALSH structural parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlshConfig {
+    /// Hash bits per table (bucket specificity).
+    pub bits_per_table: usize,
+    /// Number of hash tables (recall knob).
+    pub tables: usize,
+    /// Norm-augmentation components `m` (the paper's transform uses 3).
+    pub norm_powers: usize,
+    /// Scale headroom `U < 1` applied before augmentation.
+    pub scale: f32,
+}
+
+impl Default for AlshConfig {
+    fn default() -> Self {
+        Self {
+            bits_per_table: 8,
+            tables: 8,
+            norm_powers: 3,
+            scale: 0.83,
+        }
+    }
+}
+
+/// An ALSH index over one output weight matrix.
+#[derive(Debug, Clone)]
+pub struct AlshMips {
+    config: AlshConfig,
+    /// `tables x bits` random hyperplanes in augmented space.
+    planes: Vec<Vec<Vector>>,
+    /// `tables` maps bucket → row indices.
+    buckets: Vec<std::collections::HashMap<u64, Vec<usize>>>,
+    /// Augmented (preprocessed) rows, retained for hashing the query only.
+    augmented_dim: usize,
+    row_scale: f32,
+    classes: usize,
+}
+
+impl AlshMips {
+    /// Builds the index over `params.w_o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero tables or bits.
+    pub fn build(params: &Params, config: AlshConfig, seed: u64) -> Self {
+        assert!(config.tables > 0 && config.bits_per_table > 0, "degenerate ALSH config");
+        let e = params.w_o.cols();
+        let v = params.w_o.rows();
+        let augmented_dim = e + config.norm_powers;
+
+        // Scale all rows into the U-ball.
+        let max_norm = (0..v)
+            .map(|i| norm(params.w_o.row(i)))
+            .fold(0.0f32, f32::max)
+            .max(1e-12);
+        let row_scale = config.scale / max_norm;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut planes = Vec::with_capacity(config.tables);
+        for _ in 0..config.tables {
+            let table: Vec<Vector> = (0..config.bits_per_table)
+                .map(|_| {
+                    (0..augmented_dim)
+                        .map(|_| standard_normal(&mut rng))
+                        .collect()
+                })
+                .collect();
+            planes.push(table);
+        }
+
+        let mut buckets = vec![std::collections::HashMap::new(); config.tables];
+        for row_idx in 0..v {
+            let aug = augment_row(params.w_o.row(row_idx), row_scale, config.norm_powers);
+            for (t, table) in planes.iter().enumerate() {
+                let h = hash(&aug, table);
+                buckets[t].entry(h).or_insert_with(Vec::new).push(row_idx);
+            }
+        }
+        Self {
+            config,
+            planes,
+            buckets,
+            augmented_dim,
+            row_scale,
+            classes: v,
+        }
+    }
+
+    /// Number of hash probes a query performs (`tables x bits` dot products
+    /// in augmented space) — the index-side overhead ITH does not pay.
+    pub fn hash_probes(&self) -> usize {
+        self.config.tables * self.config.bits_per_table
+    }
+
+    /// The augmented dimensionality (for overhead accounting).
+    pub fn augmented_dim(&self) -> usize {
+        self.augmented_dim
+    }
+
+    /// Candidate rows for a hidden state (union over tables).
+    pub fn candidates(&self, h: &Vector) -> Vec<usize> {
+        let aug = augment_query(h.as_slice(), self.config.norm_powers);
+        let mut seen = vec![false; self.classes];
+        let mut out = Vec::new();
+        for (t, table) in self.planes.iter().enumerate() {
+            let hsh = hash(&aug, table);
+            if let Some(rows) = self.buckets[t].get(&hsh) {
+                for &r in rows {
+                    if !seen[r] {
+                        seen[r] = true;
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MipsStrategy for AlshMips {
+    fn search(&self, params: &Params, h: &Vector) -> MipsResult {
+        let candidates = self.candidates(h);
+        let mut best = 0usize;
+        let mut best_z = f32::NEG_INFINITY;
+        let mut comparisons = 0usize;
+        for &i in &candidates {
+            let z = output_logit(params, h, i);
+            comparisons += 1;
+            if z > best_z {
+                best_z = z;
+                best = i;
+            }
+        }
+        if candidates.is_empty() {
+            // Total hash miss: fall back to the exact search (a real system
+            // would probe neighbouring buckets; exhaustive is the upper
+            // bound and keeps the result well-defined).
+            for i in 0..self.classes {
+                let z = output_logit(params, h, i);
+                comparisons += 1;
+                if z > best_z {
+                    best_z = z;
+                    best = i;
+                }
+            }
+        }
+        let _ = self.row_scale;
+        MipsResult {
+            label: best,
+            comparisons,
+            speculated: true,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "alsh"
+    }
+}
+
+fn norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+fn augment_row(row: &[f32], scale: f32, m: usize) -> Vector {
+    let scaled: Vec<f32> = row.iter().map(|x| x * scale).collect();
+    let mut out = scaled.clone();
+    let mut n2 = scaled.iter().map(|x| x * x).sum::<f32>();
+    for _ in 0..m {
+        out.push(n2);
+        n2 = n2 * n2;
+    }
+    out.into()
+}
+
+fn augment_query(q: &[f32], m: usize) -> Vector {
+    let n = norm(q).max(1e-12);
+    let mut out: Vec<f32> = q.iter().map(|x| x / n).collect();
+    out.extend(std::iter::repeat_n(0.5, m));
+    out.into()
+}
+
+fn hash(v: &Vector, planes: &[Vector]) -> u64 {
+    let mut h = 0u64;
+    for (b, p) in planes.iter().enumerate() {
+        let dot: f32 = v.iter().zip(p.iter()).map(|(a, b)| a * b).sum();
+        if dot >= 0.0 {
+            h |= 1 << b;
+        }
+    }
+    h
+}
+
+fn standard_normal(rng: &mut StdRng) -> f32 {
+    // Box–Muller.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveMips;
+    use memn2n::ModelConfig;
+
+    fn params(v: usize, e: usize, seed: u64) -> Params {
+        Params::init(
+            ModelConfig {
+                embed_dim: e,
+                hops: 1,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            v,
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn index_is_deterministic() {
+        let p = params(40, 16, 1);
+        let a = AlshMips::build(&p, AlshConfig::default(), 7);
+        let b = AlshMips::build(&p, AlshConfig::default(), 7);
+        let h: Vector = (0..16).map(|i| (i as f32 * 0.2).sin()).collect();
+        assert_eq!(a.candidates(&h), b.candidates(&h));
+    }
+
+    #[test]
+    fn more_tables_increase_candidates() {
+        let p = params(100, 16, 2);
+        let h: Vector = (0..16).map(|i| (i as f32 * 0.3).cos()).collect();
+        let small = AlshMips::build(&p, AlshConfig { tables: 2, ..AlshConfig::default() }, 3);
+        let large = AlshMips::build(&p, AlshConfig { tables: 16, ..AlshConfig::default() }, 3);
+        assert!(large.candidates(&h).len() >= small.candidates(&h).len());
+    }
+
+    #[test]
+    fn high_recall_configuration_finds_the_argmax_mostly() {
+        let p = params(60, 16, 3);
+        let index = AlshMips::build(
+            &p,
+            AlshConfig {
+                bits_per_table: 6,
+                tables: 24,
+                ..AlshConfig::default()
+            },
+            4,
+        );
+        let mut hits = 0usize;
+        for s in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let h: Vector = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact = ExhaustiveMips.search(&p, &h);
+            let approx = index.search(&p, &h);
+            if exact.label == approx.label {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 30, "recall {hits}/40");
+    }
+
+    #[test]
+    fn fallback_covers_empty_buckets() {
+        let p = params(10, 8, 4);
+        // One very specific table: most queries miss.
+        let index = AlshMips::build(
+            &p,
+            AlshConfig {
+                bits_per_table: 24,
+                tables: 1,
+                ..AlshConfig::default()
+            },
+            5,
+        );
+        let h: Vector = (0..8).map(|i| (i as f32).sin()).collect();
+        let r = index.search(&p, &h);
+        // Either found candidates or fell back, but always a valid label.
+        assert!(r.label < 10);
+        assert!(r.comparisons >= 1);
+    }
+
+    #[test]
+    fn probe_accounting_is_config_product() {
+        let p = params(20, 8, 5);
+        let index = AlshMips::build(
+            &p,
+            AlshConfig {
+                bits_per_table: 8,
+                tables: 4,
+                ..AlshConfig::default()
+            },
+            6,
+        );
+        assert_eq!(index.hash_probes(), 32);
+        assert_eq!(index.augmented_dim(), 8 + 3);
+    }
+}

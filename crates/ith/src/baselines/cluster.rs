@@ -1,0 +1,276 @@
+//! Clustering-based approximate MIPS (Auvolat et al., 2015).
+//!
+//! Spherical k-means partitions the output rows; a query scores the `k`
+//! centroids, then exhaustively searches the rows of the `top_p`
+//! best-scoring clusters. Per-query work is `k + Σ |top clusters|` dot
+//! products — cheap when clusters are balanced, but still strictly more
+//! than inference thresholding's early exit on separable classes.
+
+use mann_linalg::Vector;
+use memn2n::forward::output_logit;
+use memn2n::Params;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{MipsResult, MipsStrategy};
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of clusters `k`.
+    pub clusters: usize,
+    /// Clusters searched per query.
+    pub top_p: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 8,
+            top_p: 2,
+            iterations: 12,
+        }
+    }
+}
+
+/// A k-means index over one output weight matrix.
+#[derive(Debug, Clone)]
+pub struct ClusterMips {
+    config: ClusterConfig,
+    centroids: Vec<Vector>,
+    members: Vec<Vec<usize>>,
+}
+
+impl ClusterMips {
+    /// Clusters `params.w_o`'s rows by spherical k-means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters == 0`, `top_p == 0`, or there are fewer rows
+    /// than clusters.
+    pub fn build(params: &Params, config: ClusterConfig, seed: u64) -> Self {
+        assert!(config.clusters > 0 && config.top_p > 0, "degenerate cluster config");
+        let v = params.w_o.rows();
+        let e = params.w_o.cols();
+        assert!(v >= config.clusters, "fewer rows than clusters");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Initialize centroids from distinct random rows.
+        let mut picks: Vec<usize> = (0..v).collect();
+        for i in 0..config.clusters {
+            let j = rng.gen_range(i..v);
+            picks.swap(i, j);
+        }
+        let mut centroids: Vec<Vector> = picks[..config.clusters]
+            .iter()
+            .map(|&r| normalized(params.w_o.row(r)))
+            .collect();
+
+        let mut assignment = vec![0usize; v];
+        for _ in 0..config.iterations {
+            // Assign.
+            for (r, slot) in assignment.iter_mut().enumerate() {
+                let row = params.w_o.row(r);
+                let mut best = 0usize;
+                let mut best_sim = f32::NEG_INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let sim: f32 = row.iter().zip(centroid.iter()).map(|(a, b)| a * b).sum();
+                    if sim > best_sim {
+                        best_sim = sim;
+                        best = c;
+                    }
+                }
+                *slot = best;
+            }
+            // Update.
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let mut acc = vec![0.0f32; e];
+                let mut count = 0usize;
+                for (r, &a_c) in assignment.iter().enumerate() {
+                    if a_c == c {
+                        for (a, x) in acc.iter_mut().zip(params.w_o.row(r)) {
+                            *a += x;
+                        }
+                        count += 1;
+                    }
+                }
+                if count > 0 {
+                    *centroid = normalized(&acc);
+                }
+                // Empty clusters keep their previous centroid.
+            }
+        }
+
+        let mut members = vec![Vec::new(); config.clusters];
+        for r in 0..v {
+            members[assignment[r]].push(r);
+        }
+        Self {
+            config,
+            centroids,
+            members,
+        }
+    }
+
+    /// Number of clusters actually populated.
+    pub fn populated_clusters(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Centroid probes per query (`k` dot products).
+    pub fn centroid_probes(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+impl MipsStrategy for ClusterMips {
+    fn search(&self, params: &Params, h: &Vector) -> MipsResult {
+        // Score centroids (counted as comparisons: they are dot products of
+        // the same width).
+        let mut scored: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(c, centroid)| {
+                let sim: f32 = centroid.iter().zip(h.iter()).map(|(a, b)| a * b).sum();
+                (c, sim)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut comparisons = self.centroids.len();
+
+        let mut best = 0usize;
+        let mut best_z = f32::NEG_INFINITY;
+        let mut evaluated = false;
+        for &(c, _) in scored.iter().take(self.config.top_p) {
+            for &r in &self.members[c] {
+                let z = output_logit(params, h, r);
+                comparisons += 1;
+                evaluated = true;
+                if z > best_z {
+                    best_z = z;
+                    best = r;
+                }
+            }
+        }
+        if !evaluated {
+            // All probed clusters empty (degenerate k-means): exhaustive
+            // fallback.
+            for r in 0..params.vocab_size {
+                let z = output_logit(params, h, r);
+                comparisons += 1;
+                if z > best_z {
+                    best_z = z;
+                    best = r;
+                }
+            }
+        }
+        MipsResult {
+            label: best,
+            comparisons,
+            speculated: true,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+}
+
+fn normalized(xs: &[f32]) -> Vector {
+    let n = xs.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+    xs.iter().map(|x| x / n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveMips;
+    use memn2n::ModelConfig;
+
+    fn params(v: usize, e: usize, seed: u64) -> Params {
+        Params::init(
+            ModelConfig {
+                embed_dim: e,
+                hops: 1,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            v,
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_cluster() {
+        let p = params(50, 12, 1);
+        let idx = ClusterMips::build(&p, ClusterConfig::default(), 2);
+        let total: usize = idx.members.iter().map(Vec::len).sum();
+        assert_eq!(total, 50);
+        assert!(idx.populated_clusters() >= 2);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = params(30, 8, 3);
+        let a = ClusterMips::build(&p, ClusterConfig::default(), 5);
+        let b = ClusterMips::build(&p, ClusterConfig::default(), 5);
+        assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn searching_all_clusters_is_exact() {
+        let p = params(40, 10, 4);
+        let idx = ClusterMips::build(
+            &p,
+            ClusterConfig {
+                clusters: 4,
+                top_p: 4,
+                iterations: 8,
+            },
+            6,
+        );
+        for s in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let h: Vector = (0..10).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact = ExhaustiveMips.search(&p, &h);
+            let approx = idx.search(&p, &h);
+            assert_eq!(exact.label, approx.label, "seed {s}");
+            // Work = centroids + all rows.
+            assert_eq!(approx.comparisons, 4 + 40);
+        }
+    }
+
+    #[test]
+    fn narrow_search_does_less_work() {
+        let p = params(80, 10, 5);
+        let idx = ClusterMips::build(
+            &p,
+            ClusterConfig {
+                clusters: 8,
+                top_p: 1,
+                iterations: 10,
+            },
+            7,
+        );
+        let h: Vector = (0..10).map(|i| (i as f32 * 0.4).sin()).collect();
+        let r = idx.search(&p, &h);
+        assert!(r.comparisons < 80, "no saving: {}", r.comparisons);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer rows")]
+    fn too_many_clusters_rejected() {
+        let p = params(4, 8, 6);
+        let _ = ClusterMips::build(
+            &p,
+            ClusterConfig {
+                clusters: 10,
+                ..ClusterConfig::default()
+            },
+            8,
+        );
+    }
+}

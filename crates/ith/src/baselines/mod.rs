@@ -1,0 +1,23 @@
+//! Approximate-MIPS baselines from the paper's related work (§VI-B).
+//!
+//! The paper argues that hashing- and clustering-based maximum inner-product
+//! search (Shrivastava & Li 2014; Auvolat et al. 2015) "may be too slow to
+//! be used in the output layer of a DNN in resource-limited environments".
+//! These modules implement both families so the claim is measurable:
+//!
+//! * [`AlshMips`] — asymmetric locality-sensitive hashing: rows are
+//!   norm-augmented so MIPS becomes cosine near-neighbour search over
+//!   sign-random-projection hash tables.
+//! * [`ClusterMips`] — spherical k-means over the output rows; a query
+//!   scores the centroids and exhaustively searches the top clusters.
+//!
+//! Both report the same [`MipsResult`](crate::MipsResult) accounting as
+//! inference thresholding, with `comparisons` counting *exact dot products
+//! evaluated* (hash/centroid probes are tracked separately on the structs),
+//! so the `mips_compare` harness can weigh recall against work.
+
+mod alsh;
+mod cluster;
+
+pub use alsh::{AlshConfig, AlshMips};
+pub use cluster::{ClusterConfig, ClusterMips};

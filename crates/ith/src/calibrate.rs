@@ -1,0 +1,313 @@
+//! Calibration: Steps 1–3 of Algorithm 1.
+
+use mann_babi::EncodedSample;
+use memn2n::{forward, TrainedModel};
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::Histogram;
+use crate::silhouette::mean_silhouette;
+use crate::threshold::{class_threshold, ClassThreshold};
+use crate::{Kde, Kernel};
+
+/// Per-class logit statistics collected from correct training predictions
+/// (the `HG_i` / `HG_ī` histograms of Algorithm 1, Step 1). Also the data
+/// behind Fig 2(b).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LogitStats {
+    /// `on[i]`: values of `z_i` when `i` was the (correctly predicted)
+    /// answer.
+    pub on: Vec<Histogram>,
+    /// `off[i]`: values of `z_i` when the answer was some other class.
+    pub off: Vec<Histogram>,
+    /// Label counts over the calibration set (for the prior `p(y = i)`).
+    pub label_counts: Vec<usize>,
+    /// Number of samples whose prediction was correct (and therefore
+    /// contributed to the histograms).
+    pub contributing: usize,
+    /// Total calibration samples.
+    pub total: usize,
+}
+
+impl LogitStats {
+    /// Collects logit statistics by running `model` over `samples`.
+    pub fn collect(model: &TrainedModel, samples: &[EncodedSample]) -> Self {
+        let v = model.params.vocab_size;
+        let mut stats = Self {
+            on: vec![Histogram::new(); v],
+            off: vec![Histogram::new(); v],
+            label_counts: vec![0; v],
+            contributing: 0,
+            total: samples.len(),
+        };
+        for s in samples {
+            stats.label_counts[s.answer] += 1;
+            let trace = forward(&model.params, s);
+            let pred = trace.prediction();
+            if pred != s.answer {
+                continue; // Algorithm 1 only learns from correct passes.
+            }
+            stats.contributing += 1;
+            for (i, &z) in trace.logits.iter().enumerate() {
+                if i == s.answer {
+                    stats.on[i].add(z);
+                } else {
+                    stats.off[i].add(z);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Prior `p(y = i)` with Laplace smoothing.
+    pub fn prior(&self, i: usize) -> f32 {
+        (self.label_counts[i] + 1) as f32 / (self.total + self.label_counts.len()) as f32
+    }
+}
+
+/// The calibrated thresholding model: per-class thresholds θ, the silhouette
+/// probe order, and the configuration that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdingModel {
+    /// θ_i per class (Eq 8); `None` disables speculation on that class.
+    pub thresholds: Vec<ClassThreshold>,
+    /// Class indices sorted by descending silhouette coefficient (Step 3).
+    pub order: Vec<usize>,
+    /// Silhouette coefficient per class (diagnostics and the ordering
+    /// ablation).
+    pub silhouettes: Vec<f32>,
+    /// The confidence constant ρ.
+    pub rho: f32,
+    /// The KDE kernel used.
+    pub kernel: Kernel,
+}
+
+impl ThresholdingModel {
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// How many classes have an active threshold.
+    pub fn active_classes(&self) -> usize {
+        self.thresholds.iter().filter(|t| t.theta.is_some()).count()
+    }
+}
+
+/// How the per-class hypothesis weight of the posterior is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PriorMode {
+    /// Balanced binary hypothesis (weight ½) — the interpretation under
+    /// which the paper's ρ ∈ {1.0, 0.99, 0.95, 0.9} operating points are
+    /// meaningful. Default.
+    #[default]
+    Balanced,
+    /// Weight each class by its empirical label frequency (Laplace
+    /// smoothed). Very small priors make the posterior so conservative the
+    /// ρ sweep degenerates; kept for the ablation.
+    Empirical,
+}
+
+/// Builder for the calibration pipeline.
+///
+/// ```
+/// use mann_ith::{Kernel, ThresholdingCalibrator};
+///
+/// let cal = ThresholdingCalibrator::new().rho(0.95).kernel(Kernel::Gaussian);
+/// assert_eq!(cal.rho_value(), 0.95);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdingCalibrator {
+    rho: f32,
+    kernel: Kernel,
+    silhouette_cap: usize,
+    prior_mode: PriorMode,
+}
+
+impl Default for ThresholdingCalibrator {
+    fn default() -> Self {
+        Self {
+            rho: 1.0,
+            kernel: Kernel::default(),
+            silhouette_cap: 200,
+            prior_mode: PriorMode::default(),
+        }
+    }
+}
+
+impl ThresholdingCalibrator {
+    /// Paper defaults: ρ = 1.0, Epanechnikov kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the confidence constant ρ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `(0, 1]`.
+    pub fn rho(mut self, rho: f32) -> Self {
+        assert!(rho > 0.0 && rho <= 1.0, "rho {rho} outside (0, 1]");
+        self.rho = rho;
+        self
+    }
+
+    /// The configured ρ.
+    pub fn rho_value(&self) -> f32 {
+        self.rho
+    }
+
+    /// Sets the KDE kernel.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Caps the per-class silhouette subsample size.
+    pub fn silhouette_cap(mut self, cap: usize) -> Self {
+        self.silhouette_cap = cap;
+        self
+    }
+
+    /// Selects how the posterior's hypothesis weight is chosen.
+    pub fn prior_mode(mut self, mode: PriorMode) -> Self {
+        self.prior_mode = mode;
+        self
+    }
+
+    /// Runs Steps 1–3 of Algorithm 1 against a trained model and its
+    /// training set.
+    pub fn calibrate(&self, model: &TrainedModel, train: &[EncodedSample]) -> ThresholdingModel {
+        let stats = LogitStats::collect(model, train);
+        self.calibrate_from_stats(&stats)
+    }
+
+    /// Runs Steps 2–3 from pre-collected statistics (lets callers reuse one
+    /// expensive collection pass across many ρ values, as the Fig 3 sweep
+    /// does).
+    pub fn calibrate_from_stats(&self, stats: &LogitStats) -> ThresholdingModel {
+        let v = stats.on.len();
+        let mut thresholds = Vec::with_capacity(v);
+        let mut silhouettes = Vec::with_capacity(v);
+        for i in 0..v {
+            let on = Kde::fit(stats.on[i].samples(), self.kernel);
+            let off = Kde::fit(stats.off[i].samples(), self.kernel);
+            let weight = match self.prior_mode {
+                PriorMode::Balanced => 0.5,
+                PriorMode::Empirical => stats.prior(i),
+            };
+            thresholds.push(class_threshold(weight, &on, &off, self.rho));
+            silhouettes.push(mean_silhouette(
+                stats.on[i].samples(),
+                stats.off[i].samples(),
+                self.silhouette_cap,
+            ));
+        }
+        let mut order: Vec<usize> = (0..v).collect();
+        order.sort_by(|&a, &b| {
+            silhouettes[b]
+                .partial_cmp(&silhouettes[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ThresholdingModel {
+            thresholds,
+            order,
+            silhouettes,
+            rho: self.rho,
+            kernel: self.kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mann_babi::{DatasetBuilder, TaskId};
+    use memn2n::{ModelConfig, TrainConfig, Trainer};
+
+    fn trained() -> (TrainedModel, Vec<EncodedSample>, Vec<EncodedSample>) {
+        let data = DatasetBuilder::new()
+            .train_samples(200)
+            .test_samples(40)
+            .seed(4)
+            .build_task(TaskId::SingleSupportingFact);
+        let mut trainer = Trainer::from_task_data(
+            &data,
+            ModelConfig {
+                embed_dim: 20,
+                hops: 2,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            TrainConfig {
+                epochs: 20,
+                learning_rate: 0.05,
+                decay_every: 8,
+                clip_norm: 40.0,
+                seed: 4,
+                ..TrainConfig::default()
+            },
+        );
+        trainer.train();
+        trainer.into_parts()
+    }
+
+    #[test]
+    fn stats_only_come_from_correct_predictions() {
+        let (model, train, _) = trained();
+        let stats = LogitStats::collect(&model, &train);
+        assert!(stats.contributing > 0);
+        assert!(stats.contributing <= stats.total);
+        let on_total: usize = stats.on.iter().map(Histogram::len).sum();
+        assert_eq!(on_total, stats.contributing);
+        let off_total: usize = stats.off.iter().map(Histogram::len).sum();
+        assert_eq!(
+            off_total,
+            stats.contributing * (model.params.vocab_size - 1)
+        );
+    }
+
+    #[test]
+    fn priors_form_a_distribution() {
+        let (model, train, _) = trained();
+        let stats = LogitStats::collect(&model, &train);
+        let total: f32 = (0..model.params.vocab_size).map(|i| stats.prior(i)).sum();
+        assert!((total - 1.0).abs() < 1e-4, "{total}");
+    }
+
+    #[test]
+    fn calibration_produces_some_active_thresholds() {
+        let (model, train, _) = trained();
+        let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+        assert_eq!(ith.classes(), model.params.vocab_size);
+        assert!(
+            ith.active_classes() > 0,
+            "no class became separable after training"
+        );
+        // The order is a permutation.
+        let mut sorted = ith.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ith.classes()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_is_sorted_by_silhouette() {
+        let (model, train, _) = trained();
+        let ith = ThresholdingCalibrator::new().calibrate(&model, &train);
+        for w in ith.order.windows(2) {
+            assert!(ith.silhouettes[w[0]] >= ith.silhouettes[w[1]]);
+        }
+    }
+
+    #[test]
+    fn lower_rho_never_reduces_active_classes() {
+        let (model, train, _) = trained();
+        let stats = LogitStats::collect(&model, &train);
+        let strict = ThresholdingCalibrator::new()
+            .rho(1.0)
+            .calibrate_from_stats(&stats);
+        let loose = ThresholdingCalibrator::new()
+            .rho(0.9)
+            .calibrate_from_stats(&stats);
+        assert!(loose.active_classes() >= strict.active_classes());
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixed-width histograms of logit values (the `HG_i` / `HG_ī` of
+//! Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A uniform-bin histogram that also retains its raw samples (the KDE and
+/// silhouette steps need them; the binned view drives Fig 2(b)-style plots).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f32>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Non-finite values are ignored (they cannot
+    /// occur in the fixed-point datapath and would poison the KDE).
+    pub fn add(&mut self, value: f32) {
+        if value.is_finite() {
+            self.samples.push(value);
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw observations.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f32> {
+        mann_linalg::stats::min(&self.samples)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f32> {
+        mann_linalg::stats::max(&self.samples)
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        mann_linalg::stats::mean(&self.samples)
+    }
+
+    /// Sample standard deviation (0 when empty).
+    pub fn std_dev(&self) -> f32 {
+        mann_linalg::stats::std_dev(&self.samples)
+    }
+
+    /// Bins the observations into `bins` uniform cells over `[lo, hi]`,
+    /// returning normalized frequencies (sum 1 when non-empty). Values
+    /// outside the range clamp to the boundary cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn binned(&self, bins: usize, lo: f32, hi: f32) -> Vec<f32> {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "invalid range [{lo}, {hi}]");
+        let mut counts = vec![0.0f32; bins];
+        let width = (hi - lo) / bins as f32;
+        for &x in &self.samples {
+            let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1.0;
+        }
+        let n = self.samples.len() as f32;
+        if n > 0.0 {
+            for c in &mut counts {
+                *c /= n;
+            }
+        }
+        counts
+    }
+}
+
+impl Extend<f32> for Histogram {
+    fn extend<I: IntoIterator<Item = f32>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f32> for Histogram {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let mut h = Self::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_summaries() {
+        let h: Histogram = [1.0f32, 2.0, 3.0].into_iter().collect();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(3.0));
+        assert!((h.mean() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut h = Histogram::new();
+        h.add(f32::NAN);
+        h.add(f32::INFINITY);
+        h.add(1.0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn binned_frequencies_sum_to_one() {
+        let h: Histogram = (0..100).map(|i| i as f32 / 10.0).collect();
+        let bins = h.binned(8, 0.0, 10.0);
+        let sum: f32 = bins.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edges() {
+        let h: Histogram = [-100.0f32, 100.0].into_iter().collect();
+        let bins = h.binned(4, 0.0, 1.0);
+        assert_eq!(bins[0], 0.5);
+        assert_eq!(bins[3], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn binned_rejects_empty_range() {
+        let _ = Histogram::new().binned(4, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Kernel density estimation of the conditional logit distributions
+//! (Step 1 of Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+/// The smoothing kernel.
+///
+/// The paper's ρ = 1.0 operating point needs the posterior to *reach* 1,
+/// which requires the off-class density to be exactly zero somewhere — so
+/// the default kernel is the compactly supported Epanechnikov. Gaussian is
+/// available for the kernel ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(u) = 0.75 (1 - u²)` on `|u| ≤ 1` — compact support.
+    #[default]
+    Epanechnikov,
+    /// Standard normal kernel — infinite support.
+    Gaussian,
+}
+
+impl Kernel {
+    fn eval(self, u: f32) -> f32 {
+        match self {
+            Kernel::Epanechnikov => {
+                if u.abs() <= 1.0 {
+                    0.75 * (1.0 - u * u)
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Gaussian => {
+                (-0.5 * u * u).exp() / (2.0 * std::f32::consts::PI).sqrt()
+            }
+        }
+    }
+}
+
+/// A 1-D kernel density estimate over a fixed sample set.
+///
+/// ```
+/// use mann_ith::{Kde, Kernel};
+///
+/// let kde = Kde::fit(&[0.0, 0.1, -0.1, 0.05], Kernel::Epanechnikov);
+/// assert!(kde.density(0.0) > kde.density(5.0));
+/// assert_eq!(kde.density(5.0), 0.0); // compact support
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kde {
+    samples: Vec<f32>,
+    bandwidth: f32,
+    kernel: Kernel,
+}
+
+impl Kde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth
+    /// (`1.06 σ n^{-1/5}`, floored to avoid degenerate spikes).
+    pub fn fit(samples: &[f32], kernel: Kernel) -> Self {
+        let clean: Vec<f32> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        let sigma = mann_linalg::stats::std_dev(&clean);
+        let n = clean.len().max(1) as f32;
+        let bandwidth = (1.06 * sigma * n.powf(-0.2)).max(1e-3);
+        Self {
+            samples: clean,
+            bandwidth,
+            kernel,
+        }
+    }
+
+    /// Fits with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth <= 0`.
+    pub fn fit_with_bandwidth(samples: &[f32], kernel: Kernel, bandwidth: f32) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self {
+            samples: samples.iter().copied().filter(|x| x.is_finite()).collect(),
+            bandwidth,
+            kernel,
+        }
+    }
+
+    /// Number of support samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the estimate has no support samples (density is 0
+    /// everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The fitted bandwidth.
+    pub fn bandwidth(&self) -> f32 {
+        self.bandwidth
+    }
+
+    /// Estimated density at `x` (0 for an empty estimate).
+    pub fn density(&self, x: f32) -> f32 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let h = self.bandwidth;
+        let sum: f32 = self
+            .samples
+            .iter()
+            .map(|&s| self.kernel.eval((x - s) / h))
+            .sum();
+        sum / (self.samples.len() as f32 * h)
+    }
+
+    /// The support samples (finite values only).
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// The leftmost point with non-zero density; `None` when empty.
+    pub fn support_min(&self) -> Option<f32> {
+        let m = mann_linalg::stats::min(&self.samples)?;
+        Some(match self.kernel {
+            Kernel::Epanechnikov => m - self.bandwidth,
+            Kernel::Gaussian => m - 6.0 * self.bandwidth,
+        })
+    }
+
+    /// The rightmost point with non-zero density (for compact kernels:
+    /// `max(samples) + bandwidth`); `None` when empty.
+    pub fn support_max(&self) -> Option<f32> {
+        let m = mann_linalg::stats::max(&self.samples)?;
+        Some(match self.kernel {
+            Kernel::Epanechnikov => m + self.bandwidth,
+            // Treat 6σ as effective support for the Gaussian.
+            Kernel::Gaussian => m + 6.0 * self.bandwidth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        for kernel in [Kernel::Epanechnikov, Kernel::Gaussian] {
+            let kde = Kde::fit(&[0.0, 1.0, 2.0, 1.5, 0.5], kernel);
+            // Trapezoid integral over a generous range.
+            let (lo, hi, n) = (-10.0f32, 12.0f32, 4000);
+            let step = (hi - lo) / n as f32;
+            let integral: f32 = (0..=n)
+                .map(|i| kde.density(lo + step * i as f32))
+                .sum::<f32>()
+                * step;
+            assert!((integral - 1.0).abs() < 0.02, "{kernel:?}: {integral}");
+        }
+    }
+
+    #[test]
+    fn epanechnikov_has_compact_support() {
+        let kde = Kde::fit(&[0.0, 0.5], Kernel::Epanechnikov);
+        let beyond = kde.support_max().unwrap() + 0.1;
+        assert_eq!(kde.density(beyond), 0.0);
+    }
+
+    #[test]
+    fn gaussian_is_everywhere_positive() {
+        let kde = Kde::fit(&[0.0, 1.0, 2.0], Kernel::Gaussian);
+        assert!(kde.density(8.0) > 0.0);
+    }
+
+    #[test]
+    fn empty_estimate_is_zero() {
+        let kde = Kde::fit(&[], Kernel::Epanechnikov);
+        assert!(kde.is_empty());
+        assert_eq!(kde.density(0.0), 0.0);
+        assert_eq!(kde.support_max(), None);
+    }
+
+    #[test]
+    fn density_peaks_near_data() {
+        let kde = Kde::fit(&[5.0, 5.1, 4.9, 5.05], Kernel::Epanechnikov);
+        assert!(kde.density(5.0) > kde.density(4.0));
+        assert!(kde.density(5.0) > kde.density(6.0));
+    }
+
+    #[test]
+    fn bandwidth_shrinks_with_more_data() {
+        let few = Kde::fit(&[0.0, 1.0, 2.0, 3.0], Kernel::Gaussian);
+        let many: Vec<f32> = (0..400).map(|i| (i % 4) as f32).collect();
+        let dense = Kde::fit(&many, Kernel::Gaussian);
+        assert!(dense.bandwidth() < few.bandwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = Kde::fit_with_bandwidth(&[1.0], Kernel::Gaussian, 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Maximum inner-product search strategies (Step 4 of Algorithm 1 and the
+//! conventional baseline of Fig 2(a)).
+
+use mann_linalg::Vector;
+use memn2n::forward::output_logit;
+use memn2n::Params;
+use serde::{Deserialize, Serialize};
+
+use crate::ThresholdingModel;
+
+/// Outcome of one output-layer search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MipsResult {
+    /// The predicted class.
+    pub label: usize,
+    /// Number of logit comparisons performed (= output rows evaluated).
+    pub comparisons: usize,
+    /// Whether the search terminated early through a threshold.
+    pub speculated: bool,
+}
+
+/// A strategy for finding `argmax_i W_o[i] · h`.
+///
+/// Object-safe so the platform models can hold `&dyn MipsStrategy`.
+pub trait MipsStrategy {
+    /// Runs the search over the output layer of `params` for hidden state
+    /// `h`.
+    fn search(&self, params: &Params, h: &Vector) -> MipsResult;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The conventional method (Fig 2(a)): evaluate every logit, return the
+/// argmax.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExhaustiveMips;
+
+impl MipsStrategy for ExhaustiveMips {
+    fn search(&self, params: &Params, h: &Vector) -> MipsResult {
+        let v = params.vocab_size;
+        let mut best = 0usize;
+        let mut best_z = f32::NEG_INFINITY;
+        for i in 0..v {
+            let z = output_logit(params, h, i);
+            if z > best_z {
+                best_z = z;
+                best = i;
+            }
+        }
+        MipsResult {
+            label: best,
+            comparisons: v,
+            speculated: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+/// Inference thresholding (Fig 2(b)): probe classes in silhouette order and
+/// stop at the first logit that clears its threshold; fall back to the exact
+/// argmax when none fires.
+#[derive(Debug, Clone)]
+pub struct ThresholdedMips<'a> {
+    model: &'a ThresholdingModel,
+    use_ordering: bool,
+}
+
+impl<'a> ThresholdedMips<'a> {
+    /// Creates the strategy with silhouette index ordering enabled (the
+    /// paper's full method).
+    pub fn new(model: &'a ThresholdingModel) -> Self {
+        Self {
+            model,
+            use_ordering: true,
+        }
+    }
+
+    /// Disables Step 3's index ordering (the ablation in Fig 3): classes are
+    /// probed in natural index order instead.
+    pub fn without_ordering(model: &'a ThresholdingModel) -> Self {
+        Self {
+            model,
+            use_ordering: false,
+        }
+    }
+
+    /// The probe order in effect.
+    fn order(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        if self.use_ordering {
+            Box::new(self.model.order.iter().copied())
+        } else {
+            Box::new(0..self.model.classes())
+        }
+    }
+}
+
+impl MipsStrategy for ThresholdedMips<'_> {
+    fn search(&self, params: &Params, h: &Vector) -> MipsResult {
+        debug_assert_eq!(params.vocab_size, self.model.classes());
+        let mut best = 0usize;
+        let mut best_z = f32::NEG_INFINITY;
+        let mut comparisons = 0usize;
+        for i in self.order() {
+            let z = output_logit(params, h, i);
+            comparisons += 1;
+            if self.model.thresholds[i].fires(z) {
+                return MipsResult {
+                    label: i,
+                    comparisons,
+                    speculated: true,
+                };
+            }
+            if z > best_z {
+                best_z = z;
+                best = i;
+            }
+        }
+        MipsResult {
+            label: best,
+            comparisons,
+            speculated: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.use_ordering {
+            "inference-thresholding"
+        } else {
+            "inference-thresholding-unordered"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ClassThreshold;
+    use crate::Kernel;
+    use memn2n::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> Params {
+        Params::init(
+            ModelConfig {
+                embed_dim: 4,
+                hops: 1,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            6,
+            &mut StdRng::seed_from_u64(2),
+        )
+    }
+
+    fn ith_model(thetas: Vec<Option<f32>>, order: Vec<usize>) -> ThresholdingModel {
+        let n = thetas.len();
+        ThresholdingModel {
+            thresholds: thetas.into_iter().map(|theta| ClassThreshold { theta }).collect(),
+            order,
+            silhouettes: vec![0.0; n],
+            rho: 1.0,
+            kernel: Kernel::Epanechnikov,
+        }
+    }
+
+    #[test]
+    fn exhaustive_visits_every_class() {
+        let p = params();
+        let h = Vector::from(vec![1.0, -0.5, 0.25, 2.0]);
+        let r = ExhaustiveMips.search(&p, &h);
+        assert_eq!(r.comparisons, 6);
+        assert!(!r.speculated);
+        // Matches the dense matvec argmax.
+        let z = p.w_o.matvec(&h).unwrap();
+        assert_eq!(Some(r.label), z.argmax());
+    }
+
+    #[test]
+    fn disabled_thresholds_reduce_to_exhaustive_result() {
+        let p = params();
+        let h = Vector::from(vec![0.3, 0.1, -0.2, 0.9]);
+        let ith = ith_model(vec![None; 6], (0..6).collect());
+        let fast = ThresholdedMips::new(&ith).search(&p, &h);
+        let exact = ExhaustiveMips.search(&p, &h);
+        assert_eq!(fast.label, exact.label);
+        assert_eq!(fast.comparisons, 6);
+        assert!(!fast.speculated);
+    }
+
+    #[test]
+    fn firing_threshold_stops_early() {
+        let p = params();
+        let h = Vector::from(vec![1.0, 1.0, 1.0, 1.0]);
+        // Class probed first fires immediately (threshold far below any
+        // logit).
+        let first = 3usize;
+        let mut thetas = vec![None; 6];
+        thetas[first] = Some(-1e6);
+        let ith = ith_model(thetas, vec![3, 0, 1, 2, 4, 5]);
+        let r = ThresholdedMips::new(&ith).search(&p, &h);
+        assert_eq!(r.label, first);
+        assert_eq!(r.comparisons, 1);
+        assert!(r.speculated);
+    }
+
+    #[test]
+    fn ordering_controls_probe_sequence() {
+        let p = params();
+        let h = Vector::from(vec![1.0, 0.0, 0.0, 0.0]);
+        let mut thetas = vec![None; 6];
+        thetas[5] = Some(-1e6); // fires for any logit
+        // With ordering, class 5 is probed first → 1 comparison.
+        let ith = ith_model(thetas, vec![5, 0, 1, 2, 3, 4]);
+        let ordered = ThresholdedMips::new(&ith).search(&p, &h);
+        assert_eq!(ordered.comparisons, 1);
+        // Without ordering, classes 0..4 are probed before 5.
+        let unordered = ThresholdedMips::without_ordering(&ith).search(&p, &h);
+        assert_eq!(unordered.comparisons, 6);
+        assert_eq!(unordered.label, 5);
+        assert!(unordered.speculated);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        let ith = ith_model(vec![None; 6], (0..6).collect());
+        assert_eq!(ExhaustiveMips.name(), "exhaustive");
+        assert_eq!(ThresholdedMips::new(&ith).name(), "inference-thresholding");
+        assert_eq!(
+            ThresholdedMips::without_ordering(&ith).name(),
+            "inference-thresholding-unordered"
+        );
+    }
+
+    #[test]
+    fn strategy_is_object_safe() {
+        let ith = ith_model(vec![None; 6], (0..6).collect());
+        let strategies: Vec<Box<dyn MipsStrategy + '_>> = vec![
+            Box::new(ExhaustiveMips),
+            Box::new(ThresholdedMips::new(&ith)),
+        ];
+        let p = params();
+        let h = Vector::from(vec![0.1, 0.2, 0.3, 0.4]);
+        for s in &strategies {
+            let r = s.search(&p, &h);
+            assert!(r.comparisons >= 1);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Silhouette coefficient for the efficient index order (Step 3 of
+//! Algorithm 1, citing Rousseeuw 1987).
+//!
+//! For class `i` the two clusters are the on-class logits (`z_i` when `i`
+//! is the answer) and the off-class logits. A class whose clusters are far
+//! apart and tight gets a silhouette near 1 — thresholding it first is most
+//! likely to terminate the search.
+
+/// Mean silhouette coefficient of cluster `on` against cluster `off`
+/// (1-dimensional, absolute-difference metric).
+///
+/// Both clusters are subsampled to at most `cap` points to bound the O(n²)
+/// distance computation. Returns 0 when either cluster has no points or
+/// `on` has a single point with no distances.
+pub fn mean_silhouette(on: &[f32], off: &[f32], cap: usize) -> f32 {
+    let on = subsample(on, cap);
+    let off = subsample(off, cap);
+    if on.is_empty() || off.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for (idx, &x) in on.iter().enumerate() {
+        // a(x): mean intra-cluster distance (excluding self).
+        let a = if on.len() > 1 {
+            on.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != idx)
+                .map(|(_, &y)| (x - y).abs())
+                .sum::<f32>()
+                / (on.len() - 1) as f32
+        } else {
+            0.0
+        };
+        // b(x): mean distance to the other cluster.
+        let b = off.iter().map(|&y| (x - y).abs()).sum::<f32>() / off.len() as f32;
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f32
+    }
+}
+
+/// Deterministic stride subsampling to at most `cap` elements.
+fn subsample(xs: &[f32], cap: usize) -> Vec<f32> {
+    if cap == 0 || xs.len() <= cap {
+        return xs.to_vec();
+    }
+    let stride = xs.len() as f32 / cap as f32;
+    (0..cap)
+        .map(|i| xs[(i as f32 * stride) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_score_near_one() {
+        let on: Vec<f32> = (0..50).map(|i| 10.0 + i as f32 * 0.01).collect();
+        let off: Vec<f32> = (0..50).map(|i| -10.0 + i as f32 * 0.01).collect();
+        let s = mean_silhouette(&on, &off, 100);
+        assert!(s > 0.95, "{s}");
+    }
+
+    #[test]
+    fn identical_clusters_score_near_zero() {
+        let xs: Vec<f32> = (0..40).map(|i| (i % 7) as f32).collect();
+        let s = mean_silhouette(&xs, &xs, 100);
+        assert!(s.abs() < 0.15, "{s}");
+    }
+
+    #[test]
+    fn inverted_structure_scores_negative() {
+        // on-cluster is spread wide, off-cluster sits inside it.
+        let on = vec![-10.0, 10.0, -9.5, 9.5];
+        let off = vec![0.0, 0.1, -0.1];
+        let s = mean_silhouette(&on, &off, 100);
+        assert!(s < 0.0, "{s}");
+    }
+
+    #[test]
+    fn empty_cluster_scores_zero() {
+        assert_eq!(mean_silhouette(&[], &[1.0], 10), 0.0);
+        assert_eq!(mean_silhouette(&[1.0], &[], 10), 0.0);
+    }
+
+    #[test]
+    fn silhouette_is_bounded() {
+        let on = vec![1.0, 2.0, 3.0];
+        let off = vec![2.5, 3.5];
+        let s = mean_silhouette(&on, &off, 10);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn subsampling_caps_cost_but_keeps_signal() {
+        let on: Vec<f32> = (0..10_000).map(|i| 5.0 + (i % 10) as f32 * 0.01).collect();
+        let off: Vec<f32> = (0..10_000).map(|i| -5.0 + (i % 10) as f32 * 0.01).collect();
+        let s = mean_silhouette(&on, &off, 50);
+        assert!(s > 0.9);
+    }
+}

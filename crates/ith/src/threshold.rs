@@ -1,0 +1,191 @@
+//! Per-class threshold computation (Step 2 of Algorithm 1, Eq 8).
+//!
+//! Given the two conditional densities of a class's logit — on-class
+//! `p(z | y = i)` and off-class `p(z | y ≠ i)` — the two-hypothesis Bayes
+//! posterior with on-class weight `w` is
+//!
+//! ```text
+//! p(y = i | z) = w p_on(z) / (w p_on(z) + (1 - w) p_off(z))
+//! ```
+//!
+//! Following Eq 8 literally, the threshold is the *smallest observed*
+//! on-class logit whose posterior reaches ρ:
+//! `θ_i = min({z_i | p(y = i | z_i) ≥ ρ})`. Lower ρ admits smaller observed
+//! logits, pushing θ into the class-overlap region — fewer comparisons,
+//! some accuracy loss: the Fig 3 trade-off.
+//!
+//! The weight `w` defaults to ½ (a balanced binary hypothesis, which is
+//! what makes the paper's ρ ∈ {1.0, 0.99, 0.95, 0.9} operating points
+//! meaningful); the empirical class prior is available through
+//! [`PriorMode::Empirical`](crate::calibrate::PriorMode).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Kde;
+
+/// A per-class decision threshold; `None` means "never speculate on this
+/// class" (insufficient calibration data or the posterior never reaches ρ).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassThreshold {
+    /// θ_i, when speculation is permitted.
+    pub theta: Option<f32>,
+}
+
+impl ClassThreshold {
+    /// Whether logit `z` clears the threshold (always false when
+    /// speculation is disabled for the class).
+    pub fn fires(&self, z: f32) -> bool {
+        match self.theta {
+            Some(t) => z > t,
+            None => false,
+        }
+    }
+}
+
+/// Two-hypothesis Bayes posterior `p(y = i | z)` with on-class weight
+/// `weight`.
+pub fn posterior(z: f32, weight: f32, on: &Kde, off: &Kde) -> f32 {
+    let num = weight * on.density(z);
+    let den = num + (1.0 - weight) * off.density(z);
+    if den <= 0.0 {
+        // No density from either hypothesis: undefined; treat as not
+        // confident.
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Computes θ_i as the smallest observed on-class logit whose posterior
+/// reaches ρ (Eq 8).
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `(0, 1]` or `weight` is outside `[0, 1]`.
+pub fn class_threshold(weight: f32, on: &Kde, off: &Kde, rho: f32) -> ClassThreshold {
+    assert!(rho > 0.0 && rho <= 1.0, "rho {rho} outside (0, 1]");
+    assert!((0.0..=1.0).contains(&weight), "weight {weight} outside [0, 1]");
+    let theta = on
+        .samples()
+        .iter()
+        .copied()
+        .filter(|&z| posterior(z, weight, on, off) >= rho)
+        .fold(None, |acc: Option<f32>, z| {
+            Some(match acc {
+                Some(t) if t <= z => t,
+                _ => z,
+            })
+        });
+    ClassThreshold { theta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+
+    fn kde(xs: &[f32]) -> Kde {
+        Kde::fit(xs, Kernel::Epanechnikov)
+    }
+
+    #[test]
+    fn posterior_is_one_beyond_off_support() {
+        let on = kde(&[5.0, 5.5, 6.0]);
+        let off = kde(&[-1.0, 0.0, 1.0]);
+        let p = posterior(5.8, 0.5, &on, &off);
+        assert!((p - 1.0).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn posterior_is_low_in_off_territory() {
+        let on = kde(&[5.0, 5.5, 6.0]);
+        let off = kde(&[-1.0, 0.0, 1.0]);
+        let p = posterior(0.0, 0.5, &on, &off);
+        assert!(p < 0.1, "{p}");
+    }
+
+    #[test]
+    fn posterior_is_half_where_densities_match() {
+        let xs = [0.0f32, 1.0, 2.0, 3.0];
+        let on = kde(&xs);
+        let p = posterior(1.5, 0.5, &on, &on);
+        assert!((p - 0.5).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn separated_classes_get_a_threshold_at_rho_one() {
+        let on = kde(&[5.0, 5.5, 6.0, 5.2, 5.8]);
+        let off = kde(&[-1.0, 0.0, 1.0, 0.5]);
+        let t = class_threshold(0.5, &on, &off, 1.0);
+        let theta = t.theta.expect("separable classes threshold");
+        // The threshold is an observed on-class logit past the off support.
+        assert!((5.0..=6.0).contains(&theta), "theta {theta}");
+        assert!(t.fires(theta + 0.1));
+        assert!(!t.fires(theta - 0.1));
+    }
+
+    #[test]
+    fn overlapping_classes_get_no_threshold_at_rho_one() {
+        let xs: Vec<f32> = (0..50).map(|i| (i % 10) as f32 * 0.1).collect();
+        let on = kde(&xs);
+        // Identical densities → posterior is 0.5 inside the support and 0
+        // outside it, so no observed sample reaches 1.0.
+        let t = class_threshold(0.5, &on, &on, 1.0);
+        assert_eq!(t.theta, None);
+    }
+
+    #[test]
+    fn lower_rho_lowers_the_threshold() {
+        // Partially overlapping clusters.
+        let on = kde(&[2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0]);
+        let off = kde(&[0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]);
+        let strict = class_threshold(0.5, &on, &off, 1.0);
+        let loose = class_threshold(0.5, &on, &off, 0.8);
+        match (strict.theta, loose.theta) {
+            (Some(s), Some(l)) => assert!(l <= s, "{l} > {s}"),
+            (None, Some(_)) => {}
+            other => panic!("unexpected thresholds {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rho_sweep_is_monotone_in_theta() {
+        let on = kde(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let off = kde(&[0.0, 1.0, 2.0, 3.0]);
+        let mut prev = f32::INFINITY;
+        for rho in [1.0f32, 0.99, 0.95, 0.9, 0.8] {
+            let t = class_threshold(0.5, &on, &off, rho);
+            if let Some(theta) = t.theta {
+                assert!(theta <= prev + 1e-6, "theta rose at rho {rho}");
+                prev = theta;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_on_class_disables_speculation() {
+        let on = kde(&[]);
+        let off = kde(&[0.0, 1.0]);
+        assert_eq!(class_threshold(0.5, &on, &off, 0.9).theta, None);
+    }
+
+    #[test]
+    fn higher_weight_is_more_permissive() {
+        let on = kde(&[2.0, 3.0, 4.0, 5.0]);
+        let off = kde(&[0.0, 1.0, 2.0, 3.0]);
+        let balanced = class_threshold(0.5, &on, &off, 0.9);
+        let confident = class_threshold(0.9, &on, &off, 0.9);
+        match (balanced.theta, confident.theta) {
+            (Some(b), Some(c)) => assert!(c <= b + 1e-6, "{c} > {b}"),
+            (None, Some(_)) | (None, None) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn invalid_rho_rejected() {
+        let on = kde(&[1.0]);
+        let _ = class_threshold(0.5, &on, &on, 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end properties of inference thresholding on a really trained
+//! model — the invariants behind Fig 3.
+
+use mann_babi::{DatasetBuilder, EncodedSample, TaskId};
+use mann_ith::search::{ExhaustiveMips, MipsStrategy, ThresholdedMips};
+use mann_ith::{LogitStats, ThresholdingCalibrator};
+use memn2n::forward::forward_until_output;
+use memn2n::{ModelConfig, TrainConfig, TrainedModel, Trainer};
+
+fn train_task1() -> (TrainedModel, Vec<EncodedSample>, Vec<EncodedSample>) {
+    let data = DatasetBuilder::new()
+        .train_samples(300)
+        .test_samples(60)
+        .seed(17)
+        .build_task(TaskId::SingleSupportingFact);
+    let mut trainer = Trainer::from_task_data(
+        &data,
+        ModelConfig {
+            embed_dim: 24,
+            hops: 2,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        TrainConfig {
+            epochs: 25,
+            learning_rate: 0.05,
+            decay_every: 10,
+            clip_norm: 40.0,
+            seed: 17,
+            ..TrainConfig::default()
+        },
+    );
+    trainer.train();
+    trainer.into_parts()
+}
+
+struct Outcome {
+    accuracy: f32,
+    mean_comparisons: f32,
+}
+
+fn evaluate(model: &TrainedModel, test: &[EncodedSample], strategy: &dyn MipsStrategy) -> Outcome {
+    let mut correct = 0usize;
+    let mut comparisons = 0usize;
+    for s in test {
+        let h = forward_until_output(&model.params, s);
+        let r = strategy.search(&model.params, &h);
+        if r.label == s.answer {
+            correct += 1;
+        }
+        comparisons += r.comparisons;
+    }
+    Outcome {
+        accuracy: correct as f32 / test.len() as f32,
+        mean_comparisons: comparisons as f32 / test.len() as f32,
+    }
+}
+
+#[test]
+fn thresholding_preserves_accuracy_and_cuts_comparisons_at_rho_one() {
+    let (model, train, test) = train_task1();
+    let exact = evaluate(&model, &test, &ExhaustiveMips);
+    assert!(exact.accuracy > 0.7, "baseline accuracy {}", exact.accuracy);
+
+    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let fast = evaluate(&model, &test, &ThresholdedMips::new(&ith));
+
+    // Paper: ρ = 1.0 costs < 0.1 % accuracy. Allow a couple of test
+    // questions of slack on this small split.
+    assert!(
+        fast.accuracy >= exact.accuracy - 0.05,
+        "accuracy dropped {} -> {}",
+        exact.accuracy,
+        fast.accuracy
+    );
+    assert!(
+        fast.mean_comparisons < exact.mean_comparisons,
+        "no comparison savings: {} vs {}",
+        fast.mean_comparisons,
+        exact.mean_comparisons
+    );
+}
+
+#[test]
+fn lower_rho_means_fewer_comparisons() {
+    let (model, train, test) = train_task1();
+    let stats = LogitStats::collect(&model, &train);
+    let mut prev = f32::INFINITY;
+    for rho in [1.0f32, 0.99, 0.95, 0.9] {
+        let ith = ThresholdingCalibrator::new()
+            .rho(rho)
+            .calibrate_from_stats(&stats);
+        let out = evaluate(&model, &test, &ThresholdedMips::new(&ith));
+        assert!(
+            out.mean_comparisons <= prev + 1e-3,
+            "rho {rho}: comparisons rose to {}",
+            out.mean_comparisons
+        );
+        prev = out.mean_comparisons;
+    }
+}
+
+#[test]
+fn ordering_never_hurts_comparisons_on_average() {
+    let (model, train, test) = train_task1();
+    let ith = ThresholdingCalibrator::new().rho(0.95).calibrate(&model, &train);
+    let ordered = evaluate(&model, &test, &ThresholdedMips::new(&ith));
+    let unordered = evaluate(&model, &test, &ThresholdedMips::without_ordering(&ith));
+    // Fig 3: ordering improves (or at worst matches) the comparison count.
+    assert!(
+        ordered.mean_comparisons <= unordered.mean_comparisons * 1.05,
+        "ordered {} vs unordered {}",
+        ordered.mean_comparisons,
+        unordered.mean_comparisons
+    );
+}
+
+#[test]
+fn comparisons_never_exceed_class_count() {
+    let (model, train, test) = train_task1();
+    let ith = ThresholdingCalibrator::new().rho(0.9).calibrate(&model, &train);
+    let strategy = ThresholdedMips::new(&ith);
+    for s in &test {
+        let h = forward_until_output(&model.params, s);
+        let r = strategy.search(&model.params, &h);
+        assert!(r.comparisons <= model.params.vocab_size);
+        assert!(r.comparisons >= 1);
+    }
+}
+
+#[test]
+fn speculation_fires_on_a_trained_separable_task() {
+    let (model, train, test) = train_task1();
+    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let strategy = ThresholdedMips::new(&ith);
+    let fired = test
+        .iter()
+        .filter(|s| {
+            let h = forward_until_output(&model.params, s);
+            strategy.search(&model.params, &h).speculated
+        })
+        .count();
+    assert!(
+        fired > test.len() / 4,
+        "speculation fired on only {fired}/{} samples",
+        test.len()
+    );
+}

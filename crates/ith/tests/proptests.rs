@@ -1,0 +1,113 @@
+//! Property tests for inference thresholding: posterior bounds, threshold
+//! monotonicity, ordering invariants, and baseline-search totality.
+
+use mann_ith::baselines::{AlshConfig, AlshMips, ClusterConfig, ClusterMips};
+use mann_ith::search::{ExhaustiveMips, MipsStrategy, ThresholdedMips};
+use mann_ith::threshold::{class_threshold, posterior, ClassThreshold};
+use mann_ith::{Kde, Kernel, ThresholdingModel};
+use mann_linalg::Vector;
+use memn2n::{ModelConfig, Params};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    let cluster = |center: f32| {
+        proptest::collection::vec((-1.0f32..1.0).prop_map(move |d| center + d), 3..40)
+    };
+    ((-5.0f32..5.0), (-5.0f32..5.0)).prop_flat_map(move |(c1, c2)| (cluster(c1), cluster(c2)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The posterior is always a probability.
+    #[test]
+    fn posterior_is_bounded((on, off) in cluster_pair(), z in -10.0f32..10.0, w in 0.0f32..=1.0) {
+        for kernel in [Kernel::Epanechnikov, Kernel::Gaussian] {
+            let on_kde = Kde::fit(&on, kernel);
+            let off_kde = Kde::fit(&off, kernel);
+            let p = posterior(z, w, &on_kde, &off_kde);
+            prop_assert!((0.0..=1.0).contains(&p), "{p}");
+        }
+    }
+
+    /// θ never increases as ρ decreases, for any cluster pair.
+    #[test]
+    fn theta_is_monotone_in_rho((on, off) in cluster_pair()) {
+        let on_kde = Kde::fit(&on, Kernel::Epanechnikov);
+        let off_kde = Kde::fit(&off, Kernel::Epanechnikov);
+        let mut prev = f32::INFINITY;
+        for rho in [1.0f32, 0.99, 0.95, 0.9, 0.8, 0.6] {
+            if let Some(theta) = class_threshold(0.5, &on_kde, &off_kde, rho).theta {
+                prop_assert!(theta <= prev + 1e-5, "theta rose to {theta} at rho {rho}");
+                prev = theta;
+            }
+        }
+    }
+
+    /// Any threshold produced is an observed on-class sample.
+    #[test]
+    fn theta_is_an_observed_sample((on, off) in cluster_pair(), rho in 0.5f32..=1.0) {
+        let on_kde = Kde::fit(&on, Kernel::Epanechnikov);
+        let off_kde = Kde::fit(&off, Kernel::Epanechnikov);
+        if let Some(theta) = class_threshold(0.5, &on_kde, &off_kde, rho).theta {
+            prop_assert!(on.contains(&theta), "theta {theta} not observed");
+        }
+    }
+
+    /// The thresholded search always returns a valid label with bounded
+    /// comparisons, under arbitrary (even adversarial) threshold tables.
+    #[test]
+    fn thresholded_search_is_total(
+        seed in 0u64..500,
+        thetas in proptest::collection::vec(proptest::option::of(-5.0f32..5.0), 12),
+    ) {
+        let params = Params::init(
+            ModelConfig { embed_dim: 6, hops: 1, tie_embeddings: false,
+ ..ModelConfig::default()
+},
+            12,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let model = ThresholdingModel {
+            thresholds: thetas.into_iter().map(|theta| ClassThreshold { theta }).collect(),
+            order: (0..12).rev().collect(),
+            silhouettes: vec![0.0; 12],
+            rho: 1.0,
+            kernel: Kernel::Epanechnikov,
+        };
+        let h: Vector = (0..6).map(|i| ((seed + i as u64) as f32 * 0.37).sin()).collect();
+        for strategy in [ThresholdedMips::new(&model), ThresholdedMips::without_ordering(&model)] {
+            let r = strategy.search(&params, &h);
+            prop_assert!(r.label < 12);
+            prop_assert!((1..=12).contains(&r.comparisons));
+            // Non-speculated searches must agree with the exact argmax.
+            if !r.speculated {
+                prop_assert_eq!(r.label, ExhaustiveMips.search(&params, &h).label);
+            }
+        }
+    }
+
+    /// ALSH and clustering always return valid labels and never evaluate a
+    /// row twice (comparisons ≤ classes + probes).
+    #[test]
+    fn baselines_are_total(seed in 0u64..200) {
+        let params = Params::init(
+            ModelConfig { embed_dim: 8, hops: 1, tie_embeddings: false,
+ ..ModelConfig::default()
+},
+            24,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let h: Vector = (0..8).map(|i| ((seed ^ 0xAB) as f32 * 0.1 + i as f32 * 0.4).cos()).collect();
+        let alsh = AlshMips::build(&params, AlshConfig::default(), seed);
+        let ra = alsh.search(&params, &h);
+        prop_assert!(ra.label < 24);
+        prop_assert!(ra.comparisons <= 2 * 24, "{}", ra.comparisons);
+        let cluster = ClusterMips::build(&params, ClusterConfig { clusters: 4, top_p: 2, iterations: 5 }, seed);
+        let rc = cluster.search(&params, &h);
+        prop_assert!(rc.label < 24);
+        prop_assert!(rc.comparisons <= 24 + 4 + 24);
+    }
+}

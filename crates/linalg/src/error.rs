@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when operand dimensions do not match an operation's
+/// requirements.
+///
+/// Carries the operation name and both shapes so failures deep inside a
+/// training loop or the hardware simulator are immediately diagnosable.
+///
+/// ```
+/// use mann_linalg::{Matrix, Vector};
+///
+/// let w = Matrix::zeros(2, 3);
+/// let x = Vector::zeros(5);
+/// let err = w.matvec(&x).unwrap_err();
+/// assert!(err.to_string().contains("matvec"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with the two offending
+    /// shapes. Vectors are reported as `(len, 1)`.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that rejected the operands.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_operation_and_shapes() {
+        let e = ShapeError::new("dot", (3, 1), (4, 1));
+        let s = e.to_string();
+        assert!(s.contains("dot"));
+        assert!(s.contains("3x1"));
+        assert!(s.contains("4x1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<ShapeError>();
+    }
+}

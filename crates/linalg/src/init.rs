@@ -1,0 +1,87 @@
+//! Seeded weight initializers.
+//!
+//! All randomness flows through caller-supplied [`rand::Rng`] instances so
+//! every experiment in the reproduction is deterministic given its seed.
+
+use rand::Rng;
+
+use crate::Matrix;
+
+/// Fills a new `rows x cols` matrix with `N(0, std_dev)` samples
+/// (Box–Muller via `rand`), the initializer the original MemN2N used
+/// (σ = 0.1).
+///
+/// ```
+/// use mann_linalg::init::gaussian;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = gaussian(4, 8, 0.1, &mut rng);
+/// assert_eq!(w.shape(), (4, 8));
+/// ```
+pub fn gaussian<R: Rng>(rows: usize, cols: usize, std_dev: f32, rng: &mut R) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.as_mut_slice() {
+        *x = sample_normal(rng) * std_dev;
+    }
+    m
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for x in m.as_mut_slice() {
+        *x = rng.gen_range(-a..a);
+    }
+    m
+}
+
+/// One standard normal sample via Box–Muller (avoids a dependency on
+/// `rand_distr`).
+fn sample_normal<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let a = gaussian(3, 3, 0.1, &mut StdRng::seed_from_u64(42));
+        let b = gaussian(3, 3, 0.1, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = gaussian(3, 3, 0.1, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = gaussian(100, 100, 0.1, &mut rng);
+        let n = m.as_slice().len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= a));
+    }
+}

@@ -1,0 +1,448 @@
+//! Row-major dense `f32` matrix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ShapeError, Vector};
+
+/// A row-major dense `f32` matrix.
+///
+/// Dimensions follow the paper's conventions: an embedding weight is
+/// `embed_dim x vocab_size` (columns are word embeddings, Eq 2), the output
+/// weight `W_o` is `output_dim x embed_dim` (rows are class weight vectors,
+/// Eq 6).
+///
+/// ```
+/// use mann_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), mann_linalg::ShapeError> {
+/// let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let y = m.matvec(&Vector::from(vec![1.0, 1.0]))?;
+/// assert_eq!(y.as_slice(), &[3.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Result<Self, ShapeError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in &rows {
+            if row.len() != n_cols {
+                return Err(ShapeError::new("from_rows", (n_rows, n_cols), (1, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_flat", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major view of the elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat row-major mutable view of the elements.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    ///
+    /// This is the access pattern of the INPUT & WRITE embedding module,
+    /// which reads one weight column per input word index (Eq 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "col {c} out of range {}", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector, ShapeError> {
+        if x.len() != self.cols {
+            return Err(ShapeError::new("matvec", self.shape(), (x.len(), 1)));
+        }
+        let xs = x.as_slice();
+        Ok((0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(xs)
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+            })
+            .collect())
+    }
+
+    /// Transposed matrix-vector product `self^T * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != rows`.
+    pub fn matvec_transposed(&self, x: &Vector) -> Result<Vector, ShapeError> {
+        if x.len() != self.rows {
+            return Err(ShapeError::new("matvec_transposed", self.shape(), (x.len(), 1)));
+        }
+        let mut out = Vector::zeros(self.cols);
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            let o = out.as_mut_slice();
+            for c in 0..self.cols {
+                o[c] += xr * row[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul", self.shape(), other.shape()));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// In-place rank-1 update `self += scale * a * b^T` (outer product
+    /// accumulation) — the workhorse of the manual backprop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `a.len() != rows` or `b.len() != cols`.
+    pub fn add_outer(&mut self, scale: f32, a: &Vector, b: &Vector) -> Result<(), ShapeError> {
+        if a.len() != self.rows || b.len() != self.cols {
+            return Err(ShapeError::new("add_outer", self.shape(), (a.len(), b.len())));
+        }
+        for r in 0..self.rows {
+            let ar = scale * a[r];
+            if ar == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(r);
+            for (c, bv) in b.iter().enumerate() {
+                row[c] += ar * bv;
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place `self += scale * other` (matrix AXPY).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Self) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("axpy", self.shape(), other.shape()));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Adds `scale * col_vec` into column `c` in place — the embedding
+    /// gradient scatter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `col_vec.len() != rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn add_to_col(&mut self, c: usize, scale: f32, col_vec: &Vector) -> Result<(), ShapeError> {
+        assert!(c < self.cols, "col {c} out of range {}", self.cols);
+        if col_vec.len() != self.rows {
+            return Err(ShapeError::new("add_to_col", self.shape(), (col_vec.len(), 1)));
+        }
+        for r in 0..self.rows {
+            self.data[r * self.cols + c] += scale * col_vec[r];
+        }
+        Ok(())
+    }
+
+    /// Sums the columns selected by `indices` into a new [`Vector`] — the
+    /// index-based embedding of Eq 2 (`M_i = Σ_{idx ∈ S_i} W_emb[:, idx]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn sum_cols(&self, indices: &[usize]) -> Vector {
+        let mut out = Vector::zeros(self.rows);
+        for &c in indices {
+            assert!(c < self.cols, "col {c} out of range {}", self.cols);
+            for r in 0..self.rows {
+                out[r] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sets every element to zero, keeping the shape.
+    pub fn clear(&mut self) {
+        for x in &mut self.data {
+            *x = 0.0;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale_in_place(&mut self, scale: f32) {
+        for x in &mut self.data {
+            *x *= scale;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_flat_checks_size() {
+        assert!(Matrix::from_flat(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_flat(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2).as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = sample();
+        let y = m.matvec(&Vector::from(vec![1.0, 0.0, -1.0])).unwrap();
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let m = sample();
+        let x = Vector::from(vec![1.0, 2.0]);
+        let a = m.matvec_transposed(&x).unwrap();
+        let b = m.transposed().matvec(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let id = Matrix::identity(3);
+        assert_eq!(m.matmul(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_shape_check() {
+        let m = sample();
+        assert!(m.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn add_outer_matches_manual() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(2.0, &Vector::from(vec![1.0, 3.0]), &Vector::from(vec![5.0, 7.0]))
+            .unwrap();
+        assert_eq!(m.as_slice(), &[10.0, 14.0, 30.0, 42.0]);
+    }
+
+    #[test]
+    fn sum_cols_implements_eq2_embedding() {
+        let m = sample();
+        // words {0, 2, 2}: column 0 + column 2 twice
+        let v = m.sum_cols(&[0, 2, 2]);
+        assert_eq!(v.as_slice(), &[1.0 + 3.0 + 3.0, 4.0 + 6.0 + 6.0]);
+    }
+
+    #[test]
+    fn add_to_col_scatters() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_to_col(1, 1.0, &Vector::from(vec![9.0, 8.0])).unwrap();
+        assert_eq!(m.col(1).as_slice(), &[9.0, 8.0]);
+        assert_eq!(m.col(0).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = sample();
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iter_rows_yields_all_rows() {
+        let m = sample();
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Summary statistics shared by calibration code and tests.
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance; `0.0` for inputs shorter than two elements.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value; `None` for empty input. NaNs are ignored.
+pub fn min(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f32::min)
+}
+
+/// Maximum value; `None` for empty input. NaNs are ignored.
+pub fn max(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f32::max)
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`); `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(xs: &[f32], q: f32) -> Option<f32> {
+    assert!((0.0..=1.0).contains(&q), "percentile q={q} outside [0,1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+        assert!((std_dev(&xs) - 1.25f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn min_max_skip_nan() {
+        let xs = [f32::NAN, 2.0, -1.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 0.0), Some(0.0));
+        assert_eq!(percentile(&xs, 1.0), Some(10.0));
+        assert_eq!(percentile(&xs, 0.5), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn percentile_rejects_bad_q() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use mann_linalg::activation::{softmax_lut, ExpLut};
+use mann_linalg::{Fixed, Matrix, Vector};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|x| (x * 1024.0).round() / 1024.0)
+}
+
+fn vec_of(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(small_f32(), len)
+}
+
+proptest! {
+    #[test]
+    fn softmax_is_a_distribution(xs in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let p = Vector::from(xs).softmax();
+        prop_assert!(p.is_finite());
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+        prop_assert!((p.sum() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(xs in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let v = Vector::from(xs);
+        prop_assert_eq!(v.argmax(), v.softmax().argmax());
+    }
+
+    #[test]
+    fn dot_is_commutative(a in vec_of(16), b in vec_of(16)) {
+        let va = Vector::from(a);
+        let vb = Vector::from(b);
+        let ab = va.dot(&vb).unwrap();
+        let ba = vb.dot(&va).unwrap();
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn matvec_is_linear(rows in 1usize..8, cols in 1usize..8, s in -4.0f32..4.0) {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, x) in m.as_mut_slice().iter_mut().enumerate() {
+            *x = (i as f32 * 0.37).sin();
+        }
+        let x: Vector = (0..cols).map(|i| (i as f32 * 0.91).cos()).collect();
+        let y1 = m.matvec(&x.scaled(s)).unwrap();
+        let y2 = m.matvec(&x).unwrap().scaled(s);
+        for (a, b) in y1.iter().zip(y2.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_agree(rows in 1usize..8, cols in 1usize..8) {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, x) in m.as_mut_slice().iter_mut().enumerate() {
+            *x = ((i * 7 % 13) as f32) - 6.0;
+        }
+        let x: Vector = (0..rows).map(|i| i as f32 - 2.0).collect();
+        let a = m.matvec_transposed(&x).unwrap();
+        let b = m.transposed().matvec(&x).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_roundtrip_error_is_bounded(x in -30000.0f32..30000.0) {
+        let err = (Fixed::from_f32(x).to_f32() - x).abs();
+        prop_assert!(err <= 1.0 / 65536.0 + f32::EPSILON * x.abs());
+    }
+
+    #[test]
+    fn fixed_add_matches_float_in_range(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let s = (Fixed::from_f32(a) + Fixed::from_f32(b)).to_f32();
+        prop_assert!((s - (a + b)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_mul_matches_float_in_range(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let p = (Fixed::from_f32(a) * Fixed::from_f32(b)).to_f32();
+        prop_assert!((p - a * b).abs() < 0.01 + 1e-4 * (a * b).abs());
+    }
+
+    #[test]
+    fn fixed_ordering_is_consistent(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        // Quantization can merge near-equal values but must never invert order.
+        let (fa, fb) = (Fixed::from_f32(a), Fixed::from_f32(b));
+        if a < b {
+            prop_assert!(fa <= fb);
+        } else if a > b {
+            prop_assert!(fa >= fb);
+        }
+    }
+
+    #[test]
+    fn exp_lut_monotone_nonincreasing_toward_neg(x in -15.9f32..0.0) {
+        let lut = ExpLut::default();
+        let y1 = lut.eval(x);
+        let y2 = lut.eval(x - 0.05);
+        prop_assert!(y2 <= y1 + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&y1));
+    }
+
+    #[test]
+    fn softmax_lut_is_distribution(xs in proptest::collection::vec(-8.0f32..8.0, 1..32)) {
+        let lut = ExpLut::default();
+        let p = softmax_lut(&xs, &lut);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn sum_cols_equals_matvec_with_count_vector(cols in 1usize..10, picks in proptest::collection::vec(0usize..10, 0..12)) {
+        let picks: Vec<usize> = picks.into_iter().map(|p| p % cols).collect();
+        let mut m = Matrix::zeros(4, cols);
+        for (i, x) in m.as_mut_slice().iter_mut().enumerate() {
+            *x = (i as f32).sin();
+        }
+        let direct = m.sum_cols(&picks);
+        let mut counts = Vector::zeros(cols);
+        for &p in &picks {
+            counts[p] += 1.0;
+        }
+        let via_matvec = m.matvec(&counts).unwrap();
+        for (a, b) in direct.iter().zip(via_matvec.iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Manually derived gradients for the memory network.
+//!
+//! The backward pass mirrors [`forward`](crate::forward()) hop by hop in
+//! reverse:
+//!
+//! * output layer: `dW_o += dz ⊗ h`, `dh = W_o^T dz`;
+//! * controller (Eq 4): `dr = dh`, `dW_r += dh ⊗ k`, `dk += W_r^T dh`;
+//! * soft read (Eq 5): `da_i = dr · M_c[i]`, `dM_c[i] += a_i dr`;
+//! * softmax (Eq 1): `du_i = a_i (da_i - Σ_j a_j da_j)`,
+//!   `dM_a[i] += du_i k`, `dk += Σ_i du_i M_a[i]`;
+//! * recurrence (Eq 3): `dh^{t-1} += dk^t` for `t > 1`, else the key
+//!   gradient flows into the question embedding;
+//! * embedding (Eq 2): memory-row and question gradients scatter into the
+//!   embedding columns of the participating words.
+//!
+//! Correctness is enforced by finite-difference property tests in
+//! `tests/gradient_check.rs`.
+
+use mann_babi::EncodedSample;
+use mann_linalg::{Matrix, Vector};
+
+use crate::forward::GruTrace;
+use crate::{ForwardTrace, GruParams, Params};
+
+/// Gradient accumulator with the same shapes as [`Params`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// Gradient of the address embedding.
+    pub w_emb_a: Matrix,
+    /// Gradient of the content embedding (zero and unused when embeddings
+    /// are tied — tied content gradients merge into `w_emb_a`).
+    pub w_emb_c: Matrix,
+    /// Gradient of the controller weight.
+    pub w_r: Matrix,
+    /// Gradient of the output weight.
+    pub w_o: Matrix,
+    /// Gradients of the GRU gate weights (same layout as
+    /// [`GruParams`]); present iff the model's controller is gated.
+    pub gru: Option<GruParams>,
+}
+
+impl Gradients {
+    /// Zero gradients matching `params`' shapes.
+    pub fn zeros(params: &Params) -> Self {
+        Self {
+            w_emb_a: Matrix::zeros(params.w_emb_a.rows(), params.w_emb_a.cols()),
+            w_emb_c: Matrix::zeros(params.w_emb_c.rows(), params.w_emb_c.cols()),
+            w_r: Matrix::zeros(params.w_r.rows(), params.w_r.cols()),
+            w_o: Matrix::zeros(params.w_o.rows(), params.w_o.cols()),
+            gru: params.gru.as_ref().map(|_| {
+                let e = params.config.embed_dim;
+                GruParams {
+                    w_z: Matrix::zeros(e, e),
+                    u_z: Matrix::zeros(e, e),
+                    w_g: Matrix::zeros(e, e),
+                    u_g: Matrix::zeros(e, e),
+                    w_h: Matrix::zeros(e, e),
+                    u_h: Matrix::zeros(e, e),
+                }
+            }),
+        }
+    }
+
+    /// Global L2 norm over all gradient entries.
+    pub fn norm(&self) -> f32 {
+        let mut total = self.w_emb_a.frobenius_norm().powi(2)
+            + self.w_emb_c.frobenius_norm().powi(2)
+            + self.w_r.frobenius_norm().powi(2)
+            + self.w_o.frobenius_norm().powi(2);
+        if let Some(g) = &self.gru {
+            total += g
+                .matrices()
+                .iter()
+                .map(|m| m.frobenius_norm().powi(2))
+                .sum::<f32>();
+        }
+        total.sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`
+    /// (gradient clipping, as in the original MemN2N training recipe).
+    /// Returns the pre-clip norm.
+    pub fn clip_to(&mut self, max_norm: f32) -> f32 {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            let s = max_norm / n;
+            self.w_emb_a.scale_in_place(s);
+            self.w_emb_c.scale_in_place(s);
+            self.w_r.scale_in_place(s);
+            self.w_o.scale_in_place(s);
+            if let Some(g) = &mut self.gru {
+                for m in g.matrices_mut() {
+                    m.scale_in_place(s);
+                }
+            }
+        }
+        n
+    }
+
+    /// Heavy-ball momentum update: `self = mu * self + grads` (`self` is
+    /// the velocity buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ (velocity built for a different model).
+    pub fn blend_into(&mut self, mu: f32, grads: &Gradients) {
+        self.w_emb_a.scale_in_place(mu);
+        self.w_emb_a.axpy(1.0, &grads.w_emb_a).expect("shape");
+        self.w_emb_c.scale_in_place(mu);
+        self.w_emb_c.axpy(1.0, &grads.w_emb_c).expect("shape");
+        self.w_r.scale_in_place(mu);
+        self.w_r.axpy(1.0, &grads.w_r).expect("shape");
+        self.w_o.scale_in_place(mu);
+        self.w_o.axpy(1.0, &grads.w_o).expect("shape");
+        if let (Some(v), Some(g)) = (&mut self.gru, &grads.gru) {
+            for (vm, gm) in v.matrices_mut().into_iter().zip(g.matrices()) {
+                vm.scale_in_place(mu);
+                vm.axpy(1.0, gm).expect("shape");
+            }
+        }
+    }
+
+    /// Applies `params -= lr * grads` (SGD step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from `params` (gradient built for a different
+    /// model).
+    pub fn apply(&self, params: &mut Params, lr: f32) {
+        params.w_emb_a.axpy(-lr, &self.w_emb_a).expect("shape");
+        if !params.config.tie_embeddings {
+            params.w_emb_c.axpy(-lr, &self.w_emb_c).expect("shape");
+        }
+        params.w_r.axpy(-lr, &self.w_r).expect("shape");
+        params.w_o.axpy(-lr, &self.w_o).expect("shape");
+        if let (Some(pg), Some(gg)) = (&mut params.gru, &self.gru) {
+            for (pm, gm) in pg.matrices_mut().into_iter().zip(gg.matrices()) {
+                pm.axpy(-lr, gm).expect("shape");
+            }
+        }
+    }
+}
+
+/// Accumulates the gradients of one sample's loss into `grads`.
+///
+/// `dz` is the loss gradient with respect to the output logits (from
+/// [`softmax_cross_entropy`](crate::loss::softmax_cross_entropy)).
+///
+/// # Panics
+///
+/// Panics when `trace` does not correspond to (`params`, `sample`) — shape
+/// mismatches indicate a programming error.
+pub fn backward(
+    params: &Params,
+    sample: &EncodedSample,
+    trace: &ForwardTrace,
+    dz: &Vector,
+    grads: &mut Gradients,
+) {
+    let hops = params.config.hops;
+    let l = sample.sentences.len();
+
+    // Output layer: z = W_o h.
+    let h_final = trace.final_hidden();
+    grads.w_o.add_outer(1.0, dz, h_final).expect("w_o shape");
+    let mut dh = params.w_o.matvec_transposed(dz).expect("w_o width");
+
+    // Memory-row gradients accumulate across hops, scattered into the
+    // embeddings once at the end.
+    let mut d_mem_a = Matrix::zeros(l, params.config.embed_dim);
+    let mut d_mem_c = Matrix::zeros(l, params.config.embed_dim);
+
+    for t in (0..hops).rev() {
+        let k = &trace.keys[t];
+        let a = &trace.attention[t];
+
+        // Controller backward: Eq 4 (linear) or the gated variant.
+        let (dr, mut dk) = match (&params.gru, &trace.gru) {
+            (Some(gru), Some(traces)) => gru_backward(
+                gru,
+                &traces[t],
+                &trace.reads[t],
+                k,
+                &dh,
+                grads.gru.as_mut().expect("gru gradient slot"),
+            ),
+            _ => {
+                let dr = dh.clone();
+                grads.w_r.add_outer(1.0, &dh, k).expect("w_r shape");
+                let dk = params.w_r.matvec_transposed(&dh).expect("w_r width");
+                (dr, dk)
+            }
+        };
+
+        // Eq 5: r = M_c^T a  →  da_i = dr · M_c[i], dM_c[i] += a_i dr.
+        let mut da = Vector::zeros(l);
+        for i in 0..l {
+            let row = trace.mem_c.row(i);
+            da[i] = row.iter().zip(dr.iter()).map(|(m, g)| m * g).sum();
+            let drow = d_mem_c.row_mut(i);
+            for (dst, g) in drow.iter_mut().zip(dr.iter()) {
+                *dst += a[i] * g;
+            }
+        }
+
+        // Eq 1 softmax: du_i = a_i (da_i - Σ_j a_j da_j).
+        let dot: f32 = a.iter().zip(da.iter()).map(|(x, y)| x * y).sum();
+        let mut du = Vector::zeros(l);
+        for i in 0..l {
+            du[i] = a[i] * (da[i] - dot);
+        }
+
+        // u_i = M_a[i] · k  →  dM_a[i] += du_i k, dk += Σ du_i M_a[i].
+        for i in 0..l {
+            let drow = d_mem_a.row_mut(i);
+            for (dst, kv) in drow.iter_mut().zip(k.iter()) {
+                *dst += du[i] * kv;
+            }
+            let mrow = trace.mem_a.row(i);
+            for (dst, m) in dk.iter_mut().zip(mrow.iter()) {
+                *dst += du[i] * m;
+            }
+        }
+
+        // Eq 3: the key of hop t is the hidden of hop t-1 (or the question).
+        if t > 0 {
+            dh = dk;
+        } else {
+            // dq flows into the address embedding through the question words.
+            for &w in &sample.question {
+                grads.w_emb_a.add_to_col(w, 1.0, &dk).expect("emb shape");
+            }
+        }
+    }
+
+    // Eq 2 scatter: memory-row gradients into embedding columns.
+    let tie = params.config.tie_embeddings;
+    for (i, sent) in sample.sentences.iter().enumerate() {
+        let ga: Vector = d_mem_a.row(i).to_vec().into();
+        let gc: Vector = d_mem_c.row(i).to_vec().into();
+        for &w in sent {
+            grads.w_emb_a.add_to_col(w, 1.0, &ga).expect("emb shape");
+            if tie {
+                grads.w_emb_a.add_to_col(w, 1.0, &gc).expect("emb shape");
+            } else {
+                grads.w_emb_c.add_to_col(w, 1.0, &gc).expect("emb shape");
+            }
+        }
+    }
+}
+
+/// Backward through one GRU step; returns `(dr, dk)` and accumulates gate
+/// gradients.
+fn gru_backward(
+    gru: &GruParams,
+    t: &GruTrace,
+    r: &Vector,
+    k: &Vector,
+    dh: &Vector,
+    grads: &mut GruParams,
+) -> (Vector, Vector) {
+    let e = dh.len();
+    // h = (1-z) ⊙ k + z ⊙ h̃.
+    let mut dk = Vector::zeros(e);
+    let mut dz = Vector::zeros(e);
+    let mut dht = Vector::zeros(e);
+    for i in 0..e {
+        dk[i] = dh[i] * (1.0 - t.z[i]);
+        dz[i] = dh[i] * (t.h_tilde[i] - k[i]);
+        dht[i] = dh[i] * t.z[i];
+    }
+    // h̃ = tanh(a_h), a_h = W_h r + U_h gk.
+    let da_h: Vector = dht
+        .iter()
+        .zip(t.h_tilde.iter())
+        .map(|(&d, &h)| d * (1.0 - h * h))
+        .collect();
+    grads.w_h.add_outer(1.0, &da_h, r).expect("w_h shape");
+    grads.u_h.add_outer(1.0, &da_h, &t.gk).expect("u_h shape");
+    let mut dr = gru.w_h.matvec_transposed(&da_h).expect("w_h width");
+    let dgk = gru.u_h.matvec_transposed(&da_h).expect("u_h width");
+    // gk = g ⊙ k.
+    let mut dg = Vector::zeros(e);
+    for i in 0..e {
+        dg[i] = dgk[i] * k[i];
+        dk[i] += dgk[i] * t.g[i];
+    }
+    // g = σ(a_g), a_g = W_g r + U_g k.
+    let da_g: Vector = dg
+        .iter()
+        .zip(t.g.iter())
+        .map(|(&d, &g)| d * g * (1.0 - g))
+        .collect();
+    grads.w_g.add_outer(1.0, &da_g, r).expect("w_g shape");
+    grads.u_g.add_outer(1.0, &da_g, k).expect("u_g shape");
+    dr.axpy(1.0, &gru.w_g.matvec_transposed(&da_g).expect("w_g width"))
+        .expect("dim");
+    dk.axpy(1.0, &gru.u_g.matvec_transposed(&da_g).expect("u_g width"))
+        .expect("dim");
+    // z = σ(a_z), a_z = W_z r + U_z k.
+    let da_z: Vector = dz
+        .iter()
+        .zip(t.z.iter())
+        .map(|(&d, &z)| d * z * (1.0 - z))
+        .collect();
+    grads.w_z.add_outer(1.0, &da_z, r).expect("w_z shape");
+    grads.u_z.add_outer(1.0, &da_z, k).expect("u_z shape");
+    dr.axpy(1.0, &gru.w_z.matvec_transposed(&da_z).expect("w_z width"))
+        .expect("dim");
+    dk.axpy(1.0, &gru.u_z.matvec_transposed(&da_z).expect("u_z width"))
+        .expect("dim");
+    (dr, dk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::{forward, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(tie: bool) -> (Params, EncodedSample) {
+        let cfg = ModelConfig {
+            embed_dim: 5,
+            hops: 2,
+            tie_embeddings: tie,
+            ..ModelConfig::default()
+        };
+        let params = Params::init(cfg, 10, &mut StdRng::seed_from_u64(3));
+        let sample = EncodedSample {
+            sentences: vec![vec![1, 2], vec![3, 4, 5]],
+            question: vec![6, 7],
+            answer: 2,
+        };
+        (params, sample)
+    }
+
+    fn grads_for(params: &Params, sample: &EncodedSample) -> Gradients {
+        let trace = forward(params, sample);
+        let (_, dz) = softmax_cross_entropy(&trace.logits, sample.answer);
+        let mut g = Gradients::zeros(params);
+        backward(params, sample, &trace, &dz, &mut g);
+        g
+    }
+
+    #[test]
+    fn gradients_are_finite_and_nonzero() {
+        let (p, s) = setup(false);
+        let g = grads_for(&p, &s);
+        assert!(g.w_emb_a.is_finite());
+        assert!(g.norm() > 0.0);
+    }
+
+    #[test]
+    fn untouched_vocabulary_columns_have_zero_gradient() {
+        let (p, s) = setup(false);
+        let g = grads_for(&p, &s);
+        // Word indices 8 and 9 never occur.
+        for &w in &[8usize, 9] {
+            assert!(g.w_emb_a.col(w).iter().all(|&x| x == 0.0));
+            assert!(g.w_emb_c.col(w).iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn tied_embeddings_keep_content_gradient_zero() {
+        let (p, s) = setup(true);
+        let g = grads_for(&p, &s);
+        assert!(g.w_emb_c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn clip_bounds_the_norm() {
+        let (p, s) = setup(false);
+        let mut g = grads_for(&p, &s);
+        let before = g.clip_to(1e-3);
+        assert!(before > 1e-3);
+        assert!(g.norm() <= 1e-3 * 1.01);
+    }
+
+    #[test]
+    fn sgd_step_reduces_loss() {
+        let (mut p, s) = setup(false);
+        let trace = forward(&p, &s);
+        let (loss0, _) = softmax_cross_entropy(&trace.logits, s.answer);
+        for _ in 0..20 {
+            let g = grads_for(&p, &s);
+            g.apply(&mut p, 0.05);
+        }
+        let trace1 = forward(&p, &s);
+        let (loss1, _) = softmax_cross_entropy(&trace1.logits, s.answer);
+        assert!(loss1 < loss0, "{loss1} !< {loss0}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The READ module's recurrence.
+///
+/// The paper's controller is the linear form of Eq 4 (`h = r + W_r k`).
+/// [`ControllerKind::Gru`] swaps in a gated recurrent unit — the controller
+/// family of the LSTM/GRU accelerators the paper cites in §VI-A — to study
+/// what gating costs on the dataflow architecture (three extra matrix
+/// products plus sigmoid/tanh units per hop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// Eq 4: `h = r + W_r k`.
+    #[default]
+    Linear,
+    /// `h = (1-z) ⊙ k + z ⊙ tanh(W_h r + U_h (g ⊙ k))` with update gate
+    /// `z = σ(W_z r + U_z k)` and reset gate `g = σ(W_g r + U_g k)`.
+    Gru,
+}
+
+/// Architecture hyper-parameters of the memory network.
+///
+/// The paper's NLP setting has `|I| = vocab_size >> embed_dim = |E|`, which
+/// is what makes the sequential output layer the inference bottleneck and
+/// inference thresholding worthwhile.
+///
+/// ```
+/// use memn2n::ModelConfig;
+///
+/// let cfg = ModelConfig { embed_dim: 24, hops: 2, ..ModelConfig::default() };
+/// assert_eq!(cfg.hops, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Embedding dimension `|E|`.
+    pub embed_dim: usize,
+    /// Number of recurrent read hops `T` (the READ module loops this many
+    /// times).
+    pub hops: usize,
+    /// When true, the address and content embeddings share one weight
+    /// matrix, as in the paper's single-`W_emb` formulation; when false they
+    /// are trained separately (adjacent sharing), which learns better.
+    pub tie_embeddings: bool,
+    /// The READ controller recurrence (paper: linear).
+    pub controller: ControllerKind,
+}
+
+impl Default for ModelConfig {
+    /// MemN2N-on-bAbI defaults: 32-dimensional embeddings, 3 hops, untied.
+    fn default() -> Self {
+        Self {
+            embed_dim: 32,
+            hops: 3,
+            tie_embeddings: false,
+            controller: ControllerKind::Linear,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint
+    /// (`embed_dim == 0` or `hops == 0`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.embed_dim == 0 {
+            return Err("embed_dim must be positive".to_owned());
+        }
+        if self.hops == 0 {
+            return Err("hops must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ModelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(ModelConfig {
+            embed_dim: 0,
+            ..ModelConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ModelConfig {
+            hops: 0,
+            ..ModelConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! FLOP accounting for one inference.
+//!
+//! Table I reports energy efficiency as FLOPS/kJ; this module counts the
+//! floating-point work of each phase of one forward pass so the experiment
+//! harness can divide identical work by measured (simulated) energy. A
+//! multiply-accumulate counts as 2 FLOPs; `exp` and divide count as 1 each
+//! (the paper normalizes the same work across platforms, so the convention
+//! only needs to be consistent).
+
+use mann_babi::EncodedSample;
+use serde::{Deserialize, Serialize};
+
+use crate::ModelConfig;
+
+/// FLOPs of one inference, broken down by pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlopBreakdown {
+    /// INPUT & WRITE: index-based embedding of story and question (Eq 2).
+    pub write: u64,
+    /// MEM addressing: dot products, exp, normalization (Eq 1).
+    pub addressing: u64,
+    /// MEM read: weighted sum of content rows (Eq 5).
+    pub read: u64,
+    /// READ controller: `W_r k` and the add (Eq 4).
+    pub controller: u64,
+    /// OUTPUT layer: `W_o h` (Eq 6). With inference thresholding only the
+    /// compared rows are counted.
+    pub output: u64,
+}
+
+impl FlopBreakdown {
+    /// Total FLOPs across all phases.
+    pub fn total(&self) -> u64 {
+        self.write + self.addressing + self.read + self.controller + self.output
+    }
+}
+
+/// Counts the FLOPs of one full inference (no thresholding: all `|I|` output
+/// rows are computed).
+pub fn count_inference(config: &ModelConfig, vocab_size: usize, sample: &EncodedSample) -> FlopBreakdown {
+    count_inference_with_output_rows(config, vocab_size, sample, vocab_size)
+}
+
+/// Counts the FLOPs of one inference in which the output layer evaluated
+/// only `output_rows` of the `|I|` logits (inference thresholding stops
+/// early).
+pub fn count_inference_with_output_rows(
+    config: &ModelConfig,
+    vocab_size: usize,
+    sample: &EncodedSample,
+    output_rows: usize,
+) -> FlopBreakdown {
+    let e = config.embed_dim as u64;
+    let l = sample.sentences.len() as u64;
+    let hops = config.hops as u64;
+    let story_words = sample.story_words() as u64;
+    let q_words = sample.question.len() as u64;
+    let _ = vocab_size;
+
+    // Eq 2: one column add per word per embedding (address + content), plus
+    // the question into the address embedding.
+    let write = (story_words * e) * 2 + q_words * e;
+
+    // Per hop: L dot products of length E (2·L·E), L exps, L−1 sum adds,
+    // L divides.
+    let addressing = hops * (2 * l * e + l + l.saturating_sub(1) + l);
+
+    // Eq 5: weighted accumulation of L rows of length E (2·L·E per hop).
+    let read = hops * 2 * l * e;
+
+    // Eq 4: W_r k (2·E·E) plus the elementwise add (E) per hop.
+    let controller = hops * (2 * e * e + e);
+
+    // Eq 6: one length-E dot product (2·E) plus one compare (1) per
+    // evaluated row.
+    let output = output_rows as u64 * (2 * e + 1);
+
+    FlopBreakdown {
+        write,
+        addressing,
+        read,
+        controller,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EncodedSample {
+        EncodedSample {
+            sentences: vec![vec![1, 2, 3], vec![4, 5]],
+            question: vec![6, 7],
+            answer: 1,
+        }
+    }
+
+    fn config() -> ModelConfig {
+        ModelConfig {
+            embed_dim: 8,
+            hops: 2,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = count_inference(&config(), 50, &sample());
+        assert_eq!(
+            b.total(),
+            b.write + b.addressing + b.read + b.controller + b.output
+        );
+    }
+
+    #[test]
+    fn write_scales_with_story_words() {
+        let b = count_inference(&config(), 50, &sample());
+        // 5 story words * 8 * 2 + 2 question words * 8.
+        assert_eq!(b.write, 5 * 8 * 2 + 2 * 8);
+    }
+
+    #[test]
+    fn output_dominates_for_large_vocab() {
+        let b = count_inference(&config(), 5000, &sample());
+        assert!(b.output > b.addressing + b.read + b.controller);
+    }
+
+    #[test]
+    fn thresholding_reduces_only_output() {
+        let full = count_inference(&config(), 50, &sample());
+        let early = count_inference_with_output_rows(&config(), 50, &sample(), 5);
+        assert_eq!(full.write, early.write);
+        assert_eq!(full.addressing, early.addressing);
+        assert!(early.output < full.output);
+        assert_eq!(early.output, 5 * (2 * 8 + 1));
+    }
+
+    #[test]
+    fn more_hops_cost_more() {
+        let two = count_inference(&config(), 50, &sample());
+        let three = count_inference(
+            &ModelConfig {
+                hops: 3,
+                ..config()
+            },
+            50,
+            &sample(),
+        );
+        assert!(three.addressing > two.addressing);
+        assert!(three.controller > two.controller);
+        assert_eq!(three.write, two.write);
+    }
+}

@@ -1,0 +1,354 @@
+//! The forward pass (paper Eqs 1–6) with a full intermediate trace.
+
+use mann_babi::EncodedSample;
+use mann_linalg::activation::sigmoid;
+use mann_linalg::{Matrix, Vector};
+
+use crate::{GruParams, Params};
+
+/// Per-hop intermediates of the GRU controller, retained for backprop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruTrace {
+    /// Update gate `z = σ(W_z r + U_z k)`.
+    pub z: Vector,
+    /// Reset gate `g = σ(W_g r + U_g k)`.
+    pub g: Vector,
+    /// Gated state `g ⊙ k`.
+    pub gk: Vector,
+    /// Candidate `h̃ = tanh(W_h r + U_h (g ⊙ k))`.
+    pub h_tilde: Vector,
+}
+
+/// One GRU controller step: `h = (1-z) ⊙ k + z ⊙ h̃`.
+pub(crate) fn gru_step(gru: &GruParams, r: &Vector, k: &Vector) -> (Vector, GruTrace) {
+    let az = gru
+        .w_z
+        .matvec(r)
+        .expect("gate width")
+        .add(&gru.u_z.matvec(k).expect("gate width"))
+        .expect("same dim");
+    let z: Vector = az.iter().map(|&x| sigmoid(x)).collect();
+    let ag = gru
+        .w_g
+        .matvec(r)
+        .expect("gate width")
+        .add(&gru.u_g.matvec(k).expect("gate width"))
+        .expect("same dim");
+    let g: Vector = ag.iter().map(|&x| sigmoid(x)).collect();
+    let gk = g.hadamard(k).expect("same dim");
+    let ah = gru
+        .w_h
+        .matvec(r)
+        .expect("gate width")
+        .add(&gru.u_h.matvec(&gk).expect("gate width"))
+        .expect("same dim");
+    let h_tilde: Vector = ah.iter().map(|&x| x.tanh()).collect();
+    let h: Vector = z
+        .iter()
+        .zip(k.iter())
+        .zip(h_tilde.iter())
+        .map(|((&zv, &kv), &hv)| (1.0 - zv) * kv + zv * hv)
+        .collect();
+    (
+        h,
+        GruTrace {
+            z,
+            g,
+            gk,
+            h_tilde,
+        },
+    )
+}
+
+/// Every intermediate of one forward pass, retained for backprop, for
+/// attention-trace demos, and for the hardware simulator's functional
+/// cross-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardTrace {
+    /// Address memory `M_a` (`L x E`, one row per sentence) — Eq 2.
+    pub mem_a: Matrix,
+    /// Content memory `M_c` (`L x E`) — Eq 2.
+    pub mem_c: Matrix,
+    /// Embedded question (the first read key, Eq 3).
+    pub q_emb: Vector,
+    /// Read key per hop (`hops` entries; `keys[0] == q_emb`).
+    pub keys: Vec<Vector>,
+    /// Raw attention scores `M_a · k` per hop (pre-softmax).
+    pub scores: Vec<Vector>,
+    /// Attention weights per hop (Eq 1).
+    pub attention: Vec<Vector>,
+    /// Read vectors per hop (Eq 5).
+    pub reads: Vec<Vector>,
+    /// Controller outputs per hop (Eq 4); the last is the output-layer
+    /// input.
+    pub hiddens: Vec<Vector>,
+    /// Output logits `z = W_o h` (Eq 6).
+    pub logits: Vector,
+    /// GRU gate traces per hop, when the controller is gated.
+    pub gru: Option<Vec<GruTrace>>,
+}
+
+impl ForwardTrace {
+    /// The controller state fed to the output layer (`h^T`).
+    pub fn final_hidden(&self) -> &Vector {
+        self.hiddens.last().expect("at least one hop")
+    }
+
+    /// The predicted label (Eq 6).
+    pub fn prediction(&self) -> usize {
+        self.logits.argmax().expect("non-empty logits")
+    }
+}
+
+/// Embeds the story into address/content memories and the question into the
+/// first read key, then runs `hops` read iterations and the output layer.
+///
+/// # Panics
+///
+/// Panics if any word index is outside the vocabulary the parameters were
+/// initialized for (an encoder/model mismatch is a programming error, not a
+/// runtime condition).
+pub fn forward(params: &Params, sample: &EncodedSample) -> ForwardTrace {
+    let e = params.config.embed_dim;
+    let l = sample.sentences.len();
+    let w_a = &params.w_emb_a;
+    let w_c = params.content_embedding();
+
+    // Eq 2: index-based embedding — sum one column per word.
+    let mut mem_a = Matrix::zeros(l, e);
+    let mut mem_c = Matrix::zeros(l, e);
+    for (i, sent) in sample.sentences.iter().enumerate() {
+        let va = w_a.sum_cols(sent);
+        let vc = w_c.sum_cols(sent);
+        mem_a.row_mut(i).copy_from_slice(va.as_slice());
+        mem_c.row_mut(i).copy_from_slice(vc.as_slice());
+    }
+    let q_emb = w_a.sum_cols(&sample.question);
+
+    let hops = params.config.hops;
+    let mut keys = Vec::with_capacity(hops);
+    let mut scores = Vec::with_capacity(hops);
+    let mut attention = Vec::with_capacity(hops);
+    let mut reads = Vec::with_capacity(hops);
+    let mut hiddens = Vec::with_capacity(hops);
+    let mut gru_traces = params.gru.as_ref().map(|_| Vec::with_capacity(hops));
+
+    let mut k = q_emb.clone();
+    for _ in 0..hops {
+        // Eq 1: content-based addressing.
+        let u = mem_a.matvec(&k).expect("key matches memory width");
+        let a = u.softmax();
+        // Eq 5: soft read.
+        let r = mem_c.matvec_transposed(&a).expect("attention matches rows");
+        // Controller: Eq 4 (linear) or the gated variant.
+        let h = match (&params.gru, &mut gru_traces) {
+            (Some(gru), Some(traces)) => {
+                let (h, t) = gru_step(gru, &r, &k);
+                traces.push(t);
+                h
+            }
+            _ => {
+                let wk = params.w_r.matvec(&k).expect("controller width");
+                r.add(&wk).expect("same embed dim")
+            }
+        };
+        keys.push(k.clone());
+        scores.push(u);
+        attention.push(a);
+        reads.push(r);
+        hiddens.push(h.clone());
+        k = h; // Eq 3: next key is the controller output.
+    }
+
+    // Eq 6: output layer.
+    let h_final = hiddens.last().expect("hops >= 1");
+    let logits = params.w_o.matvec(h_final).expect("output width");
+
+    ForwardTrace {
+        mem_a,
+        mem_c,
+        q_emb,
+        keys,
+        scores,
+        attention,
+        reads,
+        hiddens,
+        logits,
+        gru: gru_traces,
+    }
+}
+
+/// Runs the forward pass only up to the controller output `h^T`, skipping
+/// the output layer — Step 4 of Algorithm 1 computes logits lazily from this
+/// vector.
+pub fn forward_until_output(params: &Params, sample: &EncodedSample) -> Vector {
+    // The trace is cheap relative to the output layer for bAbI sizes; reuse
+    // the full pass and drop the logits.
+    let mut trace = forward_hidden_only(params, sample);
+    trace
+        .pop()
+        .expect("at least one hop produces a hidden state")
+}
+
+/// Internal: hidden states per hop without materializing the output layer.
+fn forward_hidden_only(params: &Params, sample: &EncodedSample) -> Vec<Vector> {
+    let e = params.config.embed_dim;
+    let l = sample.sentences.len();
+    let w_a = &params.w_emb_a;
+    let w_c = params.content_embedding();
+    let mut mem_a = Matrix::zeros(l, e);
+    let mut mem_c = Matrix::zeros(l, e);
+    for (i, sent) in sample.sentences.iter().enumerate() {
+        mem_a
+            .row_mut(i)
+            .copy_from_slice(w_a.sum_cols(sent).as_slice());
+        mem_c
+            .row_mut(i)
+            .copy_from_slice(w_c.sum_cols(sent).as_slice());
+    }
+    let mut k = w_a.sum_cols(&sample.question);
+    let mut hiddens = Vec::with_capacity(params.config.hops);
+    for _ in 0..params.config.hops {
+        let a = mem_a.matvec(&k).expect("key width").softmax();
+        let r = mem_c.matvec_transposed(&a).expect("rows");
+        let h = match &params.gru {
+            Some(gru) => gru_step(gru, &r, &k).0,
+            None => {
+                let wk = params.w_r.matvec(&k).expect("controller width");
+                r.add(&wk).expect("embed dim")
+            }
+        };
+        hiddens.push(h.clone());
+        k = h;
+    }
+    hiddens
+}
+
+/// One output logit `z_i = W_o[i] · h` — the unit of work of the
+/// accelerator's sequential OUTPUT module and of inference thresholding.
+///
+/// # Panics
+///
+/// Panics if `index >= vocab_size`.
+pub fn output_logit(params: &Params, h: &Vector, index: usize) -> f32 {
+    let row = params.w_o.row(index);
+    row.iter().zip(h.iter()).map(|(w, x)| w * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> (Params, EncodedSample) {
+        let cfg = ModelConfig {
+            embed_dim: 6,
+            hops: 3,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        };
+        let params = Params::init(cfg, 12, &mut StdRng::seed_from_u64(7));
+        let sample = EncodedSample {
+            sentences: vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9]],
+            question: vec![10, 11],
+            answer: 3,
+        };
+        (params, sample)
+    }
+
+    #[test]
+    fn trace_shapes_are_consistent() {
+        let (p, s) = tiny();
+        let t = forward(&p, &s);
+        assert_eq!(t.mem_a.shape(), (3, 6));
+        assert_eq!(t.keys.len(), 3);
+        assert_eq!(t.attention.len(), 3);
+        assert_eq!(t.hiddens.len(), 3);
+        assert_eq!(t.logits.len(), 12);
+        for a in &t.attention {
+            assert!((a.sum() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn first_key_is_embedded_question() {
+        let (p, s) = tiny();
+        let t = forward(&p, &s);
+        assert_eq!(t.keys[0], t.q_emb);
+        assert_eq!(t.q_emb, p.w_emb_a.sum_cols(&s.question));
+    }
+
+    #[test]
+    fn keys_chain_through_hiddens() {
+        let (p, s) = tiny();
+        let t = forward(&p, &s);
+        assert_eq!(t.keys[1], t.hiddens[0]);
+        assert_eq!(t.keys[2], t.hiddens[1]);
+    }
+
+    #[test]
+    fn hidden_satisfies_eq4() {
+        let (p, s) = tiny();
+        let t = forward(&p, &s);
+        for hop in 0..3 {
+            let wk = p.w_r.matvec(&t.keys[hop]).unwrap();
+            let expect = t.reads[hop].add(&wk).unwrap();
+            assert_eq!(t.hiddens[hop], expect);
+        }
+    }
+
+    #[test]
+    fn logits_match_per_index_dot_products() {
+        let (p, s) = tiny();
+        let t = forward(&p, &s);
+        for i in 0..p.vocab_size {
+            let z = output_logit(&p, t.final_hidden(), i);
+            assert!((z - t.logits[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_until_output_matches_full_pass() {
+        let (p, s) = tiny();
+        let t = forward(&p, &s);
+        let h = forward_until_output(&p, &s);
+        assert_eq!(&h, t.final_hidden());
+    }
+
+    #[test]
+    fn tied_embeddings_change_the_result() {
+        let (p, s) = tiny();
+        let mut tied = p.clone();
+        tied.config.tie_embeddings = true;
+        let a = forward(&p, &s);
+        let b = forward(&tied, &s);
+        assert_ne!(a.logits, b.logits);
+        // With tied embeddings the content memory equals the address memory.
+        assert_eq!(b.mem_a, b.mem_c);
+    }
+
+    #[test]
+    fn attention_concentrates_with_scaled_memory() {
+        // A memory row aligned with the key dominates the softmax.
+        let cfg = ModelConfig {
+            embed_dim: 4,
+            hops: 1,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        };
+        let mut p = Params::init(cfg, 8, &mut StdRng::seed_from_u64(1));
+        p.w_emb_a.clear();
+        // Word 0 embeds to e0*10; word 1 to e1. Question = word 0.
+        p.w_emb_a[(0, 0)] = 10.0;
+        p.w_emb_a[(1, 1)] = 1.0;
+        let s = EncodedSample {
+            sentences: vec![vec![0], vec![1]],
+            question: vec![0],
+            answer: 0,
+        };
+        let t = forward(&p, &s);
+        assert!(t.attention[0][0] > 0.99, "attention {:?}", t.attention[0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Softmax cross-entropy loss.
+
+use mann_linalg::Vector;
+
+/// Cross-entropy of the softmax of `logits` against `target`, plus the
+/// gradient with respect to the logits (`softmax(z) - onehot(target)`).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range or `logits` is empty.
+pub fn softmax_cross_entropy(logits: &Vector, target: usize) -> (f32, Vector) {
+    assert!(!logits.is_empty(), "empty logits");
+    assert!(target < logits.len(), "target {target} out of range");
+    let p = logits.softmax();
+    let loss = -(p[target].max(1e-12)).ln();
+    let mut grad = p;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_n() {
+        let (loss, _) = softmax_cross_entropy(&Vector::zeros(4), 2);
+        assert!((loss - 4f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut z = Vector::zeros(5);
+        z[1] = 20.0;
+        let (loss, grad) = softmax_cross_entropy(&z, 1);
+        assert!(loss < 1e-3);
+        assert!(grad[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let z = Vector::from(vec![0.3, -1.0, 2.5, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&z, 0);
+        assert!(grad.sum().abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_is_negative_at_target_when_wrong() {
+        let mut z = Vector::zeros(3);
+        z[0] = 5.0; // confident, but target is 2
+        let (_, grad) = softmax_cross_entropy(&z, 2);
+        assert!(grad[2] < 0.0);
+        assert!(grad[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let _ = softmax_cross_entropy(&Vector::zeros(2), 2);
+    }
+
+    #[test]
+    fn finite_difference_matches_gradient() {
+        let z = Vector::from(vec![0.5, -0.25, 1.0]);
+        let (_, grad) = softmax_cross_entropy(&z, 1);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut zp = z.clone();
+            zp[i] += eps;
+            let mut zm = z.clone();
+            zm[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&zp, 1);
+            let (lm, _) = softmax_cross_entropy(&zm, 1);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-3, "{numeric} vs {}", grad[i]);
+        }
+    }
+}

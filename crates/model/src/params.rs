@@ -1,0 +1,239 @@
+//! Trainable parameters.
+
+use mann_linalg::{init, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ControllerKind;
+use crate::ModelConfig;
+
+/// GRU controller weights (all `E x E`): `W_*` act on the read vector `r`,
+/// `U_*` on the previous key `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GruParams {
+    /// Update-gate input weight.
+    pub w_z: Matrix,
+    /// Update-gate recurrent weight.
+    pub u_z: Matrix,
+    /// Reset-gate input weight.
+    pub w_g: Matrix,
+    /// Reset-gate recurrent weight.
+    pub u_g: Matrix,
+    /// Candidate input weight.
+    pub w_h: Matrix,
+    /// Candidate recurrent weight.
+    pub u_h: Matrix,
+}
+
+impl GruParams {
+    /// Initializes all six weights with `N(0, std_dev)`.
+    pub fn init<R: Rng>(embed_dim: usize, std_dev: f32, rng: &mut R) -> Self {
+        let mut m = || init::gaussian(embed_dim, embed_dim, std_dev, rng);
+        Self {
+            w_z: m(),
+            u_z: m(),
+            w_g: m(),
+            u_g: m(),
+            w_h: m(),
+            u_h: m(),
+        }
+    }
+
+    /// Iterates over the six weight matrices (fixed order: Wz, Uz, Wg, Ug,
+    /// Wh, Uh).
+    pub fn matrices(&self) -> [&Matrix; 6] {
+        [&self.w_z, &self.u_z, &self.w_g, &self.u_g, &self.w_h, &self.u_h]
+    }
+
+    /// Mutable counterpart of [`GruParams::matrices`].
+    pub fn matrices_mut(&mut self) -> [&mut Matrix; 6] {
+        [
+            &mut self.w_z,
+            &mut self.u_z,
+            &mut self.w_g,
+            &mut self.u_g,
+            &mut self.w_h,
+            &mut self.u_h,
+        ]
+    }
+}
+
+/// The trainable weights of the memory network.
+///
+/// Shapes (with `E = embed_dim`, `V = vocab_size`):
+///
+/// | weight    | shape   | role                                   |
+/// |-----------|---------|----------------------------------------|
+/// | `w_emb_a` | `E x V` | address embedding (Eq 1 keys, question)|
+/// | `w_emb_c` | `E x V` | content embedding (Eq 5 values)        |
+/// | `w_r`     | `E x E` | controller weight (Eq 4)               |
+/// | `w_o`     | `V x E` | output layer (Eq 6)                    |
+///
+/// With [`ModelConfig::tie_embeddings`] the content embedding aliases the
+/// address embedding at forward time and gradients merge into `w_emb_a`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Address embedding `W_emb^a` (`E x V`).
+    pub w_emb_a: Matrix,
+    /// Content embedding `W_emb^c` (`E x V`).
+    pub w_emb_c: Matrix,
+    /// Controller weight `W_r` (`E x E`).
+    pub w_r: Matrix,
+    /// Output weight `W_o` (`V x E`).
+    pub w_o: Matrix,
+    /// GRU controller weights; present iff
+    /// `config.controller == ControllerKind::Gru` (the linear controller
+    /// uses `w_r` alone).
+    pub gru: Option<GruParams>,
+    /// Copied from the generating config; consulted by forward/backward.
+    pub config: ModelConfig,
+    /// Output dimension `|I|` (vocabulary size).
+    pub vocab_size: usize,
+}
+
+impl Params {
+    /// Initializes parameters with `N(0, 0.1)` weights, the original MemN2N
+    /// recipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or `vocab_size == 0`.
+    pub fn init<R: Rng>(config: ModelConfig, vocab_size: usize, rng: &mut R) -> Self {
+        config.validate().expect("valid config");
+        assert!(vocab_size > 0, "vocab_size must be positive");
+        let e = config.embed_dim;
+        Self {
+            w_emb_a: init::gaussian(e, vocab_size, 0.1, rng),
+            w_emb_c: init::gaussian(e, vocab_size, 0.1, rng),
+            w_r: init::gaussian(e, e, 0.1, rng),
+            w_o: init::gaussian(vocab_size, e, 0.1, rng),
+            gru: match config.controller {
+                ControllerKind::Linear => None,
+                ControllerKind::Gru => Some(GruParams::init(e, 0.1, rng)),
+            },
+            config,
+            vocab_size,
+        }
+    }
+
+    /// The content embedding actually used at forward time (aliases the
+    /// address embedding when tied).
+    pub fn content_embedding(&self) -> &Matrix {
+        if self.config.tie_embeddings {
+            &self.w_emb_a
+        } else {
+            &self.w_emb_c
+        }
+    }
+
+    /// Total number of scalar parameters (tied embeddings counted once).
+    pub fn parameter_count(&self) -> usize {
+        let emb = self.w_emb_a.rows() * self.w_emb_a.cols();
+        let emb_total = if self.config.tie_embeddings { emb } else { 2 * emb };
+        let controller = match &self.gru {
+            None => self.w_r.rows() * self.w_r.cols(),
+            Some(g) => g.matrices().iter().map(|m| m.rows() * m.cols()).sum(),
+        };
+        emb_total + controller + self.w_o.rows() * self.w_o.cols()
+    }
+
+    /// True when every weight is finite — used as a training-loop sanity
+    /// check.
+    pub fn is_finite(&self) -> bool {
+        self.w_emb_a.is_finite()
+            && self.w_emb_c.is_finite()
+            && self.w_r.is_finite()
+            && self.w_o.is_finite()
+            && self
+                .gru
+                .as_ref()
+                .is_none_or(|g| g.matrices().iter().all(|m| m.is_finite()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(tie: bool) -> Params {
+        let cfg = ModelConfig {
+            embed_dim: 8,
+            hops: 2,
+            tie_embeddings: tie,
+            ..ModelConfig::default()
+        };
+        Params::init(cfg, 30, &mut StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn shapes_follow_config() {
+        let p = params(false);
+        assert_eq!(p.w_emb_a.shape(), (8, 30));
+        assert_eq!(p.w_emb_c.shape(), (8, 30));
+        assert_eq!(p.w_r.shape(), (8, 8));
+        assert_eq!(p.w_o.shape(), (30, 8));
+    }
+
+    #[test]
+    fn tied_content_embedding_aliases_address() {
+        let p = params(true);
+        assert_eq!(p.content_embedding(), &p.w_emb_a);
+        let q = params(false);
+        assert_eq!(q.content_embedding(), &q.w_emb_c);
+    }
+
+    #[test]
+    fn parameter_count_respects_tying() {
+        let untied = params(false).parameter_count();
+        let tied = params(true).parameter_count();
+        assert_eq!(untied - tied, 8 * 30);
+    }
+
+    #[test]
+    fn init_is_finite_and_seeded() {
+        let p = params(false);
+        assert!(p.is_finite());
+        assert_eq!(p, params(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab_size")]
+    fn zero_vocab_panics() {
+        let _ = Params::init(ModelConfig::default(), 0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn gru_config_allocates_gate_weights() {
+        let cfg = ModelConfig {
+            embed_dim: 6,
+            hops: 2,
+            tie_embeddings: false,
+            controller: ControllerKind::Gru,
+        };
+        let p = Params::init(cfg, 20, &mut StdRng::seed_from_u64(9));
+        let g = p.gru.as_ref().expect("gru weights");
+        for m in g.matrices() {
+            assert_eq!(m.shape(), (6, 6));
+        }
+        // 6 E x E gate weights replace the single linear W_r.
+        let linear = Params::init(
+            ModelConfig { controller: ControllerKind::Linear, ..cfg },
+            20,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(
+            p.parameter_count() - linear.parameter_count(),
+            5 * 6 * 6
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = params(false);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Params = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,105 @@
+//! Structural properties of the forward pass beyond gradient correctness.
+
+use mann_babi::EncodedSample;
+use memn2n::{forward, ControllerKind, ModelConfig, Params};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn params(seed: u64, hops: usize, controller: ControllerKind) -> Params {
+    Params::init(
+        ModelConfig {
+            embed_dim: 6,
+            hops,
+            tie_embeddings: false,
+            controller,
+        },
+        15,
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+fn sample_from(sentences: Vec<Vec<usize>>, question: Vec<usize>) -> EncodedSample {
+    EncodedSample {
+        sentences,
+        question,
+        answer: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Without temporal tokens the memory is a *set*: permuting the story
+    /// permutes attention but leaves the logits unchanged.
+    #[test]
+    fn story_permutation_invariance(seed in 0u64..300, hops in 1usize..=3) {
+        let p = params(seed, hops, ControllerKind::Linear);
+        let sents = vec![vec![1, 2], vec![3, 4, 5], vec![6], vec![7, 8]];
+        let q = vec![9, 10];
+        let base = forward(&p, &sample_from(sents.clone(), q.clone()));
+        let mut reversed = sents.clone();
+        reversed.reverse();
+        let perm = forward(&p, &sample_from(reversed, q));
+        for (a, b) in base.logits.iter().zip(perm.logits.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Attention is the same distribution, reversed.
+        let last = hops - 1;
+        let mut att = perm.attention[last].as_slice().to_vec();
+        att.reverse();
+        for (a, b) in base.attention[last].iter().zip(&att) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Duplicating every sentence leaves the read vector unchanged
+    /// (softmax renormalizes) and therefore the prediction.
+    #[test]
+    fn duplicated_story_is_attention_neutral(seed in 0u64..300) {
+        let p = params(seed, 2, ControllerKind::Linear);
+        let sents = vec![vec![1, 2, 3], vec![4, 5]];
+        let q = vec![6];
+        let base = forward(&p, &sample_from(sents.clone(), q.clone()));
+        let doubled: Vec<Vec<usize>> = sents.iter().chain(sents.iter()).cloned().collect();
+        let twice = forward(&p, &sample_from(doubled, q));
+        for (a, b) in base.logits.iter().zip(twice.logits.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Attention always sums to one and is non-negative, for both
+    /// controllers and any hop count.
+    #[test]
+    fn attention_is_always_a_distribution(
+        seed in 0u64..300,
+        hops in 1usize..=3,
+        gru in any::<bool>(),
+    ) {
+        let kind = if gru { ControllerKind::Gru } else { ControllerKind::Linear };
+        let p = params(seed, hops, kind);
+        let t = forward(&p, &sample_from(vec![vec![1], vec![2, 3], vec![4]], vec![5]));
+        prop_assert_eq!(t.attention.len(), hops);
+        for a in &t.attention {
+            prop_assert!((a.sum() - 1.0).abs() < 1e-4);
+            prop_assert!(a.iter().all(|&x| x >= 0.0));
+        }
+        prop_assert!(t.logits.is_finite());
+    }
+
+    /// The GRU hidden state is a convex combination of the previous key and
+    /// a tanh candidate, so its magnitude is bounded by
+    /// `max(|k|_inf, 1)` per hop — it cannot blow up the way an unbounded
+    /// linear recurrence can.
+    #[test]
+    fn gru_hidden_is_bounded(seed in 0u64..300) {
+        let p = params(seed, 3, ControllerKind::Gru);
+        let t = forward(&p, &sample_from(vec![vec![1, 2], vec![3]], vec![4, 5]));
+        let k0_max = t.q_emb.iter().fold(0.0f32, |m, &x| m.max(x.abs())).max(1.0);
+        for h in &t.hiddens {
+            for &x in h.iter() {
+                prop_assert!(x.abs() <= k0_max + 1e-4, "{x} vs bound {k0_max}");
+            }
+        }
+    }
+}

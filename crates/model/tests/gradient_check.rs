@@ -1,0 +1,159 @@
+//! Finite-difference verification of the manual backward pass.
+//!
+//! For random tiny models and samples, every analytic gradient entry is
+//! compared against a central finite difference of the loss. This is the
+//! single most important test in the model crate: all training results and
+//! the honesty of the inference-thresholding calibration rest on it.
+
+use mann_babi::EncodedSample;
+use memn2n::loss::softmax_cross_entropy;
+use memn2n::{backward, forward, ControllerKind, Gradients, ModelConfig, Params};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Loss of (params, sample) as a pure function — used for finite
+/// differences.
+fn loss_of(params: &Params, sample: &EncodedSample) -> f32 {
+    let trace = forward(params, sample);
+    softmax_cross_entropy(&trace.logits, sample.answer).0
+}
+
+/// Which weight matrix to perturb.
+#[derive(Debug, Clone, Copy)]
+enum Which {
+    EmbA,
+    EmbC,
+    R,
+    O,
+    /// One of the six GRU gate matrices, by index into
+    /// `GruParams::matrices()` order (Wz, Uz, Wg, Ug, Wh, Uh).
+    Gru(usize),
+}
+
+fn field_mut(p: &mut Params, which: Which) -> &mut mann_linalg::Matrix {
+    match which {
+        Which::EmbA => &mut p.w_emb_a,
+        Which::EmbC => &mut p.w_emb_c,
+        Which::R => &mut p.w_r,
+        Which::O => &mut p.w_o,
+        Which::Gru(i) => {
+            let g = p.gru.as_mut().expect("gru params");
+            g.matrices_mut().into_iter().nth(i).expect("gate index")
+        }
+    }
+}
+
+fn field(g: &Gradients, which: Which) -> &mann_linalg::Matrix {
+    match which {
+        Which::EmbA => &g.w_emb_a,
+        Which::EmbC => &g.w_emb_c,
+        Which::R => &g.w_r,
+        Which::O => &g.w_o,
+        Which::Gru(i) => g.gru.as_ref().expect("gru grads").matrices()[i],
+    }
+}
+
+fn check_all_entries(seed: u64, hops: usize, tie: bool) {
+    check_with_controller(seed, hops, tie, ControllerKind::Linear);
+}
+
+fn check_with_controller(seed: u64, hops: usize, tie: bool, controller: ControllerKind) {
+    let vocab = 9;
+    let cfg = ModelConfig {
+        embed_dim: 4,
+        hops,
+        tie_embeddings: tie,
+        controller,
+    };
+    let params = Params::init(cfg, vocab, &mut StdRng::seed_from_u64(seed));
+    let sample = EncodedSample {
+        sentences: vec![vec![1, 2], vec![3], vec![4, 5, 1]],
+        question: vec![6, 7],
+        answer: (seed % vocab as u64) as usize,
+    };
+
+    let trace = forward(&params, &sample);
+    let (_, dz) = softmax_cross_entropy(&trace.logits, sample.answer);
+    let mut grads = Gradients::zeros(&params);
+    backward(&params, &sample, &trace, &dz, &mut grads);
+
+    let eps = 2e-3f32;
+    let mut fields = if tie {
+        vec![Which::EmbA, Which::O]
+    } else {
+        vec![Which::EmbA, Which::EmbC, Which::O]
+    };
+    match controller {
+        ControllerKind::Linear => fields.push(Which::R),
+        ControllerKind::Gru => fields.extend((0..6).map(Which::Gru)),
+    }
+    for which in fields {
+        let analytic = field(&grads, which).clone();
+        let (rows, cols) = analytic.shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut pp = params.clone();
+                field_mut(&mut pp, which)[(r, c)] += eps;
+                let lp = loss_of(&pp, &sample);
+                let mut pm = params.clone();
+                field_mut(&mut pm, which)[(r, c)] -= eps;
+                let lm = loss_of(&pm, &sample);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[(r, c)];
+                let tol = 1e-2 + 3e-2 * a.abs().max(numeric.abs());
+                assert!(
+                    (numeric - a).abs() <= tol,
+                    "{which:?}[{r},{c}]: analytic {a} vs numeric {numeric} (seed {seed}, hops {hops}, tie {tie}, {controller:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gradient_check_one_hop() {
+    check_all_entries(11, 1, false);
+}
+
+#[test]
+fn gradient_check_two_hops() {
+    check_all_entries(22, 2, false);
+}
+
+#[test]
+fn gradient_check_three_hops() {
+    check_all_entries(33, 3, false);
+}
+
+#[test]
+fn gradient_check_tied_embeddings() {
+    check_all_entries(44, 2, true);
+}
+
+#[test]
+fn gradient_check_gru_one_hop() {
+    check_with_controller(55, 1, false, ControllerKind::Gru);
+}
+
+#[test]
+fn gradient_check_gru_two_hops() {
+    check_with_controller(66, 2, false, ControllerKind::Gru);
+}
+
+#[test]
+fn gradient_check_gru_three_hops_tied() {
+    check_with_controller(77, 3, true, ControllerKind::Gru);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random seeds, hops and tying — the full gradient must match finite
+    /// differences every time.
+    #[test]
+    fn gradient_check_random(seed in 0u64..10_000, hops in 1usize..=3, tie in any::<bool>(), gru in any::<bool>()) {
+        let controller = if gru { ControllerKind::Gru } else { ControllerKind::Linear };
+        check_with_controller(seed, hops, tie, controller);
+    }
+}

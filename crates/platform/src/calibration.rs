@@ -1,0 +1,89 @@
+//! Calibration constants and their derivation.
+//!
+//! Table I of the paper reports, for the complete workload (20 bAbI tasks,
+//! 100 test questions each, 100 repetitions ≈ 200 k inferences):
+//!
+//! | platform     | time (s) | power (W) |
+//! |--------------|----------|-----------|
+//! | CPU i9-7900X | 242.77   | 23.28     |
+//! | GPU TITAN V  | 226.90   | 45.36     |
+//! | FPGA 25 MHz  | 43.54    | 14.71     |
+//! | FPGA 100 MHz | 30.28    | 20.10     |
+//!
+//! Dividing by ≈ 200 k inferences gives per-inference latencies of
+//! ≈ 1.21 ms (CPU), ≈ 1.13 ms (GPU), ≈ 218 µs (FPGA 25 MHz), ≈ 151 µs
+//! (FPGA 100 MHz). The analytic models reproduce those from first
+//! principles:
+//!
+//! * **CPU** — a MANN inference is ~25–30 small framework ops (embedding
+//!   lookups, four ops per hop, the output matvec); each op costs tens of
+//!   microseconds of dispatch in the Torch-era stack the authors used, so
+//!   `ops x OP_OVERHEAD` dominates and the math itself is noise.
+//! * **GPU** — the same ops become kernel launches (~40 µs each through
+//!   driver + synchronization on small tensors) plus a host transfer; a
+//!   TITAN V's arithmetic throughput never matters at bAbI sizes.
+//! * **FPGA** — cycles come from the simulator; the host interface is two
+//!   DMA transfers (~65 µs each) per inference, independent of fabric
+//!   clock — which reproduces the sub-linear frequency scaling.
+//!
+//! The constants below land each platform within ~15 % of the Table I
+//! per-inference latencies; EXPERIMENTS.md records the resulting
+//! paper-vs-measured comparison for every row.
+
+/// CPU effective arithmetic throughput (FLOP/s) for small unbatched GEMV.
+pub const CPU_EFFECTIVE_FLOPS: f64 = 1.5e9;
+
+/// CPU per-operation dispatch overhead, seconds.
+pub const CPU_OP_OVERHEAD_S: f64 = 47e-6;
+
+/// CPU package + DRAM power under this workload, watts (measured value from
+/// Table I).
+pub const CPU_POWER_W: f64 = 23.28;
+
+/// GPU effective throughput (FLOP/s) on tiny kernels — far below peak.
+pub const GPU_EFFECTIVE_FLOPS: f64 = 2.0e10;
+
+/// GPU per-kernel launch + sync latency, seconds.
+pub const GPU_KERNEL_OVERHEAD_S: f64 = 40e-6;
+
+/// GPU host-transfer time per inference, seconds (pinned-memory copy of the
+/// story/question plus result readback).
+pub const GPU_TRANSFER_S: f64 = 130e-6;
+
+/// GPU board power under this workload, watts (Table I).
+pub const GPU_POWER_W: f64 = 45.36;
+
+/// Number of framework operations in one MANN inference with `hops` hops
+/// and `sentences` story sentences.
+///
+/// Embedding: one op per sentence per memory (address + content) plus the
+/// question; per hop: score matvec, softmax, weighted read, controller;
+/// output: one matvec + argmax.
+pub fn framework_ops(sentences: usize, hops: usize) -> usize {
+    2 * sentences + 1 + 4 * hops + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_inference_latencies_match_table1_scale() {
+        // Typical bAbI shape: 7 sentences, 3 hops.
+        let ops = framework_ops(7, 3) as f64;
+        let cpu = ops * CPU_OP_OVERHEAD_S;
+        let gpu = ops * GPU_KERNEL_OVERHEAD_S + GPU_TRANSFER_S;
+        // Table I / 200k inferences: CPU 1.21 ms, GPU 1.13 ms.
+        assert!((1.0e-3..1.6e-3).contains(&cpu), "cpu {cpu}");
+        assert!((0.9e-3..1.5e-3).contains(&gpu), "gpu {gpu}");
+        // CPU slightly slower than GPU, as in the paper (speedup 0.94).
+        let ratio = cpu / gpu;
+        assert!((0.9..1.3).contains(&ratio), "cpu/gpu ratio {ratio}");
+    }
+
+    #[test]
+    fn framework_op_count_grows_with_story_and_hops() {
+        assert!(framework_ops(10, 3) > framework_ops(5, 3));
+        assert!(framework_ops(5, 4) > framework_ops(5, 2));
+    }
+}

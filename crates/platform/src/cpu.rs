@@ -1,0 +1,158 @@
+//! The CPU execution model (Intel Core i9-7900X class).
+
+use mann_babi::EncodedSample;
+use mann_ith::search::{ExhaustiveMips, MipsStrategy, ThresholdedMips};
+use memn2n::flops::count_inference_with_output_rows;
+use memn2n::forward::forward_until_output;
+use memn2n::TrainedModel;
+
+use crate::calibration::{CPU_EFFECTIVE_FLOPS, CPU_OP_OVERHEAD_S, CPU_POWER_W, framework_ops};
+use crate::{ExecutionModel, Measurement, MipsMode};
+
+/// Per-op-overhead-dominated CPU model.
+///
+/// Inference thresholding barely helps here — the output layer is a small
+/// share of the op count, exactly as the paper observes ("on the CPU, the
+/// output layer only represents a small part of the computation").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Effective FLOP/s for the arithmetic part.
+    pub effective_flops: f64,
+    /// Per-operation dispatch overhead, seconds.
+    pub op_overhead_s: f64,
+    /// Package power, watts.
+    pub power_w: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self {
+            effective_flops: CPU_EFFECTIVE_FLOPS,
+            op_overhead_s: CPU_OP_OVERHEAD_S,
+            power_w: CPU_POWER_W,
+        }
+    }
+}
+
+impl CpuModel {
+    /// The calibrated i9-7900X model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecutionModel for CpuModel {
+    fn name(&self) -> String {
+        "CPU".to_owned()
+    }
+
+    fn run_inference(
+        &self,
+        model: &TrainedModel,
+        sample: &EncodedSample,
+        mips: MipsMode<'_>,
+    ) -> Measurement {
+        let h = forward_until_output(&model.params, sample);
+        let (label, rows) = match mips {
+            MipsMode::Exhaustive => {
+                let r = ExhaustiveMips.search(&model.params, &h);
+                (r.label, r.comparisons)
+            }
+            MipsMode::Thresholded(ith) => {
+                let r = ThresholdedMips::new(ith).search(&model.params, &h);
+                (r.label, r.comparisons)
+            }
+        };
+        let executed = count_inference_with_output_rows(
+            &model.params.config,
+            model.params.vocab_size,
+            sample,
+            rows,
+        )
+        .total();
+        // Time reflects the work actually executed; the FLOPS/kJ metric
+        // credits the nominal workload (see `FpgaPlatform::run_inference`).
+        let nominal =
+            memn2n::flops::count_inference(&model.params.config, model.params.vocab_size, sample)
+                .total();
+        let ops = framework_ops(sample.sentences.len(), model.params.config.hops);
+        let time_s = ops as f64 * self.op_overhead_s + executed as f64 / self.effective_flops;
+        Measurement {
+            time_s,
+            power_w: self.power_w,
+            flops: nominal,
+            correct: label == sample.answer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memn2n::{ModelConfig, Params};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TrainedModel, EncodedSample) {
+        let params = Params::init(
+            ModelConfig {
+                embed_dim: 8,
+                hops: 3,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            25,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let model = TrainedModel {
+            task: mann_babi::TaskId::SingleSupportingFact,
+            params,
+            encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+        };
+        let sample = EncodedSample {
+            sentences: vec![vec![1, 2, 3], vec![4, 5], vec![6, 7]],
+            question: vec![8, 9],
+            answer: 3,
+        };
+        (model, sample)
+    }
+
+    #[test]
+    fn latency_is_dispatch_dominated() {
+        let (model, sample) = setup();
+        let m = CpuModel::new().run_inference(&model, &sample, MipsMode::Exhaustive);
+        let dispatch = framework_ops(3, 3) as f64 * CPU_OP_OVERHEAD_S;
+        assert!(m.time_s >= dispatch);
+        assert!(m.time_s < dispatch * 1.2, "math should be minor: {}", m.time_s);
+    }
+
+    #[test]
+    fn thresholding_changes_cpu_time_insignificantly() {
+        let (model, sample) = setup();
+        let cpu = CpuModel::new();
+        let base = cpu.run_inference(&model, &sample, MipsMode::Exhaustive);
+        // A fake ITH model that always fires on the first class.
+        let ith = mann_ith::ThresholdingModel {
+            thresholds: (0..25)
+                .map(|i| mann_ith::threshold::ClassThreshold {
+                    theta: if i == 0 { Some(-1e9) } else { None },
+                })
+                .collect(),
+            order: (0..25).collect(),
+            silhouettes: vec![0.0; 25],
+            rho: 1.0,
+            kernel: mann_ith::Kernel::Epanechnikov,
+        };
+        let fast = cpu.run_inference(&model, &sample, MipsMode::Thresholded(&ith));
+        let saving = (base.time_s - fast.time_s) / base.time_s;
+        assert!(saving < 0.05, "CPU saving should be negligible: {saving}");
+    }
+
+    #[test]
+    fn power_is_constant() {
+        let (model, sample) = setup();
+        let m = CpuModel::new().run_inference(&model, &sample, MipsMode::Exhaustive);
+        assert_eq!(m.power_w, CPU_POWER_W);
+        assert!(m.flops > 0);
+    }
+}

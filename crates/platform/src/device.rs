@@ -1,0 +1,85 @@
+//! The execution-model abstraction shared by all platforms.
+
+use mann_babi::EncodedSample;
+use mann_ith::ThresholdingModel;
+use memn2n::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+/// Which output-layer search the platform runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum MipsMode<'a> {
+    /// The conventional full argmax.
+    #[default]
+    Exhaustive,
+    /// Inference thresholding with the given calibrated model (index
+    /// ordering enabled).
+    Thresholded(&'a ThresholdingModel),
+}
+
+impl MipsMode<'_> {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MipsMode::Exhaustive => "",
+            MipsMode::Thresholded(_) => "+ITH",
+        }
+    }
+}
+
+/// One inference's measurement on a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Measurement {
+    /// End-to-end latency, seconds.
+    pub time_s: f64,
+    /// Average device power during the run, watts.
+    pub power_w: f64,
+    /// Floating-point operations the inference performed.
+    pub flops: u64,
+    /// Whether the answer matched the sample's label.
+    pub correct: bool,
+}
+
+impl Measurement {
+    /// Energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.time_s * self.power_w
+    }
+}
+
+/// A platform that can execute one MANN inference and report time, power,
+/// and work. Object-safe: experiment runners hold `&dyn ExecutionModel`.
+pub trait ExecutionModel {
+    /// Platform label for tables ("CPU", "GPU", "FPGA 25 MHz", …).
+    fn name(&self) -> String;
+
+    /// Executes one inference.
+    fn run_inference(
+        &self,
+        model: &TrainedModel,
+        sample: &EncodedSample,
+        mips: MipsMode<'_>,
+    ) -> Measurement;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_time_times_power() {
+        let m = Measurement {
+            time_s: 2.0,
+            power_w: 10.0,
+            flops: 100,
+            correct: true,
+        };
+        assert!((m.energy_j() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mips_mode_labels() {
+        assert_eq!(MipsMode::Exhaustive.label(), "");
+        // Thresholded label checked in integration tests where a model
+        // exists.
+    }
+}

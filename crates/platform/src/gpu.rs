@@ -1,0 +1,142 @@
+//! The GPU execution model (NVIDIA TITAN V class).
+
+use mann_babi::EncodedSample;
+use memn2n::flops::count_inference;
+use memn2n::forward;
+use memn2n::TrainedModel;
+
+use crate::calibration::{
+    framework_ops, GPU_EFFECTIVE_FLOPS, GPU_KERNEL_OVERHEAD_S, GPU_POWER_W, GPU_TRANSFER_S,
+};
+use crate::{ExecutionModel, Measurement, MipsMode};
+
+/// Launch-latency-dominated GPU model.
+///
+/// Every framework op becomes a kernel; at bAbI tensor sizes each kernel is
+/// pure launch overhead. The output layer runs as *one parallel matvec*, so
+/// inference thresholding cannot help — the paper's observation that "the
+/// GPU can process the output layer in parallel" — and this model therefore
+/// ignores the ITH mode for timing (the answer is the exact argmax either
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Effective FLOP/s on tiny kernels.
+    pub effective_flops: f64,
+    /// Per-kernel launch + sync latency, seconds.
+    pub kernel_overhead_s: f64,
+    /// Host transfer per inference, seconds.
+    pub transfer_s: f64,
+    /// Board power, watts.
+    pub power_w: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self {
+            effective_flops: GPU_EFFECTIVE_FLOPS,
+            kernel_overhead_s: GPU_KERNEL_OVERHEAD_S,
+            transfer_s: GPU_TRANSFER_S,
+            power_w: GPU_POWER_W,
+        }
+    }
+}
+
+impl GpuModel {
+    /// The calibrated TITAN V model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecutionModel for GpuModel {
+    fn name(&self) -> String {
+        "GPU".to_owned()
+    }
+
+    fn run_inference(
+        &self,
+        model: &TrainedModel,
+        sample: &EncodedSample,
+        _mips: MipsMode<'_>,
+    ) -> Measurement {
+        // The GPU always evaluates the full output layer in parallel.
+        let trace = forward(&model.params, sample);
+        let label = trace.prediction();
+        let flops =
+            count_inference(&model.params.config, model.params.vocab_size, sample).total();
+        let kernels = framework_ops(sample.sentences.len(), model.params.config.hops);
+        let time_s = kernels as f64 * self.kernel_overhead_s
+            + self.transfer_s
+            + flops as f64 / self.effective_flops;
+        Measurement {
+            time_s,
+            power_w: self.power_w,
+            flops,
+            correct: label == sample.answer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memn2n::{ModelConfig, Params};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TrainedModel, EncodedSample) {
+        let params = Params::init(
+            ModelConfig {
+                embed_dim: 8,
+                hops: 3,
+                tie_embeddings: false,
+                ..ModelConfig::default()
+            },
+            25,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let model = TrainedModel {
+            task: mann_babi::TaskId::SingleSupportingFact,
+            params,
+            encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+        };
+        let sample = EncodedSample {
+            sentences: vec![vec![1, 2], vec![3, 4]],
+            question: vec![5],
+            answer: 2,
+        };
+        (model, sample)
+    }
+
+    #[test]
+    fn ith_has_no_timing_effect_on_gpu() {
+        let (model, sample) = setup();
+        let gpu = GpuModel::new();
+        let base = gpu.run_inference(&model, &sample, MipsMode::Exhaustive);
+        let ith = mann_ith::ThresholdingModel {
+            thresholds: vec![mann_ith::threshold::ClassThreshold { theta: Some(-1e9) }; 25],
+            order: (0..25).collect(),
+            silhouettes: vec![0.0; 25],
+            rho: 1.0,
+            kernel: mann_ith::Kernel::Epanechnikov,
+        };
+        let with = gpu.run_inference(&model, &sample, MipsMode::Thresholded(&ith));
+        assert_eq!(base.time_s, with.time_s);
+        assert_eq!(base.correct, with.correct);
+    }
+
+    #[test]
+    fn launch_overhead_dominates() {
+        let (model, sample) = setup();
+        let m = GpuModel::new().run_inference(&model, &sample, MipsMode::Exhaustive);
+        let launches = framework_ops(2, 3) as f64 * GPU_KERNEL_OVERHEAD_S;
+        assert!(m.time_s > launches);
+        assert!(m.time_s < launches + GPU_TRANSFER_S + 1e-4);
+    }
+
+    #[test]
+    fn gpu_power_exceeds_cpu_power() {
+        let (gpu, cpu) = (GPU_POWER_W, crate::calibration::CPU_POWER_W);
+        assert!(gpu > cpu, "{gpu} vs {cpu}");
+    }
+}

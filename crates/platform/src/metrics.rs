@@ -1,0 +1,114 @@
+//! Energy-efficiency math: the Table I columns.
+
+use serde::{Deserialize, Serialize};
+
+/// Table I's energy-efficiency metric: achieved throughput per energy,
+/// `(flops / t) / (P · t / 1000)` — FLOPS per kilojoule.
+///
+/// With identical work across platforms the *normalized* metric reduces to
+/// `speedup² x power-ratio`, which is how Table I's 83.74x at 25 MHz
+/// follows from a 5.21x speedup and a 45.36 W / 14.71 W power ratio.
+///
+/// # Panics
+///
+/// Panics if `time_s` or `power_w` is not positive.
+pub fn flops_per_kj(flops: u64, time_s: f64, power_w: f64) -> f64 {
+    assert!(time_s > 0.0, "time must be positive");
+    assert!(power_w > 0.0, "power must be positive");
+    let throughput = flops as f64 / time_s;
+    let energy_kj = power_w * time_s / 1000.0;
+    throughput / energy_kj
+}
+
+/// One row of a Table I-style report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyRow {
+    /// Platform label.
+    pub name: String,
+    /// Total workload time, seconds.
+    pub time_s: f64,
+    /// Average power, watts.
+    pub power_w: f64,
+    /// Total work, FLOPs.
+    pub flops: u64,
+    /// Workload accuracy (fraction of correct answers).
+    pub accuracy: f64,
+}
+
+impl EfficiencyRow {
+    /// Energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.time_s * self.power_w
+    }
+
+    /// Raw FLOPS/kJ.
+    pub fn flops_per_kj(&self) -> f64 {
+        flops_per_kj(self.flops, self.time_s, self.power_w)
+    }
+
+    /// Speedup relative to `reference` (reference time / this time).
+    pub fn speedup_vs(&self, reference: &EfficiencyRow) -> f64 {
+        reference.time_s / self.time_s
+    }
+
+    /// FLOPS/kJ normalized to `reference`.
+    pub fn efficiency_vs(&self, reference: &EfficiencyRow) -> f64 {
+        self.flops_per_kj() / reference.flops_per_kj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, time_s: f64, power_w: f64, flops: u64) -> EfficiencyRow {
+        EfficiencyRow {
+            name: name.into(),
+            time_s,
+            power_w,
+            flops,
+            accuracy: 1.0,
+        }
+    }
+
+    #[test]
+    fn normalized_metric_is_speedup_squared_times_power_ratio() {
+        let gpu = row("GPU", 226.90, 45.36, 1_000_000);
+        let fpga = row("FPGA", 43.54, 14.71, 1_000_000);
+        let normalized = fpga.efficiency_vs(&gpu);
+        let speedup = fpga.speedup_vs(&gpu);
+        let identity = speedup * speedup * (gpu.power_w / fpga.power_w);
+        assert!((normalized - identity).abs() < 1e-9);
+        // And it reproduces Table I's 83.74x.
+        assert!((normalized - 83.74).abs() < 1.0, "{normalized}");
+    }
+
+    #[test]
+    fn table1_cpu_row_reproduces() {
+        let gpu = row("GPU", 226.90, 45.36, 1_000_000);
+        let cpu = row("CPU", 242.77, 23.28, 1_000_000);
+        assert!((cpu.speedup_vs(&gpu) - 0.94).abs() < 0.01);
+        assert!((cpu.efficiency_vs(&gpu) - 1.70).abs() < 0.05);
+    }
+
+    #[test]
+    fn table1_100mhz_row_reproduces() {
+        let gpu = row("GPU", 226.90, 45.36, 1_000_000);
+        let fpga = row("FPGA 100", 30.28, 20.10, 1_000_000);
+        assert!((fpga.speedup_vs(&gpu) - 7.49).abs() < 0.02);
+        assert!((fpga.efficiency_vs(&gpu) - 126.72).abs() < 1.0);
+    }
+
+    #[test]
+    fn fewer_flops_lower_the_metric_at_fixed_time() {
+        let a = flops_per_kj(1000, 1.0, 10.0);
+        let b = flops_per_kj(500, 1.0, 10.0);
+        assert!(b < a);
+    }
+
+    #[test]
+    #[should_panic(expected = "time")]
+    fn zero_time_rejected() {
+        let _ = flops_per_kj(1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the platform models and the FLOPS/kJ metric.
+
+use mann_babi::EncodedSample;
+use mann_platform::{flops_per_kj, CpuModel, EfficiencyRow, ExecutionModel, GpuModel, MipsMode};
+use memn2n::{ModelConfig, Params, TrainedModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_and_sample(seed: u64, sentences: usize) -> (TrainedModel, EncodedSample) {
+    let params = Params::init(
+        ModelConfig {
+            embed_dim: 8,
+            hops: 2,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        20,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let model = TrainedModel {
+        task: mann_babi::TaskId::SingleSupportingFact,
+        params,
+        encoder: mann_babi::Encoder::with_time_tokens(mann_babi::Vocab::new(), 0),
+    };
+    let sample = EncodedSample {
+        sentences: (0..sentences).map(|i| vec![i % 19, (i + 1) % 19]).collect(),
+        question: vec![3],
+        answer: 1,
+    };
+    (model, sample)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The normalized metric identity: value vs reference equals
+    /// speedup² x power ratio, for any positive inputs with equal work.
+    #[test]
+    fn metric_identity(
+        t1 in 0.01f64..1e4, p1 in 1.0f64..500.0,
+        t2 in 0.01f64..1e4, p2 in 1.0f64..500.0,
+        flops in 1u64..u64::MAX / 2,
+    ) {
+        let a = EfficiencyRow { name: "a".into(), time_s: t1, power_w: p1, flops, accuracy: 1.0 };
+        let b = EfficiencyRow { name: "b".into(), time_s: t2, power_w: p2, flops, accuracy: 1.0 };
+        let lhs = a.efficiency_vs(&b);
+        let rhs = a.speedup_vs(&b).powi(2) * (b.power_w / a.power_w);
+        prop_assert!((lhs / rhs - 1.0).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// The metric is monotone in each argument the right way.
+    #[test]
+    fn metric_monotonicity(t in 0.01f64..100.0, p in 1.0f64..100.0, f in 1u64..1_000_000) {
+        let base = flops_per_kj(f, t, p);
+        prop_assert!(flops_per_kj(f, t * 2.0, p) < base);
+        prop_assert!(flops_per_kj(f, t, p * 2.0) < base);
+        prop_assert!(flops_per_kj(f * 2, t, p) > base);
+    }
+
+    /// CPU latency grows with story length (more framework ops), and both
+    /// analytic platforms always report positive, finite measurements.
+    #[test]
+    fn analytic_platforms_are_sane(seed in 0u64..100, sentences in 1usize..12) {
+        let (model, sample) = model_and_sample(seed, sentences);
+        let (model2, bigger) = model_and_sample(seed, sentences + 3);
+        for platform in [&CpuModel::new() as &dyn ExecutionModel, &GpuModel::new()] {
+            let m = platform.run_inference(&model, &sample, MipsMode::Exhaustive);
+            prop_assert!(m.time_s.is_finite() && m.time_s > 0.0);
+            prop_assert!(m.power_w > 0.0);
+            prop_assert!(m.flops > 0);
+            let m2 = platform.run_inference(&model2, &bigger, MipsMode::Exhaustive);
+            prop_assert!(m2.time_s > m.time_s, "{} vs {}", m2.time_s, m.time_s);
+        }
+    }
+
+    /// CPU and GPU always agree on the predicted label (both are exact).
+    #[test]
+    fn cpu_gpu_label_agreement(seed in 0u64..100) {
+        let (model, sample) = model_and_sample(seed, 4);
+        let c = CpuModel::new().run_inference(&model, &sample, MipsMode::Exhaustive);
+        let g = GpuModel::new().run_inference(&model, &sample, MipsMode::Exhaustive);
+        prop_assert_eq!(c.correct, g.correct);
+    }
+}

@@ -1,0 +1,46 @@
+//! A Table I-style platform comparison on a task subset: time, power,
+//! speedup, and FLOPS/kJ for CPU, GPU and the FPGA frequency ladder.
+//!
+//! ```sh
+//! cargo run --release --example energy_report
+//! ```
+
+use mann_accel::babi::TaskId;
+use mann_accel::core::experiments::table1;
+use mann_accel::core::{SuiteConfig, TaskSuite};
+
+fn main() {
+    let cfg = SuiteConfig {
+        tasks: vec![
+            TaskId::SingleSupportingFact,
+            TaskId::Conjunction,
+            TaskId::BasicDeduction,
+            TaskId::AgentMotivations,
+        ],
+        train_samples: 300,
+        test_samples: 40,
+        ..SuiteConfig::quick()
+    };
+    println!("training {} tasks ...", cfg.tasks.len());
+    let suite = TaskSuite::build(&cfg);
+    println!(
+        "mean test accuracy: {:.1}%\n",
+        suite.mean_accuracy() * 100.0
+    );
+
+    let table = table1::run(&suite, &table1::Table1Config::default());
+    println!("{}", table.render());
+
+    let f25 = table.row("FPGA 25 MHz").expect("row exists");
+    let i25 = table.row("FPGA+ITH 25 MHz").expect("row exists");
+    println!(
+        "inference thresholding saves {:.1}% of wall-clock time at 25 MHz",
+        (1.0 - i25.time_s / f25.time_s) * 100.0
+    );
+    let f100 = table.row("FPGA 100 MHz").expect("row exists");
+    println!(
+        "raising the clock 25 -> 100 MHz buys only {:.2}x end-to-end (the\n\
+         host interface dominates, as the paper observes)",
+        f25.time_s / f100.time_s
+    );
+}

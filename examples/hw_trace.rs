@@ -1,0 +1,77 @@
+//! Run one inference with VCD signal tracing and print the FPGA resource
+//! report — the EDA-facing view of the accelerator.
+//!
+//! ```sh
+//! cargo run --release --example hw_trace
+//! ```
+//!
+//! The VCD written to `target/mann_accel_trace.vcd` opens in GTKWave.
+
+use std::fs;
+
+use mann_accel::babi::{DatasetBuilder, TaskId};
+use mann_accel::hw::resource::estimate_accelerator;
+use mann_accel::hw::trace::SignalTrace;
+use mann_accel::hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig, VCU107_BUDGET};
+use mann_accel::model::{ModelConfig, TrainConfig, Trainer};
+
+fn main() {
+    let data = DatasetBuilder::new()
+        .train_samples(150)
+        .test_samples(10)
+        .seed(3)
+        .build_task(TaskId::SingleSupportingFact);
+    let mut trainer = Trainer::from_task_data(
+        &data,
+        ModelConfig {
+            embed_dim: 32,
+            hops: 3,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+    );
+    trainer.train();
+    let (model, _, test) = trainer.into_parts();
+    let vocab_size = model.params.vocab_size;
+    let max_story = test.iter().map(|s| s.sentences.len()).max().unwrap_or(0);
+
+    // Resource report.
+    let dp = DatapathConfig::default();
+    let est = estimate_accelerator(&dp, 32, vocab_size, max_story);
+    let (l, f, d, b) = est.utilization(&VCU107_BUDGET);
+    println!("FPGA resource estimate (Virtex UltraScale XCVU095 budget):");
+    println!("  LUTs   {:>8}  ({:>5.2}%)", est.luts, l * 100.0);
+    println!("  FFs    {:>8}  ({:>5.2}%)", est.ffs, f * 100.0);
+    println!("  DSPs   {:>8}  ({:>5.2}%)", est.dsps, d * 100.0);
+    println!("  BRAM36 {:>8}  ({:>5.2}%)", est.bram36, b * 100.0);
+    println!("  fits: {}\n", est.fits(&VCU107_BUDGET));
+
+    // Traced inference.
+    let accel = Accelerator::new(
+        model,
+        AccelConfig {
+            clock: ClockDomain::mhz(100.0),
+            datapath: dp,
+            ..AccelConfig::default()
+        },
+    );
+    let mut trace = SignalTrace::new();
+    let run = accel.run_with_trace(&test[0], &mut trace);
+    println!(
+        "inference: answer class {}, {} cycles, {} trace events",
+        run.answer,
+        run.cycles.get(),
+        trace.len()
+    );
+
+    let path = "target/mann_accel_trace.vcd";
+    if let Err(e) = fs::write(path, trace.to_vcd()) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("VCD written to {path} (open with GTKWave)");
+    }
+}

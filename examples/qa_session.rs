@@ -1,0 +1,72 @@
+//! A question-answering session with an attention trace: watch the memory
+//! network "hop" through the story's supporting facts.
+//!
+//! ```sh
+//! cargo run --release --example qa_session
+//! ```
+
+use mann_accel::babi::{DatasetBuilder, TaskId};
+use mann_accel::model::{forward, ModelConfig, TrainConfig, Trainer};
+
+fn main() {
+    let task = TaskId::TwoSupportingFacts;
+    let data = DatasetBuilder::new()
+        .train_samples(600)
+        .test_samples(30)
+        .seed(7)
+        .build_task(task);
+
+    let mut trainer = Trainer::from_task_data(
+        &data,
+        ModelConfig {
+            embed_dim: 32,
+            hops: 3,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        TrainConfig {
+            epochs: 30,
+            learning_rate: 0.05,
+            decay_every: 12,
+            clip_norm: 40.0,
+            seed: 7,
+            ..TrainConfig::default()
+        },
+    );
+    let report = trainer.train();
+    println!(
+        "trained {} — test accuracy {:.1}%\n",
+        task,
+        report.final_test_accuracy * 100.0
+    );
+    let (model, _, test) = trainer.into_parts();
+
+    // Show the attention per hop for a handful of questions.
+    for (sample_text, sample) in data.test.iter().zip(&test).take(3) {
+        println!("story:");
+        for (i, sent) in sample_text.story.iter().enumerate() {
+            println!("  [{i}] {}", sent.join(" "));
+        }
+        println!("question: {} ?", sample_text.question.join(" "));
+
+        let trace = forward(&model.params, sample);
+        for (hop, attention) in trace.attention.iter().enumerate() {
+            let focus: Vec<String> = attention
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a > 0.15)
+                .map(|(i, &a)| format!("[{i}]={a:.2}"))
+                .collect();
+            println!("  hop {hop}: attends {}", focus.join(" "));
+        }
+        let vocab = model.encoder.vocab();
+        let predicted = vocab.token(trace.prediction()).unwrap_or("?");
+        let marker = if trace.prediction() == sample.answer { "correct" } else {
+            "wrong"
+        };
+        println!(
+            "  answer: {predicted} ({marker}, expected {}, supporting facts {:?})\n",
+            sample_text.answer, sample_text.supporting
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration: the full pipeline from synthetic data to the
+//! cycle-level accelerator, through the facade crate's re-exports.
+
+use mann_accel::babi::{DatasetBuilder, TaskId};
+use mann_accel::hw::{AccelConfig, Accelerator, ClockDomain};
+use mann_accel::ith::search::{ExhaustiveMips, MipsStrategy, ThresholdedMips};
+use mann_accel::ith::ThresholdingCalibrator;
+use mann_accel::model::forward::forward_until_output;
+use mann_accel::model::{ModelConfig, TrainConfig, Trainer};
+use mann_accel::platform::{CpuModel, ExecutionModel, FpgaPlatform, GpuModel, MipsMode};
+
+fn pipeline(task: TaskId, seed: u64) -> (
+    mann_accel::model::TrainedModel,
+    Vec<mann_accel::babi::EncodedSample>,
+    Vec<mann_accel::babi::EncodedSample>,
+) {
+    let data = DatasetBuilder::new()
+        .train_samples(250)
+        .test_samples(40)
+        .seed(seed)
+        .build_task(task);
+    let mut trainer = Trainer::from_task_data(
+        &data,
+        ModelConfig {
+            embed_dim: 24,
+            hops: 2,
+            tie_embeddings: false,
+            ..ModelConfig::default()
+        },
+        TrainConfig {
+            epochs: 20,
+            learning_rate: 0.05,
+            decay_every: 8,
+            clip_norm: 40.0,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    trainer.train();
+    trainer.into_parts()
+}
+
+#[test]
+fn trained_model_runs_identically_on_all_platforms() {
+    let (model, train, test) = pipeline(TaskId::SingleSupportingFact, 31);
+    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+
+    let cpu = CpuModel::new();
+    let gpu = GpuModel::new();
+    let fpga = FpgaPlatform::new(model.clone(), ClockDomain::mhz(100.0));
+    let fpga_ith =
+        FpgaPlatform::with_thresholding(model.clone(), ClockDomain::mhz(100.0), ith.clone());
+
+    let mut agree_cpu_gpu = 0usize;
+    let mut agree_gpu_fpga = 0usize;
+    let mut agree_fpga_ith = 0usize;
+    for s in &test {
+        let mc = cpu.run_inference(&model, s, MipsMode::Exhaustive);
+        let mg = gpu.run_inference(&model, s, MipsMode::Exhaustive);
+        let mf = fpga.run_inference(&model, s, MipsMode::Exhaustive);
+        let mi = fpga_ith.run_inference(&model, s, MipsMode::Thresholded(&ith));
+        if mc.correct == mg.correct {
+            agree_cpu_gpu += 1;
+        }
+        if mg.correct == mf.correct {
+            agree_gpu_fpga += 1;
+        }
+        if mf.correct == mi.correct {
+            agree_fpga_ith += 1;
+        }
+        // Latency hierarchy per inference: FPGA < GPU and FPGA < CPU.
+        assert!(mf.time_s < mg.time_s);
+        assert!(mf.time_s < mc.time_s);
+    }
+    assert_eq!(agree_cpu_gpu, test.len(), "CPU and GPU must agree exactly");
+    assert!(agree_gpu_fpga * 10 >= test.len() * 9, "fixed-point drift too large");
+    assert!(agree_fpga_ith * 10 >= test.len() * 9, "thresholding drift too large");
+}
+
+#[test]
+fn software_and_hardware_thresholding_agree() {
+    let (model, train, test) = pipeline(TaskId::YesNoQuestions, 32);
+    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let sw = ThresholdedMips::new(&ith);
+    let accel = Accelerator::new(
+        model.clone(),
+        AccelConfig::with_thresholding(ClockDomain::mhz(100.0), ith.clone()),
+    );
+    let mut label_agree = 0usize;
+    for s in &test {
+        let h = forward_until_output(&model.params, s);
+        let sw_result = sw.search(&model.params, &h);
+        let hw_result = accel.run(s);
+        if sw_result.label == hw_result.answer {
+            label_agree += 1;
+        }
+    }
+    assert!(
+        label_agree * 10 >= test.len() * 9,
+        "sw/hw thresholding agreement {label_agree}/{}",
+        test.len()
+    );
+}
+
+#[test]
+fn thresholding_saves_comparisons_without_large_accuracy_loss() {
+    let (model, train, test) = pipeline(TaskId::AgentMotivations, 33);
+    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let fast = ThresholdedMips::new(&ith);
+    let mut exact_correct = 0usize;
+    let mut fast_correct = 0usize;
+    let mut exact_cmp = 0usize;
+    let mut fast_cmp = 0usize;
+    for s in &test {
+        let h = forward_until_output(&model.params, s);
+        let e = ExhaustiveMips.search(&model.params, &h);
+        let f = fast.search(&model.params, &h);
+        exact_cmp += e.comparisons;
+        fast_cmp += f.comparisons;
+        if e.label == s.answer {
+            exact_correct += 1;
+        }
+        if f.label == s.answer {
+            fast_correct += 1;
+        }
+    }
+    assert!(fast_cmp < exact_cmp);
+    assert!(fast_correct + 3 >= exact_correct, "{fast_correct} vs {exact_correct}");
+}
+
+#[test]
+fn accelerator_timing_reproduces_the_papers_scaling_shape() {
+    let (model, _, test) = pipeline(TaskId::Conjunction, 34);
+    let mut totals = Vec::new();
+    for mhz in [25.0f64, 50.0, 75.0, 100.0] {
+        let accel = Accelerator::new(
+            model.clone(),
+            AccelConfig {
+                clock: ClockDomain::mhz(mhz),
+                ..AccelConfig::default()
+            },
+        );
+        let t: f64 = test.iter().map(|s| accel.run(s).total_s).sum();
+        totals.push(t);
+    }
+    // Faster at higher frequency, but far from linear: 4x clock gives less
+    // than 2.5x end-to-end.
+    assert!(totals.windows(2).all(|w| w[1] < w[0]), "{totals:?}");
+    let ratio = totals[0] / totals[3];
+    assert!(ratio > 1.15 && ratio < 2.5, "25->100 MHz ratio {ratio}");
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Types from different crates compose through the facade without
+    // explicit dependencies on the member crates.
+    let lut = mann_accel::linalg::activation::ExpLut::default();
+    assert!(lut.eval(-1.0) > 0.0);
+    let est = mann_accel::hw::resource::estimate_accelerator(
+        &mann_accel::hw::DatapathConfig::default(),
+        32,
+        180,
+        20,
+    );
+    assert!(est.fits(&mann_accel::hw::VCU107_BUDGET));
+    let eff = mann_accel::platform::flops_per_kj(1_000_000, 2.0, 10.0);
+    assert!(eff > 0.0);
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the experiment runners: every table and figure of
+//! the paper regenerates with the expected *shape* on a reduced suite.
+
+use mann_accel::babi::TaskId;
+use mann_accel::core::experiments::{fig2b, fig3, fig4, table1};
+use mann_accel::core::{SuiteConfig, TaskSuite};
+
+fn small_suite() -> TaskSuite {
+    let cfg = SuiteConfig {
+        tasks: vec![
+            TaskId::SingleSupportingFact,
+            TaskId::YesNoQuestions,
+            TaskId::AgentMotivations,
+        ],
+        train_samples: 200,
+        test_samples: 25,
+        ..SuiteConfig::quick()
+    };
+    TaskSuite::build(&cfg)
+}
+
+#[test]
+fn table1_headline_claims_hold() {
+    let suite = small_suite();
+    let t = table1::run(&suite, &table1::Table1Config::default());
+
+    let gpu = t.row("GPU").expect("gpu row");
+    let cpu = t.row("CPU").expect("cpu row");
+    let f25 = t.row("FPGA 25 MHz").expect("fpga 25");
+    let f100 = t.row("FPGA 100 MHz").expect("fpga 100");
+    let i25 = t.row("FPGA+ITH 25 MHz").expect("ith 25");
+    let i100 = t.row("FPGA+ITH 100 MHz").expect("ith 100");
+
+    // Paper: FPGA 5.2-7.5x faster than GPU; CPU slightly slower than GPU.
+    assert!((3.0..12.0).contains(&f25.speedup), "{}", f25.speedup);
+    assert!(f100.speedup > f25.speedup);
+    assert!((0.8..1.2).contains(&cpu.speedup), "{}", cpu.speedup);
+
+    // Paper: FPGA tens of times more energy-efficient; CPU ~1.7x.
+    assert!(f25.flops_per_kj_norm > 30.0, "{}", f25.flops_per_kj_norm);
+    assert!((1.0..4.0).contains(&cpu.flops_per_kj_norm), "{}", cpu.flops_per_kj_norm);
+
+    // Paper: ITH reduces time 6-18% depending on frequency, more at low f.
+    let save25 = 1.0 - i25.time_s / f25.time_s;
+    let save100 = 1.0 - i100.time_s / f100.time_s;
+    assert!(save25 > 0.02, "25 MHz saving {save25}");
+    assert!(save25 > save100, "saving should shrink with frequency");
+
+    // Power ladder: GPU > CPU > FPGA; FPGA power rises with clock.
+    assert!(gpu.power_w > cpu.power_w && cpu.power_w > f25.power_w);
+    assert!(f100.power_w > f25.power_w);
+
+    // ITH improves energy efficiency at low frequency (paper: at all).
+    assert!(i25.flops_per_kj_norm > f25.flops_per_kj_norm);
+}
+
+#[test]
+fn fig3_shape_holds() {
+    let suite = small_suite();
+    let f = fig3::run(&suite, &fig3::Fig3Config::default());
+
+    let base = f.point(None, true).expect("baseline");
+    assert!((base.comparisons_norm - 1.0).abs() < 1e-9);
+
+    // Comparisons decrease monotonically in rho and are below baseline.
+    let cmp: Vec<f64> = [1.0f32, 0.99, 0.95, 0.9]
+        .iter()
+        .map(|&r| f.point(Some(r), true).expect("point").comparisons_norm)
+        .collect();
+    assert!(cmp[0] < 1.0);
+    assert!(cmp.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{cmp:?}");
+
+    // Accuracy at rho=1.0 within a few test questions of the baseline.
+    let p1 = f.point(Some(1.0), true).expect("rho 1");
+    assert!(p1.accuracy_norm > 0.9, "{}", p1.accuracy_norm);
+
+    // Ordering does not increase comparisons at any rho.
+    for rho in [1.0f32, 0.99, 0.95, 0.9] {
+        let o = f.point(Some(rho), true).expect("ordered").comparisons_norm;
+        let u = f.point(Some(rho), false).expect("unordered").comparisons_norm;
+        assert!(o <= u + 1e-9, "rho {rho}: {o} vs {u}");
+    }
+}
+
+#[test]
+fn fig4_every_task_favors_the_fpga() {
+    let suite = small_suite();
+    let f = fig4::run(&suite);
+    assert_eq!(f.rows.len(), suite.tasks.len());
+    for row in &f.rows {
+        let cpu = row.efficiency_vs_gpu[0];
+        let f25 = row.efficiency_vs_gpu[1];
+        let f100 = row.efficiency_vs_gpu[3];
+        assert!(f25 > 10.0, "task {}: {f25}", row.task_number);
+        assert!(f100 > f25 * 0.5, "task {}", row.task_number);
+        assert!((0.5..5.0).contains(&cpu), "task {}: cpu {cpu}", row.task_number);
+    }
+    // The FPGA configurations dominate on geometric mean, as in the figure.
+    assert!(f.geomean(1) > 10.0 * f.geomean(0));
+}
+
+#[test]
+fn fig2b_shows_separable_mixtures() {
+    let suite = small_suite();
+    let f = fig2b::run(&suite.tasks[0], 5, 32);
+    assert!(!f.classes.is_empty());
+    // At least one class must be strongly separable (silhouette > 0.5) —
+    // the premise of inference thresholding on a trained model.
+    assert!(
+        f.classes.iter().any(|c| c.silhouette > 0.5),
+        "no separable class: {:?}",
+        f.classes.iter().map(|c| c.silhouette).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn experiment_results_serialize_for_the_record() {
+    let suite = small_suite();
+    let t = table1::run(
+        &suite,
+        &table1::Table1Config {
+            repetitions: 1,
+            frequencies_mhz: vec![25.0],
+        },
+    );
+    let f3 = fig3::run(&suite, &fig3::Fig3Config { rhos: vec![1.0] });
+    let f4 = fig4::run(&suite);
+    for json in [
+        serde_json::to_string(&t).expect("table1 json"),
+        serde_json::to_string(&f3).expect("fig3 json"),
+        serde_json::to_string(&f4).expect("fig4 json"),
+    ] {
+        assert!(json.len() > 50);
+    }
+}
