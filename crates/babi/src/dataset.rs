@@ -93,8 +93,12 @@ impl DatasetBuilder {
         let tn = task.number() as u64;
         let mut train_rng = StdRng::seed_from_u64(self.seed ^ (tn << 32) ^ 0x7261_696e);
         let mut test_rng = StdRng::seed_from_u64(self.seed ^ (tn << 32) ^ 0x7465_7374);
-        let train = (0..self.n_train).map(|_| gen.generate(&mut train_rng)).collect();
-        let test = (0..self.n_test).map(|_| gen.generate(&mut test_rng)).collect();
+        let train = (0..self.n_train)
+            .map(|_| gen.generate(&mut train_rng))
+            .collect();
+        let test = (0..self.n_test)
+            .map(|_| gen.generate(&mut test_rng))
+            .collect();
         TaskData { task, train, test }
     }
 
@@ -136,8 +140,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = DatasetBuilder::new().seed(1).train_samples(5).build_task(TaskId::YesNoQuestions);
-        let b = DatasetBuilder::new().seed(2).train_samples(5).build_task(TaskId::YesNoQuestions);
+        let a = DatasetBuilder::new()
+            .seed(1)
+            .train_samples(5)
+            .build_task(TaskId::YesNoQuestions);
+        let b = DatasetBuilder::new()
+            .seed(2)
+            .train_samples(5)
+            .build_task(TaskId::YesNoQuestions);
         assert_ne!(a.train, b.train);
     }
 

@@ -120,7 +120,13 @@ pub fn parse_babi(task: TaskId, text: &str) -> Result<Vec<Sample>, ParseBabiErro
                     })
                     .collect::<Result<Vec<usize>, _>>()?,
             };
-            samples.push(Sample::new(task, story.clone(), question, answer, supporting));
+            samples.push(Sample::new(
+                task,
+                story.clone(),
+                question,
+                answer,
+                supporting,
+            ));
         } else {
             // Statement line.
             let sentence = tokenize(rest.trim_end_matches(['.', ' ']));
@@ -135,9 +141,7 @@ pub fn parse_babi(task: TaskId, text: &str) -> Result<Vec<Sample>, ParseBabiErro
 }
 
 fn tokenize(s: &str) -> Sentence {
-    s.split_whitespace()
-        .map(|w| w.to_lowercase())
-        .collect()
+    s.split_whitespace().map(|w| w.to_lowercase()).collect()
 }
 
 #[cfg(test)]

@@ -82,7 +82,11 @@ impl Sample {
         for (i, sent) in self.story.iter().enumerate() {
             let _ = writeln!(out, "{} {} .", i + 1, sent.join(" "));
         }
-        let supports: Vec<String> = self.supporting.iter().map(|i| (i + 1).to_string()).collect();
+        let supports: Vec<String> = self
+            .supporting
+            .iter()
+            .map(|i| (i + 1).to_string())
+            .collect();
         let _ = writeln!(
             out,
             "{} {} ?\t{}\t{}",

@@ -37,7 +37,15 @@ impl TaskGenerator for CompoundCoreference {
         for chunk in people.chunks(2) {
             let (a, b) = (chunk[0], chunk[1]);
             let first = pick(rng, LOCATIONS);
-            story.push(sentence(&[a, "and", b, pick(rng, MOVE_VERBS), "to", "the", first]));
+            story.push(sentence(&[
+                a,
+                "and",
+                b,
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                first,
+            ]));
             let second = pick(rng, LOCATIONS);
             story.push(sentence(&[
                 "then",

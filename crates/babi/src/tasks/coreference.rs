@@ -44,7 +44,13 @@ impl TaskGenerator for BasicCoreference {
         let mut final_loc: Vec<(&str, usize, &str)> = Vec::new(); // (person, idx, loc)
         for person in &actors {
             let first = pick(rng, LOCATIONS);
-            story.push(sentence(&[person, pick(rng, MOVE_VERBS), "to", "the", first]));
+            story.push(sentence(&[
+                person,
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                first,
+            ]));
             let second = pick(rng, LOCATIONS);
             story.push(sentence(&[
                 "afterwards",

@@ -54,11 +54,7 @@ impl TaskGenerator for BasicDeduction {
                 true,
                 i,
             ));
-            lines.push((
-                sentence(&[names[i], "is", "a", species[i]]),
-                false,
-                i,
-            ));
+            lines.push((sentence(&[names[i], "is", "a", species[i]]), false, i));
         }
         lines.shuffle(rng);
         let story: Vec<Sentence> = lines.iter().map(|(s, _, _)| s.clone()).collect();

@@ -54,7 +54,9 @@ impl TaskGenerator for IndefiniteKnowledge {
             if rng.gen_bool(0.5) {
                 let pair = pick_distinct(rng, LOCATIONS, 2);
                 let (a, b) = (statics(pair[0]), statics(pair[1]));
-                story.push(sentence(&[person, "is", "either", "in", "the", a, "or", "the", b]));
+                story.push(sentence(&[
+                    person, "is", "either", "in", "the", a, "or", "the", b,
+                ]));
                 know.insert(person, Fact::Either(i, a, b));
             } else {
                 let loc = statics(pick(rng, LOCATIONS));

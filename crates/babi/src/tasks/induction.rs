@@ -84,7 +84,8 @@ mod tests {
             .map(|sent| sent.last().expect("species").clone())?;
         // Find an exemplar of the same species and its color.
         for sent in &s.story {
-            if sent[0] != name && sent.get(2).map(String::as_str) == Some("a")
+            if sent[0] != name
+                && sent.get(2).map(String::as_str) == Some("a")
                 && sent.last().map(String::as_str) == Some(species.as_str())
             {
                 let exemplar = sent[0].clone();

@@ -8,8 +8,8 @@
 
 mod compound_coref;
 mod conjunction;
-mod counting;
 mod coreference;
+mod counting;
 mod deduction;
 mod indefinite;
 mod induction;
@@ -34,8 +34,8 @@ use crate::Sample;
 
 pub use compound_coref::CompoundCoreference;
 pub use conjunction::Conjunction;
-pub use counting::Counting;
 pub use coreference::BasicCoreference;
+pub use counting::Counting;
 pub use deduction::BasicDeduction;
 pub use indefinite::IndefiniteKnowledge;
 pub use induction::BasicInduction;
@@ -245,7 +245,10 @@ mod tests {
             TaskId::SingleSupportingFact.to_string(),
             "qa1-single-supporting-fact"
         );
-        assert_eq!(TaskId::AgentMotivations.to_string(), "qa20-agent-motivations");
+        assert_eq!(
+            TaskId::AgentMotivations.to_string(),
+            "qa20-agent-motivations"
+        );
     }
 
     #[test]

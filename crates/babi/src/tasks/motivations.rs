@@ -37,7 +37,13 @@ impl TaskGenerator for AgentMotivations {
             let (state, place) = MOTIVATIONS[rng.gen_range(0..MOTIVATIONS.len())];
             story.push(sentence(&[agent, "is", state]));
             let state_idx = story.len() - 1;
-            story.push(sentence(&[agent, pick(rng, MOVE_VERBS), "to", "the", place]));
+            story.push(sentence(&[
+                agent,
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                place,
+            ]));
             episodes.push((agent, state, place, state_idx, story.len() - 1));
         }
         let (agent, state, place, si, mi) = episodes[rng.gen_range(0..episodes.len())];

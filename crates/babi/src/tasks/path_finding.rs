@@ -74,7 +74,9 @@ impl TaskGenerator for PathFinding {
         Sample::new(
             self.id(),
             story,
-            sentence(&["how", "do", "you", "go", "from", "the", rooms[0], "to", "the", rooms[2]]),
+            sentence(&[
+                "how", "do", "you", "go", "from", "the", rooms[0], "to", "the", rooms[2],
+            ]),
             answer,
             vec![0, 1],
         )

@@ -135,7 +135,11 @@ mod tests {
             ["below"] => a.1 < b.1,
             other => panic!("unknown relation {other:?}"),
         };
-        if holds { "yes".into() } else { "no".into() }
+        if holds {
+            "yes".into()
+        } else {
+            "no".into()
+        }
     }
 
     #[test]

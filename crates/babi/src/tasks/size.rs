@@ -123,7 +123,11 @@ mod tests {
             ["is", "the", x, "bigger", "than", "the", y] => is_bigger(x, y),
             other => panic!("unknown question {other:?}"),
         };
-        if truth { "yes".into() } else { "no".into() }
+        if truth {
+            "yes".into()
+        } else {
+            "no".into()
+        }
     }
 
     #[test]

@@ -41,7 +41,13 @@ impl TaskGenerator for ThreeSupportingFacts {
         let mut supporting = Vec::new();
 
         // Move to the first location, pick the object up there.
-        story.push(sentence(&[carrier, pick(rng, MOVE_VERBS), "to", "the", chain[0]]));
+        story.push(sentence(&[
+            carrier,
+            pick(rng, MOVE_VERBS),
+            "to",
+            "the",
+            chain[0],
+        ]));
         let first_move = story.len() - 1;
         story.push(sentence(&[carrier, "picked", "up", "the", obj]));
         let pickup = story.len() - 1;
@@ -58,7 +64,13 @@ impl TaskGenerator for ThreeSupportingFacts {
                     pick(rng, LOCATIONS),
                 ]));
             }
-            story.push(sentence(&[carrier, pick(rng, MOVE_VERBS), "to", "the", loc]));
+            story.push(sentence(&[
+                carrier,
+                pick(rng, MOVE_VERBS),
+                "to",
+                "the",
+                loc,
+            ]));
             move_indices.push(story.len() - 1);
         }
 

@@ -15,7 +15,12 @@ use crate::{Sample, Sentence, TaskGenerator, TaskId};
 
 /// Time labels in chronological order; each is a single token so the
 /// bag-of-words encoder keeps it intact.
-pub const TIME_LABELS: &[&str] = &["yesterday", "this_morning", "this_afternoon", "this_evening"];
+pub const TIME_LABELS: &[&str] = &[
+    "yesterday",
+    "this_morning",
+    "this_afternoon",
+    "this_evening",
+];
 
 /// Generator for bAbI task 14.
 #[derive(Debug, Clone, Copy, Default)]

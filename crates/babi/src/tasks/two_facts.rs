@@ -92,7 +92,8 @@ impl TwoSupportingFacts {
                 .copied()
                 .filter(|o| object[o].carrier.is_none())
                 .collect();
-            let can_pickup = ps.carrying.is_none() && ps.location.is_some() && !free_objs.is_empty();
+            let can_pickup =
+                ps.carrying.is_none() && ps.location.is_some() && !free_objs.is_empty();
             let can_drop = ps.carrying.is_some();
             let action = match (can_pickup, can_drop, rng.gen_range(0..4)) {
                 (true, _, 1) => 1,
@@ -110,7 +111,12 @@ impl TwoSupportingFacts {
                     os.known = Some((loc, vec![mi.min(i), mi.max(i)]));
                 }
                 2 => {
-                    let (_, obj) = person.get_mut(&who).expect("tracked").carrying.take().expect("checked");
+                    let (_, obj) = person
+                        .get_mut(&who)
+                        .expect("tracked")
+                        .carrying
+                        .take()
+                        .expect("checked");
                     story.push(sentence(&[who, "put", "down", "the", obj]));
                     object.get_mut(&obj).expect("tracked").carrier = None;
                     // The object stays where it was dropped; `known` already

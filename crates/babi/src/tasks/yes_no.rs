@@ -75,7 +75,11 @@ mod tests {
                 actual = sent.last().expect("loc").clone();
             }
         }
-        if actual == asked { "yes".into() } else { "no".into() }
+        if actual == asked {
+            "yes".into()
+        } else {
+            "no".into()
+        }
     }
 
     #[test]

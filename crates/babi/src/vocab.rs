@@ -134,10 +134,7 @@ mod tests {
         assert!(v.index_of("kitchen").is_some());
         assert!(v.index_of("where").is_some());
         // "mary" appears twice but is interned once.
-        assert_eq!(
-            v.iter().filter(|(_, t)| *t == "mary").count(),
-            1
-        );
+        assert_eq!(v.iter().filter(|(_, t)| *t == "mary").count(), 1);
     }
 
     #[test]

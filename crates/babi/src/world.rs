@@ -18,7 +18,13 @@ pub const LOCATIONS: &[&str] = &[
 
 /// Portable objects.
 pub const OBJECTS: &[&str] = &[
-    "apple", "football", "milk", "book", "ball", "cake", "newspaper",
+    "apple",
+    "football",
+    "milk",
+    "book",
+    "ball",
+    "cake",
+    "newspaper",
 ];
 
 /// Movement verbs (synonyms; all mean "moved").
@@ -65,7 +71,11 @@ pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
 ///
 /// Panics if `n > pool.len()`.
 pub fn pick_distinct<'a, R: Rng>(rng: &mut R, pool: &[&'a str], n: usize) -> Vec<&'a str> {
-    assert!(n <= pool.len(), "cannot pick {n} from pool of {}", pool.len());
+    assert!(
+        n <= pool.len(),
+        "cannot pick {n} from pool of {}",
+        pool.len()
+    );
     let mut shuffled: Vec<&str> = pool.to_vec();
     shuffled.shuffle(rng);
     shuffled.truncate(n);
@@ -92,8 +102,16 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_lowercase() {
         for pool in [
-            PERSONS, LOCATIONS, OBJECTS, MOVE_VERBS, DIRECTIONS, SPECIES, ANIMAL_NAMES, COLORS,
-            SHAPES, SIZED_ITEMS,
+            PERSONS,
+            LOCATIONS,
+            OBJECTS,
+            MOVE_VERBS,
+            DIRECTIONS,
+            SPECIES,
+            ANIMAL_NAMES,
+            COLORS,
+            SHAPES,
+            SIZED_ITEMS,
         ] {
             assert!(!pool.is_empty());
             for w in pool {

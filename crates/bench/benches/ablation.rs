@@ -81,5 +81,10 @@ fn bench_tree_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_quantization, bench_kde_kernels, bench_tree_width);
+criterion_group!(
+    benches,
+    bench_quantization,
+    bench_kde_kernels,
+    bench_tree_width
+);
 criterion_main!(benches);

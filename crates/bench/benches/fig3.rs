@@ -41,7 +41,10 @@ fn bench_fig3(c: &mut Criterion) {
     });
     group.finish();
 
-    println!("\n{}", fig3::run(&suite, &fig3::Fig3Config::default()).render());
+    println!(
+        "\n{}",
+        fig3::run(&suite, &fig3::Fig3Config::default()).render()
+    );
 }
 
 criterion_group!(benches, bench_fig3);

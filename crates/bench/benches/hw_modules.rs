@@ -15,7 +15,9 @@ use rand::{Rng, SeedableRng};
 
 fn sample(l: usize) -> EncodedSample {
     EncodedSample {
-        sentences: (0..l).map(|i| vec![i % 14, (i + 3) % 14, (i + 7) % 14]).collect(),
+        sentences: (0..l)
+            .map(|i| vec![i % 14, (i + 3) % 14, (i + 7) % 14])
+            .collect(),
         question: vec![1, 2],
         answer: 0,
     }
@@ -26,7 +28,9 @@ fn bench_stream(c: &mut Criterion) {
     let s = sample(12);
     group.bench_function("encode", |b| b.iter(|| black_box(encode_sample_stream(&s))));
     let words = encode_sample_stream(&s);
-    group.bench_function("decode", |b| b.iter(|| black_box(decode_stream(&words).unwrap())));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(decode_stream(&words).unwrap()))
+    });
     group.finish();
 }
 
@@ -61,7 +65,9 @@ fn bench_output_module(c: &mut Criterion) {
     }
     let h: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let exhaustive = OutputModule::new(w_o.clone(), &DatapathConfig::default());
-    group.bench_function("exhaustive", |b| b.iter(|| black_box(exhaustive.search(&h))));
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(exhaustive.search(&h)))
+    });
 
     // Threshold that fires after ~10% of rows.
     let ith = ThresholdingModel {
@@ -75,8 +81,11 @@ fn bench_output_module(c: &mut Criterion) {
         rho: 1.0,
         kernel: Kernel::Epanechnikov,
     };
-    let thresholded = OutputModule::new(w_o, &DatapathConfig::default()).with_thresholding(&ith, true);
-    group.bench_function("thresholded", |b| b.iter(|| black_box(thresholded.search(&h))));
+    let thresholded =
+        OutputModule::new(w_o, &DatapathConfig::default()).with_thresholding(&ith, true);
+    group.bench_function("thresholded", |b| {
+        b.iter(|| black_box(thresholded.search(&h)))
+    });
     group.finish();
 }
 

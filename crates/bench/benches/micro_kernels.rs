@@ -53,9 +53,11 @@ fn bench_matvec(c: &mut Criterion) {
             *x = rng.gen_range(-1.0..1.0);
         }
         let v: Vector = (0..cl).map(|i| (i as f32 * 0.3).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{r}x{cl}")), &m, |b, m| {
-            b.iter(|| black_box(m.matvec(&v).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}x{cl}")),
+            &m,
+            |b, m| b.iter(|| black_box(m.matvec(&v).unwrap())),
+        );
     }
     group.finish();
 }
@@ -85,5 +87,11 @@ fn bench_forward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_softmax, bench_dot, bench_matvec, bench_forward);
+criterion_group!(
+    benches,
+    bench_softmax,
+    bench_dot,
+    bench_matvec,
+    bench_forward
+);
 criterion_main!(benches);

@@ -21,6 +21,16 @@ use mann_linalg::activation::ExpLut;
 use memn2n::forward::forward_until_output;
 use rand::{Rng, SeedableRng};
 
+/// Builds a suite through the shared disk cache (`MANN_SUITE_CACHE`), so
+/// repeated ablation runs — and the other experiment binaries — reuse
+/// already-trained models.
+fn build_cached(cfg: &mann_core::SuiteConfig) -> TaskSuite {
+    match mann_core::SuiteCache::from_env() {
+        Some(cache) => cache.load_or_build(cfg, "per-task", TaskSuite::build),
+        None => TaskSuite::build(cfg),
+    }
+}
+
 fn main() {
     let mut args = HarnessArgs::parse(std::env::args().skip(1));
     if args.tasks == HarnessArgs::default().tasks {
@@ -38,7 +48,7 @@ fn main() {
     .take(args.tasks)
     .collect();
     eprintln!("[ablation] training {} tasks ...", cfg.tasks.len());
-    let suite = TaskSuite::build(&cfg);
+    let suite = build_cached(&cfg);
 
     ablation_fixed_width(&suite);
     ablation_kernel_and_ordering(&suite);
@@ -148,7 +158,11 @@ fn ablation_kernel_and_ordering(suite: &TaskSuite) {
 /// A3: exponential-LUT size vs worst-case error.
 fn ablation_exp_lut() {
     println!("A3 — exponential LUT size vs worst-case error (domain [-16, 0])");
-    let mut t = TextTable::new(vec!["entries".into(), "max |error|".into(), "BRAM36".into()]);
+    let mut t = TextTable::new(vec![
+        "entries".into(),
+        "max |error|".into(),
+        "BRAM36".into(),
+    ]);
     for entries in [16usize, 32, 64, 128, 256, 512, 1024] {
         let lut = ExpLut::new(entries, -16.0);
         let err = lut.max_abs_error(16);
@@ -292,7 +306,7 @@ fn ablation_controller(cfg: &mann_core::SuiteConfig) {
         let mut one = cfg.clone();
         one.tasks = vec![TaskId::SingleSupportingFact];
         one.model.controller = controller;
-        let suite = TaskSuite::build(&one);
+        let suite = build_cached(&one);
         let task = &suite.tasks[0];
         let accel = Accelerator::new(
             task.model.clone(),
@@ -330,7 +344,7 @@ fn ablation_controller(cfg: &mann_core::SuiteConfig) {
 /// per-sentence age markers ablates that signal.
 fn ablation_temporal_encoding(cfg: &mann_core::SuiteConfig) {
     use mann_babi::DatasetBuilder;
-    use memn2n::{Trainer};
+    use memn2n::Trainer;
     println!("\nA7 — temporal encoding (per-sentence age tokens)");
     let mut t = TextTable::new(vec![
         "task".into(),
@@ -344,12 +358,8 @@ fn ablation_temporal_encoding(cfg: &mann_core::SuiteConfig) {
             .seed(cfg.seed)
             .build_task(task);
         let acc = |time_tokens: usize| -> f32 {
-            let mut trainer = Trainer::from_task_data_with_time_tokens(
-                &data,
-                cfg.model,
-                cfg.train,
-                time_tokens,
-            );
+            let mut trainer =
+                Trainer::from_task_data_with_time_tokens(&data, cfg.model, cfg.train, time_tokens);
             trainer.train().final_test_accuracy
         };
         t.row(vec![
@@ -389,8 +399,8 @@ fn ablation_large_class(suite: &TaskSuite) {
         for _ in 0..extra * e {
             flat.push(rng.gen_range(-0.02f32..0.02));
         }
-        params.w_o = mann_linalg::Matrix::from_flat(base_rows + extra, e, flat)
-            .expect("consistent dims");
+        params.w_o =
+            mann_linalg::Matrix::from_flat(base_rows + extra, e, flat).expect("consistent dims");
         params.vocab_size = base_rows + extra;
         let model = memn2n::TrainedModel {
             task: task.model.task,

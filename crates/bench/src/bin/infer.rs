@@ -21,7 +21,12 @@ fn main() {
     while let Some(k) = it.next() {
         match k.as_str() {
             "--model" => path = it.next().expect("--model <path>").clone(),
-            "--questions" => questions = it.next().and_then(|v| v.parse().ok()).expect("--questions <n>"),
+            "--questions" => {
+                questions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--questions <n>")
+            }
             "--mhz" => mhz = it.next().and_then(|v| v.parse().ok()).expect("--mhz <f>"),
             "--no-ith" => ith = false,
             _ => {}

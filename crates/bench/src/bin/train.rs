@@ -18,7 +18,12 @@ fn main() {
     let mut it = raw.iter();
     while let Some(k) = it.next() {
         match k.as_str() {
-            "--task" => task_no = it.next().and_then(|v| v.parse().ok()).expect("--task <1-20>"),
+            "--task" => {
+                task_no = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--task <1-20>")
+            }
             "--out" => out = it.next().expect("--out <path>").clone(),
             _ => {}
         }
@@ -28,7 +33,10 @@ fn main() {
         tasks: vec![task],
         ..args.suite_config()
     };
-    eprintln!("[train] {task}: {} train / {} test samples ...", cfg.train_samples, cfg.test_samples);
+    eprintln!(
+        "[train] {task}: {} train / {} test samples ...",
+        cfg.train_samples, cfg.test_samples
+    );
     let suite = TaskSuite::build(&cfg);
     let trained = &suite.tasks[0];
     eprintln!(

@@ -84,13 +84,34 @@ impl HarnessArgs {
         cfg
     }
 
-    /// Builds the suite per the `--joint` flag.
+    /// Builds the suite per the `--joint` flag, going through the shared
+    /// disk cache: the first experiment binary to run a configuration
+    /// trains it, the rest (`table1`, `fig3`, `fig4`, `ablation`, …) load
+    /// the trained suite from `target/suite-cache/` in milliseconds. Set
+    /// `MANN_SUITE_CACHE=<dir>` to relocate the cache or
+    /// `MANN_SUITE_CACHE=off` to always retrain.
     pub fn build_suite(&self) -> mann_core::TaskSuite {
         let cfg = self.suite_config();
-        if self.joint {
-            mann_core::TaskSuite::build_joint(&cfg)
+        let (variant, build): (_, fn(&SuiteConfig) -> mann_core::TaskSuite) = if self.joint {
+            ("joint", mann_core::TaskSuite::build_joint)
         } else {
-            mann_core::TaskSuite::build(&cfg)
+            ("per-task", mann_core::TaskSuite::build)
+        };
+        match mann_core::SuiteCache::from_env() {
+            Some(cache) => {
+                let hit = cache.load(&cfg, variant);
+                if hit.is_some() {
+                    eprintln!("[suite] loaded trained suite from cache");
+                }
+                hit.unwrap_or_else(|| {
+                    let suite = build(&cfg);
+                    if cache.store(&suite, variant).is_ok() {
+                        eprintln!("[suite] cached trained suite for reuse");
+                    }
+                    suite
+                })
+            }
+            None => build(&cfg),
         }
     }
 }
@@ -102,9 +123,11 @@ mod tests {
     #[test]
     fn parse_reads_known_flags_and_ignores_others() {
         let a = HarnessArgs::parse(
-            ["--tasks", "3", "--zzz", "--train", "50", "--reps", "7", "--joint"]
-                .iter()
-                .map(|s| (*s).to_owned()),
+            [
+                "--tasks", "3", "--zzz", "--train", "50", "--reps", "7", "--joint",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned()),
         );
         assert_eq!(a.tasks, 3);
         assert_eq!(a.train, 50);

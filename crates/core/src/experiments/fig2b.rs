@@ -61,8 +61,16 @@ impl Fig2b {
                 c.range.0,
                 c.range.1,
             ));
-            out.push_str(&format!("  on  ({:>5}) |{}|\n", c.on_count, spark(&c.on_bins)));
-            out.push_str(&format!("  off ({:>5}) |{}|\n", c.off_count, spark(&c.off_bins)));
+            out.push_str(&format!(
+                "  on  ({:>5}) |{}|\n",
+                c.on_count,
+                spark(&c.on_bins)
+            ));
+            out.push_str(&format!(
+                "  off ({:>5}) |{}|\n",
+                c.off_count,
+                spark(&c.off_bins)
+            ));
         }
         out
     }

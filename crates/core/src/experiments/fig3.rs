@@ -96,11 +96,14 @@ pub fn run(suite: &TaskSuite, config: &Fig3Config) -> Fig3 {
         .iter()
         .map(|t| TaskCtx {
             stats: LogitStats::collect(&t.model, &t.train_set),
-            hiddens: t
-                .test_set
-                .iter()
-                .map(|s| forward_until_output(&t.model.params, s))
-                .collect(),
+            // The per-sample forward passes are independent; fan them out
+            // on the work-stealing pool (order-preserving, so the hidden
+            // states are identical to a sequential sweep).
+            hiddens: crate::parallel::parallel_map_indexed(
+                t.test_set.len(),
+                crate::parallel::worker_threads(t.test_set.len()),
+                |i| forward_until_output(&t.model.params, &t.test_set[i]),
+            ),
             task: t,
         })
         .collect();

@@ -72,7 +72,7 @@ pub fn run(suite: &TaskSuite) -> Fig4 {
     let i25 = SuiteFpga::new(suite, ClockDomain::mhz(25.0), true);
     let f100 = SuiteFpga::new(suite, ClockDomain::mhz(100.0), false);
     let i100 = SuiteFpga::new(suite, ClockDomain::mhz(100.0), true);
-    let configs: [(&dyn ExecutionModel, bool); 5] = [
+    let configs: [(&(dyn ExecutionModel + Sync), bool); 5] = [
         (&cpu, false),
         (&f25, false),
         (&i25, true),
@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(f.rows.len(), 2);
         for r in &f.rows {
             assert_eq!(r.efficiency_vs_gpu.len(), FIG4_CONFIGS.len());
-            assert!(r.efficiency_vs_gpu.iter().all(|&x| x.is_finite() && x > 0.0));
+            assert!(r
+                .efficiency_vs_gpu
+                .iter()
+                .all(|&x| x.is_finite() && x > 0.0));
         }
         let rendered = f.render();
         assert!(rendered.contains("single-supporting-fact"));

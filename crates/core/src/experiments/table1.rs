@@ -136,11 +136,7 @@ pub fn run(suite: &TaskSuite, config: &Table1Config) -> Table1 {
 /// Re-measures the top-frequency ITH configuration counting compute time
 /// only and compares plain *energy* against the GPU — the paper's "if this
 /// were not the case" §V estimate (162x, an energy ratio).
-fn interface_free_energy_ratio(
-    suite: &TaskSuite,
-    config: &Table1Config,
-    gpu_energy_j: f64,
-) -> f64 {
+fn interface_free_energy_ratio(suite: &TaskSuite, config: &Table1Config, gpu_energy_j: f64) -> f64 {
     let top = config
         .frequencies_mhz
         .iter()

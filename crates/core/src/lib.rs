@@ -27,12 +27,13 @@
 //! ```
 
 pub mod experiments;
+pub mod parallel;
 pub mod persist;
 pub mod report;
 
 mod pipeline;
 mod workload;
 
-pub use persist::ModelBundle;
+pub use persist::{ModelBundle, SuiteCache};
 pub use pipeline::{SuiteConfig, TaskSuite, TrainedTask};
 pub use workload::{run_workload, WorkloadResult};

@@ -1,0 +1,122 @@
+//! Work-stealing fan-out shared by every parallel path in the pipeline.
+//!
+//! Tasks of a suite (and samples of a test set) vary widely in cost —
+//! story lengths differ, vocabularies differ, thresholding makes some
+//! inferences exit early. Static chunking therefore leaves workers idle
+//! behind the slowest chunk; the atomic-counter queue here lets each worker
+//! claim the next unclaimed index as soon as it finishes one, so the
+//! critical path shrinks to the single most expensive item.
+//!
+//! Results land in index-ordered slots, which keeps every consumer
+//! bit-identical to a sequential run regardless of the worker count: the
+//! work is claimed in a nondeterministic order but *accumulated* in index
+//! order by the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `items` independent work units.
+///
+/// Honors the `MANN_THREADS` environment variable (any positive integer;
+/// `0`, empty, or unparsable values fall back to auto-detection), defaulting
+/// to [`std::thread::available_parallelism`]. Never exceeds `items` and
+/// never returns zero.
+pub fn worker_threads(items: usize) -> usize {
+    let configured = std::env::var("MANN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    configured.unwrap_or_else(auto).min(items.max(1))
+}
+
+/// Maps `f` over `0..items` on `workers` threads with a work-stealing
+/// atomic counter, returning the results in index order.
+///
+/// With `workers <= 1` this is a plain sequential map. With more, each
+/// worker repeatedly claims the next index via `fetch_add` — no chunking,
+/// no channels — and writes the result into its slot. The output is
+/// identical (element for element) to the sequential map; only wall-clock
+/// scheduling differs.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map_indexed<T, F>(items: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if items == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..items).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("unpoisoned slot") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned slot")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_results_are_identical() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+        let seq = parallel_map_indexed(257, 1, f);
+        for workers in [2, 3, 8, 300] {
+            assert_eq!(parallel_map_indexed(257, workers, f), seq);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map_indexed(0, 8, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_fully_claimed() {
+        // Items with wildly different costs: every index must appear once.
+        let out = parallel_map_indexed(64, 4, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_threads_is_positive_and_bounded_by_items() {
+        assert_eq!(worker_threads(0), 1);
+        assert!(worker_threads(1) == 1);
+        assert!(worker_threads(1_000_000) >= 1);
+        assert!(worker_threads(3) <= 3);
+    }
+}

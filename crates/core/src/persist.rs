@@ -7,11 +7,13 @@
 
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use mann_ith::ThresholdingModel;
 use memn2n::TrainedModel;
 use serde::{Deserialize, Serialize};
+
+use crate::{SuiteConfig, TaskSuite};
 
 /// A deployable model artifact: weights + encoder + thresholds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,10 +97,110 @@ impl ModelBundle {
     }
 }
 
+/// A disk-backed cache of trained suites, keyed by a hash of the generating
+/// [`SuiteConfig`] (plus a build-variant tag, so per-task and joint builds
+/// of the same config do not collide).
+///
+/// Training dominates every experiment binary's runtime; `table1`, `fig3`,
+/// `fig4` and `ablation` all consume the *same* trained suite, so the first
+/// binary to run trains it and the rest load it in milliseconds. Suites are
+/// stored as one JSON file per key under the cache directory. A cache hit
+/// is only returned when the stored config equals the requested one, so a
+/// hash collision (or a stale schema) degrades to a rebuild, never to wrong
+/// results.
+#[derive(Debug, Clone)]
+pub struct SuiteCache {
+    dir: PathBuf,
+}
+
+impl SuiteCache {
+    /// Default cache location, relative to the working directory.
+    pub const DEFAULT_DIR: &'static str = "target/suite-cache";
+
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The cache configured by the `MANN_SUITE_CACHE` environment variable:
+    /// unset uses [`SuiteCache::DEFAULT_DIR`]; `0`, `off`, or the empty
+    /// string disables caching (`None`); anything else is the directory.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("MANN_SUITE_CACHE") {
+            Err(_) => Some(Self::new(Self::DEFAULT_DIR)),
+            Ok(v) => {
+                let v = v.trim().to_owned();
+                if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+                    None
+                } else {
+                    Some(Self::new(v))
+                }
+            }
+        }
+    }
+
+    /// The cache key for `config` built as `variant` (e.g. `"per-task"` or
+    /// `"joint"`): an FNV-1a hash of the serialized config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails to serialize (it never does).
+    pub fn config_key(config: &SuiteConfig, variant: &str) -> String {
+        let json = serde_json::to_string(config).expect("config serializes");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in json.bytes().chain(variant.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("suite-{hash:016x}")
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the suite cached under `(config, variant)`, if present, valid,
+    /// and generated by an identical config.
+    pub fn load(&self, config: &SuiteConfig, variant: &str) -> Option<TaskSuite> {
+        let path = self.path_for(&Self::config_key(config, variant));
+        let json = fs::read_to_string(path).ok()?;
+        let suite: TaskSuite = serde_json::from_str(&json).ok()?;
+        (suite.config == *config).then_some(suite)
+    }
+
+    /// Stores `suite` under `(suite.config, variant)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or serialization failure.
+    pub fn store(&self, suite: &TaskSuite, variant: &str) -> Result<(), PersistError> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(&Self::config_key(&suite.config, variant));
+        let json = serde_json::to_string(suite)?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads the cached suite or builds it with `build` and stores the
+    /// result (best effort — a failed store still returns the suite).
+    pub fn load_or_build(
+        &self,
+        config: &SuiteConfig,
+        variant: &str,
+        build: impl FnOnce(&SuiteConfig) -> TaskSuite,
+    ) -> TaskSuite {
+        if let Some(suite) = self.load(config, variant) {
+            return suite;
+        }
+        let suite = build(config);
+        let _ = self.store(&suite, variant);
+        suite
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SuiteConfig, TaskSuite};
     use mann_babi::TaskId;
 
     fn bundle() -> ModelBundle {
@@ -129,6 +231,40 @@ mod tests {
         let err = ModelBundle::load("/nonexistent/mann/bundle.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
         assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn suite_cache_round_trips_and_validates_config() {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::AgentMotivations],
+            train_samples: 50,
+            test_samples: 8,
+            ..SuiteConfig::quick()
+        };
+        let dir = std::env::temp_dir().join("mann_accel_suite_cache_test");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = SuiteCache::new(&dir);
+
+        assert!(cache.load(&cfg, "per-task").is_none(), "cold cache");
+        let built = cache.load_or_build(&cfg, "per-task", TaskSuite::build);
+        let cached = cache.load(&cfg, "per-task").expect("warm cache");
+        assert_eq!(cached, built);
+
+        // A different config (or variant) misses.
+        let mut other = cfg.clone();
+        other.seed += 1;
+        assert!(cache.load(&other, "per-task").is_none());
+        assert!(cache.load(&cfg, "joint").is_none());
+        // Distinct keys for distinct configs/variants.
+        assert_ne!(
+            SuiteCache::config_key(&cfg, "per-task"),
+            SuiteCache::config_key(&other, "per-task")
+        );
+        assert_ne!(
+            SuiteCache::config_key(&cfg, "per-task"),
+            SuiteCache::config_key(&cfg, "joint")
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

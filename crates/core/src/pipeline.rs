@@ -69,7 +69,7 @@ impl SuiteConfig {
 }
 
 /// One task's trained artifacts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainedTask {
     /// The task.
     pub task: TaskId,
@@ -86,7 +86,7 @@ pub struct TrainedTask {
 }
 
 /// A trained multi-task suite — the input to every experiment runner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskSuite {
     /// Per-task artifacts, in `config.tasks` order.
     pub tasks: Vec<TrainedTask>,
@@ -97,44 +97,33 @@ pub struct TaskSuite {
 impl TaskSuite {
     /// Generates data, trains, and calibrates every configured task.
     ///
+    /// Tasks train concurrently on a work-stealing queue sized by
+    /// [`crate::parallel::worker_threads`] (override with `MANN_THREADS`).
+    /// Each task's build is seeded independently of scheduling, and results
+    /// are collected in `config.tasks` order, so the suite is identical for
+    /// any worker count — see [`TaskSuite::build_with_workers`].
+    ///
     /// # Panics
     ///
     /// Panics if `config.tasks` is empty or the model config is invalid.
     pub fn build(config: &SuiteConfig) -> Self {
+        Self::build_with_workers(config, crate::parallel::worker_threads(config.tasks.len()))
+    }
+
+    /// [`TaskSuite::build`] with an explicit worker count. `workers <= 1`
+    /// builds sequentially; any count produces the same suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.tasks` is empty or the model config is invalid.
+    pub fn build_with_workers(config: &SuiteConfig, workers: usize) -> Self {
         assert!(!config.tasks.is_empty(), "suite needs at least one task");
-        // Tasks are independent; train them on scoped threads (one chunk of
-        // tasks per worker). Slots are written through disjoint &mut
-        // chunks, so the result is identical to a sequential build.
-        let n = config.tasks.len();
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(n);
-        let tasks: Vec<TrainedTask> = if workers <= 1 {
-            config
-                .tasks
-                .iter()
-                .map(|&task| Self::build_task(config, task))
-                .collect()
-        } else {
-            let mut slots: Vec<Option<TrainedTask>> = (0..n).map(|_| None).collect();
-            let chunk = n.div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (slot_chunk, task_chunk) in
-                    slots.chunks_mut(chunk).zip(config.tasks.chunks(chunk))
-                {
-                    scope.spawn(move || {
-                        for (slot, &task) in slot_chunk.iter_mut().zip(task_chunk) {
-                            *slot = Some(Self::build_task(config, task));
-                        }
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|s| s.expect("every task trained"))
-                .collect()
-        };
+        // Tasks are independent and vary widely in cost (story length,
+        // vocabulary); the work-stealing queue keeps every worker busy
+        // until the last task finishes.
+        let tasks = crate::parallel::parallel_map_indexed(config.tasks.len(), workers, |i| {
+            Self::build_task(config, config.tasks[i])
+        });
         Self {
             tasks,
             config: config.clone(),
@@ -211,7 +200,11 @@ impl TaskSuite {
             .map(|data| {
                 let (train_set, skipped_train) = shared_model.encoder.encode_all(&data.train);
                 let (test_set, skipped_test) = shared_model.encoder.encode_all(&data.test);
-                assert_eq!(skipped_train + skipped_test, 0, "shared vocab covers all tasks");
+                assert_eq!(
+                    skipped_train + skipped_test,
+                    0,
+                    "shared vocab covers all tasks"
+                );
                 let mut model = shared_model.clone();
                 model.task = data.task;
                 let test_accuracy = model.accuracy(&test_set);
@@ -305,6 +298,18 @@ mod tests {
     }
 
     #[test]
+    fn one_worker_and_many_workers_build_identical_suites() {
+        let cfg = tiny_cfg();
+        let sequential = TaskSuite::build_with_workers(&cfg, 1);
+        for workers in [2, 4, 16] {
+            let parallel = TaskSuite::build_with_workers(&cfg, workers);
+            // Exact equality: same weights, same encoders, same thresholds,
+            // same sample sets, bit for bit.
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one task")]
     fn empty_suite_rejected() {
         let mut cfg = tiny_cfg();
@@ -322,10 +327,7 @@ mod tests {
         assert_eq!(suite.tasks[1].model.task, TaskId::AgentMotivations);
         // Shared vocabulary spans both tasks → larger |I| than either alone.
         let per_task = TaskSuite::build(&tiny_cfg());
-        assert!(
-            suite.tasks[0].model.params.vocab_size
-                > per_task.tasks[0].model.params.vocab_size
-        );
+        assert!(suite.tasks[0].model.params.vocab_size > per_task.tasks[0].model.params.vocab_size);
         // Shared thresholds.
         assert_eq!(suite.tasks[0].ith, suite.tasks[1].ith);
     }

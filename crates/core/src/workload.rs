@@ -42,7 +42,7 @@ impl WorkloadResult {
 /// supports a per-call mode (CPU/GPU); FPGA platforms carry their mode in
 /// their configuration.
 pub fn run_workload(
-    platform: &dyn ExecutionModel,
+    platform: &(dyn ExecutionModel + Sync),
     suite: &TaskSuite,
     use_ith: bool,
     repetitions: u64,
@@ -72,37 +72,51 @@ pub fn run_workload(
             0.0
         },
         flops: total_flops,
-        accuracy: if n > 0 { correct as f64 / n as f64 } else { 0.0 },
+        accuracy: if n > 0 {
+            correct as f64 / n as f64
+        } else {
+            0.0
+        },
         inferences: n,
     }
 }
 
 /// Runs one task's test set once (no repetition multiplier); returns
 /// `(time, energy, flops, correct, count)`.
+///
+/// Samples are independent, so they run on the work-stealing pool
+/// (`MANN_THREADS` overrides the width). Measurements are collected in
+/// sample order and accumulated sequentially, so the floating-point sums
+/// are identical to a single-threaded run.
 pub fn run_task(
-    platform: &dyn ExecutionModel,
+    platform: &(dyn ExecutionModel + Sync),
     task: &TrainedTask,
     use_ith: bool,
 ) -> (f64, f64, u64, usize, usize) {
-    let mut time_s = 0.0f64;
-    let mut energy_j = 0.0f64;
-    let mut flops = 0u64;
-    let mut correct = 0usize;
-    for sample in &task.test_set {
+    let n = task.test_set.len();
+    let workers = crate::parallel::worker_threads(n);
+    let measurements = crate::parallel::parallel_map_indexed(n, workers, |i| {
         let mode = if use_ith {
             MipsMode::Thresholded(&task.ith)
         } else {
             MipsMode::Exhaustive
         };
-        let m = platform.run_inference(&task.model, sample, mode);
-        time_s += m.time_s;
-        energy_j += m.energy_j();
-        flops += m.flops;
-        if m.correct {
+        let m = platform.run_inference(&task.model, &task.test_set[i], mode);
+        (m.time_s, m.energy_j(), m.flops, m.correct)
+    });
+    let mut time_s = 0.0f64;
+    let mut energy_j = 0.0f64;
+    let mut flops = 0u64;
+    let mut correct = 0usize;
+    for (t, e, f, c) in measurements {
+        time_s += t;
+        energy_j += e;
+        flops += f;
+        if c {
             correct += 1;
         }
     }
-    (time_s, energy_j, flops, correct, task.test_set.len())
+    (time_s, energy_j, flops, correct, n)
 }
 
 #[cfg(test)]

@@ -1,0 +1,50 @@
+//! End-to-end determinism of the parallel sweep engine.
+//!
+//! The work-stealing suite builder and the parallel per-sample evaluation
+//! paths claim work in a nondeterministic order but must accumulate results
+//! in index order, so every experiment output has to be *byte-identical*
+//! regardless of worker count. This drives the real Table I pipeline with
+//! 1-worker and multi-worker builds and diffs the serialized results.
+
+use mann_babi::TaskId;
+use mann_core::experiments::table1::{self, Table1Config};
+use mann_core::{SuiteConfig, TaskSuite};
+
+fn config() -> SuiteConfig {
+    SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+        train_samples: 80,
+        test_samples: 10,
+        ..SuiteConfig::quick()
+    }
+}
+
+#[test]
+fn table1_results_are_byte_identical_across_worker_counts() {
+    let cfg = config();
+    let t1_cfg = Table1Config {
+        repetitions: 3,
+        frequencies_mhz: vec![25.0, 100.0],
+    };
+
+    let sequential = TaskSuite::build_with_workers(&cfg, 1);
+    let parallel = TaskSuite::build_with_workers(&cfg, 4);
+    assert_eq!(sequential, parallel, "trained suites diverged");
+
+    let a = serde_json::to_string(&table1::run(&sequential, &t1_cfg)).expect("serialize");
+    let b = serde_json::to_string(&table1::run(&parallel, &t1_cfg)).expect("serialize");
+    assert_eq!(a, b, "Table I output depends on worker count");
+}
+
+#[test]
+fn mann_threads_override_does_not_change_results() {
+    // `worker_threads` consults MANN_THREADS; pinning it to 3 must leave
+    // the trained suite identical to a single-worker build. Set before any
+    // parallel path spawns so the override is read consistently.
+    std::env::set_var("MANN_THREADS", "3");
+    let cfg = config();
+    let via_env = TaskSuite::build(&cfg);
+    std::env::remove_var("MANN_THREADS");
+    let sequential = TaskSuite::build_with_workers(&cfg, 1);
+    assert_eq!(via_env, sequential);
+}

@@ -173,7 +173,11 @@ impl Accelerator {
         self.run_traced(sample, Some(trace))
     }
 
-    fn run_traced(&self, sample: &EncodedSample, mut trace: Option<&mut SignalTrace>) -> InferenceRun {
+    fn run_traced(
+        &self,
+        sample: &EncodedSample,
+        mut trace: Option<&mut SignalTrace>,
+    ) -> InferenceRun {
         let mut phases = PhaseCycles::default();
 
         // Host stream → CONTROL decode.
@@ -214,14 +218,19 @@ impl Accelerator {
             t.record(s.0, now, 0);
         }
 
-        // Recurrent read path (blue in Fig 1).
+        // Recurrent read path (blue in Fig 1). The per-hop buffers are
+        // hoisted out of the loop and reused: attention and read vector are
+        // rewritten in place, and the controller output swaps with the key
+        // instead of being cloned.
         let mut key = q_emb;
         let mut hidden = vec![0.0f32; self.embed_dim];
+        let mut attention: Vec<f32> = Vec::new();
+        let mut read_vec: Vec<f32> = Vec::new();
         for _hop in 0..self.hops {
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
                 t.record(s.1, now, 1);
             }
-            let (attention, ac) = mem.address(&key);
+            let ac = mem.address_into(&key, &mut attention);
             phases.addressing += ac;
             now += ac.get();
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
@@ -235,24 +244,27 @@ impl Accelerator {
                 t.record(s.1, now, 0);
                 t.record(s.2, now, 1);
             }
-            let (r, rc) = mem.read(&attention);
+            let rc = mem.read_into(&attention, &mut read_vec);
             phases.read += rc;
             now += rc.get();
-            let (h, cc) = self.read.step(&r, &key);
+            let cc = self.read.step_into(&read_vec, &key, &mut hidden);
             phases.controller += cc;
             now += cc.get();
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
                 t.record(s.2, now, 0);
             }
-            hidden = h.clone();
-            key = h;
+            std::mem::swap(&mut key, &mut hidden);
         }
+        // After the swap the final controller output lives in `key`; with
+        // zero hops this degenerates to searching an all-zero hidden state,
+        // as before.
+        let hidden = if self.hops == 0 { &hidden } else { &key };
 
         // OUTPUT search.
         if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
             t.record(s.3, now, 1);
         }
-        let out = self.output.search(&hidden);
+        let out = self.output.search(hidden);
         phases.output = out.cycles;
         now += out.cycles.get();
         if let (Some(t), Some(s)) = (trace, sig) {
@@ -416,7 +428,10 @@ mod tests {
             }
         }
         assert!(fast_out < base_out, "no output-cycle savings");
-        assert!(disagreements * 10 <= test.len(), "{disagreements} disagreements");
+        assert!(
+            disagreements * 10 <= test.len(),
+            "{disagreements} disagreements"
+        );
     }
 
     #[test]

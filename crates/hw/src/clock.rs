@@ -81,9 +81,7 @@ impl ClockDomain {
     /// Panics if `mhz` is not positive.
     pub fn mhz(mhz: f64) -> Self {
         assert!(mhz > 0.0, "clock frequency must be positive");
-        Self {
-            freq_hz: mhz * 1e6,
-        }
+        Self { freq_hz: mhz * 1e6 }
     }
 
     /// Frequency in hertz.
@@ -103,7 +101,12 @@ impl ClockDomain {
 
     /// The paper's four operating points.
     pub fn paper_frequencies() -> [ClockDomain; 4] {
-        [Self::mhz(25.0), Self::mhz(50.0), Self::mhz(75.0), Self::mhz(100.0)]
+        [
+            Self::mhz(25.0),
+            Self::mhz(50.0),
+            Self::mhz(75.0),
+            Self::mhz(100.0),
+        ]
     }
 }
 

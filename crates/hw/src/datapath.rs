@@ -79,10 +79,35 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let base = DatapathConfig::default();
-        assert!(DatapathConfig { tree_width: 0, ..base }.validate().is_err());
-        assert!(DatapathConfig { div_latency: 0, ..base }.validate().is_err());
-        assert!(DatapathConfig { exp_lut_entries: 1, ..base }.validate().is_err());
-        assert!(DatapathConfig { output_lanes: 0, ..base }.validate().is_err());
-        assert!(DatapathConfig { frac_bits: 31, ..base }.validate().is_err());
+        assert!(DatapathConfig {
+            tree_width: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DatapathConfig {
+            div_latency: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DatapathConfig {
+            exp_lut_entries: 1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DatapathConfig {
+            output_lanes: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DatapathConfig {
+            frac_bits: 31,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 }

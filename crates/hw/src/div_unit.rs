@@ -54,7 +54,10 @@ mod tests {
     #[test]
     fn quotients_match_fixed_division() {
         let d = DivUnit::default();
-        let nums: Vec<Fixed> = [1.0f32, 2.0, 3.0].iter().map(|&x| Fixed::from_f32(x)).collect();
+        let nums: Vec<Fixed> = [1.0f32, 2.0, 3.0]
+            .iter()
+            .map(|&x| Fixed::from_f32(x))
+            .collect();
         let (out, _) = d.div_batch(&nums, Fixed::from_f32(2.0));
         let expect = [0.5f32, 1.0, 1.5];
         for (o, e) in out.iter().zip(expect) {

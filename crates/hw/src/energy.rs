@@ -57,7 +57,11 @@ impl PowerModel {
         self.static_w
             + self.clock_w_per_mhz * freq_mhz
             + self.active_w_per_mhz * freq_mhz * busy_fraction
-            + if ith_enabled { self.ith_overhead_w } else { 0.0 }
+            + if ith_enabled {
+                self.ith_overhead_w
+            } else {
+                0.0
+            }
     }
 
     /// Energy in joules for a run of `seconds` at the given operating point.

@@ -51,7 +51,10 @@ pub fn inject_upsets_in_bits(
     bits: std::ops::Range<u32>,
     seed: u64,
 ) -> (Params, Vec<UpsetSite>) {
-    assert!(!bits.is_empty() && bits.end <= 32, "invalid bit range {bits:?}");
+    assert!(
+        !bits.is_empty() && bits.end <= 32,
+        "invalid bit range {bits:?}"
+    );
     let mut faulted = params.clone();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sites = Vec::with_capacity(upsets);

@@ -42,8 +42,8 @@ pub mod adder_tree;
 pub mod clock;
 pub mod div_unit;
 pub mod energy;
-pub mod fault;
 pub mod exp_unit;
+pub mod fault;
 pub mod fifo;
 pub mod modules;
 pub mod pcie;

@@ -96,7 +96,12 @@ pub fn encode_sample_stream(sample: &EncodedSample) -> Vec<u32> {
         out.extend(sent.iter().map(|&w| HostWord::Word(w as u32).to_u32()));
     }
     out.push(HostWord::Question(sample.question.len() as u16).to_u32());
-    out.extend(sample.question.iter().map(|&w| HostWord::Word(w as u32).to_u32()));
+    out.extend(
+        sample
+            .question
+            .iter()
+            .map(|&w| HostWord::Word(w as u32).to_u32()),
+    );
     out.push(HostWord::RunInference.to_u32());
     out
 }
@@ -242,7 +247,11 @@ mod tests {
     #[test]
     fn second_begin_story_resets_state() {
         let s = sample();
-        let mut words = vec![HostWord::BeginStory.to_u32(), HostWord::Sentence(1).to_u32(), HostWord::Word(9).to_u32()];
+        let mut words = vec![
+            HostWord::BeginStory.to_u32(),
+            HostWord::Sentence(1).to_u32(),
+            HostWord::Word(9).to_u32(),
+        ];
         words.extend(encode_sample_stream(&s));
         let (sentences, _) = decode_stream(&words).unwrap();
         assert_eq!(sentences, s.sentences, "stale sentence survived reset");

@@ -77,9 +77,19 @@ impl MemModule {
     /// Content-based addressing (Eq 1): returns the attention weights and
     /// the cycles of the score/softmax pipeline.
     pub fn address(&self, key: &[f32]) -> (Vec<f32>, Cycles) {
+        let mut attention = Vec::new();
+        let cycles = self.address_into(key, &mut attention);
+        (attention, cycles)
+    }
+
+    /// [`MemModule::address`] with the attention written into a caller-owned
+    /// buffer whose capacity is reused across hops. Values and cycle counts
+    /// are identical to [`MemModule::address`].
+    pub fn address_into(&self, key: &[f32], attention: &mut Vec<f32>) -> Cycles {
+        attention.clear();
         let l = self.rows_a.len();
         if l == 0 {
-            return (Vec::new(), Cycles::ZERO);
+            return Cycles::ZERO;
         }
         // Scores: one pipelined dot product per row.
         let mut scores = Vec::with_capacity(l);
@@ -104,32 +114,40 @@ impl MemModule {
 
         // Sequential normalization.
         let (normalized, div_cycles) = self.div.div_batch(&exps, denom);
-        let attention: Vec<f32> = if denom.is_zero() {
+        if denom.is_zero() {
             // Divider guard: all-flushed exponents fall back to uniform.
-            vec![1.0 / l as f32; l]
+            attention.resize(l, 1.0 / l as f32);
         } else {
-            normalized.into_iter().map(Fixed::to_f32).collect()
-        };
+            attention.extend(normalized.into_iter().map(Fixed::to_f32));
+        }
 
-        (
-            attention,
-            score_cycles + exp_cycles + sum_cycles + div_cycles,
-        )
+        score_cycles + exp_cycles + sum_cycles + div_cycles
     }
 
     /// Soft read (Eq 5): weighted sum of content rows.
     pub fn read(&self, attention: &[f32]) -> (Vec<f32>, Cycles) {
+        let mut out = Vec::new();
+        let cycles = self.read_into(attention, &mut out);
+        (out, cycles)
+    }
+
+    /// [`MemModule::read`] with the read vector written into a caller-owned
+    /// buffer whose capacity is reused across hops. Per output element the
+    /// fixed-point accumulation visits the rows in the same order as
+    /// [`MemModule::read`], so results are identical.
+    pub fn read_into(&self, attention: &[f32], out: &mut Vec<f32>) -> Cycles {
         assert_eq!(attention.len(), self.rows_c.len(), "attention length");
-        let mut acc = vec![Fixed::ZERO; self.embed_dim];
-        for (a, row) in attention.iter().zip(&self.rows_c) {
-            let af = Fixed::from_f32(*a);
-            for (slot, &x) in acc.iter_mut().zip(row) {
-                *slot += af * Fixed::from_f32(x);
+        out.clear();
+        out.reserve(self.embed_dim);
+        for j in 0..self.embed_dim {
+            let mut acc = Fixed::ZERO;
+            for (a, row) in attention.iter().zip(&self.rows_c) {
+                acc += Fixed::from_f32(*a) * Fixed::from_f32(row[j]);
             }
+            out.push(acc.to_f32());
         }
         let per_row = (self.embed_dim.div_ceil(self.tree.width())) as u64;
-        let cycles = Cycles::new(self.rows_c.len() as u64 * per_row + self.tree.depth() + 1);
-        (acc.into_iter().map(Fixed::to_f32).collect(), cycles)
+        Cycles::new(self.rows_c.len() as u64 * per_row + self.tree.depth() + 1)
     }
 }
 

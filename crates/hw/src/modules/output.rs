@@ -183,8 +183,10 @@ mod tests {
 
     #[test]
     fn threshold_hit_stops_early() {
-        let m = OutputModule::new(w_o(), &DatapathConfig::default())
-            .with_thresholding(&ith(vec![None, None, None, Some(2.0), None], vec![3, 0, 1, 2, 4]), true);
+        let m = OutputModule::new(w_o(), &DatapathConfig::default()).with_thresholding(
+            &ith(vec![None, None, None, Some(2.0), None], vec![3, 0, 1, 2, 4]),
+            true,
+        );
         let r = m.search(&[1.0, 1.0, 1.0, 1.0]); // z_3 = 4 > 2
         assert_eq!(r.label, 3);
         assert_eq!(r.comparisons, 1);

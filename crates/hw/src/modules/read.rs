@@ -93,22 +93,41 @@ impl ReadModule {
     ///
     /// Panics if `r` or `k` width differs from `E`.
     pub fn step(&self, r: &[f32], k: &[f32]) -> (Vec<f32>, Cycles) {
+        let mut h = Vec::new();
+        let cycles = self.step_into(r, k, &mut h);
+        (h, cycles)
+    }
+
+    /// [`ReadModule::step`] with the output written into a caller-owned
+    /// buffer whose capacity is reused across hops. The linear controller —
+    /// the paper's datapath — allocates nothing after warm-up; the GRU
+    /// variant still builds its gate temporaries internally. Values and
+    /// cycle counts are identical to [`ReadModule::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `k` width differs from `E`.
+    pub fn step_into(&self, r: &[f32], k: &[f32], h: &mut Vec<f32>) -> Cycles {
         let e = self.embed_dim();
         assert_eq!(r.len(), e, "read vector width");
         assert_eq!(k.len(), e, "key width");
+        h.clear();
+        h.reserve(e);
         match &self.controller {
             ControllerHw::Linear { w_r } => {
-                let mut h = Vec::with_capacity(e);
                 let per_dot = (e.div_ceil(self.tree.width())) as u64;
                 for (row, &rv) in w_r.iter_rows().zip(r) {
                     let (wk, _) = self.tree.fixed_dot(row, k);
                     let sum = Fixed::from_f32(rv) + wk;
                     h.push(sum.to_f32());
                 }
-                let cycles = Cycles::new(e as u64 * per_dot + self.tree.depth() + 2);
-                (h, cycles)
+                Cycles::new(e as u64 * per_dot + self.tree.depth() + 2)
             }
-            ControllerHw::Gru { weights, sigmoid } => self.gru_step(weights, sigmoid, r, k),
+            ControllerHw::Gru { weights, sigmoid } => {
+                let (out, cycles) = self.gru_step(weights, sigmoid, r, k);
+                h.extend_from_slice(&out);
+                cycles
+            }
         }
     }
 
@@ -166,9 +185,7 @@ impl ReadModule {
             .iter()
             .zip(k)
             .zip(ht)
-            .map(|((zv, &kv), hv)| {
-                ((Fixed::ONE - *zv) * Fixed::from_f32(kv) + *zv * hv).to_f32()
-            })
+            .map(|((zv, &kv), hv)| ((Fixed::ONE - *zv) * Fixed::from_f32(kv) + *zv * hv).to_f32())
             .collect();
         total += Cycles::new(2);
         (h, total)

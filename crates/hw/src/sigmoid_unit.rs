@@ -42,7 +42,9 @@ impl SigmoidUnit {
         let mut div_cycles = Cycles::ZERO;
         for (&x, e) in xs.iter().zip(exps) {
             let denom = Fixed::ONE + e;
-            let (q, c) = self.div.div_batch(&[if x >= 0.0 { Fixed::ONE } else { e }], denom);
+            let (q, c) = self
+                .div
+                .div_batch(&[if x >= 0.0 { Fixed::ONE } else { e }], denom);
             out.push(q[0]);
             div_cycles += c;
         }
@@ -54,10 +56,7 @@ impl SigmoidUnit {
         let doubled: Vec<f32> = xs.iter().map(|&x| 2.0 * x).collect();
         let (sig, cycles) = self.sigmoid_batch(&doubled);
         let two = Fixed::from_f32(2.0);
-        let out = sig
-            .into_iter()
-            .map(|s| two * s - Fixed::ONE)
-            .collect();
+        let out = sig.into_iter().map(|s| two * s - Fixed::ONE).collect();
         (out, cycles + Cycles::new(1))
     }
 }

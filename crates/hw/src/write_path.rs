@@ -74,8 +74,7 @@ impl WritePathSim {
         let seconds_per_word = 4.0 / self.pcie.bandwidth_bytes_per_s;
         let cycles_per_word = (seconds_per_word * self.clock.freq_hz()).max(0.0);
         // DMA setup latency before the first word.
-        let startup =
-            (self.pcie.latency_per_transfer_s * self.clock.freq_hz()).round() as u64;
+        let startup = (self.pcie.latency_per_transfer_s * self.clock.freq_hz()).round() as u64;
 
         let mut fifo: HwFifo<u32> = HwFifo::new(self.fifo_capacity);
         let mut produced = 0usize;
@@ -97,8 +96,7 @@ impl WritePathSim {
             // Producer: the next word is available once the link has had
             // time to deliver it.
             if produced < total_words {
-                let available_at =
-                    startup + (produced as f64 * cycles_per_word).floor() as u64;
+                let available_at = startup + (produced as f64 * cycles_per_word).floor() as u64;
                 if now >= available_at {
                     match fifo.push(stream[produced]) {
                         Ok(()) => produced += 1,
@@ -229,8 +227,7 @@ mod tests {
         let sim = WritePathSim::new(512, PcieLink::default(), ClockDomain::mhz(25.0));
         let s = sample(6, 5);
         let r = sim.run(&s);
-        let startup =
-            (PcieLink::default().latency_per_transfer_s * 25e6).round() as u64;
+        let startup = (PcieLink::default().latency_per_transfer_s * 25e6).round() as u64;
         let post_startup = r.cycles.get() - startup;
         let analytic_control = r.words as u64;
         let analytic_write = (6 * (5 + 2) + 2 + 2) as u64;

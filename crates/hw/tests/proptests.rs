@@ -32,7 +32,9 @@ fn random_case(seed: u64, vocab: usize, e: usize, hops: usize) -> (TrainedModel,
                 .collect()
         })
         .collect();
-    let question = (0..r.gen_range(1..4)).map(|_| r.gen_range(0..vocab)).collect();
+    let question = (0..r.gen_range(1..4))
+        .map(|_| r.gen_range(0..vocab))
+        .collect();
     let sample = EncodedSample {
         sentences,
         question,

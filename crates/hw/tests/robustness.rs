@@ -70,7 +70,9 @@ fn single_word_single_sentence_minimum() {
 fn long_stories_scale_without_overflow() {
     let accel = Accelerator::new(model(30, 8, 3), AccelConfig::default());
     let sample = EncodedSample {
-        sentences: (0..200).map(|i| vec![i % 30, (i + 1) % 30, (i + 2) % 30]).collect(),
+        sentences: (0..200)
+            .map(|i| vec![i % 30, (i + 1) % 30, (i + 2) % 30])
+            .collect(),
         question: vec![1],
         answer: 0,
     };
@@ -96,7 +98,10 @@ fn extreme_clocks_are_usable() {
             },
         );
         let run = accel.run(&sample);
-        assert!(run.compute_s.is_finite() && run.compute_s > 0.0, "{mhz} MHz");
+        assert!(
+            run.compute_s.is_finite() && run.compute_s > 0.0,
+            "{mhz} MHz"
+        );
     }
 }
 

@@ -60,7 +60,10 @@ impl AlshMips {
     ///
     /// Panics if the config has zero tables or bits.
     pub fn build(params: &Params, config: AlshConfig, seed: u64) -> Self {
-        assert!(config.tables > 0 && config.bits_per_table > 0, "degenerate ALSH config");
+        assert!(
+            config.tables > 0 && config.bits_per_table > 0,
+            "degenerate ALSH config"
+        );
         let e = params.w_o.cols();
         let v = params.w_o.rows();
         let augmented_dim = e + config.norm_powers;
@@ -246,8 +249,22 @@ mod tests {
     fn more_tables_increase_candidates() {
         let p = params(100, 16, 2);
         let h: Vector = (0..16).map(|i| (i as f32 * 0.3).cos()).collect();
-        let small = AlshMips::build(&p, AlshConfig { tables: 2, ..AlshConfig::default() }, 3);
-        let large = AlshMips::build(&p, AlshConfig { tables: 16, ..AlshConfig::default() }, 3);
+        let small = AlshMips::build(
+            &p,
+            AlshConfig {
+                tables: 2,
+                ..AlshConfig::default()
+            },
+            3,
+        );
+        let large = AlshMips::build(
+            &p,
+            AlshConfig {
+                tables: 16,
+                ..AlshConfig::default()
+            },
+            3,
+        );
         assert!(large.candidates(&h).len() >= small.candidates(&h).len());
     }
 

@@ -51,7 +51,10 @@ impl ClusterMips {
     /// Panics if `clusters == 0`, `top_p == 0`, or there are fewer rows
     /// than clusters.
     pub fn build(params: &Params, config: ClusterConfig, seed: u64) -> Self {
-        assert!(config.clusters > 0 && config.top_p > 0, "degenerate cluster config");
+        assert!(
+            config.clusters > 0 && config.top_p > 0,
+            "degenerate cluster config"
+        );
         let v = params.w_o.rows();
         let e = params.w_o.cols();
         assert!(v >= config.clusters, "fewer rows than clusters");

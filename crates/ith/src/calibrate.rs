@@ -277,7 +277,9 @@ mod tests {
     #[test]
     fn calibration_produces_some_active_thresholds() {
         let (model, train, _) = trained();
-        let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+        let ith = ThresholdingCalibrator::new()
+            .rho(1.0)
+            .calibrate(&model, &train);
         assert_eq!(ith.classes(), model.params.vocab_size);
         assert!(
             ith.active_classes() > 0,

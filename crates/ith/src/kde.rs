@@ -28,9 +28,7 @@ impl Kernel {
                     0.0
                 }
             }
-            Kernel::Gaussian => {
-                (-0.5 * u * u).exp() / (2.0 * std::f32::consts::PI).sqrt()
-            }
+            Kernel::Gaussian => (-0.5 * u * u).exp() / (2.0 * std::f32::consts::PI).sqrt(),
         }
     }
 }

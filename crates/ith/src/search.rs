@@ -160,7 +160,10 @@ mod tests {
     fn ith_model(thetas: Vec<Option<f32>>, order: Vec<usize>) -> ThresholdingModel {
         let n = thetas.len();
         ThresholdingModel {
-            thresholds: thetas.into_iter().map(|theta| ClassThreshold { theta }).collect(),
+            thresholds: thetas
+                .into_iter()
+                .map(|theta| ClassThreshold { theta })
+                .collect(),
             order,
             silhouettes: vec![0.0; n],
             rho: 1.0,
@@ -214,7 +217,7 @@ mod tests {
         let h = Vector::from(vec![1.0, 0.0, 0.0, 0.0]);
         let mut thetas = vec![None; 6];
         thetas[5] = Some(-1e6); // fires for any logit
-        // With ordering, class 5 is probed first → 1 comparison.
+                                // With ordering, class 5 is probed first → 1 comparison.
         let ith = ith_model(thetas, vec![5, 0, 1, 2, 3, 4]);
         let ordered = ThresholdedMips::new(&ith).search(&p, &h);
         assert_eq!(ordered.comparisons, 1);

@@ -53,9 +53,7 @@ fn subsample(xs: &[f32], cap: usize) -> Vec<f32> {
         return xs.to_vec();
     }
     let stride = xs.len() as f32 / cap as f32;
-    (0..cap)
-        .map(|i| xs[(i as f32 * stride) as usize])
-        .collect()
+    (0..cap).map(|i| xs[(i as f32 * stride) as usize]).collect()
 }
 
 #[cfg(test)]

@@ -64,7 +64,10 @@ pub fn posterior(z: f32, weight: f32, on: &Kde, off: &Kde) -> f32 {
 /// Panics if `rho` is not in `(0, 1]` or `weight` is outside `[0, 1]`.
 pub fn class_threshold(weight: f32, on: &Kde, off: &Kde, rho: f32) -> ClassThreshold {
     assert!(rho > 0.0 && rho <= 1.0, "rho {rho} outside (0, 1]");
-    assert!((0.0..=1.0).contains(&weight), "weight {weight} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&weight),
+        "weight {weight} outside [0, 1]"
+    );
     let theta = on
         .samples()
         .iter()

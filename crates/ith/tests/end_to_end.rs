@@ -62,7 +62,9 @@ fn thresholding_preserves_accuracy_and_cuts_comparisons_at_rho_one() {
     let exact = evaluate(&model, &test, &ExhaustiveMips);
     assert!(exact.accuracy > 0.7, "baseline accuracy {}", exact.accuracy);
 
-    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(1.0)
+        .calibrate(&model, &train);
     let fast = evaluate(&model, &test, &ThresholdedMips::new(&ith));
 
     // Paper: ρ = 1.0 costs < 0.1 % accuracy. Allow a couple of test
@@ -103,7 +105,9 @@ fn lower_rho_means_fewer_comparisons() {
 #[test]
 fn ordering_never_hurts_comparisons_on_average() {
     let (model, train, test) = train_task1();
-    let ith = ThresholdingCalibrator::new().rho(0.95).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(0.95)
+        .calibrate(&model, &train);
     let ordered = evaluate(&model, &test, &ThresholdedMips::new(&ith));
     let unordered = evaluate(&model, &test, &ThresholdedMips::without_ordering(&ith));
     // Fig 3: ordering improves (or at worst matches) the comparison count.
@@ -118,7 +122,9 @@ fn ordering_never_hurts_comparisons_on_average() {
 #[test]
 fn comparisons_never_exceed_class_count() {
     let (model, train, test) = train_task1();
-    let ith = ThresholdingCalibrator::new().rho(0.9).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(0.9)
+        .calibrate(&model, &train);
     let strategy = ThresholdedMips::new(&ith);
     for s in &test {
         let h = forward_until_output(&model.params, s);
@@ -131,7 +137,9 @@ fn comparisons_never_exceed_class_count() {
 #[test]
 fn speculation_fires_on_a_trained_separable_task() {
     let (model, train, test) = train_task1();
-    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(1.0)
+        .calibrate(&model, &train);
     let strategy = ThresholdedMips::new(&ith);
     let fired = test
         .iter()

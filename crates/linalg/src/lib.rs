@@ -35,6 +35,7 @@ pub mod activation;
 pub mod fixed;
 pub mod init;
 pub mod matrix;
+pub mod reference;
 pub mod stats;
 pub mod vector;
 

@@ -36,12 +36,16 @@ impl Vector {
     /// assert!(v.iter().all(|&x| x == 0.0));
     /// ```
     pub fn zeros(len: usize) -> Self {
-        Self { data: vec![0.0; len] }
+        Self {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f32) -> Self {
-        Self { data: vec![value; len] }
+        Self {
+            data: vec![value; len],
+        }
     }
 
     /// Creates a one-hot vector of length `len` with a single `1.0` at
@@ -106,12 +110,7 @@ impl Vector {
         if self.len() != other.len() {
             return Err(ShapeError::new("dot", (self.len(), 1), (other.len(), 1)));
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Element-wise sum `self + other` as a new vector.
@@ -267,6 +266,116 @@ impl Vector {
         for x in &mut self.data {
             *x = 0.0;
         }
+    }
+
+    /// Sets the length to `len` with every element zero, reusing the
+    /// existing allocation — the workhorse of the zero-allocation inference
+    /// path: scratch vectors are resized instead of freshly allocated.
+    #[inline]
+    pub fn resize_zeroed(&mut self, len: usize) {
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Makes `self` an element-for-element copy of `other`, reusing the
+    /// existing allocation.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Self) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Element-wise sum `a + b` written into `self` (resized, capacity
+    /// reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the lengths differ.
+    #[inline]
+    pub fn add_into(&mut self, a: &Self, b: &Self) -> Result<(), ShapeError> {
+        if a.len() != b.len() {
+            return Err(ShapeError::new("add", (a.len(), 1), (b.len(), 1)));
+        }
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(x, y)| x + y));
+        Ok(())
+    }
+
+    /// Element-wise difference `a - b` written into `self` (resized,
+    /// capacity reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the lengths differ.
+    #[inline]
+    pub fn sub_into(&mut self, a: &Self, b: &Self) -> Result<(), ShapeError> {
+        if a.len() != b.len() {
+            return Err(ShapeError::new("sub", (a.len(), 1), (b.len(), 1)));
+        }
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(x, y)| x - y));
+        Ok(())
+    }
+
+    /// Element-wise (Hadamard) product `a * b` written into `self`
+    /// (resized, capacity reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the lengths differ.
+    #[inline]
+    pub fn hadamard_into(&mut self, a: &Self, b: &Self) -> Result<(), ShapeError> {
+        if a.len() != b.len() {
+            return Err(ShapeError::new("hadamard", (a.len(), 1), (b.len(), 1)));
+        }
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(x, y)| x * y));
+        Ok(())
+    }
+
+    /// Numerically stable softmax of `x` written into `self` (resized,
+    /// capacity reused). Performs the same operations in the same order as
+    /// [`Vector::softmax`], so results are bit-identical.
+    #[inline]
+    pub fn softmax_into(&mut self, x: &Self) {
+        if x.is_empty() {
+            self.data.clear();
+            return;
+        }
+        let m = x.max().expect("non-empty");
+        self.data.clear();
+        self.data.extend(x.data.iter().map(|v| (v - m).exp()));
+        let z: f32 = self.data.iter().sum();
+        for e in &mut self.data {
+            *e /= z;
+        }
+    }
+
+    /// Fused dot + AXPY over slices: returns `probe · src` while performing
+    /// `acc += scale * src` in the same pass — one traversal of `src`
+    /// instead of two on the backward soft-read path (Eq 5: `da_i` and
+    /// `dM_c[i]` both stream the read gradient).
+    ///
+    /// The dot accumulates left to right and each `acc[j]` receives exactly
+    /// one add, matching the unfused loops bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via `debug_assert`) when the slice lengths differ; in release
+    /// the traversal stops at the shortest slice.
+    #[inline]
+    pub fn dot_and_axpy(probe: &[f32], scale: f32, src: &[f32], acc: &mut [f32]) -> f32 {
+        debug_assert_eq!(probe.len(), src.len());
+        debug_assert_eq!(acc.len(), src.len());
+        let mut dot = 0.0f32;
+        for ((&p, &s), a) in probe.iter().zip(src).zip(acc.iter_mut()) {
+            dot += p * s;
+            *a += scale * s;
+        }
+        dot
     }
 
     /// True when every element is finite (no NaN/inf) — used by training
@@ -442,5 +551,48 @@ mod tests {
         assert!(v.is_finite());
         v[1] = f32::NAN;
         assert!(!v.is_finite());
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_and_zeroes() {
+        let mut v = Vector::from(vec![1.0, 2.0, 3.0]);
+        v.resize_zeroed(2);
+        assert_eq!(v.as_slice(), &[0.0, 0.0]);
+        v.resize_zeroed(4);
+        assert_eq!(v.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let a = Vector::from(vec![1.0, -2.0, 0.5]);
+        let b = Vector::from(vec![4.0, 0.25, -1.0]);
+        let mut out = Vector::zeros(0);
+        out.add_into(&a, &b).unwrap();
+        assert_eq!(out, a.add(&b).unwrap());
+        out.sub_into(&a, &b).unwrap();
+        assert_eq!(out, a.sub(&b).unwrap());
+        out.hadamard_into(&a, &b).unwrap();
+        assert_eq!(out, a.hadamard(&b).unwrap());
+        out.softmax_into(&a);
+        assert_eq!(out, a.softmax());
+        out.copy_from(&b);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn softmax_into_of_empty_is_empty() {
+        let mut out = Vector::from(vec![1.0]);
+        out.softmax_into(&Vector::zeros(0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dot_and_axpy_matches_unfused() {
+        let probe = [1.0f32, 2.0, 3.0];
+        let src = [0.5f32, -1.0, 4.0];
+        let mut acc = [10.0f32, 20.0, 30.0];
+        let dot = Vector::dot_and_axpy(&probe, 2.0, &src, &mut acc);
+        assert_eq!(dot, 0.5 - 2.0 + 12.0);
+        assert_eq!(acc, [11.0, 18.0, 38.0]);
     }
 }

@@ -1,8 +1,36 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use mann_linalg::activation::{softmax_lut, ExpLut};
-use mann_linalg::{Fixed, Matrix, Vector};
+use mann_linalg::{reference, Fixed, Matrix, Vector};
 use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill so shapes can vary freely without
+/// flat-mapping data strategies; `zeros` plants exact zeros to exercise the
+/// kernels' zero-input skip paths.
+fn lcg_fill(slice: &mut [f32], mut state: u64, zeros: bool) {
+    for (i, x) in slice.iter_mut().enumerate() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *x = if zeros && i % 3 == 0 {
+            0.0
+        } else {
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+    }
+}
+
+fn filled_matrix(rows: usize, cols: usize, seed: u64, zeros: bool) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    lcg_fill(m.as_mut_slice(), seed, zeros);
+    m
+}
+
+fn filled_vector(len: usize, seed: u64, zeros: bool) -> Vector {
+    let mut v = Vector::zeros(len);
+    lcg_fill(v.as_mut_slice(), seed, zeros);
+    v
+}
 
 fn small_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| (x * 1024.0).round() / 1024.0)
@@ -107,6 +135,79 @@ proptest! {
         let sum: f32 = p.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
         prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    // The optimized kernels (unrolled matvec, AXPY-sweep transposed matvec,
+    // blocked matmul, fused scatter/gather) are documented to preserve the
+    // exact per-output-element floating-point operation order of the naive
+    // loops in `reference`, so these assert bit-identical results — a
+    // stronger property than the 1e-5 agreement the experiments need.
+
+    #[test]
+    fn unrolled_matvec_matches_reference(rows in 1usize..48, cols in 1usize..48, seed in 0u64..1024, zeros in any::<bool>()) {
+        let m = filled_matrix(rows, cols, seed, false);
+        let x = filled_vector(cols, seed ^ 0xa5a5, zeros);
+        let got = m.matvec(&x).unwrap();
+        prop_assert_eq!(&got, &reference::matvec(&m, &x));
+        // The `_into` form must agree even when reusing a dirty buffer.
+        let mut out = filled_vector(rows + 3, seed ^ 0x5a5a, false);
+        m.matvec_into(&x, &mut out).unwrap();
+        prop_assert_eq!(&out, &got);
+    }
+
+    #[test]
+    fn axpy_sweep_matvec_transposed_matches_reference(rows in 1usize..48, cols in 1usize..48, seed in 0u64..1024, zeros in any::<bool>()) {
+        let m = filled_matrix(rows, cols, seed, false);
+        let x = filled_vector(rows, seed ^ 0x77, zeros);
+        let got = m.matvec_transposed(&x).unwrap();
+        prop_assert_eq!(&got, &reference::matvec_transposed(&m, &x));
+        let mut out = filled_vector(cols + 1, seed ^ 0x99, false);
+        m.matvec_transposed_into(&x, &mut out).unwrap();
+        prop_assert_eq!(&out, &got);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference(rows in 1usize..24, inner in 1usize..24, cols in 1usize..24, seed in 0u64..1024, zeros in any::<bool>()) {
+        let a = filled_matrix(rows, inner, seed, zeros);
+        let b = filled_matrix(inner, cols, seed ^ 0x1234, false);
+        prop_assert_eq!(a.matmul(&b).unwrap(), reference::matmul(&a, &b));
+    }
+
+    #[test]
+    fn add_outer_matches_reference(rows in 1usize..32, cols in 1usize..32, seed in 0u64..1024, scale in -2.0f32..2.0) {
+        let mut got = filled_matrix(rows, cols, seed, false);
+        let mut want = got.clone();
+        let a = filled_vector(rows, seed ^ 0x55, false);
+        let b = filled_vector(cols, seed ^ 0xaa, false);
+        got.add_outer(scale, &a, &b).unwrap();
+        reference::add_outer(&mut want, scale, &a, &b);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_cols_matches_reference(cols in 1usize..32, seed in 0u64..1024, picks in proptest::collection::vec(0usize..64, 0..16)) {
+        let picks: Vec<usize> = picks.into_iter().map(|p| p % cols).collect();
+        let m = filled_matrix(8, cols, seed, false);
+        let got = m.sum_cols(&picks);
+        prop_assert_eq!(&got, &reference::sum_cols(&m, &picks));
+        let mut out = filled_vector(11, seed ^ 0x3c, false);
+        m.sum_cols_into(&picks, &mut out);
+        prop_assert_eq!(&out, &got);
+    }
+
+    #[test]
+    fn dot_and_axpy_matches_separate_ops(len in 1usize..64, seed in 0u64..1024, scale in -2.0f32..2.0) {
+        let probe = filled_vector(len, seed, false);
+        let src = filled_vector(len, seed ^ 0x11, false);
+        let mut acc = filled_vector(len, seed ^ 0x22, false);
+        let mut acc_ref = acc.clone();
+        let dot = Vector::dot_and_axpy(probe.as_slice(), scale, src.as_slice(), acc.as_mut_slice());
+        let dot_ref: f32 = probe.iter().zip(src.iter()).map(|(p, s)| p * s).sum();
+        for (a, &s) in acc_ref.iter_mut().zip(src.as_slice()) {
+            *a += scale * s;
+        }
+        prop_assert_eq!(dot, dot_ref);
+        prop_assert_eq!(acc, acc_ref);
     }
 
     #[test]

@@ -120,6 +120,20 @@ impl Gradients {
         }
     }
 
+    /// Resets every gradient entry to zero, keeping shapes and allocations —
+    /// the per-sample reset of the zero-allocation training loop.
+    pub fn clear(&mut self) {
+        self.w_emb_a.clear();
+        self.w_emb_c.clear();
+        self.w_r.clear();
+        self.w_o.clear();
+        if let Some(g) = &mut self.gru {
+            for m in g.matrices_mut() {
+                m.clear();
+            }
+        }
+    }
+
     /// Applies `params -= lr * grads` (SGD step).
     ///
     /// # Panics
@@ -157,55 +171,127 @@ pub fn backward(
     dz: &Vector,
     grads: &mut Gradients,
 ) {
+    let mut scratch = BackwardScratch::default();
+    backward_into(params, sample, trace, dz, grads, &mut scratch);
+}
+
+/// Reusable scratch for the backward pass; a warm instance runs
+/// [`backward_into`] without heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardScratch {
+    dh: Vector,
+    dk: Vector,
+    dr: Vector,
+    da: Vector,
+    du: Vector,
+    /// Target of fused `add_outer` + `matvec_transposed` contributions that
+    /// accumulate into `dr`/`dk` (GRU gates).
+    tmp: Vector,
+    d_mem_a: Matrix,
+    d_mem_c: Matrix,
+    // GRU gate scratch.
+    dz_gate: Vector,
+    dht: Vector,
+    da_h: Vector,
+    dgk: Vector,
+    dg: Vector,
+    da_g: Vector,
+}
+
+/// [`backward`] with caller-provided scratch — the zero-allocation training
+/// hot path. Produces bit-identical gradients to [`backward`].
+///
+/// # Panics
+///
+/// Panics when `trace` does not correspond to (`params`, `sample`).
+pub fn backward_into(
+    params: &Params,
+    sample: &EncodedSample,
+    trace: &ForwardTrace,
+    dz: &Vector,
+    grads: &mut Gradients,
+    scratch: &mut BackwardScratch,
+) {
     let hops = params.config.hops;
     let l = sample.sentences.len();
+    let BackwardScratch {
+        dh,
+        dk,
+        dr,
+        da,
+        du,
+        tmp,
+        d_mem_a,
+        d_mem_c,
+        dz_gate,
+        dht,
+        da_h,
+        dgk,
+        dg,
+        da_g,
+    } = scratch;
 
-    // Output layer: z = W_o h.
+    // Output layer: z = W_o h. Fused: dW_o += dz ⊗ h while dh = W_o^T dz.
     let h_final = trace.final_hidden();
-    grads.w_o.add_outer(1.0, dz, h_final).expect("w_o shape");
-    let mut dh = params.w_o.matvec_transposed(dz).expect("w_o width");
+    grads
+        .w_o
+        .add_outer_fused_matvec_t(1.0, dz, h_final, &params.w_o, dh)
+        .expect("w_o shape");
 
     // Memory-row gradients accumulate across hops, scattered into the
     // embeddings once at the end.
-    let mut d_mem_a = Matrix::zeros(l, params.config.embed_dim);
-    let mut d_mem_c = Matrix::zeros(l, params.config.embed_dim);
+    d_mem_a.resize_zeroed(l, params.config.embed_dim);
+    d_mem_c.resize_zeroed(l, params.config.embed_dim);
 
     for t in (0..hops).rev() {
         let k = &trace.keys[t];
         let a = &trace.attention[t];
 
         // Controller backward: Eq 4 (linear) or the gated variant.
-        let (dr, mut dk) = match (&params.gru, &trace.gru) {
-            (Some(gru), Some(traces)) => gru_backward(
-                gru,
-                &traces[t],
-                &trace.reads[t],
-                k,
-                &dh,
-                grads.gru.as_mut().expect("gru gradient slot"),
-            ),
-            _ => {
-                let dr = dh.clone();
-                grads.w_r.add_outer(1.0, &dh, k).expect("w_r shape");
-                let dk = params.w_r.matvec_transposed(&dh).expect("w_r width");
-                (dr, dk)
+        match (&params.gru, &trace.gru) {
+            (Some(gru), Some(traces)) => {
+                let gate_scratch = GruBackwardScratch {
+                    dz_gate,
+                    dht,
+                    da_h,
+                    dgk,
+                    dg,
+                    da_g,
+                    tmp,
+                };
+                gru_backward_into(
+                    gru,
+                    &traces[t],
+                    &trace.reads[t],
+                    k,
+                    dh,
+                    grads.gru.as_mut().expect("gru gradient slot"),
+                    dr,
+                    dk,
+                    gate_scratch,
+                );
             }
-        };
+            _ => {
+                dr.copy_from(dh);
+                // Fused: dW_r += dh ⊗ k while dk = W_r^T dh.
+                grads
+                    .w_r
+                    .add_outer_fused_matvec_t(1.0, dh, k, &params.w_r, dk)
+                    .expect("w_r shape");
+            }
+        }
 
         // Eq 5: r = M_c^T a  →  da_i = dr · M_c[i], dM_c[i] += a_i dr.
-        let mut da = Vector::zeros(l);
+        // Fused: both stream dr, so one pass computes the dot and the AXPY.
+        da.resize_zeroed(l);
         for i in 0..l {
-            let row = trace.mem_c.row(i);
-            da[i] = row.iter().zip(dr.iter()).map(|(m, g)| m * g).sum();
-            let drow = d_mem_c.row_mut(i);
-            for (dst, g) in drow.iter_mut().zip(dr.iter()) {
-                *dst += a[i] * g;
-            }
+            da[i] =
+                Vector::dot_and_axpy(trace.mem_c.row(i), a[i], dr.as_slice(), d_mem_c.row_mut(i));
         }
 
         // Eq 1 softmax: du_i = a_i (da_i - Σ_j a_j da_j).
         let dot: f32 = a.iter().zip(da.iter()).map(|(x, y)| x * y).sum();
-        let mut du = Vector::zeros(l);
+        du.resize_zeroed(l);
         for i in 0..l {
             du[i] = a[i] * (da[i] - dot);
         }
@@ -224,11 +310,11 @@ pub fn backward(
 
         // Eq 3: the key of hop t is the hidden of hop t-1 (or the question).
         if t > 0 {
-            dh = dk;
+            std::mem::swap(dh, dk);
         } else {
             // dq flows into the address embedding through the question words.
             for &w in &sample.question {
-                grads.w_emb_a.add_to_col(w, 1.0, &dk).expect("emb shape");
+                grads.w_emb_a.add_to_col(w, 1.0, dk).expect("emb shape");
             }
         }
     }
@@ -236,80 +322,124 @@ pub fn backward(
     // Eq 2 scatter: memory-row gradients into embedding columns.
     let tie = params.config.tie_embeddings;
     for (i, sent) in sample.sentences.iter().enumerate() {
-        let ga: Vector = d_mem_a.row(i).to_vec().into();
-        let gc: Vector = d_mem_c.row(i).to_vec().into();
+        let ga = d_mem_a.row(i);
+        let gc = d_mem_c.row(i);
         for &w in sent {
-            grads.w_emb_a.add_to_col(w, 1.0, &ga).expect("emb shape");
+            grads
+                .w_emb_a
+                .add_to_col_slice(w, 1.0, ga)
+                .expect("emb shape");
             if tie {
-                grads.w_emb_a.add_to_col(w, 1.0, &gc).expect("emb shape");
+                grads
+                    .w_emb_a
+                    .add_to_col_slice(w, 1.0, gc)
+                    .expect("emb shape");
             } else {
-                grads.w_emb_c.add_to_col(w, 1.0, &gc).expect("emb shape");
+                grads
+                    .w_emb_c
+                    .add_to_col_slice(w, 1.0, gc)
+                    .expect("emb shape");
             }
         }
     }
 }
 
-/// Backward through one GRU step; returns `(dr, dk)` and accumulates gate
-/// gradients.
-fn gru_backward(
+/// Borrowed gate-level scratch handed down from [`BackwardScratch`].
+struct GruBackwardScratch<'a> {
+    dz_gate: &'a mut Vector,
+    dht: &'a mut Vector,
+    da_h: &'a mut Vector,
+    dgk: &'a mut Vector,
+    dg: &'a mut Vector,
+    da_g: &'a mut Vector,
+    tmp: &'a mut Vector,
+}
+
+/// Backward through one GRU step; writes `dr` and `dk` (overwriting both)
+/// and accumulates gate gradients. Every `add_outer` + `matvec_transposed`
+/// pair over one gate weight is fused into a single pass.
+#[allow(clippy::too_many_arguments)]
+fn gru_backward_into(
     gru: &GruParams,
     t: &GruTrace,
     r: &Vector,
     k: &Vector,
     dh: &Vector,
     grads: &mut GruParams,
-) -> (Vector, Vector) {
+    dr: &mut Vector,
+    dk: &mut Vector,
+    s: GruBackwardScratch<'_>,
+) {
     let e = dh.len();
+    let GruBackwardScratch {
+        dz_gate,
+        dht,
+        da_h,
+        dgk,
+        dg,
+        da_g,
+        tmp,
+    } = s;
     // h = (1-z) ⊙ k + z ⊙ h̃.
-    let mut dk = Vector::zeros(e);
-    let mut dz = Vector::zeros(e);
-    let mut dht = Vector::zeros(e);
+    dk.resize_zeroed(e);
+    dz_gate.resize_zeroed(e);
+    dht.resize_zeroed(e);
     for i in 0..e {
         dk[i] = dh[i] * (1.0 - t.z[i]);
-        dz[i] = dh[i] * (t.h_tilde[i] - k[i]);
+        dz_gate[i] = dh[i] * (t.h_tilde[i] - k[i]);
         dht[i] = dh[i] * t.z[i];
     }
     // h̃ = tanh(a_h), a_h = W_h r + U_h gk.
-    let da_h: Vector = dht
-        .iter()
-        .zip(t.h_tilde.iter())
-        .map(|(&d, &h)| d * (1.0 - h * h))
-        .collect();
-    grads.w_h.add_outer(1.0, &da_h, r).expect("w_h shape");
-    grads.u_h.add_outer(1.0, &da_h, &t.gk).expect("u_h shape");
-    let mut dr = gru.w_h.matvec_transposed(&da_h).expect("w_h width");
-    let dgk = gru.u_h.matvec_transposed(&da_h).expect("u_h width");
+    da_h.resize_zeroed(e);
+    for i in 0..e {
+        let h = t.h_tilde[i];
+        da_h[i] = dht[i] * (1.0 - h * h);
+    }
+    grads
+        .w_h
+        .add_outer_fused_matvec_t(1.0, da_h, r, &gru.w_h, dr)
+        .expect("w_h shape");
+    grads
+        .u_h
+        .add_outer_fused_matvec_t(1.0, da_h, &t.gk, &gru.u_h, dgk)
+        .expect("u_h shape");
     // gk = g ⊙ k.
-    let mut dg = Vector::zeros(e);
+    dg.resize_zeroed(e);
     for i in 0..e {
         dg[i] = dgk[i] * k[i];
         dk[i] += dgk[i] * t.g[i];
     }
     // g = σ(a_g), a_g = W_g r + U_g k.
-    let da_g: Vector = dg
-        .iter()
-        .zip(t.g.iter())
-        .map(|(&d, &g)| d * g * (1.0 - g))
-        .collect();
-    grads.w_g.add_outer(1.0, &da_g, r).expect("w_g shape");
-    grads.u_g.add_outer(1.0, &da_g, k).expect("u_g shape");
-    dr.axpy(1.0, &gru.w_g.matvec_transposed(&da_g).expect("w_g width"))
-        .expect("dim");
-    dk.axpy(1.0, &gru.u_g.matvec_transposed(&da_g).expect("u_g width"))
-        .expect("dim");
-    // z = σ(a_z), a_z = W_z r + U_z k.
-    let da_z: Vector = dz
-        .iter()
-        .zip(t.z.iter())
-        .map(|(&d, &z)| d * z * (1.0 - z))
-        .collect();
-    grads.w_z.add_outer(1.0, &da_z, r).expect("w_z shape");
-    grads.u_z.add_outer(1.0, &da_z, k).expect("u_z shape");
-    dr.axpy(1.0, &gru.w_z.matvec_transposed(&da_z).expect("w_z width"))
-        .expect("dim");
-    dk.axpy(1.0, &gru.u_z.matvec_transposed(&da_z).expect("u_z width"))
-        .expect("dim");
-    (dr, dk)
+    da_g.resize_zeroed(e);
+    for i in 0..e {
+        let g = t.g[i];
+        da_g[i] = dg[i] * g * (1.0 - g);
+    }
+    grads
+        .w_g
+        .add_outer_fused_matvec_t(1.0, da_g, r, &gru.w_g, tmp)
+        .expect("w_g shape");
+    dr.axpy(1.0, tmp).expect("dim");
+    grads
+        .u_g
+        .add_outer_fused_matvec_t(1.0, da_g, k, &gru.u_g, tmp)
+        .expect("u_g shape");
+    dk.axpy(1.0, tmp).expect("dim");
+    // z = σ(a_z), a_z = W_z r + U_z k. Reuse the dz_gate buffer for da_z.
+    for i in 0..e {
+        let z = t.z[i];
+        dz_gate[i] *= z * (1.0 - z);
+    }
+    grads
+        .w_z
+        .add_outer_fused_matvec_t(1.0, dz_gate, r, &gru.w_z, tmp)
+        .expect("w_z shape");
+    dr.axpy(1.0, tmp).expect("dim");
+    grads
+        .u_z
+        .add_outer_fused_matvec_t(1.0, dz_gate, k, &gru.u_z, tmp)
+        .expect("u_z shape");
+    dk.axpy(1.0, tmp).expect("dim");
 }
 
 #[cfg(test)]

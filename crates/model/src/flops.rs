@@ -37,7 +37,11 @@ impl FlopBreakdown {
 
 /// Counts the FLOPs of one full inference (no thresholding: all `|I|` output
 /// rows are computed).
-pub fn count_inference(config: &ModelConfig, vocab_size: usize, sample: &EncodedSample) -> FlopBreakdown {
+pub fn count_inference(
+    config: &ModelConfig,
+    vocab_size: usize,
+    sample: &EncodedSample,
+) -> FlopBreakdown {
     count_inference_with_output_rows(config, vocab_size, sample, vocab_size)
 }
 

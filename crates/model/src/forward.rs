@@ -7,7 +7,7 @@ use mann_linalg::{Matrix, Vector};
 use crate::{GruParams, Params};
 
 /// Per-hop intermediates of the GRU controller, retained for backprop.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct GruTrace {
     /// Update gate `z = σ(W_z r + U_z k)`.
     pub z: Vector,
@@ -19,51 +19,60 @@ pub struct GruTrace {
     pub h_tilde: Vector,
 }
 
-/// One GRU controller step: `h = (1-z) ⊙ k + z ⊙ h̃`.
-pub(crate) fn gru_step(gru: &GruParams, r: &Vector, k: &Vector) -> (Vector, GruTrace) {
-    let az = gru
-        .w_z
-        .matvec(r)
-        .expect("gate width")
-        .add(&gru.u_z.matvec(k).expect("gate width"))
-        .expect("same dim");
-    let z: Vector = az.iter().map(|&x| sigmoid(x)).collect();
-    let ag = gru
-        .w_g
-        .matvec(r)
-        .expect("gate width")
-        .add(&gru.u_g.matvec(k).expect("gate width"))
-        .expect("same dim");
-    let g: Vector = ag.iter().map(|&x| sigmoid(x)).collect();
-    let gk = g.hadamard(k).expect("same dim");
-    let ah = gru
-        .w_h
-        .matvec(r)
-        .expect("gate width")
-        .add(&gru.u_h.matvec(&gk).expect("gate width"))
-        .expect("same dim");
-    let h_tilde: Vector = ah.iter().map(|&x| x.tanh()).collect();
-    let h: Vector = z
-        .iter()
-        .zip(k.iter())
-        .zip(h_tilde.iter())
-        .map(|((&zv, &kv), &hv)| (1.0 - zv) * kv + zv * hv)
-        .collect();
-    (
-        h,
-        GruTrace {
-            z,
-            g,
-            gk,
-            h_tilde,
-        },
-    )
+/// Reusable scratch for the forward pass; every buffer is resized in place,
+/// so a warm workspace runs [`forward_into`] without heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// Column-sum embedding target (Eq 2).
+    emb: Vector,
+    /// Controller `W_r k` term (Eq 4) / GRU gate input term.
+    wk: Vector,
+    /// Second gate input term (GRU only).
+    uk: Vector,
+}
+
+/// One GRU controller step: `h = (1-z) ⊙ k + z ⊙ h̃`, written into `h` and
+/// `trace` (all buffers resized in place).
+pub(crate) fn gru_step_into(
+    gru: &GruParams,
+    r: &Vector,
+    k: &Vector,
+    h: &mut Vector,
+    trace: &mut GruTrace,
+    s: &mut ForwardScratch,
+) {
+    gru.w_z.matvec_into(r, &mut s.wk).expect("gate width");
+    gru.u_z.matvec_into(k, &mut s.uk).expect("gate width");
+    trace.z.add_into(&s.wk, &s.uk).expect("same dim");
+    for x in trace.z.iter_mut() {
+        *x = sigmoid(*x);
+    }
+    gru.w_g.matvec_into(r, &mut s.wk).expect("gate width");
+    gru.u_g.matvec_into(k, &mut s.uk).expect("gate width");
+    trace.g.add_into(&s.wk, &s.uk).expect("same dim");
+    for x in trace.g.iter_mut() {
+        *x = sigmoid(*x);
+    }
+    trace.gk.hadamard_into(&trace.g, k).expect("same dim");
+    gru.w_h.matvec_into(r, &mut s.wk).expect("gate width");
+    gru.u_h
+        .matvec_into(&trace.gk, &mut s.uk)
+        .expect("gate width");
+    trace.h_tilde.add_into(&s.wk, &s.uk).expect("same dim");
+    for x in trace.h_tilde.iter_mut() {
+        *x = x.tanh();
+    }
+    h.resize_zeroed(k.len());
+    for (i, hv) in h.iter_mut().enumerate() {
+        let zv = trace.z[i];
+        *hv = (1.0 - zv) * k[i] + zv * trace.h_tilde[i];
+    }
 }
 
 /// Every intermediate of one forward pass, retained for backprop, for
 /// attention-trace demos, and for the hardware simulator's functional
 /// cross-check.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ForwardTrace {
     /// Address memory `M_a` (`L x E`, one row per sentence) — Eq 2.
     pub mem_a: Matrix,
@@ -109,62 +118,72 @@ impl ForwardTrace {
 /// initialized for (an encoder/model mismatch is a programming error, not a
 /// runtime condition).
 pub fn forward(params: &Params, sample: &EncodedSample) -> ForwardTrace {
+    let mut trace = ForwardTrace::default();
+    let mut scratch = ForwardScratch::default();
+    forward_into(params, sample, &mut trace, &mut scratch);
+    trace
+}
+
+/// Resizes a list of per-hop vectors in place, keeping the existing
+/// element buffers alive for reuse.
+fn resize_hop_list<T: Default>(list: &mut Vec<T>, hops: usize) {
+    list.resize_with(hops, T::default);
+}
+
+/// [`forward`] into caller-provided storage: every trace field and scratch
+/// buffer is resized in place, so a warm (`trace`, `scratch`) pair runs the
+/// whole pass without touching the allocator. Produces bit-identical
+/// results to [`forward`].
+///
+/// # Panics
+///
+/// Panics if any word index is outside the vocabulary the parameters were
+/// initialized for.
+pub fn forward_into(
+    params: &Params,
+    sample: &EncodedSample,
+    trace: &mut ForwardTrace,
+    scratch: &mut ForwardScratch,
+) {
     let e = params.config.embed_dim;
     let l = sample.sentences.len();
+    let hops = params.config.hops;
     let w_a = &params.w_emb_a;
     let w_c = params.content_embedding();
 
     // Eq 2: index-based embedding — sum one column per word.
-    let mut mem_a = Matrix::zeros(l, e);
-    let mut mem_c = Matrix::zeros(l, e);
+    trace.mem_a.resize_zeroed(l, e);
+    trace.mem_c.resize_zeroed(l, e);
     for (i, sent) in sample.sentences.iter().enumerate() {
-        let va = w_a.sum_cols(sent);
-        let vc = w_c.sum_cols(sent);
-        mem_a.row_mut(i).copy_from_slice(va.as_slice());
-        mem_c.row_mut(i).copy_from_slice(vc.as_slice());
+        w_a.sum_cols_into(sent, &mut scratch.emb);
+        trace
+            .mem_a
+            .row_mut(i)
+            .copy_from_slice(scratch.emb.as_slice());
+        w_c.sum_cols_into(sent, &mut scratch.emb);
+        trace
+            .mem_c
+            .row_mut(i)
+            .copy_from_slice(scratch.emb.as_slice());
     }
-    let q_emb = w_a.sum_cols(&sample.question);
+    w_a.sum_cols_into(&sample.question, &mut trace.q_emb);
 
-    let hops = params.config.hops;
-    let mut keys = Vec::with_capacity(hops);
-    let mut scores = Vec::with_capacity(hops);
-    let mut attention = Vec::with_capacity(hops);
-    let mut reads = Vec::with_capacity(hops);
-    let mut hiddens = Vec::with_capacity(hops);
-    let mut gru_traces = params.gru.as_ref().map(|_| Vec::with_capacity(hops));
-
-    let mut k = q_emb.clone();
-    for _ in 0..hops {
-        // Eq 1: content-based addressing.
-        let u = mem_a.matvec(&k).expect("key matches memory width");
-        let a = u.softmax();
-        // Eq 5: soft read.
-        let r = mem_c.matvec_transposed(&a).expect("attention matches rows");
-        // Controller: Eq 4 (linear) or the gated variant.
-        let h = match (&params.gru, &mut gru_traces) {
-            (Some(gru), Some(traces)) => {
-                let (h, t) = gru_step(gru, &r, &k);
-                traces.push(t);
-                h
-            }
-            _ => {
-                let wk = params.w_r.matvec(&k).expect("controller width");
-                r.add(&wk).expect("same embed dim")
-            }
-        };
-        keys.push(k.clone());
-        scores.push(u);
-        attention.push(a);
-        reads.push(r);
-        hiddens.push(h.clone());
-        k = h; // Eq 3: next key is the controller output.
+    resize_hop_list(&mut trace.keys, hops);
+    resize_hop_list(&mut trace.scores, hops);
+    resize_hop_list(&mut trace.attention, hops);
+    resize_hop_list(&mut trace.reads, hops);
+    resize_hop_list(&mut trace.hiddens, hops);
+    match (&params.gru, &mut trace.gru) {
+        (Some(_), Some(traces)) => resize_hop_list(traces, hops),
+        (Some(_), slot @ None) => {
+            let mut traces = Vec::new();
+            resize_hop_list(&mut traces, hops);
+            *slot = Some(traces);
+        }
+        (None, slot) => *slot = None,
     }
 
-    // Eq 6: output layer.
-    let h_final = hiddens.last().expect("hops >= 1");
-    let logits = params.w_o.matvec(h_final).expect("output width");
-
-    ForwardTrace {
+    let ForwardTrace {
         mem_a,
         mem_c,
         q_emb,
@@ -174,54 +193,92 @@ pub fn forward(params: &Params, sample: &EncodedSample) -> ForwardTrace {
         reads,
         hiddens,
         logits,
-        gru: gru_traces,
+        gru,
+    } = trace;
+
+    keys[0].copy_from(q_emb); // Eq 3: the first key is the question.
+    for t in 0..hops {
+        // Eq 1: content-based addressing.
+        mem_a
+            .matvec_into(&keys[t], &mut scores[t])
+            .expect("key matches memory width");
+        attention[t].softmax_into(&scores[t]);
+        // Eq 5: soft read.
+        mem_c
+            .matvec_transposed_into(&attention[t], &mut reads[t])
+            .expect("attention matches rows");
+        // Controller: Eq 4 (linear) or the gated variant.
+        match (&params.gru, &mut *gru) {
+            (Some(gru_params), Some(traces)) => {
+                // `hiddens[t]` and `keys[t]` live in different lists, so the
+                // split borrows are disjoint.
+                let (h, k) = (&mut hiddens[t], &keys[t]);
+                gru_step_into(gru_params, &reads[t], k, h, &mut traces[t], scratch);
+            }
+            _ => {
+                params
+                    .w_r
+                    .matvec_into(&keys[t], &mut scratch.wk)
+                    .expect("controller width");
+                hiddens[t]
+                    .add_into(&reads[t], &scratch.wk)
+                    .expect("same embed dim");
+            }
+        }
+        if t + 1 < hops {
+            // Eq 3: next key is the controller output.
+            keys[t + 1].copy_from(&hiddens[t]);
+        }
     }
+
+    // Eq 6: output layer.
+    let h_final = hiddens.last().expect("hops >= 1");
+    params
+        .w_o
+        .matvec_into(h_final, logits)
+        .expect("output width");
 }
 
 /// Runs the forward pass only up to the controller output `h^T`, skipping
 /// the output layer — Step 4 of Algorithm 1 computes logits lazily from this
 /// vector.
 pub fn forward_until_output(params: &Params, sample: &EncodedSample) -> Vector {
-    // The trace is cheap relative to the output layer for bAbI sizes; reuse
-    // the full pass and drop the logits.
-    let mut trace = forward_hidden_only(params, sample);
-    trace
-        .pop()
-        .expect("at least one hop produces a hidden state")
-}
-
-/// Internal: hidden states per hop without materializing the output layer.
-fn forward_hidden_only(params: &Params, sample: &EncodedSample) -> Vec<Vector> {
     let e = params.config.embed_dim;
     let l = sample.sentences.len();
     let w_a = &params.w_emb_a;
     let w_c = params.content_embedding();
+    let mut scratch = ForwardScratch::default();
     let mut mem_a = Matrix::zeros(l, e);
     let mut mem_c = Matrix::zeros(l, e);
     for (i, sent) in sample.sentences.iter().enumerate() {
-        mem_a
-            .row_mut(i)
-            .copy_from_slice(w_a.sum_cols(sent).as_slice());
-        mem_c
-            .row_mut(i)
-            .copy_from_slice(w_c.sum_cols(sent).as_slice());
+        w_a.sum_cols_into(sent, &mut scratch.emb);
+        mem_a.row_mut(i).copy_from_slice(scratch.emb.as_slice());
+        w_c.sum_cols_into(sent, &mut scratch.emb);
+        mem_c.row_mut(i).copy_from_slice(scratch.emb.as_slice());
     }
     let mut k = w_a.sum_cols(&sample.question);
-    let mut hiddens = Vec::with_capacity(params.config.hops);
+    let mut h = Vector::zeros(0);
+    let mut a = Vector::zeros(0);
+    let mut u = Vector::zeros(0);
+    let mut r = Vector::zeros(0);
+    let mut gru_trace = GruTrace::default();
     for _ in 0..params.config.hops {
-        let a = mem_a.matvec(&k).expect("key width").softmax();
-        let r = mem_c.matvec_transposed(&a).expect("rows");
-        let h = match &params.gru {
-            Some(gru) => gru_step(gru, &r, &k).0,
+        mem_a.matvec_into(&k, &mut u).expect("key width");
+        a.softmax_into(&u);
+        mem_c.matvec_transposed_into(&a, &mut r).expect("rows");
+        match &params.gru {
+            Some(gru) => gru_step_into(gru, &r, &k, &mut h, &mut gru_trace, &mut scratch),
             None => {
-                let wk = params.w_r.matvec(&k).expect("controller width");
-                r.add(&wk).expect("embed dim")
+                params
+                    .w_r
+                    .matvec_into(&k, &mut scratch.wk)
+                    .expect("controller width");
+                h.add_into(&r, &scratch.wk).expect("embed dim");
             }
-        };
-        hiddens.push(h.clone());
-        k = h;
+        }
+        std::mem::swap(&mut k, &mut h);
     }
-    hiddens
+    k
 }
 
 /// One output logit `z_i = W_o[i] · h` — the unit of work of the

@@ -43,9 +43,11 @@ pub mod loss;
 mod config;
 mod params;
 mod trainer;
+mod workspace;
 
-pub use backward::{backward, Gradients};
+pub use backward::{backward, backward_into, BackwardScratch, Gradients};
 pub use config::{ControllerKind, ModelConfig};
-pub use forward::{forward, ForwardTrace};
+pub use forward::{forward, forward_into, ForwardScratch, ForwardTrace};
 pub use params::{GruParams, Params};
-pub use trainer::{TrainConfig, TrainReport, TrainedModel, Trainer};
+pub use trainer::{train_step, TrainConfig, TrainReport, TrainedModel, Trainer};
+pub use workspace::Workspace;

@@ -9,13 +9,25 @@ use mann_linalg::Vector;
 ///
 /// Panics if `target` is out of range or `logits` is empty.
 pub fn softmax_cross_entropy(logits: &Vector, target: usize) -> (f32, Vector) {
+    let mut grad = Vector::zeros(0);
+    let loss = softmax_cross_entropy_into(logits, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] with the gradient written into a caller-owned
+/// buffer (resized, capacity reused) — the zero-allocation training path.
+/// Bit-identical to the allocating variant.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range or `logits` is empty.
+pub fn softmax_cross_entropy_into(logits: &Vector, target: usize, grad: &mut Vector) -> f32 {
     assert!(!logits.is_empty(), "empty logits");
     assert!(target < logits.len(), "target {target} out of range");
-    let p = logits.softmax();
-    let loss = -(p[target].max(1e-12)).ln();
-    let mut grad = p;
+    grad.softmax_into(logits);
+    let loss = -(grad[target].max(1e-12)).ln();
     grad[target] -= 1.0;
-    (loss, grad)
+    loss
 }
 
 #[cfg(test)]

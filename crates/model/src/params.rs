@@ -42,7 +42,9 @@ impl GruParams {
     /// Iterates over the six weight matrices (fixed order: Wz, Uz, Wg, Ug,
     /// Wh, Uh).
     pub fn matrices(&self) -> [&Matrix; 6] {
-        [&self.w_z, &self.u_z, &self.w_g, &self.u_g, &self.w_h, &self.u_h]
+        [
+            &self.w_z, &self.u_z, &self.w_g, &self.u_g, &self.w_h, &self.u_h,
+        ]
     }
 
     /// Mutable counterpart of [`GruParams::matrices`].
@@ -129,7 +131,11 @@ impl Params {
     /// Total number of scalar parameters (tied embeddings counted once).
     pub fn parameter_count(&self) -> usize {
         let emb = self.w_emb_a.rows() * self.w_emb_a.cols();
-        let emb_total = if self.config.tie_embeddings { emb } else { 2 * emb };
+        let emb_total = if self.config.tie_embeddings {
+            emb
+        } else {
+            2 * emb
+        };
         let controller = match &self.gru {
             None => self.w_r.rows() * self.w_r.cols(),
             Some(g) => g.matrices().iter().map(|m| m.rows() * m.cols()).sum(),
@@ -219,14 +225,14 @@ mod tests {
         }
         // 6 E x E gate weights replace the single linear W_r.
         let linear = Params::init(
-            ModelConfig { controller: ControllerKind::Linear, ..cfg },
+            ModelConfig {
+                controller: ControllerKind::Linear,
+                ..cfg
+            },
             20,
             &mut StdRng::seed_from_u64(9),
         );
-        assert_eq!(
-            p.parameter_count() - linear.parameter_count(),
-            5 * 6 * 6
-        );
+        assert_eq!(p.parameter_count() - linear.parameter_count(), 5 * 6 * 6);
     }
 
     #[test]

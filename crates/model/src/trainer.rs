@@ -6,8 +6,34 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::loss::softmax_cross_entropy;
-use crate::{backward, forward, Gradients, ModelConfig, Params};
+use crate::{forward, Gradients, ModelConfig, Params, Workspace};
+
+/// One single-sample SGD step (forward, loss, backward, clip, apply),
+/// returning the sample loss. Factored out of [`Trainer::train`] so the
+/// perf regression gate times exactly the production training step.
+pub fn train_step(
+    params: &mut Params,
+    sample: &EncodedSample,
+    ws: &mut Workspace,
+    velocity: Option<&mut Gradients>,
+    mu: f32,
+    lr: f32,
+    clip_norm: f32,
+) -> f32 {
+    ws.forward(params, sample);
+    let loss = ws.loss(sample.answer);
+    ws.grads.clear();
+    ws.backward(params, sample);
+    ws.grads.clip_to(clip_norm);
+    match velocity {
+        Some(v) => {
+            v.blend_into(mu, &ws.grads);
+            v.apply(params, lr);
+        }
+        None => ws.grads.apply(params, lr),
+    }
+    loss
+}
 
 /// Training hyper-parameters (original MemN2N recipe scaled down).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,14 +97,25 @@ impl TrainedModel {
         forward(&self.params, sample).prediction()
     }
 
+    /// Predicts using a reusable [`Workspace`] (allocation-free once warm).
+    pub fn predict_with(&self, ws: &mut Workspace, sample: &EncodedSample) -> usize {
+        ws.predict(&self.params, sample)
+    }
+
     /// Fraction of samples predicted correctly.
     pub fn accuracy(&self, samples: &[EncodedSample]) -> f32 {
+        let mut ws = Workspace::for_params(&self.params);
+        self.accuracy_with(&mut ws, samples)
+    }
+
+    /// [`TrainedModel::accuracy`] with a caller-provided [`Workspace`].
+    pub fn accuracy_with(&self, ws: &mut Workspace, samples: &[EncodedSample]) -> f32 {
         if samples.is_empty() {
             return 0.0;
         }
         let correct = samples
             .iter()
-            .filter(|s| self.predict(s) == s.answer)
+            .filter(|s| self.predict_with(ws, s) == s.answer)
             .count();
         correct as f32 / samples.len() as f32
     }
@@ -123,8 +160,8 @@ impl Trainer {
     ) -> Self {
         assert!(!data.train.is_empty(), "no training samples");
         model.validate().expect("valid model config");
-        let vocab = Vocab::from_samples(data.train.iter().chain(&data.test))
-            .with_time_tokens(time_tokens);
+        let vocab =
+            Vocab::from_samples(data.train.iter().chain(&data.test)).with_time_tokens(time_tokens);
         let encoder = Encoder::with_time_tokens(vocab, time_tokens);
         let (train_set, skipped_train) = encoder.encode_all(&data.train);
         let (test_set, skipped_test) = encoder.encode_all(&data.test);
@@ -153,6 +190,10 @@ impl Trainer {
 
     /// Runs the configured number of epochs of single-sample SGD (with
     /// heavy-ball momentum when configured).
+    ///
+    /// All per-sample buffers (trace, gradients, loss gradient) live in one
+    /// [`Workspace`] reused across samples and epochs, so the inner loop is
+    /// allocation-free after the first few samples warm the buffers up.
     pub fn train(&mut self) -> TrainReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5347_4421);
         let mut lr = self.cfg.learning_rate;
@@ -160,6 +201,7 @@ impl Trainer {
         let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
         let mu = self.cfg.momentum;
         let mut velocity = (mu > 0.0).then(|| Gradients::zeros(&self.params));
+        let mut ws = Workspace::for_params(&self.params);
         for epoch in 0..self.cfg.epochs {
             if self.cfg.decay_every > 0 && epoch > 0 && epoch % self.cfg.decay_every == 0 {
                 lr *= 0.5;
@@ -168,27 +210,23 @@ impl Trainer {
             let mut loss_sum = 0.0;
             for &i in &order {
                 let sample = &self.train_set[i];
-                let trace = forward(&self.params, sample);
-                let (loss, dz) = softmax_cross_entropy(&trace.logits, sample.answer);
-                loss_sum += loss;
-                let mut grads = Gradients::zeros(&self.params);
-                backward(&self.params, sample, &trace, &dz, &mut grads);
-                grads.clip_to(self.cfg.clip_norm);
-                match &mut velocity {
-                    Some(v) => {
-                        v.blend_into(mu, &grads);
-                        v.apply(&mut self.params, lr);
-                    }
-                    None => grads.apply(&mut self.params, lr),
-                }
+                loss_sum += train_step(
+                    &mut self.params,
+                    sample,
+                    &mut ws,
+                    velocity.as_mut(),
+                    mu,
+                    lr,
+                    self.cfg.clip_norm,
+                );
             }
             epoch_losses.push(loss_sum / self.train_set.len().max(1) as f32);
             debug_assert!(self.params.is_finite(), "weights diverged at epoch {epoch}");
         }
         let model = self.as_model();
         TrainReport {
-            final_train_accuracy: model.accuracy(&self.train_set),
-            final_test_accuracy: model.accuracy(&self.test_set),
+            final_train_accuracy: model.accuracy_with(&mut ws, &self.train_set),
+            final_test_accuracy: model.accuracy_with(&mut ws, &self.test_set),
             epoch_losses,
         }
     }

@@ -1,0 +1,170 @@
+//! Reusable per-thread buffers for allocation-free inference and training.
+
+use mann_babi::EncodedSample;
+
+use crate::backward::{backward_into, BackwardScratch};
+use crate::forward::{forward_into, ForwardScratch};
+use crate::loss::softmax_cross_entropy_into;
+use mann_linalg::Vector;
+
+use crate::{ForwardTrace, Gradients, Params};
+
+/// All mutable state one thread needs to run forward passes, losses, and
+/// backward passes without heap allocation after warm-up.
+///
+/// Buffers are resized in place per sample, so one workspace serves samples
+/// of any story length. Results are bit-identical to the allocating
+/// [`forward`](crate::forward()) / [`backward`](crate::backward()) entry
+/// points — the workspace only changes where intermediates live, not the
+/// order of floating-point operations.
+///
+/// A workspace is tied to the *shapes* of the [`Params`] it was built for
+/// (through [`Workspace::grads`]); build a new one per model, and one per
+/// thread when evaluating in parallel.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// The forward trace of the most recent [`Workspace::forward`] call.
+    pub trace: ForwardTrace,
+    /// Gradient accumulator; cleared + filled by [`Workspace::backward`].
+    pub grads: Gradients,
+    /// Loss gradient buffer filled by [`Workspace::loss`].
+    pub dz: Vector,
+    fwd: ForwardScratch,
+    bwd: BackwardScratch,
+}
+
+impl Workspace {
+    /// Builds a workspace with gradient storage matching `params`' shapes.
+    pub fn for_params(params: &Params) -> Self {
+        Self {
+            trace: ForwardTrace::default(),
+            grads: Gradients::zeros(params),
+            dz: Vector::default(),
+            fwd: ForwardScratch::default(),
+            bwd: BackwardScratch::default(),
+        }
+    }
+
+    /// Runs the forward pass into [`Workspace::trace`] and returns it.
+    pub fn forward(&mut self, params: &Params, sample: &EncodedSample) -> &ForwardTrace {
+        forward_into(params, sample, &mut self.trace, &mut self.fwd);
+        &self.trace
+    }
+
+    /// Softmax cross-entropy of the current trace's logits against
+    /// `target`; the gradient lands in [`Workspace::dz`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range or no forward pass has run.
+    pub fn loss(&mut self, target: usize) -> f32 {
+        softmax_cross_entropy_into(&self.trace.logits, target, &mut self.dz)
+    }
+
+    /// Accumulates the gradients of the current trace into
+    /// [`Workspace::grads`] (call [`Gradients::clear`] first for a plain,
+    /// non-accumulated step). Uses [`Workspace::dz`] as the logit gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace does not correspond to (`params`, `sample`).
+    pub fn backward(&mut self, params: &Params, sample: &EncodedSample) {
+        let Self {
+            trace,
+            grads,
+            dz,
+            bwd,
+            ..
+        } = self;
+        backward_into(params, sample, trace, dz, grads, bwd);
+    }
+
+    /// Forward pass + prediction (Eq 6) without allocation.
+    pub fn predict(&mut self, params: &Params, sample: &EncodedSample) -> usize {
+        self.forward(params, sample).prediction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::{backward, forward, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(controller: crate::ControllerKind) -> (Params, Vec<EncodedSample>) {
+        let cfg = ModelConfig {
+            embed_dim: 6,
+            hops: 3,
+            tie_embeddings: false,
+            controller,
+        };
+        let params = Params::init(cfg, 12, &mut StdRng::seed_from_u64(11));
+        // Different story lengths force buffer resizing between samples.
+        let samples = vec![
+            EncodedSample {
+                sentences: vec![vec![1, 2, 3], vec![4, 5]],
+                question: vec![10, 11],
+                answer: 3,
+            },
+            EncodedSample {
+                sentences: vec![vec![6], vec![7, 8], vec![9, 1, 2], vec![3]],
+                question: vec![4],
+                answer: 7,
+            },
+            EncodedSample {
+                sentences: vec![vec![0]],
+                question: vec![5, 6, 7],
+                answer: 1,
+            },
+        ];
+        (params, samples)
+    }
+
+    #[test]
+    fn workspace_forward_is_bit_identical_to_allocating_forward() {
+        for controller in [crate::ControllerKind::Linear, crate::ControllerKind::Gru] {
+            let (params, samples) = setup(controller);
+            let mut ws = Workspace::for_params(&params);
+            for s in &samples {
+                let fresh = forward(&params, s);
+                let reused = ws.forward(&params, s);
+                assert_eq!(reused, &fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_backward_is_bit_identical_to_allocating_backward() {
+        for controller in [crate::ControllerKind::Linear, crate::ControllerKind::Gru] {
+            let (params, samples) = setup(controller);
+            let mut ws = Workspace::for_params(&params);
+            for s in &samples {
+                let trace = forward(&params, s);
+                let (loss, dz) = softmax_cross_entropy(&trace.logits, s.answer);
+                let mut fresh = Gradients::zeros(&params);
+                backward(&params, s, &trace, &dz, &mut fresh);
+
+                ws.forward(&params, s);
+                let ws_loss = ws.loss(s.answer);
+                ws.grads.clear();
+                ws.backward(&params, s);
+                assert_eq!(ws_loss.to_bits(), loss.to_bits());
+                assert_eq!(ws.grads, fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_clear_zeroes_everything() {
+        let (params, samples) = setup(crate::ControllerKind::Gru);
+        let mut ws = Workspace::for_params(&params);
+        ws.forward(&params, &samples[0]);
+        ws.loss(samples[0].answer);
+        ws.backward(&params, &samples[0]);
+        assert!(ws.grads.norm() > 0.0);
+        ws.grads.clear();
+        assert_eq!(ws.grads.norm(), 0.0);
+    }
+}

@@ -6,7 +6,7 @@ use memn2n::flops::count_inference_with_output_rows;
 use memn2n::forward::forward_until_output;
 use memn2n::TrainedModel;
 
-use crate::calibration::{CPU_EFFECTIVE_FLOPS, CPU_OP_OVERHEAD_S, CPU_POWER_W, framework_ops};
+use crate::calibration::{framework_ops, CPU_EFFECTIVE_FLOPS, CPU_OP_OVERHEAD_S, CPU_POWER_W};
 use crate::{ExecutionModel, Measurement, MipsMode};
 
 /// Per-op-overhead-dominated CPU model.
@@ -123,7 +123,11 @@ mod tests {
         let m = CpuModel::new().run_inference(&model, &sample, MipsMode::Exhaustive);
         let dispatch = framework_ops(3, 3) as f64 * CPU_OP_OVERHEAD_S;
         assert!(m.time_s >= dispatch);
-        assert!(m.time_s < dispatch * 1.2, "math should be minor: {}", m.time_s);
+        assert!(
+            m.time_s < dispatch * 1.2,
+            "math should be minor: {}",
+            m.time_s
+        );
     }
 
     #[test]

@@ -87,12 +87,9 @@ impl ExecutionModel for FpgaPlatform {
         // the plain rows. The actually executed (reduced) count remains
         // available on `InferenceRun::flops`.
         let model = self.accel.model();
-        let nominal = memn2n::flops::count_inference(
-            &model.params.config,
-            model.params.vocab_size,
-            sample,
-        )
-        .total();
+        let nominal =
+            memn2n::flops::count_inference(&model.params.config, model.params.vocab_size, sample)
+                .total();
         Measurement {
             time_s: run.total_s,
             power_w,

@@ -62,8 +62,7 @@ impl ExecutionModel for GpuModel {
         // The GPU always evaluates the full output layer in parallel.
         let trace = forward(&model.params, sample);
         let label = trace.prediction();
-        let flops =
-            count_inference(&model.params.config, model.params.vocab_size, sample).total();
+        let flops = count_inference(&model.params.config, model.params.vocab_size, sample).total();
         let kernels = framework_ops(sample.sentences.len(), model.params.config.hops);
         let time_s = kernels as f64 * self.kernel_overhead_s
             + self.transfer_s

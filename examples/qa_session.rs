@@ -61,7 +61,9 @@ fn main() {
         }
         let vocab = model.encoder.vocab();
         let predicted = vocab.token(trace.prediction()).unwrap_or("?");
-        let marker = if trace.prediction() == sample.answer { "correct" } else {
+        let marker = if trace.prediction() == sample.answer {
+            "correct"
+        } else {
             "wrong"
         };
         println!(

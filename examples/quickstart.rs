@@ -16,7 +16,11 @@ fn main() {
         .test_samples(50)
         .seed(42)
         .build_task(TaskId::SingleSupportingFact);
-    println!("dataset: {} train / {} test samples", data.train.len(), data.test.len());
+    println!(
+        "dataset: {} train / {} test samples",
+        data.train.len(),
+        data.test.len()
+    );
     println!("example story:\n{}", data.train[0].to_babi_text());
 
     // 2. Train the memory network (Eqs 1-6) from scratch.

@@ -9,7 +9,10 @@ use mann_accel::model::forward::forward_until_output;
 use mann_accel::model::{ModelConfig, TrainConfig, Trainer};
 use mann_accel::platform::{CpuModel, ExecutionModel, FpgaPlatform, GpuModel, MipsMode};
 
-fn pipeline(task: TaskId, seed: u64) -> (
+fn pipeline(
+    task: TaskId,
+    seed: u64,
+) -> (
     mann_accel::model::TrainedModel,
     Vec<mann_accel::babi::EncodedSample>,
     Vec<mann_accel::babi::EncodedSample>,
@@ -43,7 +46,9 @@ fn pipeline(task: TaskId, seed: u64) -> (
 #[test]
 fn trained_model_runs_identically_on_all_platforms() {
     let (model, train, test) = pipeline(TaskId::SingleSupportingFact, 31);
-    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(1.0)
+        .calibrate(&model, &train);
 
     let cpu = CpuModel::new();
     let gpu = GpuModel::new();
@@ -73,14 +78,22 @@ fn trained_model_runs_identically_on_all_platforms() {
         assert!(mf.time_s < mc.time_s);
     }
     assert_eq!(agree_cpu_gpu, test.len(), "CPU and GPU must agree exactly");
-    assert!(agree_gpu_fpga * 10 >= test.len() * 9, "fixed-point drift too large");
-    assert!(agree_fpga_ith * 10 >= test.len() * 9, "thresholding drift too large");
+    assert!(
+        agree_gpu_fpga * 10 >= test.len() * 9,
+        "fixed-point drift too large"
+    );
+    assert!(
+        agree_fpga_ith * 10 >= test.len() * 9,
+        "thresholding drift too large"
+    );
 }
 
 #[test]
 fn software_and_hardware_thresholding_agree() {
     let (model, train, test) = pipeline(TaskId::YesNoQuestions, 32);
-    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(1.0)
+        .calibrate(&model, &train);
     let sw = ThresholdedMips::new(&ith);
     let accel = Accelerator::new(
         model.clone(),
@@ -105,7 +118,9 @@ fn software_and_hardware_thresholding_agree() {
 #[test]
 fn thresholding_saves_comparisons_without_large_accuracy_loss() {
     let (model, train, test) = pipeline(TaskId::AgentMotivations, 33);
-    let ith = ThresholdingCalibrator::new().rho(1.0).calibrate(&model, &train);
+    let ith = ThresholdingCalibrator::new()
+        .rho(1.0)
+        .calibrate(&model, &train);
     let fast = ThresholdedMips::new(&ith);
     let mut exact_correct = 0usize;
     let mut fast_correct = 0usize;
@@ -125,7 +140,10 @@ fn thresholding_saves_comparisons_without_large_accuracy_loss() {
         }
     }
     assert!(fast_cmp < exact_cmp);
-    assert!(fast_correct + 3 >= exact_correct, "{fast_correct} vs {exact_correct}");
+    assert!(
+        fast_correct + 3 >= exact_correct,
+        "{fast_correct} vs {exact_correct}"
+    );
 }
 
 #[test]

@@ -38,7 +38,11 @@ fn table1_headline_claims_hold() {
 
     // Paper: FPGA tens of times more energy-efficient; CPU ~1.7x.
     assert!(f25.flops_per_kj_norm > 30.0, "{}", f25.flops_per_kj_norm);
-    assert!((1.0..4.0).contains(&cpu.flops_per_kj_norm), "{}", cpu.flops_per_kj_norm);
+    assert!(
+        (1.0..4.0).contains(&cpu.flops_per_kj_norm),
+        "{}",
+        cpu.flops_per_kj_norm
+    );
 
     // Paper: ITH reduces time 6-18% depending on frequency, more at low f.
     let save25 = 1.0 - i25.time_s / f25.time_s;
@@ -77,7 +81,10 @@ fn fig3_shape_holds() {
     // Ordering does not increase comparisons at any rho.
     for rho in [1.0f32, 0.99, 0.95, 0.9] {
         let o = f.point(Some(rho), true).expect("ordered").comparisons_norm;
-        let u = f.point(Some(rho), false).expect("unordered").comparisons_norm;
+        let u = f
+            .point(Some(rho), false)
+            .expect("unordered")
+            .comparisons_norm;
         assert!(o <= u + 1e-9, "rho {rho}: {o} vs {u}");
     }
 }
@@ -93,7 +100,11 @@ fn fig4_every_task_favors_the_fpga() {
         let f100 = row.efficiency_vs_gpu[3];
         assert!(f25 > 10.0, "task {}: {f25}", row.task_number);
         assert!(f100 > f25 * 0.5, "task {}", row.task_number);
-        assert!((0.5..5.0).contains(&cpu), "task {}: cpu {cpu}", row.task_number);
+        assert!(
+            (0.5..5.0).contains(&cpu),
+            "task {}: cpu {cpu}",
+            row.task_number
+        );
     }
     // The FPGA configurations dominate on geometric mean, as in the figure.
     assert!(f.geomean(1) > 10.0 * f.geomean(0));

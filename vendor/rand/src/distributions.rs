@@ -1,0 +1,88 @@
+//! Uniform range sampling (the `gen_range` machinery).
+//!
+//! Mirrors upstream rand's structure: a blanket [`SampleRange`] impl over
+//! any [`SampleUniform`] element type. The blanket impl matters for type
+//! inference — it forces the range literal's type to unify with
+//! `gen_range`'s return type, so `let n = rng.gen_range(1..=2); f(2 * n)`
+//! infers `n` from the call site just as with the real crate.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Element types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`). The caller guarantees a non-empty
+    /// range.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// A range that can produce a single uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128
+                    + u128::from(inclusive);
+                let v = (rng.next_u64() as u128) % span;
+                ((lo as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform `f32` in `[0, 1)` from the top 24 bits of one draw.
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of one draw.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! float_sample_uniform {
+    ($t:ty, $unit:ident) => {
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                lo + $unit(rng) * (hi - lo)
+            }
+        }
+    };
+}
+
+float_sample_uniform!(f32, unit_f32);
+float_sample_uniform!(f64, unit_f64);

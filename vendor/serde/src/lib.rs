@@ -1,0 +1,281 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! vendored crate provides the (much smaller) data-model this workspace
+//! needs: a [`Serialize`]/[`Deserialize`] trait pair over an in-tree JSON
+//! [`json::Value`], plus derive macros re-exported from `serde_derive`.
+//!
+//! Design points that matter to the rest of the workspace:
+//!
+//! - **Float round-tripping**: floats are printed with Rust's `Display`,
+//!   which emits the shortest string that parses back to the identical
+//!   bits, so `to_string` → `from_str` is lossless for finite values.
+//! - **Deterministic output**: `HashMap`s serialize with sorted keys and
+//!   struct fields serialize in declaration order, so equal values always
+//!   produce byte-identical JSON (several tests and the on-disk suite
+//!   cache rely on this).
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+
+use json::{Error, Value};
+
+/// Conversion into the JSON data model.
+pub trait Serialize {
+    /// The JSON value representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `v` does not match the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(raw) => raw.parse().map_err(|_| {
+                        Error::msg(format!(
+                            "number {raw} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(Error::msg(format!(
+                        "expected {}, got {}",
+                        stringify!($t),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // JSON has no Inf/NaN; mirror serde_json and emit null.
+                if self.is_finite() {
+                    Value::Num(self.to_string())
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(raw) => raw.parse().map_err(|_| {
+                        Error::msg(format!("bad {} literal: {raw}", stringify!($t)))
+                    }),
+                    Value::Null => Ok($t::NAN),
+                    other => Err(Error::msg(format!(
+                        "expected {}, got {}",
+                        stringify!($t),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::msg(format!(
+                "expected 2-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted keys keep the output deterministic regardless of hash
+        // iteration order.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let x = 0.1f32;
+        assert_eq!(f32::from_value(&x.to_value()).unwrap(), x);
+        let y = std::f64::consts::PI;
+        assert_eq!(f64::from_value(&y.to_value()).unwrap(), y);
+    }
+
+    #[test]
+    fn float_shortest_form_survives() {
+        for &x in &[0.1f32, 1e-8, 16_777_216.0, -3.4e38, f32::MIN_POSITIVE] {
+            let v = x.to_value();
+            assert_eq!(f32::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![vec![1usize, 2], vec![3]];
+        assert_eq!(Vec::<Vec<usize>>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f32> = Some(2.5);
+        assert_eq!(Option::<f32>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<f32> = None;
+        assert_eq!(Option::<f32>::from_value(&n.to_value()).unwrap(), n);
+        let t = (1.5f32, -2.25f32);
+        assert_eq!(<(f32, f32)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("zebra".to_string(), 1usize);
+        m.insert("ant".to_string(), 2usize);
+        let v = m.to_value();
+        match &v {
+            Value::Object(pairs) => {
+                assert_eq!(pairs[0].0, "ant");
+                assert_eq!(pairs[1].0, "zebra");
+            }
+            other => panic!("expected object, got {}", other.kind()),
+        }
+        assert_eq!(HashMap::<String, usize>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::Num("1".into())).is_err());
+        assert!(Vec::<u64>::from_value(&Value::Bool(false)).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! type shapes present in this workspace, by hand-parsing the item's token
+//! stream (no `syn`/`quote` available offline):
+//!
+//! - structs with named fields → JSON objects, fields in declaration order
+//! - newtype structs (`struct Cycles(u64);`) → the inner value, transparent
+//! - enums whose variants all carry no data → the variant name as a string
+//!
+//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes
+//! are rejected with a `compile_error!` so unsupported shapes fail loudly
+//! at the definition site instead of producing wrong JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The supported item shapes.
+enum Shape {
+    /// Struct with named fields (field names in declaration order).
+    Named(Vec<String>),
+    /// Tuple struct with exactly one field.
+    Newtype,
+    /// Enum whose variants all carry no data.
+    UnitEnum(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok((name, shape)) => {
+            if serialize {
+                gen_serialize(&name, &shape)
+            } else {
+                gen_deserialize(&name, &shape)
+            }
+        }
+        Err(msg) => format!("compile_error!({:?});", msg),
+    };
+    code.parse().expect("generated code must tokenize")
+}
+
+/// Parses the derive input down to (type name, shape).
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(other) => return Err(format!("unexpected token `{other}` before item")),
+            None => return Err("empty derive input".to_string()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type `{name}`"));
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream())?)
+            } else {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), &name)?)
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            if count_top_level_fields(g.stream()) == 1 {
+                Shape::Newtype
+            } else {
+                return Err(format!("tuple struct `{name}` must have exactly one field"));
+            }
+        }
+        other => return Err(format!("unexpected item body for `{name}`: {other:?}")),
+    };
+    Ok((name, body))
+}
+
+/// Extracts field names from the braces of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip doc comments / attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, got `{tt}`"));
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Consume the type: everything up to the next comma outside angle
+        // brackets (commas inside `(...)`/`[...]` are nested groups already).
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field.to_string());
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, rejecting payload variants.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!(
+                "expected variant name in `{enum_name}`, got `{tt}`"
+            ));
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant.to_string());
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant.to_string());
+            }
+            Some(other) => {
+                return Err(format!(
+                    "variant `{enum_name}::{variant}` carries data ({other}); only unit variants are supported"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::json::Value::Object(::std::vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Self::{v} => {v:?},"))
+                .collect();
+            format!(
+                "::serde::json::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Newtype => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok(Self::{v}),")
+                })
+                .collect();
+            format!(
+                "match __v.as_str() {{ {} _ => ::std::result::Result::Err(\
+                 ::serde::json::Error::msg(::std::format!(\
+                 \"unknown {name} variant: {{}}\", __v.print()))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}"
+    )
+}

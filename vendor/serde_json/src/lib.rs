@@ -1,0 +1,65 @@
+//! Offline stand-in for the `serde_json` crate: `to_string`,
+//! `to_string_pretty`, and `from_str` over the in-tree `serde` data model.
+//!
+//! Floats always print in shortest-round-trip form (Rust's `Display`), so
+//! the `float_roundtrip` feature flag is accepted but has nothing to do.
+
+pub use serde::json::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the in-tree data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().print())
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the in-tree data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().print_pretty())
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a schema mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1.5f32, -0.25, 1e-7];
+        let json = to_string(&v).unwrap();
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(json, to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1u64, 2], vec![3]];
+        let back: Vec<Vec<u64>> = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(from_str::<Vec<u64>>("{not json").is_err());
+        assert!(from_str::<Vec<u64>>("true").is_err());
+    }
+}
