@@ -1,0 +1,144 @@
+//! Serves a seeded multi-tenant request trace across replicated
+//! accelerator instances and reports simulated-time latency percentiles,
+//! per-instance occupancy, link utilization and energy.
+//!
+//! ```sh
+//! cargo run -p mann-bench --release --bin serve -- --tasks 2 --train 200 --test 25
+//! cargo run -p mann-bench --release --bin serve -- \
+//!     --tasks 2 --train 200 --test 25 \
+//!     --instances 4 --policy rr --requests 512 --rate-us 80 --ith
+//! ```
+//!
+//! The serve is a pure function of `(suite, trace, config)`: rerunning
+//! with the same flags — at any `MANN_THREADS` — prints byte-identical
+//! numbers, and the `answers digest` line is invariant across
+//! `--instances` and `--policy` because scheduling never changes an
+//! answer.
+
+use mann_bench::HarnessArgs;
+use mann_core::write_json_report;
+use mann_serve::{ArrivalTrace, SchedulePolicy, ServeConfig, Server, TraceConfig};
+
+struct ServeArgs {
+    instances: usize,
+    policy: SchedulePolicy,
+    requests: usize,
+    queue: usize,
+    batch: usize,
+    inflight: usize,
+    rate_us: f64,
+    trace_seed: u64,
+    ith: bool,
+}
+
+impl ServeArgs {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self {
+            instances: 2,
+            policy: SchedulePolicy::ShortestQueue,
+            requests: 256,
+            queue: 64,
+            batch: 4,
+            inflight: 2,
+            rate_us: 200.0,
+            trace_seed: 0,
+            ith: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(key) = it.next() {
+            let mut grab = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("usage: {name} <value>"))
+            };
+            let num = |name: &str, v: String| -> u64 {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("usage: {name} <number>"))
+            };
+            match key.as_str() {
+                "--instances" => out.instances = num("--instances", grab("--instances")) as usize,
+                "--policy" => {
+                    let v = grab("--policy");
+                    out.policy = SchedulePolicy::parse(&v)
+                        .unwrap_or_else(|| panic!("usage: --policy rr|sq"));
+                }
+                "--requests" => out.requests = num("--requests", grab("--requests")) as usize,
+                "--queue" => out.queue = num("--queue", grab("--queue")) as usize,
+                "--batch" => out.batch = num("--batch", grab("--batch")) as usize,
+                "--inflight" => out.inflight = num("--inflight", grab("--inflight")) as usize,
+                "--rate-us" => {
+                    let v = grab("--rate-us");
+                    out.rate_us = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("usage: --rate-us <microseconds>"));
+                }
+                "--trace-seed" => out.trace_seed = num("--trace-seed", grab("--trace-seed")),
+                "--ith" => out.ith = true,
+                _ => {} // shared HarnessArgs flags
+            }
+        }
+        out
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = HarnessArgs::parse(argv.clone());
+    let serve_args = ServeArgs::parse(argv);
+
+    eprintln!(
+        "[serve] training {} tasks ({} train / {} test, seed {}) ...",
+        args.tasks, args.train, args.test, args.seed
+    );
+    let start = std::time::Instant::now();
+    let suite = args.build_suite();
+    eprintln!(
+        "[serve] suite trained in {:.1}s, mean test accuracy {:.1}%",
+        start.elapsed().as_secs_f64(),
+        suite.mean_accuracy() * 100.0
+    );
+
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: serve_args.requests,
+            seed: serve_args.trace_seed,
+            mean_interarrival_s: serve_args.rate_us * 1e-6,
+        },
+        &suite,
+    );
+    let config = ServeConfig {
+        instances: serve_args.instances,
+        queue_capacity: serve_args.queue,
+        inflight_limit: serve_args.inflight,
+        upload_batch: serve_args.batch,
+        policy: serve_args.policy,
+        use_ith: serve_args.ith,
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "[serve] {} requests (mean inter-arrival {} us, trace seed {}) over {} instance(s), \
+         policy {}, queue {}, upload batch {}, ith {}",
+        trace.len(),
+        serve_args.rate_us,
+        serve_args.trace_seed,
+        config.instances,
+        config.policy,
+        config.queue_capacity,
+        config.upload_batch,
+        config.use_ith,
+    );
+
+    let server = Server::new(&suite, config);
+    let outcome = server.serve(&trace);
+    println!(
+        "Served {} requests across {} instance(s), policy {}",
+        trace.len(),
+        server.config().instances,
+        server.config().policy
+    );
+    println!("{}", outcome.report.render());
+
+    let path = "target/experiments/serve_report.json";
+    match write_json_report(path, &outcome.report) {
+        Ok(()) => eprintln!("[serve] report written to {path}"),
+        Err(e) => eprintln!("[serve] could not write {path}: {e}"),
+    }
+}

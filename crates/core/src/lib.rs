@@ -34,6 +34,6 @@ pub mod report;
 mod pipeline;
 mod workload;
 
-pub use persist::{ModelBundle, SuiteCache};
+pub use persist::{write_json_report, ModelBundle, SuiteCache};
 pub use pipeline::{SuiteConfig, TaskSuite, TrainedTask};
 pub use workload::{run_workload, WorkloadResult};

@@ -97,6 +97,28 @@ impl ModelBundle {
     }
 }
 
+/// Writes any serializable report as pretty-printed JSON, creating parent
+/// directories as needed. The experiment and serving binaries share this
+/// for their `target/experiments/*.json` artifacts.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn write_json_report<T: Serialize>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
 /// A disk-backed cache of trained suites, keyed by a hash of the generating
 /// [`SuiteConfig`] (plus a build-variant tag, so per-task and joint builds
 /// of the same config do not collide).
@@ -264,6 +286,18 @@ mod tests {
             SuiteCache::config_key(&cfg, "per-task"),
             SuiteCache::config_key(&cfg, "joint")
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_json_report_creates_directories() {
+        let dir = std::env::temp_dir().join("mann_accel_json_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested/report.json");
+        write_json_report(&path, &vec![1u32, 2, 3]).expect("write");
+        let back: Vec<u32> =
+            serde_json::from_str(&fs::read_to_string(&path).expect("read")).expect("parse");
+        assert_eq!(back, vec![1, 2, 3]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -99,6 +99,28 @@ pub fn percent(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element such that at least `p`% of the data is ≤ it. `p` is clamped to
+/// `[0, 100]`; an empty slice yields 0. The nearest-rank definition picks
+/// an actual sample (no interpolation), so percentile reports are exact
+/// functions of the data and replay byte-identically.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `sorted` is not ascending.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +152,21 @@ mod tests {
         assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(ratio(83.738), "83.74x");
         assert_eq!(percent(0.9312), "93.1%");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&data, 50.0), 50.0);
+        assert_eq!(percentile(&data, 95.0), 95.0);
+        assert_eq!(percentile(&data, 99.0), 99.0);
+        assert_eq!(percentile(&data, 100.0), 100.0);
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        // Small samples: p50 of [1, 2] is the first element (rank ceil(1)).
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&data, 250.0), 100.0);
     }
 }

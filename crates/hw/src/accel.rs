@@ -66,6 +66,32 @@ impl PhaseCycles {
     }
 }
 
+impl std::ops::Add for PhaseCycles {
+    type Output = PhaseCycles;
+    fn add(self, rhs: PhaseCycles) -> PhaseCycles {
+        PhaseCycles {
+            control: self.control + rhs.control,
+            write: self.write + rhs.write,
+            addressing: self.addressing + rhs.addressing,
+            read: self.read + rhs.read,
+            controller: self.controller + rhs.controller,
+            output: self.output + rhs.output,
+        }
+    }
+}
+
+impl std::ops::AddAssign for PhaseCycles {
+    fn add_assign(&mut self, rhs: PhaseCycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for PhaseCycles {
+    fn sum<I: Iterator<Item = PhaseCycles>>(iter: I) -> PhaseCycles {
+        iter.fold(PhaseCycles::default(), |a, b| a + b)
+    }
+}
+
 /// Everything measured about one inference on the accelerator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceRun {
@@ -98,6 +124,12 @@ impl InferenceRun {
         } else {
             (self.compute_s / self.total_s).clamp(0.0, 1.0)
         }
+    }
+
+    /// Simulated duration of the compute phase in `clock`'s domain —
+    /// the serving scheduler's per-request service time.
+    pub fn compute_time(&self, clock: ClockDomain) -> crate::clock::SimTime {
+        clock.sim_time(self.cycles)
     }
 }
 
@@ -161,6 +193,12 @@ impl Accelerator {
     /// Size of the trained model in bytes (for the one-time PCIe upload).
     pub fn model_bytes(&self) -> u64 {
         4 * self.model.params.parameter_count() as u64
+    }
+
+    /// Words of the host input stream for `sample` (story + question) —
+    /// what the serving layer ships over the shared link per request.
+    pub fn input_words(sample: &EncodedSample) -> usize {
+        sample.story_words() + sample.question.len()
     }
 
     /// Runs one inference, returning full timing/energy accounting.

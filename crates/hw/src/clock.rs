@@ -67,6 +67,86 @@ impl From<u64> for Cycles {
     }
 }
 
+/// A point (or span) of simulated wall-clock time, in integer picoseconds.
+///
+/// The serving layer schedules events from several clock domains — fabric
+/// compute at 25–100 MHz, PCIe transfers, request arrivals — onto one
+/// timeline. Floating-point timestamps would make event ordering depend on
+/// accumulated rounding; an integer picosecond timebase keeps every
+/// comparison exact, so a discrete-event schedule replays byte-identically.
+/// One picosecond resolves every paper clock (a 100 MHz cycle is 10⁴ ps)
+/// and `u64` picoseconds span ~213 simulated days.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Picoseconds per second.
+    pub const PS_PER_S: f64 = 1e12;
+
+    /// Wraps a raw picosecond count.
+    pub fn from_ps(ps: u64) -> Self {
+        Self(ps)
+    }
+
+    /// Converts from seconds, rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn from_s(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "SimTime needs a finite non-negative duration, got {seconds}"
+        );
+        Self((seconds * Self::PS_PER_S).round() as u64)
+    }
+
+    /// The raw picosecond count.
+    pub fn ps(self) -> u64 {
+        self.0
+    }
+
+    /// The time in seconds.
+    pub fn as_s(self) -> f64 {
+        self.0 as f64 / Self::PS_PER_S
+    }
+
+    /// Saturating subtraction (spans never go negative).
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ps", self.0)
+    }
+}
+
 /// An FPGA clock domain; the paper evaluates 25, 50, 75 and 100 MHz.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClockDomain {
@@ -97,6 +177,13 @@ impl ClockDomain {
     /// Wall-clock seconds taken by `cycles` in this domain.
     pub fn seconds(self, cycles: Cycles) -> f64 {
         cycles.get() as f64 / self.freq_hz
+    }
+
+    /// Simulated time taken by `cycles` in this domain, rounded to the
+    /// nearest picosecond (exact for the paper's 25/50/100 MHz points;
+    /// 75 MHz rounds the ⅓-ps remainder).
+    pub fn sim_time(self, cycles: Cycles) -> SimTime {
+        SimTime::from_s(self.seconds(cycles))
     }
 
     /// The paper's four operating points.
@@ -159,5 +246,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_frequency_rejected() {
         let _ = ClockDomain::mhz(0.0);
+    }
+
+    #[test]
+    fn sim_time_round_trips_and_orders() {
+        let t = SimTime::from_s(130e-6);
+        assert_eq!(t.ps(), 130_000_000);
+        assert!((t.as_s() - 130e-6).abs() < 1e-18);
+        assert!(SimTime::from_ps(1) > SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_ps(3) + SimTime::from_ps(4),
+            SimTime::from_ps(7)
+        );
+        assert_eq!(
+            SimTime::from_ps(3).saturating_sub(SimTime::from_ps(9)),
+            SimTime::ZERO
+        );
+        let s: SimTime = [SimTime::from_ps(1), SimTime::from_ps(2)].into_iter().sum();
+        assert_eq!(s.ps(), 3);
+    }
+
+    #[test]
+    fn clock_sim_time_is_exact_at_paper_frequencies() {
+        // One cycle at 100 MHz is exactly 10_000 ps; 25 MHz is 40_000 ps.
+        assert_eq!(
+            ClockDomain::mhz(100.0).sim_time(Cycles::new(1)).ps(),
+            10_000
+        );
+        assert_eq!(
+            ClockDomain::mhz(25.0).sim_time(Cycles::new(3)).ps(),
+            120_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sim_time_rejected() {
+        let _ = SimTime::from_s(-1.0);
     }
 }

@@ -74,6 +74,26 @@ impl PowerModel {
     ) -> f64 {
         self.power_w(freq_mhz, busy_fraction, ith_enabled) * seconds
     }
+
+    /// Energy in joules of a served interval: the board is powered for
+    /// `wall_s` wall-clock seconds of which the fabric computes for
+    /// `busy_s`. This is the serving layer's per-instance accounting — the
+    /// busy fraction comes from the instance's measured occupancy rather
+    /// than a single inference's compute/interface split. A zero-length
+    /// interval costs nothing.
+    pub fn interval_energy_j(
+        &self,
+        freq_mhz: f64,
+        busy_s: f64,
+        wall_s: f64,
+        ith_enabled: bool,
+    ) -> f64 {
+        if wall_s <= 0.0 {
+            return 0.0;
+        }
+        let busy_fraction = (busy_s / wall_s).clamp(0.0, 1.0);
+        self.energy_j(freq_mhz, busy_fraction, ith_enabled, wall_s)
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +137,16 @@ mod tests {
     #[should_panic(expected = "busy fraction")]
     fn invalid_busy_fraction_rejected() {
         let _ = PowerModel::default().power_w(25.0, 1.5, false);
+    }
+
+    #[test]
+    fn interval_energy_matches_busy_fraction_form() {
+        let m = PowerModel::default();
+        let e = m.interval_energy_j(100.0, 1.0, 4.0, false);
+        assert!((e - m.energy_j(100.0, 0.25, false, 4.0)).abs() < 1e-12);
+        // Degenerate wall clocks cost nothing; over-busy clamps.
+        assert_eq!(m.interval_energy_j(100.0, 1.0, 0.0, false), 0.0);
+        let clamped = m.interval_energy_j(100.0, 9.0, 4.0, true);
+        assert!((clamped - m.energy_j(100.0, 1.0, true, 4.0)).abs() < 1e-12);
     }
 }

@@ -57,9 +57,9 @@ mod datapath;
 mod quantize;
 
 pub use accel::{double_buffered_time_s, AccelConfig, Accelerator, InferenceRun, PhaseCycles};
-pub use clock::{ClockDomain, Cycles};
+pub use clock::{ClockDomain, Cycles, SimTime};
 pub use datapath::DatapathConfig;
 pub use energy::PowerModel;
-pub use pcie::PcieLink;
+pub use pcie::{LinkArbiter, LinkGrant, PcieLink};
 pub use quantize::quantize_params;
 pub use resource::{ResourceEstimate, VCU107_BUDGET};

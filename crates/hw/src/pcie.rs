@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::clock::SimTime;
+
 /// PCIe link + driver-stack cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PcieLink {
@@ -31,23 +33,177 @@ impl Default for PcieLink {
 }
 
 impl PcieLink {
+    /// Payload bytes of one QA input stream: story + question words at
+    /// 4 bytes each, plus 8 control words framing the stream.
+    pub fn input_bytes(input_words: usize) -> u64 {
+        (input_words as u64 + 8) * 4
+    }
+
+    /// Payload bytes of one answer read-back (answer index + status word).
+    pub fn answer_bytes() -> u64 {
+        8
+    }
+
     /// Time for one transfer of `bytes` payload.
     pub fn transfer_time_s(&self, bytes: u64) -> f64 {
         self.latency_per_transfer_s + bytes as f64 / self.bandwidth_bytes_per_s
     }
 
-    /// Interface time of one QA inference: the input stream (story +
-    /// question words, 4 bytes each, plus control words) and the answer
-    /// read-back.
+    /// Time for one transfer that batches `transfers` logical payloads of
+    /// `bytes` total: the DMA ring is set up once, so the fixed latency is
+    /// paid once rather than per payload. `transfers == 0` costs nothing.
+    pub fn batched_transfer_time_s(&self, bytes: u64, transfers: usize) -> f64 {
+        if transfers == 0 {
+            0.0
+        } else {
+            self.transfer_time_s(bytes)
+        }
+    }
+
+    /// Upload time of one QA input stream of `input_words` words.
+    pub fn input_transfer_time_s(&self, input_words: usize) -> f64 {
+        self.transfer_time_s(Self::input_bytes(input_words))
+    }
+
+    /// Read-back time of one answer.
+    pub fn answer_transfer_time_s(&self) -> f64 {
+        self.transfer_time_s(Self::answer_bytes())
+    }
+
+    /// Interface time of one QA inference: the input stream upload plus the
+    /// answer read-back.
     pub fn inference_time_s(&self, input_words: usize) -> f64 {
-        let in_bytes = (input_words as u64 + 8) * 4; // +8 control words
-        let out_bytes = 8; // answer index + status
-        self.transfer_time_s(in_bytes) + self.transfer_time_s(out_bytes)
+        self.input_transfer_time_s(input_words) + self.answer_transfer_time_s()
     }
 
     /// One-time cost of shipping the trained model (`bytes` of weights).
     pub fn model_upload_time_s(&self, bytes: u64) -> f64 {
         self.transfer_time_s(bytes)
+    }
+}
+
+/// A grant issued by the [`LinkArbiter`]: job `id` owns the link for
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkGrant {
+    /// Caller-chosen job identifier.
+    pub id: u64,
+    /// Payload bytes of the job.
+    pub bytes: u64,
+    /// Simulated time the transfer starts.
+    pub start: SimTime,
+    /// Simulated time the transfer completes.
+    pub end: SimTime,
+}
+
+/// FIFO arbitration of one shared PCIe link among many accelerator
+/// instances.
+///
+/// Replicated instances share the single host interface, so their uploads
+/// and answer read-backs contend for it. The arbiter is a strict FIFO —
+/// jobs are granted in submission order, one at a time, never dropped and
+/// never reordered (the property suite in `tests/link_proptests.rs` pins
+/// this) — which keeps the serving schedule deterministic.
+///
+/// Protocol: [`submit`](LinkArbiter::submit) enqueues a job;
+/// [`try_grant`](LinkArbiter::try_grant) starts the head job if the link is
+/// idle, returning its grant window; [`complete`](LinkArbiter::complete)
+/// retires the in-flight job (normally at the grant's `end` event).
+#[derive(Debug, Clone)]
+pub struct LinkArbiter {
+    link: PcieLink,
+    pending: std::collections::VecDeque<(u64, u64, usize)>,
+    in_flight: Option<u64>,
+    free_at: SimTime,
+    busy: SimTime,
+    grants: u64,
+    bytes_moved: u64,
+}
+
+impl LinkArbiter {
+    /// An idle arbiter over `link`.
+    pub fn new(link: PcieLink) -> Self {
+        Self {
+            link,
+            pending: std::collections::VecDeque::new(),
+            in_flight: None,
+            free_at: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            grants: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// The arbitrated link model.
+    pub fn link(&self) -> &PcieLink {
+        &self.link
+    }
+
+    /// Enqueues a job of `bytes` payload comprising `transfers` batched
+    /// logical payloads (1 for a plain transfer).
+    pub fn submit(&mut self, id: u64, bytes: u64, transfers: usize) {
+        self.pending.push_back((id, bytes, transfers.max(1)));
+    }
+
+    /// Jobs submitted but not yet granted.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a granted job has not yet been completed.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Grants the head job if the link is idle and work is pending. The
+    /// transfer starts at `max(now, previous grant end)`.
+    pub fn try_grant(&mut self, now: SimTime) -> Option<LinkGrant> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        let (id, bytes, transfers) = self.pending.pop_front()?;
+        let start = now.max(self.free_at);
+        let duration = SimTime::from_s(self.link.batched_transfer_time_s(bytes, transfers));
+        let end = start + duration;
+        self.in_flight = Some(id);
+        self.free_at = end;
+        self.busy += duration;
+        self.grants += 1;
+        self.bytes_moved += bytes;
+        Some(LinkGrant {
+            id,
+            bytes,
+            start,
+            end,
+        })
+    }
+
+    /// Retires the in-flight job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the job currently holding the link — catching
+    /// out-of-order completion bugs in the scheduler.
+    pub fn complete(&mut self, id: u64) {
+        match self.in_flight.take() {
+            Some(current) if current == id => {}
+            other => panic!("link completion for job {id} but in flight is {other:?}"),
+        }
+    }
+
+    /// Total time the link has been transferring.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total payload bytes granted.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
     }
 }
 
@@ -83,5 +239,59 @@ mod tests {
         // The type has no clock input at all; this test documents the fact.
         let link = PcieLink::default();
         assert_eq!(link.inference_time_s(40), link.inference_time_s(40));
+    }
+
+    #[test]
+    fn inference_time_splits_into_input_and_answer() {
+        let link = PcieLink::default();
+        let t = link.input_transfer_time_s(50) + link.answer_transfer_time_s();
+        assert!((t - link.inference_time_s(50)).abs() < 1e-15);
+        assert_eq!(PcieLink::input_bytes(50), (50 + 8) * 4);
+        assert_eq!(PcieLink::answer_bytes(), 8);
+    }
+
+    #[test]
+    fn batching_amortizes_the_fixed_latency() {
+        let link = PcieLink::default();
+        let bytes = PcieLink::input_bytes(40);
+        let separate = 4.0 * link.transfer_time_s(bytes);
+        let batched = link.batched_transfer_time_s(4 * bytes, 4);
+        assert!(batched < separate, "{batched} !< {separate}");
+        // Exactly three fixed latencies saved.
+        assert!((separate - batched - 3.0 * link.latency_per_transfer_s).abs() < 1e-12);
+        assert_eq!(link.batched_transfer_time_s(0, 0), 0.0);
+    }
+
+    #[test]
+    fn arbiter_serves_fifo_without_overlap() {
+        let mut arb = LinkArbiter::new(PcieLink::default());
+        arb.submit(1, 64, 1);
+        arb.submit(2, 128, 1);
+        arb.submit(3, 32, 1);
+        let g1 = arb.try_grant(SimTime::ZERO).unwrap();
+        assert_eq!(g1.id, 1);
+        // Link busy: nothing else grants until completion.
+        assert!(arb.try_grant(g1.start).is_none());
+        arb.complete(1);
+        let g2 = arb.try_grant(g1.end).unwrap();
+        assert_eq!(g2.id, 2);
+        assert!(g2.start >= g1.end);
+        arb.complete(2);
+        let g3 = arb.try_grant(g2.end).unwrap();
+        assert_eq!(g3.id, 3);
+        arb.complete(3);
+        assert_eq!(arb.grants(), 3);
+        assert_eq!(arb.bytes_moved(), 64 + 128 + 32);
+        assert_eq!(arb.pending_len(), 0);
+        assert!(!arb.is_busy());
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn arbiter_rejects_wrong_completion() {
+        let mut arb = LinkArbiter::new(PcieLink::default());
+        arb.submit(1, 64, 1);
+        let _ = arb.try_grant(SimTime::ZERO).unwrap();
+        arb.complete(99);
     }
 }

@@ -1,0 +1,48 @@
+//! Batched multi-accelerator serving layer.
+//!
+//! This crate turns the single-inference accelerator model of `mann-hw`
+//! into a *served system*: a stream of QA requests arrives at a bounded
+//! host queue, story uploads are batched over the one shared PCIe link,
+//! and a deterministic scheduler spreads work across N replicated
+//! accelerator instances. Every request carries simulated-time
+//! timestamps for each lifecycle phase (enqueue → upload → compute →
+//! drain), and a serve produces a [`ServeReport`] with p50/p95/p99
+//! latency, per-instance occupancy, link utilization and aggregate
+//! energy — exportable as JSON via `mann_core::write_json_report`.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   seeded ArrivalTrace        bounded host queue          N instances
+//!  ┌──────────────────┐   ┌──────────────────────┐   ┌───────────────────┐
+//!  │ Poisson arrivals  │──▶│ reject when full     │──▶│ Scheduler picks   │
+//!  │ (task, sample)    │   │ (backpressure acct.) │   │ rr / shortest-q   │
+//!  └──────────────────┘   └──────────────────────┘   └─────────┬─────────┘
+//!                                                              ▼
+//!                          ┌───────────────────────────────────────────┐
+//!                          │ LinkArbiter: one shared PCIe link, FIFO;  │
+//!                          │ uploads batched to amortize DMA latency   │
+//!                          └───────────────────────────────────────────┘
+//! ```
+//!
+//! # Determinism
+//!
+//! A serve is a pure function of `(suite, trace, config)`. The numeric
+//! work is precomputed in request order on the deterministic worker pool
+//! (`MANN_THREADS`-invariant), and the event loop runs on an integer
+//! picosecond clock with a submission-order tie-break — so reports are
+//! byte-identical run to run, and the per-request answers (pinned by
+//! [`ServeReport::answers_digest`]) are invariant across instance counts
+//! and scheduler policies.
+
+mod report;
+mod request;
+mod scheduler;
+mod server;
+mod trace;
+
+pub use report::{answers_digest, InstanceReport, LatencySummary, LinkReport, ServeReport};
+pub use request::{Completion, Rejection, Request, RequestTimestamps};
+pub use scheduler::{InstanceView, SchedulePolicy, Scheduler};
+pub use server::{ServeConfig, ServeOutcome, Server};
+pub use trace::{ArrivalTrace, TraceConfig};

@@ -1,0 +1,236 @@
+//! The `ServeReport`: everything measured about one served trace, in
+//! simulated time, exportable as JSON.
+
+use mann_core::report::{fnum, percent, percentile, TextTable};
+use mann_hw::PhaseCycles;
+use serde::{Deserialize, Serialize};
+
+/// Latency summary over completed requests (simulated seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean end-to-end latency.
+    pub mean_s: f64,
+    /// Nearest-rank 50th percentile.
+    pub p50_s: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95_s: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99_s: f64,
+    /// Worst-case latency.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latencies (need not be sorted).
+    pub fn from_latencies(latencies: &[f64]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Self {
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: percentile(&sorted, 50.0),
+            p95_s: percentile(&sorted, 95.0),
+            p99_s: percentile(&sorted, 99.0),
+            max_s: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Per-instance utilization and energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Instance index.
+    pub instance: usize,
+    /// Requests completed on this instance.
+    pub completed: u64,
+    /// Total fabric compute time, seconds.
+    pub busy_s: f64,
+    /// `busy_s / makespan` — fraction of the served interval spent
+    /// computing.
+    pub occupancy: f64,
+    /// Board energy over the served interval at this occupancy (from the
+    /// calibrated [`mann_hw::PowerModel`]).
+    pub energy_j: f64,
+}
+
+/// Shared host-link utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkReport {
+    /// DMA grants issued (uploads + drains).
+    pub grants: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Time the link spent transferring, seconds.
+    pub busy_s: f64,
+    /// `busy_s / makespan`.
+    pub utilization: f64,
+}
+
+/// Aggregate report of one served trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests rejected by the bounded queue (backpressure accounting).
+    pub rejected: usize,
+    /// Fraction of completed requests answered correctly.
+    pub accuracy: f64,
+    /// First arrival to last drain, seconds.
+    pub makespan_s: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// End-to-end latency distribution.
+    pub latency: LatencySummary,
+    /// Mean time spent in the host queue, seconds.
+    pub mean_queue_wait_s: f64,
+    /// High-water mark of the host queue.
+    pub max_queue_depth: usize,
+    /// Per-instance utilization, in index order.
+    pub instances: Vec<InstanceReport>,
+    /// Shared-link utilization.
+    pub link: LinkReport,
+    /// Compute cycles summed over completions, by pipeline phase — the
+    /// ITH-under-load tests read the output phase here.
+    pub phase_totals: PhaseCycles,
+    /// Completions that exited the output search early (ITH).
+    pub speculated: usize,
+    /// Sum of per-instance energies, joules.
+    pub total_energy_j: f64,
+    /// One-time model-upload cost paid before serving, seconds.
+    pub setup_s: f64,
+    /// FNV-1a digest over `(id, answer)` of completions in id order.
+    /// Invariant across instance counts and scheduler policies — the
+    /// serving layer never changes an answer.
+    pub answers_digest: String,
+}
+
+impl ServeReport {
+    /// Sum of per-instance busy seconds.
+    pub fn total_busy_s(&self) -> f64 {
+        self.instances.iter().map(|i| i.busy_s).sum()
+    }
+
+    /// Renders the report as text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = TextTable::new(vec!["metric".into(), "value".into()]);
+        t.row(vec!["requests".into(), self.requests.to_string()]);
+        t.row(vec!["completed".into(), self.completed.to_string()]);
+        t.row(vec!["rejected".into(), self.rejected.to_string()]);
+        t.row(vec!["accuracy".into(), percent(self.accuracy)]);
+        t.row(vec![
+            "makespan".into(),
+            format!("{} ms", fnum(self.makespan_s * 1e3, 3)),
+        ]);
+        t.row(vec![
+            "throughput".into(),
+            format!("{} req/s", fnum(self.throughput_rps, 1)),
+        ]);
+        t.row(vec![
+            "latency p50/p95/p99".into(),
+            format!(
+                "{} / {} / {} us",
+                fnum(self.latency.p50_s * 1e6, 1),
+                fnum(self.latency.p95_s * 1e6, 1),
+                fnum(self.latency.p99_s * 1e6, 1)
+            ),
+        ]);
+        t.row(vec![
+            "mean queue wait".into(),
+            format!("{} us", fnum(self.mean_queue_wait_s * 1e6, 1)),
+        ]);
+        t.row(vec![
+            "max queue depth".into(),
+            self.max_queue_depth.to_string(),
+        ]);
+        t.row(vec![
+            "link utilization".into(),
+            format!(
+                "{} ({} grants)",
+                percent(self.link.utilization),
+                self.link.grants
+            ),
+        ]);
+        t.row(vec!["early exits".into(), self.speculated.to_string()]);
+        t.row(vec![
+            "energy".into(),
+            format!("{} J", fnum(self.total_energy_j, 3)),
+        ]);
+        t.row(vec![
+            "setup (model upload)".into(),
+            format!("{} ms", fnum(self.setup_s * 1e3, 3)),
+        ]);
+        t.row(vec!["answers digest".into(), self.answers_digest.clone()]);
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut inst = TextTable::new(vec![
+            "instance".into(),
+            "completed".into(),
+            "busy (ms)".into(),
+            "occupancy".into(),
+            "energy (J)".into(),
+        ]);
+        for i in &self.instances {
+            inst.row(vec![
+                i.instance.to_string(),
+                i.completed.to_string(),
+                fnum(i.busy_s * 1e3, 3),
+                percent(i.occupancy),
+                fnum(i.energy_j, 3),
+            ]);
+        }
+        out.push_str(&inst.render());
+        out
+    }
+}
+
+/// FNV-1a digest over `(id, answer)` pairs; see
+/// [`ServeReport::answers_digest`].
+pub fn answers_digest(pairs: impl IntoIterator<Item = (u64, usize)>) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (id, answer) in pairs {
+        absorb(id);
+        absorb(answer as u64);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let lat: Vec<f64> = (1..=200).map(f64::from).collect();
+        let s = LatencySummary::from_latencies(&lat);
+        assert!(s.p50_s <= s.p95_s && s.p95_s <= s.p99_s && s.p99_s <= s.max_s);
+        assert_eq!(s.p50_s, 100.0);
+        assert_eq!(s.p95_s, 190.0);
+        assert_eq!(s.p99_s, 198.0);
+        assert_eq!(s.max_s, 200.0);
+        assert_eq!(
+            LatencySummary::from_latencies(&[]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let a = answers_digest([(0, 3), (1, 7)]);
+        let b = answers_digest([(0, 3), (1, 7)]);
+        let c = answers_digest([(1, 7), (0, 3)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -1,0 +1,768 @@
+//! The serving engine: a deterministic discrete-event simulation of N
+//! replicated accelerator instances behind one bounded host queue and one
+//! shared PCIe link.
+//!
+//! # Determinism
+//!
+//! Two properties are load-bearing and pinned by the test suite:
+//!
+//! * **Thread independence.** The numeric work (every request's
+//!   [`InferenceRun`]) is precomputed on the work-stealing pool of
+//!   `mann_core::parallel` — claimed in any order, accumulated in request
+//!   order — so the inputs to the event loop are identical for any
+//!   `MANN_THREADS`. The event loop itself is sequential, with integer
+//!   picosecond timestamps and a submission-order tie-break, so the whole
+//!   serve replays byte-identically for any worker count.
+//! * **Orchestration purity.** The server only *schedules*; answers,
+//!   logits, cycle counts and comparisons come from the same
+//!   [`Accelerator::run`] a standalone pipeline would call. Serving on 1 or
+//!   100 instances cannot change a single numeric result.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use mann_core::TaskSuite;
+use mann_hw::{
+    AccelConfig, Accelerator, ClockDomain, InferenceRun, LinkArbiter, PcieLink, PowerModel, SimTime,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{answers_digest, InstanceReport, LatencySummary, LinkReport, ServeReport};
+use crate::request::{Completion, Rejection, RequestTimestamps};
+use crate::scheduler::{InstanceView, Scheduler};
+use crate::trace::ArrivalTrace;
+use crate::SchedulePolicy;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Replicated accelerator instances sharing the link.
+    pub instances: usize,
+    /// Host queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Max requests dispatched to one instance and not yet computed
+    /// (1 computing + the rest buffered in its input FIFO).
+    pub inflight_limit: usize,
+    /// Max story uploads packed into one link grant (batching amortizes
+    /// the per-transfer driver latency).
+    pub upload_batch: usize,
+    /// Instance-selection policy.
+    pub policy: SchedulePolicy,
+    /// Fabric clock of every instance.
+    pub clock: ClockDomain,
+    /// Shared host-link model.
+    pub pcie: PcieLink,
+    /// Per-instance power model.
+    pub power: PowerModel,
+    /// Load each task's calibrated thresholds (ITH early exit).
+    pub use_ith: bool,
+    /// Probe output rows in silhouette order when ITH is on.
+    pub use_ordering: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            instances: 2,
+            queue_capacity: 64,
+            inflight_limit: 2,
+            upload_batch: 4,
+            policy: SchedulePolicy::default(),
+            clock: ClockDomain::default(),
+            pcie: PcieLink::default(),
+            power: PowerModel::default(),
+            use_ith: false,
+            use_ordering: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instances == 0 {
+            return Err("need at least one accelerator instance".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("host queue capacity must be positive".into());
+        }
+        if self.inflight_limit == 0 {
+            return Err("inflight limit must be positive".into());
+        }
+        if self.upload_batch == 0 {
+            return Err("upload batch must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Everything a served trace produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeOutcome {
+    /// Completed requests, in request-id order.
+    pub completions: Vec<Completion>,
+    /// Rejected requests, in arrival order.
+    pub rejections: Vec<Rejection>,
+    /// The aggregate report.
+    pub report: ServeReport,
+}
+
+/// A multi-tenant server over a trained suite.
+///
+/// One [`Accelerator`] is loaded per task (the tenant's bitstream +
+/// weights); the configured number of *instances* are scheduling replicas
+/// of that loadout. Because replicas are numerically identical, the server
+/// computes each request's [`InferenceRun`] once and lets the event loop
+/// treat instances as pure timing resources.
+#[derive(Debug)]
+pub struct Server<'a> {
+    suite: &'a TaskSuite,
+    accels: Vec<Accelerator>,
+    config: ServeConfig,
+}
+
+/// Event-queue entry; total order = (time, scheduling sequence).
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+enum Event {
+    Arrival(usize),
+    LinkDone(u64),
+    ComputeDone { instance: usize, req: usize },
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+enum LinkJob {
+    Upload { instance: usize, reqs: Vec<usize> },
+    Drain { req: usize },
+}
+
+#[derive(Debug, Default, Clone)]
+struct Inst {
+    inflight: usize,
+    free_at: SimTime,
+    ready: VecDeque<usize>,
+    computing: Option<usize>,
+    busy: SimTime,
+    completed: u64,
+}
+
+impl<'a> Server<'a> {
+    /// Loads every task of `suite` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the suite is empty.
+    pub fn new(suite: &'a TaskSuite, config: ServeConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid serve config: {e}"));
+        assert!(!suite.tasks.is_empty(), "server needs at least one task");
+        let accels = suite
+            .tasks
+            .iter()
+            .map(|t| {
+                Accelerator::new(
+                    t.model.clone(),
+                    AccelConfig {
+                        clock: config.clock,
+                        pcie: config.pcie,
+                        power: config.power,
+                        ith: config.use_ith.then(|| t.ith.clone()),
+                        use_ordering: config.use_ordering,
+                        ..AccelConfig::default()
+                    },
+                )
+            })
+            .collect();
+        Self {
+            suite,
+            accels,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The accelerator loadout for tenant `task_idx`.
+    pub fn accelerator(&self, task_idx: usize) -> &Accelerator {
+        &self.accels[task_idx]
+    }
+
+    /// One-time cost of shipping every tenant's weights to every instance
+    /// over the (serial) link — paid before traffic starts, reported as
+    /// `setup_s`, not folded into per-request latency.
+    pub fn setup_time_s(&self) -> f64 {
+        let per_instance: f64 = self
+            .accels
+            .iter()
+            .map(|a| self.config.pcie.model_upload_time_s(a.model_bytes()))
+            .sum();
+        per_instance * self.config.instances as f64
+    }
+
+    /// Serves `trace`, returning per-request completions, rejections and
+    /// the aggregate report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request references a task or sample outside the suite.
+    pub fn serve(&self, trace: &ArrivalTrace) -> ServeOutcome {
+        let n = trace.requests.len();
+        for r in &trace.requests {
+            assert!(
+                r.task_idx < self.suite.tasks.len(),
+                "request {} task out of range",
+                r.id
+            );
+            assert!(
+                r.sample_idx < self.suite.tasks[r.task_idx].test_set.len(),
+                "request {} sample out of range",
+                r.id
+            );
+        }
+
+        // ----- numeric phase (parallel, order-preserving) ---------------
+        let runs: Vec<InferenceRun> = mann_core::parallel::parallel_map_indexed(
+            n,
+            mann_core::parallel::worker_threads(n),
+            |i| {
+                let r = &trace.requests[i];
+                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
+                self.accels[r.task_idx].run(sample)
+            },
+        );
+        let durations: Vec<SimTime> = runs
+            .iter()
+            .map(|run| run.compute_time(self.config.clock))
+            .collect();
+        let upload_bytes: Vec<u64> = trace
+            .requests
+            .iter()
+            .map(|r| {
+                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
+                PcieLink::input_bytes(Accelerator::input_words(sample))
+            })
+            .collect();
+
+        // ----- event loop (sequential, integer time) --------------------
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, r) in trace.requests.iter().enumerate() {
+            heap.push(Entry {
+                time: r.arrival,
+                seq,
+                event: Event::Arrival(i),
+            });
+            seq += 1;
+        }
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut insts = vec![Inst::default(); self.config.instances];
+        let mut arb = LinkArbiter::new(self.config.pcie);
+        let mut jobs: Vec<LinkJob> = Vec::new();
+        let mut scheduler = Scheduler::new(self.config.policy);
+        let mut ts = vec![RequestTimestamps::default(); n];
+        let mut assigned = vec![usize::MAX; n];
+        let mut rejections: Vec<Rejection> = Vec::new();
+        let mut max_queue_depth = 0usize;
+        let mut last_drain = SimTime::ZERO;
+
+        // Moves as many queued requests as credits allow onto the link.
+        macro_rules! dispatch {
+            ($now:expr) => {
+                loop {
+                    if queue.is_empty() {
+                        break;
+                    }
+                    let views: Vec<InstanceView> = insts
+                        .iter()
+                        .map(|inst| InstanceView {
+                            inflight: inst.inflight,
+                            credits: self.config.inflight_limit - inst.inflight,
+                            free_at: inst.free_at,
+                        })
+                        .collect();
+                    let Some(target) = scheduler.pick(&views) else {
+                        break;
+                    };
+                    let credits = self.config.inflight_limit - insts[target].inflight;
+                    let take = credits.min(self.config.upload_batch).min(queue.len());
+                    let reqs: Vec<usize> = queue.drain(..take).collect();
+                    let bytes: u64 = reqs.iter().map(|&r| upload_bytes[r]).sum();
+                    for &r in &reqs {
+                        ts[r].dispatch = $now;
+                        assigned[r] = target;
+                    }
+                    insts[target].inflight += take;
+                    let id = jobs.len() as u64;
+                    jobs.push(LinkJob::Upload {
+                        instance: target,
+                        reqs,
+                    });
+                    arb.submit(id, bytes, take);
+                }
+            };
+        }
+
+        // Grants the head link job if the link is idle.
+        macro_rules! grant {
+            ($now:expr) => {
+                if let Some(g) = arb.try_grant($now) {
+                    match &jobs[g.id as usize] {
+                        LinkJob::Upload { reqs, .. } => {
+                            for &r in reqs {
+                                ts[r].upload_start = g.start;
+                            }
+                        }
+                        LinkJob::Drain { req } => ts[*req].drain_start = g.start,
+                    }
+                    heap.push(Entry {
+                        time: g.end,
+                        seq,
+                        event: Event::LinkDone(g.id),
+                    });
+                    seq += 1;
+                }
+            };
+        }
+
+        // Starts the next ready request if the instance's fabric is idle.
+        macro_rules! start_compute {
+            ($i:expr, $now:expr) => {
+                if insts[$i].computing.is_none() {
+                    if let Some(r) = insts[$i].ready.pop_front() {
+                        ts[r].compute_start = $now;
+                        let end = $now + durations[r];
+                        insts[$i].free_at = end;
+                        insts[$i].busy += durations[r];
+                        insts[$i].computing = Some(r);
+                        heap.push(Entry {
+                            time: end,
+                            seq,
+                            event: Event::ComputeDone {
+                                instance: $i,
+                                req: r,
+                            },
+                        });
+                        seq += 1;
+                    }
+                }
+            };
+        }
+
+        while let Some(Entry {
+            time: now, event, ..
+        }) = heap.pop()
+        {
+            match event {
+                Event::Arrival(i) => {
+                    if queue.len() >= self.config.queue_capacity {
+                        rejections.push(Rejection {
+                            request: trace.requests[i],
+                            queue_depth: queue.len(),
+                        });
+                    } else {
+                        ts[i].enqueue = now;
+                        queue.push_back(i);
+                        max_queue_depth = max_queue_depth.max(queue.len());
+                        dispatch!(now);
+                        grant!(now);
+                    }
+                }
+                Event::LinkDone(id) => {
+                    arb.complete(id);
+                    match &jobs[id as usize] {
+                        LinkJob::Upload { instance, reqs } => {
+                            let instance = *instance;
+                            for &r in reqs {
+                                ts[r].upload_end = now;
+                            }
+                            let reqs = reqs.clone();
+                            insts[instance].ready.extend(reqs);
+                            start_compute!(instance, now);
+                        }
+                        LinkJob::Drain { req } => {
+                            ts[*req].drain_end = now;
+                            last_drain = last_drain.max(now);
+                        }
+                    }
+                    grant!(now);
+                }
+                Event::ComputeDone { instance, req } => {
+                    ts[req].compute_end = now;
+                    insts[instance].computing = None;
+                    insts[instance].inflight -= 1;
+                    insts[instance].completed += 1;
+                    let id = jobs.len() as u64;
+                    jobs.push(LinkJob::Drain { req });
+                    arb.submit(id, PcieLink::answer_bytes(), 1);
+                    start_compute!(instance, now);
+                    dispatch!(now);
+                    grant!(now);
+                }
+            }
+        }
+        debug_assert!(queue.is_empty(), "event loop left work queued");
+        debug_assert!(
+            !arb.is_busy() && arb.pending_len() == 0,
+            "link work stranded"
+        );
+
+        // ----- assemble outcome ----------------------------------------
+        let rejected_ids: std::collections::HashSet<u64> =
+            rejections.iter().map(|r| r.request.id).collect();
+        let completions: Vec<Completion> = trace
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !rejected_ids.contains(&r.id))
+            .map(|(i, r)| {
+                debug_assert!(ts[i].is_monotone(), "request {} timeline broken", r.id);
+                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
+                Completion {
+                    request: *r,
+                    instance: assigned[i],
+                    run: runs[i].clone(),
+                    timestamps: ts[i],
+                    correct: runs[i].answer == sample.answer,
+                }
+            })
+            .collect();
+
+        let report = self.build_report(
+            trace,
+            &completions,
+            &rejections,
+            &insts,
+            &arb,
+            last_drain,
+            max_queue_depth,
+        );
+        ServeOutcome {
+            completions,
+            rejections,
+            report,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_report(
+        &self,
+        trace: &ArrivalTrace,
+        completions: &[Completion],
+        rejections: &[Rejection],
+        insts: &[Inst],
+        arb: &LinkArbiter,
+        last_drain: SimTime,
+        max_queue_depth: usize,
+    ) -> ServeReport {
+        let makespan_s = last_drain.as_s();
+        let latencies: Vec<f64> = completions
+            .iter()
+            .map(|c| c.timestamps.latency().as_s())
+            .collect();
+        let mean_queue_wait_s = if completions.is_empty() {
+            0.0
+        } else {
+            completions
+                .iter()
+                .map(|c| c.timestamps.queue_wait().as_s())
+                .sum::<f64>()
+                / completions.len() as f64
+        };
+        let instances: Vec<InstanceReport> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let busy_s = inst.busy.as_s();
+                InstanceReport {
+                    instance: i,
+                    completed: inst.completed,
+                    busy_s,
+                    occupancy: if makespan_s > 0.0 {
+                        (busy_s / makespan_s).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    },
+                    energy_j: self.config.power.interval_energy_j(
+                        self.config.clock.freq_mhz(),
+                        busy_s,
+                        makespan_s,
+                        self.config.use_ith,
+                    ),
+                }
+            })
+            .collect();
+        let total_energy_j = instances.iter().map(|i| i.energy_j).sum();
+        let correct = completions.iter().filter(|c| c.correct).count();
+        ServeReport {
+            requests: trace.requests.len(),
+            completed: completions.len(),
+            rejected: rejections.len(),
+            accuracy: if completions.is_empty() {
+                0.0
+            } else {
+                correct as f64 / completions.len() as f64
+            },
+            makespan_s,
+            throughput_rps: if makespan_s > 0.0 {
+                completions.len() as f64 / makespan_s
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_latencies(&latencies),
+            mean_queue_wait_s,
+            max_queue_depth,
+            instances,
+            link: LinkReport {
+                grants: arb.grants(),
+                bytes: arb.bytes_moved(),
+                busy_s: arb.busy_time().as_s(),
+                utilization: if makespan_s > 0.0 {
+                    (arb.busy_time().as_s() / makespan_s).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+            },
+            phase_totals: completions.iter().map(|c| c.run.phases).sum(),
+            speculated: completions.iter().filter(|c| c.run.speculated).count(),
+            total_energy_j,
+            setup_s: self.setup_time_s(),
+            answers_digest: answers_digest(
+                completions.iter().map(|c| (c.request.id, c.run.answer)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceConfig;
+    use mann_babi::TaskId;
+    use mann_core::SuiteConfig;
+
+    fn suite() -> TaskSuite {
+        let cfg = SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+            train_samples: 100,
+            test_samples: 12,
+            seed: 5,
+            ..SuiteConfig::quick()
+        };
+        TaskSuite::build(&cfg)
+    }
+
+    fn trace(suite: &TaskSuite, requests: usize) -> ArrivalTrace {
+        ArrivalTrace::generate(
+            &TraceConfig {
+                requests,
+                seed: 11,
+                mean_interarrival_s: 150e-6,
+            },
+            suite,
+        )
+    }
+
+    #[test]
+    fn serves_every_request_with_monotone_timelines() {
+        let s = suite();
+        let server = Server::new(&s, ServeConfig::default());
+        let t = trace(&s, 64);
+        let out = server.serve(&t);
+        assert_eq!(out.completions.len(), 64);
+        assert!(out.rejections.is_empty());
+        for c in &out.completions {
+            assert!(c.timestamps.is_monotone());
+            assert!(c.instance < server.config().instances);
+            assert!(c.timestamps.latency() > SimTime::ZERO);
+        }
+        // Ids stay in order.
+        assert!(out
+            .completions
+            .windows(2)
+            .all(|w| w[0].request.id < w[1].request.id));
+        let r = &out.report;
+        assert_eq!(r.completed, 64);
+        assert!(r.makespan_s > 0.0 && r.throughput_rps > 0.0);
+        assert!(r.latency.p50_s <= r.latency.p99_s);
+        assert!(r.total_energy_j > 0.0);
+        assert!(r.setup_s > 0.0);
+        assert_eq!(r.instances.len(), 2);
+        // Both instances did work under shortest-queue at this load.
+        assert!(r.instances.iter().all(|i| i.completed > 0));
+        // Every drain crossed the link, plus at least one upload grant.
+        assert!(r.link.grants > 64);
+        assert!(r.link.utilization > 0.0 && r.link.utilization <= 1.0);
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let s = suite();
+        let server = Server::new(&s, ServeConfig::default());
+        let t = trace(&s, 48);
+        let a = server.serve(&t);
+        let b = server.serve(&t);
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn tiny_queue_rejects_under_burst() {
+        let s = suite();
+        let server = Server::new(
+            &s,
+            ServeConfig {
+                instances: 1,
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        // A burst: everything arrives nearly at once.
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests: 40,
+                seed: 3,
+                mean_interarrival_s: 1e-9,
+            },
+            &s,
+        );
+        let out = server.serve(&t);
+        assert!(!out.rejections.is_empty(), "no backpressure under burst");
+        assert_eq!(out.completions.len() + out.rejections.len(), 40);
+        assert_eq!(out.report.rejected, out.rejections.len());
+        for r in &out.rejections {
+            assert_eq!(r.queue_depth, 2);
+        }
+        // Rejected ids are absent from completions.
+        let done: std::collections::HashSet<u64> =
+            out.completions.iter().map(|c| c.request.id).collect();
+        assert!(out.rejections.iter().all(|r| !done.contains(&r.request.id)));
+    }
+
+    #[test]
+    fn more_instances_reduce_tail_latency() {
+        let s = suite();
+        // A near-simultaneous burst on a fast link, so the fabric compute
+        // time — not the shared-link serialization — is the bottleneck and
+        // replication can actually help.
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests: 96,
+                seed: 13,
+                mean_interarrival_s: 1e-9,
+            },
+            &s,
+        );
+        let fast_link = mann_hw::PcieLink {
+            bandwidth_bytes_per_s: 1.5e9,
+            latency_per_transfer_s: 1e-6,
+        };
+        let serve = |instances: usize| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    instances,
+                    queue_capacity: 256,
+                    pcie: fast_link,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t).report
+        };
+        let one = serve(1);
+        let four = serve(4);
+        assert!(
+            four.latency.p99_s < one.latency.p99_s,
+            "p99 {} !< {} with 4x instances",
+            four.latency.p99_s,
+            one.latency.p99_s
+        );
+        assert!(
+            four.makespan_s < 0.6 * one.makespan_s,
+            "makespan {} !< 0.6 * {}",
+            four.makespan_s,
+            one.makespan_s
+        );
+        // Replication never changes an answer.
+        assert_eq!(one.answers_digest, four.answers_digest);
+    }
+
+    #[test]
+    fn policies_agree_on_answers_but_may_differ_in_timing() {
+        let s = suite();
+        let t = trace(&s, 48);
+        let serve_with = |policy| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    instances: 3,
+                    policy,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t)
+        };
+        let rr = serve_with(SchedulePolicy::RoundRobin);
+        let sq = serve_with(SchedulePolicy::ShortestQueue);
+        assert_eq!(rr.report.answers_digest, sq.report.answers_digest);
+        assert_eq!(rr.report.completed, sq.report.completed);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let s = suite();
+        let server = Server::new(&s, ServeConfig::default());
+        let t = ArrivalTrace {
+            requests: Vec::new(),
+            config: TraceConfig::default(),
+        };
+        let out = server.serve(&t);
+        assert!(out.completions.is_empty());
+        assert_eq!(out.report.makespan_s, 0.0);
+        assert_eq!(out.report.total_energy_j, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid serve config")]
+    fn zero_instances_rejected() {
+        let s = suite();
+        let _ = Server::new(
+            &s,
+            ServeConfig {
+                instances: 0,
+                ..ServeConfig::default()
+            },
+        );
+    }
+}

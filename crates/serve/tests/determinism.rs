@@ -1,0 +1,169 @@
+//! Scheduler determinism and orchestration-purity equivalence.
+//!
+//! The serving layer must be a *pure orchestrator*: replaying the same
+//! trace on any instance count, any scheduler policy, and any worker-pool
+//! width yields identical per-request numeric results, and every served
+//! inference is bit-identical to running the same sample standalone on an
+//! [`Accelerator`].
+
+use mann_babi::TaskId;
+use mann_core::{SuiteConfig, TaskSuite};
+use mann_hw::{AccelConfig, Accelerator};
+use mann_serve::{ArrivalTrace, SchedulePolicy, ServeConfig, Server, TraceConfig};
+
+fn suite() -> TaskSuite {
+    let cfg = SuiteConfig {
+        tasks: vec![
+            TaskId::SingleSupportingFact,
+            TaskId::TwoSupportingFacts,
+            TaskId::AgentMotivations,
+        ],
+        train_samples: 120,
+        test_samples: 16,
+        seed: 21,
+        ..SuiteConfig::quick()
+    };
+    TaskSuite::build(&cfg)
+}
+
+fn trace(suite: &TaskSuite) -> ArrivalTrace {
+    ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 80,
+            seed: 7,
+            mean_interarrival_s: 120e-6,
+        },
+        suite,
+    )
+}
+
+#[test]
+fn instance_count_never_changes_a_result() {
+    let s = suite();
+    let t = trace(&s);
+    let outcomes: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|instances| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    instances,
+                    queue_capacity: 256,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t)
+        })
+        .collect();
+    let reference = &outcomes[0];
+    assert_eq!(reference.completions.len(), t.len());
+    for out in &outcomes[1..] {
+        assert_eq!(out.completions.len(), reference.completions.len());
+        for (a, b) in reference.completions.iter().zip(&out.completions) {
+            assert_eq!(a.request, b.request);
+            // The full InferenceRun — answer, logit path length, cycles —
+            // is identical; only scheduling metadata may differ.
+            assert_eq!(a.run, b.run);
+            assert_eq!(a.correct, b.correct);
+        }
+        assert_eq!(out.report.answers_digest, reference.report.answers_digest);
+        assert_eq!(out.report.accuracy, reference.report.accuracy);
+        assert_eq!(out.report.phase_totals, reference.report.phase_totals);
+    }
+}
+
+#[test]
+fn served_runs_equal_standalone_accelerator_runs() {
+    let s = suite();
+    let t = trace(&s);
+    let config = ServeConfig {
+        instances: 3,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(&s, config.clone());
+    let out = server.serve(&t);
+    assert_eq!(out.completions.len(), t.len());
+
+    // An independently constructed accelerator per task, exactly as a
+    // standalone pipeline would run it.
+    let standalone: Vec<Accelerator> = s
+        .tasks
+        .iter()
+        .map(|task| {
+            Accelerator::new(
+                task.model.clone(),
+                AccelConfig {
+                    clock: config.clock,
+                    pcie: config.pcie,
+                    power: config.power,
+                    ith: None,
+                    use_ordering: config.use_ordering,
+                    ..AccelConfig::default()
+                },
+            )
+        })
+        .collect();
+    for c in &out.completions {
+        let sample = &s.tasks[c.request.task_idx].test_set[c.request.sample_idx];
+        let direct = standalone[c.request.task_idx].run(sample);
+        assert_eq!(
+            c.run, direct,
+            "request {} diverged from standalone",
+            c.request.id
+        );
+        assert_eq!(c.correct, direct.answer == sample.answer);
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_pool_widths() {
+    let s = suite();
+    let t = trace(&s);
+    let server = Server::new(
+        &s,
+        ServeConfig {
+            instances: 2,
+            ..ServeConfig::default()
+        },
+    );
+    std::env::remove_var("MANN_THREADS");
+    let auto = server.serve(&t);
+    let auto_json = serde_json::to_string(&auto.report).expect("serializable report");
+    for width in ["1", "3", "17"] {
+        std::env::set_var("MANN_THREADS", width);
+        let pinned = server.serve(&t);
+        assert_eq!(pinned, auto, "outcome changed with MANN_THREADS={width}");
+        assert_eq!(
+            serde_json::to_string(&pinned.report).expect("serializable report"),
+            auto_json,
+            "report bytes changed with MANN_THREADS={width}"
+        );
+    }
+    std::env::remove_var("MANN_THREADS");
+}
+
+#[test]
+fn policies_and_batching_preserve_the_answer_digest() {
+    let s = suite();
+    let t = trace(&s);
+    let digest = |policy, upload_batch, inflight_limit| {
+        let server = Server::new(
+            &s,
+            ServeConfig {
+                instances: 3,
+                policy,
+                upload_batch,
+                inflight_limit,
+                queue_capacity: 256,
+                ..ServeConfig::default()
+            },
+        );
+        let out = server.serve(&t);
+        assert_eq!(out.completions.len(), t.len());
+        out.report.answers_digest
+    };
+    let reference = digest(SchedulePolicy::ShortestQueue, 4, 2);
+    assert_eq!(digest(SchedulePolicy::RoundRobin, 4, 2), reference);
+    assert_eq!(digest(SchedulePolicy::ShortestQueue, 1, 1), reference);
+    assert_eq!(digest(SchedulePolicy::RoundRobin, 8, 4), reference);
+}

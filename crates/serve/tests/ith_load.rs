@@ -1,0 +1,139 @@
+//! Inference thresholding under serving load.
+//!
+//! Serving the same pinned trace with and without ITH must show the
+//! paper's effect end to end: some requests exit the output search early,
+//! every early exit still produces the answer the full sequential output
+//! layer would have produced, and the report's occupancy/energy accounting
+//! reflects the shortened output phase.
+
+use mann_babi::TaskId;
+use mann_core::{SuiteConfig, TaskSuite};
+use mann_serve::{ArrivalTrace, ServeConfig, ServeOutcome, Server, TraceConfig};
+
+fn suite() -> TaskSuite {
+    let cfg = SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+        train_samples: 200,
+        test_samples: 24,
+        seed: 17,
+        ..SuiteConfig::quick()
+    };
+    TaskSuite::build(&cfg)
+}
+
+fn serve(suite: &TaskSuite, trace: &ArrivalTrace, use_ith: bool) -> ServeOutcome {
+    let server = Server::new(
+        suite,
+        ServeConfig {
+            instances: 2,
+            queue_capacity: 256,
+            use_ith,
+            ..ServeConfig::default()
+        },
+    );
+    server.serve(trace)
+}
+
+#[test]
+fn early_exits_under_load_match_the_full_output_layer() {
+    let s = suite();
+    let t = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 23,
+            mean_interarrival_s: 120e-6,
+        },
+        &s,
+    );
+    let exact = serve(&s, &t, false);
+    let ith = serve(&s, &t, true);
+    assert_eq!(exact.completions.len(), t.len());
+    assert_eq!(ith.completions.len(), t.len());
+
+    // The conventional path never speculates; under ITH a meaningful share
+    // of this workload must exit early for the test to mean anything.
+    assert_eq!(exact.report.speculated, 0);
+    assert!(
+        ith.report.speculated > t.len() / 4,
+        "only {} of {} requests exited early",
+        ith.report.speculated,
+        t.len()
+    );
+
+    for (fast, full) in ith.completions.iter().zip(&exact.completions) {
+        assert_eq!(fast.request, full.request);
+        if fast.run.speculated {
+            // An early exit returns exactly what the exhaustive sequential
+            // output layer returns, with strictly fewer row comparisons.
+            assert_eq!(
+                fast.run.answer, full.run.answer,
+                "request {} changed its answer under ITH",
+                fast.request.id
+            );
+            assert!(
+                fast.run.comparisons < full.run.comparisons,
+                "request {} early-exited without saving comparisons",
+                fast.request.id
+            );
+        }
+    }
+}
+
+#[test]
+fn report_occupancy_reflects_the_shortened_output_phase() {
+    let s = suite();
+    let t = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 23,
+            mean_interarrival_s: 120e-6,
+        },
+        &s,
+    );
+    let exact = serve(&s, &t, false);
+    let ith = serve(&s, &t, true);
+
+    // Output-phase cycles shrink; every other phase is untouched.
+    let a = ith.report.phase_totals;
+    let b = exact.report.phase_totals;
+    assert!(
+        a.output < b.output,
+        "output phase did not shrink: {:?} vs {:?}",
+        a.output,
+        b.output
+    );
+    assert_eq!(a.control, b.control);
+    assert_eq!(a.write, b.write);
+    assert_eq!(a.addressing, b.addressing);
+    assert_eq!(a.read, b.read);
+    assert_eq!(a.controller, b.controller);
+
+    // Shorter output search → less fabric busy time, and the instance
+    // occupancies the report derives from it shrink accordingly (compute
+    // busy time drops while the link-bound makespan barely moves).
+    assert!(
+        ith.report.total_busy_s() < exact.report.total_busy_s(),
+        "busy time did not drop: {} vs {}",
+        ith.report.total_busy_s(),
+        exact.report.total_busy_s()
+    );
+    for inst in &ith.report.instances {
+        assert!(inst.occupancy > 0.0 && inst.occupancy <= 1.0);
+    }
+    // Energy under load is subtler than the single-inference case: this
+    // serve is link-bound, so the makespan barely moves and the board pays
+    // the ITH comparator overhead for the whole interval. Any energy
+    // increase must therefore be bounded by that static overhead — the
+    // dynamic (busy-time) component can only shrink.
+    let overhead_bound = {
+        let power = mann_hw::PowerModel::default();
+        power.ith_overhead_w * ith.report.makespan_s * ith.report.instances.len() as f64
+    };
+    assert!(
+        ith.report.total_energy_j < exact.report.total_energy_j + overhead_bound,
+        "ITH energy {} exceeds exact {} by more than the comparator overhead {}",
+        ith.report.total_energy_j,
+        exact.report.total_energy_j,
+        overhead_bound
+    );
+}

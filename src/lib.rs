@@ -12,6 +12,8 @@
 //! * [`platform`] — CPU/GPU analytic execution models and energy reports.
 //! * [`core`] — end-to-end pipeline and Table I / Fig 3 / Fig 4 experiment
 //!   runners.
+//! * [`serve`] — batched multi-accelerator serving layer with simulated-time
+//!   latency/energy reporting.
 //!
 //! # Quick start
 //!
@@ -29,4 +31,5 @@ pub use mann_hw as hw;
 pub use mann_ith as ith;
 pub use mann_linalg as linalg;
 pub use mann_platform as platform;
+pub use mann_serve as serve;
 pub use memn2n as model;

@@ -1,0 +1,239 @@
+//! Golden regression net over the numbers the paper reports.
+//!
+//! A pinned small workload (2 tasks, fixed seeds) is pushed through the
+//! Table I / Fig 3 / Fig 4 runners, the cycle-level accelerator, and the
+//! serving layer; the serialized outputs are diffed against the fixtures
+//! in `tests/golden/`. Integer fields (cycle counts, comparison counts,
+//! grant totals) must match **exactly**; derived floats (seconds, watts,
+//! normalized ratios) get a tight relative tolerance.
+//!
+//! # Re-blessing
+//!
+//! When a change *intentionally* moves these numbers, regenerate the
+//! fixtures and commit them together with the change:
+//!
+//! ```sh
+//! MANN_BLESS=1 cargo test --test golden_regression
+//! git diff tests/golden/   # review every shifted number
+//! ```
+//!
+//! A blessing run rewrites the fixtures and passes; the diff is the
+//! review artifact.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use mann_accel::babi::TaskId;
+use mann_accel::core::experiments::{fig3, fig4, table1};
+use mann_accel::core::{SuiteConfig, TaskSuite};
+use mann_accel::hw::{AccelConfig, Accelerator};
+use mann_accel::serve::{ArrivalTrace, ServeConfig, Server, TraceConfig};
+use serde::json::Value;
+use serde::Serialize;
+
+/// Relative tolerance for derived floats. The pipeline is deterministic on
+/// one platform; the slack only absorbs cross-platform libm differences.
+const FLOAT_RTOL: f64 = 1e-9;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn suite() -> &'static TaskSuite {
+    static SUITE: OnceLock<TaskSuite> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        TaskSuite::build(&SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+            train_samples: 200,
+            test_samples: 20,
+            seed: 29,
+            ..SuiteConfig::quick()
+        })
+    })
+}
+
+/// Diffs `actual` against the fixture `name`, or rewrites the fixture when
+/// `MANN_BLESS=1`.
+fn check_golden(name: &str, actual: &Value) {
+    let path = golden_dir().join(name);
+    if std::env::var("MANN_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        let mut pretty = actual.print_pretty();
+        pretty.push('\n');
+        std::fs::write(&path, pretty).expect("write fixture");
+        eprintln!("[golden] blessed {}", path.display());
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}\nrun `MANN_BLESS=1 cargo test --test golden_regression` \
+             to generate it",
+            path.display()
+        )
+    });
+    let expected = serde::json::parse(&raw).expect("parse fixture");
+    let mut diffs = Vec::new();
+    diff_value("$", &expected, actual, &mut diffs);
+    diffs.truncate(20); // the first few diffs identify the drift
+    assert!(
+        diffs.is_empty(),
+        "{name} drifted from its golden fixture:\n  {}\nif the change is intentional, re-bless \
+         with `MANN_BLESS=1 cargo test --test golden_regression` and commit the diff",
+        diffs.join("\n  ")
+    );
+}
+
+/// Recursive diff: exact for integers, strings, bools and shapes; relative
+/// tolerance for floats.
+fn diff_value(path: &str, expected: &Value, actual: &Value, diffs: &mut Vec<String>) {
+    match (expected, actual) {
+        (Value::Object(e), Value::Object(a)) => {
+            for (key, ev) in e {
+                match a.iter().find(|(k, _)| k == key) {
+                    Some((_, av)) => diff_value(&format!("{path}.{key}"), ev, av, diffs),
+                    None => diffs.push(format!("{path}.{key}: missing from output")),
+                }
+            }
+            for (key, _) in a {
+                if !e.iter().any(|(k, _)| k == key) {
+                    diffs.push(format!("{path}.{key}: not in fixture"));
+                }
+            }
+        }
+        (Value::Array(e), Value::Array(a)) => {
+            if e.len() != a.len() {
+                diffs.push(format!("{path}: length {} != {}", e.len(), a.len()));
+                return;
+            }
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                diff_value(&format!("{path}[{i}]"), ev, av, diffs);
+            }
+        }
+        (Value::Num(e), Value::Num(a)) => {
+            // Integer literals are compared exactly — cycle counts,
+            // comparison counts and grant totals may not drift by even one.
+            if let (Ok(ei), Ok(ai)) = (e.parse::<i128>(), a.parse::<i128>()) {
+                if ei != ai {
+                    diffs.push(format!("{path}: {ei} != {ai} (exact integer)"));
+                }
+                return;
+            }
+            let (ef, af) = (
+                e.parse::<f64>().expect("numeric fixture"),
+                a.parse::<f64>().expect("numeric output"),
+            );
+            let scale = ef.abs().max(af.abs()).max(1e-300);
+            if (ef - af).abs() / scale > FLOAT_RTOL {
+                diffs.push(format!("{path}: {ef} != {af} (rtol {FLOAT_RTOL})"));
+            }
+        }
+        _ => {
+            if expected != actual {
+                diffs.push(format!(
+                    "{path}: {} != {}",
+                    expected.print(),
+                    actual.print()
+                ));
+            }
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+#[test]
+fn table1_numbers_are_pinned() {
+    let t = table1::run(suite(), &table1::Table1Config::default());
+    check_golden("table1.json", &t.to_value());
+}
+
+#[test]
+fn fig3_numbers_are_pinned() {
+    let f = fig3::run(suite(), &fig3::Fig3Config::default());
+    check_golden("fig3.json", &f.to_value());
+}
+
+#[test]
+fn fig4_numbers_are_pinned() {
+    let f = fig4::run(suite());
+    check_golden("fig4.json", &f.to_value());
+}
+
+/// Per-sample cycle counts of the cycle-level accelerator, with and
+/// without ITH — the exact integers behind Table I's FPGA rows.
+#[test]
+fn accelerator_cycle_counts_are_pinned() {
+    let s = suite();
+    let mut tasks = Vec::new();
+    for task in &s.tasks {
+        let exact = Accelerator::new(task.model.clone(), AccelConfig::default());
+        let ith = Accelerator::new(
+            task.model.clone(),
+            AccelConfig::with_thresholding(AccelConfig::default().clock, task.ith.clone()),
+        );
+        let samples: Vec<Value> = task
+            .test_set
+            .iter()
+            .map(|sample| {
+                let e = exact.run(sample);
+                let i = ith.run(sample);
+                obj(vec![
+                    (
+                        "exact",
+                        obj(vec![
+                            ("cycles", e.cycles.to_value()),
+                            ("phases", e.phases.to_value()),
+                            ("comparisons", e.comparisons.to_value()),
+                            ("answer", e.answer.to_value()),
+                        ]),
+                    ),
+                    (
+                        "ith",
+                        obj(vec![
+                            ("cycles", i.cycles.to_value()),
+                            ("phases", i.phases.to_value()),
+                            ("comparisons", i.comparisons.to_value()),
+                            ("answer", i.answer.to_value()),
+                            ("speculated", i.speculated.to_value()),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        tasks.push(obj(vec![
+            ("task", task.task.to_string().to_value()),
+            ("samples", Value::Array(samples)),
+        ]));
+    }
+    check_golden(
+        "accel_cycles.json",
+        &obj(vec![("tasks", Value::Array(tasks))]),
+    );
+}
+
+/// The serving layer's report on a pinned trace: latency percentiles,
+/// occupancy, link accounting, energy and the answers digest.
+#[test]
+fn serve_report_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 31,
+            mean_interarrival_s: 150e-6,
+        },
+        s,
+    );
+    let server = Server::new(
+        s,
+        ServeConfig {
+            instances: 2,
+            queue_capacity: 128,
+            ..ServeConfig::default()
+        },
+    );
+    let out = server.serve(&trace);
+    check_golden("serve_report.json", &out.report.to_value());
+}
