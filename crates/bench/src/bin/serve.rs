@@ -7,7 +7,16 @@
 //! cargo run -p mann-bench --release --bin serve -- \
 //!     --tasks 2 --train 200 --test 25 \
 //!     --instances 4 --policy rr --requests 512 --rate-us 80 --ith
+//! cargo run -p mann-bench --release --bin serve -- \
+//!     --tasks 2 --train 200 --test 25 \
+//!     --instances 4 --policy affinity --pool 4 --story-cache 8
 //! ```
+//!
+//! `--story-cache` (default: `MANN_STORY_CACHE` or 16, 0 disables) sizes
+//! each instance's resident-story cache; `--pool N` concentrates the trace
+//! on each task's first N stories; `--engine serial|parallel` (default:
+//! `MANN_SERVE_ENGINE` or parallel) picks the numeric-phase engine — both
+//! produce byte-identical reports.
 //!
 //! The serve is a pure function of `(suite, trace, config)`: rerunning
 //! with the same flags — at any `MANN_THREADS` — prints byte-identical
@@ -17,7 +26,8 @@
 
 use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
-use mann_serve::{ArrivalTrace, SchedulePolicy, ServeConfig, Server, TraceConfig};
+use mann_hw::{StoryCache, DEFAULT_STORY_CACHE};
+use mann_serve::{ArrivalTrace, EngineMode, SchedulePolicy, ServeConfig, Server, TraceConfig};
 
 struct ServeArgs {
     instances: usize,
@@ -29,6 +39,9 @@ struct ServeArgs {
     rate_us: f64,
     trace_seed: u64,
     ith: bool,
+    story_cache: usize,
+    story_pool: usize,
+    engine: EngineMode,
 }
 
 impl ServeArgs {
@@ -43,6 +56,11 @@ impl ServeArgs {
             rate_us: 200.0,
             trace_seed: 0,
             ith: false,
+            // Env defaults so a whole experiment sweep can be reconfigured
+            // without touching every invocation; flags still win.
+            story_cache: StoryCache::capacity_from_env().unwrap_or(DEFAULT_STORY_CACHE),
+            story_pool: 0,
+            engine: EngineMode::from_env(),
         };
         let mut it = args.into_iter();
         while let Some(key) = it.next() {
@@ -58,7 +76,7 @@ impl ServeArgs {
                 "--policy" => {
                     let v = grab("--policy");
                     out.policy = SchedulePolicy::parse(&v)
-                        .unwrap_or_else(|| panic!("usage: --policy rr|sq"));
+                        .unwrap_or_else(|| panic!("usage: --policy rr|sq|affinity"));
                 }
                 "--requests" => out.requests = num("--requests", grab("--requests")) as usize,
                 "--queue" => out.queue = num("--queue", grab("--queue")) as usize,
@@ -72,6 +90,15 @@ impl ServeArgs {
                 }
                 "--trace-seed" => out.trace_seed = num("--trace-seed", grab("--trace-seed")),
                 "--ith" => out.ith = true,
+                "--story-cache" => {
+                    out.story_cache = num("--story-cache", grab("--story-cache")) as usize;
+                }
+                "--pool" => out.story_pool = num("--pool", grab("--pool")) as usize,
+                "--engine" => {
+                    let v = grab("--engine");
+                    out.engine = EngineMode::parse(&v)
+                        .unwrap_or_else(|| panic!("usage: --engine serial|parallel"));
+                }
                 _ => {} // shared HarnessArgs flags
             }
         }
@@ -101,6 +128,7 @@ fn main() {
             requests: serve_args.requests,
             seed: serve_args.trace_seed,
             mean_interarrival_s: serve_args.rate_us * 1e-6,
+            story_pool: serve_args.story_pool,
         },
         &suite,
     );
@@ -111,19 +139,25 @@ fn main() {
         upload_batch: serve_args.batch,
         policy: serve_args.policy,
         use_ith: serve_args.ith,
+        story_cache: serve_args.story_cache,
+        engine: serve_args.engine,
         ..ServeConfig::default()
     };
     eprintln!(
-        "[serve] {} requests (mean inter-arrival {} us, trace seed {}) over {} instance(s), \
-         policy {}, queue {}, upload batch {}, ith {}",
+        "[serve] {} requests (mean inter-arrival {} us, trace seed {}, story pool {}) over \
+         {} instance(s), policy {}, queue {}, upload batch {}, ith {}, story cache {}, \
+         engine {}",
         trace.len(),
         serve_args.rate_us,
         serve_args.trace_seed,
+        serve_args.story_pool,
         config.instances,
         config.policy,
         config.queue_capacity,
         config.upload_batch,
         config.use_ith,
+        config.story_cache,
+        config.engine,
     );
 
     let server = Server::new(&suite, config);

@@ -101,9 +101,10 @@ pub fn percent(x: f64) -> String {
 
 /// Nearest-rank percentile of an ascending-sorted slice: the smallest
 /// element such that at least `p`% of the data is ≤ it. `p` is clamped to
-/// `[0, 100]`; an empty slice yields 0. The nearest-rank definition picks
-/// an actual sample (no interpolation), so percentile reports are exact
-/// functions of the data and replay byte-identically.
+/// `[0, 100]` (a NaN `p` reads as 0, the minimum); an empty slice yields
+/// 0. The nearest-rank definition picks an actual sample (no
+/// interpolation), so percentile reports are exact functions of the data
+/// and replay byte-identically.
 ///
 /// # Panics
 ///
@@ -116,9 +117,13 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let p = p.clamp(0.0, 100.0);
+    // NaN fails every comparison, so `clamp` would pass it straight into
+    // the rank cast; pin it to the conservative end instead.
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
+    // p=0 still reads the first sample; the upper clamp shields the index
+    // from float rounding at p=100 on huge inputs.
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -164,9 +169,31 @@ mod tests {
         assert_eq!(percentile(&data, 0.0), 1.0);
         // Small samples: p50 of [1, 2] is the first element (rank ceil(1)).
         assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
-        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert_eq!(percentile(&[1.0, 2.0], 100.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_degenerate_inputs() {
+        // Empty slice: 0 at every p, including the extremes.
+        assert_eq!(percentile(&[], 0.0), 0.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
-        // Out-of-range p clamps.
+        assert_eq!(percentile(&[], 100.0), 0.0);
+        // A single element is every percentile of itself.
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[7.5], 100.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_clamps_wild_p() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        // Out-of-range p clamps to the nearest extreme.
         assert_eq!(percentile(&data, 250.0), 100.0);
+        assert_eq!(percentile(&data, -10.0), 1.0);
+        assert_eq!(percentile(&data, f64::INFINITY), 100.0);
+        assert_eq!(percentile(&data, f64::NEG_INFINITY), 1.0);
+        // NaN pins to the conservative end rather than poisoning the rank.
+        assert_eq!(percentile(&data, f64::NAN), 1.0);
+        assert_eq!(percentile(&[], f64::NAN), 0.0);
     }
 }

@@ -94,6 +94,15 @@ impl PowerModel {
         let busy_fraction = (busy_s / wall_s).clamp(0.0, 1.0);
         self.energy_j(freq_mhz, busy_fraction, ith_enabled, wall_s)
     }
+
+    /// Activity-dependent energy alone for `busy_s` seconds of fabric work
+    /// at `freq_mhz` — the marginal joules a unit of compute adds (or, for
+    /// a cache hit, the write-phase energy *not* spent). Static and clock
+    /// power are excluded: the board draws those whether or not the write
+    /// phase runs. Negative durations cost nothing.
+    pub fn active_energy_j(&self, freq_mhz: f64, busy_s: f64) -> f64 {
+        self.active_w_per_mhz * freq_mhz * busy_s.max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +157,17 @@ mod tests {
         assert_eq!(m.interval_energy_j(100.0, 1.0, 0.0, false), 0.0);
         let clamped = m.interval_energy_j(100.0, 9.0, 4.0, true);
         assert!((clamped - m.energy_j(100.0, 1.0, true, 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_energy_is_the_marginal_term() {
+        let m = PowerModel::default();
+        // Marginal energy = full-interval energy delta between busy and idle
+        // fabric over the same wall clock.
+        let wall = 2.0;
+        let delta = m.energy_j(100.0, 1.0, false, wall) - m.energy_j(100.0, 0.0, false, wall);
+        assert!((m.active_energy_j(100.0, wall) - delta).abs() < 1e-12);
+        assert_eq!(m.active_energy_j(100.0, -1.0), 0.0);
+        assert_eq!(m.active_energy_j(100.0, 0.0), 0.0);
     }
 }

@@ -52,14 +52,19 @@ pub mod sigmoid_unit;
 pub mod trace;
 pub mod write_path;
 
+pub mod story;
+
 mod accel;
 mod datapath;
 mod quantize;
 
-pub use accel::{double_buffered_time_s, AccelConfig, Accelerator, InferenceRun, PhaseCycles};
+pub use accel::{
+    double_buffered_time_s, AccelConfig, Accelerator, InferenceRun, PhaseCycles, ResidentStory,
+};
 pub use clock::{ClockDomain, Cycles, SimTime};
 pub use datapath::DatapathConfig;
 pub use energy::PowerModel;
 pub use pcie::{LinkArbiter, LinkGrant, PcieLink};
 pub use quantize::quantize_params;
 pub use resource::{ResourceEstimate, VCU107_BUDGET};
+pub use story::{story_digest, Admission, CacheStats, LruSet, StoryCache, DEFAULT_STORY_CACHE};

@@ -12,10 +12,16 @@ use crate::Cycles;
 /// The embedding accumulator. Holds quantized address and content embedding
 /// weights (the `emb_a` / `emb_c` blocks of Fig 1; `emb_q` shares the
 /// address weights).
+///
+/// Weights are kept column-major in fixed point — the BRAM layout the
+/// hardware reads: embedding word `w` is the contiguous column
+/// `cols[w*E .. (w+1)*E]`, so accumulating a word is one sequential sweep
+/// with no per-access quantization.
 #[derive(Debug, Clone)]
 pub struct InputWriteModule {
-    w_emb_a: Matrix,
-    w_emb_c: Matrix,
+    cols_a: Vec<Fixed>,
+    cols_c: Vec<Fixed>,
+    vocab: usize,
     embed_dim: usize,
 }
 
@@ -29,9 +35,20 @@ impl InputWriteModule {
     pub fn new(w_emb_a: Matrix, w_emb_c: Matrix) -> Self {
         assert_eq!(w_emb_a.shape(), w_emb_c.shape(), "embedding shape mismatch");
         let embed_dim = w_emb_a.rows();
+        let vocab = w_emb_a.cols();
+        let columnize = |m: &Matrix| {
+            let mut cols = Vec::with_capacity(embed_dim * vocab);
+            for w in 0..vocab {
+                for r in 0..embed_dim {
+                    cols.push(Fixed::from_f32(m[(r, w)]));
+                }
+            }
+            cols
+        };
         Self {
-            w_emb_a,
-            w_emb_c,
+            cols_a: columnize(&w_emb_a),
+            cols_c: columnize(&w_emb_c),
+            vocab,
             embed_dim,
         }
     }
@@ -51,8 +68,8 @@ impl InputWriteModule {
     ///
     /// Panics if a word index is out of vocabulary range.
     pub fn embed_sentence(&self, words: &[usize]) -> (Vec<f32>, Vec<f32>, Cycles) {
-        let a = self.accumulate(&self.w_emb_a, words);
-        let c = self.accumulate(&self.w_emb_c, words);
+        let a = self.accumulate(&self.cols_a, words);
+        let c = self.accumulate(&self.cols_c, words);
         let cycles = Cycles::new(words.len() as u64 + 2);
         (a, c, cycles)
     }
@@ -60,17 +77,18 @@ impl InputWriteModule {
     /// Embeds the question through the address embedding (`emb_q` in
     /// Fig 1) — the first read key of Eq 3.
     pub fn embed_question(&self, words: &[usize]) -> (Vec<f32>, Cycles) {
-        let q = self.accumulate(&self.w_emb_a, words);
+        let q = self.accumulate(&self.cols_a, words);
         (q, Cycles::new(words.len() as u64 + 2))
     }
 
     /// Fixed-point column accumulation.
-    fn accumulate(&self, weight: &Matrix, words: &[usize]) -> Vec<f32> {
+    fn accumulate(&self, cols: &[Fixed], words: &[usize]) -> Vec<f32> {
         let mut acc = vec![Fixed::ZERO; self.embed_dim];
         for &w in words {
-            assert!(w < weight.cols(), "word index {w} out of range");
-            for (r, slot) in acc.iter_mut().enumerate() {
-                *slot += Fixed::from_f32(weight[(r, w)]);
+            assert!(w < self.vocab, "word index {w} out of range");
+            let col = &cols[w * self.embed_dim..(w + 1) * self.embed_dim];
+            for (slot, x) in acc.iter_mut().zip(col) {
+                *slot += *x;
             }
         }
         acc.into_iter().map(Fixed::to_f32).collect()

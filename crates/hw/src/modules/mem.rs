@@ -6,6 +6,13 @@
 //! stabilizes the exponent, the exp LUT pipeline produces numerators, an
 //! adder tree forms the denominator, and one non-pipelined divider
 //! normalizes score by score.
+//!
+//! Rows are stored already quantized (`Fixed`), mirroring the BRAM contents:
+//! the write path converts each embedded row once, so addressing and reads
+//! multiply stored words directly instead of re-quantizing per access. The
+//! products and their accumulation order are exactly those of
+//! [`AdderTree::fixed_dot`] over the original `f32` rows, so results are
+//! bit-identical to the unquantized-storage formulation.
 
 use mann_linalg::activation::ExpLut;
 use mann_linalg::Fixed;
@@ -18,8 +25,8 @@ use crate::{Cycles, DatapathConfig};
 /// Address + content memory with the softmax datapath.
 #[derive(Debug, Clone)]
 pub struct MemModule {
-    rows_a: Vec<Vec<f32>>,
-    rows_c: Vec<Vec<f32>>,
+    rows_a: Vec<Vec<Fixed>>,
+    rows_c: Vec<Vec<Fixed>>,
     tree: AdderTree,
     exp: ExpUnit,
     div: DivUnit,
@@ -62,7 +69,8 @@ impl MemModule {
     }
 
     /// Writes one embedded sentence into the next slot of both memories
-    /// (performed by the write path while streaming).
+    /// (performed by the write path while streaming). The rows are
+    /// quantized here, once, as the BRAM write port would.
     ///
     /// # Panics
     ///
@@ -70,8 +78,10 @@ impl MemModule {
     pub fn write(&mut self, addr_row: Vec<f32>, content_row: Vec<f32>) {
         assert_eq!(addr_row.len(), self.embed_dim, "address row width");
         assert_eq!(content_row.len(), self.embed_dim, "content row width");
-        self.rows_a.push(addr_row);
-        self.rows_c.push(content_row);
+        self.rows_a
+            .push(addr_row.into_iter().map(Fixed::from_f32).collect());
+        self.rows_c
+            .push(content_row.into_iter().map(Fixed::from_f32).collect());
     }
 
     /// Content-based addressing (Eq 1): returns the attention weights and
@@ -91,13 +101,18 @@ impl MemModule {
         if l == 0 {
             return Cycles::ZERO;
         }
-        // Scores: one pipelined dot product per row.
+        // The key is quantized once per addressing pass; each score is the
+        // in-order product sum `fixed_dot` would produce.
+        let key_q: Vec<Fixed> = key.iter().map(|&y| Fixed::from_f32(y)).collect();
         let mut scores = Vec::with_capacity(l);
         let mut score_cycles = Cycles::ZERO;
         let per_dot = (self.embed_dim.div_ceil(self.tree.width())) as u64;
         for row in &self.rows_a {
-            let (s, _) = self.tree.fixed_dot(row, key);
-            scores.push(s.to_f32());
+            let mut acc = Fixed::ZERO;
+            for (x, y) in row.iter().zip(&key_q) {
+                acc += *x * *y;
+            }
+            scores.push(acc.to_f32());
             // II = issues-per-dot; latency amortized below.
             score_cycles += Cycles::new(per_dot);
         }
@@ -139,15 +154,28 @@ impl MemModule {
         assert_eq!(attention.len(), self.rows_c.len(), "attention length");
         out.clear();
         out.reserve(self.embed_dim);
+        // Attention weights are quantized once, not once per output element.
+        let att_q: Vec<Fixed> = attention.iter().map(|&a| Fixed::from_f32(a)).collect();
         for j in 0..self.embed_dim {
             let mut acc = Fixed::ZERO;
-            for (a, row) in attention.iter().zip(&self.rows_c) {
-                acc += Fixed::from_f32(*a) * Fixed::from_f32(row[j]);
+            for (a, row) in att_q.iter().zip(&self.rows_c) {
+                acc += *a * row[j];
             }
             out.push(acc.to_f32());
         }
         let per_row = (self.embed_dim.div_ceil(self.tree.width())) as u64;
         Cycles::new(self.rows_c.len() as u64 * per_row + self.tree.depth() + 1)
+    }
+
+    /// The stored (quantized) address row `i`, dequantized — for
+    /// cross-checking against reference computations.
+    pub fn addr_row_f32(&self, i: usize) -> Vec<f32> {
+        self.rows_a[i].iter().map(|x| x.to_f32()).collect()
+    }
+
+    /// The stored (quantized) content row `i`, dequantized.
+    pub fn content_row_f32(&self, i: usize) -> Vec<f32> {
+        self.rows_c[i].iter().map(|x| x.to_f32()).collect()
     }
 }
 
@@ -182,9 +210,9 @@ mod tests {
         let m = filled(5, 8);
         let key: Vec<f32> = vec![0.5; 8];
         let (a, _) = m.address(&key);
-        // Reference float computation.
+        // Reference float computation over the stored rows.
         let scores: Vec<f32> = (0..5)
-            .map(|i| m.rows_a[i].iter().zip(&key).map(|(x, y)| x * y).sum())
+            .map(|i| m.addr_row_f32(i).iter().zip(&key).map(|(x, y)| x * y).sum())
             .collect();
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
@@ -195,11 +223,36 @@ mod tests {
     }
 
     #[test]
+    fn quantized_storage_matches_fixed_dot_scores() {
+        // The stored-row accumulation must equal the adder tree's
+        // quantize-at-access dot over the original f32 rows, bit for bit.
+        let e = 8;
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..e).map(|j| ((i * 3 + j) as f32 * 0.17).sin()).collect())
+            .collect();
+        let mut m = MemModule::new(e, &DatapathConfig::default());
+        for r in &rows {
+            m.write(r.clone(), r.clone());
+        }
+        let key: Vec<f32> = (0..e).map(|j| (j as f32 * 0.4).cos()).collect();
+        let tree = AdderTree::new(DatapathConfig::default().tree_width);
+        let key_q: Vec<Fixed> = key.iter().map(|&y| Fixed::from_f32(y)).collect();
+        for (i, r) in rows.iter().enumerate() {
+            let (expect, _) = tree.fixed_dot(r, &key);
+            let mut acc = Fixed::ZERO;
+            for (x, y) in m.rows_a[i].iter().zip(&key_q) {
+                acc += *x * *y;
+            }
+            assert_eq!(acc, expect, "row {i}");
+        }
+    }
+
+    #[test]
     fn read_is_attention_weighted_sum() {
         let m = filled(3, 4);
         let attention = vec![1.0, 0.0, 0.0];
         let (r, _) = m.read(&attention);
-        for (x, y) in r.iter().zip(&m.rows_c[0]) {
+        for (x, y) in r.iter().zip(&m.content_row_f32(0)) {
             assert!((x - y).abs() < 1e-3);
         }
     }

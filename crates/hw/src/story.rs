@@ -1,0 +1,345 @@
+//! Content-addressed story residency: digests, the LRU residency model,
+//! and the bounded [`StoryCache`] of populated memories.
+//!
+//! The paper's MEM module writes a story into address/content memory once
+//! and then answers queries against it (Fig 1). A served trace with many
+//! questions over the same story — the bAbI access pattern — therefore
+//! re-pays the INPUT & WRITE phase and the PCIe story upload for work the
+//! on-chip memories already hold. `StoryCache` models keeping the last `K`
+//! written stories resident per accelerator instance: a hit skips the
+//! write-phase cycles and ships only the question over the link.
+//!
+//! Capacity models on-chip memory: one resident story occupies `2 * L * E`
+//! fixed-point words of BRAM (address + content rows), so a bounded LRU of
+//! whole stories is exactly what a double-buffered BRAM allocator would
+//! hold. Eviction is least-recently-used, matching a hardware replacement
+//! register file.
+
+use mann_babi::EncodedSample;
+use serde::{Deserialize, Serialize};
+
+use crate::accel::ResidentStory;
+
+/// Default resident-story capacity per instance (see `MANN_STORY_CACHE`).
+pub const DEFAULT_STORY_CACHE: usize = 16;
+
+/// FNV-1a digest of a sample's *story* (sentence shapes and word indices;
+/// the question is deliberately excluded). Two samples with the same story
+/// but different questions collide on purpose — that is the reuse the
+/// cache exploits.
+pub fn story_digest(sample: &EncodedSample) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    absorb(sample.sentences.len() as u64);
+    for sent in &sample.sentences {
+        absorb(sent.len() as u64);
+        for &w in sent {
+            absorb(w as u64);
+        }
+    }
+    hash
+}
+
+/// Hit/miss/eviction counters of one cache (or one instance's residency
+/// model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the story resident.
+    pub hits: u64,
+    /// Lookups that had to write the story.
+    pub misses: u64,
+    /// Resident stories displaced to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+    }
+}
+
+/// Outcome of admitting a key into an LRU set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Whether the key was already resident.
+    pub hit: bool,
+    /// The key evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+/// A bounded LRU set of story keys — the digest-only residency model the
+/// serving layer keeps per instance (the payloads live in the precomputed
+/// [`ResidentStory`] table, so instances only track *which* stories they
+/// hold).
+///
+/// Keys are ordered least- to most-recently used in a `Vec`; capacities are
+/// small (on-chip memory holds a handful of stories), so the `O(capacity)`
+/// scan is cheaper than hashing and the iteration order is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct LruSet {
+    capacity: usize,
+    keys: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl LruSet {
+    /// An empty set holding at most `capacity` keys (0 disables residency:
+    /// every admit misses and nothing is retained).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            keys: Vec::with_capacity(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently resident keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no keys are resident.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether `key` is resident (does not touch recency or stats).
+    pub fn contains(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// Accumulated hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Admits `key`: a resident key is refreshed to most-recently-used, a
+    /// new key is inserted, evicting the LRU key when full.
+    pub fn admit(&mut self, key: u64) -> Admission {
+        if let Some(pos) = self.keys.iter().position(|&k| k == key) {
+            self.keys.remove(pos);
+            self.keys.push(key);
+            self.stats.hits += 1;
+            return Admission {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.stats.misses += 1;
+        if self.capacity == 0 {
+            return Admission {
+                hit: false,
+                evicted: None,
+            };
+        }
+        let evicted = if self.keys.len() == self.capacity {
+            self.stats.evictions += 1;
+            Some(self.keys.remove(0))
+        } else {
+            None
+        };
+        self.keys.push(key);
+        Admission {
+            hit: false,
+            evicted,
+        }
+    }
+}
+
+/// A bounded LRU of populated [`ResidentStory`] payloads, keyed by
+/// [`story_digest`] — what one standalone accelerator instance holds in
+/// its on-chip memories.
+#[derive(Debug, Clone, Default)]
+pub struct StoryCache {
+    capacity: usize,
+    // LRU order: index 0 is least recently used.
+    entries: Vec<ResidentStory>,
+    stats: CacheStats,
+}
+
+impl StoryCache {
+    /// An empty cache holding at most `capacity` stories (0 disables
+    /// caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity override from the `MANN_STORY_CACHE` environment
+    /// variable, if set and parseable.
+    pub fn capacity_from_env() -> Option<usize> {
+        std::env::var("MANN_STORY_CACHE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// Capacity from the `MANN_STORY_CACHE` environment variable, falling
+    /// back to [`DEFAULT_STORY_CACHE`].
+    pub fn from_env() -> Self {
+        Self::new(Self::capacity_from_env().unwrap_or(DEFAULT_STORY_CACHE))
+    }
+
+    /// Maximum resident stories.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently resident stories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stories are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `digest` is resident (does not touch recency or stats).
+    pub fn contains(&self, digest: u64) -> bool {
+        self.entries.iter().any(|e| e.digest() == digest)
+    }
+
+    /// Drops every resident story; counters are kept.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Looks up `digest`, refreshing it to most-recently-used on a hit.
+    /// Counts a hit or a miss.
+    pub fn lookup(&mut self, digest: u64) -> Option<&ResidentStory> {
+        match self.entries.iter().position(|e| e.digest() == digest) {
+            Some(pos) => {
+                self.stats.hits += 1;
+                let entry = self.entries.remove(pos);
+                self.entries.push(entry);
+                Some(self.entries.last().expect("just pushed"))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `story` as most-recently-used, evicting the LRU story when
+    /// full. A story already resident under the same digest is replaced
+    /// without counting an eviction. No-op at capacity 0.
+    pub fn insert(&mut self, story: ResidentStory) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|e| e.digest() == story.digest())
+        {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.stats.evictions += 1;
+            self.entries.remove(0);
+        }
+        self.entries.push(story);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(sentences: Vec<Vec<usize>>, question: Vec<usize>) -> EncodedSample {
+        EncodedSample {
+            sentences,
+            question,
+            answer: 0,
+        }
+    }
+
+    #[test]
+    fn digest_ignores_question_but_not_story() {
+        let a = sample(vec![vec![1, 2], vec![3]], vec![9]);
+        let b = sample(vec![vec![1, 2], vec![3]], vec![7, 8]);
+        let c = sample(vec![vec![1, 2], vec![4]], vec![9]);
+        assert_eq!(story_digest(&a), story_digest(&b));
+        assert_ne!(story_digest(&a), story_digest(&c));
+    }
+
+    #[test]
+    fn digest_distinguishes_sentence_boundaries() {
+        // Same word sequence, different sentence split.
+        let a = sample(vec![vec![1, 2, 3]], vec![0]);
+        let b = sample(vec![vec![1, 2], vec![3]], vec![0]);
+        let c = sample(vec![vec![1], vec![2, 3]], vec![0]);
+        assert_ne!(story_digest(&a), story_digest(&b));
+        assert_ne!(story_digest(&b), story_digest(&c));
+    }
+
+    #[test]
+    fn lru_set_admits_hits_and_evicts_in_lru_order() {
+        let mut s = LruSet::new(2);
+        assert!(!s.admit(1).hit);
+        assert!(!s.admit(2).hit);
+        assert!(s.admit(1).hit); // refresh 1 → LRU is now 2
+        let a = s.admit(3);
+        assert!(!a.hit);
+        assert_eq!(a.evicted, Some(2));
+        assert!(s.contains(1) && s.contains(3) && !s.contains(2));
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.evictions), (1, 3, 1));
+    }
+
+    #[test]
+    fn zero_capacity_lru_never_retains() {
+        let mut s = LruSet::new(0);
+        for _ in 0..3 {
+            let a = s.admit(7);
+            assert!(!a.hit);
+            assert_eq!(a.evicted, None);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.stats().misses, 3);
+        assert_eq!(s.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

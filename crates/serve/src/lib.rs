@@ -41,8 +41,10 @@ mod scheduler;
 mod server;
 mod trace;
 
-pub use report::{answers_digest, InstanceReport, LatencySummary, LinkReport, ServeReport};
+pub use report::{
+    answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
+};
 pub use request::{Completion, Rejection, Request, RequestTimestamps};
 pub use scheduler::{InstanceView, SchedulePolicy, Scheduler};
-pub use server::{ServeConfig, ServeOutcome, Server};
+pub use server::{EngineMode, ServeConfig, ServeOutcome, Server};
 pub use trace::{ArrivalTrace, TraceConfig};

@@ -45,6 +45,8 @@ pub struct InstanceReport {
     pub instance: usize,
     /// Requests completed on this instance.
     pub completed: u64,
+    /// Requests served from this instance's resident-story cache.
+    pub cache_hits: u64,
     /// Total fabric compute time, seconds.
     pub busy_s: f64,
     /// `busy_s / makespan` — fraction of the served interval spent
@@ -53,6 +55,31 @@ pub struct InstanceReport {
     /// Board energy over the served interval at this occupancy (from the
     /// calibrated [`mann_hw::PowerModel`]).
     pub energy_j: f64,
+}
+
+/// Aggregate story-cache effectiveness across every instance.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Resident stories each instance can hold (`MANN_STORY_CACHE`;
+    /// 0 = caching off).
+    pub capacity: usize,
+    /// Distinct `(task, story)` pairs in the trace.
+    pub unique_stories: usize,
+    /// Dispatches that found the story resident on the chosen instance.
+    pub hits: u64,
+    /// Dispatches that had to upload and write the story.
+    pub misses: u64,
+    /// Resident stories displaced by capacity pressure.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`, zero when nothing was dispatched.
+    pub hit_rate: f64,
+    /// CONTROL + INPUT & WRITE cycles the hits did not re-run.
+    pub write_cycles_saved: u64,
+    /// Story-payload bytes the hits kept off the shared link.
+    pub upload_bytes_saved: u64,
+    /// Activity-dependent fabric energy of the skipped write phases,
+    /// joules (static/clock power is drawn regardless).
+    pub write_energy_saved_j: f64,
 }
 
 /// Shared host-link utilization.
@@ -93,6 +120,8 @@ pub struct ServeReport {
     pub instances: Vec<InstanceReport>,
     /// Shared-link utilization.
     pub link: LinkReport,
+    /// Story-cache effectiveness (zeros when caching is off).
+    pub cache: CacheReport,
     /// Compute cycles summed over completions, by pipeline phase — the
     /// ITH-under-load tests read the output phase here.
     pub phase_totals: PhaseCycles,
@@ -155,6 +184,26 @@ impl ServeReport {
                 self.link.grants
             ),
         ]);
+        t.row(vec![
+            "cache hits".into(),
+            format!(
+                "{} / {} ({}), {} stories, cap {}",
+                self.cache.hits,
+                self.cache.hits + self.cache.misses,
+                percent(self.cache.hit_rate),
+                self.cache.unique_stories,
+                self.cache.capacity
+            ),
+        ]);
+        t.row(vec![
+            "cache savings".into(),
+            format!(
+                "{} write cycles, {} B upload, {} J",
+                self.cache.write_cycles_saved,
+                self.cache.upload_bytes_saved,
+                fnum(self.cache.write_energy_saved_j, 3)
+            ),
+        ]);
         t.row(vec!["early exits".into(), self.speculated.to_string()]);
         t.row(vec![
             "energy".into(),
@@ -170,6 +219,7 @@ impl ServeReport {
         let mut inst = TextTable::new(vec![
             "instance".into(),
             "completed".into(),
+            "cache hits".into(),
             "busy (ms)".into(),
             "occupancy".into(),
             "energy (J)".into(),
@@ -178,6 +228,7 @@ impl ServeReport {
             inst.row(vec![
                 i.instance.to_string(),
                 i.completed.to_string(),
+                i.cache_hits.to_string(),
                 fnum(i.busy_s * 1e3, 3),
                 percent(i.occupancy),
                 fnum(i.energy_j, 3),

@@ -20,6 +20,11 @@ pub enum SchedulePolicy {
     /// the data-dependent service times ITH creates.
     #[default]
     ShortestQueue,
+    /// Prefer an instance that already holds the head request's story
+    /// resident (skipping its write phase and story upload); among equally
+    /// resident instances fall back to shortest-queue order. Repeat
+    /// stories land where they are cached.
+    StoryAffinity,
 }
 
 impl SchedulePolicy {
@@ -28,6 +33,7 @@ impl SchedulePolicy {
         match s {
             "rr" | "round-robin" => Some(Self::RoundRobin),
             "sq" | "shortest-queue" => Some(Self::ShortestQueue),
+            "af" | "affinity" | "story-affinity" => Some(Self::StoryAffinity),
             _ => None,
         }
     }
@@ -38,6 +44,7 @@ impl std::fmt::Display for SchedulePolicy {
         match self {
             Self::RoundRobin => write!(f, "round-robin"),
             Self::ShortestQueue => write!(f, "shortest-queue"),
+            Self::StoryAffinity => write!(f, "story-affinity"),
         }
     }
 }
@@ -51,6 +58,9 @@ pub struct InstanceView {
     pub credits: usize,
     /// When the instance's current compute finishes.
     pub free_at: SimTime,
+    /// Whether the story of the request at the head of the host queue is
+    /// resident in this instance's story cache.
+    pub resident: bool,
 }
 
 /// Deterministic instance picker; owns the round-robin cursor.
@@ -95,6 +105,14 @@ impl Scheduler {
                 .filter(|(_, v)| v.credits > 0)
                 .min_by_key(|(i, v)| (v.inflight, v.free_at, *i))
                 .map(|(i, _)| i),
+            // Residency first (false < true, so negate), then the
+            // shortest-queue order as tie-break — fully deterministic.
+            SchedulePolicy::StoryAffinity => instances
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.credits > 0)
+                .min_by_key(|(i, v)| (!v.resident, v.inflight, v.free_at, *i))
+                .map(|(i, _)| i),
         }
     }
 }
@@ -108,7 +126,13 @@ mod tests {
             inflight,
             credits,
             free_at: SimTime::from_ps(free_ps),
+            resident: false,
         }
+    }
+
+    fn resident(mut v: InstanceView) -> InstanceView {
+        v.resident = true;
+        v
     }
 
     #[test]
@@ -136,8 +160,28 @@ mod tests {
     }
 
     #[test]
+    fn story_affinity_prefers_resident_then_shortest_queue() {
+        let mut s = Scheduler::new(SchedulePolicy::StoryAffinity);
+        // A resident instance beats a less-loaded non-resident one.
+        assert_eq!(s.pick(&[view(0, 2, 0), resident(view(1, 1, 0))]), Some(1));
+        // No residency anywhere: identical to shortest-queue.
+        assert_eq!(s.pick(&[view(2, 1, 0), view(1, 1, 0)]), Some(1));
+        // Residency without credits is invisible.
+        assert_eq!(s.pick(&[view(0, 1, 0), resident(view(0, 0, 0))]), Some(0));
+        // Two resident instances: load then free time then index.
+        assert_eq!(
+            s.pick(&[resident(view(1, 1, 900)), resident(view(1, 1, 100))]),
+            Some(1)
+        );
+    }
+
+    #[test]
     fn policy_parse_round_trips() {
-        for p in [SchedulePolicy::RoundRobin, SchedulePolicy::ShortestQueue] {
+        for p in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::ShortestQueue,
+            SchedulePolicy::StoryAffinity,
+        ] {
             assert_eq!(SchedulePolicy::parse(&p.to_string()), Some(p));
         }
         assert_eq!(

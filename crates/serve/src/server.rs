@@ -1,36 +1,98 @@
 //! The serving engine: a deterministic discrete-event simulation of N
 //! replicated accelerator instances behind one bounded host queue and one
-//! shared PCIe link.
+//! shared PCIe link, with per-instance resident-story caches.
+//!
+//! # Execution phases
+//!
+//! A serve separates *numeric* work from *orchestration*:
+//!
+//! 1. **Story dedup.** Requests are grouped by `(task, story digest)`; each
+//!    distinct story is written into memory exactly once
+//!    ([`Accelerator::write_story`]), however many questions the trace asks
+//!    about it.
+//! 2. **Query simulation.** Every request's query pipeline runs against its
+//!    resident story ([`Accelerator::answer_query`]) — on the worker pool
+//!    in the parallel engine, inline in the serial engine. Results are
+//!    accumulated in request order either way.
+//! 3. **Event loop.** A sequential merge on integer-picosecond
+//!    [`SimTime`] with a submission-order tie-break replays arrivals,
+//!    link grants and completions. Each instance models its story cache as
+//!    an LRU of digests; whether a dispatch hits is decided here, because
+//!    it depends on which instance the scheduler picked.
 //!
 //! # Determinism
 //!
 //! Two properties are load-bearing and pinned by the test suite:
 //!
-//! * **Thread independence.** The numeric work (every request's
-//!   [`InferenceRun`]) is precomputed on the work-stealing pool of
-//!   `mann_core::parallel` — claimed in any order, accumulated in request
-//!   order — so the inputs to the event loop are identical for any
-//!   `MANN_THREADS`. The event loop itself is sequential, with integer
-//!   picosecond timestamps and a submission-order tie-break, so the whole
-//!   serve replays byte-identically for any worker count.
-//! * **Orchestration purity.** The server only *schedules*; answers,
-//!   logits, cycle counts and comparisons come from the same
-//!   [`Accelerator::run`] a standalone pipeline would call. Serving on 1 or
-//!   100 instances cannot change a single numeric result.
+//! * **Thread independence.** The numeric phase is index-ordered and
+//!   `MANN_THREADS`-invariant, and the event loop is sequential with a
+//!   total order on `(time, seq)` — so the whole serve replays
+//!   byte-identically for any worker count, and the parallel engine's
+//!   [`ServeReport`] equals the serial engine's bit for bit.
+//! * **Orchestration purity.** Answers, cycle counts and comparisons come
+//!   from the same split pipeline a standalone [`Accelerator::run`] would
+//!   execute; a cache hit changes *when and where* a story is written,
+//!   never what the inference computes.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use mann_core::TaskSuite;
 use mann_hw::{
-    AccelConfig, Accelerator, ClockDomain, InferenceRun, LinkArbiter, PcieLink, PowerModel, SimTime,
+    story_digest, AccelConfig, Accelerator, ClockDomain, Cycles, InferenceRun, LinkArbiter, LruSet,
+    PcieLink, PowerModel, ResidentStory, SimTime, DEFAULT_STORY_CACHE,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::report::{answers_digest, InstanceReport, LatencySummary, LinkReport, ServeReport};
+use crate::report::{
+    answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
+};
 use crate::request::{Completion, Rejection, RequestTimestamps};
 use crate::scheduler::{InstanceView, Scheduler};
 use crate::trace::ArrivalTrace;
 use crate::SchedulePolicy;
+
+/// How the numeric phase of a serve executes. Both engines produce
+/// byte-identical [`ServeReport`]s; the parallel engine exists to use the
+/// worker pool, the serial engine to prove it changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Single-threaded reference: stories and queries simulate inline, in
+    /// request order.
+    Serial,
+    /// Stories and queries simulate on the `MANN_THREADS` worker pool,
+    /// claimed in any order, accumulated in request order.
+    #[default]
+    Parallel,
+}
+
+impl EngineMode {
+    /// Parses a CLI-style engine name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "serial" => Some(Self::Serial),
+            "parallel" => Some(Self::Parallel),
+            _ => None,
+        }
+    }
+
+    /// Engine from the `MANN_SERVE_ENGINE` environment variable, falling
+    /// back to the default (parallel).
+    pub fn from_env() -> Self {
+        std::env::var("MANN_SERVE_ENGINE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Serial => write!(f, "serial"),
+            Self::Parallel => write!(f, "parallel"),
+        }
+    }
+}
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,8 +107,12 @@ pub struct ServeConfig {
     /// Max story uploads packed into one link grant (batching amortizes
     /// the per-transfer driver latency).
     pub upload_batch: usize,
+    /// Resident stories each instance keeps (LRU; 0 disables caching).
+    pub story_cache: usize,
     /// Instance-selection policy.
     pub policy: SchedulePolicy,
+    /// Numeric-phase execution engine.
+    pub engine: EngineMode,
     /// Fabric clock of every instance.
     pub clock: ClockDomain,
     /// Shared host-link model.
@@ -66,7 +132,9 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             inflight_limit: 2,
             upload_batch: 4,
+            story_cache: DEFAULT_STORY_CACHE,
             policy: SchedulePolicy::default(),
+            engine: EngineMode::default(),
             clock: ClockDomain::default(),
             pcie: PcieLink::default(),
             power: PowerModel::default(),
@@ -115,8 +183,8 @@ pub struct ServeOutcome {
 /// One [`Accelerator`] is loaded per task (the tenant's bitstream +
 /// weights); the configured number of *instances* are scheduling replicas
 /// of that loadout. Because replicas are numerically identical, the server
-/// computes each request's [`InferenceRun`] once and lets the event loop
-/// treat instances as pure timing resources.
+/// computes each distinct story and each request's query once, and lets the
+/// event loop treat instances as timing resources with story residency.
 #[derive(Debug)]
 pub struct Server<'a> {
     suite: &'a TaskSuite,
@@ -168,6 +236,25 @@ struct Inst {
     computing: Option<usize>,
     busy: SimTime,
     completed: u64,
+    cache_hits: u64,
+}
+
+/// Per-request numeric results, shared by both engines.
+struct NumericPhase {
+    /// One entry per distinct `(task, story)` pair, in first-seen order.
+    stories: Vec<ResidentStory>,
+    /// Story index of each request.
+    story_of: Vec<usize>,
+    /// Scheduling key of each request (task-mixed story digest).
+    keys: Vec<u64>,
+    /// Hit-form query run of each request.
+    queries: Vec<InferenceRun>,
+    /// Miss-form (full) run of each request; equals `Accelerator::run`.
+    miss_runs: Vec<InferenceRun>,
+    hit_durations: Vec<SimTime>,
+    miss_durations: Vec<SimTime>,
+    hit_bytes: Vec<u64>,
+    miss_bytes: Vec<u64>,
 }
 
 impl<'a> Server<'a> {
@@ -227,6 +314,114 @@ impl<'a> Server<'a> {
         per_instance * self.config.instances as f64
     }
 
+    fn sample_of(&self, req: &crate::Request) -> &mann_babi::EncodedSample {
+        &self.suite.tasks[req.task_idx].test_set[req.sample_idx]
+    }
+
+    /// Simulates every distinct story once and every query once, per the
+    /// configured engine. Output is index-ordered and engine-invariant.
+    fn numeric_phase(&self, trace: &ArrivalTrace) -> NumericPhase {
+        let n = trace.requests.len();
+
+        // Group requests by (task, story digest), first-seen order.
+        let mut story_ids: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut story_req: Vec<usize> = Vec::new();
+        let mut story_of = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
+        for (i, r) in trace.requests.iter().enumerate() {
+            let digest = story_digest(self.sample_of(r));
+            // Mix the tenant index in so equal digests of different tasks
+            // (different embeddings!) never alias in the residency model.
+            keys.push(digest ^ (r.task_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let next = story_req.len();
+            let sid = *story_ids.entry((r.task_idx, digest)).or_insert_with(|| {
+                story_req.push(i);
+                next
+            });
+            story_of.push(sid);
+        }
+
+        let workers = match self.config.engine {
+            EngineMode::Serial => 1,
+            EngineMode::Parallel => mann_core::parallel::worker_threads(n.max(story_req.len())),
+        };
+        let stories: Vec<ResidentStory> =
+            mann_core::parallel::parallel_map_indexed(story_req.len(), workers, |s| {
+                let r = &trace.requests[story_req[s]];
+                self.accels[r.task_idx].write_story(self.sample_of(r))
+            });
+        // Identical requests — same (task, sample) — are bit-identical
+        // inferences, so each distinct pair is simulated once and shared.
+        // Repeated-story traces collapse to a handful of query runs.
+        let mut query_ids: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut query_req: Vec<usize> = Vec::new();
+        let mut query_of: Vec<usize> = Vec::with_capacity(n);
+        for (i, r) in trace.requests.iter().enumerate() {
+            let next = query_req.len();
+            let qid = *query_ids
+                .entry((r.task_idx, r.sample_idx))
+                .or_insert_with(|| {
+                    query_req.push(i);
+                    next
+                });
+            query_of.push(qid);
+        }
+        let unique_queries: Vec<InferenceRun> =
+            mann_core::parallel::parallel_map_indexed(query_req.len(), workers, |u| {
+                let i = query_req[u];
+                let r = &trace.requests[i];
+                self.accels[r.task_idx].answer_query(&stories[story_of[i]], self.sample_of(r))
+            });
+        let unique_misses: Vec<InferenceRun> = query_req
+            .iter()
+            .enumerate()
+            .map(|(u, &i)| {
+                let r = &trace.requests[i];
+                self.accels[r.task_idx].compose_uncached(
+                    &stories[story_of[i]],
+                    &unique_queries[u],
+                    self.sample_of(r),
+                )
+            })
+            .collect();
+        let queries: Vec<InferenceRun> = query_of
+            .iter()
+            .map(|&q| unique_queries[q].clone())
+            .collect();
+        let miss_runs: Vec<InferenceRun> =
+            query_of.iter().map(|&q| unique_misses[q].clone()).collect();
+
+        let hit_durations = queries
+            .iter()
+            .map(|q| q.compute_time(self.config.clock))
+            .collect();
+        let miss_durations = miss_runs
+            .iter()
+            .map(|m| m.compute_time(self.config.clock))
+            .collect();
+        let hit_bytes = trace
+            .requests
+            .iter()
+            .map(|r| PcieLink::input_bytes(Accelerator::query_words(self.sample_of(r))))
+            .collect();
+        let miss_bytes = trace
+            .requests
+            .iter()
+            .map(|r| PcieLink::input_bytes(Accelerator::input_words(self.sample_of(r))))
+            .collect();
+        NumericPhase {
+            stories,
+            story_of,
+            keys,
+            queries,
+            miss_runs,
+            hit_durations,
+            miss_durations,
+            hit_bytes,
+            miss_bytes,
+        }
+    }
+
     /// Serves `trace`, returning per-request completions, rejections and
     /// the aggregate report.
     ///
@@ -248,28 +443,8 @@ impl<'a> Server<'a> {
             );
         }
 
-        // ----- numeric phase (parallel, order-preserving) ---------------
-        let runs: Vec<InferenceRun> = mann_core::parallel::parallel_map_indexed(
-            n,
-            mann_core::parallel::worker_threads(n),
-            |i| {
-                let r = &trace.requests[i];
-                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
-                self.accels[r.task_idx].run(sample)
-            },
-        );
-        let durations: Vec<SimTime> = runs
-            .iter()
-            .map(|run| run.compute_time(self.config.clock))
-            .collect();
-        let upload_bytes: Vec<u64> = trace
-            .requests
-            .iter()
-            .map(|r| {
-                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
-                PcieLink::input_bytes(Accelerator::input_words(sample))
-            })
-            .collect();
+        // ----- numeric phase (engine-dependent, order-preserving) --------
+        let num = self.numeric_phase(trace);
 
         // ----- event loop (sequential, integer time) --------------------
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
@@ -285,28 +460,37 @@ impl<'a> Server<'a> {
 
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut insts = vec![Inst::default(); self.config.instances];
+        let mut residency = vec![LruSet::new(self.config.story_cache); self.config.instances];
         let mut arb = LinkArbiter::new(self.config.pcie);
         let mut jobs: Vec<LinkJob> = Vec::new();
         let mut scheduler = Scheduler::new(self.config.policy);
         let mut ts = vec![RequestTimestamps::default(); n];
         let mut assigned = vec![usize::MAX; n];
+        let mut hit = vec![false; n];
+        let mut durations = vec![SimTime::ZERO; n];
         let mut rejections: Vec<Rejection> = Vec::new();
         let mut max_queue_depth = 0usize;
         let mut last_drain = SimTime::ZERO;
+        let mut write_cycles_saved = 0u64;
+        let mut upload_bytes_saved = 0u64;
 
         // Moves as many queued requests as credits allow onto the link.
+        // Residency (hit or miss) is decided here, per dispatched request,
+        // because it depends on the chosen instance's cache state.
         macro_rules! dispatch {
             ($now:expr) => {
                 loop {
-                    if queue.is_empty() {
+                    let Some(&head) = queue.front() else {
                         break;
-                    }
+                    };
                     let views: Vec<InstanceView> = insts
                         .iter()
-                        .map(|inst| InstanceView {
+                        .zip(&residency)
+                        .map(|(inst, res)| InstanceView {
                             inflight: inst.inflight,
                             credits: self.config.inflight_limit - inst.inflight,
                             free_at: inst.free_at,
+                            resident: res.contains(num.keys[head]),
                         })
                         .collect();
                     let Some(target) = scheduler.pick(&views) else {
@@ -315,8 +499,21 @@ impl<'a> Server<'a> {
                     let credits = self.config.inflight_limit - insts[target].inflight;
                     let take = credits.min(self.config.upload_batch).min(queue.len());
                     let reqs: Vec<usize> = queue.drain(..take).collect();
-                    let bytes: u64 = reqs.iter().map(|&r| upload_bytes[r]).sum();
+                    let mut bytes = 0u64;
                     for &r in &reqs {
+                        let admission = residency[target].admit(num.keys[r]);
+                        hit[r] = admission.hit;
+                        if admission.hit {
+                            insts[target].cache_hits += 1;
+                            write_cycles_saved +=
+                                num.stories[num.story_of[r]].phases().total().get();
+                            upload_bytes_saved += num.miss_bytes[r] - num.hit_bytes[r];
+                            bytes += num.hit_bytes[r];
+                            durations[r] = num.hit_durations[r];
+                        } else {
+                            bytes += num.miss_bytes[r];
+                            durations[r] = num.miss_durations[r];
+                        }
                         ts[r].dispatch = $now;
                         assigned[r] = target;
                     }
@@ -445,16 +642,43 @@ impl<'a> Server<'a> {
             .filter(|(_, r)| !rejected_ids.contains(&r.id))
             .map(|(i, r)| {
                 debug_assert!(ts[i].is_monotone(), "request {} timeline broken", r.id);
-                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
+                let run = if hit[i] {
+                    num.queries[i].clone()
+                } else {
+                    num.miss_runs[i].clone()
+                };
+                let correct = run.answer == self.sample_of(r).answer;
                 Completion {
                     request: *r,
                     instance: assigned[i],
-                    run: runs[i].clone(),
+                    run,
                     timestamps: ts[i],
-                    correct: runs[i].answer == sample.answer,
+                    correct,
                 }
             })
             .collect();
+
+        let cache_stats = residency.iter().map(|r| r.stats()).fold(
+            mann_hw::CacheStats::default(),
+            |mut acc, s| {
+                acc += s;
+                acc
+            },
+        );
+        let cache = CacheReport {
+            capacity: self.config.story_cache,
+            unique_stories: num.stories.len(),
+            hits: cache_stats.hits,
+            misses: cache_stats.misses,
+            evictions: cache_stats.evictions,
+            hit_rate: cache_stats.hit_rate(),
+            write_cycles_saved,
+            upload_bytes_saved,
+            write_energy_saved_j: self.config.power.active_energy_j(
+                self.config.clock.freq_mhz(),
+                self.config.clock.seconds(Cycles::new(write_cycles_saved)),
+            ),
+        };
 
         let report = self.build_report(
             trace,
@@ -462,6 +686,7 @@ impl<'a> Server<'a> {
             &rejections,
             &insts,
             &arb,
+            cache,
             last_drain,
             max_queue_depth,
         );
@@ -480,6 +705,7 @@ impl<'a> Server<'a> {
         rejections: &[Rejection],
         insts: &[Inst],
         arb: &LinkArbiter,
+        cache: CacheReport,
         last_drain: SimTime,
         max_queue_depth: usize,
     ) -> ServeReport {
@@ -505,6 +731,7 @@ impl<'a> Server<'a> {
                 InstanceReport {
                     instance: i,
                     completed: inst.completed,
+                    cache_hits: inst.cache_hits,
                     busy_s,
                     occupancy: if makespan_s > 0.0 {
                         (busy_s / makespan_s).clamp(0.0, 1.0)
@@ -551,6 +778,7 @@ impl<'a> Server<'a> {
                     0.0
                 },
             },
+            cache,
             phase_totals: completions.iter().map(|c| c.run.phases).sum(),
             speculated: completions.iter().filter(|c| c.run.speculated).count(),
             total_energy_j,
@@ -586,6 +814,7 @@ mod tests {
                 requests,
                 seed: 11,
                 mean_interarrival_s: 150e-6,
+                ..TraceConfig::default()
             },
             suite,
         )
@@ -621,6 +850,19 @@ mod tests {
         // Every drain crossed the link, plus at least one upload grant.
         assert!(r.link.grants > 64);
         assert!(r.link.utilization > 0.0 && r.link.utilization <= 1.0);
+        // Cache accounting is coherent: every completion was admitted once.
+        assert_eq!(r.cache.hits + r.cache.misses, 64);
+        assert_eq!(
+            r.instances.iter().map(|i| i.cache_hits).sum::<u64>(),
+            r.cache.hits
+        );
+        // 24 test samples, 64 draws: repeats are certain, and with capacity
+        // 16 per instance the cache must convert some into hits.
+        assert!(r.cache.unique_stories <= 24);
+        assert!(r.cache.hits > 0);
+        assert!(r.cache.write_cycles_saved > 0);
+        assert!(r.cache.upload_bytes_saved > 0);
+        assert!(r.cache.write_energy_saved_j > 0.0);
     }
 
     #[test]
@@ -634,6 +876,112 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&a.report).unwrap(),
             serde_json::to_string(&b.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_engines_agree_bit_for_bit() {
+        let s = suite();
+        let t = trace(&s, 48);
+        let serve_with = |engine| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    engine,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t)
+        };
+        let serial = serve_with(EngineMode::Serial);
+        let parallel = serve_with(EngineMode::Parallel);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_off_matches_standalone_runs_exactly() {
+        let s = suite();
+        let server = Server::new(
+            &s,
+            ServeConfig {
+                story_cache: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let t = trace(&s, 32);
+        let out = server.serve(&t);
+        assert_eq!(out.report.cache.hits, 0);
+        assert_eq!(out.report.cache.capacity, 0);
+        for c in &out.completions {
+            let sample = &s.tasks[c.request.task_idx].test_set[c.request.sample_idx];
+            let direct = server.accelerator(c.request.task_idx).run(sample);
+            assert_eq!(c.run, direct);
+        }
+    }
+
+    #[test]
+    fn cache_hits_change_write_phase_only() {
+        let s = suite();
+        let server = Server::new(&s, ServeConfig::default());
+        let t = trace(&s, 64);
+        let out = server.serve(&t);
+        let hits = out.completions.iter().filter(|c| c.run.cache_hit).count();
+        assert!(hits > 0, "no cache hits in a repeat-heavy trace");
+        for c in &out.completions {
+            let sample = &s.tasks[c.request.task_idx].test_set[c.request.sample_idx];
+            let direct = server.accelerator(c.request.task_idx).run(sample);
+            assert_eq!(c.run.answer, direct.answer);
+            assert_eq!(c.run.comparisons, direct.comparisons);
+            assert_eq!(c.run.phases.addressing, direct.phases.addressing);
+            assert_eq!(c.run.phases.read, direct.phases.read);
+            assert_eq!(c.run.phases.controller, direct.phases.controller);
+            assert_eq!(c.run.phases.output, direct.phases.output);
+            if c.run.cache_hit {
+                assert!(c.run.phases.write < direct.phases.write);
+                assert!(c.run.interface_s < direct.interface_s);
+            } else {
+                assert_eq!(c.run, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn story_affinity_beats_shortest_queue_on_hits() {
+        let s = suite();
+        // Few stories, many questions: residency matters.
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests: 96,
+                seed: 17,
+                mean_interarrival_s: 120e-6,
+                story_pool: 3,
+            },
+            &s,
+        );
+        let serve_with = |policy| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    instances: 3,
+                    story_cache: 2,
+                    policy,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t).report
+        };
+        let sq = serve_with(SchedulePolicy::ShortestQueue);
+        let af = serve_with(SchedulePolicy::StoryAffinity);
+        assert_eq!(sq.answers_digest, af.answers_digest);
+        assert!(
+            af.cache.hits > sq.cache.hits,
+            "affinity hits {} !> shortest-queue hits {}",
+            af.cache.hits,
+            sq.cache.hits
         );
     }
 
@@ -654,6 +1002,7 @@ mod tests {
                 requests: 40,
                 seed: 3,
                 mean_interarrival_s: 1e-9,
+                ..TraceConfig::default()
             },
             &s,
         );
@@ -675,12 +1024,14 @@ mod tests {
         let s = suite();
         // A near-simultaneous burst on a fast link, so the fabric compute
         // time — not the shared-link serialization — is the bottleneck and
-        // replication can actually help.
+        // replication can actually help. Caching off keeps service times
+        // instance-independent for a clean comparison.
         let t = ArrivalTrace::generate(
             &TraceConfig {
                 requests: 96,
                 seed: 13,
                 mean_interarrival_s: 1e-9,
+                ..TraceConfig::default()
             },
             &s,
         );
@@ -694,6 +1045,7 @@ mod tests {
                 ServeConfig {
                     instances,
                     queue_capacity: 256,
+                    story_cache: 0,
                     pcie: fast_link,
                     ..ServeConfig::default()
                 },
@@ -719,6 +1071,42 @@ mod tests {
     }
 
     #[test]
+    fn caching_improves_throughput_under_story_reuse() {
+        let s = suite();
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests: 128,
+                seed: 23,
+                mean_interarrival_s: 1e-9,
+                story_pool: 4,
+            },
+            &s,
+        );
+        let serve_with = |story_cache| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    queue_capacity: 256,
+                    story_cache,
+                    policy: SchedulePolicy::StoryAffinity,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t).report
+        };
+        let cold = serve_with(0);
+        let warm = serve_with(8);
+        assert_eq!(cold.answers_digest, warm.answers_digest);
+        assert!(warm.cache.hits > 0);
+        assert!(
+            warm.makespan_s < cold.makespan_s,
+            "warm {} !< cold {}",
+            warm.makespan_s,
+            cold.makespan_s
+        );
+    }
+
+    #[test]
     fn policies_agree_on_answers_but_may_differ_in_timing() {
         let s = suite();
         let t = trace(&s, 48);
@@ -735,8 +1123,10 @@ mod tests {
         };
         let rr = serve_with(SchedulePolicy::RoundRobin);
         let sq = serve_with(SchedulePolicy::ShortestQueue);
+        let af = serve_with(SchedulePolicy::StoryAffinity);
         assert_eq!(rr.report.answers_digest, sq.report.answers_digest);
         assert_eq!(rr.report.completed, sq.report.completed);
+        assert_eq!(sq.report.answers_digest, af.report.answers_digest);
     }
 
     #[test]
@@ -751,6 +1141,7 @@ mod tests {
         assert!(out.completions.is_empty());
         assert_eq!(out.report.makespan_s, 0.0);
         assert_eq!(out.report.total_energy_j, 0.0);
+        assert_eq!(out.report.cache.hits + out.report.cache.misses, 0);
     }
 
     #[test]

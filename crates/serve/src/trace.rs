@@ -25,6 +25,11 @@ pub struct TraceConfig {
     /// 100 MHz instance to roughly its single-stream service rate, so a
     /// few instances sharing one link show real queueing.
     pub mean_interarrival_s: f64,
+    /// Restrict each task's sample draws to its first `story_pool` test
+    /// samples (0 = the whole test set, the historical behavior). Small
+    /// pools model many questions over few stories — the bAbI access
+    /// pattern the story cache exploits.
+    pub story_pool: usize,
 }
 
 impl Default for TraceConfig {
@@ -33,6 +38,7 @@ impl Default for TraceConfig {
             requests: 256,
             seed: 0,
             mean_interarrival_s: 200e-6,
+            story_pool: 0,
         }
     }
 }
@@ -72,7 +78,13 @@ impl ArrivalTrace {
                 let u: f64 = rng.gen_range(0.0f64..1.0);
                 now_s += -config.mean_interarrival_s * (1.0 - u).ln();
                 let task_idx = rng.gen_range(0..suite.tasks.len());
-                let sample_idx = rng.gen_range(0..suite.tasks[task_idx].test_set.len());
+                let len = suite.tasks[task_idx].test_set.len();
+                let limit = if config.story_pool == 0 {
+                    len
+                } else {
+                    config.story_pool.min(len)
+                };
+                let sample_idx = rng.gen_range(0..limit);
                 Request {
                     id: id as u64,
                     task_idx,
@@ -174,6 +186,7 @@ mod tests {
             requests: 2000,
             seed: 9,
             mean_interarrival_s: 100e-6,
+            ..TraceConfig::default()
         };
         let t = ArrivalTrace::generate(&cfg, &s);
         let mean = t.span().as_s() / t.len() as f64;
@@ -181,6 +194,39 @@ mod tests {
             (mean - 100e-6).abs() < 15e-6,
             "empirical mean inter-arrival {mean}"
         );
+    }
+
+    #[test]
+    fn story_pool_restricts_sample_draws_without_shifting_arrivals() {
+        let s = suite();
+        let base = TraceConfig {
+            requests: 64,
+            seed: 4,
+            ..TraceConfig::default()
+        };
+        let full = ArrivalTrace::generate(&base, &s);
+        let pooled = ArrivalTrace::generate(
+            &TraceConfig {
+                story_pool: 2,
+                ..base.clone()
+            },
+            &s,
+        );
+        assert!(pooled.requests.iter().all(|r| r.sample_idx < 2));
+        // Pool 0 and pool >= test-set size reproduce the unrestricted draw.
+        let wide = ArrivalTrace::generate(
+            &TraceConfig {
+                story_pool: 999,
+                ..base.clone()
+            },
+            &s,
+        );
+        assert_eq!(full.requests, wide.requests);
+        // The RNG stream (arrivals, task picks) is shared: same schedule.
+        for (a, b) in full.requests.iter().zip(&pooled.requests) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.task_idx, b.task_idx);
+        }
     }
 
     #[test]

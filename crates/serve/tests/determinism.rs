@@ -2,14 +2,16 @@
 //!
 //! The serving layer must be a *pure orchestrator*: replaying the same
 //! trace on any instance count, any scheduler policy, and any worker-pool
-//! width yields identical per-request numeric results, and every served
-//! inference is bit-identical to running the same sample standalone on an
-//! [`Accelerator`].
+//! width yields identical per-request answers, and — with the story cache
+//! off — every served inference is bit-identical to running the same
+//! sample standalone on an [`Accelerator`]. With the cache on, hits may
+//! shed CONTROL/WRITE cycles and upload time, but never touch the
+//! READ/OUTPUT side of a run.
 
 use mann_babi::TaskId;
 use mann_core::{SuiteConfig, TaskSuite};
 use mann_hw::{AccelConfig, Accelerator};
-use mann_serve::{ArrivalTrace, SchedulePolicy, ServeConfig, Server, TraceConfig};
+use mann_serve::{ArrivalTrace, EngineMode, SchedulePolicy, ServeConfig, Server, TraceConfig};
 
 fn suite() -> TaskSuite {
     let cfg = SuiteConfig {
@@ -32,6 +34,7 @@ fn trace(suite: &TaskSuite) -> ArrivalTrace {
             requests: 80,
             seed: 7,
             mean_interarrival_s: 120e-6,
+            ..TraceConfig::default()
         },
         suite,
     )
@@ -41,6 +44,8 @@ fn trace(suite: &TaskSuite) -> ArrivalTrace {
 fn instance_count_never_changes_a_result() {
     let s = suite();
     let t = trace(&s);
+    // Cache off: service times are instance-independent, so the full
+    // InferenceRun must replay identically on any replica count.
     let outcomes: Vec<_> = [1usize, 2, 4]
         .into_iter()
         .map(|instances| {
@@ -49,6 +54,7 @@ fn instance_count_never_changes_a_result() {
                 ServeConfig {
                     instances,
                     queue_capacity: 256,
+                    story_cache: 0,
                     ..ServeConfig::default()
                 },
             );
@@ -73,11 +79,49 @@ fn instance_count_never_changes_a_result() {
 }
 
 #[test]
+fn cached_serving_preserves_answers_across_instance_counts() {
+    let s = suite();
+    let t = trace(&s);
+    // With per-instance caches, *which* requests hit depends on the
+    // replica count — but answers, comparisons and the READ/OUTPUT phases
+    // never move.
+    let outcomes: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|instances| {
+            let server = Server::new(
+                &s,
+                ServeConfig {
+                    instances,
+                    queue_capacity: 256,
+                    policy: SchedulePolicy::StoryAffinity,
+                    ..ServeConfig::default()
+                },
+            );
+            server.serve(&t)
+        })
+        .collect();
+    let reference = &outcomes[0];
+    for out in &outcomes[1..] {
+        assert_eq!(out.report.answers_digest, reference.report.answers_digest);
+        assert_eq!(out.report.accuracy, reference.report.accuracy);
+        for (a, b) in reference.completions.iter().zip(&out.completions) {
+            assert_eq!(a.run.answer, b.run.answer);
+            assert_eq!(a.run.comparisons, b.run.comparisons);
+            assert_eq!(a.run.phases.addressing, b.run.phases.addressing);
+            assert_eq!(a.run.phases.read, b.run.phases.read);
+            assert_eq!(a.run.phases.controller, b.run.phases.controller);
+            assert_eq!(a.run.phases.output, b.run.phases.output);
+        }
+    }
+}
+
+#[test]
 fn served_runs_equal_standalone_accelerator_runs() {
     let s = suite();
     let t = trace(&s);
     let config = ServeConfig {
         instances: 3,
+        story_cache: 0,
         ..ServeConfig::default()
     };
     let server = Server::new(&s, config.clone());
@@ -116,13 +160,21 @@ fn served_runs_equal_standalone_accelerator_runs() {
 }
 
 #[test]
-fn reports_are_byte_identical_across_worker_pool_widths() {
+fn reports_are_byte_identical_across_worker_pool_widths_and_engines() {
     let s = suite();
     let t = trace(&s);
     let server = Server::new(
         &s,
         ServeConfig {
             instances: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let serial_server = Server::new(
+        &s,
+        ServeConfig {
+            instances: 2,
+            engine: EngineMode::Serial,
             ..ServeConfig::default()
         },
     );
@@ -137,6 +189,15 @@ fn reports_are_byte_identical_across_worker_pool_widths() {
             serde_json::to_string(&pinned.report).expect("serializable report"),
             auto_json,
             "report bytes changed with MANN_THREADS={width}"
+        );
+        // The serial engine ignores the pool entirely and must still match
+        // the parallel engine bit for bit.
+        let serial = serial_server.serve(&t);
+        assert_eq!(serial, auto, "serial engine diverged at width {width}");
+        assert_eq!(
+            serde_json::to_string(&serial.report).expect("serializable report"),
+            auto_json,
+            "serial report bytes diverged at width {width}"
         );
     }
     std::env::remove_var("MANN_THREADS");
@@ -166,4 +227,6 @@ fn policies_and_batching_preserve_the_answer_digest() {
     assert_eq!(digest(SchedulePolicy::RoundRobin, 4, 2), reference);
     assert_eq!(digest(SchedulePolicy::ShortestQueue, 1, 1), reference);
     assert_eq!(digest(SchedulePolicy::RoundRobin, 8, 4), reference);
+    assert_eq!(digest(SchedulePolicy::StoryAffinity, 4, 2), reference);
+    assert_eq!(digest(SchedulePolicy::StoryAffinity, 8, 4), reference);
 }

@@ -28,6 +28,10 @@ fn serve(suite: &TaskSuite, trace: &ArrivalTrace, use_ith: bool) -> ServeOutcome
             instances: 2,
             queue_capacity: 256,
             use_ith,
+            // Caching off: ITH changes service times, which would shift
+            // dispatch targets and therefore hit patterns between the two
+            // serves — this test isolates the thresholding effect.
+            story_cache: 0,
             ..ServeConfig::default()
         },
     );
@@ -42,6 +46,7 @@ fn early_exits_under_load_match_the_full_output_layer() {
             requests: 96,
             seed: 23,
             mean_interarrival_s: 120e-6,
+            ..TraceConfig::default()
         },
         &s,
     );
@@ -87,6 +92,7 @@ fn report_occupancy_reflects_the_shortened_output_phase() {
             requests: 96,
             seed: 23,
             mean_interarrival_s: 120e-6,
+            ..TraceConfig::default()
         },
         &s,
     );

@@ -27,7 +27,7 @@ use mann_accel::babi::TaskId;
 use mann_accel::core::experiments::{fig3, fig4, table1};
 use mann_accel::core::{SuiteConfig, TaskSuite};
 use mann_accel::hw::{AccelConfig, Accelerator};
-use mann_accel::serve::{ArrivalTrace, ServeConfig, Server, TraceConfig};
+use mann_accel::serve::{ArrivalTrace, SchedulePolicy, ServeConfig, Server, TraceConfig};
 use serde::json::Value;
 use serde::Serialize;
 
@@ -214,7 +214,8 @@ fn accelerator_cycle_counts_are_pinned() {
 }
 
 /// The serving layer's report on a pinned trace: latency percentiles,
-/// occupancy, link accounting, energy and the answers digest.
+/// occupancy, link accounting, cache-hit statistics, energy and the
+/// answers digest.
 #[test]
 fn serve_report_is_pinned() {
     let s = suite();
@@ -223,6 +224,7 @@ fn serve_report_is_pinned() {
             requests: 96,
             seed: 31,
             mean_interarrival_s: 150e-6,
+            ..TraceConfig::default()
         },
         s,
     );
@@ -236,4 +238,33 @@ fn serve_report_is_pinned() {
     );
     let out = server.serve(&trace);
     check_golden("serve_report.json", &out.report.to_value());
+}
+
+/// A story-affinity serve over a few-stories/many-questions trace: pins the
+/// affinity scheduler's dispatch pattern, the per-instance cache hit
+/// counters and the write-cycle/upload savings.
+#[test]
+fn serve_affinity_report_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 37,
+            mean_interarrival_s: 130e-6,
+            story_pool: 4,
+        },
+        s,
+    );
+    let server = Server::new(
+        s,
+        ServeConfig {
+            instances: 3,
+            queue_capacity: 128,
+            story_cache: 2,
+            policy: SchedulePolicy::StoryAffinity,
+            ..ServeConfig::default()
+        },
+    );
+    let out = server.serve(&trace);
+    check_golden("serve_affinity.json", &out.report.to_value());
 }
