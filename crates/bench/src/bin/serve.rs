@@ -18,6 +18,14 @@
 //! `MANN_SERVE_ENGINE` or parallel) picks the numeric-phase engine — both
 //! produce byte-identical reports.
 //!
+//! `--fault-plan <path|spec>` runs a deterministic fault campaign: either
+//! a JSON file or an inline `key=value,...` spec such as
+//! `corrupt=0.05,retries=4,crashes=2,cooldown-us=300,watchdog-us=400,seus=3,seed=7`.
+//! `--watchdog <us>` and `--max-retries <n>` override those two knobs of
+//! whatever plan is loaded. The campaign is seeded and simulated-time
+//! deterministic: the same plan prints byte-identical reports at any
+//! `MANN_THREADS` and under either engine.
+//!
 //! The serve is a pure function of `(suite, trace, config)`: rerunning
 //! with the same flags — at any `MANN_THREADS` — prints byte-identical
 //! numbers, and the `answers digest` line is invariant across
@@ -27,7 +35,15 @@
 use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
 use mann_hw::{StoryCache, DEFAULT_STORY_CACHE};
-use mann_serve::{ArrivalTrace, EngineMode, SchedulePolicy, ServeConfig, Server, TraceConfig};
+use mann_serve::{
+    ArrivalTrace, EngineMode, FaultConfig, SchedulePolicy, ServeConfig, Server, TraceConfig,
+};
+
+/// Prints a CLI-usage error and exits with status 2.
+fn usage_bail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("[serve] {msg}");
+    std::process::exit(2);
+}
 
 struct ServeArgs {
     instances: usize,
@@ -42,6 +58,7 @@ struct ServeArgs {
     story_cache: usize,
     story_pool: usize,
     engine: EngineMode,
+    faults: FaultConfig,
 }
 
 impl ServeArgs {
@@ -57,11 +74,18 @@ impl ServeArgs {
             trace_seed: 0,
             ith: false,
             // Env defaults so a whole experiment sweep can be reconfigured
-            // without touching every invocation; flags still win.
-            story_cache: StoryCache::capacity_from_env().unwrap_or(DEFAULT_STORY_CACHE),
+            // without touching every invocation; flags still win. Invalid
+            // env values are hard errors — a typo must not silently serve
+            // with the default.
+            story_cache: StoryCache::capacity_from_env()
+                .unwrap_or_else(|e| usage_bail(e))
+                .unwrap_or(DEFAULT_STORY_CACHE),
             story_pool: 0,
-            engine: EngineMode::from_env(),
+            engine: EngineMode::from_env().unwrap_or_else(|e| usage_bail(e)),
+            faults: FaultConfig::none(),
         };
+        let mut watchdog_us: Option<f64> = None;
+        let mut max_retries: Option<u32> = None;
         let mut it = args.into_iter();
         while let Some(key) = it.next() {
             let mut grab = |name: &str| -> String {
@@ -96,11 +120,33 @@ impl ServeArgs {
                 "--pool" => out.story_pool = num("--pool", grab("--pool")) as usize,
                 "--engine" => {
                     let v = grab("--engine");
-                    out.engine = EngineMode::parse(&v)
-                        .unwrap_or_else(|| panic!("usage: --engine serial|parallel"));
+                    out.engine = EngineMode::parse(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--fault-plan" => {
+                    let v = grab("--fault-plan");
+                    out.faults = FaultConfig::from_arg(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--watchdog" => {
+                    let v = grab("--watchdog");
+                    watchdog_us = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage_bail("usage: --watchdog <microseconds>")),
+                    );
+                }
+                "--max-retries" => {
+                    max_retries = Some(num("--max-retries", grab("--max-retries")) as u32);
                 }
                 _ => {} // shared HarnessArgs flags
             }
+        }
+        if let Some(us) = watchdog_us {
+            out.faults.watchdog_s = us * 1e-6;
+        }
+        if let Some(r) = max_retries {
+            out.faults.max_retries = r;
+        }
+        if let Err(e) = out.faults.validate() {
+            usage_bail(e);
         }
         out
     }
@@ -141,6 +187,7 @@ fn main() {
         use_ith: serve_args.ith,
         story_cache: serve_args.story_cache,
         engine: serve_args.engine,
+        faults: serve_args.faults,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -159,6 +206,19 @@ fn main() {
         config.story_cache,
         config.engine,
     );
+    if config.faults.is_active() {
+        eprintln!(
+            "[serve] fault campaign active (seed {}): corrupt {} / retries {}, crashes {}, \
+             watchdog {} us, seus {}, degrade depth {}",
+            config.faults.seed,
+            config.faults.link_corrupt_prob,
+            config.faults.max_retries,
+            config.faults.crashes,
+            config.faults.watchdog_s * 1e6,
+            config.faults.seus,
+            config.faults.degrade_depth,
+        );
+    }
 
     let server = Server::new(&suite, config);
     let outcome = server.serve(&trace);

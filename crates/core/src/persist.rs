@@ -27,42 +27,14 @@ pub struct ModelBundle {
 }
 
 /// Errors from bundle (de)serialization.
-#[derive(Debug)]
+#[derive(Debug, thiserror::Error)]
 pub enum PersistError {
     /// Filesystem failure.
-    Io(io::Error),
+    #[error("bundle io error: {0}")]
+    Io(#[from] io::Error),
     /// Malformed JSON or schema mismatch.
-    Format(serde_json::Error),
-}
-
-impl std::fmt::Display for PersistError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PersistError::Io(e) => write!(f, "bundle io error: {e}"),
-            PersistError::Format(e) => write!(f, "bundle format error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PersistError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            PersistError::Io(e) => Some(e),
-            PersistError::Format(e) => Some(e),
-        }
-    }
-}
-
-impl From<io::Error> for PersistError {
-    fn from(e: io::Error) -> Self {
-        PersistError::Io(e)
-    }
-}
-
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
-        PersistError::Format(e)
-    }
+    #[error("bundle format error: {0}")]
+    Format(#[from] serde_json::Error),
 }
 
 impl ModelBundle {

@@ -103,6 +103,21 @@ impl PowerModel {
     pub fn active_energy_j(&self, freq_mhz: f64, busy_s: f64) -> f64 {
         self.active_w_per_mhz * freq_mhz * busy_s.max(0.0)
     }
+
+    /// Energy attributed to link-level recovery: for `retry_s` seconds the
+    /// board replays a corrupted PCIe transfer, so the fabric sits idle
+    /// while static and clock-tree power keep burning. This is the joule
+    /// cost the fault report charges to retransmissions (datapath activity
+    /// is excluded — the DMA engine, not the fabric, is working). Negative
+    /// durations cost nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_mhz` is not positive.
+    pub fn retry_energy_j(&self, freq_mhz: f64, retry_s: f64) -> f64 {
+        assert!(freq_mhz > 0.0, "frequency must be positive");
+        (self.static_w + self.clock_w_per_mhz * freq_mhz) * retry_s.max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +172,16 @@ mod tests {
         assert_eq!(m.interval_energy_j(100.0, 1.0, 0.0, false), 0.0);
         let clamped = m.interval_energy_j(100.0, 9.0, 4.0, true);
         assert!((clamped - m.energy_j(100.0, 1.0, true, 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_energy_is_idle_board_power_times_time() {
+        let m = PowerModel::default();
+        // Retry energy = full-interval energy with the fabric idle.
+        let e = m.retry_energy_j(100.0, 2.0);
+        assert!((e - m.energy_j(100.0, 0.0, false, 2.0)).abs() < 1e-12);
+        assert_eq!(m.retry_energy_j(100.0, -1.0), 0.0);
+        assert_eq!(m.retry_energy_j(100.0, 0.0), 0.0);
     }
 
     #[test]

@@ -11,6 +11,36 @@ use memn2n::Params;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// SplitMix64-style mixer over `(seed, a, b)` — the deterministic decision
+/// function behind runtime fault injection. Unlike a stateful RNG, the
+/// outcome depends only on the identifiers, never on how many decisions
+/// were drawn before it, so an event loop asking "does transfer `a` corrupt
+/// on attempt `b`?" gets the same answer regardless of event interleaving
+/// — the property that keeps fault campaigns byte-identical across thread
+/// counts and engine modes.
+pub fn fault_mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z =
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic biased coin built on [`fault_mix`]: true with probability
+/// `prob` over the identifier space. `prob <= 0` never fires and
+/// `prob >= 1` (or NaN-free garbage above 1) always fires.
+pub fn fault_coin(prob: f64, seed: u64, a: u64, b: u64) -> bool {
+    if prob.is_nan() || prob <= 0.0 {
+        return false;
+    }
+    if prob >= 1.0 {
+        return true;
+    }
+    // 53-bit uniform in [0, 1).
+    let u = (fault_mix(seed, a, b) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < prob
+}
+
 /// Where an injected upset landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpsetSite {
@@ -109,6 +139,27 @@ mod tests {
             20,
             &mut StdRng::seed_from_u64(2),
         )
+    }
+
+    #[test]
+    fn fault_mix_is_deterministic_and_sensitive() {
+        assert_eq!(fault_mix(1, 2, 3), fault_mix(1, 2, 3));
+        assert_ne!(fault_mix(1, 2, 3), fault_mix(1, 2, 4));
+        assert_ne!(fault_mix(1, 2, 3), fault_mix(1, 3, 3));
+        assert_ne!(fault_mix(1, 2, 3), fault_mix(2, 2, 3));
+    }
+
+    #[test]
+    fn fault_coin_edges_and_frequency() {
+        for a in 0..64 {
+            assert!(!fault_coin(0.0, 7, a, 0));
+            assert!(!fault_coin(-1.0, 7, a, 0));
+            assert!(!fault_coin(f64::NAN, 7, a, 0));
+            assert!(fault_coin(1.0, 7, a, 0));
+        }
+        // Empirical rate over 10k identifiers lands near the target prob.
+        let fires = (0..10_000).filter(|&a| fault_coin(0.25, 9, a, 1)).count();
+        assert!((2_200..2_800).contains(&fires), "rate {fires}/10000");
     }
 
     #[test]

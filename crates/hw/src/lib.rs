@@ -64,7 +64,11 @@ pub use accel::{
 pub use clock::{ClockDomain, Cycles, SimTime};
 pub use datapath::DatapathConfig;
 pub use energy::PowerModel;
+pub use fault::{fault_coin, fault_mix, inject_upsets, inject_upsets_in_bits, UpsetSite};
 pub use pcie::{LinkArbiter, LinkGrant, PcieLink};
 pub use quantize::quantize_params;
 pub use resource::{ResourceEstimate, VCU107_BUDGET};
-pub use story::{story_digest, Admission, CacheStats, LruSet, StoryCache, DEFAULT_STORY_CACHE};
+pub use story::{
+    story_digest, Admission, CacheStats, LruSet, StoryCache, StoryCacheEnvError,
+    DEFAULT_STORY_CACHE,
+};

@@ -113,11 +113,13 @@ pub struct LinkGrant {
 pub struct LinkArbiter {
     link: PcieLink,
     pending: std::collections::VecDeque<(u64, u64, usize)>,
-    in_flight: Option<u64>,
+    in_flight: Option<(u64, u64, usize)>,
     free_at: SimTime,
     busy: SimTime,
     grants: u64,
     bytes_moved: u64,
+    retransmits: u64,
+    retry_busy: SimTime,
 }
 
 impl LinkArbiter {
@@ -131,6 +133,8 @@ impl LinkArbiter {
             busy: SimTime::ZERO,
             grants: 0,
             bytes_moved: 0,
+            retransmits: 0,
+            retry_busy: SimTime::ZERO,
         }
     }
 
@@ -165,7 +169,7 @@ impl LinkArbiter {
         let start = now.max(self.free_at);
         let duration = SimTime::from_s(self.link.batched_transfer_time_s(bytes, transfers));
         let end = start + duration;
-        self.in_flight = Some(id);
+        self.in_flight = Some((id, bytes, transfers));
         self.free_at = end;
         self.busy += duration;
         self.grants += 1;
@@ -178,6 +182,37 @@ impl LinkArbiter {
         })
     }
 
+    /// Re-grants the in-flight job for a CRC-triggered retransmission
+    /// starting at `resume_at` (the corrupted attempt's end plus the
+    /// caller's backoff). The link stays **held** through the backoff gap —
+    /// pending jobs cannot jump the queue, so strict FIFO order survives
+    /// faults — while the replayed transfer accrues busy time and payload
+    /// bytes like any other, plus the retry counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the job currently holding the link.
+    pub fn retransmit(&mut self, id: u64, resume_at: SimTime) -> LinkGrant {
+        let (current, bytes, transfers) = match self.in_flight {
+            Some(job) if job.0 == id => job,
+            other => panic!("retransmit for job {id} but in flight is {other:?}"),
+        };
+        let start = resume_at.max(self.free_at);
+        let duration = SimTime::from_s(self.link.batched_transfer_time_s(bytes, transfers));
+        let end = start + duration;
+        self.free_at = end;
+        self.busy += duration;
+        self.retry_busy += duration;
+        self.retransmits += 1;
+        self.bytes_moved += bytes;
+        LinkGrant {
+            id: current,
+            bytes,
+            start,
+            end,
+        }
+    }
+
     /// Retires the in-flight job.
     ///
     /// # Panics
@@ -186,7 +221,7 @@ impl LinkArbiter {
     /// out-of-order completion bugs in the scheduler.
     pub fn complete(&mut self, id: u64) {
         match self.in_flight.take() {
-            Some(current) if current == id => {}
+            Some((current, _, _)) if current == id => {}
             other => panic!("link completion for job {id} but in flight is {other:?}"),
         }
     }
@@ -204,6 +239,18 @@ impl LinkArbiter {
     /// Total payload bytes granted.
     pub fn bytes_moved(&self) -> u64 {
         self.bytes_moved
+    }
+
+    /// Number of retransmission grants issued via
+    /// [`retransmit`](LinkArbiter::retransmit).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Link time spent replaying corrupted transfers (a subset of
+    /// [`busy_time`](LinkArbiter::busy_time)).
+    pub fn retry_busy_time(&self) -> SimTime {
+        self.retry_busy
     }
 }
 
@@ -284,6 +331,42 @@ mod tests {
         assert_eq!(arb.bytes_moved(), 64 + 128 + 32);
         assert_eq!(arb.pending_len(), 0);
         assert!(!arb.is_busy());
+    }
+
+    #[test]
+    fn retransmit_holds_the_link_and_accrues_retry_time() {
+        let mut arb = LinkArbiter::new(PcieLink::default());
+        arb.submit(1, 256, 1);
+        arb.submit(2, 64, 1);
+        let g1 = arb.try_grant(SimTime::ZERO).unwrap();
+        // Corrupted: replay after a backoff gap. The link stays held, so
+        // job 2 cannot be granted in the gap.
+        let backoff = SimTime::from_s(10e-6);
+        let r = arb.retransmit(1, g1.end + backoff);
+        assert_eq!(r.id, 1);
+        assert_eq!(r.start, g1.end + backoff);
+        assert!(arb.try_grant(r.start).is_none(), "link must stay held");
+        assert_eq!(arb.retransmits(), 1);
+        let first = g1.end.saturating_sub(g1.start);
+        let replay = r.end.saturating_sub(r.start);
+        assert_eq!(arb.retry_busy_time(), replay);
+        assert_eq!(arb.busy_time(), first + replay);
+        assert_eq!(arb.bytes_moved(), 2 * 256);
+        // Grants counts logical jobs, not replays.
+        assert_eq!(arb.grants(), 1);
+        arb.complete(1);
+        let g2 = arb.try_grant(r.end).unwrap();
+        assert_eq!(g2.id, 2);
+        assert!(g2.start >= r.end, "FIFO order survives the retry");
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn retransmit_requires_the_holding_job() {
+        let mut arb = LinkArbiter::new(PcieLink::default());
+        arb.submit(1, 64, 1);
+        let _ = arb.try_grant(SimTime::ZERO).unwrap();
+        let _ = arb.retransmit(2, SimTime::ZERO);
     }
 
     #[test]

@@ -23,6 +23,15 @@ use crate::accel::ResidentStory;
 /// Default resident-story capacity per instance (see `MANN_STORY_CACHE`).
 pub const DEFAULT_STORY_CACHE: usize = 16;
 
+/// An unusable `MANN_STORY_CACHE` value: set, but not a non-negative
+/// integer story count (`0` disables caching).
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+#[error("invalid MANN_STORY_CACHE value {value:?}: expected a non-negative integer story count (0 disables caching)")]
+pub struct StoryCacheEnvError {
+    /// The rejected input.
+    pub value: String,
+}
+
 /// FNV-1a digest of a sample's *story* (sentence shapes and word indices;
 /// the question is deliberately excluded). Two samples with the same story
 /// but different questions collide on purpose — that is the reuse the
@@ -80,10 +89,15 @@ impl std::ops::AddAssign for CacheStats {
 /// Outcome of admitting a key into an LRU set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Admission {
-    /// Whether the key was already resident.
+    /// Whether the key was already resident (and clean).
     pub hit: bool,
     /// The key evicted to make room, if any.
     pub evicted: Option<u64>,
+    /// Whether the key was resident but poisoned by an SEU: the digest
+    /// check caught the corruption, so the admit counts as a miss (the
+    /// story must be re-uploaded and re-written) and the entry comes back
+    /// clean.
+    pub scrubbed: bool,
 }
 
 /// A bounded LRU set of story keys — the digest-only residency model the
@@ -98,6 +112,9 @@ pub struct Admission {
 pub struct LruSet {
     capacity: usize,
     keys: Vec<u64>,
+    // Resident keys whose BRAM image took a runtime SEU: still occupying a
+    // slot, but the next admit detects the bad digest and scrubs.
+    poisoned: Vec<u64>,
     stats: CacheStats,
 }
 
@@ -108,6 +125,7 @@ impl LruSet {
         Self {
             capacity,
             keys: Vec::with_capacity(capacity),
+            poisoned: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -137,16 +155,61 @@ impl LruSet {
         self.stats
     }
 
-    /// Admits `key`: a resident key is refreshed to most-recently-used, a
-    /// new key is inserted, evicting the LRU key when full.
+    /// Resident keys in least- to most-recently-used order.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Marks a resident key as SEU-poisoned: it keeps its slot, but the
+    /// next admit of that key detects the digest mismatch and scrubs
+    /// instead of hitting. Returns whether the key was resident (a flip in
+    /// an unoccupied BRAM row is harmless). Idempotent.
+    pub fn poison(&mut self, key: u64) -> bool {
+        if !self.keys.contains(&key) {
+            return false;
+        }
+        if !self.poisoned.contains(&key) {
+            self.poisoned.push(key);
+        }
+        true
+    }
+
+    /// Whether `key` is resident but carrying an undetected SEU.
+    pub fn is_poisoned(&self, key: u64) -> bool {
+        self.poisoned.contains(&key)
+    }
+
+    /// Drops every resident key (and any pending poison marks) while
+    /// keeping the counters — the failover invalidation: a recovering
+    /// instance's BRAM contents cannot be trusted after a crash.
+    pub fn clear_resident(&mut self) {
+        self.keys.clear();
+        self.poisoned.clear();
+    }
+
+    /// Admits `key`: a clean resident key is refreshed to
+    /// most-recently-used, a new key is inserted, evicting the LRU key when
+    /// full. A poisoned resident key is scrubbed: the admit counts as a
+    /// miss (the caller re-pays the upload and write phase), the entry is
+    /// refreshed and comes back clean.
     pub fn admit(&mut self, key: u64) -> Admission {
         if let Some(pos) = self.keys.iter().position(|&k| k == key) {
             self.keys.remove(pos);
             self.keys.push(key);
+            if let Some(p) = self.poisoned.iter().position(|&k| k == key) {
+                self.poisoned.remove(p);
+                self.stats.misses += 1;
+                return Admission {
+                    hit: false,
+                    evicted: None,
+                    scrubbed: true,
+                };
+            }
             self.stats.hits += 1;
             return Admission {
                 hit: true,
                 evicted: None,
+                scrubbed: false,
             };
         }
         self.stats.misses += 1;
@@ -154,11 +217,14 @@ impl LruSet {
             return Admission {
                 hit: false,
                 evicted: None,
+                scrubbed: false,
             };
         }
         let evicted = if self.keys.len() == self.capacity {
             self.stats.evictions += 1;
-            Some(self.keys.remove(0))
+            let gone = self.keys.remove(0);
+            self.poisoned.retain(|&k| k != gone);
+            Some(gone)
         } else {
             None
         };
@@ -166,6 +232,7 @@ impl LruSet {
         Admission {
             hit: false,
             evicted,
+            scrubbed: false,
         }
     }
 }
@@ -192,18 +259,37 @@ impl StoryCache {
         }
     }
 
-    /// Capacity override from the `MANN_STORY_CACHE` environment
-    /// variable, if set and parseable.
-    pub fn capacity_from_env() -> Option<usize> {
-        std::env::var("MANN_STORY_CACHE")
-            .ok()
-            .and_then(|v| v.parse().ok())
+    /// Capacity override from the `MANN_STORY_CACHE` environment variable:
+    /// `Ok(None)` when unset, `Ok(Some(n))` when set to a story count.
+    /// An unparseable value is an error, not a silent fallback —
+    /// `MANN_STORY_CACHE=sixteen` should fail loudly rather than quietly
+    /// serve with the default capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoryCacheEnvError`] when the variable is set but not a
+    /// non-negative integer.
+    pub fn capacity_from_env() -> Result<Option<usize>, StoryCacheEnvError> {
+        match std::env::var("MANN_STORY_CACHE") {
+            Err(_) => Ok(None),
+            Ok(v) => match v.parse() {
+                Ok(n) => Ok(Some(n)),
+                Err(_) => Err(StoryCacheEnvError { value: v }),
+            },
+        }
     }
 
     /// Capacity from the `MANN_STORY_CACHE` environment variable, falling
-    /// back to [`DEFAULT_STORY_CACHE`].
-    pub fn from_env() -> Self {
-        Self::new(Self::capacity_from_env().unwrap_or(DEFAULT_STORY_CACHE))
+    /// back to [`DEFAULT_STORY_CACHE`] when unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoryCacheEnvError`] when the variable is set but
+    /// unparseable.
+    pub fn from_env() -> Result<Self, StoryCacheEnvError> {
+        Ok(Self::new(
+            Self::capacity_from_env()?.unwrap_or(DEFAULT_STORY_CACHE),
+        ))
     }
 
     /// Maximum resident stories.
@@ -330,6 +416,49 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.stats().misses, 3);
         assert_eq!(s.stats().evictions, 0);
+    }
+
+    #[test]
+    fn poisoned_key_scrubs_once_then_hits_clean() {
+        let mut s = LruSet::new(2);
+        s.admit(1);
+        s.admit(2);
+        assert!(s.poison(1));
+        assert!(s.is_poisoned(1));
+        assert!(!s.poison(99), "non-resident keys cannot be poisoned");
+        let a = s.admit(1);
+        assert!(a.scrubbed && !a.hit, "scrub counts as a miss");
+        assert!(!s.is_poisoned(1));
+        let b = s.admit(1);
+        assert!(b.hit && !b.scrubbed, "scrubbed entry is clean again");
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (1, 3));
+    }
+
+    #[test]
+    fn eviction_and_clear_drop_poison_marks() {
+        let mut s = LruSet::new(1);
+        s.admit(5);
+        s.poison(5);
+        s.admit(6); // evicts 5
+        s.admit(5); // 5 re-enters clean (the flip died with the old image)
+        assert!(!s.is_poisoned(5));
+        s.poison(5);
+        let stats_before = s.stats();
+        s.clear_resident();
+        assert!(s.is_empty());
+        assert!(!s.is_poisoned(5));
+        assert_eq!(s.stats(), stats_before, "clear keeps the counters");
+        assert!(!s.admit(5).scrubbed);
+    }
+
+    #[test]
+    fn keys_expose_lru_order() {
+        let mut s = LruSet::new(3);
+        s.admit(1);
+        s.admit(2);
+        s.admit(1);
+        assert_eq!(s.keys(), &[2, 1]);
     }
 
     #[test]

@@ -91,6 +91,31 @@ impl ThresholdingModel {
     pub fn active_classes(&self) -> usize {
         self.thresholds.iter().filter(|t| t.theta.is_some()).count()
     }
+
+    /// A copy of the model with every active threshold lowered by
+    /// `margin` — the aggressive operating point a server shifts to under
+    /// overload. Lower θ admits smaller logits, so the sequential output
+    /// scan exits earlier: cheaper answers at some accuracy cost (the
+    /// Fig 3 trade-off pushed past the calibrated ρ). Classes with
+    /// speculation disabled stay disabled — there is no calibrated density
+    /// to loosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative or not finite.
+    pub fn degraded(&self, margin: f32) -> Self {
+        assert!(
+            margin.is_finite() && margin >= 0.0,
+            "degraded margin must be finite and non-negative, got {margin}"
+        );
+        let mut out = self.clone();
+        for t in &mut out.thresholds {
+            if let Some(theta) = &mut t.theta {
+                *theta -= margin;
+            }
+        }
+        out
+    }
 }
 
 /// How the per-class hypothesis weight of the posterior is chosen.
@@ -249,6 +274,44 @@ mod tests {
         );
         trainer.train();
         trainer.into_parts()
+    }
+
+    #[test]
+    fn degraded_lowers_active_thresholds_only() {
+        let model = ThresholdingModel {
+            thresholds: vec![
+                ClassThreshold { theta: Some(3.0) },
+                ClassThreshold { theta: None },
+                ClassThreshold { theta: Some(-1.0) },
+            ],
+            order: vec![0, 2, 1],
+            silhouettes: vec![0.5, 0.0, 0.3],
+            rho: 0.99,
+            kernel: Kernel::Epanechnikov,
+        };
+        let deg = model.degraded(0.75);
+        assert_eq!(deg.thresholds[0].theta, Some(2.25));
+        assert_eq!(deg.thresholds[1].theta, None);
+        assert_eq!(deg.thresholds[2].theta, Some(-1.75));
+        assert_eq!(deg.order, model.order);
+        // Zero margin is the identity.
+        assert_eq!(model.degraded(0.0).thresholds, model.thresholds);
+        // A lower threshold fires on logits the calibrated one rejects.
+        assert!(deg.thresholds[0].fires(2.5));
+        assert!(!model.thresholds[0].fires(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn degraded_rejects_negative_margin() {
+        let model = ThresholdingModel {
+            thresholds: vec![ClassThreshold { theta: Some(1.0) }],
+            order: vec![0],
+            silhouettes: vec![0.1],
+            rho: 0.99,
+            kernel: Kernel::Epanechnikov,
+        };
+        let _ = model.degraded(-0.1);
     }
 
     #[test]

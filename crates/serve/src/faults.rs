@@ -1,0 +1,678 @@
+//! Deterministic fault-injection campaigns for the serve stack.
+//!
+//! A [`FaultConfig`] describes *what can go wrong* during a serve — link
+//! corruption, instance crashes, radiation upsets in resident story
+//! memory, host-queue overload — and a [`FaultPlan`] materializes that
+//! description into a concrete, seeded schedule of fault events in
+//! simulated time. The plan is a pure function of `(config, trace span,
+//! instance count)`: every decision — whether a given transfer attempt is
+//! corrupted, when an instance crashes, which resident story an SEU
+//! flips — derives from counter-mode hashes ([`mann_hw::fault_mix`]) or a
+//! dedicated `StdRng` stream, never from wall-clock state or event-loop
+//! interleaving. That is what makes a fault campaign byte-identical
+//! across `MANN_THREADS` settings and across the serial/parallel engines.
+//!
+//! Recovery is the serving engine's job ([`crate::Server::serve`]): CRC
+//! retransmission with bounded exponential backoff, watchdog-driven
+//! failover to a healthy replica, degraded-ITH admission under overload,
+//! and scrub-and-reupload of poisoned resident stories. The outcome is
+//! summarized in a [`FaultReport`] embedded in the serve report.
+
+use mann_hw::{fault_coin, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mann_core::report::{fnum, TextTable};
+
+/// Everything that can go wrong reading or validating a fault plan.
+#[derive(Debug, thiserror::Error)]
+pub enum FaultPlanError {
+    /// The plan file could not be read.
+    #[error("cannot read fault plan {path}: {source}")]
+    Io {
+        /// Path of the unreadable plan.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The plan file was not valid JSON of the expected shape.
+    #[error("cannot parse fault plan {path}: {source}")]
+    Parse {
+        /// Path of the malformed plan.
+        path: String,
+        /// The underlying JSON error.
+        source: serde_json::Error,
+    },
+    /// A field value is out of range or inconsistent.
+    #[error("invalid fault plan: {field} {reason}")]
+    Invalid {
+        /// The offending field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An inline `key=value` spec used an unknown key.
+    #[error(
+        "unknown fault-plan key {key:?}: expected one of seed, corrupt, retries, \
+         backoff-us, crashes, cooldown-us, watchdog-us, seus, degrade-depth, degrade-margin"
+    )]
+    UnknownKey {
+        /// The unrecognized key.
+        key: String,
+    },
+    /// An inline `key=value` spec had an unparseable value.
+    #[error("bad value {value:?} for fault-plan key {key}")]
+    BadValue {
+        /// The key whose value failed to parse.
+        key: String,
+        /// The rejected value text.
+        value: String,
+    },
+}
+
+/// Declarative description of one fault campaign.
+///
+/// The default value injects nothing: a zero [`FaultConfig`] serves
+/// byte-identically to a build without the fault layer at all (pinned by
+/// the golden suite). All probabilities and durations are interpreted in
+/// simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultConfig {
+    /// Seed of the campaign; all fault randomness derives from it.
+    pub seed: u64,
+    /// Per-attempt probability that a link transfer arrives corrupted
+    /// (detected by CRC at the receiver, answered by retransmission).
+    pub link_corrupt_prob: f64,
+    /// Retransmissions allowed per link job before the payload is
+    /// declared undeliverable and its requests are shed.
+    pub max_retries: u32,
+    /// Backoff before the first retransmission, seconds; doubles per
+    /// subsequent attempt on the same job.
+    pub backoff_base_s: f64,
+    /// Instance crash events injected uniformly over the trace span.
+    pub crashes: u32,
+    /// Time a crashed instance stays down before rejoining, seconds.
+    pub crash_cooldown_s: f64,
+    /// Per-request watchdog timeout, seconds; 0 disables the watchdog.
+    /// Required whenever `crashes > 0` — it is the only mechanism that
+    /// rescues requests stranded on a dead instance.
+    pub watchdog_s: f64,
+    /// Single-event upsets injected into resident story memory, uniformly
+    /// over the trace span.
+    pub seus: u32,
+    /// Host-queue depth at (and beyond) which newly admitted requests are
+    /// answered in aggressive-ITH degraded mode; 0 disables degradation.
+    pub degrade_depth: usize,
+    /// How far degraded mode lowers every calibrated ITH threshold
+    /// (earlier early-exit: cheaper, less accurate).
+    pub degrade_margin: f32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            link_corrupt_prob: 0.0,
+            max_retries: 3,
+            backoff_base_s: 1e-6,
+            crashes: 0,
+            crash_cooldown_s: 100e-6,
+            watchdog_s: 0.0,
+            seus: 0,
+            degrade_depth: 0,
+            degrade_margin: 0.0,
+        }
+    }
+}
+
+// Hand-written so that partial plan files work: every omitted field keeps
+// its default, which lets a plan say only `{"crashes": 2, "watchdog-us"...}`
+// without restating the whole struct. (The derived deserializer treats a
+// missing field as an error.)
+impl Deserialize for FaultConfig {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        let serde_json::Value::Object(pairs) = v else {
+            return Err(serde_json::Error::msg(format!(
+                "expected fault-config object, got {}",
+                v.kind()
+            )));
+        };
+        let mut out = Self::default();
+        for (key, val) in pairs {
+            match key.as_str() {
+                "seed" => out.seed = Deserialize::from_value(val)?,
+                "link_corrupt_prob" => out.link_corrupt_prob = Deserialize::from_value(val)?,
+                "max_retries" => out.max_retries = Deserialize::from_value(val)?,
+                "backoff_base_s" => out.backoff_base_s = Deserialize::from_value(val)?,
+                "crashes" => out.crashes = Deserialize::from_value(val)?,
+                "crash_cooldown_s" => out.crash_cooldown_s = Deserialize::from_value(val)?,
+                "watchdog_s" => out.watchdog_s = Deserialize::from_value(val)?,
+                "seus" => out.seus = Deserialize::from_value(val)?,
+                "degrade_depth" => out.degrade_depth = Deserialize::from_value(val)?,
+                "degrade_margin" => out.degrade_margin = Deserialize::from_value(val)?,
+                other => {
+                    return Err(serde_json::Error::msg(format!(
+                        "unknown fault-config field `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl FaultConfig {
+    /// A campaign that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this campaign injects any fault at all. An inactive config
+    /// leaves the serve path untouched (byte-identical reports).
+    pub fn is_active(&self) -> bool {
+        self.link_corrupt_prob > 0.0 || self.crashes > 0 || self.seus > 0 || self.degrade_depth > 0
+    }
+
+    /// Checks ranges and cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Invalid`] naming the first bad field.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let bad =
+            |field: &'static str, reason: String| Err(FaultPlanError::Invalid { field, reason });
+        if !(self.link_corrupt_prob.is_finite() && (0.0..=1.0).contains(&self.link_corrupt_prob)) {
+            return bad(
+                "link_corrupt_prob",
+                format!("must be in [0, 1], got {}", self.link_corrupt_prob),
+            );
+        }
+        if self.link_corrupt_prob >= 1.0 {
+            return bad(
+                "link_corrupt_prob",
+                "of 1.0 corrupts every attempt forever; no transfer can succeed".into(),
+            );
+        }
+        if !(self.backoff_base_s.is_finite() && self.backoff_base_s >= 0.0) {
+            return bad(
+                "backoff_base_s",
+                format!("must be finite and >= 0, got {}", self.backoff_base_s),
+            );
+        }
+        if !(self.crash_cooldown_s.is_finite() && self.crash_cooldown_s >= 0.0) {
+            return bad(
+                "crash_cooldown_s",
+                format!("must be finite and >= 0, got {}", self.crash_cooldown_s),
+            );
+        }
+        if !(self.watchdog_s.is_finite() && self.watchdog_s >= 0.0) {
+            return bad(
+                "watchdog_s",
+                format!("must be finite and >= 0, got {}", self.watchdog_s),
+            );
+        }
+        if self.crashes > 0 && self.watchdog_s <= 0.0 {
+            return bad(
+                "watchdog_s",
+                "must be positive when crashes > 0 (the watchdog is the only \
+                 mechanism that rescues requests stranded on a dead instance)"
+                    .into(),
+            );
+        }
+        if !(self.degrade_margin.is_finite() && self.degrade_margin >= 0.0) {
+            return bad(
+                "degrade_margin",
+                format!("must be finite and >= 0, got {}", self.degrade_margin),
+            );
+        }
+        Ok(())
+    }
+
+    /// Loads a plan from a JSON file. Omitted fields keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] on unreadable files, malformed JSON, or
+    /// out-of-range fields.
+    pub fn load(path: &str) -> Result<Self, FaultPlanError> {
+        let text = std::fs::read_to_string(path).map_err(|source| FaultPlanError::Io {
+            path: path.to_owned(),
+            source,
+        })?;
+        let config: Self = serde_json::from_str(&text).map_err(|source| FaultPlanError::Parse {
+            path: path.to_owned(),
+            source,
+        })?;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Parses an inline `key=value[,key=value...]` spec, e.g.
+    /// `corrupt=0.05,retries=4,crashes=2,watchdog-us=400,seed=7`.
+    ///
+    /// Keys: `seed`, `corrupt`, `retries`, `backoff-us`, `crashes`,
+    /// `cooldown-us`, `watchdog-us`, `seus`, `degrade-depth`,
+    /// `degrade-margin`. Omitted keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] on unknown keys, unparseable values, or
+    /// out-of-range fields.
+    pub fn parse_spec(spec: &str) -> Result<Self, FaultPlanError> {
+        let mut out = Self::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultPlanError::BadValue {
+                    key: part.trim().to_owned(),
+                    value: String::new(),
+                })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || FaultPlanError::BadValue {
+                key: key.to_owned(),
+                value: value.to_owned(),
+            };
+            match key {
+                "seed" => out.seed = value.parse().map_err(|_| bad())?,
+                "corrupt" => out.link_corrupt_prob = value.parse().map_err(|_| bad())?,
+                "retries" => out.max_retries = value.parse().map_err(|_| bad())?,
+                "backoff-us" => {
+                    out.backoff_base_s = value.parse::<f64>().map_err(|_| bad())? * 1e-6;
+                }
+                "crashes" => out.crashes = value.parse().map_err(|_| bad())?,
+                "cooldown-us" => {
+                    out.crash_cooldown_s = value.parse::<f64>().map_err(|_| bad())? * 1e-6;
+                }
+                "watchdog-us" => {
+                    out.watchdog_s = value.parse::<f64>().map_err(|_| bad())? * 1e-6;
+                }
+                "seus" => out.seus = value.parse().map_err(|_| bad())?,
+                "degrade-depth" => out.degrade_depth = value.parse().map_err(|_| bad())?,
+                "degrade-margin" => out.degrade_margin = value.parse().map_err(|_| bad())?,
+                _ => {
+                    return Err(FaultPlanError::UnknownKey {
+                        key: key.to_owned(),
+                    })
+                }
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Loads from either an inline spec (contains `=`) or a JSON file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlanError`] from whichever form was detected.
+    pub fn from_arg(arg: &str) -> Result<Self, FaultPlanError> {
+        if arg.contains('=') {
+            Self::parse_spec(arg)
+        } else {
+            Self::load(arg)
+        }
+    }
+}
+
+/// A materialized fault schedule: the [`FaultConfig`] plus concrete,
+/// seeded crash and SEU event times for one `(trace span, instances)`
+/// geometry. Link-corruption decisions are not precomputed — they hash
+/// `(job, attempt)` on demand, so they cost nothing when clean and never
+/// depend on event interleaving.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// `(time, instance)` crash events, time-ordered.
+    crash_events: Vec<(SimTime, usize)>,
+    /// `(time, instance, pick)` SEU events, time-ordered; `pick` selects
+    /// a resident story uniformly at fire time.
+    seu_events: Vec<(SimTime, usize, u64)>,
+}
+
+/// Domain-separation constants: one per consumer of the campaign seed, so
+/// streams never alias.
+const STREAM_LINK: u64 = 0x6c69_6e6b;
+const STREAM_CRASH: u64 = 0x0063_7261_7368;
+const STREAM_SEU: u64 = 0x0073_6575;
+
+impl FaultPlan {
+    /// Materializes `config` over a trace of `span` with `instances`
+    /// replicas. Validates the config first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::Invalid`] on a bad config.
+    pub fn materialize(
+        config: &FaultConfig,
+        span: SimTime,
+        instances: usize,
+    ) -> Result<Self, FaultPlanError> {
+        config.validate()?;
+        assert!(instances > 0, "fault plan needs at least one instance");
+        // Degenerate single-request traces have span 0; give the uniform
+        // draw a 1 ns floor so events still land at a defined time.
+        let horizon_s = span.as_s().max(1e-9);
+        let mut crash_rng = StdRng::seed_from_u64(config.seed ^ STREAM_CRASH);
+        let mut crash_events: Vec<(SimTime, usize)> = (0..config.crashes)
+            .map(|_| {
+                let t = crash_rng.gen_range(0.0..horizon_s);
+                let inst = crash_rng.gen_range(0..instances);
+                (SimTime::from_s(t), inst)
+            })
+            .collect();
+        crash_events.sort_by_key(|&(t, i)| (t, i));
+        let mut seu_rng = StdRng::seed_from_u64(config.seed ^ STREAM_SEU);
+        let mut seu_events: Vec<(SimTime, usize, u64)> = (0..config.seus)
+            .map(|_| {
+                let t = seu_rng.gen_range(0.0..horizon_s);
+                let inst = seu_rng.gen_range(0..instances);
+                let pick = seu_rng.next_u64();
+                (SimTime::from_s(t), inst, pick)
+            })
+            .collect();
+        seu_events.sort_by_key(|&(t, i, _)| (t, i));
+        Ok(Self {
+            config: config.clone(),
+            crash_events,
+            seu_events,
+        })
+    }
+
+    /// The campaign description this plan was materialized from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether transfer attempt `attempt` of link job `job` arrives
+    /// corrupted. Pure in `(seed, job, attempt)` — independent of when the
+    /// attempt happens or what else is in flight.
+    pub fn corrupts(&self, job: u64, attempt: u32) -> bool {
+        fault_coin(
+            self.config.link_corrupt_prob,
+            self.config.seed ^ STREAM_LINK,
+            job,
+            u64::from(attempt),
+        )
+    }
+
+    /// Backoff before retransmitting after `attempt` failures of one job:
+    /// `backoff_base_s * 2^attempt`, exponential per job.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        SimTime::from_s(self.config.backoff_base_s * f64::from(1u32 << attempt.min(20)))
+    }
+
+    /// Scheduled `(time, instance)` crash events, time-ordered.
+    pub fn crash_events(&self) -> &[(SimTime, usize)] {
+        &self.crash_events
+    }
+
+    /// Scheduled `(time, instance, pick)` SEU events, time-ordered.
+    pub fn seu_events(&self) -> &[(SimTime, usize, u64)] {
+        &self.seu_events
+    }
+}
+
+/// What a fault campaign did to one served trace, and what recovery cost.
+///
+/// All times are simulated seconds. `mttr_*` fields are means over the
+/// repaired events of that class (0 when the class never fired):
+/// link = first corrupted attempt to the successful retransmission;
+/// instance = crash to watchdog-driven failover of a stranded request;
+/// SEU = scrub detection at dispatch to the repaired story being resident
+/// again (upload complete).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Whether any fault class was active; `false` means every other
+    /// field is zero and the serve was byte-identical to a fault-free one.
+    pub enabled: bool,
+    /// Seed the campaign derived its randomness from.
+    pub plan_seed: u64,
+    /// Link transfer attempts that arrived corrupted (CRC failures).
+    pub link_corruptions: u64,
+    /// Retransmissions issued in response.
+    pub retransmits: u64,
+    /// Link jobs that exhausted their retry budget (payload undeliverable).
+    pub retry_exhausted: u64,
+    /// Link time spent on retransmissions, seconds (subset of link busy).
+    pub retry_link_s: f64,
+    /// Board energy burned while replaying transfers, joules.
+    pub retry_energy_j: f64,
+    /// Instance crash events that hit a live instance.
+    pub crashes: u64,
+    /// Watchdog expirations that found their request still unanswered
+    /// (most are benign re-arms; see `failovers` for actual rescues).
+    pub watchdog_fires: u64,
+    /// Requests rescued off a dead instance and re-dispatched.
+    pub failovers: u64,
+    /// Requests shed because a link job exhausted its retries.
+    pub shed_link: u64,
+    /// Requests shed at admission by the bounded queue while the campaign
+    /// was active (overload class).
+    pub shed_overload: u64,
+    /// Requests answered in aggressive-ITH degraded mode.
+    pub degraded: u64,
+    /// SEU events injected (whether or not they hit a resident story).
+    pub seu_events: u64,
+    /// Poisoned stories detected by digest check and scrubbed.
+    pub scrubs: u64,
+    /// Write-phase cycles re-run to repair scrubbed stories.
+    pub scrub_cycles: u64,
+    /// Fabric energy of the scrub re-writes, joules.
+    pub scrub_energy_j: f64,
+    /// Mean time-to-repair of link corruption, seconds.
+    pub mttr_link_s: f64,
+    /// Mean time from crash to failover of a stranded request, seconds.
+    pub mttr_instance_s: f64,
+    /// Mean time from SEU detection to repaired residency, seconds.
+    pub mttr_seu_s: f64,
+}
+
+impl FaultReport {
+    /// Requests shed for any reason.
+    pub fn total_shed(&self) -> u64 {
+        self.shed_link + self.shed_overload
+    }
+
+    /// Renders the campaign summary as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["fault metric".into(), "value".into()]);
+        t.row(vec!["plan seed".into(), self.plan_seed.to_string()]);
+        t.row(vec![
+            "link corruptions".into(),
+            format!(
+                "{} ({} retransmits, {} exhausted)",
+                self.link_corruptions, self.retransmits, self.retry_exhausted
+            ),
+        ]);
+        t.row(vec![
+            "retry cost".into(),
+            format!(
+                "{} us link, {} J",
+                fnum(self.retry_link_s * 1e6, 1),
+                fnum(self.retry_energy_j, 3)
+            ),
+        ]);
+        t.row(vec![
+            "crashes / failovers".into(),
+            format!("{} / {}", self.crashes, self.failovers),
+        ]);
+        t.row(vec![
+            "shed (link / overload)".into(),
+            format!("{} / {}", self.shed_link, self.shed_overload),
+        ]);
+        t.row(vec!["degraded answers".into(), self.degraded.to_string()]);
+        t.row(vec![
+            "seu events / scrubs".into(),
+            format!("{} / {}", self.seu_events, self.scrubs),
+        ]);
+        t.row(vec![
+            "scrub cost".into(),
+            format!(
+                "{} cycles, {} J",
+                self.scrub_cycles,
+                fnum(self.scrub_energy_j, 3)
+            ),
+        ]);
+        t.row(vec![
+            "mttr link/instance/seu".into(),
+            format!(
+                "{} / {} / {} us",
+                fnum(self.mttr_link_s * 1e6, 1),
+                fnum(self.mttr_instance_s * 1e6, 1),
+                fnum(self.mttr_seu_s * 1e6, 1)
+            ),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inactive_and_valid() {
+        let c = FaultConfig::none();
+        assert!(!c.is_active());
+        c.validate().expect("default config valid");
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut c = FaultConfig {
+            link_corrupt_prob: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(FaultPlanError::Invalid { field, .. }) if field == "link_corrupt_prob"
+        ));
+        c.link_corrupt_prob = 0.0;
+        c.crashes = 1;
+        c.watchdog_s = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(FaultPlanError::Invalid { field, .. }) if field == "watchdog_s"
+        ));
+        c.watchdog_s = 100e-6;
+        c.validate().expect("crashes with watchdog valid");
+    }
+
+    #[test]
+    fn spec_round_trips_and_rejects_unknown_keys() {
+        let c = FaultConfig::parse_spec(
+            "corrupt=0.05,retries=4,backoff-us=2,crashes=2,cooldown-us=300,\
+             watchdog-us=400,seus=3,degrade-depth=8,degrade-margin=0.5,seed=7",
+        )
+        .expect("spec parses");
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.max_retries, 4);
+        assert_eq!(c.crashes, 2);
+        assert_eq!(c.seus, 3);
+        assert_eq!(c.degrade_depth, 8);
+        assert!((c.link_corrupt_prob - 0.05).abs() < 1e-12);
+        assert!((c.backoff_base_s - 2e-6).abs() < 1e-15);
+        assert!((c.watchdog_s - 400e-6).abs() < 1e-12);
+        assert!(c.is_active());
+        assert!(matches!(
+            FaultConfig::parse_spec("corupt=0.1"),
+            Err(FaultPlanError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            FaultConfig::parse_spec("corrupt=lots"),
+            Err(FaultPlanError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_json_plan_keeps_defaults() {
+        let c: FaultConfig =
+            serde_json::from_str(r#"{"crashes": 2, "watchdog_s": 0.0004}"#).expect("parses");
+        assert_eq!(c.crashes, 2);
+        assert_eq!(c.max_retries, FaultConfig::default().max_retries);
+        assert!((c.watchdog_s - 0.0004).abs() < 1e-12);
+        assert!(serde_json::from_str::<FaultConfig>(r#"{"crashs": 2}"#).is_err());
+    }
+
+    #[test]
+    fn config_json_round_trips() {
+        let c = FaultConfig::parse_spec("corrupt=0.1,crashes=1,watchdog-us=50,seed=3")
+            .expect("spec parses");
+        let json = serde_json::to_string(&c).expect("serializes");
+        let back: FaultConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_in_range() {
+        let c = FaultConfig::parse_spec("crashes=5,watchdog-us=100,seus=7,seed=11")
+            .expect("spec parses");
+        let span = SimTime::from_s(1e-3);
+        let a = FaultPlan::materialize(&c, span, 3).expect("plan");
+        let b = FaultPlan::materialize(&c, span, 3).expect("plan");
+        assert_eq!(a.crash_events(), b.crash_events());
+        assert_eq!(a.seu_events(), b.seu_events());
+        assert_eq!(a.crash_events().len(), 5);
+        assert_eq!(a.seu_events().len(), 7);
+        for &(t, i) in a.crash_events() {
+            assert!(t <= span && i < 3);
+        }
+        for w in a.crash_events().windows(2) {
+            assert!(w[0].0 <= w[1].0, "crash events time-ordered");
+        }
+        let other = FaultPlan::materialize(
+            &FaultConfig {
+                seed: 12,
+                ..c.clone()
+            },
+            span,
+            3,
+        )
+        .expect("plan");
+        assert_ne!(a.crash_events(), other.crash_events());
+    }
+
+    #[test]
+    fn corruption_is_pure_in_job_and_attempt() {
+        let c = FaultConfig::parse_spec("corrupt=0.5,seed=9").expect("spec parses");
+        let p = FaultPlan::materialize(&c, SimTime::from_s(1e-3), 2).expect("plan");
+        let hits: Vec<bool> = (0..64).map(|j| p.corrupts(j, 0)).collect();
+        let again: Vec<bool> = (0..64).map(|j| p.corrupts(j, 0)).collect();
+        assert_eq!(hits, again);
+        assert!(hits.iter().any(|&h| h) && hits.iter().any(|&h| !h));
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let c = FaultConfig::parse_spec("backoff-us=2,corrupt=0.1").expect("spec parses");
+        let p = FaultPlan::materialize(&c, SimTime::from_s(1e-3), 1).expect("plan");
+        assert_eq!(p.backoff(0).ps(), 2_000_000);
+        assert_eq!(p.backoff(1).ps(), 4_000_000);
+        assert_eq!(p.backoff(3).ps(), 16_000_000);
+    }
+
+    #[test]
+    fn fault_report_renders_every_counter() {
+        let r = FaultReport {
+            enabled: true,
+            plan_seed: 7,
+            link_corruptions: 3,
+            retransmits: 2,
+            retry_exhausted: 1,
+            crashes: 1,
+            failovers: 2,
+            shed_link: 1,
+            shed_overload: 4,
+            degraded: 5,
+            seu_events: 2,
+            scrubs: 1,
+            ..FaultReport::default()
+        };
+        let text = r.render();
+        for needle in ["retransmits", "failovers", "scrubs", "mttr"] {
+            assert!(text.contains(needle), "render missing {needle}");
+        }
+        assert_eq!(r.total_shed(), 5);
+    }
+}

@@ -35,16 +35,18 @@
 //! [`ServeReport::answers_digest`]) are invariant across instance counts
 //! and scheduler policies.
 
+mod faults;
 mod report;
 mod request;
 mod scheduler;
 mod server;
 mod trace;
 
+pub use faults::{FaultConfig, FaultPlan, FaultPlanError, FaultReport};
 pub use report::{
     answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
 };
 pub use request::{Completion, Rejection, Request, RequestTimestamps};
 pub use scheduler::{InstanceView, SchedulePolicy, Scheduler};
-pub use server::{EngineMode, ServeConfig, ServeOutcome, Server};
+pub use server::{EngineMode, EngineModeError, ServeConfig, ServeOutcome, Server};
 pub use trace::{ArrivalTrace, TraceConfig};

@@ -5,6 +5,8 @@ use mann_core::report::{fnum, percent, percentile, TextTable};
 use mann_hw::PhaseCycles;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultReport;
+
 /// Latency summary over completed requests (simulated seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LatencySummary {
@@ -96,7 +98,12 @@ pub struct LinkReport {
 }
 
 /// Aggregate report of one served trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) for one reason: the
+/// `fault` key is emitted only when a campaign was active, so fault-free
+/// reports stay byte-identical to reports from before the fault layer
+/// existed (the golden suite pins this).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Requests in the trace.
     pub requests: usize,
@@ -135,6 +142,68 @@ pub struct ServeReport {
     /// Invariant across instance counts and scheduler policies — the
     /// serving layer never changes an answer.
     pub answers_digest: String,
+    /// Fault-campaign summary; `fault.enabled == false` (and the key
+    /// absent from JSON) when no faults were injected.
+    pub fault: FaultReport,
+}
+
+impl Serialize for ServeReport {
+    fn to_value(&self) -> serde_json::Value {
+        let mut pairs: Vec<(String, serde_json::Value)> = vec![
+            ("requests".into(), self.requests.to_value()),
+            ("completed".into(), self.completed.to_value()),
+            ("rejected".into(), self.rejected.to_value()),
+            ("accuracy".into(), self.accuracy.to_value()),
+            ("makespan_s".into(), self.makespan_s.to_value()),
+            ("throughput_rps".into(), self.throughput_rps.to_value()),
+            ("latency".into(), self.latency.to_value()),
+            (
+                "mean_queue_wait_s".into(),
+                self.mean_queue_wait_s.to_value(),
+            ),
+            ("max_queue_depth".into(), self.max_queue_depth.to_value()),
+            ("instances".into(), self.instances.to_value()),
+            ("link".into(), self.link.to_value()),
+            ("cache".into(), self.cache.to_value()),
+            ("phase_totals".into(), self.phase_totals.to_value()),
+            ("speculated".into(), self.speculated.to_value()),
+            ("total_energy_j".into(), self.total_energy_j.to_value()),
+            ("setup_s".into(), self.setup_s.to_value()),
+            ("answers_digest".into(), self.answers_digest.to_value()),
+        ];
+        if self.fault.enabled {
+            pairs.push(("fault".into(), self.fault.to_value()));
+        }
+        serde_json::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for ServeReport {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde_json::Error> {
+        Ok(Self {
+            requests: Deserialize::from_value(v.field("requests")?)?,
+            completed: Deserialize::from_value(v.field("completed")?)?,
+            rejected: Deserialize::from_value(v.field("rejected")?)?,
+            accuracy: Deserialize::from_value(v.field("accuracy")?)?,
+            makespan_s: Deserialize::from_value(v.field("makespan_s")?)?,
+            throughput_rps: Deserialize::from_value(v.field("throughput_rps")?)?,
+            latency: Deserialize::from_value(v.field("latency")?)?,
+            mean_queue_wait_s: Deserialize::from_value(v.field("mean_queue_wait_s")?)?,
+            max_queue_depth: Deserialize::from_value(v.field("max_queue_depth")?)?,
+            instances: Deserialize::from_value(v.field("instances")?)?,
+            link: Deserialize::from_value(v.field("link")?)?,
+            cache: Deserialize::from_value(v.field("cache")?)?,
+            phase_totals: Deserialize::from_value(v.field("phase_totals")?)?,
+            speculated: Deserialize::from_value(v.field("speculated")?)?,
+            total_energy_j: Deserialize::from_value(v.field("total_energy_j")?)?,
+            setup_s: Deserialize::from_value(v.field("setup_s")?)?,
+            answers_digest: Deserialize::from_value(v.field("answers_digest")?)?,
+            fault: match v.field("fault") {
+                Ok(fv) => Deserialize::from_value(fv)?,
+                Err(_) => FaultReport::default(),
+            },
+        })
+    }
 }
 
 impl ServeReport {
@@ -216,6 +285,10 @@ impl ServeReport {
         t.row(vec!["answers digest".into(), self.answers_digest.clone()]);
         out.push_str(&t.render());
         out.push('\n');
+        if self.fault.enabled {
+            out.push_str(&self.fault.render());
+            out.push('\n');
+        }
         let mut inst = TextTable::new(vec![
             "instance".into(),
             "completed".into(),

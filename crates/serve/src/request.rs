@@ -81,6 +81,9 @@ pub struct Completion {
     pub timestamps: RequestTimestamps,
     /// Whether the answer matched the sample's label.
     pub correct: bool,
+    /// Whether the request was answered in aggressive-ITH degraded mode
+    /// (fault-campaign overload response); always `false` otherwise.
+    pub degraded: bool,
 }
 
 /// A request refused at the door: the bounded host queue was full.

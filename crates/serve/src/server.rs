@@ -43,10 +43,11 @@ use mann_hw::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultConfig, FaultPlan, FaultReport};
 use crate::report::{
     answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
 };
-use crate::request::{Completion, Rejection, RequestTimestamps};
+use crate::request::{Completion, Rejection, Request, RequestTimestamps};
 use crate::scheduler::{InstanceView, Scheduler};
 use crate::trace::ArrivalTrace;
 use crate::SchedulePolicy;
@@ -65,23 +66,45 @@ pub enum EngineMode {
     Parallel,
 }
 
+/// An unrecognized engine name (CLI flag or `MANN_SERVE_ENGINE`). Invalid
+/// values are rejected rather than silently falling back to the default —
+/// `MANN_SERVE_ENGINE=paralel` should fail loudly, not quietly serve with
+/// the default engine.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+#[error("invalid engine mode {value:?}: expected one of `serial`, `parallel`")]
+pub struct EngineModeError {
+    /// The rejected input.
+    pub value: String,
+}
+
 impl EngineMode {
     /// Parses a CLI-style engine name.
-    pub fn parse(s: &str) -> Option<Self> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineModeError`] for anything but `serial`/`parallel`.
+    pub fn parse(s: &str) -> Result<Self, EngineModeError> {
         match s {
-            "serial" => Some(Self::Serial),
-            "parallel" => Some(Self::Parallel),
-            _ => None,
+            "serial" => Ok(Self::Serial),
+            "parallel" => Ok(Self::Parallel),
+            _ => Err(EngineModeError {
+                value: s.to_owned(),
+            }),
         }
     }
 
     /// Engine from the `MANN_SERVE_ENGINE` environment variable, falling
-    /// back to the default (parallel).
-    pub fn from_env() -> Self {
-        std::env::var("MANN_SERVE_ENGINE")
-            .ok()
-            .and_then(|v| Self::parse(&v))
-            .unwrap_or_default()
+    /// back to the default (parallel) when unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineModeError`] when the variable is set to an
+    /// unrecognized value.
+    pub fn from_env() -> Result<Self, EngineModeError> {
+        match std::env::var("MANN_SERVE_ENGINE") {
+            Err(_) => Ok(Self::default()),
+            Ok(v) => Self::parse(&v),
+        }
     }
 }
 
@@ -123,6 +146,9 @@ pub struct ServeConfig {
     pub use_ith: bool,
     /// Probe output rows in silhouette order when ITH is on.
     pub use_ordering: bool,
+    /// Fault-injection campaign; [`FaultConfig::none`] (the default)
+    /// injects nothing and leaves the serve path byte-identical.
+    pub faults: FaultConfig,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +166,7 @@ impl Default for ServeConfig {
             power: PowerModel::default(),
             use_ith: false,
             use_ordering: true,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -163,6 +190,7 @@ impl ServeConfig {
         if self.upload_batch == 0 {
             return Err("upload batch must be positive".into());
         }
+        self.faults.validate().map_err(|e| e.to_string())?;
         Ok(())
     }
 }
@@ -174,6 +202,9 @@ pub struct ServeOutcome {
     pub completions: Vec<Completion>,
     /// Rejected requests, in arrival order.
     pub rejections: Vec<Rejection>,
+    /// Requests admitted but later dropped by the fault campaign (retry
+    /// exhaustion); empty without an active campaign.
+    pub sheds: Vec<Request>,
     /// The aggregate report.
     pub report: ServeReport,
 }
@@ -189,6 +220,9 @@ pub struct ServeOutcome {
 pub struct Server<'a> {
     suite: &'a TaskSuite,
     accels: Vec<Accelerator>,
+    /// Aggressive-ITH loadouts for degraded-mode answers; empty unless
+    /// the fault campaign enables overload degradation.
+    deg_accels: Vec<Accelerator>,
     config: ServeConfig,
 }
 
@@ -202,7 +236,18 @@ struct Entry {
 enum Event {
     Arrival(usize),
     LinkDone(u64),
-    ComputeDone { instance: usize, req: usize },
+    /// `epoch` is the instance's crash epoch at compute start; a crash
+    /// bumps the epoch so this event is recognized as stale and dropped.
+    ComputeDone {
+        instance: usize,
+        req: usize,
+        epoch: u64,
+    },
+    /// Fault-campaign events (never scheduled without an active plan).
+    Crash(usize),
+    InstanceUp(usize),
+    Watchdog(usize),
+    Seu(usize),
 }
 
 impl PartialEq for Entry {
@@ -224,8 +269,16 @@ impl Ord for Entry {
 }
 
 enum LinkJob {
-    Upload { instance: usize, reqs: Vec<usize> },
-    Drain { req: usize },
+    /// `epoch` is the target's crash epoch at dispatch; if the instance
+    /// crashed while the payload was on the wire, delivery is void.
+    Upload {
+        instance: usize,
+        reqs: Vec<usize>,
+        epoch: u64,
+    },
+    Drain {
+        req: usize,
+    },
 }
 
 #[derive(Debug, Default, Clone)]
@@ -237,6 +290,10 @@ struct Inst {
     busy: SimTime,
     completed: u64,
     cache_hits: u64,
+    /// Crashed and cooling down; invisible to the scheduler (0 credits).
+    down: bool,
+    /// Bumped on every crash; stale events carry the old value.
+    epoch: u64,
 }
 
 /// Per-request numeric results, shared by both engines.
@@ -255,6 +312,12 @@ struct NumericPhase {
     miss_durations: Vec<SimTime>,
     hit_bytes: Vec<u64>,
     miss_bytes: Vec<u64>,
+    /// Aggressive-ITH forms of `queries`/`miss_runs` and their compute
+    /// times; empty unless the campaign enables overload degradation.
+    deg_queries: Vec<InferenceRun>,
+    deg_miss_runs: Vec<InferenceRun>,
+    deg_hit_durations: Vec<SimTime>,
+    deg_miss_durations: Vec<SimTime>,
 }
 
 impl<'a> Server<'a> {
@@ -285,9 +348,33 @@ impl<'a> Server<'a> {
                 )
             })
             .collect();
+        // Degraded mode forces ITH on with every threshold lowered by the
+        // configured margin — earlier early-exit, cheaper, less accurate.
+        let deg_accels = if config.faults.degrade_depth > 0 {
+            suite
+                .tasks
+                .iter()
+                .map(|t| {
+                    Accelerator::new(
+                        t.model.clone(),
+                        AccelConfig {
+                            clock: config.clock,
+                            pcie: config.pcie,
+                            power: config.power,
+                            ith: Some(t.ith.degraded(config.faults.degrade_margin)),
+                            use_ordering: config.use_ordering,
+                            ..AccelConfig::default()
+                        },
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             suite,
             accels,
+            deg_accels,
             config,
         }
     }
@@ -391,11 +478,52 @@ impl<'a> Server<'a> {
         let miss_runs: Vec<InferenceRun> =
             query_of.iter().map(|&q| unique_misses[q].clone()).collect();
 
+        // Degraded (aggressive-ITH) forms, simulated through the same
+        // dedup so the phase stays engine- and thread-invariant.
+        let (deg_queries, deg_miss_runs) = if self.deg_accels.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let unique_deg: Vec<InferenceRun> =
+                mann_core::parallel::parallel_map_indexed(query_req.len(), workers, |u| {
+                    let i = query_req[u];
+                    let r = &trace.requests[i];
+                    self.deg_accels[r.task_idx]
+                        .answer_query(&stories[story_of[i]], self.sample_of(r))
+                });
+            let unique_deg_misses: Vec<InferenceRun> = query_req
+                .iter()
+                .enumerate()
+                .map(|(u, &i)| {
+                    let r = &trace.requests[i];
+                    self.deg_accels[r.task_idx].compose_uncached(
+                        &stories[story_of[i]],
+                        &unique_deg[u],
+                        self.sample_of(r),
+                    )
+                })
+                .collect();
+            (
+                query_of.iter().map(|&q| unique_deg[q].clone()).collect(),
+                query_of
+                    .iter()
+                    .map(|&q| unique_deg_misses[q].clone())
+                    .collect(),
+            )
+        };
+
         let hit_durations = queries
             .iter()
             .map(|q| q.compute_time(self.config.clock))
             .collect();
         let miss_durations = miss_runs
+            .iter()
+            .map(|m| m.compute_time(self.config.clock))
+            .collect();
+        let deg_hit_durations = deg_queries
+            .iter()
+            .map(|q| q.compute_time(self.config.clock))
+            .collect();
+        let deg_miss_durations = deg_miss_runs
             .iter()
             .map(|m| m.compute_time(self.config.clock))
             .collect();
@@ -419,6 +547,10 @@ impl<'a> Server<'a> {
             miss_durations,
             hit_bytes,
             miss_bytes,
+            deg_queries,
+            deg_miss_runs,
+            deg_hit_durations,
+            deg_miss_durations,
         }
     }
 
@@ -446,6 +578,12 @@ impl<'a> Server<'a> {
         // ----- numeric phase (engine-dependent, order-preserving) --------
         let num = self.numeric_phase(trace);
 
+        // ----- fault plan (None = untouched serve path) ------------------
+        let plan: Option<FaultPlan> = self.config.faults.is_active().then(|| {
+            FaultPlan::materialize(&self.config.faults, trace.span(), self.config.instances)
+                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"))
+        });
+
         // ----- event loop (sequential, integer time) --------------------
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -456,6 +594,27 @@ impl<'a> Server<'a> {
                 event: Event::Arrival(i),
             });
             seq += 1;
+        }
+        // Fault events go on the heap after the arrivals so a zero-fault
+        // campaign consumes exactly the same sequence numbers as no
+        // campaign at all (byte-identity with the fault layer compiled in).
+        if let Some(p) = &plan {
+            for (k, &(t, _)) in p.crash_events().iter().enumerate() {
+                heap.push(Entry {
+                    time: t,
+                    seq,
+                    event: Event::Crash(k),
+                });
+                seq += 1;
+            }
+            for (k, &(t, _, _)) in p.seu_events().iter().enumerate() {
+                heap.push(Entry {
+                    time: t,
+                    seq,
+                    event: Event::Seu(k),
+                });
+                seq += 1;
+            }
         }
 
         let mut queue: VecDeque<usize> = VecDeque::new();
@@ -474,6 +633,25 @@ impl<'a> Server<'a> {
         let mut write_cycles_saved = 0u64;
         let mut upload_bytes_saved = 0u64;
 
+        // ----- fault-campaign state (inert without a plan) ---------------
+        let mut fr = FaultReport::default();
+        // Per-request lifecycle flags.
+        let mut done = vec![false; n];
+        let mut shed = vec![false; n];
+        let mut computed = vec![false; n];
+        let mut deg = vec![false; n];
+        let mut wd_armed = vec![false; n];
+        let mut dispatch_epoch = vec![0u64; n];
+        let mut seu_pending: Vec<Option<SimTime>> = vec![None; n];
+        // Per-link-job retry state (parallel to `jobs`).
+        let mut attempts: Vec<u32> = Vec::new();
+        let mut first_fail: Vec<Option<SimTime>> = Vec::new();
+        // Crash instants by (instance, pre-crash epoch), for MTTR.
+        let mut crash_at: HashMap<(usize, u64), SimTime> = HashMap::new();
+        let mut mttr_link = (SimTime::ZERO, 0u64);
+        let mut mttr_inst = (SimTime::ZERO, 0u64);
+        let mut mttr_seu = (SimTime::ZERO, 0u64);
+
         // Moves as many queued requests as credits allow onto the link.
         // Residency (hit or miss) is decided here, per dispatched request,
         // because it depends on the chosen instance's cache state.
@@ -488,7 +666,13 @@ impl<'a> Server<'a> {
                         .zip(&residency)
                         .map(|(inst, res)| InstanceView {
                             inflight: inst.inflight,
-                            credits: self.config.inflight_limit - inst.inflight,
+                            // A crashed instance advertises no credits, so
+                            // the (unchanged) scheduler never picks it.
+                            credits: if inst.down {
+                                0
+                            } else {
+                                self.config.inflight_limit - inst.inflight
+                            },
                             free_at: inst.free_at,
                             resident: res.contains(num.keys[head]),
                         })
@@ -503,26 +687,58 @@ impl<'a> Server<'a> {
                     for &r in &reqs {
                         let admission = residency[target].admit(num.keys[r]);
                         hit[r] = admission.hit;
+                        if admission.scrubbed {
+                            // A poisoned resident story: the digest check
+                            // caught it, so this dispatch pays a full
+                            // re-write (miss form) to repair it.
+                            fr.scrubs += 1;
+                            fr.scrub_cycles += num.stories[num.story_of[r]].phases().total().get();
+                            seu_pending[r] = Some($now);
+                        }
                         if admission.hit {
                             insts[target].cache_hits += 1;
                             write_cycles_saved +=
                                 num.stories[num.story_of[r]].phases().total().get();
                             upload_bytes_saved += num.miss_bytes[r] - num.hit_bytes[r];
                             bytes += num.hit_bytes[r];
-                            durations[r] = num.hit_durations[r];
+                            durations[r] = if deg[r] {
+                                num.deg_hit_durations[r]
+                            } else {
+                                num.hit_durations[r]
+                            };
                         } else {
                             bytes += num.miss_bytes[r];
-                            durations[r] = num.miss_durations[r];
+                            durations[r] = if deg[r] {
+                                num.deg_miss_durations[r]
+                            } else {
+                                num.miss_durations[r]
+                            };
                         }
                         ts[r].dispatch = $now;
                         assigned[r] = target;
+                        dispatch_epoch[r] = insts[target].epoch;
+                        if let Some(p) = &plan {
+                            let wd = p.config().watchdog_s;
+                            if wd > 0.0 && !wd_armed[r] {
+                                wd_armed[r] = true;
+                                heap.push(Entry {
+                                    time: $now + SimTime::from_s(wd),
+                                    seq,
+                                    event: Event::Watchdog(r),
+                                });
+                                seq += 1;
+                            }
+                        }
                     }
                     insts[target].inflight += take;
                     let id = jobs.len() as u64;
                     jobs.push(LinkJob::Upload {
                         instance: target,
                         reqs,
+                        epoch: insts[target].epoch,
                     });
+                    attempts.push(0);
+                    first_fail.push(None);
                     arb.submit(id, bytes, take);
                 }
             };
@@ -566,6 +782,7 @@ impl<'a> Server<'a> {
                             event: Event::ComputeDone {
                                 instance: $i,
                                 req: r,
+                                epoch: insts[$i].epoch,
                             },
                         });
                         seq += 1;
@@ -585,44 +802,227 @@ impl<'a> Server<'a> {
                             request: trace.requests[i],
                             queue_depth: queue.len(),
                         });
+                        if plan.is_some() {
+                            fr.shed_overload += 1;
+                        }
                     } else {
                         ts[i].enqueue = now;
                         queue.push_back(i);
                         max_queue_depth = max_queue_depth.max(queue.len());
+                        if let Some(p) = &plan {
+                            // Overload response: past the degrade depth,
+                            // survivors are answered in aggressive-ITH
+                            // degraded mode instead of being shed.
+                            let depth = p.config().degrade_depth;
+                            if depth > 0 && queue.len() >= depth {
+                                deg[i] = true;
+                                fr.degraded += 1;
+                            }
+                        }
                         dispatch!(now);
                         grant!(now);
                     }
                 }
                 Event::LinkDone(id) => {
-                    arb.complete(id);
-                    match &jobs[id as usize] {
-                        LinkJob::Upload { instance, reqs } => {
-                            let instance = *instance;
-                            for &r in reqs {
-                                ts[r].upload_end = now;
+                    let idx = id as usize;
+                    let corrupted = plan.as_ref().is_some_and(|p| p.corrupts(id, attempts[idx]));
+                    if corrupted {
+                        let p = plan.as_ref().expect("corruption implies a campaign");
+                        fr.link_corruptions += 1;
+                        if first_fail[idx].is_none() {
+                            first_fail[idx] = Some(now);
+                        }
+                        let attempt = attempts[idx];
+                        if attempt < p.config().max_retries {
+                            // CRC failure: hold the link through backoff and
+                            // replay the whole transfer. Holding (rather than
+                            // completing and resubmitting) keeps the FIFO
+                            // order of every other pending transfer intact.
+                            attempts[idx] += 1;
+                            fr.retransmits += 1;
+                            let g = arb.retransmit(id, now + p.backoff(attempt));
+                            heap.push(Entry {
+                                time: g.end,
+                                seq,
+                                event: Event::LinkDone(id),
+                            });
+                            seq += 1;
+                        } else {
+                            // Retry budget exhausted: payload undeliverable.
+                            fr.retry_exhausted += 1;
+                            arb.complete(id);
+                            match &jobs[idx] {
+                                LinkJob::Upload {
+                                    instance,
+                                    reqs,
+                                    epoch,
+                                } => {
+                                    let (instance, epoch) = (*instance, *epoch);
+                                    let reqs = reqs.clone();
+                                    if insts[instance].epoch == epoch {
+                                        // Target alive since dispatch: these
+                                        // requests have no other copy in
+                                        // flight, so they are shed.
+                                        insts[instance].inflight -= reqs.len();
+                                        for &r in &reqs {
+                                            done[r] = true;
+                                            shed[r] = true;
+                                            fr.shed_link += 1;
+                                        }
+                                    }
+                                    // Epoch mismatch: the instance crashed
+                                    // while this payload was on the wire; its
+                                    // requests are already stranded and the
+                                    // watchdog re-dispatches them.
+                                }
+                                LinkJob::Drain { req } => {
+                                    done[*req] = true;
+                                    shed[*req] = true;
+                                    fr.shed_link += 1;
+                                }
                             }
-                            let reqs = reqs.clone();
-                            insts[instance].ready.extend(reqs);
-                            start_compute!(instance, now);
+                            dispatch!(now);
+                            grant!(now);
                         }
-                        LinkJob::Drain { req } => {
-                            ts[*req].drain_end = now;
-                            last_drain = last_drain.max(now);
+                    } else {
+                        if let Some(t0) = first_fail[idx].take() {
+                            mttr_link.0 += now.saturating_sub(t0);
+                            mttr_link.1 += 1;
                         }
+                        arb.complete(id);
+                        match &jobs[idx] {
+                            LinkJob::Upload {
+                                instance,
+                                reqs,
+                                epoch,
+                            } => {
+                                let (instance, epoch) = (*instance, *epoch);
+                                let reqs = reqs.clone();
+                                if insts[instance].epoch == epoch {
+                                    debug_assert!(!insts[instance].down);
+                                    for &r in &reqs {
+                                        ts[r].upload_end = now;
+                                        if let Some(t0) = seu_pending[r].take() {
+                                            mttr_seu.0 += now.saturating_sub(t0);
+                                            mttr_seu.1 += 1;
+                                        }
+                                    }
+                                    insts[instance].ready.extend(reqs);
+                                    start_compute!(instance, now);
+                                }
+                                // Stale epoch: the payload arrived at an
+                                // instance that crashed after dispatch —
+                                // delivery is void, the watchdog recovers
+                                // the stranded requests.
+                            }
+                            LinkJob::Drain { req } => {
+                                ts[*req].drain_end = now;
+                                done[*req] = true;
+                                last_drain = last_drain.max(now);
+                            }
+                        }
+                        grant!(now);
                     }
-                    grant!(now);
                 }
-                Event::ComputeDone { instance, req } => {
-                    ts[req].compute_end = now;
-                    insts[instance].computing = None;
-                    insts[instance].inflight -= 1;
-                    insts[instance].completed += 1;
-                    let id = jobs.len() as u64;
-                    jobs.push(LinkJob::Drain { req });
-                    arb.submit(id, PcieLink::answer_bytes(), 1);
-                    start_compute!(instance, now);
+                Event::ComputeDone {
+                    instance,
+                    req,
+                    epoch,
+                } => {
+                    if insts[instance].epoch == epoch {
+                        debug_assert_eq!(insts[instance].computing, Some(req));
+                        ts[req].compute_end = now;
+                        computed[req] = true;
+                        insts[instance].computing = None;
+                        insts[instance].inflight -= 1;
+                        insts[instance].completed += 1;
+                        let id = jobs.len() as u64;
+                        jobs.push(LinkJob::Drain { req });
+                        attempts.push(0);
+                        first_fail.push(None);
+                        arb.submit(id, PcieLink::answer_bytes(), 1);
+                        start_compute!(instance, now);
+                        dispatch!(now);
+                        grant!(now);
+                    }
+                    // Stale epoch: the instance crashed mid-compute; the
+                    // result never materialized.
+                }
+                Event::Crash(k) => {
+                    let p = plan.as_ref().expect("crash implies a campaign");
+                    let (_, i) = p.crash_events()[k];
+                    if !insts[i].down {
+                        fr.crashes += 1;
+                        crash_at.insert((i, insts[i].epoch), now);
+                        insts[i].epoch += 1;
+                        insts[i].down = true;
+                        // Roll back the busy time of the killed (never
+                        // finished) compute, drop FIFO'd work, and lose
+                        // all resident stories (BRAM state is gone).
+                        let unfinished = insts[i].free_at.saturating_sub(now);
+                        insts[i].busy = insts[i].busy.saturating_sub(unfinished);
+                        insts[i].free_at = now;
+                        insts[i].computing = None;
+                        insts[i].ready.clear();
+                        insts[i].inflight = 0;
+                        residency[i].clear_resident();
+                        heap.push(Entry {
+                            time: now + SimTime::from_s(p.config().crash_cooldown_s),
+                            seq,
+                            event: Event::InstanceUp(i),
+                        });
+                        seq += 1;
+                    }
+                }
+                Event::InstanceUp(i) => {
+                    insts[i].down = false;
                     dispatch!(now);
                     grant!(now);
+                }
+                Event::Watchdog(r) => {
+                    if !done[r] {
+                        fr.watchdog_fires += 1;
+                        let stranded = assigned[r] != usize::MAX
+                            && !computed[r]
+                            && insts[assigned[r]].epoch != dispatch_epoch[r];
+                        if stranded {
+                            // The instance crashed under this request:
+                            // fail over to whatever replica the scheduler
+                            // picks next (re-admission is capacity-exempt;
+                            // the request was already admitted once).
+                            fr.failovers += 1;
+                            if let Some(&t0) = crash_at.get(&(assigned[r], dispatch_epoch[r])) {
+                                mttr_inst.0 += now.saturating_sub(t0);
+                                mttr_inst.1 += 1;
+                            }
+                            assigned[r] = usize::MAX;
+                            queue.push_front(r);
+                            max_queue_depth = max_queue_depth.max(queue.len());
+                            dispatch!(now);
+                            grant!(now);
+                        }
+                        // Re-arm while the request is alive; the chain dies
+                        // with `done`.
+                        let p = plan.as_ref().expect("watchdog implies a campaign");
+                        heap.push(Entry {
+                            time: now + SimTime::from_s(p.config().watchdog_s),
+                            seq,
+                            event: Event::Watchdog(r),
+                        });
+                        seq += 1;
+                    }
+                }
+                Event::Seu(k) => {
+                    let p = plan.as_ref().expect("SEU implies a campaign");
+                    let (_, i, pick) = p.seu_events()[k];
+                    fr.seu_events += 1;
+                    if !insts[i].down {
+                        let keys = residency[i].keys();
+                        if !keys.is_empty() {
+                            let key = keys[(pick % keys.len() as u64) as usize];
+                            residency[i].poison(key);
+                        }
+                    }
                 }
             }
         }
@@ -635,17 +1035,25 @@ impl<'a> Server<'a> {
         // ----- assemble outcome ----------------------------------------
         let rejected_ids: std::collections::HashSet<u64> =
             rejections.iter().map(|r| r.request.id).collect();
+        let sheds: Vec<Request> = trace
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| shed[i])
+            .map(|(_, r)| *r)
+            .collect();
         let completions: Vec<Completion> = trace
             .requests
             .iter()
             .enumerate()
-            .filter(|(_, r)| !rejected_ids.contains(&r.id))
+            .filter(|&(i, r)| !rejected_ids.contains(&r.id) && !shed[i])
             .map(|(i, r)| {
                 debug_assert!(ts[i].is_monotone(), "request {} timeline broken", r.id);
-                let run = if hit[i] {
-                    num.queries[i].clone()
-                } else {
-                    num.miss_runs[i].clone()
+                let run = match (hit[i], deg[i]) {
+                    (true, false) => num.queries[i].clone(),
+                    (false, false) => num.miss_runs[i].clone(),
+                    (true, true) => num.deg_queries[i].clone(),
+                    (false, true) => num.deg_miss_runs[i].clone(),
                 };
                 let correct = run.answer == self.sample_of(r).answer;
                 Completion {
@@ -654,6 +1062,7 @@ impl<'a> Server<'a> {
                     run,
                     timestamps: ts[i],
                     correct,
+                    degraded: deg[i],
                 }
             })
             .collect();
@@ -680,6 +1089,30 @@ impl<'a> Server<'a> {
             ),
         };
 
+        if let Some(p) = &plan {
+            fr.enabled = true;
+            fr.plan_seed = p.config().seed;
+            fr.retry_link_s = arb.retry_busy_time().as_s();
+            fr.retry_energy_j = self
+                .config
+                .power
+                .retry_energy_j(self.config.clock.freq_mhz(), fr.retry_link_s);
+            fr.scrub_energy_j = self.config.power.active_energy_j(
+                self.config.clock.freq_mhz(),
+                self.config.clock.seconds(Cycles::new(fr.scrub_cycles)),
+            );
+            let mean = |(sum, count): (SimTime, u64)| {
+                if count > 0 {
+                    sum.as_s() / count as f64
+                } else {
+                    0.0
+                }
+            };
+            fr.mttr_link_s = mean(mttr_link);
+            fr.mttr_instance_s = mean(mttr_inst);
+            fr.mttr_seu_s = mean(mttr_seu);
+        }
+
         let report = self.build_report(
             trace,
             &completions,
@@ -689,10 +1122,12 @@ impl<'a> Server<'a> {
             cache,
             last_drain,
             max_queue_depth,
+            fr,
         );
         ServeOutcome {
             completions,
             rejections,
+            sheds,
             report,
         }
     }
@@ -708,6 +1143,7 @@ impl<'a> Server<'a> {
         cache: CacheReport,
         last_drain: SimTime,
         max_queue_depth: usize,
+        fault: FaultReport,
     ) -> ServeReport {
         let makespan_s = last_drain.as_s();
         let latencies: Vec<f64> = completions
@@ -786,6 +1222,7 @@ impl<'a> Server<'a> {
             answers_digest: answers_digest(
                 completions.iter().map(|c| (c.request.id, c.run.answer)),
             ),
+            fault,
         }
     }
 }

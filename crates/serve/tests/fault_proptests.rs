@@ -1,0 +1,304 @@
+//! Property tests for the fault-injection and recovery layer.
+//!
+//! Three invariants hold for *any* trace and fault campaign:
+//!
+//! 1. Conservation: the admitted requests are partitioned exactly between
+//!    completions and sheds — every request is answered exactly once or
+//!    counted shed, never both, never twice, and the report's shed
+//!    counters agree with the outcome vectors.
+//! 2. FIFO under retransmission: a corrupted transfer is retried in place
+//!    (the arbiter keeps the link occupied through the backoff), so
+//!    retransmission never reorders transfers — a request dispatched
+//!    strictly earlier starts its upload no later.
+//! 3. Inertness: a fault plan with nothing to inject is invisible — the
+//!    outcome is byte-identical to a serve with no campaign at all.
+//!
+//! The conservation test also re-serves every campaign on the serial
+//! engine and asserts byte-identical reports: engine invariance must
+//! survive arbitrary fault interleavings, not just the pinned golden one.
+
+use std::sync::OnceLock;
+
+use mann_babi::TaskId;
+use mann_core::{SuiteConfig, TaskSuite};
+use mann_serve::{
+    ArrivalTrace, EngineMode, FaultConfig, SchedulePolicy, ServeConfig, ServeOutcome, Server,
+    TraceConfig,
+};
+use proptest::prelude::*;
+
+fn suite() -> &'static TaskSuite {
+    static SUITE: OnceLock<TaskSuite> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        TaskSuite::build(&SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+            train_samples: 120,
+            test_samples: 12,
+            seed: 5,
+            ..SuiteConfig::quick()
+        })
+    })
+}
+
+fn policy(pick: u8) -> SchedulePolicy {
+    match pick % 3 {
+        0 => SchedulePolicy::RoundRobin,
+        1 => SchedulePolicy::ShortestQueue,
+        _ => SchedulePolicy::StoryAffinity,
+    }
+}
+
+fn serve(trace: &ArrivalTrace, config: ServeConfig) -> ServeOutcome {
+    Server::new(suite(), config).serve(trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under an arbitrary campaign (corruption + crashes + SEUs +
+    /// overload degradation), completions, sheds and rejections partition
+    /// the trace by id; the fault ledger matches the outcome vectors; and
+    /// the serial engine reproduces the parallel engine's bytes.
+    #[test]
+    fn every_request_is_answered_once_or_shed(
+        trace_seed in 0u64..1000,
+        requests in 24usize..72,
+        rate_us in 40u64..200,
+        pool in 0usize..5,
+        instances in 1usize..4,
+        cache in 0usize..5,
+        queue in 8usize..64,
+        pick in any::<u8>(),
+        fault_seed in 0u64..1000,
+        corrupt_pct in 0u32..30,
+        retries in 0u32..3,
+        crashes in 0u32..4,
+        watchdog_us in 200u64..900,
+        seus in 0u32..8,
+        depth in 0usize..10,
+        margin_q in 0u32..6,
+    ) {
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests,
+                seed: trace_seed,
+                mean_interarrival_s: rate_us as f64 * 1e-6,
+                story_pool: pool,
+            },
+            suite(),
+        );
+        let config = ServeConfig {
+            instances,
+            queue_capacity: queue,
+            story_cache: cache,
+            policy: policy(pick),
+            faults: FaultConfig {
+                seed: fault_seed,
+                link_corrupt_prob: f64::from(corrupt_pct) / 100.0,
+                max_retries: retries,
+                backoff_base_s: 2e-6,
+                crashes,
+                crash_cooldown_s: 300e-6,
+                watchdog_s: watchdog_us as f64 * 1e-6,
+                seus,
+                degrade_depth: depth,
+                degrade_margin: margin_q as f32 * 0.25,
+            },
+            ..ServeConfig::default()
+        };
+        let out = serve(&t, config.clone());
+
+        // Partition: every trace id lands in exactly one of the three
+        // outcome vectors.
+        let n = t.len();
+        let mut seen = vec![0u32; n];
+        for c in &out.completions {
+            seen[c.request.id as usize] += 1;
+        }
+        for s in &out.sheds {
+            seen[s.id as usize] += 1;
+        }
+        for r in &out.rejections {
+            seen[r.request.id as usize] += 1;
+        }
+        for (id, count) in seen.iter().enumerate() {
+            prop_assert_eq!(
+                *count, 1,
+                "request {} appears {} times across completions/sheds/rejections",
+                id, count
+            );
+        }
+        prop_assert_eq!(
+            out.completions.len() + out.sheds.len() + out.rejections.len(),
+            n
+        );
+        prop_assert_eq!(out.report.completed, out.completions.len());
+        prop_assert_eq!(out.report.rejected, out.rejections.len());
+
+        // The fault ledger agrees with the outcome vectors.
+        let fr = &out.report.fault;
+        prop_assert_eq!(fr.enabled, config.faults.is_active());
+        if fr.enabled {
+            prop_assert_eq!(fr.shed_link as usize, out.sheds.len());
+            prop_assert_eq!(fr.shed_overload as usize, out.rejections.len());
+            prop_assert_eq!(fr.link_corruptions, fr.retransmits + fr.retry_exhausted);
+            prop_assert!(fr.failovers <= fr.watchdog_fires);
+            prop_assert!(fr.crashes <= crashes as u64);
+            prop_assert!(fr.seu_events <= u64::from(seus));
+            prop_assert!(fr.scrubs <= fr.seu_events);
+        } else {
+            prop_assert!(out.sheds.is_empty());
+        }
+        let degraded = out
+            .completions
+            .iter()
+            .filter(|c| c.degraded)
+            .count() as u64;
+        prop_assert!(degraded <= fr.degraded, "flagged {degraded} > ledger {}", fr.degraded);
+
+        // Engine invariance survives the campaign.
+        let serial = serve(&t, ServeConfig { engine: EngineMode::Serial, ..config });
+        prop_assert_eq!(&serial, &out);
+        prop_assert_eq!(
+            serde_json::to_string(&serial.report).expect("serializable report"),
+            serde_json::to_string(&out.report).expect("serializable report"),
+        );
+    }
+
+    /// Corruption-only campaign (no crashes, so each request dispatches
+    /// exactly once): retransmission holds the link in place, so the FIFO
+    /// grant order is preserved — a request dispatched strictly earlier
+    /// never starts its upload later than one dispatched after it.
+    #[test]
+    fn retransmission_never_reorders_link_transfers(
+        trace_seed in 0u64..1000,
+        requests in 24usize..72,
+        rate_us in 60u64..250,
+        pool in 0usize..5,
+        instances in 1usize..4,
+        cache in 0usize..5,
+        pick in any::<u8>(),
+        fault_seed in 0u64..1000,
+        corrupt_pct in 5u32..40,
+        retries in 0u32..4,
+    ) {
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests,
+                seed: trace_seed,
+                mean_interarrival_s: rate_us as f64 * 1e-6,
+                story_pool: pool,
+            },
+            suite(),
+        );
+        let out = serve(&t, ServeConfig {
+            instances,
+            queue_capacity: 256,
+            story_cache: cache,
+            policy: policy(pick),
+            faults: FaultConfig {
+                seed: fault_seed,
+                link_corrupt_prob: f64::from(corrupt_pct) / 100.0,
+                max_retries: retries,
+                backoff_base_s: 2e-6,
+                ..FaultConfig::none()
+            },
+            ..ServeConfig::default()
+        });
+
+        // Per-completion lifecycle stays well-formed even through retries.
+        for c in &out.completions {
+            let ts = &c.timestamps;
+            prop_assert!(ts.dispatch <= ts.upload_start);
+            prop_assert!(ts.upload_start <= ts.upload_end);
+            prop_assert!(ts.upload_end <= ts.compute_start);
+        }
+
+        // FIFO: sort by dispatch instant; every upload must start no
+        // earlier than the latest upload of any strictly earlier dispatch.
+        let mut order: Vec<_> = out
+            .completions
+            .iter()
+            .map(|c| (c.timestamps.dispatch, c.request.id, c.timestamps.upload_start))
+            .collect();
+        order.sort();
+        let mut i = 0;
+        while i < order.len() {
+            // Group equal-dispatch requests: their relative grant order is
+            // an implementation detail, but the whole group must come
+            // after everything dispatched strictly earlier.
+            let mut j = i;
+            while j < order.len() && order[j].0 == order[i].0 {
+                j += 1;
+            }
+            if i > 0 {
+                let earlier_max = order[..i].iter().map(|e| e.2).max().expect("nonempty");
+                for e in &order[i..j] {
+                    prop_assert!(
+                        e.2 >= earlier_max,
+                        "request {} (dispatch {:?}) uploaded at {:?}, before an \
+                         earlier-dispatched request's upload at {:?}",
+                        e.1, e.0, e.2, earlier_max
+                    );
+                }
+            }
+            i = j;
+        }
+
+        // The retry ledger is internally consistent.
+        let fr = &out.report.fault;
+        prop_assert_eq!(fr.link_corruptions, fr.retransmits + fr.retry_exhausted);
+        prop_assert_eq!(fr.shed_link as usize, out.sheds.len());
+        prop_assert_eq!(fr.crashes, 0);
+        prop_assert_eq!(fr.failovers, 0);
+        prop_assert_eq!(fr.scrubs, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A plan with nothing to inject is invisible: arming the campaign
+    /// machinery (seed, watchdog, retry budget) without any fault source
+    /// reproduces the plain serve byte-for-byte.
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_no_plan(
+        trace_seed in 0u64..1000,
+        requests in 16usize..48,
+        rate_us in 80u64..300,
+        pool in 0usize..5,
+        instances in 1usize..4,
+        fault_seed in any::<u64>(),
+        watchdog_us in 0u64..900,
+    ) {
+        let t = ArrivalTrace::generate(
+            &TraceConfig {
+                requests,
+                seed: trace_seed,
+                mean_interarrival_s: rate_us as f64 * 1e-6,
+                story_pool: pool,
+            },
+            suite(),
+        );
+        let base = ServeConfig {
+            instances,
+            queue_capacity: 64,
+            story_cache: 2,
+            ..ServeConfig::default()
+        };
+        let idle = FaultConfig {
+            seed: fault_seed,
+            watchdog_s: watchdog_us as f64 * 1e-6,
+            max_retries: 7,
+            ..FaultConfig::none()
+        };
+        prop_assert!(!idle.is_active());
+        let plain = serve(&t, base.clone());
+        let armed = serve(&t, ServeConfig { faults: idle, ..base });
+        prop_assert_eq!(&plain, &armed);
+        prop_assert_eq!(
+            serde_json::to_string(&plain.report).expect("serializable report"),
+            serde_json::to_string(&armed.report).expect("serializable report"),
+        );
+    }
+}

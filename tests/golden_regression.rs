@@ -27,7 +27,9 @@ use mann_accel::babi::TaskId;
 use mann_accel::core::experiments::{fig3, fig4, table1};
 use mann_accel::core::{SuiteConfig, TaskSuite};
 use mann_accel::hw::{AccelConfig, Accelerator};
-use mann_accel::serve::{ArrivalTrace, SchedulePolicy, ServeConfig, Server, TraceConfig};
+use mann_accel::serve::{
+    ArrivalTrace, EngineMode, FaultConfig, SchedulePolicy, ServeConfig, Server, TraceConfig,
+};
 use serde::json::Value;
 use serde::Serialize;
 
@@ -267,4 +269,71 @@ fn serve_affinity_report_is_pinned() {
     );
     let out = server.serve(&trace);
     check_golden("serve_affinity.json", &out.report.to_value());
+}
+
+/// A seeded fault campaign over a repeated-story trace: link corruption
+/// with bounded retries, instance crashes with watchdog failover, SEU
+/// scrubbing of resident stories, and overload degradation. Pins the full
+/// report — including every recovery counter — and checks that the serial
+/// engine reproduces the parallel engine's bytes under faults.
+#[test]
+fn serve_fault_campaign_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 41,
+            mean_interarrival_s: 60e-6,
+            story_pool: 4,
+        },
+        s,
+    );
+    let config = ServeConfig {
+        instances: 2,
+        queue_capacity: 128,
+        story_cache: 4,
+        policy: SchedulePolicy::StoryAffinity,
+        faults: FaultConfig {
+            seed: 7,
+            link_corrupt_prob: 0.2,
+            max_retries: 1,
+            backoff_base_s: 2e-6,
+            crashes: 3,
+            crash_cooldown_s: 400e-6,
+            watchdog_s: 500e-6,
+            seus: 6,
+            degrade_depth: 6,
+            degrade_margin: 0.75,
+        },
+        ..ServeConfig::default()
+    };
+    let out = Server::new(s, config.clone()).serve(&trace);
+    let fault = &out.report.fault;
+    assert!(fault.enabled, "campaign must be active");
+    assert!(fault.retransmits > 0, "campaign must retransmit");
+    assert!(
+        fault.crashes > 0 && fault.failovers > 0,
+        "campaign must fail over"
+    );
+    assert!(fault.total_shed() > 0, "campaign must shed");
+    assert!(fault.scrubs > 0, "campaign must scrub");
+    assert!(fault.degraded > 0, "campaign must degrade");
+
+    // Engine invariance holds under faults too: the serial engine's report
+    // is byte-identical.
+    let serial = Server::new(
+        s,
+        ServeConfig {
+            engine: EngineMode::Serial,
+            ..config
+        },
+    )
+    .serve(&trace);
+    assert_eq!(
+        serial.report.to_value().print(),
+        out.report.to_value().print(),
+        "serial and parallel engines diverged under faults"
+    );
+
+    check_golden("serve_faults.json", &out.report.to_value());
 }

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `thiserror` crate.
+//!
+//! Re-exports the [`Error`] derive macro, which generates
+//! `std::fmt::Display` (from `#[error("...")]` attributes),
+//! `std::error::Error` (with `source()` chaining), and `From` impls (for
+//! `#[from]` fields). See `vendor/thiserror_impl` for the supported
+//! shapes.
+
+pub use thiserror_impl::Error;

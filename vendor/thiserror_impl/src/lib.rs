@@ -1,0 +1,423 @@
+//! Offline stand-in for `thiserror-impl`.
+//!
+//! Implements `#[derive(Error)]` for the error shapes present in this
+//! workspace, by hand-parsing the item's token stream (no `syn`/`quote`
+//! available offline):
+//!
+//! - enums whose variants are unit, tuple (any arity), or named-field
+//! - structs with named fields or a single tuple field
+//!
+//! Per variant (or at struct level), a `#[error("...")]` attribute supplies
+//! the `Display` format string; `{0}`/`{1}` reference tuple fields and
+//! `{name}` references named fields (both with optional `:spec` suffixes).
+//! A field named `source`, or a field marked `#[from]`, becomes the
+//! `std::error::Error::source()`. `#[from]` on a variant's only field also
+//! generates the matching `From` impl.
+//!
+//! Generics, `#[error(transparent)]`, and format strings referencing
+//! fields that do not exist are rejected with a `compile_error!` so
+//! unsupported shapes fail loudly at the definition site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    /// Source text of the type, tokens joined by spaces.
+    ty: String,
+    /// Whether the field carries `#[from]`.
+    from: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// The `#[error("...")]` literal, source text including quotes.
+    display: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+    Struct {
+        name: String,
+        variant: Variant,
+    },
+}
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input).map(|item| generate(&item)) {
+        Ok(code) => code,
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated code must tokenize")
+}
+
+/// Collects leading attributes, returning the `#[error("...")]` literal if
+/// one is present (other attributes — doc comments, `#[from]` markers at
+/// this level — are skipped).
+fn take_attrs(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<(Option<String>, bool), String> {
+    let mut display = None;
+    let mut from = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            return Err("expected [...] after #".to_string());
+        };
+        let mut inner = g.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "error" => match inner.next() {
+                Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+                    let mut lit = None;
+                    for tt in args.stream() {
+                        match tt {
+                            TokenTree::Literal(l) if lit.is_none() => lit = Some(l.to_string()),
+                            other => {
+                                return Err(format!(
+                                    "unsupported #[error(...)] argument `{other}` (only a \
+                                         single format-string literal is supported)"
+                                ))
+                            }
+                        }
+                    }
+                    let lit = lit.ok_or("empty #[error()] attribute")?;
+                    if !lit.starts_with('"') {
+                        return Err(format!(
+                            "#[error({lit})] is not a string literal (transparent and \
+                                 computed messages are not supported)"
+                        ));
+                    }
+                    display = Some(lit);
+                }
+                other => return Err(format!("malformed #[error] attribute: {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "from" => from = true,
+            _ => {} // doc comments, cfgs, etc.
+        }
+    }
+    Ok((display, from))
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    // Join without spaces except between adjacent word-like tokens, so
+    // `std::io::Error` round-trips as a valid path while `dyn Error` keeps
+    // its separating space.
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for tt in tokens {
+        let wordy = matches!(tt, TokenTree::Ident(_) | TokenTree::Literal(_));
+        if prev_wordy && wordy {
+            out.push(' ');
+        }
+        out.push_str(&tt.to_string());
+        prev_wordy = wordy;
+    }
+    out
+}
+
+/// Parses tuple-variant fields: `#[from]? Type (, #[from]? Type)*`.
+fn parse_tuple_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while iter.peek().is_some() {
+        let (_, from) = take_attrs(&mut iter)?;
+        // `pub` visibility on tuple fields.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let mut ty = Vec::new();
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            ty.push(tt);
+        }
+        if ty.is_empty() {
+            break;
+        }
+        fields.push(Field {
+            name: None,
+            ty: tokens_to_string(&ty),
+            from,
+        });
+    }
+    Ok(fields)
+}
+
+/// Parses named fields: `#[from]? pub? name: Type (, ...)*`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while iter.peek().is_some() {
+        let (_, from) = take_attrs(&mut iter)?;
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("expected field name, got `{tt}`"));
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        let mut ty = Vec::new();
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            ty.push(tt);
+        }
+        fields.push(Field {
+            name: Some(name.to_string()),
+            ty: tokens_to_string(&ty),
+            from,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let (display, _) = take_attrs(&mut iter)?;
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("expected variant name, got `{tt}`"));
+        };
+        let name = name.to_string();
+        let display = display
+            .ok_or_else(|| format!("variant `{name}` is missing its #[error(\"...\")] message"))?;
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(parse_tuple_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name,
+            display,
+            fields,
+        });
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => return Err(format!("expected `,` after variant, got `{other}`")),
+            None => break,
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    let (item_display, _) = take_attrs(&mut iter)?;
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(other) => return Err(format!("unexpected token `{other}` before item")),
+            None => return Err("empty derive input".to_string()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive Error for generic type `{name}`"));
+    }
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            return Err(format!("expected enum body for `{name}`"));
+        };
+        let variants = parse_variants(g.stream())?;
+        if variants.is_empty() {
+            return Err(format!("enum `{name}` has no variants"));
+        }
+        return Ok(Item::Enum { name, variants });
+    }
+    let display = item_display.ok_or_else(|| format!("struct `{name}` needs #[error(\"...\")]"))?;
+    let fields = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream())?)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = parse_tuple_fields(g.stream())?;
+            if fields.len() != 1 {
+                return Err(format!("tuple struct `{name}` must have exactly one field"));
+            }
+            Fields::Tuple(fields)
+        }
+        _ => Fields::Unit,
+    };
+    Ok(Item::Struct {
+        name,
+        variant: Variant {
+            name: String::new(),
+            display,
+            fields,
+        },
+    })
+}
+
+/// Rewrites `{0}` / `{0:spec}` positional references in the format literal
+/// to the generated binding names `{__f0}`, leaving named references
+/// (inline ident capture) alone.
+fn rewrite_positional(lit: &str, arity: usize) -> String {
+    let mut out = lit.to_string();
+    for i in 0..arity {
+        out = out.replace(&format!("{{{i}}}"), &format!("{{__f{i}}}"));
+        out = out.replace(&format!("{{{i}:"), &format!("{{__f{i}:"));
+    }
+    out
+}
+
+/// The field acting as `source()`: named `source`, or marked `#[from]`.
+fn source_index(fields: &[Field]) -> Option<usize> {
+    fields
+        .iter()
+        .position(|f| f.name.as_deref() == Some("source"))
+        .or_else(|| fields.iter().position(|f| f.from))
+}
+
+fn generate(item: &Item) -> String {
+    let (name, variants, is_enum) = match item {
+        Item::Enum { name, variants } => (name.as_str(), variants.as_slice(), true),
+        Item::Struct { name, variant } => (name.as_str(), std::slice::from_ref(variant), false),
+    };
+
+    let mut display_arms = Vec::new();
+    let mut source_arms = Vec::new();
+    let mut from_impls = Vec::new();
+
+    for v in variants {
+        // `Self::Variant` for enums, `Self` for the struct pseudo-variant.
+        let path = if is_enum {
+            format!("Self::{}", v.name)
+        } else {
+            "Self".to_string()
+        };
+        let (pattern, lit, fields) = match &v.fields {
+            Fields::Unit => (path.clone(), v.display.clone(), &[][..]),
+            Fields::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                (
+                    format!("{path}({})", binds.join(", ")),
+                    rewrite_positional(&v.display, fields.len()),
+                    fields.as_slice(),
+                )
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<String> = fields.iter().filter_map(|f| f.name.clone()).collect();
+                (
+                    format!("{path} {{ {} }}", binds.join(", ")),
+                    v.display.clone(),
+                    fields.as_slice(),
+                )
+            }
+        };
+        display_arms.push(format!("{pattern} => ::std::write!(__formatter, {lit}),"));
+        match source_index(fields) {
+            Some(idx) => {
+                let bind = match &fields[idx].name {
+                    Some(n) => n.clone(),
+                    None => format!("__f{idx}"),
+                };
+                source_arms.push(format!(
+                    "{pattern} => ::std::option::Option::Some({bind} \
+                     as &(dyn ::std::error::Error + 'static)),"
+                ));
+            }
+            None => source_arms.push(format!("{pattern} => ::std::option::Option::None,")),
+        }
+        // `#[from]` on a variant's only field generates the From impl.
+        if let Some(idx) = fields.iter().position(|f| f.from) {
+            if fields.len() != 1 {
+                return format!(
+                    "compile_error!(\"#[from] requires `{}::{}` to have exactly one field\");",
+                    name, v.name
+                );
+            }
+            let ty = &fields[idx].ty;
+            let construct = match (&v.fields, &fields[idx].name) {
+                (Fields::Named(_), Some(n)) => format!("{path} {{ {n}: __value }}"),
+                _ => format!("{path}(__value)"),
+            };
+            // `Self` is not in scope inside a free `From` impl; spell the
+            // constructor through the concrete type name.
+            let construct = construct.replacen("Self", name, 1);
+            from_impls.push(format!(
+                "impl ::std::convert::From<{ty}> for {name} {{\n\
+                 fn from(__value: {ty}) -> Self {{ {construct} }}\n\
+                 }}"
+            ));
+        }
+    }
+
+    format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         #[allow(unused_variables, clippy::used_underscore_binding)]\n\
+         fn fmt(&self, __formatter: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{ {display} }}\n\
+         }}\n\
+         }}\n\
+         impl ::std::error::Error for {name} {{\n\
+         #[allow(unused_variables, clippy::match_single_binding)]\n\
+         fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+         match self {{ {source} }}\n\
+         }}\n\
+         }}\n\
+         {from}",
+        display = display_arms.join(" "),
+        source = source_arms.join(" "),
+        from = from_impls.join("\n"),
+    )
+}
