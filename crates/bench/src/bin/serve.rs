@@ -26,6 +26,14 @@
 //! deterministic: the same plan prints byte-identical reports at any
 //! `MANN_THREADS` and under either engine.
 //!
+//! `--numeric-policy ignore|flag|failover` (default: `MANN_NUMERIC_POLICY`
+//! or ignore) selects the numeric-health response: `flag` publishes the
+//! saturation/veto accounting in the report, `failover` additionally
+//! re-answers stressed completions on the `f32` reference datapath at
+//! accounted cycle/energy cost. `--embed-scale <factor>` multiplies the
+//! trained embedding matrices before quantization — a stress campaign
+//! knob that drives the fixed-point datapath into saturation.
+//!
 //! The serve is a pure function of `(suite, trace, config)`: rerunning
 //! with the same flags — at any `MANN_THREADS` — prints byte-identical
 //! numbers, and the `answers digest` line is invariant across
@@ -36,7 +44,8 @@ use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
 use mann_hw::{StoryCache, DEFAULT_STORY_CACHE};
 use mann_serve::{
-    ArrivalTrace, EngineMode, FaultConfig, SchedulePolicy, ServeConfig, Server, TraceConfig,
+    ArrivalTrace, EngineMode, FaultConfig, NumericPolicy, SchedulePolicy, ServeConfig, Server,
+    TraceConfig,
 };
 
 /// Prints a CLI-usage error and exits with status 2.
@@ -59,6 +68,8 @@ struct ServeArgs {
     story_pool: usize,
     engine: EngineMode,
     faults: FaultConfig,
+    numeric_policy: NumericPolicy,
+    embed_scale: f32,
 }
 
 impl ServeArgs {
@@ -83,6 +94,8 @@ impl ServeArgs {
             story_pool: 0,
             engine: EngineMode::from_env().unwrap_or_else(|e| usage_bail(e)),
             faults: FaultConfig::none(),
+            numeric_policy: NumericPolicy::from_env().unwrap_or_else(|e| usage_bail(e)),
+            embed_scale: 1.0,
         };
         let mut watchdog_us: Option<f64> = None;
         let mut max_retries: Option<u32> = None;
@@ -136,6 +149,16 @@ impl ServeArgs {
                 "--max-retries" => {
                     max_retries = Some(num("--max-retries", grab("--max-retries")) as u32);
                 }
+                "--numeric-policy" => {
+                    let v = grab("--numeric-policy");
+                    out.numeric_policy = NumericPolicy::parse(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--embed-scale" => {
+                    let v = grab("--embed-scale");
+                    out.embed_scale = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_bail("usage: --embed-scale <factor>"));
+                }
                 _ => {} // shared HarnessArgs flags
             }
         }
@@ -162,7 +185,14 @@ fn main() {
         args.tasks, args.train, args.test, args.seed
     );
     let start = std::time::Instant::now();
-    let suite = args.build_suite();
+    let mut suite = args.build_suite();
+    if serve_args.embed_scale != 1.0 {
+        eprintln!(
+            "[serve] scaling embedding matrices by {} (numeric stress campaign)",
+            serve_args.embed_scale
+        );
+        suite = suite.with_embedding_scale(serve_args.embed_scale);
+    }
     eprintln!(
         "[serve] suite trained in {:.1}s, mean test accuracy {:.1}%",
         start.elapsed().as_secs_f64(),
@@ -188,6 +218,7 @@ fn main() {
         story_cache: serve_args.story_cache,
         engine: serve_args.engine,
         faults: serve_args.faults,
+        numeric_policy: serve_args.numeric_policy,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -206,6 +237,9 @@ fn main() {
         config.story_cache,
         config.engine,
     );
+    if config.numeric_policy != NumericPolicy::Ignore {
+        eprintln!("[serve] numeric policy {}", config.numeric_policy);
+    }
     if config.faults.is_active() {
         eprintln!(
             "[serve] fault campaign active (seed {}): corrupt {} / retries {}, crashes {}, \

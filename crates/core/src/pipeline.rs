@@ -224,6 +224,26 @@ impl TaskSuite {
         }
     }
 
+    /// Returns the suite with every task's embedding weights multiplied
+    /// by `scale` — the numeric stress campaign for the fixed-point
+    /// datapath. Large scales push embedding sums past the Q16.16
+    /// saturation point (and, at extreme scales, past `f32` range, so
+    /// quantization sees ±∞); `1.0` is the identity. Each task's
+    /// `test_accuracy` is recomputed on the scaled model so the suite
+    /// stays honest about what the stressed reference achieves.
+    #[must_use]
+    pub fn with_embedding_scale(mut self, scale: f32) -> Self {
+        for t in &mut self.tasks {
+            for m in [&mut t.model.params.w_emb_a, &mut t.model.params.w_emb_c] {
+                for x in m.as_mut_slice() {
+                    *x *= scale;
+                }
+            }
+            t.test_accuracy = t.model.accuracy(&t.test_set);
+        }
+        self
+    }
+
     /// Total number of test inferences across tasks.
     pub fn total_test_samples(&self) -> usize {
         self.tasks.iter().map(|t| t.test_set.len()).sum()

@@ -11,15 +11,17 @@
 //! story upload entirely, paying only the question stream.
 
 use mann_babi::EncodedSample;
-use mann_ith::ThresholdingModel;
+use mann_ith::{ExitGuard, ThresholdingModel};
+use mann_linalg::NumericStatus;
 use memn2n::flops::{count_inference_with_output_rows, FlopBreakdown};
 use memn2n::TrainedModel;
 use serde::{Deserialize, Serialize};
 
 use crate::modules::{InputWriteModule, MemModule, OutputModule, ReadModule};
+use crate::quantize::quantize_params_tracked;
 use crate::story::{story_digest, StoryCache};
 use crate::trace::SignalTrace;
-use crate::{quantize_params, ClockDomain, Cycles, DatapathConfig, PcieLink, PowerModel};
+use crate::{ClockDomain, Cycles, DatapathConfig, PcieLink, PowerModel};
 
 /// Accelerator configuration: operating point, datapath, interface, power
 /// model, and optional inference thresholding.
@@ -37,6 +39,9 @@ pub struct AccelConfig {
     pub ith: Option<ThresholdingModel>,
     /// Whether thresholding probes in silhouette order (Step 3).
     pub use_ordering: bool,
+    /// Saturation guard over ITH early exits (enabled, zero band by
+    /// default; invisible on flag-free inferences).
+    pub guard: ExitGuard,
 }
 
 impl AccelConfig {
@@ -101,6 +106,46 @@ impl std::iter::Sum for PhaseCycles {
     }
 }
 
+/// Per-module numeric-event registers for one inference — the software
+/// mirror of a hardware status register bank: each module accumulates a
+/// sticky [`NumericStatus`], latched into the run when the answer drains.
+///
+/// Counters are pure functions of the inputs: the same model, story and
+/// question produce byte-identical reports on every engine, thread count
+/// and cache path (hit-form runs always fold the resident story's write
+/// events back in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NumericReport {
+    /// Model-load boundary: weights clipped (or non-finite) while being
+    /// quantized into the BRAMs. Identical for every inference on one
+    /// loaded model.
+    pub load: NumericStatus,
+    /// INPUT & WRITE: sentence + question embedding accumulators.
+    pub write: NumericStatus,
+    /// MEM: addressing MACs, score subtractor, exp/divider units, soft read.
+    pub mem: NumericStatus,
+    /// READ: controller matvecs and gate combines.
+    pub controller: NumericStatus,
+    /// OUTPUT: logit dot products.
+    pub output: NumericStatus,
+}
+
+impl NumericReport {
+    /// All per-module registers merged into one status word.
+    pub fn total(&self) -> NumericStatus {
+        self.load
+            .merged(&self.write)
+            .merged(&self.mem)
+            .merged(&self.controller)
+            .merged(&self.output)
+    }
+
+    /// Whether any module recorded any event.
+    pub fn stressed(&self) -> bool {
+        self.total().stressed()
+    }
+}
+
 /// Everything measured about one inference on the accelerator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceRun {
@@ -127,6 +172,10 @@ pub struct InferenceRun {
     /// Whether the story was already resident (CONTROL/WRITE cycles and
     /// `interface_s` then cover only the question stream).
     pub cache_hit: bool,
+    /// ITH early exits vetoed by the saturation guard.
+    pub vetoes: usize,
+    /// Per-module numeric-event registers.
+    pub numeric: NumericReport,
 }
 
 impl InferenceRun {
@@ -156,6 +205,7 @@ pub struct ResidentStory {
     phases: PhaseCycles,
     story_words: usize,
     digest: u64,
+    numeric: NumericStatus,
 }
 
 impl ResidentStory {
@@ -178,6 +228,11 @@ impl ResidentStory {
     pub fn sentences(&self) -> usize {
         self.mem.len()
     }
+
+    /// Numeric events recorded while embedding and writing the story.
+    pub fn numeric(&self) -> NumericStatus {
+        self.numeric
+    }
 }
 
 /// The assembled Fig 1 pipeline for one trained model.
@@ -193,6 +248,9 @@ pub struct Accelerator {
     config: AccelConfig,
     hops: usize,
     embed_dim: usize,
+    /// Numeric events latched while quantizing the model into the BRAMs —
+    /// replayed into every run's `load` register.
+    load_status: NumericStatus,
 }
 
 impl Accelerator {
@@ -205,13 +263,18 @@ impl Accelerator {
     /// does not match the model's class count.
     pub fn new(model: TrainedModel, config: AccelConfig) -> Self {
         config.datapath.validate().expect("valid datapath");
-        let q = quantize_params(&model.params, config.datapath.frac_bits);
+        let mut load_status = NumericStatus::default();
+        let q = quantize_params_tracked(&model.params, config.datapath.frac_bits, &mut load_status);
+        // The module constructors below re-quantize already-quantized
+        // weights, which is lossless — the load register counts each clip
+        // once, at the quantization boundary above.
         let input_write = InputWriteModule::new(q.w_emb_a.clone(), q.content_embedding().clone());
         let read = match &q.gru {
             Some(gru) => ReadModule::new_gru(gru.clone(), &config.datapath),
             None => ReadModule::new(q.w_r.clone(), &config.datapath),
         };
-        let mut output = OutputModule::new(q.w_o.clone(), &config.datapath);
+        let mut output =
+            OutputModule::new(q.w_o.clone(), &config.datapath).with_guard(config.guard);
         if let Some(ith) = &config.ith {
             output = output.with_thresholding(ith, config.use_ordering);
         }
@@ -227,6 +290,7 @@ impl Accelerator {
             config,
             hops,
             embed_dim,
+            load_status,
         }
     }
 
@@ -264,9 +328,10 @@ impl Accelerator {
     pub fn write_story(&self, sample: &EncodedSample) -> ResidentStory {
         let mut mem = self.mem_proto.clone();
         let mut phases = PhaseCycles::default();
+        let mut numeric = NumericStatus::default();
         for sent in &sample.sentences {
-            let (row_a, row_c, c) = self.input_write.embed_sentence(sent);
-            mem.write(row_a, row_c);
+            let (row_a, row_c, c) = self.input_write.embed_sentence_tracked(sent, &mut numeric);
+            mem.write_tracked(row_a, row_c, &mut numeric);
             phases.write += c;
         }
         let story_words = sample.story_words();
@@ -279,6 +344,7 @@ impl Accelerator {
             phases,
             story_words,
             digest: story_digest(sample),
+            numeric,
         }
     }
 
@@ -370,6 +436,8 @@ impl Accelerator {
             total_s: compute_s + interface_s,
             flops: query.flops,
             cache_hit: false,
+            vetoes: query.vetoes,
+            numeric: query.numeric,
         }
     }
 
@@ -397,6 +465,16 @@ impl Accelerator {
         // stream word.
         phases.control += Cycles::new(2 + sample.question.len() as u64);
 
+        // Per-module numeric registers. The story's write events are always
+        // folded in — hit-form and miss-form runs must report identical
+        // numeric health, since the cache changes where the story resides,
+        // not what the inference computes.
+        let mut numeric = NumericReport {
+            load: self.load_status,
+            write: story.numeric,
+            ..NumericReport::default()
+        };
+
         // Declare trace signals up front.
         let sig = trace.as_deref_mut().map(|t| {
             (
@@ -406,6 +484,8 @@ impl Accelerator {
                 t.add_signal("output_busy", 1),
                 t.add_signal("attention_argmax", 16),
                 t.add_signal("comparisons", 32),
+                t.add_signal("numeric_events", 32),
+                t.add_signal("exit_vetoes", 8),
             )
         });
         let mut now: u64 = phases.control.get();
@@ -414,7 +494,9 @@ impl Accelerator {
         if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
             t.record(s.0, now, 1);
         }
-        let (q_emb, qc) = self.input_write.embed_question(&sample.question);
+        let (q_emb, qc) = self
+            .input_write
+            .embed_question_tracked(&sample.question, &mut numeric.write);
         phases.write += qc;
         now += phases.write.get();
         if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
@@ -434,24 +516,29 @@ impl Accelerator {
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
                 t.record(s.1, now, 1);
             }
-            let ac = mem.address_into(&key, &mut attention);
+            let ac = mem.address_into_tracked(&key, &mut attention, &mut numeric.mem);
             phases.addressing += ac;
             now += ac.get();
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
+                // `total_cmp` keeps the argmax total (and NaN-safe) —
+                // `partial_cmp(..).unwrap_or(Equal)` silently broke the
+                // ordering whenever a NaN reached the trace path.
                 let argmax = attention
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i as u64)
                     .unwrap_or(0);
                 t.record(s.4, now, argmax);
                 t.record(s.1, now, 0);
                 t.record(s.2, now, 1);
             }
-            let rc = mem.read_into(&attention, &mut read_vec);
+            let rc = mem.read_into_tracked(&attention, &mut read_vec, &mut numeric.mem);
             phases.read += rc;
             now += rc.get();
-            let cc = self.read.step_into(&read_vec, &key, &mut hidden);
+            let cc =
+                self.read
+                    .step_into_tracked(&read_vec, &key, &mut hidden, &mut numeric.controller);
             phases.controller += cc;
             now += cc.get();
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
@@ -471,9 +558,12 @@ impl Accelerator {
         let out = self.output.search(hidden);
         phases.output = out.cycles;
         now += out.cycles.get();
+        numeric.output = out.numeric;
         if let (Some(t), Some(s)) = (trace, sig) {
             t.record(s.3, now, 0);
             t.record(s.5, now, out.comparisons as u64);
+            t.record(s.6, now, numeric.total().total().min(u64::from(u32::MAX)));
+            t.record(s.7, now, (out.vetoes as u64).min(u64::from(u8::MAX)));
         }
 
         let cycles = phases.total();
@@ -501,6 +591,8 @@ impl Accelerator {
             total_s: compute_s + interface_s,
             flops,
             cache_hit: !include_story,
+            vetoes: out.vetoes,
+            numeric,
         }
     }
 
@@ -780,6 +872,24 @@ mod tests {
             + run.compute_s
             + (run.interface_s - run.compute_s).max(0.0);
         assert!((double_buffered_time_s(&pair) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_reports_are_clean_and_path_invariant_at_babi_scale() {
+        let (model, _, test) = trained();
+        let accel = Accelerator::new(model, AccelConfig::default());
+        let mut cache = StoryCache::new(4);
+        for s in test.iter().take(6) {
+            let full = accel.run(s);
+            assert!(!full.numeric.stressed(), "bAbI-scale run recorded events");
+            assert_eq!(full.vetoes, 0);
+            // Miss-form, hit-form and composed runs report identical health.
+            let miss = accel.run_cached(s, &mut cache);
+            let hit = accel.run_cached(s, &mut cache);
+            assert!(hit.cache_hit && !miss.cache_hit);
+            assert_eq!(miss.numeric, full.numeric);
+            assert_eq!(hit.numeric, full.numeric);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Fixed-point adder tree — the reduction structure drawn inside the
 //! INPUT & WRITE, MEM, READ and OUTPUT modules of Fig 1.
 
-use mann_linalg::Fixed;
+use mann_linalg::{Fixed, NumericStatus};
 
 use crate::Cycles;
 
@@ -40,9 +40,16 @@ impl AdderTree {
     /// Reduces `values`, returning the fixed-point sum and the cycles the
     /// reduction occupied the tree.
     pub fn reduce(&self, values: &[Fixed]) -> (Fixed, Cycles) {
+        self.reduce_tracked(values, &mut NumericStatus::default())
+    }
+
+    /// [`AdderTree::reduce`] with numeric-event accounting: accumulator
+    /// saturations are recorded in `st`. The sum is bit-identical to the
+    /// untracked reduction.
+    pub fn reduce_tracked(&self, values: &[Fixed], st: &mut NumericStatus) -> (Fixed, Cycles) {
         let mut acc = Fixed::ZERO;
         for v in values {
-            acc += *v;
+            acc = acc.add_tracked(*v, st);
         }
         (acc, self.reduce_cycles(values.len()))
     }
@@ -63,13 +70,31 @@ impl AdderTree {
     ///
     /// Panics if the slices differ in length.
     pub fn fixed_dot(&self, a: &[f32], b: &[f32]) -> (Fixed, Cycles) {
+        self.fixed_dot_tracked(a, b, &mut NumericStatus::default())
+    }
+
+    /// [`AdderTree::fixed_dot`] with numeric-event accounting: quantizer
+    /// clamps, product saturations and accumulator saturations are recorded
+    /// in `st`. The sum is bit-identical to the untracked dot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn fixed_dot_tracked(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        st: &mut NumericStatus,
+    ) -> (Fixed, Cycles) {
         assert_eq!(a.len(), b.len(), "dot operand length mismatch");
         let products: Vec<Fixed> = a
             .iter()
             .zip(b)
-            .map(|(&x, &y)| Fixed::from_f32(x) * Fixed::from_f32(y))
+            .map(|(&x, &y)| {
+                Fixed::from_f32_tracked(x, st).mul_tracked(Fixed::from_f32_tracked(y, st), st)
+            })
             .collect();
-        let (sum, cycles) = self.reduce(&products);
+        let (sum, cycles) = self.reduce_tracked(&products, st);
         // One extra cycle for the multiplier stage ahead of the tree.
         (sum, cycles + Cycles::new(1))
     }

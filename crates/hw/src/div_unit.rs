@@ -4,7 +4,7 @@
 //! one radix-2 restoring divider retires a quotient every `latency` cycles
 //! (it is *not* pipelined — the classic area/speed trade on an FPGA).
 
-use mann_linalg::Fixed;
+use mann_linalg::{Fixed, NumericStatus};
 
 use crate::Cycles;
 
@@ -33,7 +33,22 @@ impl DivUnit {
     /// Divides each numerator by `denom`, returning quotients and total
     /// occupancy (`n * latency`, sequential).
     pub fn div_batch(&self, numerators: &[Fixed], denom: Fixed) -> (Vec<Fixed>, Cycles) {
-        let out: Vec<Fixed> = numerators.iter().map(|&n| n / denom).collect();
+        self.div_batch_tracked(numerators, denom, &mut NumericStatus::default())
+    }
+
+    /// [`DivUnit::div_batch`] with numeric-event accounting: zero divisors
+    /// and clipped quotients are recorded in `st`. The quotients are
+    /// bit-identical to the untracked batch.
+    pub fn div_batch_tracked(
+        &self,
+        numerators: &[Fixed],
+        denom: Fixed,
+        st: &mut NumericStatus,
+    ) -> (Vec<Fixed>, Cycles) {
+        let out: Vec<Fixed> = numerators
+            .iter()
+            .map(|&n| n.div_tracked(denom, st))
+            .collect();
         let cycles = Cycles::new(numerators.len() as u64 * self.latency);
         (out, cycles)
     }

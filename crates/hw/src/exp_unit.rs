@@ -5,7 +5,7 @@
 //! streams memory scores through one BRAM-LUT exponential pipeline.
 
 use mann_linalg::activation::ExpLut;
-use mann_linalg::Fixed;
+use mann_linalg::{Fixed, NumericStatus};
 
 use crate::Cycles;
 
@@ -37,9 +37,16 @@ impl ExpUnit {
     /// returning fixed-point results and the occupancy of the pipeline:
     /// `n + latency` cycles for `n` inputs at II = 1.
     pub fn eval_batch(&self, xs: &[f32]) -> (Vec<Fixed>, Cycles) {
+        self.eval_batch_tracked(xs, &mut NumericStatus::default())
+    }
+
+    /// [`ExpUnit::eval_batch`] with numeric-event accounting: non-finite or
+    /// out-of-range operands at the output quantizer are recorded in `st`.
+    /// The results are bit-identical to the untracked batch.
+    pub fn eval_batch_tracked(&self, xs: &[f32], st: &mut NumericStatus) -> (Vec<Fixed>, Cycles) {
         let out = xs
             .iter()
-            .map(|&x| Fixed::from_f32(self.lut.eval(x)))
+            .map(|&x| Fixed::from_f32_tracked(self.lut.eval(x), st))
             .collect();
         let cycles = if xs.is_empty() {
             Cycles::ZERO

@@ -59,14 +59,15 @@ mod datapath;
 mod quantize;
 
 pub use accel::{
-    double_buffered_time_s, AccelConfig, Accelerator, InferenceRun, PhaseCycles, ResidentStory,
+    double_buffered_time_s, AccelConfig, Accelerator, InferenceRun, NumericReport, PhaseCycles,
+    ResidentStory,
 };
 pub use clock::{ClockDomain, Cycles, SimTime};
 pub use datapath::DatapathConfig;
 pub use energy::PowerModel;
 pub use fault::{fault_coin, fault_mix, inject_upsets, inject_upsets_in_bits, UpsetSite};
 pub use pcie::{LinkArbiter, LinkGrant, PcieLink};
-pub use quantize::quantize_params;
+pub use quantize::{quantize_params, quantize_params_tracked};
 pub use resource::{ResourceEstimate, VCU107_BUDGET};
 pub use story::{
     story_digest, Admission, CacheStats, LruSet, StoryCache, StoryCacheEnvError,

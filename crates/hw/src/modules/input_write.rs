@@ -5,7 +5,7 @@
 //! paper's key efficiency point: no dense matrix-vector product, no
 //! multiplications at all for a bag-of-words input.
 
-use mann_linalg::{Fixed, Matrix};
+use mann_linalg::{Fixed, Matrix, NumericStatus};
 
 use crate::Cycles;
 
@@ -33,21 +33,35 @@ impl InputWriteModule {
     ///
     /// Panics if the two weights disagree in shape.
     pub fn new(w_emb_a: Matrix, w_emb_c: Matrix) -> Self {
+        Self::new_tracked(w_emb_a, w_emb_c, &mut NumericStatus::default())
+    }
+
+    /// [`InputWriteModule::new`] with numeric-event accounting at the BRAM
+    /// load boundary: weights clipped (or non-finite) while being quantized
+    /// into the column store are recorded in `st`. Stored columns are
+    /// bit-identical to the untracked construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two weights disagree in shape.
+    pub fn new_tracked(w_emb_a: Matrix, w_emb_c: Matrix, st: &mut NumericStatus) -> Self {
         assert_eq!(w_emb_a.shape(), w_emb_c.shape(), "embedding shape mismatch");
         let embed_dim = w_emb_a.rows();
         let vocab = w_emb_a.cols();
-        let columnize = |m: &Matrix| {
+        let mut columnize = |m: &Matrix| {
             let mut cols = Vec::with_capacity(embed_dim * vocab);
             for w in 0..vocab {
                 for r in 0..embed_dim {
-                    cols.push(Fixed::from_f32(m[(r, w)]));
+                    cols.push(Fixed::from_f32_tracked(m[(r, w)], st));
                 }
             }
             cols
         };
+        let cols_a = columnize(&w_emb_a);
+        let cols_c = columnize(&w_emb_c);
         Self {
-            cols_a: columnize(&w_emb_a),
-            cols_c: columnize(&w_emb_c),
+            cols_a,
+            cols_c,
             vocab,
             embed_dim,
         }
@@ -68,8 +82,23 @@ impl InputWriteModule {
     ///
     /// Panics if a word index is out of vocabulary range.
     pub fn embed_sentence(&self, words: &[usize]) -> (Vec<f32>, Vec<f32>, Cycles) {
-        let a = self.accumulate(&self.cols_a, words);
-        let c = self.accumulate(&self.cols_c, words);
+        self.embed_sentence_tracked(words, &mut NumericStatus::default())
+    }
+
+    /// [`InputWriteModule::embed_sentence`] with numeric-event accounting in
+    /// the sentence accumulators. Values are bit-identical to the untracked
+    /// embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word index is out of vocabulary range.
+    pub fn embed_sentence_tracked(
+        &self,
+        words: &[usize],
+        st: &mut NumericStatus,
+    ) -> (Vec<f32>, Vec<f32>, Cycles) {
+        let a = self.accumulate(&self.cols_a, words, st);
+        let c = self.accumulate(&self.cols_c, words, st);
         let cycles = Cycles::new(words.len() as u64 + 2);
         (a, c, cycles)
     }
@@ -77,18 +106,27 @@ impl InputWriteModule {
     /// Embeds the question through the address embedding (`emb_q` in
     /// Fig 1) — the first read key of Eq 3.
     pub fn embed_question(&self, words: &[usize]) -> (Vec<f32>, Cycles) {
-        let q = self.accumulate(&self.cols_a, words);
+        self.embed_question_tracked(words, &mut NumericStatus::default())
+    }
+
+    /// [`InputWriteModule::embed_question`] with numeric-event accounting.
+    pub fn embed_question_tracked(
+        &self,
+        words: &[usize],
+        st: &mut NumericStatus,
+    ) -> (Vec<f32>, Cycles) {
+        let q = self.accumulate(&self.cols_a, words, st);
         (q, Cycles::new(words.len() as u64 + 2))
     }
 
     /// Fixed-point column accumulation.
-    fn accumulate(&self, cols: &[Fixed], words: &[usize]) -> Vec<f32> {
+    fn accumulate(&self, cols: &[Fixed], words: &[usize], st: &mut NumericStatus) -> Vec<f32> {
         let mut acc = vec![Fixed::ZERO; self.embed_dim];
         for &w in words {
             assert!(w < self.vocab, "word index {w} out of range");
             let col = &cols[w * self.embed_dim..(w + 1) * self.embed_dim];
             for (slot, x) in acc.iter_mut().zip(col) {
-                *slot += *x;
+                *slot = slot.add_tracked(*x, st);
             }
         }
         acc.into_iter().map(Fixed::to_f32).collect()

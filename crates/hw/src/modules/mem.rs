@@ -15,7 +15,7 @@
 //! bit-identical to the unquantized-storage formulation.
 
 use mann_linalg::activation::ExpLut;
-use mann_linalg::Fixed;
+use mann_linalg::{Fixed, NumericStatus};
 
 use crate::adder_tree::AdderTree;
 use crate::div_unit::DivUnit;
@@ -76,12 +76,36 @@ impl MemModule {
     ///
     /// Panics if a row width differs from `embed_dim`.
     pub fn write(&mut self, addr_row: Vec<f32>, content_row: Vec<f32>) {
+        self.write_tracked(addr_row, content_row, &mut NumericStatus::default());
+    }
+
+    /// [`MemModule::write`] with numeric-event accounting at the BRAM write
+    /// port's quantizer. Stored rows are bit-identical to the untracked
+    /// write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row width differs from `embed_dim`.
+    pub fn write_tracked(
+        &mut self,
+        addr_row: Vec<f32>,
+        content_row: Vec<f32>,
+        st: &mut NumericStatus,
+    ) {
         assert_eq!(addr_row.len(), self.embed_dim, "address row width");
         assert_eq!(content_row.len(), self.embed_dim, "content row width");
-        self.rows_a
-            .push(addr_row.into_iter().map(Fixed::from_f32).collect());
-        self.rows_c
-            .push(content_row.into_iter().map(Fixed::from_f32).collect());
+        self.rows_a.push(
+            addr_row
+                .into_iter()
+                .map(|x| Fixed::from_f32_tracked(x, st))
+                .collect(),
+        );
+        self.rows_c.push(
+            content_row
+                .into_iter()
+                .map(|x| Fixed::from_f32_tracked(x, st))
+                .collect(),
+        );
     }
 
     /// Content-based addressing (Eq 1): returns the attention weights and
@@ -96,6 +120,19 @@ impl MemModule {
     /// buffer whose capacity is reused across hops. Values and cycle counts
     /// are identical to [`MemModule::address`].
     pub fn address_into(&self, key: &[f32], attention: &mut Vec<f32>) -> Cycles {
+        self.address_into_tracked(key, attention, &mut NumericStatus::default())
+    }
+
+    /// [`MemModule::address_into`] with numeric-event accounting across the
+    /// key quantizer, the score MACs, the max-shift subtractor, the exp
+    /// pipeline, the denominator tree and the divider. Attention values and
+    /// cycle counts are identical to the untracked pass.
+    pub fn address_into_tracked(
+        &self,
+        key: &[f32],
+        attention: &mut Vec<f32>,
+        st: &mut NumericStatus,
+    ) -> Cycles {
         attention.clear();
         let l = self.rows_a.len();
         if l == 0 {
@@ -103,16 +140,21 @@ impl MemModule {
         }
         // The key is quantized once per addressing pass; each score is the
         // in-order product sum `fixed_dot` would produce.
-        let key_q: Vec<Fixed> = key.iter().map(|&y| Fixed::from_f32(y)).collect();
+        let key_q: Vec<Fixed> = key
+            .iter()
+            .map(|&y| Fixed::from_f32_tracked(y, st))
+            .collect();
         let mut scores = Vec::with_capacity(l);
+        let mut scores_fx = Vec::with_capacity(l);
         let mut score_cycles = Cycles::ZERO;
         let per_dot = (self.embed_dim.div_ceil(self.tree.width())) as u64;
         for row in &self.rows_a {
             let mut acc = Fixed::ZERO;
             for (x, y) in row.iter().zip(&key_q) {
-                acc += *x * *y;
+                acc = acc.add_tracked(x.mul_tracked(*y, st), st);
             }
             scores.push(acc.to_f32());
+            scores_fx.push(acc);
             // II = issues-per-dot; latency amortized below.
             score_cycles += Cycles::new(per_dot);
         }
@@ -121,14 +163,21 @@ impl MemModule {
         // Stable softmax: running max costs nothing extra (register compare
         // overlapped with the score pass).
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // Shadow the shift through the fixed-point score registers so the
+        // status register sees what the hardware subtractor would; the
+        // functional value below stays the f32 shift, byte-for-byte.
+        let max_fx = scores_fx.iter().copied().max().unwrap_or(Fixed::ZERO);
+        for s_fx in &scores_fx {
+            let _ = s_fx.sub_tracked(max_fx, st);
+        }
         let shifted: Vec<f32> = scores.iter().map(|s| s - max).collect();
-        let (exps, exp_cycles) = self.exp.eval_batch(&shifted);
+        let (exps, exp_cycles) = self.exp.eval_batch_tracked(&shifted, st);
 
         // Denominator via the adder tree.
-        let (denom, sum_cycles) = self.tree.reduce(&exps);
+        let (denom, sum_cycles) = self.tree.reduce_tracked(&exps, st);
 
         // Sequential normalization.
-        let (normalized, div_cycles) = self.div.div_batch(&exps, denom);
+        let (normalized, div_cycles) = self.div.div_batch_tracked(&exps, denom, st);
         if denom.is_zero() {
             // Divider guard: all-flushed exponents fall back to uniform.
             attention.resize(l, 1.0 / l as f32);
@@ -151,15 +200,34 @@ impl MemModule {
     /// fixed-point accumulation visits the rows in the same order as
     /// [`MemModule::read`], so results are identical.
     pub fn read_into(&self, attention: &[f32], out: &mut Vec<f32>) -> Cycles {
+        self.read_into_tracked(attention, out, &mut NumericStatus::default())
+    }
+
+    /// [`MemModule::read_into`] with numeric-event accounting across the
+    /// attention quantizer and the weighted-sum MACs. Values and cycle
+    /// counts are identical to the untracked read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attention length differs from the occupied slots.
+    pub fn read_into_tracked(
+        &self,
+        attention: &[f32],
+        out: &mut Vec<f32>,
+        st: &mut NumericStatus,
+    ) -> Cycles {
         assert_eq!(attention.len(), self.rows_c.len(), "attention length");
         out.clear();
         out.reserve(self.embed_dim);
         // Attention weights are quantized once, not once per output element.
-        let att_q: Vec<Fixed> = attention.iter().map(|&a| Fixed::from_f32(a)).collect();
+        let att_q: Vec<Fixed> = attention
+            .iter()
+            .map(|&a| Fixed::from_f32_tracked(a, st))
+            .collect();
         for j in 0..self.embed_dim {
             let mut acc = Fixed::ZERO;
             for (a, row) in att_q.iter().zip(&self.rows_c) {
-                acc += *a * row[j];
+                acc = acc.add_tracked(a.mul_tracked(row[j], st), st);
             }
             out.push(acc.to_f32());
         }

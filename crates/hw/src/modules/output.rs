@@ -7,8 +7,8 @@
 //! silhouette probe order) and the search retires early on the first hit —
 //! Fig 2(b).
 
-use mann_ith::ThresholdingModel;
-use mann_linalg::{Fixed, Matrix};
+use mann_ith::{ExitGuard, ThresholdingModel};
+use mann_linalg::{Fixed, Matrix, NumericStatus};
 
 use crate::adder_tree::AdderTree;
 use crate::{Cycles, DatapathConfig};
@@ -24,6 +24,10 @@ pub struct OutputResult {
     pub speculated: bool,
     /// Occupancy of the module.
     pub cycles: Cycles,
+    /// Early exits vetoed by the saturation guard before retiring.
+    pub vetoes: usize,
+    /// Numeric-event register accumulated across every evaluated logit.
+    pub numeric: NumericStatus,
 }
 
 /// The sequential output layer.
@@ -37,6 +41,8 @@ pub struct OutputModule {
     /// Quantized per-class thresholds in probe order, when thresholding is
     /// configured: `(class, theta)`.
     plan: Option<Vec<(usize, Option<Fixed>)>>,
+    /// Saturation guard over speculative exits.
+    guard: ExitGuard,
 }
 
 impl OutputModule {
@@ -50,7 +56,15 @@ impl OutputModule {
             tree: AdderTree::new(dp.output_lanes),
             row_cycles,
             plan: None,
+            guard: ExitGuard::default(),
         }
+    }
+
+    /// Installs a saturation guard over speculative exits (the default is an
+    /// enabled guard with a zero band).
+    pub fn with_guard(mut self, guard: ExitGuard) -> Self {
+        self.guard = guard;
+        self
     }
 
     /// Installs a calibrated thresholding model (quantizing its thresholds
@@ -95,24 +109,45 @@ impl OutputModule {
         assert_eq!(h.len(), self.w_o.cols(), "hidden width");
         let per_dot = self.row_cycles;
         let epilogue = self.tree.depth() + 2;
+        let band = Fixed::from_f32(self.guard.band.max(0.0));
 
         let mut best = 0usize;
         let mut best_z = Fixed::MIN;
         let mut comparisons = 0usize;
+        let mut vetoes = 0usize;
+        let mut numeric = NumericStatus::default();
+        // Whether any logit probed so far landed within the guard band of
+        // its own threshold while carrying a flag.
+        let mut band_flagged = false;
 
         match &self.plan {
             Some(plan) => {
                 for &(class, theta) in plan {
-                    let (z, _) = self.tree.fixed_dot(self.w_o.row(class), h);
+                    let mut logit_st = NumericStatus::default();
+                    let (z, _) = self
+                        .tree
+                        .fixed_dot_tracked(self.w_o.row(class), h, &mut logit_st);
                     comparisons += 1;
+                    numeric.merge(&logit_st);
                     if let Some(t) = theta {
+                        if logit_st.stressed() && z.saturating_sub(t).abs() <= band {
+                            band_flagged = true;
+                        }
                         if z > t {
-                            return OutputResult {
-                                label: class,
-                                comparisons,
-                                speculated: true,
-                                cycles: Cycles::new(comparisons as u64 * per_dot + epilogue),
-                            };
+                            if self.guard.vetoes(&logit_st, band_flagged) {
+                                // Saturated speculative exit: veto it and
+                                // let the sequential search continue.
+                                vetoes += 1;
+                            } else {
+                                return OutputResult {
+                                    label: class,
+                                    comparisons,
+                                    speculated: true,
+                                    cycles: Cycles::new(comparisons as u64 * per_dot + epilogue),
+                                    vetoes,
+                                    numeric,
+                                };
+                            }
                         }
                     }
                     if z > best_z {
@@ -123,7 +158,9 @@ impl OutputModule {
             }
             None => {
                 for class in 0..self.w_o.rows() {
-                    let (z, _) = self.tree.fixed_dot(self.w_o.row(class), h);
+                    let (z, _) = self
+                        .tree
+                        .fixed_dot_tracked(self.w_o.row(class), h, &mut numeric);
                     comparisons += 1;
                     if z > best_z {
                         best_z = z;
@@ -137,6 +174,8 @@ impl OutputModule {
             comparisons,
             speculated: false,
             cycles: Cycles::new(comparisons as u64 * per_dot + epilogue),
+            vetoes,
+            numeric,
         }
     }
 }
@@ -235,5 +274,71 @@ mod tests {
     fn class_count_mismatch_panics() {
         let _ = OutputModule::new(w_o(), &DatapathConfig::default())
             .with_thresholding(&ith(vec![None; 3], vec![0, 1, 2]), true);
+    }
+
+    /// A weight matrix engineered so class 0's logit saturates in an
+    /// intermediate product (MAX then a large negative add) yet lands at a
+    /// moderate value that clears θ_0, while class 2 holds the true argmax.
+    fn saturating_w_o() -> Matrix {
+        let mut m = Matrix::zeros(3, 2);
+        // h = [30000, 30000]: p = 100*30000 saturates at Fixed::MAX, then
+        // -1*30000 pulls the accumulator back to ≈ 2768 — a numerically
+        // meaningless logit that still clears a threshold of 1000.
+        m[(0, 0)] = 100.0;
+        m[(0, 1)] = -1.0;
+        m[(1, 0)] = 0.1;
+        m[(1, 1)] = 0.1;
+        m[(2, 0)] = 0.2;
+        m[(2, 1)] = 0.2;
+        m
+    }
+
+    /// The acceptance scenario: an unguarded search early-exits on the
+    /// saturated logit and answers wrong; the guard vetoes that exit and the
+    /// continued sequential pass returns the exhaustive search's answer.
+    #[test]
+    fn guard_vetoes_saturated_exit_and_changes_answer() {
+        let h = [30000.0f32, 30000.0];
+        let model = ith(vec![Some(1000.0), None, None], vec![0, 1, 2]);
+        let dp = DatapathConfig::default();
+
+        let exact = OutputModule::new(saturating_w_o(), &dp).search(&h);
+        assert_eq!(exact.label, 2, "exhaustive argmax");
+
+        let unguarded = OutputModule::new(saturating_w_o(), &dp)
+            .with_thresholding(&model, true)
+            .with_guard(ExitGuard::off())
+            .search(&h);
+        assert_eq!(unguarded.label, 0, "saturated early exit fires unguarded");
+        assert!(unguarded.speculated);
+        assert_eq!(unguarded.vetoes, 0);
+
+        let guarded = OutputModule::new(saturating_w_o(), &dp)
+            .with_thresholding(&model, true)
+            .search(&h);
+        assert_eq!(guarded.label, exact.label, "guard restores the answer");
+        assert!(!guarded.speculated);
+        assert_eq!(guarded.vetoes, 1);
+        assert_eq!(guarded.comparisons, 3);
+        assert!(guarded.numeric.mul_sat > 0, "flag recorded");
+    }
+
+    /// With no saturation anywhere, the guard is invisible: guarded and
+    /// unguarded searches agree on every field.
+    #[test]
+    fn guard_is_invisible_without_flags() {
+        let model = ith(vec![None, None, None, Some(2.0), None], vec![3, 0, 1, 2, 4]);
+        let h = [1.0f32, 1.0, 1.0, 1.0];
+        let dp = DatapathConfig::default();
+        let guarded = OutputModule::new(w_o(), &dp)
+            .with_thresholding(&model, true)
+            .search(&h);
+        let unguarded = OutputModule::new(w_o(), &dp)
+            .with_thresholding(&model, true)
+            .with_guard(ExitGuard::off())
+            .search(&h);
+        assert_eq!(guarded, unguarded);
+        assert!(guarded.numeric.is_clean());
+        assert_eq!(guarded.vetoes, 0);
     }
 }

@@ -5,7 +5,7 @@
 //! path that makes MANNs awkward on batch-oriented accelerators and natural
 //! on a dataflow architecture.
 
-use mann_linalg::{Fixed, Matrix};
+use mann_linalg::{Fixed, Matrix, NumericStatus};
 use memn2n::GruParams;
 
 use crate::adder_tree::AdderTree;
@@ -108,6 +108,24 @@ impl ReadModule {
     ///
     /// Panics if `r` or `k` width differs from `E`.
     pub fn step_into(&self, r: &[f32], k: &[f32], h: &mut Vec<f32>) -> Cycles {
+        self.step_into_tracked(r, k, h, &mut NumericStatus::default())
+    }
+
+    /// [`ReadModule::step_into`] with numeric-event accounting across the
+    /// matvecs, the combine adder and (for the gated controller) the σ/tanh
+    /// unit and gate combines. Values and cycle counts are identical to the
+    /// untracked step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `k` width differs from `E`.
+    pub fn step_into_tracked(
+        &self,
+        r: &[f32],
+        k: &[f32],
+        h: &mut Vec<f32>,
+        st: &mut NumericStatus,
+    ) -> Cycles {
         let e = self.embed_dim();
         assert_eq!(r.len(), e, "read vector width");
         assert_eq!(k.len(), e, "key width");
@@ -117,14 +135,14 @@ impl ReadModule {
             ControllerHw::Linear { w_r } => {
                 let per_dot = (e.div_ceil(self.tree.width())) as u64;
                 for (row, &rv) in w_r.iter_rows().zip(r) {
-                    let (wk, _) = self.tree.fixed_dot(row, k);
-                    let sum = Fixed::from_f32(rv) + wk;
+                    let (wk, _) = self.tree.fixed_dot_tracked(row, k, st);
+                    let sum = Fixed::from_f32_tracked(rv, st).add_tracked(wk, st);
                     h.push(sum.to_f32());
                 }
                 Cycles::new(e as u64 * per_dot + self.tree.depth() + 2)
             }
             ControllerHw::Gru { weights, sigmoid } => {
-                let (out, cycles) = self.gru_step(weights, sigmoid, r, k);
+                let (out, cycles) = self.gru_step(weights, sigmoid, r, k, st);
                 h.extend_from_slice(&out);
                 cycles
             }
@@ -138,54 +156,67 @@ impl ReadModule {
         sigmoid: &SigmoidUnit,
         r: &[f32],
         k: &[f32],
+        st: &mut NumericStatus,
     ) -> (Vec<f32>, Cycles) {
         let e = self.embed_dim();
         let per_dot = (e.div_ceil(self.tree.width())) as u64;
         let matvec_cycles = Cycles::new(e as u64 * per_dot + self.tree.depth() + 1);
         let mut total = Cycles::ZERO;
 
-        let matvec = |m: &Matrix, x: &[f32]| -> Vec<f32> {
+        fn matvec(
+            tree: &AdderTree,
+            e: usize,
+            m: &Matrix,
+            x: &[f32],
+            st: &mut NumericStatus,
+        ) -> Vec<f32> {
             (0..e)
-                .map(|row| self.tree.fixed_dot(m.row(row), x).0.to_f32())
+                .map(|row| tree.fixed_dot_tracked(m.row(row), x, st).0.to_f32())
                 .collect()
-        };
+        }
         // Gate pre-activations: a = W r + U k (the add overlaps the tree).
-        let az: Vec<f32> = matvec(&w.w_z, r)
+        let az: Vec<f32> = matvec(&self.tree, e, &w.w_z, r, st)
             .iter()
-            .zip(matvec(&w.u_z, k))
+            .zip(matvec(&self.tree, e, &w.u_z, k, st))
             .map(|(a, b)| a + b)
             .collect();
         total += matvec_cycles * 2;
-        let ag: Vec<f32> = matvec(&w.w_g, r)
+        let ag: Vec<f32> = matvec(&self.tree, e, &w.w_g, r, st)
             .iter()
-            .zip(matvec(&w.u_g, k))
+            .zip(matvec(&self.tree, e, &w.u_g, k, st))
             .map(|(a, b)| a + b)
             .collect();
         total += matvec_cycles * 2;
-        let (z, zc) = sigmoid.sigmoid_batch(&az);
-        let (g, gc) = sigmoid.sigmoid_batch(&ag);
+        let (z, zc) = sigmoid.sigmoid_batch_tracked(&az, st);
+        let (g, gc) = sigmoid.sigmoid_batch_tracked(&ag, st);
         total += zc + gc;
 
         let gk: Vec<f32> = g
             .iter()
             .zip(k)
-            .map(|(gv, &kv)| (*gv * Fixed::from_f32(kv)).to_f32())
+            .map(|(gv, &kv)| gv.mul_tracked(Fixed::from_f32_tracked(kv, st), st).to_f32())
             .collect();
         total += Cycles::new(1); // elementwise, E parallel lanes
-        let ah: Vec<f32> = matvec(&w.w_h, r)
+        let ah: Vec<f32> = matvec(&self.tree, e, &w.w_h, r, st)
             .iter()
-            .zip(matvec(&w.u_h, &gk))
+            .zip(matvec(&self.tree, e, &w.u_h, &gk, st))
             .map(|(a, b)| a + b)
             .collect();
         total += matvec_cycles * 2;
-        let (ht, hc) = sigmoid.tanh_batch(&ah);
+        let (ht, hc) = sigmoid.tanh_batch_tracked(&ah, st);
         total += hc;
 
         let h: Vec<f32> = z
             .iter()
             .zip(k)
             .zip(ht)
-            .map(|((zv, &kv), hv)| ((Fixed::ONE - *zv) * Fixed::from_f32(kv) + *zv * hv).to_f32())
+            .map(|((zv, &kv), hv)| {
+                Fixed::ONE
+                    .sub_tracked(*zv, st)
+                    .mul_tracked(Fixed::from_f32_tracked(kv, st), st)
+                    .add_tracked(zv.mul_tracked(hv, st), st)
+                    .to_f32()
+            })
             .collect();
         total += Cycles::new(2);
         (h, total)

@@ -1,6 +1,6 @@
 //! Weight quantization onto the fixed-point datapath.
 
-use mann_linalg::Fixed;
+use mann_linalg::{Fixed, NumericStatus};
 use memn2n::Params;
 
 /// Returns a copy of `params` with every weight pushed through the
@@ -11,6 +11,18 @@ use memn2n::Params;
 ///
 /// Panics if `frac_bits` is 0 or greater than 30.
 pub fn quantize_params(params: &Params, frac_bits: u32) -> Params {
+    quantize_params_tracked(params, frac_bits, &mut NumericStatus::default())
+}
+
+/// [`quantize_params`] with numeric-event accounting at the model-load
+/// boundary: weights clipped by the fixed-point grid (or non-finite on
+/// arrival) are recorded in `st`. The returned parameters are bit-identical
+/// to the untracked quantization.
+///
+/// # Panics
+///
+/// Panics if `frac_bits` is 0 or greater than 30.
+pub fn quantize_params_tracked(params: &Params, frac_bits: u32, st: &mut NumericStatus) -> Params {
     assert!(
         (1..=30).contains(&frac_bits),
         "frac_bits {frac_bits} outside 1..=30"
@@ -18,13 +30,13 @@ pub fn quantize_params(params: &Params, frac_bits: u32) -> Params {
     let mut q = params.clone();
     for m in [&mut q.w_emb_a, &mut q.w_emb_c, &mut q.w_r, &mut q.w_o] {
         for x in m.as_mut_slice() {
-            *x = Fixed::quantize_f32(*x, frac_bits);
+            *x = Fixed::from_f32_q_tracked(*x, frac_bits, st).to_f32();
         }
     }
     if let Some(g) = &mut q.gru {
         for m in g.matrices_mut() {
             for x in m.as_mut_slice() {
-                *x = Fixed::quantize_f32(*x, frac_bits);
+                *x = Fixed::from_f32_q_tracked(*x, frac_bits, st).to_f32();
             }
         }
     }

@@ -6,7 +6,7 @@
 //! divide per element — and `tanh(x) = 2σ(2x) - 1`.
 
 use mann_linalg::activation::ExpLut;
-use mann_linalg::Fixed;
+use mann_linalg::{Fixed, NumericStatus};
 
 use crate::div_unit::DivUnit;
 use crate::exp_unit::ExpUnit;
@@ -33,18 +33,29 @@ impl SigmoidUnit {
     /// occupancy: `n + exp_latency` (pipelined lookups) plus `n` sequential
     /// divides.
     pub fn sigmoid_batch(&self, xs: &[f32]) -> (Vec<Fixed>, Cycles) {
+        self.sigmoid_batch_tracked(xs, &mut NumericStatus::default())
+    }
+
+    /// [`SigmoidUnit::sigmoid_batch`] with numeric-event accounting across
+    /// the exp lookup, the `1 + e` adder and the divider. Results are
+    /// bit-identical to the untracked batch.
+    pub fn sigmoid_batch_tracked(
+        &self,
+        xs: &[f32],
+        st: &mut NumericStatus,
+    ) -> (Vec<Fixed>, Cycles) {
         if xs.is_empty() {
             return (Vec::new(), Cycles::ZERO);
         }
         let negabs: Vec<f32> = xs.iter().map(|&x| -x.abs()).collect();
-        let (exps, exp_cycles) = self.exp.eval_batch(&negabs);
+        let (exps, exp_cycles) = self.exp.eval_batch_tracked(&negabs, st);
         let mut out = Vec::with_capacity(xs.len());
         let mut div_cycles = Cycles::ZERO;
         for (&x, e) in xs.iter().zip(exps) {
-            let denom = Fixed::ONE + e;
-            let (q, c) = self
-                .div
-                .div_batch(&[if x >= 0.0 { Fixed::ONE } else { e }], denom);
+            let denom = Fixed::ONE.add_tracked(e, st);
+            let (q, c) =
+                self.div
+                    .div_batch_tracked(&[if x >= 0.0 { Fixed::ONE } else { e }], denom, st);
             out.push(q[0]);
             div_cycles += c;
         }
@@ -53,10 +64,18 @@ impl SigmoidUnit {
 
     /// Evaluates `tanh(x)` via `2σ(2x) - 1`.
     pub fn tanh_batch(&self, xs: &[f32]) -> (Vec<Fixed>, Cycles) {
+        self.tanh_batch_tracked(xs, &mut NumericStatus::default())
+    }
+
+    /// [`SigmoidUnit::tanh_batch`] with numeric-event accounting.
+    pub fn tanh_batch_tracked(&self, xs: &[f32], st: &mut NumericStatus) -> (Vec<Fixed>, Cycles) {
         let doubled: Vec<f32> = xs.iter().map(|&x| 2.0 * x).collect();
-        let (sig, cycles) = self.sigmoid_batch(&doubled);
+        let (sig, cycles) = self.sigmoid_batch_tracked(&doubled, st);
         let two = Fixed::from_f32(2.0);
-        let out = sig.into_iter().map(|s| two * s - Fixed::ONE).collect();
+        let out = sig
+            .into_iter()
+            .map(|s| two.mul_tracked(s, st).sub_tracked(Fixed::ONE, st))
+            .collect();
         (out, cycles + Cycles::new(1))
     }
 }

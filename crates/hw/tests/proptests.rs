@@ -2,8 +2,11 @@
 //! functional equivalence with the reference model, timing monotonicity.
 
 use mann_babi::EncodedSample;
-use mann_hw::modules::{decode_stream, encode_sample_stream};
+use mann_hw::modules::{decode_stream, encode_sample_stream, OutputModule};
 use mann_hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig};
+use mann_ith::threshold::ClassThreshold;
+use mann_ith::{ExitGuard, Kernel, ThresholdingModel};
+use mann_linalg::Matrix;
 use memn2n::{ModelConfig, Params, TrainedModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -122,6 +125,42 @@ proptest! {
         )
         .run(&sample);
         prop_assert_eq!(base.answer, other.answer);
+    }
+
+    /// The exit guard is a pure veto on *flagged* exits: on numerically
+    /// clean searches (small weights and hidden states, far from
+    /// saturation) a guarded search is field-for-field identical to an
+    /// unguarded one — for any thresholds and any guard band.
+    #[test]
+    fn guard_never_changes_clean_answers(
+        weights in proptest::collection::vec(-1.0f32..1.0, 12),
+        h in proptest::collection::vec(-10.0f32..10.0, 4),
+        thetas in proptest::collection::vec(proptest::option::of(-5.0f32..5.0), 3),
+        band in 0.0f32..2.0,
+    ) {
+        let mut w_o = Matrix::zeros(3, 4);
+        for (i, w) in weights.iter().enumerate() {
+            w_o[(i / 4, i % 4)] = *w;
+        }
+        let n = thetas.len();
+        let ith = ThresholdingModel {
+            thresholds: thetas.into_iter().map(|theta| ClassThreshold { theta }).collect(),
+            order: (0..n).collect(),
+            silhouettes: vec![0.0; n],
+            rho: 1.0,
+            kernel: Kernel::Epanechnikov,
+        };
+        let dp = DatapathConfig::default();
+        let guarded = OutputModule::new(w_o.clone(), &dp)
+            .with_thresholding(&ith, true)
+            .with_guard(ExitGuard::with_band(band))
+            .search(&h);
+        let unguarded = OutputModule::new(w_o, &dp)
+            .with_thresholding(&ith, true)
+            .with_guard(ExitGuard::off())
+            .search(&h);
+        prop_assert!(guarded.numeric.is_clean());
+        prop_assert_eq!(guarded, unguarded);
     }
 
     /// Compute seconds scale exactly inversely with frequency.

@@ -141,7 +141,9 @@ impl MipsStrategy for ClusterMips {
                 (c, sim)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN similarity sorts deterministically (last) instead
+        // of poisoning the whole ranking.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut comparisons = self.centroids.len();
 
         let mut best = 0usize;

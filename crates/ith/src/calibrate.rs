@@ -228,11 +228,9 @@ impl ThresholdingCalibrator {
             ));
         }
         let mut order: Vec<usize> = (0..v).collect();
-        order.sort_by(|&a, &b| {
-            silhouettes[b]
-                .partial_cmp(&silhouettes[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // total_cmp: a NaN silhouette sorts deterministically (last) instead
+        // of landing at an arbitrary probe position.
+        order.sort_by(|&a, &b| silhouettes[b].total_cmp(&silhouettes[a]));
         ThresholdingModel {
             thresholds,
             order,

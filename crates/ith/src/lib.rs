@@ -47,6 +47,7 @@
 
 pub mod baselines;
 pub mod calibrate;
+pub mod guard;
 pub mod histogram;
 pub mod kde;
 pub mod search;
@@ -54,5 +55,6 @@ pub mod silhouette;
 pub mod threshold;
 
 pub use calibrate::{LogitStats, PriorMode, ThresholdingCalibrator, ThresholdingModel};
+pub use guard::ExitGuard;
 pub use kde::{Kde, Kernel};
 pub use search::{ExhaustiveMips, MipsResult, MipsStrategy, ThresholdedMips};

@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::numeric::NumericStatus;
+
 /// Number of fractional bits in the default Q16.16 format.
 pub const DEFAULT_FRAC_BITS: u32 = 16;
 
@@ -132,6 +134,93 @@ impl Fixed {
         Self {
             raw: wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
         }
+    }
+
+    /// [`Fixed::from_f32_q`] with numeric-event accounting: bumps
+    /// `nan_boundary` for non-finite operands and `quant_clamp` for finite
+    /// operands clipped at the representable range. The returned value is
+    /// bit-identical to the untracked conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 30`.
+    pub fn from_f32_q_tracked(x: f32, frac_bits: u32, st: &mut NumericStatus) -> Self {
+        assert!(frac_bits <= 30, "frac_bits {frac_bits} too large");
+        if x.is_nan() {
+            st.nan_boundary += 1;
+            return Self::ZERO;
+        }
+        if x.is_infinite() {
+            st.nan_boundary += 1;
+        }
+        let scaled = (x as f64) * (1i64 << frac_bits) as f64;
+        let rounded = scaled.round();
+        let q = rounded.clamp(i32::MIN as f64, i32::MAX as f64) as i64;
+        let mut clamped = rounded < i32::MIN as f64 || rounded > i32::MAX as f64;
+        let shift = DEFAULT_FRAC_BITS as i64 - frac_bits as i64;
+        let wide = if shift >= 0 { q << shift } else { q >> -shift };
+        let raw = wide.clamp(i32::MIN as i64, i32::MAX as i64);
+        clamped |= raw != wide;
+        // Non-finite operands count once, under `nan_boundary` only.
+        if clamped && x.is_finite() {
+            st.quant_clamp += 1;
+        }
+        Self { raw: raw as i32 }
+    }
+
+    /// [`Fixed::from_f32`] with numeric-event accounting.
+    pub fn from_f32_tracked(x: f32, st: &mut NumericStatus) -> Self {
+        Self::from_f32_q_tracked(x, DEFAULT_FRAC_BITS, st)
+    }
+
+    /// [`Fixed::saturating_add`] with numeric-event accounting.
+    pub fn add_tracked(self, rhs: Self, st: &mut NumericStatus) -> Self {
+        match self.raw.checked_add(rhs.raw) {
+            Some(raw) => Self { raw },
+            None => {
+                st.add_sat += 1;
+                self.saturating_add(rhs)
+            }
+        }
+    }
+
+    /// [`Fixed::saturating_sub`] with numeric-event accounting.
+    pub fn sub_tracked(self, rhs: Self, st: &mut NumericStatus) -> Self {
+        match self.raw.checked_sub(rhs.raw) {
+            Some(raw) => Self { raw },
+            None => {
+                st.sub_sat += 1;
+                self.saturating_sub(rhs)
+            }
+        }
+    }
+
+    /// [`Fixed::saturating_mul`] with numeric-event accounting: `mul_sat`
+    /// counts intermediate products that clipped at the 32-bit boundary.
+    pub fn mul_tracked(self, rhs: Self, st: &mut NumericStatus) -> Self {
+        let wide = i64::from(self.raw) * i64::from(rhs.raw);
+        let shifted = wide >> DEFAULT_FRAC_BITS;
+        let raw = shifted.clamp(i32::MIN as i64, i32::MAX as i64);
+        if raw != shifted {
+            st.mul_sat += 1;
+        }
+        Self { raw: raw as i32 }
+    }
+
+    /// [`Fixed::saturating_div`] with numeric-event accounting: `div_zero`
+    /// counts exactly-zero divisors; a clipped wide quotient (nonzero
+    /// divisor) counts under the shared wide-result class `mul_sat`.
+    pub fn div_tracked(self, rhs: Self, st: &mut NumericStatus) -> Self {
+        if rhs.raw == 0 {
+            st.div_zero += 1;
+            return if self.raw >= 0 { Self::MAX } else { Self::MIN };
+        }
+        let wide = (i64::from(self.raw) << DEFAULT_FRAC_BITS) / i64::from(rhs.raw);
+        let raw = wide.clamp(i32::MIN as i64, i32::MAX as i64);
+        if raw != wide {
+            st.mul_sat += 1;
+        }
+        Self { raw: raw as i32 }
     }
 
     /// Absolute value, saturating at `MAX` for `MIN`.

@@ -12,6 +12,8 @@
 //!   with saturating arithmetic and conversion to/from `f32`.
 //! * [`activation`] — exact and LUT-approximated transcendental functions;
 //!   the LUT variant models the BRAM exponential unit of the accelerator.
+//! * [`NumericStatus`] — sticky numeric-event counters populated by the
+//!   `*_tracked` fixed-point ops, mirroring a hardware status register.
 //! * [`init`] — seeded weight initializers.
 //! * [`stats`] — summary statistics used by calibration and tests.
 //!
@@ -35,6 +37,7 @@ pub mod activation;
 pub mod fixed;
 pub mod init;
 pub mod matrix;
+pub mod numeric;
 pub mod reference;
 pub mod stats;
 pub mod vector;
@@ -44,4 +47,5 @@ mod error;
 pub use error::ShapeError;
 pub use fixed::Fixed;
 pub use matrix::Matrix;
+pub use numeric::NumericStatus;
 pub use vector::Vector;

@@ -43,7 +43,9 @@ pub fn percentile(xs: &[f32], q: f32) -> Option<f32> {
         return None;
     }
     let mut sorted: Vec<f32> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp gives NaNs a fixed position (after +inf) instead of the
+    // arbitrary placement a partial_cmp-with-Equal-fallback produces.
+    sorted.sort_by(f32::total_cmp);
     let pos = q * (sorted.len() - 1) as f32;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

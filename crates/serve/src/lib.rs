@@ -36,6 +36,7 @@
 //! and scheduler policies.
 
 mod faults;
+mod numeric;
 mod report;
 mod request;
 mod scheduler;
@@ -43,6 +44,7 @@ mod server;
 mod trace;
 
 pub use faults::{FaultConfig, FaultPlan, FaultPlanError, FaultReport};
+pub use numeric::{NumericHealth, NumericPolicy, NumericPolicyError};
 pub use report::{
     answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
 };

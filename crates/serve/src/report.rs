@@ -6,6 +6,7 @@ use mann_hw::PhaseCycles;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultReport;
+use crate::numeric::NumericHealth;
 
 /// Latency summary over completed requests (simulated seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -28,8 +29,12 @@ impl LatencySummary {
         if latencies.is_empty() {
             return Self::default();
         }
+        // `total_cmp` instead of `partial_cmp(..).expect(..)`: a NaN
+        // latency (impossible today, but this is the report path of last
+        // resort) sorts to the end instead of panicking mid-report, and
+        // the hardened `percentile` below reads the same sorted view.
         let mut sorted = latencies.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self {
             mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50_s: percentile(&sorted, 50.0),
@@ -145,6 +150,9 @@ pub struct ServeReport {
     /// Fault-campaign summary; `fault.enabled == false` (and the key
     /// absent from JSON) when no faults were injected.
     pub fault: FaultReport,
+    /// Numeric-health summary; `numeric.enabled == false` (and the key
+    /// absent from JSON) under the default ignore policy.
+    pub numeric: NumericHealth,
 }
 
 impl Serialize for ServeReport {
@@ -174,6 +182,9 @@ impl Serialize for ServeReport {
         if self.fault.enabled {
             pairs.push(("fault".into(), self.fault.to_value()));
         }
+        if self.numeric.enabled {
+            pairs.push(("numeric".into(), self.numeric.to_value()));
+        }
         serde_json::Value::Object(pairs)
     }
 }
@@ -201,6 +212,10 @@ impl Deserialize for ServeReport {
             fault: match v.field("fault") {
                 Ok(fv) => Deserialize::from_value(fv)?,
                 Err(_) => FaultReport::default(),
+            },
+            numeric: match v.field("numeric") {
+                Ok(nv) => Deserialize::from_value(nv)?,
+                Err(_) => NumericHealth::default(),
             },
         })
     }
@@ -287,6 +302,10 @@ impl ServeReport {
         out.push('\n');
         if self.fault.enabled {
             out.push_str(&self.fault.render());
+            out.push('\n');
+        }
+        if self.numeric.enabled {
+            out.push_str(&self.numeric.render());
             out.push('\n');
         }
         let mut inst = TextTable::new(vec![

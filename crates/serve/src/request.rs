@@ -84,6 +84,13 @@ pub struct Completion {
     /// Whether the request was answered in aggressive-ITH degraded mode
     /// (fault-campaign overload response); always `false` otherwise.
     pub degraded: bool,
+    /// Whether the run's sticky numeric flags were set and a non-ignore
+    /// [`crate::NumericPolicy`] marked it; always `false` under the
+    /// default policy.
+    pub numeric_flagged: bool,
+    /// Whether the answer was replaced by the `f32` reference datapath
+    /// (precision failover); implies `numeric_flagged`.
+    pub failed_over: bool,
 }
 
 /// A request refused at the door: the bounded host queue was full.

@@ -44,6 +44,7 @@ use mann_hw::{
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultConfig, FaultPlan, FaultReport};
+use crate::numeric::{NumericHealth, NumericPolicy};
 use crate::report::{
     answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
 };
@@ -149,6 +150,9 @@ pub struct ServeConfig {
     /// Fault-injection campaign; [`FaultConfig::none`] (the default)
     /// injects nothing and leaves the serve path byte-identical.
     pub faults: FaultConfig,
+    /// What to do with per-inference numeric-event flags; the default
+    /// ([`NumericPolicy::Ignore`]) leaves the serve path byte-identical.
+    pub numeric_policy: NumericPolicy,
 }
 
 impl Default for ServeConfig {
@@ -167,6 +171,7 @@ impl Default for ServeConfig {
             use_ith: false,
             use_ordering: true,
             faults: FaultConfig::none(),
+            numeric_policy: NumericPolicy::default(),
         }
     }
 }
@@ -1042,7 +1047,7 @@ impl<'a> Server<'a> {
             .filter(|&(i, _)| shed[i])
             .map(|(_, r)| *r)
             .collect();
-        let completions: Vec<Completion> = trace
+        let mut completions: Vec<Completion> = trace
             .requests
             .iter()
             .enumerate()
@@ -1063,9 +1068,12 @@ impl<'a> Server<'a> {
                     timestamps: ts[i],
                     correct,
                     degraded: deg[i],
+                    numeric_flagged: false,
+                    failed_over: false,
                 }
             })
             .collect();
+        let numeric = self.apply_numeric_policy(&mut completions);
 
         let cache_stats = residency.iter().map(|r| r.stats()).fold(
             mann_hw::CacheStats::default(),
@@ -1123,6 +1131,7 @@ impl<'a> Server<'a> {
             last_drain,
             max_queue_depth,
             fr,
+            numeric,
         );
         ServeOutcome {
             completions,
@@ -1130,6 +1139,52 @@ impl<'a> Server<'a> {
             sheds,
             report,
         }
+    }
+
+    /// Applies the configured [`NumericPolicy`] to the assembled
+    /// completions — after the event loop, as a pure per-completion
+    /// function of each run's numeric report, so the outcome is invariant
+    /// across engines, thread counts and hit/miss paths.
+    ///
+    /// Under [`NumericPolicy::Failover`], a stressed completion's answer
+    /// is replaced by the `f32` reference model's prediction and the
+    /// re-run's compute cycles/energy are accounted in the returned
+    /// [`NumericHealth`]. SEU scrubs never reach this accounting: a
+    /// poisoned story is repaired in the event loop by re-writing the
+    /// *same* numeric-phase story, so its events are counted once here
+    /// regardless of how many scrubs the campaign forced.
+    fn apply_numeric_policy(&self, completions: &mut [Completion]) -> NumericHealth {
+        let policy = self.config.numeric_policy;
+        let mut nh = NumericHealth::default();
+        if policy == NumericPolicy::Ignore {
+            return nh;
+        }
+        nh.enabled = true;
+        nh.policy = policy.to_string();
+        for c in completions {
+            let st = c.run.numeric.total();
+            nh.histogram.merge(&st);
+            nh.vetoed += c.run.vetoes as u64;
+            if !st.stressed() {
+                continue;
+            }
+            c.numeric_flagged = true;
+            nh.flagged += 1;
+            if policy == NumericPolicy::Failover {
+                let sample = self.sample_of(&c.request);
+                let sw = self.suite.tasks[c.request.task_idx].model.predict(sample);
+                c.failed_over = true;
+                c.run.answer = sw;
+                c.correct = sw == sample.answer;
+                nh.failed_over += 1;
+                nh.failover_cycles += c.run.cycles.get();
+            }
+        }
+        nh.failover_energy_j = self.config.power.active_energy_j(
+            self.config.clock.freq_mhz(),
+            self.config.clock.seconds(Cycles::new(nh.failover_cycles)),
+        );
+        nh
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1144,6 +1199,7 @@ impl<'a> Server<'a> {
         last_drain: SimTime,
         max_queue_depth: usize,
         fault: FaultReport,
+        numeric: NumericHealth,
     ) -> ServeReport {
         let makespan_s = last_drain.as_s();
         let latencies: Vec<f64> = completions
@@ -1223,6 +1279,7 @@ impl<'a> Server<'a> {
                 completions.iter().map(|c| (c.request.id, c.run.answer)),
             ),
             fault,
+            numeric,
         }
     }
 }
@@ -1579,6 +1636,135 @@ mod tests {
         assert_eq!(out.report.makespan_s, 0.0);
         assert_eq!(out.report.total_energy_j, 0.0);
         assert_eq!(out.report.cache.hits + out.report.cache.misses, 0);
+    }
+
+    #[test]
+    fn numeric_ignore_emits_no_key_and_flag_is_clean_at_babi_scale() {
+        let s = suite();
+        let t = trace(&s, 16);
+        let out = Server::new(&s, ServeConfig::default()).serve(&t);
+        assert!(!out.report.numeric.enabled);
+        assert!(
+            !serde_json::to_string(&out.report)
+                .unwrap()
+                .contains("\"numeric\""),
+            "ignore policy must not emit the numeric key"
+        );
+        // A flag policy on the clean suite publishes the section but every
+        // counter is zero and no answer moves.
+        let flagged = Server::new(
+            &s,
+            ServeConfig {
+                numeric_policy: NumericPolicy::Flag,
+                ..ServeConfig::default()
+            },
+        )
+        .serve(&t);
+        let nh = &flagged.report.numeric;
+        assert!(nh.enabled);
+        assert_eq!(nh.policy, "flag");
+        assert_eq!((nh.flagged, nh.vetoed, nh.failed_over), (0, 0, 0));
+        assert!(nh.histogram.is_clean());
+        assert_eq!(flagged.report.answers_digest, out.report.answers_digest);
+        assert!(flagged.completions.iter().all(|c| !c.numeric_flagged));
+    }
+
+    #[test]
+    fn failover_reroutes_stressed_completions_to_the_reference_model() {
+        let s = suite().with_embedding_scale(f32::MAX);
+        let t = trace(&s, 24);
+        let serve_with = |numeric_policy| {
+            Server::new(
+                &s,
+                ServeConfig {
+                    use_ith: true,
+                    numeric_policy,
+                    ..ServeConfig::default()
+                },
+            )
+            .serve(&t)
+        };
+        let flagged = serve_with(NumericPolicy::Flag);
+        let nh = &flagged.report.numeric;
+        assert!(nh.flagged > 0, "stress campaign produced no flags");
+        assert!(nh.histogram.add_sat > 0 && nh.histogram.mul_sat > 0);
+        assert!(nh.histogram.nan_boundary > 0, "±inf weights at load");
+        assert_eq!(nh.failed_over, 0, "flag policy must not fail over");
+        assert_eq!(nh.failover_cycles, 0);
+
+        let failover = serve_with(NumericPolicy::Failover);
+        let nf = &failover.report.numeric;
+        assert_eq!(nf.flagged, nh.flagged, "same flags, different response");
+        assert_eq!(nf.failed_over, nf.flagged);
+        assert!(nf.failover_cycles > 0 && nf.failover_energy_j > 0.0);
+        for c in &failover.completions {
+            if c.failed_over {
+                let sample = &s.tasks[c.request.task_idx].test_set[c.request.sample_idx];
+                assert_eq!(
+                    c.run.answer,
+                    s.tasks[c.request.task_idx].model.predict(sample),
+                    "failover answer must come from the f32 reference"
+                );
+                assert!(c.numeric_flagged);
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_health_is_engine_invariant_under_stress() {
+        let s = suite().with_embedding_scale(f32::MAX);
+        let t = trace(&s, 24);
+        let serve_with = |engine| {
+            Server::new(
+                &s,
+                ServeConfig {
+                    engine,
+                    use_ith: true,
+                    numeric_policy: NumericPolicy::Failover,
+                    ..ServeConfig::default()
+                },
+            )
+            .serve(&t)
+        };
+        let serial = serve_with(EngineMode::Serial);
+        let parallel = serve_with(EngineMode::Parallel);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn seu_scrubs_do_not_double_count_numeric_events() {
+        // An SEU-poisoned story is repaired by re-writing the *same*
+        // numeric-phase story: the scrub costs cycles in the fault report,
+        // but the story's saturation events are counted once per
+        // completion either way.
+        let s = suite().with_embedding_scale(f32::MAX);
+        let t = trace(&s, 32);
+        let serve_with = |faults| {
+            Server::new(
+                &s,
+                ServeConfig {
+                    numeric_policy: NumericPolicy::Flag,
+                    faults,
+                    ..ServeConfig::default()
+                },
+            )
+            .serve(&t)
+        };
+        let clean = serve_with(FaultConfig::none());
+        let seus = serve_with(FaultConfig {
+            seed: 9,
+            seus: 8,
+            ..FaultConfig::none()
+        });
+        assert!(seus.report.fault.seu_events > 0);
+        assert_eq!(
+            clean.report.numeric, seus.report.numeric,
+            "scrub re-writes leaked into the numeric section"
+        );
     }
 
     #[test]
