@@ -34,6 +34,16 @@
 //! trained embedding matrices before quantization — a stress campaign
 //! knob that drives the fixed-point datapath into saturation.
 //!
+//! `--batch-window <n>` (default 0, off) fuses up to `n` queued requests
+//! that share a resident story into one compute group per instance,
+//! paying the shared memory/output streams once. `--hop-prune
+//! <threshold|off>` (default: `MANN_HOP_PRUNE` or off) skips remaining
+//! hops once the max attention weight reaches the threshold, with a
+//! saturation veto on the winning weight. Malformed values for either
+//! flag — or for `MANN_HOP_PRUNE` — are hard errors. `--link-gbps` and
+//! `--link-latency-us` override the PCIe model (fusion needs the link to
+//! outrun the fabric, which the default 65 us/transfer link never does).
+//!
 //! The serve is a pure function of `(suite, trace, config)`: rerunning
 //! with the same flags — at any `MANN_THREADS` — prints byte-identical
 //! numbers, and the `answers digest` line is invariant across
@@ -44,8 +54,8 @@ use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
 use mann_hw::{StoryCache, DEFAULT_STORY_CACHE};
 use mann_serve::{
-    ArrivalTrace, EngineMode, FaultConfig, NumericPolicy, SchedulePolicy, ServeConfig, Server,
-    TraceConfig,
+    ArrivalTrace, EngineMode, FaultConfig, HopPrune, NumericPolicy, SchedulePolicy, ServeConfig,
+    Server, TraceConfig,
 };
 
 /// Prints a CLI-usage error and exits with status 2.
@@ -70,6 +80,10 @@ struct ServeArgs {
     faults: FaultConfig,
     numeric_policy: NumericPolicy,
     embed_scale: f32,
+    batch_window: usize,
+    hop_prune: HopPrune,
+    link_gbps: Option<f64>,
+    link_latency_us: Option<f64>,
 }
 
 impl ServeArgs {
@@ -96,6 +110,10 @@ impl ServeArgs {
             faults: FaultConfig::none(),
             numeric_policy: NumericPolicy::from_env().unwrap_or_else(|e| usage_bail(e)),
             embed_scale: 1.0,
+            batch_window: 0,
+            hop_prune: HopPrune::from_env().unwrap_or_else(|e| usage_bail(e)),
+            link_gbps: None,
+            link_latency_us: None,
         };
         let mut watchdog_us: Option<f64> = None;
         let mut max_retries: Option<u32> = None;
@@ -159,6 +177,32 @@ impl ServeArgs {
                         .parse()
                         .unwrap_or_else(|_| usage_bail("usage: --embed-scale <factor>"));
                 }
+                "--batch-window" => {
+                    let v = grab("--batch-window");
+                    out.batch_window = v.parse().unwrap_or_else(|_| {
+                        usage_bail(format!(
+                            "invalid --batch-window {v:?}: expected a request count (0 disables)"
+                        ))
+                    });
+                }
+                "--hop-prune" => {
+                    let v = grab("--hop-prune");
+                    out.hop_prune = HopPrune::parse(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--link-gbps" => {
+                    let v = grab("--link-gbps");
+                    out.link_gbps = Some(v.parse().unwrap_or_else(|_| {
+                        usage_bail(format!("invalid --link-gbps {v:?}: expected GB/s"))
+                    }));
+                }
+                "--link-latency-us" => {
+                    let v = grab("--link-latency-us");
+                    out.link_latency_us = Some(v.parse().unwrap_or_else(|_| {
+                        usage_bail(format!(
+                            "invalid --link-latency-us {v:?}: expected microseconds"
+                        ))
+                    }));
+                }
                 _ => {} // shared HarnessArgs flags
             }
         }
@@ -208,7 +252,15 @@ fn main() {
         },
         &suite,
     );
+    let mut pcie = ServeConfig::default().pcie;
+    if let Some(g) = serve_args.link_gbps {
+        pcie.bandwidth_bytes_per_s = g * 1e9;
+    }
+    if let Some(us) = serve_args.link_latency_us {
+        pcie.latency_per_transfer_s = us * 1e-6;
+    }
     let config = ServeConfig {
+        pcie,
         instances: serve_args.instances,
         queue_capacity: serve_args.queue,
         inflight_limit: serve_args.inflight,
@@ -219,6 +271,8 @@ fn main() {
         engine: serve_args.engine,
         faults: serve_args.faults,
         numeric_policy: serve_args.numeric_policy,
+        batch_window: serve_args.batch_window,
+        hop_prune: serve_args.hop_prune,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -239,6 +293,15 @@ fn main() {
     );
     if config.numeric_policy != NumericPolicy::Ignore {
         eprintln!("[serve] numeric policy {}", config.numeric_policy);
+    }
+    if config.batch_window > 1 {
+        eprintln!(
+            "[serve] same-story batch fusion on (window {})",
+            config.batch_window
+        );
+    }
+    if config.hop_prune.enabled {
+        eprintln!("[serve] adaptive hop pruning on ({})", config.hop_prune);
     }
     if config.faults.is_active() {
         eprintln!(

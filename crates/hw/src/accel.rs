@@ -11,7 +11,7 @@
 //! story upload entirely, paying only the question stream.
 
 use mann_babi::EncodedSample;
-use mann_ith::{ExitGuard, ThresholdingModel};
+use mann_ith::{ExitGuard, HopPrune, ThresholdingModel};
 use mann_linalg::NumericStatus;
 use memn2n::flops::{count_inference_with_output_rows, FlopBreakdown};
 use memn2n::TrainedModel;
@@ -42,6 +42,9 @@ pub struct AccelConfig {
     /// Saturation guard over ITH early exits (enabled, zero band by
     /// default; invisible on flag-free inferences).
     pub guard: ExitGuard,
+    /// Adaptive hop pruning: skip the remaining MEM/READ hops once a hop's
+    /// attention has converged (off by default — the exact seed datapath).
+    pub hop_prune: HopPrune,
 }
 
 impl AccelConfig {
@@ -174,6 +177,22 @@ pub struct InferenceRun {
     pub cache_hit: bool,
     /// ITH early exits vetoed by the saturation guard.
     pub vetoes: usize,
+    /// MEM/READ hops actually executed (`<=` the configured hop count).
+    pub hops_executed: usize,
+    /// Hops skipped because the attention converged ([`HopPrune`]); their
+    /// MEM/READ cycles were never spent.
+    pub hops_saved: usize,
+    /// Hop prunes vetoed because the winning attention weight was computed
+    /// through flagged (saturated) arithmetic.
+    pub prune_vetoes: usize,
+    /// Story-stream cycles one hop spends fetching the resident address and
+    /// content rows — what each additional query fused into a shared-story
+    /// batch saves per common hop.
+    pub mem_stream_per_hop: u64,
+    /// OUTPUT weight-stream cycles of this run's search, shareable across a
+    /// fused batch. Zero under inference thresholding, where per-query
+    /// early exits make the stream query-dependent.
+    pub out_stream_cycles: u64,
     /// Per-module numeric-event registers.
     pub numeric: NumericReport,
 }
@@ -357,6 +376,183 @@ impl Accelerator {
         self.query_traced(story, sample, None, false)
     }
 
+    /// Answers a batch of queries against one resident story with the
+    /// batched MEM/OUTPUT kernels: each address/content/output row is
+    /// streamed from BRAM once per hop and scored against every live query
+    /// while resident, instead of once per query.
+    ///
+    /// Every returned run is bit-identical to [`Accelerator::answer_query`]
+    /// on the same sample — answers, cycles, phases and numeric registers
+    /// keep their standalone accounting, so downstream digests and phase
+    /// totals are invariant under batching. The second return value is the
+    /// fused savings: the story- and output-stream cycles the batch shares
+    /// instead of re-spending, i.e.
+    /// `mem_stream_per_hop * (Σ hops_q − max hops_q) + (Σ out_q − max out_q)`.
+    pub fn query_batch(
+        &self,
+        story: &ResidentStory,
+        samples: &[&EncodedSample],
+    ) -> (Vec<InferenceRun>, u64) {
+        let n = samples.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let mem = &story.mem;
+        let prune = self.config.hop_prune;
+        let mut phases = vec![PhaseCycles::default(); n];
+        let mut numeric = vec![
+            NumericReport {
+                load: self.load_status,
+                write: story.numeric,
+                ..NumericReport::default()
+            };
+            n
+        ];
+        // Question embeddings (per query — the write path is not story
+        // bound, so there is nothing to share).
+        let mut keys: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (q, sample) in samples.iter().enumerate() {
+            phases[q].control += Cycles::new(2 + sample.question.len() as u64);
+            let (q_emb, qc) = self
+                .input_write
+                .embed_question_tracked(&sample.question, &mut numeric[q].write);
+            phases[q].write += qc;
+            keys.push(q_emb);
+        }
+        let mut hiddens = vec![vec![0.0f32; self.embed_dim]; n];
+        let mut hops_executed = vec![0usize; n];
+        let mut hops_saved = vec![0usize; n];
+        let mut prune_vetoes = vec![0usize; n];
+        // Queries still running; pruned queries drop out between hops.
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut batch_keys: Vec<Vec<f32>> = Vec::new();
+        let mut attentions: Vec<Vec<f32>> = Vec::new();
+        let mut reads: Vec<Vec<f32>> = Vec::new();
+        let mut flags: Vec<Vec<bool>> = Vec::new();
+        let mut saved_stream = 0u64;
+        for hop in 0..self.hops {
+            if active.is_empty() {
+                break;
+            }
+            // Each hop the batch shares one story stream; every live query
+            // beyond the first saves the full per-hop row stream.
+            saved_stream += mem.stream_cycles_per_hop() * (active.len() as u64 - 1);
+            batch_keys.clear();
+            batch_keys.extend(active.iter().map(|&q| keys[q].clone()));
+            let mut sts: Vec<NumericStatus> = active.iter().map(|&q| numeric[q].mem).collect();
+            let acs = mem.address_batch_flagged_into_tracked(
+                &batch_keys,
+                &mut attentions,
+                &mut sts,
+                &mut flags,
+            );
+            let rcs = mem.read_batch_into_tracked(&attentions, &mut reads, &mut sts);
+            for (i, &q) in active.iter().enumerate() {
+                numeric[q].mem = sts[i];
+                phases[q].addressing += acs[i];
+                phases[q].read += rcs[i];
+                let cc = self.read.step_into_tracked(
+                    &reads[i],
+                    &keys[q],
+                    &mut hiddens[q],
+                    &mut numeric[q].controller,
+                );
+                phases[q].controller += cc;
+                std::mem::swap(&mut keys[q], &mut hiddens[q]);
+                hops_executed[q] += 1;
+            }
+            if prune.enabled && hop + 1 < self.hops {
+                let mut still = Vec::with_capacity(active.len());
+                for (i, &q) in active.iter().enumerate() {
+                    let (argmax, max_w) = attentions[i]
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(j, &w)| (j, w))
+                        .unwrap_or((0, f32::NEG_INFINITY));
+                    if prune.fires(max_w) {
+                        if flags[i].get(argmax).copied().unwrap_or(false) {
+                            prune_vetoes[q] += 1;
+                            still.push(q);
+                        } else {
+                            hops_saved[q] = self.hops - hop - 1;
+                        }
+                    } else {
+                        still.push(q);
+                    }
+                }
+                active = still;
+            }
+        }
+        // OUTPUT search over every final controller state, sharing the
+        // weight stream (delegates per query under thresholding).
+        let finals: Vec<&[f32]> = (0..n)
+            .map(|q| {
+                if self.hops == 0 {
+                    hiddens[q].as_slice()
+                } else {
+                    keys[q].as_slice()
+                }
+            })
+            .collect();
+        let outs = self.output.search_batch(&finals);
+        if !self.output.is_thresholded() {
+            // One shared weight stream for the whole batch: comparisons are
+            // identical across un-thresholded queries, so the saving is the
+            // full stream for every query beyond the first.
+            let streams: Vec<u64> = outs
+                .iter()
+                .map(|o| o.comparisons as u64 * self.output.row_stream_cycles())
+                .collect();
+            let max = streams.iter().copied().max().unwrap_or(0);
+            saved_stream += streams.iter().sum::<u64>() - max;
+        }
+        let runs = samples
+            .iter()
+            .enumerate()
+            .map(|(q, sample)| {
+                let out = &outs[q];
+                let mut phases = phases[q];
+                phases.output = out.cycles;
+                let mut numeric = numeric[q];
+                numeric.output = out.numeric;
+                let cycles = phases.total();
+                let compute_s = self.config.clock.seconds(cycles);
+                let interface_s = self.config.pcie.inference_time_s(sample.question.len());
+                let flops = count_inference_with_output_rows(
+                    &self.model.params.config,
+                    self.model.params.vocab_size,
+                    sample,
+                    out.comparisons,
+                );
+                InferenceRun {
+                    answer: out.label,
+                    speculated: out.speculated,
+                    comparisons: out.comparisons,
+                    phases,
+                    cycles,
+                    compute_s,
+                    interface_s,
+                    total_s: compute_s + interface_s,
+                    flops,
+                    cache_hit: true,
+                    vetoes: out.vetoes,
+                    hops_executed: hops_executed[q],
+                    hops_saved: hops_saved[q],
+                    prune_vetoes: prune_vetoes[q],
+                    mem_stream_per_hop: mem.stream_cycles_per_hop(),
+                    out_stream_cycles: if self.output.is_thresholded() {
+                        0
+                    } else {
+                        out.comparisons as u64 * self.output.row_stream_cycles()
+                    },
+                    numeric,
+                }
+            })
+            .collect();
+        (runs, saved_stream)
+    }
+
     /// Runs one inference, returning full timing/energy accounting.
     pub fn run(&self, sample: &EncodedSample) -> InferenceRun {
         self.run_traced(sample, None)
@@ -437,6 +633,11 @@ impl Accelerator {
             flops: query.flops,
             cache_hit: false,
             vetoes: query.vetoes,
+            hops_executed: query.hops_executed,
+            hops_saved: query.hops_saved,
+            prune_vetoes: query.prune_vetoes,
+            mem_stream_per_hop: query.mem_stream_per_hop,
+            out_stream_cycles: query.out_stream_cycles,
             numeric: query.numeric,
         }
     }
@@ -508,15 +709,28 @@ impl Accelerator {
         // rewritten in place, and the controller output swaps with the key
         // instead of being cloned.
         let mem = &story.mem;
+        let prune = self.config.hop_prune;
         let mut key = q_emb;
         let mut hidden = vec![0.0f32; self.embed_dim];
         let mut attention: Vec<f32> = Vec::new();
         let mut read_vec: Vec<f32> = Vec::new();
-        for _hop in 0..self.hops {
+        let mut flags: Vec<bool> = Vec::new();
+        let mut hops_executed = 0usize;
+        let mut hops_saved = 0usize;
+        let mut prune_vetoes = 0usize;
+        for hop in 0..self.hops {
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
                 t.record(s.1, now, 1);
             }
-            let ac = mem.address_into_tracked(&key, &mut attention, &mut numeric.mem);
+            // With pruning enabled the addressing pass also captures
+            // per-row numeric provenance (identical values, cycles and
+            // merged status) so a converged-but-saturated winner can veto
+            // the early exit.
+            let ac = if prune.enabled {
+                mem.address_flagged_into_tracked(&key, &mut attention, &mut numeric.mem, &mut flags)
+            } else {
+                mem.address_into_tracked(&key, &mut attention, &mut numeric.mem)
+            };
             phases.addressing += ac;
             now += ac.get();
             if let (Some(t), Some(s)) = (trace.as_deref_mut(), sig) {
@@ -545,6 +759,25 @@ impl Accelerator {
                 t.record(s.2, now, 0);
             }
             std::mem::swap(&mut key, &mut hidden);
+            hops_executed += 1;
+            if prune.enabled && hop + 1 < self.hops {
+                let (argmax, max_w) = attention
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, &w)| (i, w))
+                    .unwrap_or((0, f32::NEG_INFINITY));
+                if prune.fires(max_w) {
+                    if flags.get(argmax).copied().unwrap_or(false) {
+                        // ExitGuard discipline: a saturated winner carries
+                        // no information — run the full hop schedule.
+                        prune_vetoes += 1;
+                    } else {
+                        hops_saved = self.hops - hop - 1;
+                        break;
+                    }
+                }
+            }
         }
         // After the swap the final controller output lives in `key`; with
         // zero hops this degenerates to searching an all-zero hidden state,
@@ -592,6 +825,15 @@ impl Accelerator {
             flops,
             cache_hit: !include_story,
             vetoes: out.vetoes,
+            hops_executed,
+            hops_saved,
+            prune_vetoes,
+            mem_stream_per_hop: mem.stream_cycles_per_hop(),
+            out_stream_cycles: if self.output.is_thresholded() {
+                0
+            } else {
+                out.comparisons as u64 * self.output.row_stream_cycles()
+            },
             numeric,
         }
     }
@@ -889,6 +1131,129 @@ mod tests {
             assert!(hit.cache_hit && !miss.cache_hit);
             assert_eq!(miss.numeric, full.numeric);
             assert_eq!(hit.numeric, full.numeric);
+        }
+    }
+
+    fn pruned_config(threshold: f32) -> AccelConfig {
+        AccelConfig {
+            hop_prune: HopPrune::with_threshold(threshold),
+            ..AccelConfig::default()
+        }
+    }
+
+    #[test]
+    fn hop_pruning_disabled_reports_full_schedule() {
+        let (model, _, test) = trained();
+        let accel = Accelerator::new(model, AccelConfig::default());
+        for s in test.iter().take(6) {
+            let run = accel.run(s);
+            assert_eq!(run.hops_executed, 2);
+            assert_eq!((run.hops_saved, run.prune_vetoes), (0, 0));
+            assert!(run.mem_stream_per_hop > 0);
+            assert!(run.out_stream_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn hop_pruning_saves_cycles_without_changing_clean_runs() {
+        let (model, _, test) = trained();
+        let base = Accelerator::new(model.clone(), AccelConfig::default());
+        let pruned = Accelerator::new(model, pruned_config(0.5));
+        let mut saved_total = 0usize;
+        let mut agree = 0usize;
+        for s in &test {
+            let b = base.run(s);
+            let p = pruned.run(s);
+            assert_eq!(p.hops_executed + p.hops_saved, 2);
+            if p.hops_saved == 0 && p.prune_vetoes == 0 {
+                // No prune fired: the flagged addressing pass is
+                // bit-identical to the plain one, so the whole run matches
+                // the seed datapath exactly.
+                assert_eq!(p, b);
+            } else if p.hops_saved > 0 {
+                assert!(p.cycles < b.cycles);
+                assert!(p.phases.addressing < b.phases.addressing);
+            }
+            saved_total += p.hops_saved;
+            if p.answer == b.answer {
+                agree += 1;
+            }
+        }
+        assert!(saved_total > 0, "criterion never fired at threshold 0.5");
+        // Pruned hops barely move trained bAbI answers (A2P-MANN claim).
+        assert!(agree * 10 >= test.len() * 9, "{agree}/{}", test.len());
+    }
+
+    #[test]
+    fn hop_pruning_is_monotone_in_threshold() {
+        let (model, _, test) = trained();
+        let loose = Accelerator::new(model.clone(), pruned_config(0.3));
+        let tight = Accelerator::new(model, pruned_config(0.7));
+        for s in &test {
+            let l = loose.run(s).hops_saved;
+            let t = tight.run(s).hops_saved;
+            // Raising the threshold can only prune later (or never): the
+            // hop trajectory is identical until the first fire, and a fire
+            // at 0.8 implies one at 0.2.
+            assert!(l >= t, "loose saved {l} < tight saved {t}");
+        }
+    }
+
+    #[test]
+    fn saturated_winner_vetoes_the_prune() {
+        // Scale the embeddings until the addressing MACs saturate Q16.16
+        // against a single-sentence story: the attention collapses to
+        // exactly 1.0 (converged), but the winning weight is flagged, so
+        // the ExitGuard-style veto keeps the full hop schedule.
+        let (mut model, _, test) = trained();
+        model.params.w_emb_a.scale_in_place(2000.0);
+        let mut sample = test[0].clone();
+        sample.sentences.truncate(1);
+        let accel = Accelerator::new(model, pruned_config(1.0));
+        let run = accel.run(&sample);
+        assert!(run.numeric.stressed(), "MACs did not saturate");
+        assert_eq!(run.hops_saved, 0, "flagged winner must not prune");
+        assert!(run.prune_vetoes > 0, "veto not recorded");
+        assert_eq!(run.hops_executed, 2);
+    }
+
+    #[test]
+    fn batched_queries_match_per_query_runs() {
+        let (model, train, test) = trained();
+        let ith = mann_ith::ThresholdingCalibrator::new()
+            .rho(1.0)
+            .calibrate(&model, &train);
+        let configs = [
+            AccelConfig::default(),
+            pruned_config(0.2),
+            AccelConfig::with_thresholding(ClockDomain::default(), ith.clone()),
+            AccelConfig {
+                hop_prune: HopPrune::with_threshold(0.2),
+                ..AccelConfig::with_thresholding(ClockDomain::default(), ith)
+            },
+        ];
+        for config in configs {
+            let accel = Accelerator::new(model.clone(), config);
+            let story = accel.write_story(&test[0]);
+            let batch: Vec<&EncodedSample> = test.iter().take(5).collect();
+            let (runs, saved) = accel.query_batch(&story, &batch);
+            assert_eq!(runs.len(), batch.len());
+            for (run, s) in runs.iter().zip(&batch) {
+                assert_eq!(run, &accel.answer_query(&story, s));
+            }
+            // Fused savings follow the stream-sharing formula over the
+            // per-run attribution fields.
+            let hops: Vec<u64> = runs.iter().map(|r| r.hops_executed as u64).collect();
+            let outs: Vec<u64> = runs.iter().map(|r| r.out_stream_cycles).collect();
+            let expect = runs[0].mem_stream_per_hop
+                * (hops.iter().sum::<u64>() - hops.iter().copied().max().unwrap())
+                + (outs.iter().sum::<u64>() - outs.iter().copied().max().unwrap());
+            assert_eq!(saved, expect);
+            // Degenerate batches: empty, and a group of one saves nothing.
+            assert_eq!(accel.query_batch(&story, &[]), (Vec::new(), 0));
+            let (single, s0) = accel.query_batch(&story, &batch[..1]);
+            assert_eq!(s0, 0);
+            assert_eq!(single[0], runs[0]);
         }
     }
 

@@ -159,7 +159,178 @@ impl MemModule {
             score_cycles += Cycles::new(per_dot);
         }
         score_cycles += Cycles::new(self.tree.depth() + 1);
+        score_cycles + self.softmax_tail(&scores, &scores_fx, attention, st)
+    }
 
+    /// [`MemModule::address_into_tracked`] with per-row numeric provenance:
+    /// `flags[i]` reports whether attention weight `i` was computed through
+    /// flagged arithmetic — the key quantizer or row `i`'s score MACs
+    /// saturated, or the shared softmax tail (shift/exp/denominator/divide,
+    /// which touches every weight) recorded any event. Attention values,
+    /// cycle counts and the merged status in `st` are identical to the
+    /// unflagged pass: [`NumericStatus::merge`] is a field-wise saturating
+    /// sum, so splitting the accounting into per-row registers and merging
+    /// them back cannot change the totals.
+    ///
+    /// The hop-prune veto consults `flags[argmax]`: a converged-looking
+    /// maximum that rode saturated arithmetic must not end the hop loop.
+    pub fn address_flagged_into_tracked(
+        &self,
+        key: &[f32],
+        attention: &mut Vec<f32>,
+        st: &mut NumericStatus,
+        flags: &mut Vec<bool>,
+    ) -> Cycles {
+        attention.clear();
+        flags.clear();
+        let l = self.rows_a.len();
+        if l == 0 {
+            return Cycles::ZERO;
+        }
+        let mut key_st = NumericStatus::default();
+        let key_q: Vec<Fixed> = key
+            .iter()
+            .map(|&y| Fixed::from_f32_tracked(y, &mut key_st))
+            .collect();
+        let mut rows_st = NumericStatus::default();
+        let mut scores = Vec::with_capacity(l);
+        let mut scores_fx = Vec::with_capacity(l);
+        let mut score_cycles = Cycles::ZERO;
+        let per_dot = (self.embed_dim.div_ceil(self.tree.width())) as u64;
+        for row in &self.rows_a {
+            let mut row_st = NumericStatus::default();
+            let mut acc = Fixed::ZERO;
+            for (x, y) in row.iter().zip(&key_q) {
+                acc = acc.add_tracked(x.mul_tracked(*y, &mut row_st), &mut row_st);
+            }
+            flags.push(key_st.stressed() || row_st.stressed());
+            rows_st.merge(&row_st);
+            scores.push(acc.to_f32());
+            scores_fx.push(acc);
+            score_cycles += Cycles::new(per_dot);
+        }
+        score_cycles += Cycles::new(self.tree.depth() + 1);
+        let mut tail_st = NumericStatus::default();
+        let tail_cycles = self.softmax_tail(&scores, &scores_fx, attention, &mut tail_st);
+        if tail_st.stressed() {
+            // The normalization chain feeds every weight: flag them all.
+            for f in flags.iter_mut() {
+                *f = true;
+            }
+        }
+        st.merge(&key_st);
+        st.merge(&rows_st);
+        st.merge(&tail_st);
+        score_cycles + tail_cycles
+    }
+
+    /// Batched content-based addressing for queries sharing this story:
+    /// each address row is fetched once and scored against every key while
+    /// resident, instead of one full row stream per query. Per `(query,
+    /// row)` pair the MAC order — and the per-query softmax tail — are
+    /// exactly those of [`MemModule::address_into_tracked`], so every
+    /// attention vector, cycle count and status register is bit-identical
+    /// to the per-query call. Returned cycles are the *standalone*
+    /// per-query counts; the sharing the fused stream saves is accounted by
+    /// the caller (see `Accelerator::query_batch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `sts` lengths differ.
+    pub fn address_batch_into_tracked(
+        &self,
+        keys: &[Vec<f32>],
+        attentions: &mut Vec<Vec<f32>>,
+        sts: &mut [NumericStatus],
+    ) -> Vec<Cycles> {
+        let mut flags = Vec::new();
+        self.address_batch_flagged_into_tracked(keys, attentions, sts, &mut flags)
+    }
+
+    /// [`MemModule::address_batch_into_tracked`] with the per-row numeric
+    /// provenance of [`MemModule::address_flagged_into_tracked`] for every
+    /// query: `flags[q][i]` marks attention weight `i` of query `q` as
+    /// computed through flagged arithmetic. Values, cycles and merged
+    /// statuses remain bit-identical to the per-query calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `sts` lengths differ.
+    pub fn address_batch_flagged_into_tracked(
+        &self,
+        keys: &[Vec<f32>],
+        attentions: &mut Vec<Vec<f32>>,
+        sts: &mut [NumericStatus],
+        flags: &mut Vec<Vec<bool>>,
+    ) -> Vec<Cycles> {
+        assert_eq!(keys.len(), sts.len(), "one status register per query");
+        attentions.clear();
+        attentions.resize(keys.len(), Vec::new());
+        flags.clear();
+        flags.resize(keys.len(), Vec::new());
+        let l = self.rows_a.len();
+        if l == 0 {
+            return vec![Cycles::ZERO; keys.len()];
+        }
+        let mut key_sts = vec![NumericStatus::default(); keys.len()];
+        let keys_q: Vec<Vec<Fixed>> = keys
+            .iter()
+            .zip(key_sts.iter_mut())
+            .map(|(key, st)| {
+                key.iter()
+                    .map(|&y| Fixed::from_f32_tracked(y, st))
+                    .collect()
+            })
+            .collect();
+        let mut rows_sts = vec![NumericStatus::default(); keys.len()];
+        let mut scores = vec![Vec::with_capacity(l); keys.len()];
+        let mut scores_fx = vec![Vec::with_capacity(l); keys.len()];
+        // Shared story stream: each address row is fetched once and scored
+        // against every key while resident.
+        for row in &self.rows_a {
+            for (q, key_q) in keys_q.iter().enumerate() {
+                let mut row_st = NumericStatus::default();
+                let mut acc = Fixed::ZERO;
+                for (x, y) in row.iter().zip(key_q) {
+                    acc = acc.add_tracked(x.mul_tracked(*y, &mut row_st), &mut row_st);
+                }
+                flags[q].push(key_sts[q].stressed() || row_st.stressed());
+                rows_sts[q].merge(&row_st);
+                scores[q].push(acc.to_f32());
+                scores_fx[q].push(acc);
+            }
+        }
+        let per_dot = (self.embed_dim.div_ceil(self.tree.width())) as u64;
+        let score_cycles = Cycles::new(l as u64 * per_dot + self.tree.depth() + 1);
+        (0..keys.len())
+            .map(|q| {
+                let mut tail_st = NumericStatus::default();
+                let tail_cycles =
+                    self.softmax_tail(&scores[q], &scores_fx[q], &mut attentions[q], &mut tail_st);
+                if tail_st.stressed() {
+                    for f in flags[q].iter_mut() {
+                        *f = true;
+                    }
+                }
+                sts[q].merge(&key_sts[q]);
+                sts[q].merge(&rows_sts[q]);
+                sts[q].merge(&tail_st);
+                score_cycles + tail_cycles
+            })
+            .collect()
+    }
+
+    /// The softmax pipeline tail shared by every addressing variant:
+    /// running max, fixed-point shift shadow, exp LUT, adder-tree
+    /// denominator, sequential divider, and the all-flushed uniform
+    /// fallback.
+    fn softmax_tail(
+        &self,
+        scores: &[f32],
+        scores_fx: &[Fixed],
+        attention: &mut Vec<f32>,
+        st: &mut NumericStatus,
+    ) -> Cycles {
         // Stable softmax: running max costs nothing extra (register compare
         // overlapped with the score pass).
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -167,7 +338,7 @@ impl MemModule {
         // status register sees what the hardware subtractor would; the
         // functional value below stays the f32 shift, byte-for-byte.
         let max_fx = scores_fx.iter().copied().max().unwrap_or(Fixed::ZERO);
-        for s_fx in &scores_fx {
+        for s_fx in scores_fx {
             let _ = s_fx.sub_tracked(max_fx, st);
         }
         let shifted: Vec<f32> = scores.iter().map(|s| s - max).collect();
@@ -180,12 +351,11 @@ impl MemModule {
         let (normalized, div_cycles) = self.div.div_batch_tracked(&exps, denom, st);
         if denom.is_zero() {
             // Divider guard: all-flushed exponents fall back to uniform.
-            attention.resize(l, 1.0 / l as f32);
+            attention.resize(scores.len(), 1.0 / scores.len() as f32);
         } else {
             attention.extend(normalized.into_iter().map(Fixed::to_f32));
         }
-
-        score_cycles + exp_cycles + sum_cycles + div_cycles
+        exp_cycles + sum_cycles + div_cycles
     }
 
     /// Soft read (Eq 5): weighted sum of content rows.
@@ -233,6 +403,66 @@ impl MemModule {
         }
         let per_row = (self.embed_dim.div_ceil(self.tree.width())) as u64;
         Cycles::new(self.rows_c.len() as u64 * per_row + self.tree.depth() + 1)
+    }
+
+    /// Batched soft read for queries sharing this story: each content
+    /// column is streamed once and accumulated against every query's
+    /// attention weights while resident. Per `(query, element)` pair the
+    /// accumulation visits the rows in the same order as
+    /// [`MemModule::read_into_tracked`], so outputs, cycles and status
+    /// registers are bit-identical to the per-query call. Returned cycles
+    /// are the standalone per-query counts (see
+    /// [`MemModule::address_batch_into_tracked`] for the fusion
+    /// accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attentions` and `sts` lengths differ, or any attention
+    /// length differs from the occupied slots.
+    pub fn read_batch_into_tracked(
+        &self,
+        attentions: &[Vec<f32>],
+        outs: &mut Vec<Vec<f32>>,
+        sts: &mut [NumericStatus],
+    ) -> Vec<Cycles> {
+        assert_eq!(attentions.len(), sts.len(), "one status register per query");
+        outs.clear();
+        outs.resize(attentions.len(), Vec::new());
+        let atts_q: Vec<Vec<Fixed>> = attentions
+            .iter()
+            .zip(sts.iter_mut())
+            .map(|(attention, st)| {
+                assert_eq!(attention.len(), self.rows_c.len(), "attention length");
+                attention
+                    .iter()
+                    .map(|&a| Fixed::from_f32_tracked(a, st))
+                    .collect()
+            })
+            .collect();
+        for out in outs.iter_mut() {
+            out.reserve(self.embed_dim);
+        }
+        for j in 0..self.embed_dim {
+            for (q, att_q) in atts_q.iter().enumerate() {
+                let mut acc = Fixed::ZERO;
+                for (a, row) in att_q.iter().zip(&self.rows_c) {
+                    acc = acc.add_tracked(a.mul_tracked(row[j], &mut sts[q]), &mut sts[q]);
+                }
+                outs[q].push(acc.to_f32());
+            }
+        }
+        let per_row = (self.embed_dim.div_ceil(self.tree.width())) as u64;
+        let cycles = Cycles::new(self.rows_c.len() as u64 * per_row + self.tree.depth() + 1);
+        vec![cycles; attentions.len()]
+    }
+
+    /// Per-hop row-stream issue slots a fused same-story query shares with
+    /// the batch leader: the address-score stream plus the soft-read
+    /// stream, `L * ceil(E / width)` slots each. Pipeline latencies (tree
+    /// depth, exp, divider) stay per query — they are not shared.
+    pub fn stream_cycles_per_hop(&self) -> u64 {
+        let per_dot = self.embed_dim.div_ceil(self.tree.width()) as u64;
+        2 * self.rows_a.len() as u64 * per_dot
     }
 
     /// The stored (quantized) address row `i`, dequantized — for
@@ -362,5 +592,85 @@ mod tests {
     fn wrong_row_width_panics() {
         let mut m = MemModule::new(4, &DatapathConfig::default());
         m.write(vec![0.0; 3], vec![0.0; 4]);
+    }
+
+    #[test]
+    fn flagged_addressing_matches_plain_addressing() {
+        let m = filled(7, 8);
+        let key: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut plain = Vec::new();
+        let mut plain_st = NumericStatus::default();
+        let plain_cycles = m.address_into_tracked(&key, &mut plain, &mut plain_st);
+        let mut flagged = Vec::new();
+        let mut flagged_st = NumericStatus::default();
+        let mut flags = Vec::new();
+        let flagged_cycles =
+            m.address_flagged_into_tracked(&key, &mut flagged, &mut flagged_st, &mut flags);
+        assert_eq!(plain, flagged);
+        assert_eq!(plain_cycles, flagged_cycles);
+        assert_eq!(plain_st, flagged_st);
+        assert_eq!(flags.len(), 7);
+        // bAbI-scale values never stress Q16.16: every flag is clean.
+        assert!(flags.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn flagged_addressing_marks_saturated_rows() {
+        let e = 4;
+        let mut m = MemModule::new(e, &DatapathConfig::default());
+        // Row 0 saturates its score MACs at Q16.16 scale; row 1 stays tame.
+        m.write(vec![30000.0; e], vec![0.1; e]);
+        m.write(vec![0.1; e], vec![0.1; e]);
+        let key = vec![30000.0; e];
+        let mut att = Vec::new();
+        let mut st = NumericStatus::default();
+        let mut flags = Vec::new();
+        let _ = m.address_flagged_into_tracked(&key, &mut att, &mut st, &mut flags);
+        assert!(st.stressed());
+        assert!(flags[0], "saturated row must be flagged");
+    }
+
+    #[test]
+    fn batched_addressing_and_read_match_per_query() {
+        let m = filled(6, 8);
+        let keys: Vec<Vec<f32>> = (0..4)
+            .map(|q| (0..8).map(|i| ((q * 8 + i) as f32 * 0.23).sin()).collect())
+            .collect();
+        let mut atts = Vec::new();
+        let mut sts = vec![NumericStatus::default(); keys.len()];
+        let cycles = m.address_batch_into_tracked(&keys, &mut atts, &mut sts);
+        let mut reads = Vec::new();
+        let mut read_sts = vec![NumericStatus::default(); keys.len()];
+        let read_cycles = m.read_batch_into_tracked(&atts, &mut reads, &mut read_sts);
+        for (q, key) in keys.iter().enumerate() {
+            let mut att = Vec::new();
+            let mut st = NumericStatus::default();
+            assert_eq!(cycles[q], m.address_into_tracked(key, &mut att, &mut st));
+            assert_eq!(atts[q], att);
+            assert_eq!(sts[q], st);
+            let mut out = Vec::new();
+            let mut rst = NumericStatus::default();
+            assert_eq!(
+                read_cycles[q],
+                m.read_into_tracked(&att, &mut out, &mut rst)
+            );
+            assert_eq!(reads[q], out);
+            assert_eq!(read_sts[q], rst);
+        }
+        // Empty batches are fine.
+        let mut none = Vec::new();
+        assert!(m
+            .address_batch_into_tracked(&[], &mut none, &mut [])
+            .is_empty());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn stream_cycles_per_hop_counts_both_row_streams() {
+        let m = filled(10, 32);
+        // 10 rows x ceil(32/8) issue slots, addressing + read.
+        assert_eq!(m.stream_cycles_per_hop(), 2 * 10 * 4);
+        let empty = MemModule::new(8, &DatapathConfig::default());
+        assert_eq!(empty.stream_cycles_per_hop(), 0);
     }
 }

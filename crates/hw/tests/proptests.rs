@@ -5,7 +5,7 @@ use mann_babi::EncodedSample;
 use mann_hw::modules::{decode_stream, encode_sample_stream, OutputModule};
 use mann_hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig};
 use mann_ith::threshold::ClassThreshold;
-use mann_ith::{ExitGuard, Kernel, ThresholdingModel};
+use mann_ith::{ExitGuard, HopPrune, Kernel, ThresholdingModel};
 use mann_linalg::Matrix;
 use memn2n::{ModelConfig, Params, TrainedModel};
 use proptest::prelude::*;
@@ -176,5 +176,83 @@ proptest! {
         prop_assert_eq!(base.cycles, other.cycles);
         let expect = base.compute_s * 100.0 / mhz;
         prop_assert!((other.compute_s - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A disabled pruner is byte-invisible: whatever threshold it carries,
+    /// the run is field-for-field identical to the default config's.
+    #[test]
+    fn disabled_pruning_is_byte_identical(seed in 0u64..100, threshold in 0.05f32..1.0) {
+        let (model, sample) = random_case(seed, 15, 8, 2);
+        let base = Accelerator::new(model.clone(), AccelConfig::default()).run(&sample);
+        let armed_off = Accelerator::new(
+            model,
+            AccelConfig {
+                hop_prune: HopPrune { enabled: false, threshold },
+                ..AccelConfig::default()
+            },
+        )
+        .run(&sample);
+        prop_assert_eq!(base, armed_off);
+    }
+
+    /// Loosening the prune threshold never executes more hops: the
+    /// trajectories are identical until the first fire, and a criterion
+    /// that fires at `tight` also fires at any looser threshold.
+    #[test]
+    fn prune_savings_are_monotone_in_threshold(
+        seed in 0u64..100,
+        lo in 0.05f32..0.9,
+        delta in 0.01f32..0.1,
+    ) {
+        let (model, sample) = random_case(seed, 15, 8, 3);
+        let run_at = |threshold: f32| {
+            Accelerator::new(
+                model.clone(),
+                AccelConfig {
+                    hop_prune: HopPrune::with_threshold(threshold),
+                    ..AccelConfig::default()
+                },
+            )
+            .run(&sample)
+        };
+        let loose = run_at(lo);
+        let tight = run_at((lo + delta).min(1.0));
+        prop_assert!(
+            loose.hops_saved >= tight.hops_saved,
+            "loose saved {} < tight saved {}",
+            loose.hops_saved,
+            tight.hops_saved
+        );
+    }
+
+    /// Batched shared-story querying is bit-identical to querying one at a
+    /// time, for any group size and any pruning threshold.
+    #[test]
+    fn batched_queries_are_bit_identical(seed in 0u64..60, threshold in 0.05f32..1.0) {
+        let (model, sample) = random_case(seed, 15, 8, 2);
+        // Same story, three different questions.
+        let mut q2 = sample.clone();
+        q2.question.rotate_left(1);
+        q2.question.push(1);
+        let mut q3 = sample.clone();
+        q3.question = vec![2, 3];
+        let accel = Accelerator::new(
+            model,
+            AccelConfig {
+                hop_prune: HopPrune::with_threshold(threshold),
+                ..AccelConfig::default()
+            },
+        );
+        let story = accel.write_story(&sample);
+        let batch = [&sample, &q2, &q3];
+        let (runs, _) = accel.query_batch(&story, &batch);
+        prop_assert_eq!(runs.len(), batch.len());
+        for (run, s) in runs.iter().zip(batch) {
+            prop_assert_eq!(run, &accel.answer_query(&story, s));
+        }
     }
 }

@@ -50,6 +50,7 @@ pub mod calibrate;
 pub mod guard;
 pub mod histogram;
 pub mod kde;
+pub mod prune;
 pub mod search;
 pub mod silhouette;
 pub mod threshold;
@@ -57,4 +58,5 @@ pub mod threshold;
 pub use calibrate::{LogitStats, PriorMode, ThresholdingCalibrator, ThresholdingModel};
 pub use guard::ExitGuard;
 pub use kde::{Kde, Kernel};
+pub use prune::{HopPrune, HopPruneError};
 pub use search::{ExhaustiveMips, MipsResult, MipsStrategy, ThresholdedMips};

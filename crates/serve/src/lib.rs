@@ -44,9 +44,11 @@ mod server;
 mod trace;
 
 pub use faults::{FaultConfig, FaultPlan, FaultPlanError, FaultReport};
+pub use mann_ith::{HopPrune, HopPruneError};
 pub use numeric::{NumericHealth, NumericPolicy, NumericPolicyError};
 pub use report::{
-    answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
+    answers_digest, BatchReport, CacheReport, HopPruneReport, InstanceReport, LatencySummary,
+    LinkReport, ServeReport,
 };
 pub use request::{Completion, Rejection, Request, RequestTimestamps};
 pub use scheduler::{InstanceView, SchedulePolicy, Scheduler};

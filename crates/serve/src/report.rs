@@ -89,6 +89,108 @@ pub struct CacheReport {
     pub write_energy_saved_j: f64,
 }
 
+/// Shared-story compute batching effectiveness: queries queued behind the
+/// same resident story drained into one fused compute group, sharing the
+/// per-hop story stream and the OUTPUT weight stream.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Whether batching was on (`batch_window > 1`); the `batch` key is
+    /// absent from JSON when off, keeping seed reports byte-identical.
+    pub enabled: bool,
+    /// Configured window: max queries fused into one compute group.
+    pub window: usize,
+    /// Compute groups started (any size; a group of one is a plain
+    /// un-fused compute).
+    pub groups: u64,
+    /// Groups that actually fused two or more queries.
+    pub fused_groups: u64,
+    /// Requests that computed inside a fused group.
+    pub batched_requests: u64,
+    /// Group-size histogram: entry `k` counts groups of size `k + 1`.
+    pub size_histogram: Vec<u64>,
+    /// Story/OUTPUT stream cycles the fused groups shared instead of
+    /// re-spending.
+    pub cycles_saved: u64,
+    /// Activity-dependent fabric energy of those cycles, joules.
+    pub energy_saved_j: f64,
+}
+
+impl BatchReport {
+    /// Renders the batching section as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["batch metric".into(), "value".into()]);
+        t.row(vec!["window".into(), self.window.to_string()]);
+        t.row(vec![
+            "groups (fused)".into(),
+            format!("{} ({})", self.groups, self.fused_groups),
+        ]);
+        t.row(vec![
+            "batched requests".into(),
+            self.batched_requests.to_string(),
+        ]);
+        let hist = self
+            .size_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, n)| format!("{}x{n}", k + 1))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row(vec![
+            "size histogram".into(),
+            if hist.is_empty() { "-".into() } else { hist },
+        ]);
+        t.row(vec![
+            "stream cycles saved".into(),
+            format!("{} ({} J)", self.cycles_saved, fnum(self.energy_saved_j, 3)),
+        ]);
+        t.render()
+    }
+}
+
+/// Adaptive hop-pruning effectiveness over the completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HopPruneReport {
+    /// Whether pruning was on; the `prune` key is absent from JSON when
+    /// off, keeping seed reports byte-identical.
+    pub enabled: bool,
+    /// Convergence threshold on the maximum attention weight.
+    pub threshold: f32,
+    /// Completions that exited the hop schedule early.
+    pub pruned_completions: u64,
+    /// MEM/READ hops executed, summed over completions.
+    pub hops_executed: u64,
+    /// Hops skipped, summed over completions.
+    pub hops_saved: u64,
+    /// Prunes vetoed by the winning weight's saturation flag.
+    pub vetoes: u64,
+    /// Addressing + read + controller cycles the skipped hops never spent.
+    pub cycles_saved: u64,
+    /// Activity-dependent fabric energy of those cycles, joules.
+    pub energy_saved_j: f64,
+}
+
+impl HopPruneReport {
+    /// Renders the pruning section as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["prune metric".into(), "value".into()]);
+        t.row(vec!["threshold".into(), self.threshold.to_string()]);
+        t.row(vec![
+            "pruned completions".into(),
+            self.pruned_completions.to_string(),
+        ]);
+        t.row(vec![
+            "hops executed / saved".into(),
+            format!("{} / {}", self.hops_executed, self.hops_saved),
+        ]);
+        t.row(vec!["saturation vetoes".into(), self.vetoes.to_string()]);
+        t.row(vec![
+            "hop cycles saved".into(),
+            format!("{} ({} J)", self.cycles_saved, fnum(self.energy_saved_j, 3)),
+        ]);
+        t.render()
+    }
+}
+
 /// Shared host-link utilization.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LinkReport {
@@ -153,6 +255,12 @@ pub struct ServeReport {
     /// Numeric-health summary; `numeric.enabled == false` (and the key
     /// absent from JSON) under the default ignore policy.
     pub numeric: NumericHealth,
+    /// Shared-story batching summary; `batch.enabled == false` (and the
+    /// key absent from JSON) when `batch_window <= 1`.
+    pub batch: BatchReport,
+    /// Hop-pruning summary; `prune.enabled == false` (and the key absent
+    /// from JSON) when pruning is off.
+    pub prune: HopPruneReport,
 }
 
 impl Serialize for ServeReport {
@@ -185,6 +293,12 @@ impl Serialize for ServeReport {
         if self.numeric.enabled {
             pairs.push(("numeric".into(), self.numeric.to_value()));
         }
+        if self.batch.enabled {
+            pairs.push(("batch".into(), self.batch.to_value()));
+        }
+        if self.prune.enabled {
+            pairs.push(("prune".into(), self.prune.to_value()));
+        }
         serde_json::Value::Object(pairs)
     }
 }
@@ -216,6 +330,14 @@ impl Deserialize for ServeReport {
             numeric: match v.field("numeric") {
                 Ok(nv) => Deserialize::from_value(nv)?,
                 Err(_) => NumericHealth::default(),
+            },
+            batch: match v.field("batch") {
+                Ok(bv) => Deserialize::from_value(bv)?,
+                Err(_) => BatchReport::default(),
+            },
+            prune: match v.field("prune") {
+                Ok(pv) => Deserialize::from_value(pv)?,
+                Err(_) => HopPruneReport::default(),
             },
         })
     }
@@ -308,6 +430,14 @@ impl ServeReport {
             out.push_str(&self.numeric.render());
             out.push('\n');
         }
+        if self.batch.enabled {
+            out.push_str(&self.batch.render());
+            out.push('\n');
+        }
+        if self.prune.enabled {
+            out.push_str(&self.prune.render());
+            out.push('\n');
+        }
         let mut inst = TextTable::new(vec![
             "instance".into(),
             "completed".into(),
@@ -365,6 +495,72 @@ mod tests {
             LatencySummary::from_latencies(&[]),
             LatencySummary::default()
         );
+    }
+
+    #[test]
+    fn batch_report_renders_every_counter() {
+        let b = BatchReport {
+            enabled: true,
+            window: 4,
+            groups: 9,
+            fused_groups: 3,
+            batched_requests: 8,
+            size_histogram: vec![6, 1, 2],
+            cycles_saved: 1234,
+            energy_saved_j: 0.5,
+        };
+        let r = b.render();
+        for needle in ["4", "9 (3)", "8", "1x6 2x1 3x2", "1234"] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+        // An idle report renders a placeholder histogram, not a panic.
+        assert!(BatchReport::default().render().contains('-'));
+    }
+
+    #[test]
+    fn prune_report_renders_every_counter() {
+        let p = HopPruneReport {
+            enabled: true,
+            threshold: 0.85,
+            pruned_completions: 5,
+            hops_executed: 40,
+            hops_saved: 7,
+            vetoes: 2,
+            cycles_saved: 999,
+            energy_saved_j: 0.25,
+        };
+        let r = p.render();
+        for needle in ["0.85", "5", "40 / 7", "2", "999"] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn batch_and_prune_reports_round_trip_through_json() {
+        let b = BatchReport {
+            enabled: true,
+            window: 3,
+            groups: 2,
+            fused_groups: 1,
+            batched_requests: 3,
+            size_histogram: vec![1, 0, 1],
+            cycles_saved: 77,
+            energy_saved_j: 1.5,
+        };
+        let p = HopPruneReport {
+            enabled: true,
+            threshold: 0.9,
+            pruned_completions: 1,
+            hops_executed: 3,
+            hops_saved: 1,
+            vetoes: 0,
+            cycles_saved: 10,
+            energy_saved_j: 0.1,
+        };
+        let b2 = BatchReport::from_value(&b.to_value()).unwrap();
+        let p2 = HopPruneReport::from_value(&p.to_value()).unwrap();
+        assert_eq!(b, b2);
+        assert_eq!(p, p2);
     }
 
     #[test]

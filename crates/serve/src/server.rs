@@ -41,12 +41,14 @@ use mann_hw::{
     story_digest, AccelConfig, Accelerator, ClockDomain, Cycles, InferenceRun, LinkArbiter, LruSet,
     PcieLink, PowerModel, ResidentStory, SimTime, DEFAULT_STORY_CACHE,
 };
+use mann_ith::HopPrune;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultConfig, FaultPlan, FaultReport};
 use crate::numeric::{NumericHealth, NumericPolicy};
 use crate::report::{
-    answers_digest, CacheReport, InstanceReport, LatencySummary, LinkReport, ServeReport,
+    answers_digest, BatchReport, CacheReport, HopPruneReport, InstanceReport, LatencySummary,
+    LinkReport, ServeReport,
 };
 use crate::request::{Completion, Rejection, Request, RequestTimestamps};
 use crate::scheduler::{InstanceView, Scheduler};
@@ -153,6 +155,13 @@ pub struct ServeConfig {
     /// What to do with per-inference numeric-event flags; the default
     /// ([`NumericPolicy::Ignore`]) leaves the serve path byte-identical.
     pub numeric_policy: NumericPolicy,
+    /// Max queries sharing one resident story drained into a single fused
+    /// compute group; 0 or 1 disables batching and leaves the serve path
+    /// byte-identical.
+    pub batch_window: usize,
+    /// Adaptive hop pruning on every instance's datapath; the default
+    /// (off) leaves the serve path byte-identical.
+    pub hop_prune: HopPrune,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +181,8 @@ impl Default for ServeConfig {
             use_ordering: true,
             faults: FaultConfig::none(),
             numeric_policy: NumericPolicy::default(),
+            batch_window: 0,
+            hop_prune: HopPrune::default(),
         }
     }
 }
@@ -291,7 +302,9 @@ struct Inst {
     inflight: usize,
     free_at: SimTime,
     ready: VecDeque<usize>,
-    computing: Option<usize>,
+    /// The fused compute group currently on the fabric (empty = idle;
+    /// a single entry without batching).
+    computing: Vec<usize>,
     busy: SimTime,
     completed: u64,
     cache_hits: u64,
@@ -348,6 +361,7 @@ impl<'a> Server<'a> {
                         power: config.power,
                         ith: config.use_ith.then(|| t.ith.clone()),
                         use_ordering: config.use_ordering,
+                        hop_prune: config.hop_prune,
                         ..AccelConfig::default()
                     },
                 )
@@ -368,6 +382,7 @@ impl<'a> Server<'a> {
                             power: config.power,
                             ith: Some(t.ith.degraded(config.faults.degrade_margin)),
                             use_ordering: config.use_ordering,
+                            hop_prune: config.hop_prune,
                             ..AccelConfig::default()
                         },
                     )
@@ -638,6 +653,14 @@ impl<'a> Server<'a> {
         let mut write_cycles_saved = 0u64;
         let mut upload_bytes_saved = 0u64;
 
+        // ----- batched-compute accounting (inert with window 0/1) --------
+        let batch_window = self.config.batch_window.max(1);
+        let mut batch_groups = 0u64;
+        let mut batch_fused = 0u64;
+        let mut batched_requests = 0u64;
+        let mut batch_hist: Vec<u64> = Vec::new();
+        let mut batch_cycles_saved = 0u64;
+
         // ----- fault-campaign state (inert without a plan) ---------------
         let mut fr = FaultReport::default();
         // Per-request lifecycle flags.
@@ -771,16 +794,85 @@ impl<'a> Server<'a> {
             };
         }
 
+        // The numeric-phase run a request resolves to at compute time.
+        // A macro (not a closure) so it can borrow `num` alongside the
+        // mutable lifecycle state held by the enclosing loop.
+        macro_rules! run_of {
+            ($r:expr) => {
+                match (hit[$r], deg[$r]) {
+                    (true, false) => &num.queries[$r],
+                    (false, false) => &num.miss_runs[$r],
+                    (true, true) => &num.deg_queries[$r],
+                    (false, true) => &num.deg_miss_runs[$r],
+                }
+            };
+        }
+
         // Starts the next ready request if the instance's fabric is idle.
+        // With a batch window > 1, the head request additionally drains
+        // every FIFO'd request on the *same resident story* (up to the
+        // window) into one fused compute group: the shared per-hop memory
+        // stream and the shared output-search stream are paid once instead
+        // of once per query, so the fused duration is the sum of the
+        // per-query durations minus the deduplicated stream cycles.
         macro_rules! start_compute {
             ($i:expr, $now:expr) => {
-                if insts[$i].computing.is_none() {
+                if insts[$i].computing.is_empty() {
                     if let Some(r) = insts[$i].ready.pop_front() {
-                        ts[r].compute_start = $now;
-                        let end = $now + durations[r];
+                        let mut group = vec![r];
+                        if batch_window > 1 {
+                            let mut rest = VecDeque::new();
+                            while let Some(q) = insts[$i].ready.pop_front() {
+                                if group.len() < batch_window && num.keys[q] == num.keys[r] {
+                                    group.push(q);
+                                } else {
+                                    rest.push_back(q);
+                                }
+                            }
+                            insts[$i].ready = rest;
+                            batch_groups += 1;
+                            batched_requests += group.len() as u64;
+                            if batch_hist.len() < group.len() {
+                                batch_hist.resize(group.len(), 0);
+                            }
+                            batch_hist[group.len() - 1] += 1;
+                        }
+                        let mut total = SimTime::ZERO;
+                        for &q in &group {
+                            ts[q].compute_start = $now;
+                            total += durations[q];
+                        }
+                        let fused = if group.len() > 1 {
+                            batch_fused += 1;
+                            // Same story => same per-hop stream cost; the
+                            // batch pays max(hops) streams instead of
+                            // sum(hops), and one output row stream instead
+                            // of one per query.
+                            let stream = run_of!(r).mem_stream_per_hop;
+                            let hops: u64 =
+                                group.iter().map(|&q| run_of!(q).hops_executed as u64).sum();
+                            let max_hops = group
+                                .iter()
+                                .map(|&q| run_of!(q).hops_executed as u64)
+                                .max()
+                                .unwrap_or(0);
+                            let outs: u64 =
+                                group.iter().map(|&q| run_of!(q).out_stream_cycles).sum();
+                            let max_out = group
+                                .iter()
+                                .map(|&q| run_of!(q).out_stream_cycles)
+                                .max()
+                                .unwrap_or(0);
+                            let saved = stream * (hops - max_hops) + (outs - max_out);
+                            batch_cycles_saved += saved;
+                            total.saturating_sub(self.config.clock.sim_time(Cycles::new(saved)))
+                        } else {
+                            total
+                        };
+                        let end = $now + fused;
                         insts[$i].free_at = end;
-                        insts[$i].busy += durations[r];
-                        insts[$i].computing = Some(r);
+                        insts[$i].busy += fused;
+                        insts[$i].computing = group;
                         heap.push(Entry {
                             time: end,
                             seq,
@@ -935,17 +1027,19 @@ impl<'a> Server<'a> {
                     epoch,
                 } => {
                     if insts[instance].epoch == epoch {
-                        debug_assert_eq!(insts[instance].computing, Some(req));
-                        ts[req].compute_end = now;
-                        computed[req] = true;
-                        insts[instance].computing = None;
-                        insts[instance].inflight -= 1;
-                        insts[instance].completed += 1;
-                        let id = jobs.len() as u64;
-                        jobs.push(LinkJob::Drain { req });
-                        attempts.push(0);
-                        first_fail.push(None);
-                        arb.submit(id, PcieLink::answer_bytes(), 1);
+                        debug_assert_eq!(insts[instance].computing.first(), Some(&req));
+                        let group = std::mem::take(&mut insts[instance].computing);
+                        insts[instance].inflight -= group.len();
+                        for q in group {
+                            ts[q].compute_end = now;
+                            computed[q] = true;
+                            insts[instance].completed += 1;
+                            let id = jobs.len() as u64;
+                            jobs.push(LinkJob::Drain { req: q });
+                            attempts.push(0);
+                            first_fail.push(None);
+                            arb.submit(id, PcieLink::answer_bytes(), 1);
+                        }
                         start_compute!(instance, now);
                         dispatch!(now);
                         grant!(now);
@@ -967,7 +1061,7 @@ impl<'a> Server<'a> {
                         let unfinished = insts[i].free_at.saturating_sub(now);
                         insts[i].busy = insts[i].busy.saturating_sub(unfinished);
                         insts[i].free_at = now;
-                        insts[i].computing = None;
+                        insts[i].computing.clear();
                         insts[i].ready.clear();
                         insts[i].inflight = 0;
                         residency[i].clear_resident();
@@ -1096,6 +1190,19 @@ impl<'a> Server<'a> {
                 self.config.clock.seconds(Cycles::new(write_cycles_saved)),
             ),
         };
+        let batch = BatchReport {
+            enabled: self.config.batch_window > 1,
+            window: self.config.batch_window,
+            groups: batch_groups,
+            fused_groups: batch_fused,
+            batched_requests,
+            size_histogram: batch_hist,
+            cycles_saved: batch_cycles_saved,
+            energy_saved_j: self.config.power.active_energy_j(
+                self.config.clock.freq_mhz(),
+                self.config.clock.seconds(Cycles::new(batch_cycles_saved)),
+            ),
+        };
 
         if let Some(p) = &plan {
             fr.enabled = true;
@@ -1128,6 +1235,7 @@ impl<'a> Server<'a> {
             &insts,
             &arb,
             cache,
+            batch,
             last_drain,
             max_queue_depth,
             fr,
@@ -1196,6 +1304,7 @@ impl<'a> Server<'a> {
         insts: &[Inst],
         arb: &LinkArbiter,
         cache: CacheReport,
+        batch: BatchReport,
         last_drain: SimTime,
         max_queue_depth: usize,
         fault: FaultReport,
@@ -1241,6 +1350,32 @@ impl<'a> Server<'a> {
             .collect();
         let total_energy_j = instances.iter().map(|i| i.energy_j).sum();
         let correct = completions.iter().filter(|c| c.correct).count();
+        // Per-completion hop accounting: for a fixed story every hop of a
+        // run spends the same addressing/read/controller cycles, so the
+        // per-hop cost divides exactly and the saved-cycle figure is an
+        // exact count, not an estimate.
+        let mut prune = HopPruneReport {
+            enabled: self.config.hop_prune.enabled,
+            threshold: self.config.hop_prune.threshold,
+            ..HopPruneReport::default()
+        };
+        for c in completions {
+            prune.hops_executed += c.run.hops_executed as u64;
+            prune.hops_saved += c.run.hops_saved as u64;
+            prune.vetoes += c.run.prune_vetoes as u64;
+            if c.run.hops_saved > 0 {
+                prune.pruned_completions += 1;
+                let hop_cycles =
+                    (c.run.phases.addressing + c.run.phases.read + c.run.phases.controller).get();
+                debug_assert_eq!(hop_cycles % c.run.hops_executed as u64, 0);
+                prune.cycles_saved +=
+                    hop_cycles / c.run.hops_executed as u64 * c.run.hops_saved as u64;
+            }
+        }
+        prune.energy_saved_j = self.config.power.active_energy_j(
+            self.config.clock.freq_mhz(),
+            self.config.clock.seconds(Cycles::new(prune.cycles_saved)),
+        );
         ServeReport {
             requests: trace.requests.len(),
             completed: completions.len(),
@@ -1280,6 +1415,8 @@ impl<'a> Server<'a> {
             ),
             fault,
             numeric,
+            batch,
+            prune,
         }
     }
 }
@@ -1765,6 +1902,181 @@ mod tests {
             clean.report.numeric, seus.report.numeric,
             "scrub re-writes leaked into the numeric section"
         );
+    }
+
+    /// A burst of same-story questions against one instance over a fast
+    /// link: uploads outrun the fabric, the ready FIFO backs up, and the
+    /// batcher has real groups to fuse.
+    fn reuse_trace(s: &TaskSuite) -> ArrivalTrace {
+        ArrivalTrace::generate(
+            &TraceConfig {
+                requests: 96,
+                seed: 23,
+                mean_interarrival_s: 1e-9,
+                story_pool: 3,
+            },
+            s,
+        )
+    }
+
+    fn batched_config(window: usize) -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 256,
+            story_cache: 4,
+            // Deep input FIFOs: groups can only form from requests already
+            // buffered behind the computing one.
+            inflight_limit: 8,
+            policy: SchedulePolicy::StoryAffinity,
+            pcie: mann_hw::PcieLink {
+                bandwidth_bytes_per_s: 1.5e9,
+                latency_per_transfer_s: 1e-6,
+            },
+            batch_window: window,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_window_zero_and_one_are_byte_identical() {
+        let s = suite();
+        let t = reuse_trace(&s);
+        let off = Server::new(&s, batched_config(0)).serve(&t);
+        let one = Server::new(&s, batched_config(1)).serve(&t);
+        assert_eq!(off.completions, one.completions);
+        assert_eq!(off.rejections, one.rejections);
+        // Window 0 and 1 differ only in the (disabled) config echo; the
+        // emitted JSON must be byte-identical, and neither lever key may
+        // appear with the levers off.
+        let j0 = serde_json::to_string(&off.report).unwrap();
+        let j1 = serde_json::to_string(&one.report).unwrap();
+        assert!(!j0.contains("\"batch\""), "disabled batching emitted a key");
+        assert!(!j0.contains("\"prune\""), "disabled pruning emitted a key");
+        assert_eq!(j0, j1);
+    }
+
+    #[test]
+    fn batched_compute_fuses_groups_without_changing_answers() {
+        let s = suite();
+        let t = reuse_trace(&s);
+        let unbatched = Server::new(&s, batched_config(0)).serve(&t);
+        let batched = Server::new(&s, batched_config(4)).serve(&t);
+        let b = &batched.report.batch;
+        assert!(b.enabled);
+        assert_eq!(b.window, 4);
+        assert!(b.fused_groups > 0, "burst trace formed no fused group");
+        assert!(b.batched_requests > b.groups, "no group exceeded size 1");
+        // The histogram partitions the groups and never exceeds the window.
+        assert_eq!(b.size_histogram.iter().sum::<u64>(), b.groups);
+        assert!(b.size_histogram.len() <= 4);
+        let by_size: u64 = b
+            .size_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum();
+        assert_eq!(by_size, b.batched_requests);
+        assert!(b.cycles_saved > 0 && b.energy_saved_j > 0.0);
+        // Fusing dedups stream cycles; it never touches a datapath result.
+        // (Write/control totals may drift: earlier compute completions
+        // shift dispatch timing and with it the hit/miss split.)
+        assert_eq!(
+            unbatched.report.answers_digest,
+            batched.report.answers_digest
+        );
+        let (u, f) = (unbatched.report.phase_totals, batched.report.phase_totals);
+        assert_eq!(u.addressing, f.addressing);
+        assert_eq!(u.read, f.read);
+        assert_eq!(u.controller, f.controller);
+        assert_eq!(u.output, f.output);
+        assert_eq!(unbatched.report.accuracy, batched.report.accuracy);
+        assert!(
+            batched.report.makespan_s < unbatched.report.makespan_s,
+            "batched {} !< unbatched {}",
+            batched.report.makespan_s,
+            unbatched.report.makespan_s
+        );
+    }
+
+    #[test]
+    fn batched_and_pruned_serve_is_engine_invariant() {
+        let s = suite();
+        let t = reuse_trace(&s);
+        let serve_with = |engine| {
+            Server::new(
+                &s,
+                ServeConfig {
+                    engine,
+                    hop_prune: HopPrune::with_threshold(0.5),
+                    ..batched_config(4)
+                },
+            )
+            .serve(&t)
+        };
+        let serial = serve_with(EngineMode::Serial);
+        let parallel = serve_with(EngineMode::Parallel);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap()
+        );
+        let p = &serial.report.prune;
+        assert!(p.enabled);
+        assert!(p.hops_executed > 0);
+        assert!(
+            serde_json::to_string(&serial.report)
+                .unwrap()
+                .contains("\"prune\""),
+            "enabled pruning must publish its section"
+        );
+    }
+
+    #[test]
+    fn aggressive_pruning_prunes_every_unvetoed_completion() {
+        let s = suite();
+        let t = trace(&s, 24);
+        // Attention sums to 1, so a tiny threshold fires on every hop
+        // boundary: each completion either prunes or is vetoed.
+        let out = Server::new(
+            &s,
+            ServeConfig {
+                hop_prune: HopPrune::with_threshold(0.001),
+                ..ServeConfig::default()
+            },
+        )
+        .serve(&t);
+        let p = &out.report.prune;
+        assert!(p.hops_saved > 0, "aggressive threshold saved nothing");
+        assert!(p.cycles_saved > 0 && p.energy_saved_j > 0.0);
+        assert_eq!(
+            p.pruned_completions + p.vetoes,
+            out.report.completed as u64,
+            "every completion must prune or veto at threshold 0.001"
+        );
+        // The render path covers the all-pruned shape without panicking.
+        let _ = out.report.render();
+    }
+
+    #[test]
+    fn single_request_campaign_has_degenerate_percentiles() {
+        let s = suite();
+        let t = trace(&s, 1);
+        let out = Server::new(
+            &s,
+            ServeConfig {
+                hop_prune: HopPrune::with_threshold(0.001),
+                ..batched_config(8)
+            },
+        )
+        .serve(&t);
+        assert_eq!(out.report.completed, 1);
+        let l = &out.report.latency;
+        assert_eq!(l.p50_s, l.p99_s);
+        assert_eq!(l.p50_s, l.max_s);
+        assert!(l.p50_s > 0.0);
+        // A lone request forms a group of one: nothing fused, nothing saved.
+        assert_eq!(out.report.batch.fused_groups, 0);
+        assert_eq!(out.report.batch.cycles_saved, 0);
+        let _ = out.report.render();
     }
 
     #[test]

@@ -28,8 +28,8 @@ use mann_accel::core::experiments::{fig3, fig4, table1};
 use mann_accel::core::{SuiteConfig, TaskSuite};
 use mann_accel::hw::{AccelConfig, Accelerator};
 use mann_accel::serve::{
-    ArrivalTrace, EngineMode, FaultConfig, NumericPolicy, SchedulePolicy, ServeConfig, Server,
-    TraceConfig,
+    ArrivalTrace, EngineMode, FaultConfig, HopPrune, NumericPolicy, SchedulePolicy, ServeConfig,
+    Server, TraceConfig,
 };
 use serde::json::Value;
 use serde::Serialize;
@@ -413,4 +413,92 @@ fn serve_numeric_campaign_is_pinned() {
     );
 
     check_golden("serve_numeric.json", &out.report.to_value());
+}
+
+/// The compute-dedup campaign: a story-reuse burst served with same-story
+/// batch fusion (window 4) and adaptive hop pruning enabled. Pins the full
+/// report — fused-group histogram, deduplicated stream cycles, hop-prune
+/// savings — and checks that the serial engine reproduces the parallel
+/// engine's bytes and that pruning moves at most 1% of argmax answers off
+/// the full-hop oracle.
+#[test]
+fn serve_batched_pruned_campaign_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 37,
+            mean_interarrival_s: 20e-6,
+            story_pool: 4,
+        },
+        s,
+    );
+    let config = ServeConfig {
+        instances: 2,
+        queue_capacity: 128,
+        story_cache: 4,
+        inflight_limit: 8,
+        policy: SchedulePolicy::StoryAffinity,
+        // A fast link keeps the upload path ahead of the fabric so the
+        // input FIFOs actually back up and groups form.
+        pcie: mann_accel::hw::PcieLink {
+            bandwidth_bytes_per_s: 1.5e9,
+            latency_per_transfer_s: 1e-6,
+        },
+        batch_window: 4,
+        hop_prune: HopPrune::with_threshold(0.8),
+        ..ServeConfig::default()
+    };
+    let out = Server::new(s, config.clone()).serve(&trace);
+    let batch = &out.report.batch;
+    assert!(batch.enabled && batch.fused_groups > 0, "no fused groups");
+    assert!(batch.cycles_saved > 0, "fusion saved no stream cycles");
+    let prune = &out.report.prune;
+    assert!(prune.enabled && prune.hops_saved > 0, "no hops pruned");
+    assert!(prune.cycles_saved > 0, "pruning saved no cycles");
+
+    // Engine invariance holds with both levers armed: the serial engine's
+    // report is byte-identical.
+    let serial = Server::new(
+        s,
+        ServeConfig {
+            engine: EngineMode::Serial,
+            ..config.clone()
+        },
+    )
+    .serve(&trace);
+    assert_eq!(
+        serial.report.to_value().print(),
+        out.report.to_value().print(),
+        "serial and parallel engines diverged with batching + pruning"
+    );
+
+    // Pruning is an approximation; the oracle run answers every question
+    // with the full hop schedule. At this threshold at least 99% of the
+    // argmax answers must survive.
+    let oracle = Server::new(
+        s,
+        ServeConfig {
+            hop_prune: HopPrune::default(),
+            ..config
+        },
+    )
+    .serve(&trace);
+    assert_eq!(oracle.completions.len(), out.completions.len());
+    let agree = oracle
+        .completions
+        .iter()
+        .zip(&out.completions)
+        .filter(|(o, p)| {
+            assert_eq!(o.request.id, p.request.id);
+            o.run.answer == p.run.answer
+        })
+        .count();
+    assert!(
+        agree * 100 >= out.completions.len() * 99,
+        "pruned answers agree on only {agree}/{} completions",
+        out.completions.len()
+    );
+
+    check_golden("serve_batched.json", &out.report.to_value());
 }
