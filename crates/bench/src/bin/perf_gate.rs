@@ -9,9 +9,12 @@
 //! * per-sample training step:             **>= 1.2x**
 //! * serve throughput, repeated-story trace: **>= 1.5x** requests/s
 //! * serve throughput, unique-story trace:   **>= 1.2x** requests/s
+//! * same-story batch fusion, burst trace:   **>= 1.3x** simulated req/s
+//! * cluster scaling, 1 -> 4 shards:         **>= 3.0x** simulated req/s
 //!
 //! Training/kernel results are written to `BENCH_PR1.json`, serving
-//! results to `BENCH_PR3.json`, as rows of
+//! results to `BENCH_PR3.json`, dedup results to `BENCH_PR6.json`, and
+//! cluster scale-out results to `BENCH_PR7.json`, as rows of
 //! `{"metric": ..., "value": ..., "unit": ...}`. Every baseline is real,
 //! runnable code — not a recorded number — so the gate keeps meaning as
 //! hardware changes. Each reference path is cross-checked against the
@@ -39,7 +42,10 @@ use mann_core::parallel::worker_threads;
 use mann_core::{SuiteConfig, TaskSuite};
 use mann_hw::{AccelConfig, Accelerator, DatapathConfig, PcieLink};
 use mann_linalg::{Matrix, Vector};
-use mann_serve::{ArrivalTrace, HopPrune, SchedulePolicy, ServeConfig, Server, TraceConfig};
+use mann_serve::{
+    ArrivalTrace, Cluster, ClusterConfig, HopPrune, SchedulePolicy, ServeConfig, Server,
+    TraceConfig,
+};
 use memn2n::{train_step, ModelConfig, Params, TrainConfig, Trainer, Workspace};
 
 /// Seed-style model code: the pre-optimization implementations, kept
@@ -862,10 +868,16 @@ fn main() {
     let mut dedup_rows: Vec<Row> = Vec::new();
     let batched_speedup = batched_serve_gate(&serve_suite, &mut dedup_rows);
 
+    // --- Cluster scale-out: completed-throughput scaling from one shard
+    // to a four-shard / replication-2 fleet on a story-heavy trace.
+    let mut cluster_rows: Vec<Row> = Vec::new();
+    let cluster_scaling = cluster_gate(&mut cluster_rows);
+
     // --- Report + gate.
     write_rows("BENCH_PR1.json", &rows);
     write_rows("BENCH_PR3.json", &serve_rows);
     write_rows("BENCH_PR6.json", &dedup_rows);
+    write_rows("BENCH_PR7.json", &cluster_rows);
 
     let mut failed = Vec::new();
     if build_speedup < 1.3 {
@@ -888,6 +900,9 @@ fn main() {
         failed.push(format!(
             "serve_batched_story_speedup {batched_speedup:.2} < 1.3"
         ));
+    }
+    if cluster_scaling < 3.0 {
+        failed.push(format!("serve_cluster_scaling {cluster_scaling:.2} < 3.0"));
     }
     if failed.is_empty() {
         eprintln!("[perf_gate] PASS");
@@ -1149,4 +1164,101 @@ fn batched_serve_gate(suite: &TaskSuite, rows: &mut Vec<Row>) -> f64 {
         reduction * 100.0,
     );
     speedup
+}
+
+/// Cluster scale-out gate: a saturating story-heavy burst served by one
+/// shard vs a four-shard / replication-2 fleet. Each shard brings its own
+/// link and instance pool, so completed throughput (in simulated time)
+/// must scale near-linearly; the gate floors it at 3x. Routing must not
+/// change any answer, so the completion digests are asserted equal first.
+///
+/// The gate builds its own suite with a wide test set (96 samples per
+/// task): rendezvous balance is statistical over distinct story keys, so
+/// a large story pool is what lets four shards draw near-fair shares.
+/// Training is shortened — the gate measures throughput, not accuracy.
+fn cluster_gate(rows: &mut Vec<Row>) -> f64 {
+    eprintln!("[perf_gate] training cluster workload ...");
+    let suite = &TaskSuite::build(&SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact, TaskId::AgentMotivations],
+        train_samples: 40,
+        test_samples: 96,
+        seed: 11,
+        ..SuiteConfig::quick()
+    });
+    let burst = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 384,
+            seed: 41,
+            mean_interarrival_s: 1e-9,
+            story_pool: 96,
+        },
+        suite,
+    );
+    let base = ServeConfig {
+        instances: 2,
+        queue_capacity: 512,
+        inflight_limit: 4,
+        story_cache: 16,
+        policy: SchedulePolicy::StoryAffinity,
+        pcie: PcieLink {
+            bandwidth_bytes_per_s: 1.5e9,
+            latency_per_transfer_s: 1e-6,
+        },
+        ..ServeConfig::default()
+    };
+    let fleet = |shards: usize, replication: usize| {
+        Cluster::new(
+            suite,
+            ClusterConfig {
+                shards,
+                replication,
+                base: base.clone(),
+                ..ClusterConfig::default()
+            },
+        )
+        .serve(&burst)
+    };
+    let one = fleet(1, 1);
+    let four = fleet(4, 2);
+    assert_eq!(
+        one.report.completed,
+        burst.len(),
+        "single shard dropped requests — widen the queue"
+    );
+    assert_eq!(
+        four.report.completed,
+        burst.len(),
+        "four-shard fleet dropped requests"
+    );
+    assert_eq!(
+        one.report.answers_digest, four.report.answers_digest,
+        "sharding changed an answer"
+    );
+    let scaling = four.report.throughput_rps / one.report.throughput_rps;
+    rows.push(Row {
+        metric: "serve_cluster_1shard_rps",
+        value: one.report.throughput_rps,
+        unit: "req/s",
+    });
+    rows.push(Row {
+        metric: "serve_cluster_4shard_rps",
+        value: four.report.throughput_rps,
+        unit: "req/s",
+    });
+    rows.push(Row {
+        metric: "serve_cluster_scaling",
+        value: scaling,
+        unit: "x",
+    });
+    rows.push(Row {
+        metric: "serve_cluster_4shard_p99_ms",
+        value: four.report.latency.p99_s * 1e3,
+        unit: "ms",
+    });
+    eprintln!(
+        "[perf_gate] serve cluster: {:.0} req/s (1 shard) -> {:.0} req/s (4 shards, R=2) \
+         ({scaling:.2}x)",
+        one.report.throughput_rps, four.report.throughput_rps,
+    );
+    scaling
 }

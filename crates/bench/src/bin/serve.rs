@@ -44,6 +44,16 @@
 //! `--link-latency-us` override the PCIe model (fusion needs the link to
 //! outrun the fabric, which the default 65 us/transfer link never does).
 //!
+//! `--shards K` (default 1) serves the trace on a story-sharded cluster:
+//! a rendezvous-hash router places each story on one of K shard nodes,
+//! each running the full serve stack above. `--replication R` (default 1)
+//! arms cross-shard failover — with a fault plan active, a request
+//! stranded by an instance crash is re-dispatched to its story's replica
+//! shard at real re-upload cost. At K>1 the report is the merged
+//! `ClusterReport` (written to `serve_cluster_report.json`); at K=1/R=1
+//! the cluster layer is inert and output is byte-identical to the
+//! single-node path.
+//!
 //! The serve is a pure function of `(suite, trace, config)`: rerunning
 //! with the same flags — at any `MANN_THREADS` — prints byte-identical
 //! numbers, and the `answers digest` line is invariant across
@@ -54,8 +64,8 @@ use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
 use mann_hw::{StoryCache, DEFAULT_STORY_CACHE};
 use mann_serve::{
-    ArrivalTrace, EngineMode, FaultConfig, HopPrune, NumericPolicy, SchedulePolicy, ServeConfig,
-    Server, TraceConfig,
+    ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune, NumericPolicy,
+    SchedulePolicy, ServeConfig, Server, TraceConfig,
 };
 
 /// Prints a CLI-usage error and exits with status 2.
@@ -84,6 +94,8 @@ struct ServeArgs {
     hop_prune: HopPrune,
     link_gbps: Option<f64>,
     link_latency_us: Option<f64>,
+    shards: usize,
+    replication: usize,
 }
 
 impl ServeArgs {
@@ -114,6 +126,8 @@ impl ServeArgs {
             hop_prune: HopPrune::from_env().unwrap_or_else(|e| usage_bail(e)),
             link_gbps: None,
             link_latency_us: None,
+            shards: 1,
+            replication: 1,
         };
         let mut watchdog_us: Option<f64> = None;
         let mut max_retries: Option<u32> = None;
@@ -194,6 +208,10 @@ impl ServeArgs {
                     out.link_gbps = Some(v.parse().unwrap_or_else(|_| {
                         usage_bail(format!("invalid --link-gbps {v:?}: expected GB/s"))
                     }));
+                }
+                "--shards" => out.shards = num("--shards", grab("--shards")) as usize,
+                "--replication" => {
+                    out.replication = num("--replication", grab("--replication")) as usize;
                 }
                 "--link-latency-us" => {
                     let v = grab("--link-latency-us");
@@ -315,6 +333,38 @@ fn main() {
             config.faults.seus,
             config.faults.degrade_depth,
         );
+    }
+
+    if serve_args.shards > 1 || serve_args.replication > 1 {
+        let cluster_config = ClusterConfig {
+            shards: serve_args.shards,
+            replication: serve_args.replication,
+            base: config,
+            ..ClusterConfig::default()
+        };
+        if let Err(e) = cluster_config.validate() {
+            usage_bail(e);
+        }
+        eprintln!(
+            "[serve] cluster of {} shard(s), replication {} (rendezvous story routing)",
+            cluster_config.shards, cluster_config.replication
+        );
+        let outcome = Cluster::new(&suite, cluster_config).serve(&trace);
+        println!(
+            "Served {} requests across {} shard(s) x {} instance(s), replication {}, policy {}",
+            trace.len(),
+            outcome.report.shards,
+            serve_args.instances,
+            outcome.report.replication,
+            serve_args.policy
+        );
+        println!("{}", outcome.report.render());
+        let path = "target/experiments/serve_cluster_report.json";
+        match write_json_report(path, &outcome.report) {
+            Ok(()) => eprintln!("[serve] cluster report written to {path}"),
+            Err(e) => eprintln!("[serve] could not write {path}: {e}"),
+        }
+        return;
     }
 
     let server = Server::new(&suite, config);

@@ -41,6 +41,20 @@ pub fn fault_coin(prob: f64, seed: u64, a: u64, b: u64) -> bool {
     u < prob
 }
 
+/// Domain constant separating per-shard fault streams from every other
+/// consumer of a campaign seed (ASCII "shard").
+const STREAM_SHARD: u64 = 0x0073_6861_7264;
+
+/// Derives one cluster shard's fault-campaign seed from the cluster-level
+/// campaign seed. Built on [`fault_mix`], so a shard's plan is a pure
+/// function of `(campaign seed, shard)`: serving shards in a different
+/// order, adding shards, or re-running a replica pass never changes which
+/// faults a given shard injects. Callers with multiple dispatch passes per
+/// shard pack the pass index into the high bits of `shard`.
+pub fn shard_fault_seed(seed: u64, shard: u64) -> u64 {
+    fault_mix(seed ^ STREAM_SHARD, shard, 0)
+}
+
 /// Where an injected upset landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpsetSite {
@@ -160,6 +174,22 @@ mod tests {
         // Empirical rate over 10k identifiers lands near the target prob.
         let fires = (0..10_000).filter(|&a| fault_coin(0.25, 9, a, 1)).count();
         assert!((2_200..2_800).contains(&fires), "rate {fires}/10000");
+    }
+
+    #[test]
+    fn shard_fault_seed_is_deterministic_and_shard_pure() {
+        assert_eq!(shard_fault_seed(5, 0), shard_fault_seed(5, 0));
+        // Distinct shards draw distinct streams from the same campaign.
+        assert_ne!(shard_fault_seed(5, 0), shard_fault_seed(5, 1));
+        assert_ne!(shard_fault_seed(5, 1), shard_fault_seed(5, 2));
+        // A shard's stream follows the campaign seed.
+        assert_ne!(shard_fault_seed(5, 0), shard_fault_seed(6, 0));
+        // Domain separation: never the raw seed, and never the plain mix a
+        // non-shard consumer would draw.
+        assert_ne!(shard_fault_seed(5, 0), 5);
+        assert_ne!(shard_fault_seed(5, 3), fault_mix(5, 3, 0));
+        // Replica passes (packed into the high bits) get their own stream.
+        assert_ne!(shard_fault_seed(5, 2), shard_fault_seed(5, (1 << 32) | 2));
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub use accel::{
 pub use clock::{ClockDomain, Cycles, SimTime};
 pub use datapath::DatapathConfig;
 pub use energy::PowerModel;
-pub use fault::{fault_coin, fault_mix, inject_upsets, inject_upsets_in_bits, UpsetSite};
+pub use fault::{
+    fault_coin, fault_mix, inject_upsets, inject_upsets_in_bits, shard_fault_seed, UpsetSite,
+};
 pub use pcie::{LinkArbiter, LinkGrant, PcieLink};
 pub use quantize::{quantize_params, quantize_params_tracked};
 pub use resource::{ResourceEstimate, VCU107_BUDGET};

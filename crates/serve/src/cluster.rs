@@ -1,0 +1,1008 @@
+//! Distributed serve fabric: a story-affinity sharded cluster.
+//!
+//! The single-node [`Server`](crate::Server) models one host — one bounded
+//! queue, one PCIe arbiter, one instance pool. This module scales that out:
+//! a frontend [`ShardRouter`] consistent-hashes each request's story onto K
+//! shard nodes (rendezvous hashing with weighted virtual nodes), every
+//! shard runs its own full serve stack (link arbiter, instance pool, story
+//! cache, fault plan), and a replication factor R arms *cross-shard*
+//! failover — a request stranded by an instance crash is re-dispatched to
+//! the story's replica shard, paying the story re-upload at real
+//! cycle/link cost, instead of re-queueing locally.
+//!
+//! # Determinism
+//!
+//! A cluster serve is a pure function of `(suite, trace, config)`:
+//!
+//! * routing is pure rendezvous hashing over `story_digest`
+//!   ([`mann_hw::fault_mix`] under a routing salt), so placement never
+//!   depends on arrival interleaving;
+//! * each shard's fault plan derives from [`mann_hw::shard_fault_seed`],
+//!   so what shard `s` injects is independent of how many shards exist or
+//!   the order they are served in;
+//! * aggregation folds per-shard results in `(pass, shard)` order whatever
+//!   order the shards actually ran in, so [`ClusterReport`] bytes are
+//!   identical across `MANN_THREADS`, engine modes, and shard-iteration
+//!   order (pinned by tests and a golden).
+//!
+//! At K=1/R=1 the layer is *inert*: the report serializes and renders as
+//! the single shard's [`ServeReport`], byte-identical to the single-node
+//! path.
+
+use std::collections::HashMap;
+
+use mann_core::report::{fnum, percent, TextTable};
+use mann_core::TaskSuite;
+use mann_hw::{fault_mix, shard_fault_seed, story_digest, PhaseCycles, SimTime};
+use serde::Serialize;
+
+use crate::faults::{FaultConfig, FaultReport};
+use crate::numeric::NumericHealth;
+use crate::report::{
+    answers_digest, BatchReport, CacheReport, HopPruneReport, LatencySummary, LinkReport,
+    ServeReport,
+};
+use crate::request::{Completion, Rejection, Request};
+use crate::server::{ServeConfig, ServeOutcome, Server};
+use crate::trace::ArrivalTrace;
+
+/// Domain-separation salt for routing hashes (ASCII "router"): routing
+/// scores share [`fault_mix`] with the fault layer but never its streams.
+const ROUTE_SALT: u64 = 0x0000_726f_7574_6572;
+
+/// Virtual nodes per shard are packed into 16 bits of the hash input.
+const MAX_WEIGHT: u32 = 1 << 16;
+
+/// Scheduling keys mix the task index into the story digest exactly like
+/// the single-node scheduler, so "same story, same task" is one routing
+/// unit cluster-wide.
+const TASK_KEY_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Frontend router: weighted rendezvous (highest-random-weight) hashing of
+/// story keys onto shards.
+///
+/// Every `(key, shard)` pair gets a score — the max of the shard's
+/// `weight` virtual-node hashes — and a key's replica chain is the shards
+/// ranked by score. Rendezvous hashing gives minimal disruption natively:
+/// removing a shard only moves the keys that ranked it, because the other
+/// shards' scores are untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    weights: Vec<u32>,
+}
+
+impl ShardRouter {
+    /// A router over `shards` equally weighted shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        Self::with_weights(vec![1; shards])
+    }
+
+    /// A router with one relative capacity weight per shard (virtual-node
+    /// count; a weight-2 shard owns ~2x the keys of a weight-1 shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or any weight is 0 or ≥ 2^16.
+    pub fn with_weights(weights: Vec<u32>) -> Self {
+        assert!(!weights.is_empty(), "router needs at least one shard");
+        assert!(
+            weights.iter().all(|&w| (1..MAX_WEIGHT).contains(&w)),
+            "shard weights must be in 1..{MAX_WEIGHT}"
+        );
+        Self { weights }
+    }
+
+    /// Number of shards the router spreads keys over.
+    pub fn shards(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Rendezvous score of `key` on `shard`: the best of the shard's
+    /// weighted virtual nodes.
+    fn score(&self, key: u64, shard: usize) -> u64 {
+        (0..u64::from(self.weights[shard]))
+            .map(|v| fault_mix(ROUTE_SALT, key, ((shard as u64) << 16) | v))
+            .max()
+            .expect("weight >= 1")
+    }
+
+    /// The up-to-`replicas` highest-scoring shards for `key` among those
+    /// `alive` admits, primary first. Pure in `(key, weights, liveness)`.
+    pub fn route_live(
+        &self,
+        key: u64,
+        replicas: usize,
+        alive: impl Fn(usize) -> bool,
+    ) -> Vec<usize> {
+        let mut ranked: Vec<(u64, usize)> = (0..self.weights.len())
+            .filter(|&s| alive(s))
+            .map(|s| (self.score(key, s), s))
+            .collect();
+        // Highest score wins; the shard index breaks (astronomically
+        // unlikely) score ties so the order is total.
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        ranked.truncate(replicas);
+        ranked.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// The `replicas` highest-scoring shards for `key`, primary first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas` exceeds the shard count.
+    pub fn route(&self, key: u64, replicas: usize) -> Vec<usize> {
+        assert!(
+            replicas <= self.weights.len(),
+            "cannot pick {replicas} replicas from {} shards",
+            self.weights.len()
+        );
+        self.route_live(key, replicas, |_| true)
+    }
+
+    /// The primary shard for `key`.
+    pub fn primary(&self, key: u64) -> usize {
+        self.route(key, 1)[0]
+    }
+}
+
+/// Cluster-level configuration wrapped around a per-shard [`ServeConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Shard nodes; 1 makes the cluster layer inert.
+    pub shards: usize,
+    /// Replica shards per story (including the primary); with R ≥ 2 a
+    /// request stranded by a crash fails over to the next replica shard.
+    pub replication: usize,
+    /// Relative routing weight per shard; empty = uniform.
+    pub weights: Vec<u32>,
+    /// Per-shard fault-campaign overrides (targeted campaigns / tests);
+    /// `None` entries fall back to `base.faults`. Empty = all from base.
+    /// At K > 1 every shard's plan seed — overridden or not — is re-mixed
+    /// through [`shard_fault_seed`] to keep plans seed-pure per shard.
+    pub shard_faults: Vec<Option<FaultConfig>>,
+    /// The serve stack every shard runs.
+    pub base: ServeConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            replication: 1,
+            weights: Vec::new(),
+            shard_faults: Vec::new(),
+            base: ServeConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        if self.replication == 0 || self.replication > self.shards {
+            return Err(format!(
+                "replication {} out of range 1..={} (shard count)",
+                self.replication, self.shards
+            ));
+        }
+        if !self.weights.is_empty() && self.weights.len() != self.shards {
+            return Err(format!(
+                "{} weights for {} shards",
+                self.weights.len(),
+                self.shards
+            ));
+        }
+        if !self.shard_faults.is_empty() && self.shard_faults.len() != self.shards {
+            return Err(format!(
+                "{} fault overrides for {} shards",
+                self.shard_faults.len(),
+                self.shards
+            ));
+        }
+        self.base.validate()?;
+        for f in self.shard_faults.iter().flatten() {
+            f.validate().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+/// Cross-shard failover accounting (zeros at R = 1 or without crashes).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct ClusterFailover {
+    /// Watchdog handoffs: requests a shard exported after its instance
+    /// crashed under them.
+    pub exports: u64,
+    /// Exported requests that completed on a replica shard.
+    pub completed: u64,
+    /// Exported requests lost anyway (replica queue full or replica-side
+    /// shed); still accounted in the cluster partition.
+    pub lost: u64,
+    /// Link bytes the replica passes moved — the re-uploaded stories plus
+    /// their answer drains, paid at real link cost.
+    pub replay_link_bytes: u64,
+    /// Mean end-to-end latency of failed-over completions, measured from
+    /// the *original* arrival, seconds.
+    pub mean_failover_latency_s: f64,
+}
+
+/// Aggregate report of one cluster serve: per-shard [`ServeReport`]s
+/// merged the only sound way — latency percentiles ranked over the pooled
+/// raw samples (never averaged), counter sections summed, MTTR means
+/// re-weighted by their event counts — plus the per-shard breakdown.
+///
+/// Serialization is hand-written for the same reason as [`ServeReport`]:
+/// at K=1/R=1 the cluster layer is inert and the report serializes as the
+/// single shard's `ServeReport`, byte-identical to the single-node path
+/// (the golden suite pins this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Shard nodes.
+    pub shards: usize,
+    /// Replication factor.
+    pub replication: usize,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests that completed, on any shard.
+    pub completed: usize,
+    /// Requests rejected by a bounded shard queue.
+    pub rejected: usize,
+    /// Requests shed by a shard's fault campaign.
+    pub shed: usize,
+    /// Fraction of completed requests answered correctly.
+    pub accuracy: f64,
+    /// First arrival to the last drain on any shard, seconds.
+    pub makespan_s: f64,
+    /// Completed requests per simulated second of cluster makespan.
+    pub throughput_rps: f64,
+    /// Latency distribution over the pooled per-shard samples (failovers
+    /// measured from their original arrival).
+    pub latency: LatencySummary,
+    /// Mean host-queue wait over all completions, seconds.
+    pub mean_queue_wait_s: f64,
+    /// Deepest host queue on any shard.
+    pub max_queue_depth: usize,
+    /// Cross-shard failover accounting.
+    pub failover: ClusterFailover,
+    /// Story-cache sections summed over shards, hit rate recomputed.
+    pub cache: CacheReport,
+    /// Link sections summed; utilization = fleet busy time over
+    /// `shards x makespan` (each shard has its own link).
+    pub link: LinkReport,
+    /// Compute cycles summed over all completions, by pipeline phase.
+    pub phase_totals: PhaseCycles,
+    /// Completions that exited the output search early (ITH).
+    pub speculated: usize,
+    /// Sum of per-shard energies, joules.
+    pub total_energy_j: f64,
+    /// One-time model-upload cost, paid once per shard, seconds.
+    pub setup_s: f64,
+    /// FNV-1a digest over `(id, answer)` of all completions in id order;
+    /// invariant across shard counts — routing never changes an answer.
+    pub answers_digest: String,
+    /// Fault sections summed (MTTR means re-weighted); `enabled == false`
+    /// omits the key, exactly like [`ServeReport`].
+    pub fault: FaultReport,
+    /// Numeric-health sections summed, histograms merged; key omitted
+    /// when disabled.
+    pub numeric: NumericHealth,
+    /// Batching sections summed, histograms merged element-wise; key
+    /// omitted when disabled.
+    pub batch: BatchReport,
+    /// Hop-pruning sections summed; key omitted when disabled.
+    pub prune: HopPruneReport,
+    /// Each shard's primary-pass report, in shard-index order (replica
+    /// passes are folded into the merged sections above).
+    pub per_shard: Vec<ServeReport>,
+}
+
+impl Serialize for ClusterReport {
+    fn to_value(&self) -> serde_json::Value {
+        if self.shards == 1 && self.replication == 1 {
+            // Inert cluster: the report *is* the single shard's report.
+            return self.per_shard[0].to_value();
+        }
+        let mut pairs: Vec<(String, serde_json::Value)> = vec![
+            ("shards".into(), self.shards.to_value()),
+            ("replication".into(), self.replication.to_value()),
+            ("requests".into(), self.requests.to_value()),
+            ("completed".into(), self.completed.to_value()),
+            ("rejected".into(), self.rejected.to_value()),
+            ("shed".into(), self.shed.to_value()),
+            ("accuracy".into(), self.accuracy.to_value()),
+            ("makespan_s".into(), self.makespan_s.to_value()),
+            ("throughput_rps".into(), self.throughput_rps.to_value()),
+            ("latency".into(), self.latency.to_value()),
+            (
+                "mean_queue_wait_s".into(),
+                self.mean_queue_wait_s.to_value(),
+            ),
+            ("max_queue_depth".into(), self.max_queue_depth.to_value()),
+            ("failover".into(), self.failover.to_value()),
+            ("cache".into(), self.cache.to_value()),
+            ("link".into(), self.link.to_value()),
+            ("phase_totals".into(), self.phase_totals.to_value()),
+            ("speculated".into(), self.speculated.to_value()),
+            ("total_energy_j".into(), self.total_energy_j.to_value()),
+            ("setup_s".into(), self.setup_s.to_value()),
+            ("answers_digest".into(), self.answers_digest.to_value()),
+        ];
+        if self.fault.enabled {
+            pairs.push(("fault".into(), self.fault.to_value()));
+        }
+        if self.numeric.enabled {
+            pairs.push(("numeric".into(), self.numeric.to_value()));
+        }
+        if self.batch.enabled {
+            pairs.push(("batch".into(), self.batch.to_value()));
+        }
+        if self.prune.enabled {
+            pairs.push(("prune".into(), self.prune.to_value()));
+        }
+        pairs.push(("per_shard".into(), self.per_shard.to_value()));
+        serde_json::Value::Object(pairs)
+    }
+}
+
+impl ClusterReport {
+    /// Renders the cluster report as text tables; at K=1/R=1 this is the
+    /// single shard's render, byte for byte.
+    pub fn render(&self) -> String {
+        if self.shards == 1 && self.replication == 1 {
+            return self.per_shard[0].render();
+        }
+        let mut out = String::new();
+        let mut t = TextTable::new(vec!["cluster metric".into(), "value".into()]);
+        t.row(vec![
+            "shards x replication".into(),
+            format!("{} x {}", self.shards, self.replication),
+        ]);
+        t.row(vec!["requests".into(), self.requests.to_string()]);
+        t.row(vec!["completed".into(), self.completed.to_string()]);
+        t.row(vec!["rejected".into(), self.rejected.to_string()]);
+        t.row(vec!["shed".into(), self.shed.to_string()]);
+        t.row(vec!["accuracy".into(), percent(self.accuracy)]);
+        t.row(vec![
+            "makespan".into(),
+            format!("{} ms", fnum(self.makespan_s * 1e3, 3)),
+        ]);
+        t.row(vec![
+            "throughput".into(),
+            format!("{} req/s", fnum(self.throughput_rps, 1)),
+        ]);
+        t.row(vec![
+            "latency p50/p95/p99 (pooled)".into(),
+            format!(
+                "{} / {} / {} us",
+                fnum(self.latency.p50_s * 1e6, 1),
+                fnum(self.latency.p95_s * 1e6, 1),
+                fnum(self.latency.p99_s * 1e6, 1)
+            ),
+        ]);
+        t.row(vec![
+            "mean queue wait".into(),
+            format!("{} us", fnum(self.mean_queue_wait_s * 1e6, 1)),
+        ]);
+        t.row(vec![
+            "cross-shard failovers".into(),
+            format!(
+                "{} exported, {} completed, {} lost, {} B re-uploaded",
+                self.failover.exports,
+                self.failover.completed,
+                self.failover.lost,
+                self.failover.replay_link_bytes
+            ),
+        ]);
+        t.row(vec![
+            "fleet link utilization".into(),
+            format!(
+                "{} ({} grants)",
+                percent(self.link.utilization),
+                self.link.grants
+            ),
+        ]);
+        t.row(vec![
+            "cache hits".into(),
+            format!(
+                "{} / {} ({})",
+                self.cache.hits,
+                self.cache.hits + self.cache.misses,
+                percent(self.cache.hit_rate)
+            ),
+        ]);
+        t.row(vec![
+            "energy".into(),
+            format!("{} J", fnum(self.total_energy_j, 3)),
+        ]);
+        t.row(vec![
+            "setup (model uploads)".into(),
+            format!("{} ms", fnum(self.setup_s * 1e3, 3)),
+        ]);
+        t.row(vec!["answers digest".into(), self.answers_digest.clone()]);
+        out.push_str(&t.render());
+        out.push('\n');
+        if self.fault.enabled {
+            out.push_str(&self.fault.render());
+            out.push('\n');
+        }
+        if self.numeric.enabled {
+            out.push_str(&self.numeric.render());
+            out.push('\n');
+        }
+        if self.batch.enabled {
+            out.push_str(&self.batch.render());
+            out.push('\n');
+        }
+        if self.prune.enabled {
+            out.push_str(&self.prune.render());
+            out.push('\n');
+        }
+        let mut st = TextTable::new(vec![
+            "shard".into(),
+            "requests".into(),
+            "completed".into(),
+            "rejected".into(),
+            "cache hit rate".into(),
+            "crashes".into(),
+            "failovers".into(),
+            "p99 (us)".into(),
+            "energy (J)".into(),
+        ]);
+        for (s, r) in self.per_shard.iter().enumerate() {
+            st.row(vec![
+                s.to_string(),
+                r.requests.to_string(),
+                r.completed.to_string(),
+                r.rejected.to_string(),
+                percent(r.cache.hit_rate),
+                r.fault.crashes.to_string(),
+                r.fault.failovers.to_string(),
+                fnum(r.latency.p99_s * 1e6, 1),
+                fnum(r.total_energy_j, 3),
+            ]);
+        }
+        out.push_str(&st.render());
+        out
+    }
+}
+
+/// Everything a cluster serve produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Every completed request across all shards and failover passes, in
+    /// request-id order. `Completion::instance` is shard-local.
+    pub completions: Vec<Completion>,
+    /// Rejected requests (primary or replica queue full), in id order.
+    pub rejections: Vec<Rejection>,
+    /// Requests shed by a fault campaign on any shard, in id order.
+    pub sheds: Vec<Request>,
+    /// Ids of requests re-dispatched cross-shard at least once, ascending
+    /// and deduplicated.
+    pub failovers: Vec<u64>,
+    /// The aggregate report.
+    pub report: ClusterReport,
+}
+
+/// A sharded cluster over one trained suite.
+///
+/// Construction is cheap; each [`Cluster::serve`] builds its shard
+/// [`Server`]s on the fly (they borrow the suite), runs the primary pass
+/// on every shard, then drains the cross-shard failover chain until every
+/// request is completed, rejected, or shed.
+#[derive(Debug)]
+pub struct Cluster<'a> {
+    suite: &'a TaskSuite,
+    router: ShardRouter,
+    config: ClusterConfig,
+}
+
+impl<'a> Cluster<'a> {
+    /// Builds a cluster over a trained suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid ([`ClusterConfig::validate`]).
+    pub fn new(suite: &'a TaskSuite, config: ClusterConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cluster config: {e}"));
+        let router = if config.weights.is_empty() {
+            ShardRouter::new(config.shards)
+        } else {
+            ShardRouter::with_weights(config.weights.clone())
+        };
+        Self {
+            suite,
+            router,
+            config,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The frontend router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// A request's routing key: story digest mixed with its task index —
+    /// the same affinity unit the single-node scheduler uses.
+    fn route_key(&self, r: &Request) -> u64 {
+        let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
+        story_digest(sample) ^ (r.task_idx as u64).wrapping_mul(TASK_KEY_MIX)
+    }
+
+    /// The [`ServeConfig`] shard `shard` runs on failover pass `pass`.
+    fn shard_config(&self, shard: usize, pass: usize, export: bool) -> ServeConfig {
+        let mut cfg = self.config.base.clone();
+        if self.config.shards > 1 {
+            if let Some(Some(f)) = self.config.shard_faults.get(shard) {
+                cfg.faults = f.clone();
+            }
+            // Seed-pure per shard and per pass: the plan a shard injects
+            // never depends on shard count, iteration order, or what the
+            // other shards did.
+            cfg.faults.seed =
+                shard_fault_seed(cfg.faults.seed, ((pass as u64) << 32) | shard as u64);
+        }
+        cfg.failover_export = export;
+        cfg
+    }
+
+    /// Serves a trace across the cluster.
+    pub fn serve(&self, trace: &ArrivalTrace) -> ClusterOutcome {
+        let order: Vec<usize> = (0..self.config.shards).collect();
+        self.serve_in_order(trace, &order)
+    }
+
+    /// Serves with an explicit shard-iteration order. The outcome must be
+    /// identical for every permutation — shards share no state and the
+    /// aggregation folds in canonical `(pass, shard)` order — which the
+    /// determinism tests assert byte-for-byte. [`Cluster::serve`] uses the
+    /// identity order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a permutation of `0..shards`.
+    pub fn serve_in_order(&self, trace: &ArrivalTrace, order: &[usize]) -> ClusterOutcome {
+        let k = self.config.shards;
+        {
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            assert!(
+                sorted == (0..k).collect::<Vec<_>>(),
+                "order must be a permutation of 0..{k}"
+            );
+        }
+        let replicas = self.config.replication;
+
+        // Every request's replica chain and original arrival, keyed by id.
+        let routes: HashMap<u64, Vec<usize>> = trace
+            .requests
+            .iter()
+            .map(|r| (r.id, self.router.route(self.route_key(r), replicas)))
+            .collect();
+        let arrival_of: HashMap<u64, SimTime> =
+            trace.requests.iter().map(|r| (r.id, r.arrival)).collect();
+
+        // Pass 0: primary sub-traces, arrival order preserved.
+        let mut pending: Vec<Vec<Request>> = vec![Vec::new(); k];
+        for r in &trace.requests {
+            pending[routes[&r.id][0]].push(*r);
+        }
+
+        // Outcomes keyed by (pass, shard); folded in that canonical order
+        // below, so the caller's `order` can never leak into the report.
+        let mut passes: Vec<(usize, usize, ServeOutcome)> = Vec::new();
+        let mut pass = 0usize;
+        while pending.iter().any(|p| !p.is_empty()) || pass == 0 {
+            let mut next_pending: Vec<Vec<Request>> = vec![Vec::new(); k];
+            // The last link of every replica chain resolves locally (the
+            // stock watchdog re-queue), so the chain always terminates.
+            let export = pass + 1 < replicas;
+            for &shard in order {
+                let mut reqs = std::mem::take(&mut pending[shard]);
+                if reqs.is_empty() && pass > 0 {
+                    continue;
+                }
+                // Canonical replay order: exports were collected in the
+                // caller's shard order, which must not be observable.
+                reqs.sort_by_key(|r| (r.arrival, r.id));
+                let server = Server::new(self.suite, self.shard_config(shard, pass, export));
+                let sub = ArrivalTrace {
+                    requests: reqs,
+                    config: trace.config.clone(),
+                };
+                let out = server.serve(&sub);
+                for ex in &out.exports {
+                    // Re-dispatch on the next replica: the request arrives
+                    // there at the watchdog handoff instant and pays its
+                    // story upload like any other arrival.
+                    next_pending[routes[&ex.request.id][pass + 1]].push(Request {
+                        arrival: ex.at,
+                        ..ex.request
+                    });
+                }
+                passes.push((pass, shard, out));
+            }
+            pending = next_pending;
+            pass += 1;
+        }
+        passes.sort_by_key(|&(p, s, _)| (p, s));
+        self.aggregate(trace, &routes, &arrival_of, passes)
+    }
+
+    /// Folds per-pass outcomes (already in canonical `(pass, shard)`
+    /// order) into the cluster outcome.
+    #[allow(clippy::too_many_lines)]
+    fn aggregate(
+        &self,
+        trace: &ArrivalTrace,
+        routes: &HashMap<u64, Vec<usize>>,
+        arrival_of: &HashMap<u64, SimTime>,
+        passes: Vec<(usize, usize, ServeOutcome)>,
+    ) -> ClusterOutcome {
+        let k = self.config.shards;
+        let base = &self.config.base;
+
+        // ----- pool the request-level results ---------------------------
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut rejections: Vec<Rejection> = Vec::new();
+        let mut sheds: Vec<Request> = Vec::new();
+        let mut failover_ids: Vec<u64> = Vec::new();
+        let mut failover = ClusterFailover::default();
+        let mut replay_completed: u64 = 0;
+        let mut replay_latency_sum = 0.0;
+        for &(pass, _, ref out) in &passes {
+            completions.extend(out.completions.iter().cloned());
+            rejections.extend(out.rejections.iter().copied());
+            sheds.extend(out.sheds.iter().copied());
+            failover.exports += out.exports.len() as u64;
+            failover_ids.extend(out.exports.iter().map(|e| e.request.id));
+            if pass > 0 {
+                replay_completed += out.completions.len() as u64;
+                failover.lost += (out.rejections.len() + out.sheds.len()) as u64;
+                failover.replay_link_bytes += out.report.link.bytes;
+                replay_latency_sum += out
+                    .completions
+                    .iter()
+                    .map(|c| {
+                        c.timestamps
+                            .drain_end
+                            .saturating_sub(arrival_of[&c.request.id])
+                            .as_s()
+                    })
+                    .sum::<f64>();
+            }
+        }
+        failover.completed = replay_completed;
+        failover.mean_failover_latency_s = if replay_completed > 0 {
+            replay_latency_sum / replay_completed as f64
+        } else {
+            0.0
+        };
+        completions.sort_by_key(|c| c.request.id);
+        rejections.sort_by_key(|r| r.request.id);
+        sheds.sort_by_key(|r| r.id);
+        failover_ids.sort_unstable();
+        failover_ids.dedup();
+
+        // End-to-end latencies from the *original* arrival (a failover's
+        // replay enqueue is its handoff time, not its arrival), pooled
+        // across shards and ranked once — never averaged per shard.
+        let latencies: Vec<f64> = completions
+            .iter()
+            .map(|c| {
+                c.timestamps
+                    .drain_end
+                    .saturating_sub(arrival_of[&c.request.id])
+                    .as_s()
+            })
+            .collect();
+        let mean_queue_wait_s = if completions.is_empty() {
+            0.0
+        } else {
+            completions
+                .iter()
+                .map(|c| c.timestamps.queue_wait().as_s())
+                .sum::<f64>()
+                / completions.len() as f64
+        };
+        let correct = completions.iter().filter(|c| c.correct).count();
+
+        // ----- merge the report sections --------------------------------
+        let makespan_s = passes
+            .iter()
+            .map(|(_, _, o)| o.report.makespan_s)
+            .fold(0.0f64, f64::max);
+        let mut cache = CacheReport {
+            capacity: base.story_cache,
+            ..CacheReport::default()
+        };
+        let mut link = LinkReport::default();
+        let mut fault = FaultReport::default();
+        let mut numeric = NumericHealth::default();
+        let mut batch = BatchReport {
+            enabled: base.batch_window > 1,
+            window: base.batch_window,
+            ..BatchReport::default()
+        };
+        let mut prune = HopPruneReport {
+            enabled: base.hop_prune.enabled,
+            threshold: base.hop_prune.threshold,
+            ..HopPruneReport::default()
+        };
+        let mut phase_totals = PhaseCycles::default();
+        let mut speculated = 0usize;
+        let mut total_energy_j = 0.0;
+        let mut max_queue_depth = 0usize;
+        // MTTR means are re-weighted by their event counts so the merged
+        // figure is the fleet mean, not a mean of shard means.
+        let (mut mttr_l, mut mttr_i, mut mttr_s) = (0.0f64, 0.0f64, 0.0f64);
+        for (_, _, out) in &passes {
+            let r = &out.report;
+            cache.unique_stories += r.cache.unique_stories;
+            cache.hits += r.cache.hits;
+            cache.misses += r.cache.misses;
+            cache.evictions += r.cache.evictions;
+            cache.write_cycles_saved += r.cache.write_cycles_saved;
+            cache.upload_bytes_saved += r.cache.upload_bytes_saved;
+            cache.write_energy_saved_j += r.cache.write_energy_saved_j;
+            link.grants += r.link.grants;
+            link.bytes += r.link.bytes;
+            link.busy_s += r.link.busy_s;
+            phase_totals += r.phase_totals;
+            speculated += r.speculated;
+            total_energy_j += r.total_energy_j;
+            max_queue_depth = max_queue_depth.max(r.max_queue_depth);
+            if r.fault.enabled {
+                fault.enabled = true;
+                fault.link_corruptions += r.fault.link_corruptions;
+                fault.retransmits += r.fault.retransmits;
+                fault.retry_exhausted += r.fault.retry_exhausted;
+                fault.retry_link_s += r.fault.retry_link_s;
+                fault.retry_energy_j += r.fault.retry_energy_j;
+                fault.crashes += r.fault.crashes;
+                fault.watchdog_fires += r.fault.watchdog_fires;
+                fault.failovers += r.fault.failovers;
+                fault.shed_link += r.fault.shed_link;
+                fault.shed_overload += r.fault.shed_overload;
+                fault.degraded += r.fault.degraded;
+                fault.seu_events += r.fault.seu_events;
+                fault.scrubs += r.fault.scrubs;
+                fault.scrub_cycles += r.fault.scrub_cycles;
+                fault.scrub_energy_j += r.fault.scrub_energy_j;
+                mttr_l += r.fault.mttr_link_s * r.fault.retransmits as f64;
+                mttr_i += r.fault.mttr_instance_s * r.fault.failovers as f64;
+                mttr_s += r.fault.mttr_seu_s * r.fault.scrubs as f64;
+            }
+            if r.numeric.enabled {
+                numeric.enabled = true;
+                numeric.policy.clone_from(&r.numeric.policy);
+                numeric.flagged += r.numeric.flagged;
+                numeric.vetoed += r.numeric.vetoed;
+                numeric.failed_over += r.numeric.failed_over;
+                numeric.failover_cycles += r.numeric.failover_cycles;
+                numeric.failover_energy_j += r.numeric.failover_energy_j;
+                numeric.histogram.merge(&r.numeric.histogram);
+            }
+            if r.batch.enabled {
+                batch.groups += r.batch.groups;
+                batch.fused_groups += r.batch.fused_groups;
+                batch.batched_requests += r.batch.batched_requests;
+                if batch.size_histogram.len() < r.batch.size_histogram.len() {
+                    batch.size_histogram.resize(r.batch.size_histogram.len(), 0);
+                }
+                for (acc, &v) in batch.size_histogram.iter_mut().zip(&r.batch.size_histogram) {
+                    *acc += v;
+                }
+                batch.cycles_saved += r.batch.cycles_saved;
+                batch.energy_saved_j += r.batch.energy_saved_j;
+            }
+            if r.prune.enabled {
+                prune.pruned_completions += r.prune.pruned_completions;
+                prune.hops_executed += r.prune.hops_executed;
+                prune.hops_saved += r.prune.hops_saved;
+                prune.vetoes += r.prune.vetoes;
+                prune.cycles_saved += r.prune.cycles_saved;
+                prune.energy_saved_j += r.prune.energy_saved_j;
+            }
+        }
+        cache.hit_rate = if cache.hits + cache.misses > 0 {
+            cache.hits as f64 / (cache.hits + cache.misses) as f64
+        } else {
+            0.0
+        };
+        link.utilization = if makespan_s > 0.0 {
+            (link.busy_s / (k as f64 * makespan_s)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if fault.enabled {
+            fault.plan_seed = base.faults.seed;
+            let mean = |sum: f64, n: u64| if n > 0 { sum / n as f64 } else { 0.0 };
+            fault.mttr_link_s = mean(mttr_l, fault.retransmits);
+            fault.mttr_instance_s = mean(mttr_i, fault.failovers);
+            fault.mttr_seu_s = mean(mttr_s, fault.scrubs);
+        }
+
+        // Per-shard breakdown = each shard's primary pass; setup (model
+        // upload) is paid once per shard — replica passes reuse the loaded
+        // shard and add none.
+        let per_shard: Vec<ServeReport> = passes
+            .iter()
+            .filter(|&&(p, _, _)| p == 0)
+            .map(|(_, _, o)| o.report.clone())
+            .collect();
+        debug_assert_eq!(per_shard.len(), k);
+        let setup_s: f64 = per_shard.iter().map(|r| r.setup_s).sum();
+
+        debug_assert!(
+            {
+                let mut seen: Vec<u64> = completions
+                    .iter()
+                    .map(|c| c.request.id)
+                    .chain(rejections.iter().map(|r| r.request.id))
+                    .chain(sheds.iter().map(|r| r.id))
+                    .collect();
+                seen.sort_unstable();
+                let mut all: Vec<u64> = routes.keys().copied().collect();
+                all.sort_unstable();
+                seen == all
+            },
+            "completions + rejections + sheds must partition the trace"
+        );
+
+        let report = ClusterReport {
+            shards: k,
+            replication: self.config.replication,
+            requests: trace.requests.len(),
+            completed: completions.len(),
+            rejected: rejections.len(),
+            shed: sheds.len(),
+            accuracy: if completions.is_empty() {
+                0.0
+            } else {
+                correct as f64 / completions.len() as f64
+            },
+            makespan_s,
+            throughput_rps: if makespan_s > 0.0 {
+                completions.len() as f64 / makespan_s
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_latencies(&latencies),
+            mean_queue_wait_s,
+            max_queue_depth,
+            failover,
+            cache,
+            link,
+            phase_totals,
+            speculated,
+            total_energy_j,
+            setup_s,
+            answers_digest: answers_digest(
+                completions.iter().map(|c| (c.request.id, c.run.answer)),
+            ),
+            fault,
+            numeric,
+            batch,
+            prune,
+            per_shard,
+        };
+        ClusterOutcome {
+            completions,
+            rejections,
+            sheds,
+            failovers: failover_ids,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_deterministic_and_distinct() {
+        let router = ShardRouter::new(5);
+        for key in [0u64, 1, 42, u64::MAX] {
+            let chain = router.route(key, 3);
+            assert_eq!(chain, router.route(key, 3));
+            assert_eq!(chain.len(), 3);
+            let mut uniq = chain.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "duplicate shard in chain {chain:?}");
+            assert_eq!(router.primary(key), chain[0]);
+        }
+    }
+
+    #[test]
+    fn chains_are_prefix_consistent() {
+        // The R-replica chain is the first R entries of the full ranking,
+        // so growing R never reshuffles existing replicas.
+        let router = ShardRouter::new(6);
+        for key in 0..64u64 {
+            let full = router.route(key, 6);
+            for r in 1..=6 {
+                assert_eq!(router.route(key, r), full[..r]);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shards_attract_more_keys() {
+        let router = ShardRouter::with_weights(vec![4, 1, 1]);
+        let mut counts = [0usize; 3];
+        for key in 0..6000u64 {
+            counts[router.primary(key.wrapping_mul(0x2545_f491_4f6c_dd1d))] += 1;
+        }
+        assert!(
+            counts[0] > counts[1] * 2 && counts[0] > counts[2] * 2,
+            "weight-4 shard should dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_router_rejected() {
+        let _ = ShardRouter::with_weights(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn over_replication_rejected() {
+        let _ = ShardRouter::new(2).route(1, 3);
+    }
+
+    #[test]
+    fn config_validation_catches_bad_shapes() {
+        let ok = ClusterConfig {
+            shards: 4,
+            replication: 2,
+            ..ClusterConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+        let bad_repl = ClusterConfig {
+            shards: 2,
+            replication: 3,
+            ..ClusterConfig::default()
+        };
+        assert!(bad_repl.validate().is_err());
+        let bad_weights = ClusterConfig {
+            shards: 3,
+            replication: 1,
+            weights: vec![1, 2],
+            ..ClusterConfig::default()
+        };
+        assert!(bad_weights.validate().is_err());
+        let bad_overrides = ClusterConfig {
+            shards: 3,
+            replication: 1,
+            shard_faults: vec![None],
+            ..ClusterConfig::default()
+        };
+        assert!(bad_overrides.validate().is_err());
+        let zero = ClusterConfig {
+            shards: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(zero.validate().is_err());
+    }
+}

@@ -25,6 +25,19 @@
 //!                          └───────────────────────────────────────────┘
 //! ```
 //!
+//! # Scale-out
+//!
+//! The [`Cluster`] layer shards this single-node stack across K nodes: a
+//! frontend [`ShardRouter`] consistent-hashes each request's story onto
+//! its shard (weighted rendezvous hashing), every shard runs its own
+//! queue, link arbiter, instance pool, story cache and fault plan, and a
+//! replication factor R re-dispatches crash-stranded requests to the
+//! story's replica shard at real re-upload cost. A [`ClusterReport`]
+//! merges the per-shard reports (percentiles ranked over pooled samples,
+//! never averaged) and is byte-identical across engines, thread counts
+//! and shard-iteration order; at K=1/R=1 it reduces byte-identically to
+//! the single-node [`ServeReport`].
+//!
 //! # Determinism
 //!
 //! A serve is a pure function of `(suite, trace, config)`. The numeric
@@ -35,6 +48,7 @@
 //! [`ServeReport::answers_digest`]) are invariant across instance counts
 //! and scheduler policies.
 
+mod cluster;
 mod faults;
 mod numeric;
 mod report;
@@ -43,6 +57,9 @@ mod scheduler;
 mod server;
 mod trace;
 
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterFailover, ClusterOutcome, ClusterReport, ShardRouter,
+};
 pub use faults::{FaultConfig, FaultPlan, FaultPlanError, FaultReport};
 pub use mann_ith::{HopPrune, HopPruneError};
 pub use numeric::{NumericHealth, NumericPolicy, NumericPolicyError};
@@ -50,7 +67,7 @@ pub use report::{
     answers_digest, BatchReport, CacheReport, HopPruneReport, InstanceReport, LatencySummary,
     LinkReport, ServeReport,
 };
-pub use request::{Completion, Rejection, Request, RequestTimestamps};
+pub use request::{Completion, Export, Rejection, Request, RequestTimestamps};
 pub use scheduler::{InstanceView, SchedulePolicy, Scheduler};
 pub use server::{EngineMode, EngineModeError, ServeConfig, ServeOutcome, Server};
 pub use trace::{ArrivalTrace, TraceConfig};

@@ -43,6 +43,17 @@ impl LatencySummary {
             max_s: *sorted.last().expect("nonempty"),
         }
     }
+
+    /// Summarizes the union of several shards' raw latency samples — the
+    /// only sound way to merge shard summaries into a fleet summary.
+    /// Percentiles are not linear: averaging per-shard p99s misstates the
+    /// fleet tail whenever load is skewed (a cold shard's cheap p99 dilutes
+    /// a hot shard's expensive one), so cluster aggregation must pool the
+    /// samples and rank once.
+    pub fn from_pooled<'a>(groups: impl IntoIterator<Item = &'a [f64]>) -> Self {
+        let pooled: Vec<f64> = groups.into_iter().flatten().copied().collect();
+        Self::from_latencies(&pooled)
+    }
 }
 
 /// Per-instance utilization and energy.
@@ -495,6 +506,32 @@ mod tests {
             LatencySummary::from_latencies(&[]),
             LatencySummary::default()
         );
+    }
+
+    #[test]
+    fn pooled_p99_is_not_the_mean_of_shard_p99s() {
+        // Skewed two-shard campaign: shard A is uniformly fast; shard B
+        // hides a heavy tail. Nearest-rank p99 per shard: A = 1 ms,
+        // B = 100 ms, so the (wrong) mean-of-p99s merge reports 50.5 ms.
+        let a: Vec<f64> = vec![1e-3; 100];
+        let mut b: Vec<f64> = vec![1e-3; 90];
+        b.extend(std::iter::repeat_n(100e-3, 10));
+        let pa = LatencySummary::from_latencies(&a);
+        let pb = LatencySummary::from_latencies(&b);
+        assert_eq!(pa.p99_s, 1e-3);
+        assert_eq!(pb.p99_s, 100e-3);
+        let mean_of_p99s = (pa.p99_s + pb.p99_s) / 2.0;
+        // The pooled rank sees 10 slow samples out of 200 — the fleet p99
+        // *is* the tail value, nowhere near the averaged summaries.
+        let pooled = LatencySummary::from_pooled([a.as_slice(), b.as_slice()]);
+        assert_eq!(pooled.p99_s, 100e-3);
+        assert!((pooled.p99_s - mean_of_p99s).abs() > 40e-3);
+        // Pooling is also insensitive to shard order and matches a flat
+        // concatenation summarized directly.
+        let mut flat = a.clone();
+        flat.extend_from_slice(&b);
+        assert_eq!(pooled, LatencySummary::from_latencies(&flat));
+        assert_eq!(pooled, LatencySummary::from_pooled([b.as_slice(), &a]));
     }
 
     #[test]

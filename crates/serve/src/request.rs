@@ -93,6 +93,19 @@ pub struct Completion {
     pub failed_over: bool,
 }
 
+/// A stranded request handed back to the caller for cross-shard failover
+/// (see [`crate::ServeConfig`]'s `failover_export`): its instance crashed
+/// mid-flight and, instead of re-queueing locally, the watchdog exported it
+/// so a cluster can re-dispatch it on the story's replica shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Export {
+    /// The stranded request (original id and arrival preserved).
+    pub request: Request,
+    /// Simulated time of the watchdog handoff; the replica shard sees the
+    /// request arrive at this instant.
+    pub at: SimTime,
+}
+
 /// A request refused at the door: the bounded host queue was full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Rejection {

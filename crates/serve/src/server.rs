@@ -50,7 +50,7 @@ use crate::report::{
     answers_digest, BatchReport, CacheReport, HopPruneReport, InstanceReport, LatencySummary,
     LinkReport, ServeReport,
 };
-use crate::request::{Completion, Rejection, Request, RequestTimestamps};
+use crate::request::{Completion, Export, Rejection, Request, RequestTimestamps};
 use crate::scheduler::{InstanceView, Scheduler};
 use crate::trace::ArrivalTrace;
 use crate::SchedulePolicy;
@@ -162,6 +162,13 @@ pub struct ServeConfig {
     /// Adaptive hop pruning on every instance's datapath; the default
     /// (off) leaves the serve path byte-identical.
     pub hop_prune: HopPrune,
+    /// Cluster hook: when set, a watchdog-detected stranded request is
+    /// handed back to the caller in [`ServeOutcome::exports`] (with its
+    /// handoff time) instead of being re-queued locally, so a cluster can
+    /// re-dispatch it on the story's replica shard. Off by default —
+    /// standalone recovery stays local and byte-identical to before the
+    /// cluster layer existed.
+    pub failover_export: bool,
 }
 
 impl Default for ServeConfig {
@@ -183,6 +190,7 @@ impl Default for ServeConfig {
             numeric_policy: NumericPolicy::default(),
             batch_window: 0,
             hop_prune: HopPrune::default(),
+            failover_export: false,
         }
     }
 }
@@ -221,6 +229,9 @@ pub struct ServeOutcome {
     /// Requests admitted but later dropped by the fault campaign (retry
     /// exhaustion); empty without an active campaign.
     pub sheds: Vec<Request>,
+    /// Stranded requests handed off for cross-shard failover, in
+    /// request-id order; always empty unless `failover_export` is set.
+    pub exports: Vec<Export>,
     /// The aggregate report.
     pub report: ServeReport,
 }
@@ -669,6 +680,7 @@ impl<'a> Server<'a> {
         let mut computed = vec![false; n];
         let mut deg = vec![false; n];
         let mut wd_armed = vec![false; n];
+        let mut exported: Vec<Option<SimTime>> = vec![None; n];
         let mut dispatch_epoch = vec![0u64; n];
         let mut seu_pending: Vec<Option<SimTime>> = vec![None; n];
         // Per-link-job retry state (parallel to `jobs`).
@@ -1094,21 +1106,32 @@ impl<'a> Server<'a> {
                                 mttr_inst.0 += now.saturating_sub(t0);
                                 mttr_inst.1 += 1;
                             }
-                            assigned[r] = usize::MAX;
-                            queue.push_front(r);
-                            max_queue_depth = max_queue_depth.max(queue.len());
-                            dispatch!(now);
-                            grant!(now);
+                            if self.config.failover_export {
+                                // Cross-shard failover: hand the request
+                                // back to the cluster, which re-dispatches
+                                // it on the story's replica shard; this
+                                // node is done with it.
+                                done[r] = true;
+                                exported[r] = Some(now);
+                            } else {
+                                assigned[r] = usize::MAX;
+                                queue.push_front(r);
+                                max_queue_depth = max_queue_depth.max(queue.len());
+                                dispatch!(now);
+                                grant!(now);
+                            }
                         }
                         // Re-arm while the request is alive; the chain dies
-                        // with `done`.
-                        let p = plan.as_ref().expect("watchdog implies a campaign");
-                        heap.push(Entry {
-                            time: now + SimTime::from_s(p.config().watchdog_s),
-                            seq,
-                            event: Event::Watchdog(r),
-                        });
-                        seq += 1;
+                        // with `done` (which an export just set).
+                        if !done[r] {
+                            let p = plan.as_ref().expect("watchdog implies a campaign");
+                            heap.push(Entry {
+                                time: now + SimTime::from_s(p.config().watchdog_s),
+                                seq,
+                                event: Event::Watchdog(r),
+                            });
+                            seq += 1;
+                        }
                     }
                 }
                 Event::Seu(k) => {
@@ -1141,11 +1164,17 @@ impl<'a> Server<'a> {
             .filter(|&(i, _)| shed[i])
             .map(|(_, r)| *r)
             .collect();
+        let exports: Vec<Export> = trace
+            .requests
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| exported[i].map(|at| Export { request: *r, at }))
+            .collect();
         let mut completions: Vec<Completion> = trace
             .requests
             .iter()
             .enumerate()
-            .filter(|&(i, r)| !rejected_ids.contains(&r.id) && !shed[i])
+            .filter(|&(i, r)| !rejected_ids.contains(&r.id) && !shed[i] && exported[i].is_none())
             .map(|(i, r)| {
                 debug_assert!(ts[i].is_monotone(), "request {} timeline broken", r.id);
                 let run = match (hit[i], deg[i]) {
@@ -1245,6 +1274,7 @@ impl<'a> Server<'a> {
             completions,
             rejections,
             sheds,
+            exports,
             report,
         }
     }

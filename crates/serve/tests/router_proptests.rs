@@ -1,0 +1,121 @@
+//! Property tests for the cluster's rendezvous hash router.
+//!
+//! Three invariants hold for *any* digest population and shard layout:
+//!
+//! 1. Placement: every key maps to exactly R distinct live shards,
+//!    deterministically, and growing R only appends to the chain (prefix
+//!    consistency — a replica never moves because more were asked for).
+//! 2. Balance: over random digests, uniformly weighted shards each own a
+//!    primary share within a constant factor of fair, and a weighted
+//!    shard's share tracks its weight.
+//! 3. Minimal disruption: removing one shard moves only the keys that
+//!    ranked it — every surviving replica of every other key stays put,
+//!    in order.
+
+use std::collections::HashSet;
+
+use mann_serve::ShardRouter;
+use proptest::prelude::*;
+
+/// A deterministic spread of `n` well-mixed digests from one seed.
+fn digests(seed: u64, n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(move |i| {
+        (seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .rotate_left(17)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every digest maps to exactly R distinct live shards, stably, and
+    /// the chain is prefix-consistent in R.
+    #[test]
+    fn every_digest_maps_to_r_distinct_live_shards(
+        key in any::<u64>(),
+        shards in 1usize..12,
+        want in 1usize..6,
+    ) {
+        let replicas = want.min(shards);
+        let router = ShardRouter::new(shards);
+        let chain = router.route(key, replicas);
+        prop_assert_eq!(chain.len(), replicas);
+        prop_assert!(chain.iter().all(|&s| s < shards));
+        let uniq: HashSet<usize> = chain.iter().copied().collect();
+        prop_assert_eq!(uniq.len(), replicas, "chain repeats a shard");
+        prop_assert_eq!(chain.clone(), router.route(key, replicas));
+        let full = router.route(key, shards);
+        prop_assert_eq!(&chain[..], &full[..replicas]);
+    }
+
+    /// Uniform weights spread primaries within a constant factor of the
+    /// fair share (4000 keys over up to 8 shards; the bound is ~9 sigma
+    /// wide, so a failure means bias, not luck).
+    #[test]
+    fn uniform_distribution_is_balanced(seed in any::<u64>(), shards in 2usize..9) {
+        let router = ShardRouter::new(shards);
+        let n = 4000u64;
+        let mut counts = vec![0u64; shards];
+        for d in digests(seed, n) {
+            counts[router.primary(d)] += 1;
+        }
+        let fair = n as f64 / shards as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > fair * 0.70 && (c as f64) < fair * 1.30,
+                "shard {s} owns {c} of {n} (fair {fair:.0}): {counts:?}"
+            );
+        }
+    }
+
+    /// A weight-W shard's primary share tracks W times the unit share.
+    #[test]
+    fn weighted_share_tracks_weight(seed in any::<u64>(), weight in 2u32..5) {
+        let router = ShardRouter::with_weights(vec![weight, 1, 1, 1]);
+        let n = 6000u64;
+        let mut counts = vec![0u64; 4];
+        for d in digests(seed, n) {
+            counts[router.primary(d)] += 1;
+        }
+        let unit = (counts[1] + counts[2] + counts[3]) as f64 / 3.0;
+        let ratio = counts[0] as f64 / unit;
+        prop_assert!(
+            ratio > f64::from(weight) * 0.75 && ratio < f64::from(weight) * 1.35,
+            "weight {weight} shard drew {ratio:.2}x the unit share: {counts:?}"
+        );
+    }
+
+    /// Removing a shard moves only the keys that ranked it: any key whose
+    /// replica chain avoided the dead shard routes identically, and a key
+    /// that did rank it keeps its surviving replicas in order.
+    #[test]
+    fn removal_moves_only_the_dead_shards_keys(
+        seed in any::<u64>(),
+        shards in 3usize..9,
+        dead_pick in any::<usize>(),
+    ) {
+        let dead = dead_pick % shards;
+        let router = ShardRouter::new(shards);
+        let replicas = 2usize;
+        let mut moved = 0u64;
+        for d in digests(seed, 512) {
+            let before = router.route(d, replicas);
+            let after = router.route_live(d, replicas, |s| s != dead);
+            prop_assert_eq!(after.len(), replicas);
+            prop_assert!(after.iter().all(|&s| s != dead));
+            if before.contains(&dead) {
+                moved += 1;
+                // Survivors keep their rank: the new chain is the old one
+                // minus the dead shard, extended by the next-ranked shard.
+                let survivors: Vec<usize> =
+                    before.iter().copied().filter(|&s| s != dead).collect();
+                prop_assert_eq!(&after[..survivors.len()], &survivors[..]);
+            } else {
+                prop_assert_eq!(before, after, "untouched key moved");
+            }
+        }
+        // Sanity: the dead shard owned *some* keys, so the test bit.
+        prop_assert!(moved > 0, "dead shard {dead} owned no replicas of 512 keys");
+    }
+}

@@ -28,8 +28,8 @@ use mann_accel::core::experiments::{fig3, fig4, table1};
 use mann_accel::core::{SuiteConfig, TaskSuite};
 use mann_accel::hw::{AccelConfig, Accelerator};
 use mann_accel::serve::{
-    ArrivalTrace, EngineMode, FaultConfig, HopPrune, NumericPolicy, SchedulePolicy, ServeConfig,
-    Server, TraceConfig,
+    ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune, NumericPolicy,
+    SchedulePolicy, ServeConfig, Server, TraceConfig,
 };
 use serde::json::Value;
 use serde::Serialize;
@@ -337,6 +337,96 @@ fn serve_fault_campaign_is_pinned() {
     );
 
     check_golden("serve_faults.json", &out.report.to_value());
+}
+
+/// A K=4/R=2 cluster campaign with instance crashes armed on every shard:
+/// stranded requests fail over cross-shard to their story's replica, and
+/// the merged `ClusterReport` — pooled latency percentiles, summed fault
+/// sections, per-shard breakdown — is pinned byte for byte. Also asserts
+/// the two reduction laws: serial == parallel bytes, and a K=1/R=1
+/// cluster serializes byte-identically to the single-node report.
+#[test]
+fn serve_cluster_campaign_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 43,
+            mean_interarrival_s: 60e-6,
+            story_pool: 6,
+        },
+        s,
+    );
+    let config = ClusterConfig {
+        shards: 4,
+        replication: 2,
+        base: ServeConfig {
+            instances: 2,
+            queue_capacity: 128,
+            story_cache: 4,
+            policy: SchedulePolicy::StoryAffinity,
+            faults: FaultConfig {
+                seed: 9,
+                crashes: 2,
+                crash_cooldown_s: 500e-6,
+                watchdog_s: 250e-6,
+                ..FaultConfig::none()
+            },
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let out = Cluster::new(s, config.clone()).serve(&trace);
+    assert!(out.report.fault.enabled, "campaign must be active");
+    assert!(out.report.fault.crashes > 0, "campaign must crash");
+    assert!(
+        out.report.failover.exports > 0 && out.report.failover.completed > 0,
+        "campaign must fail over cross-shard"
+    );
+    assert_eq!(
+        out.report.completed + out.report.rejected + out.report.shed,
+        trace.len(),
+        "cluster outcome must partition the trace"
+    );
+
+    // Engine invariance holds for the merged report too.
+    let serial = Cluster::new(
+        s,
+        ClusterConfig {
+            base: ServeConfig {
+                engine: EngineMode::Serial,
+                ..config.base.clone()
+            },
+            ..config.clone()
+        },
+    )
+    .serve(&trace);
+    assert_eq!(
+        serial.report.to_value().print(),
+        out.report.to_value().print(),
+        "serial and parallel engines diverged on the cluster report"
+    );
+
+    // Reduction law: at K=1/R=1 the cluster layer is inert and its report
+    // bytes are the single-node report's bytes.
+    let single = Server::new(s, config.base.clone()).serve(&trace);
+    let inert = Cluster::new(
+        s,
+        ClusterConfig {
+            shards: 1,
+            replication: 1,
+            base: config.base.clone(),
+            ..ClusterConfig::default()
+        },
+    )
+    .serve(&trace);
+    assert_eq!(
+        inert.report.to_value().print(),
+        single.report.to_value().print(),
+        "K=1/R=1 cluster must reduce to the single-node report"
+    );
+
+    check_golden("serve_cluster.json", &out.report.to_value());
 }
 
 /// The stress suite for the numeric campaign: the trained embeddings are
