@@ -50,6 +50,7 @@ pub struct DatasetBuilder {
     n_train: usize,
     n_test: usize,
     seed: u64,
+    story_sentences: usize,
 }
 
 impl Default for DatasetBuilder {
@@ -58,6 +59,7 @@ impl Default for DatasetBuilder {
             n_train: 1000,
             n_test: 100,
             seed: 0,
+            story_sentences: 0,
         }
     }
 }
@@ -87,18 +89,32 @@ impl DatasetBuilder {
         self
     }
 
+    /// Pins every story to `sentences` sentences (0 keeps each task's
+    /// default shape). The hint is best-effort per task — see
+    /// [`crate::TaskGenerator::generate_with_story_len`]; task 1 honors it
+    /// exactly, which is the memory-scaling workload.
+    pub fn story_sentences(mut self, sentences: usize) -> Self {
+        self.story_sentences = sentences;
+        self
+    }
+
     /// Generates the dataset for one task.
     pub fn build_task(&self, task: TaskId) -> TaskData {
         let gen = task.generator();
         let tn = task.number() as u64;
         let mut train_rng = StdRng::seed_from_u64(self.seed ^ (tn << 32) ^ 0x7261_696e);
         let mut test_rng = StdRng::seed_from_u64(self.seed ^ (tn << 32) ^ 0x7465_7374);
-        let train = (0..self.n_train)
-            .map(|_| gen.generate(&mut train_rng))
-            .collect();
-        let test = (0..self.n_test)
-            .map(|_| gen.generate(&mut test_rng))
-            .collect();
+        // The unsized branch calls `generate` directly so pre-knob datasets
+        // draw the RNG identically (goldens stay byte-stable).
+        let draw = |rng: &mut StdRng| {
+            if self.story_sentences == 0 {
+                gen.generate(rng)
+            } else {
+                gen.generate_with_story_len(rng, self.story_sentences)
+            }
+        };
+        let train = (0..self.n_train).map(|_| draw(&mut train_rng)).collect();
+        let test = (0..self.n_test).map(|_| draw(&mut test_rng)).collect();
         TaskData { task, train, test }
     }
 
@@ -161,6 +177,32 @@ mod tests {
         for (i, d) in all.iter().enumerate() {
             assert_eq!(d.task.number(), i + 1);
         }
+    }
+
+    #[test]
+    fn story_sentences_knob_pins_task1_story_lengths() {
+        let sized = DatasetBuilder::new()
+            .train_samples(4)
+            .test_samples(2)
+            .seed(7)
+            .story_sentences(1200)
+            .build_task(TaskId::SingleSupportingFact);
+        for s in sized.train.iter().chain(&sized.test) {
+            assert_eq!(s.story.len(), 1200);
+        }
+        // Knob unset (0): identical to the pre-knob builder output.
+        let default = DatasetBuilder::new()
+            .train_samples(4)
+            .test_samples(2)
+            .seed(7)
+            .build_task(TaskId::SingleSupportingFact);
+        let zero = DatasetBuilder::new()
+            .train_samples(4)
+            .test_samples(2)
+            .seed(7)
+            .story_sentences(0)
+            .build_task(TaskId::SingleSupportingFact);
+        assert_eq!(default, zero);
     }
 
     #[test]

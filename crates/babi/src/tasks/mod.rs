@@ -63,6 +63,18 @@ pub trait TaskGenerator {
 
     /// Generates one sample (story + question + answer).
     fn generate(&self, rng: &mut StdRng) -> Sample;
+
+    /// Generates one sample whose story is `sentences` long — the memory-
+    /// scaling knob for multi-thousand-sentence stories. The hint is
+    /// best-effort: tasks whose narrative structure does not stretch to
+    /// arbitrary lengths (most of the 20) ignore it and generate their
+    /// default shape, so it MUST only be relied on for tasks that document
+    /// support (task 1). Implementations must keep the same determinism
+    /// contract as [`TaskGenerator::generate`].
+    fn generate_with_story_len(&self, rng: &mut StdRng, sentences: usize) -> Sample {
+        let _ = sentences;
+        self.generate(rng)
+    }
 }
 
 /// Identifier of one of the 20 bAbI tasks, in the paper's numbering.

@@ -35,13 +35,12 @@ impl SingleSupportingFact {
     }
 }
 
-impl TaskGenerator for SingleSupportingFact {
-    fn id(&self) -> TaskId {
-        TaskId::SingleSupportingFact
-    }
-
-    fn generate(&self, rng: &mut StdRng) -> Sample {
-        let n_sentences = rng.gen_range(4..=8);
+impl SingleSupportingFact {
+    /// The shared story builder: `n_sentences` moves over `n_actors`
+    /// actors, answered by the subject's latest move. Both entry points
+    /// funnel here so the default and length-pinned shapes share one
+    /// narrative (and one oracle).
+    fn generate_sized(&self, rng: &mut StdRng, n_sentences: usize) -> Sample {
         let n_actors = rng.gen_range(2..=4);
         let actors = pick_distinct(rng, PERSONS, n_actors);
         let mut location_of: BTreeMap<&str, (usize, &str)> = BTreeMap::new();
@@ -66,6 +65,24 @@ impl TaskGenerator for SingleSupportingFact {
             answer,
             vec![support],
         )
+    }
+}
+
+impl TaskGenerator for SingleSupportingFact {
+    fn id(&self) -> TaskId {
+        TaskId::SingleSupportingFact
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Sample {
+        let n_sentences = rng.gen_range(4..=8);
+        self.generate_sized(rng, n_sentences)
+    }
+
+    /// Task 1 honors the length hint exactly: the move/ask structure is
+    /// length-free, so stories stretch to thousands of sentences without
+    /// changing the answer semantics (the oracle replays any length).
+    fn generate_with_story_len(&self, rng: &mut StdRng, sentences: usize) -> Sample {
+        self.generate_sized(rng, sentences.max(1))
     }
 }
 
@@ -110,6 +127,20 @@ mod tests {
                 assert_ne!(&later[0], subject);
             }
         }
+    }
+
+    #[test]
+    fn sized_stories_honor_the_length_and_stay_answerable() {
+        let g = SingleSupportingFact::new();
+        for len in [1usize, 4, 64, 2000] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let s = g.generate_with_story_len(&mut rng, len);
+            assert_eq!(s.story.len(), len);
+            assert_eq!(s.answer, oracle(&s));
+        }
+        // A zero hint is clamped to one sentence, never an empty story.
+        let mut rng = StdRng::seed_from_u64(22);
+        assert_eq!(g.generate_with_story_len(&mut rng, 0).story.len(), 1);
     }
 
     #[test]

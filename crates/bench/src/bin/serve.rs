@@ -44,6 +44,18 @@
 //! `--link-latency-us` override the PCIe model (fusion needs the link to
 //! outrun the fabric, which the default 65 us/transfer link never does).
 //!
+//! `--mem-index k,nprobe,band` (default: `MANN_MEM_INDEX` or off) arms the
+//! IVF candidate index in front of every instance's MEM module: each
+//! addressing hop probes the `nprobe` nearest of `k` centroids and
+//! exact-scores only the surviving candidate slots, falling back to the
+//! full scan whenever the best candidate is within `band` of the worst
+//! retained one. `--mem-index off` disables it explicitly; malformed specs
+//! (k < 1, nprobe outside 1..=k, negative or non-finite band) are hard
+//! errors, for the flag and the env var alike. Pair it with
+//! `--story-sentences <n>` (0 = task defaults), which pins every
+//! generated story to exactly `n` sentences — the index pays off only
+//! once stories are long enough that exact addressing dominates.
+//!
 //! `--shards K` (default 1) serves the trace on a story-sharded cluster:
 //! a rendezvous-hash router places each story on one of K shard nodes,
 //! each running the full serve stack above. `--replication R` (default 1)
@@ -62,7 +74,7 @@
 
 use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
-use mann_hw::{StoryCache, DEFAULT_STORY_CACHE};
+use mann_hw::{MemIndexConfig, StoryCache, DEFAULT_STORY_CACHE};
 use mann_serve::{
     ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune, NumericPolicy,
     SchedulePolicy, ServeConfig, Server, TraceConfig,
@@ -92,6 +104,7 @@ struct ServeArgs {
     embed_scale: f32,
     batch_window: usize,
     hop_prune: HopPrune,
+    mem_index: MemIndexConfig,
     link_gbps: Option<f64>,
     link_latency_us: Option<f64>,
     shards: usize,
@@ -124,6 +137,7 @@ impl ServeArgs {
             embed_scale: 1.0,
             batch_window: 0,
             hop_prune: HopPrune::from_env().unwrap_or_else(|e| usage_bail(e)),
+            mem_index: MemIndexConfig::from_env().unwrap_or_else(|e| usage_bail(e)),
             link_gbps: None,
             link_latency_us: None,
             shards: 1,
@@ -202,6 +216,10 @@ impl ServeArgs {
                 "--hop-prune" => {
                     let v = grab("--hop-prune");
                     out.hop_prune = HopPrune::parse(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--mem-index" => {
+                    let v = grab("--mem-index");
+                    out.mem_index = MemIndexConfig::parse(&v).unwrap_or_else(|e| usage_bail(e));
                 }
                 "--link-gbps" => {
                     let v = grab("--link-gbps");
@@ -291,6 +309,7 @@ fn main() {
         numeric_policy: serve_args.numeric_policy,
         batch_window: serve_args.batch_window,
         hop_prune: serve_args.hop_prune,
+        mem_index: serve_args.mem_index,
         ..ServeConfig::default()
     };
     eprintln!(
@@ -320,6 +339,9 @@ fn main() {
     }
     if config.hop_prune.enabled {
         eprintln!("[serve] adaptive hop pruning on ({})", config.hop_prune);
+    }
+    if config.mem_index.enabled {
+        eprintln!("[serve] candidate index armed ({})", config.mem_index);
     }
     if config.faults.is_active() {
         eprintln!(

@@ -27,6 +27,10 @@ pub struct HarnessArgs {
     /// Train one joint model over all tasks (the paper's setting) instead
     /// of per-task models.
     pub joint: bool,
+    /// Exact sentence count per generated story (0 = task defaults).
+    /// Large values put the serve path in the regime the MEM candidate
+    /// index targets (DESIGN.md §15).
+    pub story_sentences: usize,
 }
 
 impl Default for HarnessArgs {
@@ -39,6 +43,7 @@ impl Default for HarnessArgs {
             seed: 0,
             reps: 100,
             joint: false,
+            story_sentences: 0,
         }
     }
 }
@@ -65,6 +70,9 @@ impl HarnessArgs {
                 "--test" => out.test = grab("--test") as usize,
                 "--seed" => out.seed = grab("--seed"),
                 "--reps" => out.reps = grab("--reps"),
+                "--story-sentences" => {
+                    out.story_sentences = grab("--story-sentences") as usize;
+                }
                 "--joint" => out.joint = true,
                 _ => {}
             }
@@ -81,6 +89,7 @@ impl HarnessArgs {
         cfg.train_samples = self.train;
         cfg.test_samples = self.test;
         cfg.seed = self.seed;
+        cfg.story_sentences = self.story_sentences;
         cfg
     }
 
@@ -124,7 +133,16 @@ mod tests {
     fn parse_reads_known_flags_and_ignores_others() {
         let a = HarnessArgs::parse(
             [
-                "--tasks", "3", "--zzz", "--train", "50", "--reps", "7", "--joint",
+                "--tasks",
+                "3",
+                "--zzz",
+                "--train",
+                "50",
+                "--reps",
+                "7",
+                "--story-sentences",
+                "500",
+                "--joint",
             ]
             .iter()
             .map(|s| (*s).to_owned()),
@@ -132,6 +150,7 @@ mod tests {
         assert_eq!(a.tasks, 3);
         assert_eq!(a.train, 50);
         assert_eq!(a.reps, 7);
+        assert_eq!(a.story_sentences, 500);
         assert!(a.joint);
         assert_eq!(a.test, HarnessArgs::default().test);
     }
@@ -151,10 +170,12 @@ mod tests {
             seed: 9,
             reps: 1,
             joint: false,
+            story_sentences: 321,
         };
         let cfg = a.suite_config();
         assert_eq!(cfg.tasks.len(), 2);
         assert_eq!(cfg.train_samples, 10);
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.story_sentences, 321);
     }
 }

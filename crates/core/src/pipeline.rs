@@ -16,6 +16,10 @@ pub struct SuiteConfig {
     pub test_samples: usize,
     /// Master seed.
     pub seed: u64,
+    /// Pin every story to this many sentences (0 keeps each task's default
+    /// shape). Best-effort per task — task 1 honors it exactly, which is
+    /// the large-memory workload for the addressing index.
+    pub story_sentences: usize,
     /// Model architecture.
     pub model: ModelConfig,
     /// Training hyper-parameters.
@@ -32,6 +36,7 @@ impl Default for SuiteConfig {
             train_samples: 1000,
             test_samples: 100,
             seed: 0,
+            story_sentences: 0,
             model: ModelConfig::default(),
             train: TrainConfig::default(),
             rho: 1.0,
@@ -49,6 +54,7 @@ impl SuiteConfig {
             train_samples: 250,
             test_samples: 40,
             seed: 0,
+            story_sentences: 0,
             model: ModelConfig {
                 embed_dim: 24,
                 hops: 2,
@@ -135,6 +141,7 @@ impl TaskSuite {
             .train_samples(config.train_samples)
             .test_samples(config.test_samples)
             .seed(config.seed)
+            .story_sentences(config.story_sentences)
             .build_task(task);
         let mut train_cfg = config.train;
         // Decorrelate per-task initialization while keeping determinism.
@@ -180,6 +187,7 @@ impl TaskSuite {
                     .train_samples(config.train_samples)
                     .test_samples(config.test_samples)
                     .seed(config.seed)
+                    .story_sentences(config.story_sentences)
                     .build_task(task)
             })
             .collect();
@@ -268,6 +276,7 @@ mod tests {
             train_samples: 150,
             test_samples: 15,
             seed: 3,
+            story_sentences: 0,
             model: ModelConfig {
                 embed_dim: 16,
                 hops: 2,

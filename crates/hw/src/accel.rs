@@ -17,6 +17,7 @@ use memn2n::flops::{count_inference_with_output_rows, FlopBreakdown};
 use memn2n::TrainedModel;
 use serde::{Deserialize, Serialize};
 
+use crate::index::{IndexCounters, MemIndexConfig};
 use crate::modules::{InputWriteModule, MemModule, OutputModule, ReadModule};
 use crate::quantize::quantize_params_tracked;
 use crate::story::{story_digest, StoryCache};
@@ -45,6 +46,9 @@ pub struct AccelConfig {
     /// Adaptive hop pruning: skip the remaining MEM/READ hops once a hop's
     /// attention has converged (off by default — the exact seed datapath).
     pub hop_prune: HopPrune,
+    /// Candidate-generation index in front of MEM: sub-linear content-based
+    /// addressing over large stories (off by default — the exact O(L) scan).
+    pub mem_index: MemIndexConfig,
 }
 
 impl AccelConfig {
@@ -195,6 +199,10 @@ pub struct InferenceRun {
     pub out_stream_cycles: u64,
     /// Per-module numeric-event registers.
     pub numeric: NumericReport,
+    /// Candidate-index accounting: slots scanned vs skipped, fallback
+    /// rescans, build cost and addressing cycles saved. All-zero when
+    /// `mem_index` is off.
+    pub index: IndexCounters,
 }
 
 impl InferenceRun {
@@ -225,6 +233,7 @@ pub struct ResidentStory {
     story_words: usize,
     digest: u64,
     numeric: NumericStatus,
+    index_build: Cycles,
 }
 
 impl ResidentStory {
@@ -251,6 +260,12 @@ impl ResidentStory {
     /// Numeric events recorded while embedding and writing the story.
     pub fn numeric(&self) -> NumericStatus {
         self.numeric
+    }
+
+    /// Cycles the candidate-index build added to the write phase (zero when
+    /// `mem_index` is off).
+    pub fn index_build_cycles(&self) -> Cycles {
+        self.index_build
     }
 }
 
@@ -353,6 +368,15 @@ impl Accelerator {
             mem.write_tracked(row_a, row_c, &mut numeric);
             phases.write += c;
         }
+        // With `--mem-index` armed the write path clusters the freshly
+        // written address rows into the candidate index; the build rides
+        // the INPUT & WRITE phase (a story-upload cost the cache amortizes
+        // exactly like the embedding work).
+        let mut index_build = Cycles::ZERO;
+        if self.config.mem_index.enabled {
+            index_build = mem.build_index(self.config.mem_index, &mut numeric);
+            phases.write += index_build;
+        }
         let story_words = sample.story_words();
         // One CONTROL cycle per story stream word: BEGIN_STORY, a SENTENCE
         // header per sentence, and the word payloads (the stream layout of
@@ -364,6 +388,7 @@ impl Accelerator {
             story_words,
             digest: story_digest(sample),
             numeric,
+            index_build,
         }
     }
 
@@ -423,6 +448,8 @@ impl Accelerator {
         let mut hops_executed = vec![0usize; n];
         let mut hops_saved = vec![0usize; n];
         let mut prune_vetoes = vec![0usize; n];
+        let use_index = self.config.mem_index.enabled && mem.index().is_some();
+        let mut index = vec![IndexCounters::default(); n];
         // Queries still running; pruned queries drop out between hops.
         let mut active: Vec<usize> = (0..n).collect();
         let mut batch_keys: Vec<Vec<f32>> = Vec::new();
@@ -434,18 +461,43 @@ impl Accelerator {
             if active.is_empty() {
                 break;
             }
-            // Each hop the batch shares one story stream; every live query
-            // beyond the first saves the full per-hop row stream.
-            saved_stream += mem.stream_cycles_per_hop() * (active.len() as u64 - 1);
             batch_keys.clear();
             batch_keys.extend(active.iter().map(|&q| keys[q].clone()));
             let mut sts: Vec<NumericStatus> = active.iter().map(|&q| numeric[q].mem).collect();
-            let acs = mem.address_batch_flagged_into_tracked(
-                &batch_keys,
-                &mut attentions,
-                &mut sts,
-                &mut flags,
-            );
+            let acs = if use_index {
+                let exact = mem.exact_addressing_cycles();
+                let (acs, stats, union) = mem.address_indexed_batch_flagged_into_tracked(
+                    &batch_keys,
+                    &mut attentions,
+                    &mut sts,
+                    &mut flags,
+                );
+                // Fused address stream: the batch fetches the *union* of
+                // the queries' candidate rows once instead of each query's
+                // own scan; the soft-read stream still touches every slot
+                // and is shared in full. With every hop falling back this
+                // reduces exactly to the unindexed sharing formula.
+                let scanned_sum: u64 = stats.iter().map(|s| s.scanned).sum();
+                saved_stream += (scanned_sum - union) * mem.slots_per_row()
+                    + (active.len() as u64 - 1) * mem.len() as u64 * mem.slots_per_row();
+                for (i, &q) in active.iter().enumerate() {
+                    index[q].scanned_slots += stats[i].scanned;
+                    index[q].skipped_slots += stats[i].skipped;
+                    index[q].fallbacks += u64::from(stats[i].fallback);
+                    index[q].cycles_saved += exact.saturating_sub(acs[i].get());
+                }
+                acs
+            } else {
+                // Each hop the batch shares one story stream; every live
+                // query beyond the first saves the full per-hop row stream.
+                saved_stream += mem.stream_cycles_per_hop() * (active.len() as u64 - 1);
+                mem.address_batch_flagged_into_tracked(
+                    &batch_keys,
+                    &mut attentions,
+                    &mut sts,
+                    &mut flags,
+                )
+            };
             let rcs = mem.read_batch_into_tracked(&attentions, &mut reads, &mut sts);
             for (i, &q) in active.iter().enumerate() {
                 numeric[q].mem = sts[i];
@@ -547,6 +599,7 @@ impl Accelerator {
                         out.comparisons as u64 * self.output.row_stream_cycles()
                     },
                     numeric,
+                    index: index[q],
                 }
             })
             .collect();
@@ -639,6 +692,10 @@ impl Accelerator {
             mem_stream_per_hop: query.mem_stream_per_hop,
             out_stream_cycles: query.out_stream_cycles,
             numeric: query.numeric,
+            index: IndexCounters {
+                build_cycles: story.index_build.get() + query.index.build_cycles,
+                ..query.index
+            },
         }
     }
 
@@ -710,6 +767,11 @@ impl Accelerator {
         // instead of being cloned.
         let mem = &story.mem;
         let prune = self.config.hop_prune;
+        let use_index = self.config.mem_index.enabled && mem.index().is_some();
+        let mut index = IndexCounters::default();
+        if include_story {
+            index.build_cycles = story.index_build.get();
+        }
         let mut key = q_emb;
         let mut hidden = vec![0.0f32; self.embed_dim];
         let mut attention: Vec<f32> = Vec::new();
@@ -725,8 +787,22 @@ impl Accelerator {
             // With pruning enabled the addressing pass also captures
             // per-row numeric provenance (identical values, cycles and
             // merged status) so a converged-but-saturated winner can veto
-            // the early exit.
-            let ac = if prune.enabled {
+            // the early exit. The indexed pass always carries the flags, so
+            // it composes with pruning unchanged.
+            let ac = if use_index {
+                let exact = mem.exact_addressing_cycles();
+                let (ac, hop_stats) = mem.address_indexed_flagged_into_tracked(
+                    &key,
+                    &mut attention,
+                    &mut numeric.mem,
+                    &mut flags,
+                );
+                index.scanned_slots += hop_stats.scanned;
+                index.skipped_slots += hop_stats.skipped;
+                index.fallbacks += u64::from(hop_stats.fallback);
+                index.cycles_saved += exact.saturating_sub(ac.get());
+                ac
+            } else if prune.enabled {
                 mem.address_flagged_into_tracked(&key, &mut attention, &mut numeric.mem, &mut flags)
             } else {
                 mem.address_into_tracked(&key, &mut attention, &mut numeric.mem)
@@ -835,6 +911,7 @@ impl Accelerator {
                 out.comparisons as u64 * self.output.row_stream_cycles()
             },
             numeric,
+            index,
         }
     }
 
@@ -1254,6 +1331,107 @@ mod tests {
             let (single, s0) = accel.query_batch(&story, &batch[..1]);
             assert_eq!(s0, 0);
             assert_eq!(single[0], runs[0]);
+        }
+    }
+
+    fn indexed_config(k: usize, nprobe: usize, band: f32) -> AccelConfig {
+        AccelConfig {
+            mem_index: MemIndexConfig::with_params(k, nprobe, band),
+            ..AccelConfig::default()
+        }
+    }
+
+    #[test]
+    fn disabled_index_reports_zero_counters() {
+        let (model, _, test) = trained();
+        let accel = Accelerator::new(model, AccelConfig::default());
+        let run = accel.run(&test[0]);
+        assert_eq!(run.index, IndexCounters::default());
+        let story = accel.write_story(&test[0]);
+        assert_eq!(story.index_build_cycles(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn indexed_runs_partition_counters_and_charge_the_build() {
+        let (model, _, test) = trained();
+        let base = Accelerator::new(model.clone(), AccelConfig::default());
+        let indexed = Accelerator::new(model, indexed_config(4, 2, 0.0));
+        let mut agree = 0usize;
+        for s in &test {
+            let b = base.run(s);
+            let r = indexed.run(s);
+            assert_eq!(r.cycles, r.phases.total());
+            // Every executed hop scans or skips each occupied slot once.
+            let l = s.sentences.len() as u64;
+            assert_eq!(
+                r.index.scanned_slots + r.index.skipped_slots,
+                l * r.hops_executed as u64
+            );
+            assert!(r.index.build_cycles > 0);
+            assert!(
+                r.phases.write > b.phases.write,
+                "build rides the write phase"
+            );
+            if r.answer == b.answer {
+                agree += 1;
+            }
+        }
+        // Tiny 4-8 sentence stories are the index's worst case (candidate
+        // sets of 2-4 slots); the ≥99% agreement floor is gated in
+        // perf_gate at the large-memory operating point.
+        assert!(agree * 10 >= test.len() * 8, "{agree}/{}", test.len());
+    }
+
+    #[test]
+    fn wide_band_index_always_falls_back_to_exact_answers() {
+        let (model, _, test) = trained();
+        let base = Accelerator::new(model.clone(), AccelConfig::default());
+        let indexed = Accelerator::new(model, indexed_config(4, 1, 1.0e9));
+        for s in test.iter().take(8) {
+            let b = base.run(s);
+            let r = indexed.run(s);
+            // Every hop rescans: answers and attention-side results match
+            // the exact datapath; only probe/build overhead is added.
+            assert_eq!(r.answer, b.answer);
+            assert_eq!(r.comparisons, b.comparisons);
+            assert_eq!(r.index.fallbacks, r.hops_executed as u64);
+            assert_eq!(r.index.skipped_slots, 0);
+            assert_eq!(r.index.cycles_saved, 0);
+            assert!(r.phases.addressing > b.phases.addressing);
+        }
+    }
+
+    #[test]
+    fn indexed_split_composes_to_the_monolithic_run() {
+        let (model, _, test) = trained();
+        let accel = Accelerator::new(model, indexed_config(4, 2, 0.0));
+        for s in test.iter().take(8) {
+            let full = accel.run(s);
+            let story = accel.write_story(s);
+            let hit = accel.answer_query(&story, s);
+            assert_eq!(hit.index.build_cycles, 0, "hit form never pays the build");
+            let composed = accel.compose_uncached(&story, &hit, s);
+            assert_eq!(composed, full);
+        }
+    }
+
+    #[test]
+    fn indexed_batched_queries_match_per_query_runs() {
+        let (model, _, test) = trained();
+        for config in [indexed_config(4, 1, 0.0), indexed_config(4, 1, 1.0e9)] {
+            let accel = Accelerator::new(model.clone(), config);
+            let story = accel.write_story(&test[0]);
+            let batch: Vec<&EncodedSample> = test.iter().take(5).collect();
+            let (runs, saved) = accel.query_batch(&story, &batch);
+            for (run, s) in runs.iter().zip(&batch) {
+                assert_eq!(run, &accel.answer_query(&story, s));
+            }
+            assert!(saved > 0, "read-stream sharing must survive indexing");
+            let (single, s0) = accel.query_batch(&story, &batch[..1]);
+            assert_eq!(single[0], runs[0]);
+            // A group of one shares nothing on the read stream, and its
+            // address stream is exactly its own scan.
+            assert_eq!(s0, 0);
         }
     }
 

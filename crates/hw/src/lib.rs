@@ -52,6 +52,7 @@ pub mod sigmoid_unit;
 pub mod trace;
 pub mod write_path;
 
+pub mod index;
 pub mod story;
 
 mod accel;
@@ -68,6 +69,7 @@ pub use energy::PowerModel;
 pub use fault::{
     fault_coin, fault_mix, inject_upsets, inject_upsets_in_bits, shard_fault_seed, UpsetSite,
 };
+pub use index::{IndexCounters, IndexedHopStats, MemIndex, MemIndexConfig, MemIndexError};
 pub use pcie::{LinkArbiter, LinkGrant, PcieLink};
 pub use quantize::{quantize_params, quantize_params_tracked};
 pub use resource::{ResourceEstimate, VCU107_BUDGET};

@@ -20,6 +20,7 @@ use mann_linalg::{Fixed, NumericStatus};
 use crate::adder_tree::AdderTree;
 use crate::div_unit::DivUnit;
 use crate::exp_unit::ExpUnit;
+use crate::index::{IndexedHopStats, MemIndex, MemIndexConfig};
 use crate::{Cycles, DatapathConfig};
 
 /// Address + content memory with the softmax datapath.
@@ -31,6 +32,7 @@ pub struct MemModule {
     exp: ExpUnit,
     div: DivUnit,
     embed_dim: usize,
+    index: Option<MemIndex>,
 }
 
 impl MemModule {
@@ -49,13 +51,16 @@ impl MemModule {
             exp: ExpUnit::new(ExpLut::new(dp.exp_lut_entries, -16.0), dp.exp_latency),
             div: DivUnit::new(dp.div_latency),
             embed_dim,
+            index: None,
         }
     }
 
-    /// Clears both memories (the `BEGIN_STORY` control action).
+    /// Clears both memories (the `BEGIN_STORY` control action). Any
+    /// candidate index built over the previous story is dropped with it.
     pub fn reset(&mut self) {
         self.rows_a.clear();
         self.rows_c.clear();
+        self.index = None;
     }
 
     /// Number of occupied memory slots `L`.
@@ -465,6 +470,227 @@ impl MemModule {
         2 * self.rows_a.len() as u64 * per_dot
     }
 
+    /// Issue slots one stored row occupies on the score (or read) stream:
+    /// `ceil(E / width)` — the unit of the candidate-index savings
+    /// accounting.
+    pub fn slots_per_row(&self) -> u64 {
+        self.embed_dim.div_ceil(self.tree.width()) as u64
+    }
+
+    /// Builds the per-story candidate index over the occupied address rows
+    /// (the extra story-upload work when `--mem-index` is armed), replacing
+    /// any previous index. Returns the build's cycle cost, which the
+    /// caller charges to the write phase; centroid-quantizer events land in
+    /// `st` like every other BRAM write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is disabled.
+    pub fn build_index(&mut self, config: MemIndexConfig, st: &mut NumericStatus) -> Cycles {
+        let idx = MemIndex::build(&self.rows_a, config, &self.tree, self.embed_dim, st);
+        let cycles = Cycles::new(idx.build_cycles());
+        self.index = Some(idx);
+        cycles
+    }
+
+    /// The candidate index built by [`MemModule::build_index`], if any.
+    pub fn index(&self) -> Option<&MemIndex> {
+        self.index.as_ref()
+    }
+
+    /// Cycle cost of one exact addressing pass over all `L` occupied slots
+    /// — the counterfactual the indexed path's `cycles_saved` accounting
+    /// compares against. Matches [`MemModule::address_into_tracked`]'s
+    /// count term by term: score stream, exp pipeline occupancy,
+    /// denominator reduce, and the sequential divider.
+    pub fn exact_addressing_cycles(&self) -> u64 {
+        let l = self.rows_a.len();
+        if l == 0 {
+            return 0;
+        }
+        let score = l as u64 * self.slots_per_row() + self.tree.depth() + 1;
+        let exp = l as u64 + self.exp.latency();
+        let reduce = self.tree.reduce_cycles(l).get();
+        let div = l as u64 * self.div.latency();
+        score + exp + reduce + div
+    }
+
+    /// One indexed addressing hop: probe the candidate index, score only
+    /// the surviving candidates exactly, and fall back to the full scan
+    /// when the margin is too tight or the probe arithmetic saturated.
+    /// Returns the hop's cycles, its counter slice, and the scanned slot
+    /// set (`None` when the hop fell back and streamed every slot) for the
+    /// batch union accounting.
+    fn indexed_hop_core(
+        &self,
+        key: &[f32],
+        attention: &mut Vec<f32>,
+        st: &mut NumericStatus,
+        flags: &mut Vec<bool>,
+    ) -> (Cycles, IndexedHopStats, Option<Vec<usize>>) {
+        let idx = self
+            .index
+            .as_ref()
+            .expect("indexed addressing needs a built index");
+        attention.clear();
+        flags.clear();
+        let l = self.rows_a.len();
+        if l == 0 {
+            let stats = IndexedHopStats {
+                scanned: 0,
+                skipped: 0,
+                fallback: false,
+            };
+            return (Cycles::ZERO, stats, Some(Vec::new()));
+        }
+        let band = idx.config().band;
+        let mut key_st = NumericStatus::default();
+        let key_q: Vec<Fixed> = key
+            .iter()
+            .map(|&y| Fixed::from_f32_tracked(y, &mut key_st))
+            .collect();
+        let mut probe_st = NumericStatus::default();
+        let (candidates, probe_cycles, probe_stressed) = idx.probe(&key_q, &mut probe_st);
+        // Exact scoring over the surviving candidates: the same per-row MAC
+        // chain as the full scan, restricted to the candidate rows.
+        let c = candidates.len();
+        let mut rows_st = NumericStatus::default();
+        let mut cand_flags = Vec::with_capacity(c);
+        let mut scores = Vec::with_capacity(c);
+        let mut scores_fx = Vec::with_capacity(c);
+        for &slot in &candidates {
+            let mut row_st = NumericStatus::default();
+            let mut acc = Fixed::ZERO;
+            for (x, y) in self.rows_a[slot].iter().zip(&key_q) {
+                acc = acc.add_tracked(x.mul_tracked(*y, &mut row_st), &mut row_st);
+            }
+            cand_flags.push(key_st.stressed() || row_st.stressed());
+            rows_st.merge(&row_st);
+            scores.push(acc.to_f32());
+            scores_fx.push(acc);
+        }
+        let score_cycles = Cycles::new(c as u64 * self.slots_per_row() + self.tree.depth() + 1);
+        // ExitGuard-style margin check: when the best candidate score sits
+        // within `band` of the worst retained one, the probe carried no
+        // usable margin — rerun the exact scan. A single-candidate hop has
+        // zero spread and always falls back. Saturated probe arithmetic
+        // falls back unconditionally.
+        let best = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let worst = scores.iter().copied().fold(f32::INFINITY, f32::min);
+        let fallback = probe_stressed || c == 0 || best - worst <= band;
+        st.merge(&key_st);
+        st.merge(&probe_st);
+        st.merge(&rows_st);
+        if fallback {
+            // The hardware rescans: the full exact pass re-quantizes the
+            // key, so its quantizer events are (deliberately) counted for
+            // both the probe use and the rescan.
+            let exact_cycles = self.address_flagged_into_tracked(key, attention, st, flags);
+            let stats = IndexedHopStats {
+                scanned: l as u64,
+                skipped: 0,
+                fallback: true,
+            };
+            return (probe_cycles + score_cycles + exact_cycles, stats, None);
+        }
+        let mut tail_st = NumericStatus::default();
+        let mut cand_att = Vec::with_capacity(c);
+        let tail_cycles = self.softmax_tail(&scores, &scores_fx, &mut cand_att, &mut tail_st);
+        let tail_stressed = tail_st.stressed();
+        st.merge(&tail_st);
+        // Scatter the candidate softmax into the full slot space: skipped
+        // slots carry exactly zero attention and a clean flag.
+        attention.resize(l, 0.0);
+        flags.resize(l, false);
+        for ((&slot, &w), &f) in candidates.iter().zip(&cand_att).zip(&cand_flags) {
+            attention[slot] = w;
+            flags[slot] = f || tail_stressed;
+        }
+        let stats = IndexedHopStats {
+            scanned: c as u64,
+            skipped: (l - c) as u64,
+            fallback: false,
+        };
+        (
+            probe_cycles + score_cycles + tail_cycles,
+            stats,
+            Some(candidates),
+        )
+    }
+
+    /// Indexed content-based addressing with per-row numeric provenance:
+    /// the sub-linear counterpart of
+    /// [`MemModule::address_flagged_into_tracked`]. Requires
+    /// [`MemModule::build_index`] to have run for the current story.
+    /// Skipped slots get attention exactly `0.0` and a clean flag; a
+    /// fallback hop is bit-identical to the exact pass (attention, flags)
+    /// with the probe and candidate-scan overhead added to its cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no index is built.
+    pub fn address_indexed_flagged_into_tracked(
+        &self,
+        key: &[f32],
+        attention: &mut Vec<f32>,
+        st: &mut NumericStatus,
+        flags: &mut Vec<bool>,
+    ) -> (Cycles, IndexedHopStats) {
+        let (cycles, stats, _) = self.indexed_hop_core(key, attention, st, flags);
+        (cycles, stats)
+    }
+
+    /// Batched indexed addressing for queries sharing this story: each
+    /// query runs the exact per-query indexed hop (results are
+    /// bit-identical to [`MemModule::address_indexed_flagged_into_tracked`]
+    /// by construction), and the fused stream fetches the *union* of the
+    /// queries' candidate rows once. Returns the standalone per-query
+    /// cycles, per-query stats, and the union's slot count (`L` when any
+    /// query fell back to the full scan) for the caller's stream-sharing
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `sts` lengths differ, or no index is built.
+    pub fn address_indexed_batch_flagged_into_tracked(
+        &self,
+        keys: &[Vec<f32>],
+        attentions: &mut Vec<Vec<f32>>,
+        sts: &mut [NumericStatus],
+        flags: &mut Vec<Vec<bool>>,
+    ) -> (Vec<Cycles>, Vec<IndexedHopStats>, u64) {
+        assert_eq!(keys.len(), sts.len(), "one status register per query");
+        attentions.clear();
+        attentions.resize(keys.len(), Vec::new());
+        flags.clear();
+        flags.resize(keys.len(), Vec::new());
+        let l = self.rows_a.len();
+        let mut scanned_union = vec![false; l];
+        let mut any_fallback = false;
+        let mut cycles = Vec::with_capacity(keys.len());
+        let mut stats = Vec::with_capacity(keys.len());
+        for (q, key) in keys.iter().enumerate() {
+            let (cy, hop, scanned) =
+                self.indexed_hop_core(key, &mut attentions[q], &mut sts[q], &mut flags[q]);
+            cycles.push(cy);
+            stats.push(hop);
+            match scanned {
+                None => any_fallback = true,
+                Some(slots) => {
+                    for slot in slots {
+                        scanned_union[slot] = true;
+                    }
+                }
+            }
+        }
+        let union = if any_fallback {
+            l as u64
+        } else {
+            scanned_union.iter().filter(|&&b| b).count() as u64
+        };
+        (cycles, stats, union)
+    }
+
     /// The stored (quantized) address row `i`, dequantized — for
     /// cross-checking against reference computations.
     pub fn addr_row_f32(&self, i: usize) -> Vec<f32> {
@@ -663,6 +889,129 @@ mod tests {
             .address_batch_into_tracked(&[], &mut none, &mut [])
             .is_empty());
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn exact_addressing_cycles_matches_the_exact_pass() {
+        let m = filled(14, 8);
+        let key: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin()).collect();
+        let (_, cycles) = m.address(&key);
+        assert_eq!(m.exact_addressing_cycles(), cycles.get());
+        assert_eq!(
+            MemModule::new(8, &DatapathConfig::default()).exact_addressing_cycles(),
+            0
+        );
+    }
+
+    fn indexed(l: usize, e: usize, k: usize, nprobe: usize, band: f32) -> MemModule {
+        let mut m = filled(l, e);
+        let mut st = NumericStatus::default();
+        let build = m.build_index(MemIndexConfig::with_params(k, nprobe, band), &mut st);
+        assert!(build.get() > 0);
+        m
+    }
+
+    #[test]
+    fn full_coverage_index_matches_exact_addressing() {
+        // k = nprobe = 1: every slot survives the probe, so the candidate
+        // softmax sees the same scores in the same order as the full scan.
+        let m = indexed(6, 8, 1, 1, 0.0);
+        let key: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut exact = Vec::new();
+        let mut exact_st = NumericStatus::default();
+        let mut exact_flags = Vec::new();
+        let exact_cycles =
+            m.address_flagged_into_tracked(&key, &mut exact, &mut exact_st, &mut exact_flags);
+        let mut att = Vec::new();
+        let mut st = NumericStatus::default();
+        let mut flags = Vec::new();
+        let (cycles, stats) =
+            m.address_indexed_flagged_into_tracked(&key, &mut att, &mut st, &mut flags);
+        assert_eq!(att, exact);
+        assert_eq!(flags, exact_flags);
+        assert!(!stats.fallback);
+        assert_eq!((stats.scanned, stats.skipped), (6, 0));
+        assert!(cycles > exact_cycles, "probe overhead must be charged");
+    }
+
+    #[test]
+    fn indexed_addressing_skips_slots_and_partitions_counters() {
+        let m = indexed(24, 8, 8, 1, 0.0);
+        let key: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut att = Vec::new();
+        let mut st = NumericStatus::default();
+        let mut flags = Vec::new();
+        let (cycles, stats) =
+            m.address_indexed_flagged_into_tracked(&key, &mut att, &mut st, &mut flags);
+        assert_eq!(stats.scanned + stats.skipped, 24);
+        assert!(stats.skipped > 0, "nprobe=1 of k=8 must skip slots");
+        assert!(!stats.fallback);
+        assert_eq!(att.len(), 24);
+        let sum: f32 = att.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-2, "{sum}");
+        // Skipped slots carry exactly zero attention.
+        assert_eq!(
+            att.iter().filter(|&&a| a == 0.0).count() as u64,
+            stats.skipped
+        );
+        assert!(
+            cycles.get() < m.exact_addressing_cycles(),
+            "skipping must pay off"
+        );
+    }
+
+    #[test]
+    fn wide_band_forces_fallback_and_matches_exact() {
+        let m = indexed(10, 8, 4, 1, 1.0e9);
+        let key: Vec<f32> = (0..8).map(|i| (i as f32 * 0.5).sin()).collect();
+        let mut exact = Vec::new();
+        let mut exact_st = NumericStatus::default();
+        let mut exact_flags = Vec::new();
+        let exact_cycles =
+            m.address_flagged_into_tracked(&key, &mut exact, &mut exact_st, &mut exact_flags);
+        let mut att = Vec::new();
+        let mut st = NumericStatus::default();
+        let mut flags = Vec::new();
+        let (cycles, stats) =
+            m.address_indexed_flagged_into_tracked(&key, &mut att, &mut st, &mut flags);
+        assert!(stats.fallback);
+        assert_eq!((stats.scanned, stats.skipped), (10, 0));
+        assert_eq!(att, exact, "fallback must be bit-identical to the scan");
+        assert_eq!(flags, exact_flags);
+        assert!(cycles > exact_cycles, "fallback pays probe + rescan");
+    }
+
+    #[test]
+    fn batched_indexed_addressing_matches_solo() {
+        let m = indexed(20, 8, 5, 2, 0.0);
+        let keys: Vec<Vec<f32>> = (0..3)
+            .map(|q| (0..8).map(|i| ((q * 8 + i) as f32 * 0.23).sin()).collect())
+            .collect();
+        let mut atts = Vec::new();
+        let mut sts = vec![NumericStatus::default(); keys.len()];
+        let mut flags = Vec::new();
+        let (cycles, stats, union) =
+            m.address_indexed_batch_flagged_into_tracked(&keys, &mut atts, &mut sts, &mut flags);
+        let mut sum_scanned = 0;
+        for (q, key) in keys.iter().enumerate() {
+            let mut att = Vec::new();
+            let mut st = NumericStatus::default();
+            let mut f = Vec::new();
+            let (cy, hop) = m.address_indexed_flagged_into_tracked(key, &mut att, &mut st, &mut f);
+            assert_eq!(atts[q], att);
+            assert_eq!(sts[q], st);
+            assert_eq!(flags[q], f);
+            assert_eq!(cycles[q], cy);
+            assert_eq!(stats[q], hop);
+            sum_scanned += hop.scanned;
+        }
+        assert!(union <= 20);
+        assert!(union <= sum_scanned, "union cannot exceed the scan total");
+        assert!(stats.iter().all(|s| union >= s.scanned));
+        // Empty batches are fine.
+        let (none, no_stats, u) =
+            m.address_indexed_batch_flagged_into_tracked(&[], &mut atts, &mut [], &mut flags);
+        assert!(none.is_empty() && no_stats.is_empty() && u == 0);
     }
 
     #[test]

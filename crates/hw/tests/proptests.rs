@@ -3,7 +3,7 @@
 
 use mann_babi::EncodedSample;
 use mann_hw::modules::{decode_stream, encode_sample_stream, OutputModule};
-use mann_hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig};
+use mann_hw::{AccelConfig, Accelerator, ClockDomain, DatapathConfig, MemIndexConfig};
 use mann_ith::threshold::ClassThreshold;
 use mann_ith::{ExitGuard, HopPrune, Kernel, ThresholdingModel};
 use mann_linalg::Matrix;
@@ -227,6 +227,106 @@ proptest! {
             loose.hops_saved,
             tight.hops_saved
         );
+    }
+
+    /// A disabled candidate index is byte-invisible: whatever `k`, `nprobe`
+    /// and `band` the config carries, an `enabled: false` run is
+    /// field-for-field identical to the default config's.
+    #[test]
+    fn disabled_index_is_byte_identical(
+        seed in 0u64..100,
+        k in 1usize..32,
+        probe_frac in 1usize..32,
+        band in 0.0f32..4.0,
+    ) {
+        let (model, sample) = random_case(seed, 15, 8, 2);
+        let base = Accelerator::new(model.clone(), AccelConfig::default()).run(&sample);
+        let armed_off = Accelerator::new(
+            model,
+            AccelConfig {
+                mem_index: MemIndexConfig {
+                    enabled: false,
+                    k,
+                    nprobe: probe_frac.min(k),
+                    band,
+                },
+                ..AccelConfig::default()
+            },
+        )
+        .run(&sample);
+        prop_assert_eq!(base, armed_off);
+    }
+
+    /// Widening the fallback band never skips more slots and never loses
+    /// argmax agreement with the exact oracle: a hop that falls back at a
+    /// narrow band also falls back at any wider one, and a fallback hop is
+    /// bit-identical to the exact pass. Single-hop runs isolate the
+    /// per-hop property (after a differing fallback decision, later hops
+    /// of a multi-hop run see different keys and are incomparable).
+    #[test]
+    fn wider_band_is_monotone_in_scans_and_agreement(
+        seed in 0u64..80,
+        narrow in 0.0f32..2.0,
+        delta in 0.0f32..8.0,
+    ) {
+        let (model, sample) = random_case(seed, 15, 8, 1);
+        let exact = Accelerator::new(model.clone(), AccelConfig::default()).run(&sample);
+        let run_at = |band: f32| {
+            Accelerator::new(
+                model.clone(),
+                AccelConfig {
+                    mem_index: MemIndexConfig::with_params(4, 2, band),
+                    ..AccelConfig::default()
+                },
+            )
+            .run(&sample)
+        };
+        let tight = run_at(narrow);
+        let wide = run_at(narrow + delta);
+        prop_assert!(
+            wide.index.scanned_slots >= tight.index.scanned_slots,
+            "wider band scanned {} < {}",
+            wide.index.scanned_slots,
+            tight.index.scanned_slots
+        );
+        prop_assert!(wide.index.skipped_slots <= tight.index.skipped_slots);
+        prop_assert!(wide.index.fallbacks >= tight.index.fallbacks);
+        // Agreement never decreases: if the tight run matched the oracle,
+        // the wide run (same candidates, more fallbacks) must too.
+        if tight.answer == exact.answer {
+            prop_assert_eq!(wide.answer, exact.answer);
+        }
+    }
+
+    /// The index counters partition the memory: every hop accounts each
+    /// slot as scanned or skipped, exactly once.
+    #[test]
+    fn index_counters_partition_the_memory(
+        seed in 0u64..100,
+        k in 1usize..16,
+        band in 0.0f32..2.0,
+    ) {
+        let (model, sample) = random_case(seed, 15, 8, 2);
+        let run = Accelerator::new(
+            model,
+            AccelConfig {
+                mem_index: MemIndexConfig::with_params(k, 1.max(k / 2), band),
+                ..AccelConfig::default()
+            },
+        )
+        .run(&sample);
+        let slots = sample.sentences.len() as u64;
+        prop_assert_eq!(
+            run.index.scanned_slots + run.index.skipped_slots,
+            slots * run.hops_executed as u64,
+            "scanned {} + skipped {} != {} slots x {} hops",
+            run.index.scanned_slots,
+            run.index.skipped_slots,
+            slots,
+            run.hops_executed
+        );
+        prop_assert!(run.index.fallbacks <= run.hops_executed as u64);
+        prop_assert!(run.index.build_cycles > 0);
     }
 
     /// Batched shared-story querying is bit-identical to querying one at a

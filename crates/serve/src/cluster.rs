@@ -39,8 +39,8 @@ use serde::Serialize;
 use crate::faults::{FaultConfig, FaultReport};
 use crate::numeric::NumericHealth;
 use crate::report::{
-    answers_digest, BatchReport, CacheReport, HopPruneReport, LatencySummary, LinkReport,
-    ServeReport,
+    answers_digest, BatchReport, CacheReport, HopPruneReport, IndexReport, LatencySummary,
+    LinkReport, ServeReport,
 };
 use crate::request::{Completion, Rejection, Request};
 use crate::server::{ServeConfig, ServeOutcome, Server};
@@ -302,6 +302,8 @@ pub struct ClusterReport {
     pub batch: BatchReport,
     /// Hop-pruning sections summed; key omitted when disabled.
     pub prune: HopPruneReport,
+    /// Candidate-index sections summed; key omitted when disabled.
+    pub index: IndexReport,
     /// Each shard's primary-pass report, in shard-index order (replica
     /// passes are folded into the merged sections above).
     pub per_shard: Vec<ServeReport>,
@@ -349,6 +351,9 @@ impl Serialize for ClusterReport {
         }
         if self.prune.enabled {
             pairs.push(("prune".into(), self.prune.to_value()));
+        }
+        if self.index.enabled {
+            pairs.push(("index".into(), self.index.to_value()));
         }
         pairs.push(("per_shard".into(), self.per_shard.to_value()));
         serde_json::Value::Object(pairs)
@@ -446,6 +451,10 @@ impl ClusterReport {
         }
         if self.prune.enabled {
             out.push_str(&self.prune.render());
+            out.push('\n');
+        }
+        if self.index.enabled {
+            out.push_str(&self.index.render());
             out.push('\n');
         }
         let mut st = TextTable::new(vec![
@@ -746,6 +755,15 @@ impl<'a> Cluster<'a> {
             threshold: base.hop_prune.threshold,
             ..HopPruneReport::default()
         };
+        // Like the single-node report, a disabled section stays the
+        // default rather than echoing config.
+        let mut index = IndexReport::default();
+        if base.mem_index.enabled {
+            index.enabled = true;
+            index.k = base.mem_index.k;
+            index.nprobe = base.mem_index.nprobe;
+            index.band = base.mem_index.band;
+        }
         let mut phase_totals = PhaseCycles::default();
         let mut speculated = 0usize;
         let mut total_energy_j = 0.0;
@@ -820,6 +838,14 @@ impl<'a> Cluster<'a> {
                 prune.vetoes += r.prune.vetoes;
                 prune.cycles_saved += r.prune.cycles_saved;
                 prune.energy_saved_j += r.prune.energy_saved_j;
+            }
+            if r.index.enabled {
+                index.scanned_slots += r.index.scanned_slots;
+                index.skipped_slots += r.index.skipped_slots;
+                index.fallbacks += r.index.fallbacks;
+                index.build_cycles += r.index.build_cycles;
+                index.cycles_saved += r.index.cycles_saved;
+                index.energy_saved_j += r.index.energy_saved_j;
             }
         }
         cache.hit_rate = if cache.hits + cache.misses > 0 {
@@ -902,6 +928,7 @@ impl<'a> Cluster<'a> {
             numeric,
             batch,
             prune,
+            index,
             per_shard,
         };
         ClusterOutcome {

@@ -202,6 +202,59 @@ impl HopPruneReport {
     }
 }
 
+/// Candidate-index effectiveness over the completed requests: how many
+/// memory slots the IVF index let the MEM module skip, and what the
+/// probe/fallback machinery cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IndexReport {
+    /// Whether the index was armed; the `index` key is absent from JSON
+    /// when off, keeping seed reports byte-identical.
+    pub enabled: bool,
+    /// Configured centroid count (clamped to the story length at build).
+    pub k: usize,
+    /// Centroid lists probed per hop.
+    pub nprobe: usize,
+    /// Fallback margin: a hop rescans exactly when the best candidate
+    /// score is within `band` of the worst retained one.
+    pub band: f32,
+    /// Memory slots exact-scored inside candidate lists (fallback hops
+    /// count the full story length).
+    pub scanned_slots: u64,
+    /// Memory slots the index let the addressing pass skip.
+    pub skipped_slots: u64,
+    /// Hops that fell back to a full exact scan.
+    pub fallbacks: u64,
+    /// Centroid-construction cycles charged to the story-upload phase.
+    pub build_cycles: u64,
+    /// Addressing cycles the surviving candidate scans avoided versus the
+    /// exact pass, net of probe overhead.
+    pub cycles_saved: u64,
+    /// Activity-dependent fabric energy of those cycles, joules.
+    pub energy_saved_j: f64,
+}
+
+impl IndexReport {
+    /// Renders the index section as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["index metric".into(), "value".into()]);
+        t.row(vec![
+            "config (k,nprobe,band)".into(),
+            format!("{},{},{}", self.k, self.nprobe, self.band),
+        ]);
+        t.row(vec![
+            "slots scanned / skipped".into(),
+            format!("{} / {}", self.scanned_slots, self.skipped_slots),
+        ]);
+        t.row(vec!["fallback scans".into(), self.fallbacks.to_string()]);
+        t.row(vec!["build cycles".into(), self.build_cycles.to_string()]);
+        t.row(vec![
+            "addressing cycles saved".into(),
+            format!("{} ({} J)", self.cycles_saved, fnum(self.energy_saved_j, 3)),
+        ]);
+        t.render()
+    }
+}
+
 /// Shared host-link utilization.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LinkReport {
@@ -272,6 +325,9 @@ pub struct ServeReport {
     /// Hop-pruning summary; `prune.enabled == false` (and the key absent
     /// from JSON) when pruning is off.
     pub prune: HopPruneReport,
+    /// Candidate-index summary; `index.enabled == false` (and the key
+    /// absent from JSON) when the index is off.
+    pub index: IndexReport,
 }
 
 impl Serialize for ServeReport {
@@ -309,6 +365,9 @@ impl Serialize for ServeReport {
         }
         if self.prune.enabled {
             pairs.push(("prune".into(), self.prune.to_value()));
+        }
+        if self.index.enabled {
+            pairs.push(("index".into(), self.index.to_value()));
         }
         serde_json::Value::Object(pairs)
     }
@@ -349,6 +408,10 @@ impl Deserialize for ServeReport {
             prune: match v.field("prune") {
                 Ok(pv) => Deserialize::from_value(pv)?,
                 Err(_) => HopPruneReport::default(),
+            },
+            index: match v.field("index") {
+                Ok(iv) => Deserialize::from_value(iv)?,
+                Err(_) => IndexReport::default(),
             },
         })
     }
@@ -447,6 +510,10 @@ impl ServeReport {
         }
         if self.prune.enabled {
             out.push_str(&self.prune.render());
+            out.push('\n');
+        }
+        if self.index.enabled {
+            out.push_str(&self.index.render());
             out.push('\n');
         }
         let mut inst = TextTable::new(vec![
@@ -570,6 +637,44 @@ mod tests {
         for needle in ["0.85", "5", "40 / 7", "2", "999"] {
             assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
         }
+    }
+
+    #[test]
+    fn index_report_renders_every_counter() {
+        let i = IndexReport {
+            enabled: true,
+            k: 64,
+            nprobe: 8,
+            band: 0.25,
+            scanned_slots: 4200,
+            skipped_slots: 8400,
+            fallbacks: 3,
+            build_cycles: 512,
+            cycles_saved: 777,
+            energy_saved_j: 0.125,
+        };
+        let r = i.render();
+        for needle in ["64,8,0.25", "4200 / 8400", "3", "512", "777"] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn index_report_round_trips_through_json() {
+        let i = IndexReport {
+            enabled: true,
+            k: 16,
+            nprobe: 4,
+            band: 0.5,
+            scanned_slots: 10,
+            skipped_slots: 20,
+            fallbacks: 1,
+            build_cycles: 99,
+            cycles_saved: 42,
+            energy_saved_j: 0.01,
+        };
+        let i2 = IndexReport::from_value(&i.to_value()).unwrap();
+        assert_eq!(i, i2);
     }
 
     #[test]

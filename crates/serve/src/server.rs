@@ -39,7 +39,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use mann_core::TaskSuite;
 use mann_hw::{
     story_digest, AccelConfig, Accelerator, ClockDomain, Cycles, InferenceRun, LinkArbiter, LruSet,
-    PcieLink, PowerModel, ResidentStory, SimTime, DEFAULT_STORY_CACHE,
+    MemIndexConfig, PcieLink, PowerModel, ResidentStory, SimTime, DEFAULT_STORY_CACHE,
 };
 use mann_ith::HopPrune;
 use serde::{Deserialize, Serialize};
@@ -47,8 +47,8 @@ use serde::{Deserialize, Serialize};
 use crate::faults::{FaultConfig, FaultPlan, FaultReport};
 use crate::numeric::{NumericHealth, NumericPolicy};
 use crate::report::{
-    answers_digest, BatchReport, CacheReport, HopPruneReport, InstanceReport, LatencySummary,
-    LinkReport, ServeReport,
+    answers_digest, BatchReport, CacheReport, HopPruneReport, IndexReport, InstanceReport,
+    LatencySummary, LinkReport, ServeReport,
 };
 use crate::request::{Completion, Export, Rejection, Request, RequestTimestamps};
 use crate::scheduler::{InstanceView, Scheduler};
@@ -162,6 +162,9 @@ pub struct ServeConfig {
     /// Adaptive hop pruning on every instance's datapath; the default
     /// (off) leaves the serve path byte-identical.
     pub hop_prune: HopPrune,
+    /// Candidate-generation index in front of every instance's MEM
+    /// module; the default (off) leaves the serve path byte-identical.
+    pub mem_index: MemIndexConfig,
     /// Cluster hook: when set, a watchdog-detected stranded request is
     /// handed back to the caller in [`ServeOutcome::exports`] (with its
     /// handoff time) instead of being re-queued locally, so a cluster can
@@ -190,6 +193,7 @@ impl Default for ServeConfig {
             numeric_policy: NumericPolicy::default(),
             batch_window: 0,
             hop_prune: HopPrune::default(),
+            mem_index: MemIndexConfig::default(),
             failover_export: false,
         }
     }
@@ -373,6 +377,7 @@ impl<'a> Server<'a> {
                         ith: config.use_ith.then(|| t.ith.clone()),
                         use_ordering: config.use_ordering,
                         hop_prune: config.hop_prune,
+                        mem_index: config.mem_index,
                         ..AccelConfig::default()
                     },
                 )
@@ -394,6 +399,7 @@ impl<'a> Server<'a> {
                             ith: Some(t.ith.degraded(config.faults.degrade_margin)),
                             use_ordering: config.use_ordering,
                             hop_prune: config.hop_prune,
+                            mem_index: config.mem_index,
                             ..AccelConfig::default()
                         },
                     )
@@ -1397,7 +1403,12 @@ impl<'a> Server<'a> {
                 prune.pruned_completions += 1;
                 let hop_cycles =
                     (c.run.phases.addressing + c.run.phases.read + c.run.phases.controller).get();
-                debug_assert_eq!(hop_cycles % c.run.hops_executed as u64, 0);
+                // With the candidate index armed, hops inside one run can
+                // scan different candidate counts, so the per-hop figure
+                // below is a mean rather than an exact per-hop cost.
+                if !self.config.mem_index.enabled {
+                    debug_assert_eq!(hop_cycles % c.run.hops_executed as u64, 0);
+                }
                 prune.cycles_saved +=
                     hop_cycles / c.run.hops_executed as u64 * c.run.hops_saved as u64;
             }
@@ -1406,6 +1417,28 @@ impl<'a> Server<'a> {
             self.config.clock.freq_mhz(),
             self.config.clock.seconds(Cycles::new(prune.cycles_saved)),
         );
+        // A disabled report stays `IndexReport::default()` (not a config
+        // echo), so structs parsed from pre-index golden JSON — where the
+        // key is absent and deserialization falls back to the default —
+        // compare equal to freshly built ones.
+        let mut index = IndexReport::default();
+        if self.config.mem_index.enabled {
+            index.enabled = true;
+            index.k = self.config.mem_index.k;
+            index.nprobe = self.config.mem_index.nprobe;
+            index.band = self.config.mem_index.band;
+            for c in completions {
+                index.scanned_slots += c.run.index.scanned_slots;
+                index.skipped_slots += c.run.index.skipped_slots;
+                index.fallbacks += c.run.index.fallbacks;
+                index.build_cycles += c.run.index.build_cycles;
+                index.cycles_saved += c.run.index.cycles_saved;
+            }
+            index.energy_saved_j = self.config.power.active_energy_j(
+                self.config.clock.freq_mhz(),
+                self.config.clock.seconds(Cycles::new(index.cycles_saved)),
+            );
+        }
         ServeReport {
             requests: trace.requests.len(),
             completed: completions.len(),
@@ -1447,6 +1480,7 @@ impl<'a> Server<'a> {
             numeric,
             batch,
             prune,
+            index,
         }
     }
 }
@@ -2058,6 +2092,116 @@ mod tests {
                 .contains("\"prune\""),
             "enabled pruning must publish its section"
         );
+    }
+
+    #[test]
+    fn disabled_index_emits_no_key_and_changes_nothing() {
+        let s = suite();
+        let t = trace(&s, 24);
+        let off = Server::new(&s, ServeConfig::default()).serve(&t);
+        assert!(!off.report.index.enabled);
+        assert_eq!(off.report.index, IndexReport::default());
+        assert!(
+            !serde_json::to_string(&off.report)
+                .unwrap()
+                .contains("\"index\""),
+            "disabled index emitted a key"
+        );
+        // An explicit `enabled: false` config is byte-identical to the
+        // default: the index is inert until armed.
+        let explicit = Server::new(
+            &s,
+            ServeConfig {
+                mem_index: MemIndexConfig {
+                    enabled: false,
+                    k: 32,
+                    nprobe: 4,
+                    band: 0.5,
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .serve(&t);
+        assert_eq!(off.completions, explicit.completions);
+        assert_eq!(
+            serde_json::to_string(&off.report).unwrap(),
+            serde_json::to_string(&explicit.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn indexed_serve_is_engine_invariant_and_publishes_counters() {
+        let s = suite();
+        let t = trace(&s, 32);
+        let serve_with = |engine| {
+            Server::new(
+                &s,
+                ServeConfig {
+                    engine,
+                    mem_index: MemIndexConfig::with_params(4, 2, 0.0),
+                    ..ServeConfig::default()
+                },
+            )
+            .serve(&t)
+        };
+        let serial = serve_with(EngineMode::Serial);
+        let parallel = serve_with(EngineMode::Parallel);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serde_json::to_string(&serial.report).unwrap(),
+            serde_json::to_string(&parallel.report).unwrap()
+        );
+        let i = &serial.report.index;
+        assert!(i.enabled);
+        assert_eq!((i.k, i.nprobe), (4, 2));
+        assert!(i.build_cycles > 0, "no centroid construction charged");
+        assert!(i.scanned_slots > 0);
+        assert_eq!(
+            i.scanned_slots + i.skipped_slots,
+            serial
+                .completions
+                .iter()
+                .map(|c| {
+                    let sample = &s.tasks[c.request.task_idx].test_set[c.request.sample_idx];
+                    (sample.sentences.len() * c.run.hops_executed) as u64
+                })
+                .sum::<u64>(),
+            "scanned + skipped must partition story slots x hops"
+        );
+        assert!(
+            serde_json::to_string(&serial.report)
+                .unwrap()
+                .contains("\"index\""),
+            "armed index must publish its section"
+        );
+        let _ = serial.report.render();
+    }
+
+    #[test]
+    fn full_fallback_index_matches_unindexed_answers_exactly() {
+        let s = suite();
+        let t = trace(&s, 24);
+        let plain = Server::new(&s, ServeConfig::default()).serve(&t);
+        // A huge band forces every hop back to the exact scan: answers,
+        // comparisons and the digest are untouched; only timing moves.
+        let fb = Server::new(
+            &s,
+            ServeConfig {
+                mem_index: MemIndexConfig::with_params(4, 2, 1e9),
+                ..ServeConfig::default()
+            },
+        )
+        .serve(&t);
+        assert_eq!(plain.report.answers_digest, fb.report.answers_digest);
+        assert_eq!(plain.report.accuracy, fb.report.accuracy);
+        let i = &fb.report.index;
+        assert!(i.fallbacks > 0);
+        assert_eq!(i.skipped_slots, 0, "fallback hops skip nothing");
+        assert_eq!(i.cycles_saved, 0);
+        for (p, f) in plain.completions.iter().zip(&fb.completions) {
+            assert_eq!(p.run.answer, f.run.answer);
+            assert_eq!(p.run.comparisons, f.run.comparisons);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::sync::OnceLock;
 use mann_accel::babi::TaskId;
 use mann_accel::core::experiments::{fig3, fig4, table1};
 use mann_accel::core::{SuiteConfig, TaskSuite};
-use mann_accel::hw::{AccelConfig, Accelerator};
+use mann_accel::hw::{AccelConfig, Accelerator, MemIndexConfig};
 use mann_accel::serve::{
     ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune, NumericPolicy,
     SchedulePolicy, ServeConfig, Server, TraceConfig,
@@ -591,4 +591,106 @@ fn serve_batched_pruned_campaign_is_pinned() {
     );
 
     check_golden("serve_batched.json", &out.report.to_value());
+}
+
+/// A large-memory suite for the candidate-index campaign: task 1 honors
+/// the story-length knob exactly, so every resident story holds 500
+/// sentences and exact-scan addressing dominates the serve cost — the
+/// regime the IVF index is built for.
+fn index_suite() -> &'static TaskSuite {
+    static SUITE: OnceLock<TaskSuite> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        TaskSuite::build(&SuiteConfig {
+            tasks: vec![TaskId::SingleSupportingFact],
+            train_samples: 48,
+            test_samples: 16,
+            seed: 11,
+            story_sentences: 500,
+            ..SuiteConfig::quick()
+        })
+    })
+}
+
+/// The sub-linear addressing campaign: 500-sentence resident stories
+/// served with the IVF candidate index armed. Pins the full report —
+/// aggregated `IndexReport` counters included — and checks the index
+/// laws: serial == parallel bytes, every counter (scan, skip, fallback,
+/// build, savings) engaged, and >= 99% argmax agreement against an
+/// exact-scan oracle server on the same trace.
+#[test]
+fn serve_index_campaign_is_pinned() {
+    let s = index_suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 47,
+            mean_interarrival_s: 60e-6,
+            story_pool: 4,
+        },
+        s,
+    );
+    let config = ServeConfig {
+        instances: 2,
+        queue_capacity: 128,
+        story_cache: 4,
+        policy: SchedulePolicy::StoryAffinity,
+        mem_index: MemIndexConfig::with_params(32, 8, 0.4),
+        ..ServeConfig::default()
+    };
+    let out = Server::new(s, config.clone()).serve(&trace);
+    let index = &out.report.index;
+    assert!(index.enabled, "index must publish its section");
+    assert!(index.scanned_slots > 0, "index must scan candidates");
+    assert!(index.skipped_slots > 0, "index must skip slots");
+    assert!(index.fallbacks > 0, "confidence band must trip a rescan");
+    assert!(index.build_cycles > 0, "index build must be charged");
+    assert!(
+        index.cycles_saved > 0 && index.energy_saved_j > 0.0,
+        "index must save addressing cycles"
+    );
+
+    // Engine invariance holds with the index armed: the serial engine's
+    // report is byte-identical.
+    let serial = Server::new(
+        s,
+        ServeConfig {
+            engine: EngineMode::Serial,
+            ..config.clone()
+        },
+    )
+    .serve(&trace);
+    assert_eq!(
+        serial.report.to_value().print(),
+        out.report.to_value().print(),
+        "serial and parallel engines diverged with the index armed"
+    );
+
+    // Candidate generation is an approximation; the oracle server scans
+    // every slot exactly. At this operating point at least 99% of the
+    // argmax answers must survive.
+    let oracle = Server::new(
+        s,
+        ServeConfig {
+            mem_index: MemIndexConfig::default(),
+            ..config
+        },
+    )
+    .serve(&trace);
+    assert_eq!(oracle.completions.len(), out.completions.len());
+    let agree = oracle
+        .completions
+        .iter()
+        .zip(&out.completions)
+        .filter(|(o, i)| {
+            assert_eq!(o.request.id, i.request.id);
+            o.run.answer == i.run.answer
+        })
+        .count();
+    assert!(
+        agree * 100 >= out.completions.len() * 99,
+        "indexed answers agree on only {agree}/{} completions",
+        out.completions.len()
+    );
+
+    check_golden("serve_index.json", &out.report.to_value());
 }
