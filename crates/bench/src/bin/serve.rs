@@ -56,6 +56,19 @@
 //! generated story to exactly `n` sentences — the index pays off only
 //! once stories are long enough that exact addressing dominates.
 //!
+//! `--wal-dir <dir|spec>` (default: `MANN_WAL` or off) arms the durable
+//! story store: every admitted story, eviction and completion is
+//! journaled to a checksummed write-ahead log under the directory, with
+//! `--snapshot-every <n>` (or `snap=n` in the spec) rotating segments
+//! and compacting every n records. With `node-kills=1` in the fault
+//! plan, one seeded shard is fail-stopped mid-campaign (torn WAL tail
+//! and all) and recovered by replay — the recovered report is asserted
+//! byte-identical to the no-crash run. Malformed specs, for the flag
+//! and `MANN_WAL` alike, are hard errors; so is `node-kills` without a
+//! WAL or `--snapshot-every` without `--wal-dir`. The WAL only adds a
+//! `durability` report section: all other bytes match the non-durable
+//! run exactly.
+//!
 //! `--shards K` (default 1) serves the trace on a story-sharded cluster:
 //! a rendezvous-hash router places each story on one of K shard nodes,
 //! each running the full serve stack above. `--replication R` (default 1)
@@ -76,8 +89,9 @@ use mann_bench::HarnessArgs;
 use mann_core::write_json_report;
 use mann_hw::{MemIndexConfig, StoryCache, DEFAULT_STORY_CACHE};
 use mann_serve::{
-    ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune, NumericPolicy,
-    SchedulePolicy, ServeConfig, Server, TraceConfig,
+    serve_cluster_durable, serve_durable, ArrivalTrace, Cluster, ClusterConfig, EngineMode,
+    FaultConfig, HopPrune, NumericPolicy, SchedulePolicy, ServeConfig, Server, TraceConfig,
+    WalConfig,
 };
 
 /// Prints a CLI-usage error and exits with status 2.
@@ -109,6 +123,7 @@ struct ServeArgs {
     link_latency_us: Option<f64>,
     shards: usize,
     replication: usize,
+    wal: WalConfig,
 }
 
 impl ServeArgs {
@@ -142,7 +157,9 @@ impl ServeArgs {
             link_latency_us: None,
             shards: 1,
             replication: 1,
+            wal: WalConfig::from_env().unwrap_or_else(|e| usage_bail(e)),
         };
+        let mut snapshot_every: Option<u64> = None;
         let mut watchdog_us: Option<f64> = None;
         let mut max_retries: Option<u32> = None;
         let mut it = args.into_iter();
@@ -227,6 +244,21 @@ impl ServeArgs {
                         usage_bail(format!("invalid --link-gbps {v:?}: expected GB/s"))
                     }));
                 }
+                "--wal-dir" => {
+                    let v = grab("--wal-dir");
+                    // The flag takes a bare directory or a full MANN_WAL
+                    // spec (`dir,snap=N,...`); either way it replaces the
+                    // env-derived config wholesale so flags win cleanly.
+                    out.wal = WalConfig::parse(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--snapshot-every" => {
+                    let v = grab("--snapshot-every");
+                    snapshot_every = Some(v.parse().unwrap_or_else(|_| {
+                        usage_bail(format!(
+                            "invalid --snapshot-every {v:?}: expected a record count (0 disables)"
+                        ))
+                    }));
+                }
                 "--shards" => out.shards = num("--shards", grab("--shards")) as usize,
                 "--replication" => {
                     out.replication = num("--replication", grab("--replication")) as usize;
@@ -242,6 +274,15 @@ impl ServeArgs {
                 _ => {} // shared HarnessArgs flags
             }
         }
+        if let Some(n) = snapshot_every {
+            if !out.wal.enabled {
+                usage_bail(
+                    "--snapshot-every requires the write-ahead log (--wal-dir or MANN_WAL): \
+                     there is no journal to compact",
+                );
+            }
+            out.wal.snapshot_every = n;
+        }
         if let Some(us) = watchdog_us {
             out.faults.watchdog_s = us * 1e-6;
         }
@@ -249,6 +290,9 @@ impl ServeArgs {
             out.faults.max_retries = r;
         }
         if let Err(e) = out.faults.validate() {
+            usage_bail(e);
+        }
+        if let Err(e) = out.wal.validate() {
             usage_bail(e);
         }
         out
@@ -310,8 +354,12 @@ fn main() {
         batch_window: serve_args.batch_window,
         hop_prune: serve_args.hop_prune,
         mem_index: serve_args.mem_index,
+        wal: serve_args.wal,
         ..ServeConfig::default()
     };
+    if let Err(e) = config.validate() {
+        usage_bail(e);
+    }
     eprintln!(
         "[serve] {} requests (mean inter-arrival {} us, trace seed {}, story pool {}) over \
          {} instance(s), policy {}, queue {}, upload batch {}, ith {}, story cache {}, \
@@ -343,6 +391,17 @@ fn main() {
     if config.mem_index.enabled {
         eprintln!("[serve] candidate index armed ({})", config.mem_index);
     }
+    if config.wal.enabled {
+        // stderr only: stdout must stay byte-diffable across WAL dirs.
+        eprintln!(
+            "[serve] write-ahead log on (dir {}, snapshot every {}, fsync batch {}, \
+             node kills {})",
+            config.wal.dir,
+            config.wal.snapshot_every,
+            config.wal.fsync_batch,
+            config.faults.node_kills,
+        );
+    }
     if config.faults.is_active() {
         eprintln!(
             "[serve] fault campaign active (seed {}): corrupt {} / retries {}, crashes {}, \
@@ -371,7 +430,8 @@ fn main() {
             "[serve] cluster of {} shard(s), replication {} (rendezvous story routing)",
             cluster_config.shards, cluster_config.replication
         );
-        let outcome = Cluster::new(&suite, cluster_config).serve(&trace);
+        let cluster = Cluster::new(&suite, cluster_config);
+        let outcome = serve_cluster_durable(&cluster, &trace).unwrap_or_else(|e| usage_bail(e));
         println!(
             "Served {} requests across {} shard(s) x {} instance(s), replication {}, policy {}",
             trace.len(),
@@ -390,7 +450,7 @@ fn main() {
     }
 
     let server = Server::new(&suite, config);
-    let outcome = server.serve(&trace);
+    let outcome = serve_durable(&server, &trace).unwrap_or_else(|e| usage_bail(e));
     println!(
         "Served {} requests across {} instance(s), policy {}",
         trace.len(),

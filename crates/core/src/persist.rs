@@ -35,6 +35,9 @@ pub enum PersistError {
     /// Malformed JSON or schema mismatch.
     #[error("bundle format error: {0}")]
     Format(#[from] serde_json::Error),
+    /// Durable-store failure (WAL, snapshot, or recovery).
+    #[error("store error: {0}")]
+    Store(#[from] mann_store::StoreError),
 }
 
 impl ModelBundle {

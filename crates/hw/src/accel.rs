@@ -267,6 +267,13 @@ impl ResidentStory {
     pub fn index_build_cycles(&self) -> Cycles {
         self.index_build
     }
+
+    /// The quantized Q16.16 rows of the resident address/content memories
+    /// (address rows then content rows, row-major) — the payload a
+    /// write-ahead log persists for this story.
+    pub fn quantized_rows(&self) -> Vec<i32> {
+        self.mem.raw_words()
+    }
 }
 
 /// The assembled Fig 1 pipeline for one trained model.

@@ -73,6 +73,17 @@ impl MemModule {
         self.rows_a.is_empty()
     }
 
+    /// The raw Q16.16 words of both memories (address rows then content
+    /// rows, row-major): the exact bits a durable story journal must
+    /// persist to rebuild this memory without re-embedding.
+    pub fn raw_words(&self) -> Vec<i32> {
+        self.rows_a
+            .iter()
+            .chain(&self.rows_c)
+            .flat_map(|row| row.iter().map(|x| x.raw()))
+            .collect()
+    }
+
     /// Writes one embedded sentence into the next slot of both memories
     /// (performed by the write path while streaming). The rows are
     /// quantized here, once, as the BRAM write port would.

@@ -30,6 +30,7 @@
 //! path.
 
 use std::collections::HashMap;
+use std::convert::Infallible;
 
 use mann_core::report::{fnum, percent, TextTable};
 use mann_core::TaskSuite;
@@ -44,6 +45,7 @@ use crate::report::{
 };
 use crate::request::{Completion, Rejection, Request};
 use crate::server::{ServeConfig, ServeOutcome, Server};
+use crate::store::{never, DurabilityReport};
 use crate::trace::ArrivalTrace;
 
 /// Domain-separation salt for routing hashes (ASCII "router"): routing
@@ -304,6 +306,9 @@ pub struct ClusterReport {
     pub prune: HopPruneReport,
     /// Candidate-index sections summed; key omitted when disabled.
     pub index: IndexReport,
+    /// Durability sections summed (recovery MTTR re-weighted by kill
+    /// counts); key omitted when the write-ahead log is off.
+    pub durability: DurabilityReport,
     /// Each shard's primary-pass report, in shard-index order (replica
     /// passes are folded into the merged sections above).
     pub per_shard: Vec<ServeReport>,
@@ -355,12 +360,29 @@ impl Serialize for ClusterReport {
         if self.index.enabled {
             pairs.push(("index".into(), self.index.to_value()));
         }
+        if self.durability.enabled {
+            pairs.push(("durability".into(), self.durability.to_value()));
+        }
         pairs.push(("per_shard".into(), self.per_shard.to_value()));
         serde_json::Value::Object(pairs)
     }
 }
 
 impl ClusterReport {
+    /// A copy with every durability section (cluster-level and per-shard)
+    /// reset to the disabled default: with the WAL on but no kills, this
+    /// must be byte-identical to the same campaign served without a WAL —
+    /// the journaling layer may observe a serve, never change it.
+    #[must_use]
+    pub fn sans_durability(&self) -> Self {
+        let mut r = self.clone();
+        r.durability = DurabilityReport::default();
+        for shard in &mut r.per_shard {
+            shard.durability = DurabilityReport::default();
+        }
+        r
+    }
+
     /// Renders the cluster report as text tables; at K=1/R=1 this is the
     /// single shard's render, byte for byte.
     pub fn render(&self) -> String {
@@ -455,6 +477,10 @@ impl ClusterReport {
         }
         if self.index.enabled {
             out.push_str(&self.index.render());
+            out.push('\n');
+        }
+        if self.durability.enabled {
+            out.push_str(&self.durability.render());
             out.push('\n');
         }
         let mut st = TextTable::new(vec![
@@ -588,6 +614,21 @@ impl<'a> Cluster<'a> {
     ///
     /// Panics when `order` is not a permutation of `0..shards`.
     pub fn serve_in_order(&self, trace: &ArrivalTrace, order: &[usize]) -> ClusterOutcome {
+        never(self.serve_in_order_with(trace, order, |_, _, server, sub| {
+            Ok::<_, Infallible>(server.serve(sub))
+        }))
+    }
+
+    /// The generic pass loop under [`Cluster::serve_in_order`]: `run`
+    /// serves each `(pass, shard)` sub-trace, so the plain path (pure,
+    /// infallible) and the durable path (journaling, fallible) share one
+    /// routing/failover/aggregation skeleton and cannot drift apart.
+    pub(crate) fn serve_in_order_with<E>(
+        &self,
+        trace: &ArrivalTrace,
+        order: &[usize],
+        mut run: impl FnMut(usize, usize, &Server<'_>, &ArrivalTrace) -> Result<ServeOutcome, E>,
+    ) -> Result<ClusterOutcome, E> {
         let k = self.config.shards;
         {
             let mut sorted = order.to_vec();
@@ -636,7 +677,7 @@ impl<'a> Cluster<'a> {
                     requests: reqs,
                     config: trace.config.clone(),
                 };
-                let out = server.serve(&sub);
+                let out = run(pass, shard, &server, &sub)?;
                 for ex in &out.exports {
                     // Re-dispatch on the next replica: the request arrives
                     // there at the watchdog handoff instant and pays its
@@ -652,7 +693,7 @@ impl<'a> Cluster<'a> {
             pass += 1;
         }
         passes.sort_by_key(|&(p, s, _)| (p, s));
-        self.aggregate(trace, &routes, &arrival_of, passes)
+        Ok(self.aggregate(trace, &routes, &arrival_of, passes))
     }
 
     /// Folds per-pass outcomes (already in canonical `(pass, shard)`
@@ -755,6 +796,9 @@ impl<'a> Cluster<'a> {
             threshold: base.hop_prune.threshold,
             ..HopPruneReport::default()
         };
+        let mut durability = DurabilityReport::default();
+        // MTTR means re-weight by kill count, like the fault MTTRs below.
+        let mut mttr_kill = 0.0f64;
         // Like the single-node report, a disabled section stays the
         // default rather than echoing config.
         let mut index = IndexReport::default();
@@ -847,6 +891,31 @@ impl<'a> Cluster<'a> {
                 index.cycles_saved += r.index.cycles_saved;
                 index.energy_saved_j += r.index.energy_saved_j;
             }
+            if r.durability.enabled {
+                let d = &r.durability;
+                durability.enabled = true;
+                durability.records += d.records;
+                durability.story_records += d.story_records;
+                durability.completion_records += d.completion_records;
+                durability.evict_records += d.evict_records;
+                durability.wal_bytes += d.wal_bytes;
+                durability.segments += d.segments;
+                durability.fsyncs += d.fsyncs;
+                durability.fsync_s += d.fsync_s;
+                durability.snapshots += d.snapshots;
+                durability.snapshot_bytes += d.snapshot_bytes;
+                durability.gc_segments += d.gc_segments;
+                durability.gc_snapshots += d.gc_snapshots;
+                durability.gc_bytes += d.gc_bytes;
+                durability.gc_stories += d.gc_stories;
+                durability.node_kills += d.node_kills;
+                durability.torn_tails += d.torn_tails;
+                durability.dropped_bytes += d.dropped_bytes;
+                durability.replayed_records += d.replayed_records;
+                durability.recovered_completions += d.recovered_completions;
+                durability.redispatched += d.redispatched;
+                mttr_kill += d.recovery_mttr_s * d.node_kills as f64;
+            }
         }
         cache.hit_rate = if cache.hits + cache.misses > 0 {
             cache.hits as f64 / (cache.hits + cache.misses) as f64
@@ -864,6 +933,9 @@ impl<'a> Cluster<'a> {
             fault.mttr_link_s = mean(mttr_l, fault.retransmits);
             fault.mttr_instance_s = mean(mttr_i, fault.failovers);
             fault.mttr_seu_s = mean(mttr_s, fault.scrubs);
+        }
+        if durability.node_kills > 0 {
+            durability.recovery_mttr_s = mttr_kill / durability.node_kills as f64;
         }
 
         // Per-shard breakdown = each shard's primary pass; setup (model
@@ -929,6 +1001,7 @@ impl<'a> Cluster<'a> {
             batch,
             prune,
             index,
+            durability,
             per_shard,
         };
         ClusterOutcome {

@@ -55,7 +55,8 @@ pub enum FaultPlanError {
     /// An inline `key=value` spec used an unknown key.
     #[error(
         "unknown fault-plan key {key:?}: expected one of seed, corrupt, retries, \
-         backoff-us, crashes, cooldown-us, watchdog-us, seus, degrade-depth, degrade-margin"
+         backoff-us, crashes, cooldown-us, watchdog-us, seus, degrade-depth, degrade-margin, \
+         node-kills"
     )]
     UnknownKey {
         /// The unrecognized key.
@@ -107,6 +108,13 @@ pub struct FaultConfig {
     /// How far degraded mode lowers every calibrated ITH threshold
     /// (earlier early-exit: cheaper, less accurate).
     pub degrade_margin: f32,
+    /// Host-level fail-stop kills: whole serving nodes (shards) terminated
+    /// mid-campaign and recovered by WAL replay. Unlike every other class
+    /// this is not an event-loop fault — the simulated serve itself is
+    /// untouched (so it stays out of [`FaultConfig::is_active`]); the
+    /// durable-store driver kills the journaling process instead and must
+    /// be enabled (`wal`) for the class to be usable.
+    pub node_kills: u32,
 }
 
 impl Default for FaultConfig {
@@ -122,6 +130,7 @@ impl Default for FaultConfig {
             seus: 0,
             degrade_depth: 0,
             degrade_margin: 0.0,
+            node_kills: 0,
         }
     }
 }
@@ -151,6 +160,7 @@ impl Deserialize for FaultConfig {
                 "seus" => out.seus = Deserialize::from_value(val)?,
                 "degrade_depth" => out.degrade_depth = Deserialize::from_value(val)?,
                 "degrade_margin" => out.degrade_margin = Deserialize::from_value(val)?,
+                "node_kills" => out.node_kills = Deserialize::from_value(val)?,
                 other => {
                     return Err(serde_json::Error::msg(format!(
                         "unknown fault-config field `{other}`"
@@ -253,7 +263,7 @@ impl FaultConfig {
     ///
     /// Keys: `seed`, `corrupt`, `retries`, `backoff-us`, `crashes`,
     /// `cooldown-us`, `watchdog-us`, `seus`, `degrade-depth`,
-    /// `degrade-margin`. Omitted keys keep their defaults.
+    /// `degrade-margin`, `node-kills`. Omitted keys keep their defaults.
     ///
     /// # Errors
     ///
@@ -290,6 +300,7 @@ impl FaultConfig {
                 "seus" => out.seus = value.parse().map_err(|_| bad())?,
                 "degrade-depth" => out.degrade_depth = value.parse().map_err(|_| bad())?,
                 "degrade-margin" => out.degrade_margin = value.parse().map_err(|_| bad())?,
+                "node-kills" => out.node_kills = value.parse().map_err(|_| bad())?,
                 _ => {
                     return Err(FaultPlanError::UnknownKey {
                         key: key.to_owned(),

@@ -55,6 +55,7 @@ mod report;
 mod request;
 mod scheduler;
 mod server;
+mod store;
 mod trace;
 
 pub use cluster::{
@@ -70,4 +71,7 @@ pub use report::{
 pub use request::{Completion, Export, Rejection, Request, RequestTimestamps};
 pub use scheduler::{InstanceView, SchedulePolicy, Scheduler};
 pub use server::{EngineMode, EngineModeError, ServeConfig, ServeOutcome, Server};
+pub use store::{serve_cluster_durable, serve_durable, DurabilityReport, WalConfig, WalSpecError};
 pub use trace::{ArrivalTrace, TraceConfig};
+
+pub use mann_store::{StoreError, WalRecord};

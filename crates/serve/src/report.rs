@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::faults::FaultReport;
 use crate::numeric::NumericHealth;
+use crate::store::DurabilityReport;
 
 /// Latency summary over completed requests (simulated seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -40,7 +41,7 @@ impl LatencySummary {
             p50_s: percentile(&sorted, 50.0),
             p95_s: percentile(&sorted, 95.0),
             p99_s: percentile(&sorted, 99.0),
-            max_s: *sorted.last().expect("nonempty"),
+            max_s: sorted.last().copied().unwrap_or_default(),
         }
     }
 
@@ -328,6 +329,9 @@ pub struct ServeReport {
     /// Candidate-index summary; `index.enabled == false` (and the key
     /// absent from JSON) when the index is off.
     pub index: IndexReport,
+    /// Durable-store summary; `durability.enabled == false` (and the key
+    /// absent from JSON) when the write-ahead log is off.
+    pub durability: DurabilityReport,
 }
 
 impl Serialize for ServeReport {
@@ -368,6 +372,9 @@ impl Serialize for ServeReport {
         }
         if self.index.enabled {
             pairs.push(("index".into(), self.index.to_value()));
+        }
+        if self.durability.enabled {
+            pairs.push(("durability".into(), self.durability.to_value()));
         }
         serde_json::Value::Object(pairs)
     }
@@ -413,6 +420,10 @@ impl Deserialize for ServeReport {
                 Ok(iv) => Deserialize::from_value(iv)?,
                 Err(_) => IndexReport::default(),
             },
+            durability: match v.field("durability") {
+                Ok(dv) => Deserialize::from_value(dv)?,
+                Err(_) => DurabilityReport::default(),
+            },
         })
     }
 }
@@ -421,6 +432,17 @@ impl ServeReport {
     /// Sum of per-instance busy seconds.
     pub fn total_busy_s(&self) -> f64 {
         self.instances.iter().map(|i| i.busy_s).sum()
+    }
+
+    /// A copy with the durability section reset to the disabled default:
+    /// with the WAL on (even across a kill-and-recover), everything else
+    /// must be byte-identical to the same serve without a WAL — the
+    /// journaling layer may observe a serve, never change it.
+    #[must_use]
+    pub fn sans_durability(&self) -> Self {
+        let mut r = self.clone();
+        r.durability = DurabilityReport::default();
+        r
     }
 
     /// Renders the report as text tables.
@@ -514,6 +536,10 @@ impl ServeReport {
         }
         if self.index.enabled {
             out.push_str(&self.index.render());
+            out.push('\n');
+        }
+        if self.durability.enabled {
+            out.push_str(&self.durability.render());
             out.push('\n');
         }
         let mut inst = TextTable::new(vec![

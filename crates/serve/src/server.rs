@@ -42,6 +42,7 @@ use mann_hw::{
     MemIndexConfig, PcieLink, PowerModel, ResidentStory, SimTime, DEFAULT_STORY_CACHE,
 };
 use mann_ith::HopPrune;
+use mann_store::WalRecord;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultConfig, FaultPlan, FaultReport};
@@ -52,6 +53,7 @@ use crate::report::{
 };
 use crate::request::{Completion, Export, Rejection, Request, RequestTimestamps};
 use crate::scheduler::{InstanceView, Scheduler};
+use crate::store::{DurabilityReport, WalConfig};
 use crate::trace::ArrivalTrace;
 use crate::SchedulePolicy;
 
@@ -172,6 +174,12 @@ pub struct ServeConfig {
     /// standalone recovery stays local and byte-identical to before the
     /// cluster layer existed.
     pub failover_export: bool,
+    /// Write-ahead-log configuration. When enabled, the serve collects
+    /// the durable journal ([`ServeOutcome::wal_records`]) for the store
+    /// driver to persist; the event loop itself stays I/O-free and
+    /// byte-identical, and the default (off) leaves even the collection
+    /// path untouched.
+    pub wal: WalConfig,
 }
 
 impl Default for ServeConfig {
@@ -195,6 +203,7 @@ impl Default for ServeConfig {
             hop_prune: HopPrune::default(),
             mem_index: MemIndexConfig::default(),
             failover_export: false,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -219,6 +228,14 @@ impl ServeConfig {
             return Err("upload batch must be positive".into());
         }
         self.faults.validate().map_err(|e| e.to_string())?;
+        self.wal.validate()?;
+        if self.faults.node_kills > 0 && !self.wal.enabled {
+            return Err(
+                "node_kills require the write-ahead log (set `wal`, --wal-dir, or MANN_WAL): \
+                 a killed node can only be recovered by replaying its journal"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -236,6 +253,11 @@ pub struct ServeOutcome {
     /// Stranded requests handed off for cross-shard failover, in
     /// request-id order; always empty unless `failover_export` is set.
     pub exports: Vec<Export>,
+    /// The durable journal of this serve (story admissions, evictions,
+    /// completions) in canonical `(stamp, kind, id)` order; always empty
+    /// unless `wal.enabled` is set. The store driver persists these — the
+    /// serve itself never touches the filesystem.
+    pub wal_records: Vec<WalRecord>,
     /// The aggregate report.
     pub report: ServeReport,
 }
@@ -698,6 +720,27 @@ impl<'a> Server<'a> {
         let mut mttr_inst = (SimTime::ZERO, 0u64);
         let mut mttr_seu = (SimTime::ZERO, 0u64);
 
+        // ----- durable journal (inert unless wal.enabled) ----------------
+        let journal_on = self.config.wal.enabled;
+        let mut wal_records: Vec<WalRecord> = Vec::new();
+        // Evictions come back from the LRU as cache keys; map each key to
+        // its (digest, task) pair for the journal. The key is
+        // digest ^ task·MIX, so the map is total over everything this
+        // trace can admit.
+        let mut key_meta: HashMap<u64, (u64, u32)> = HashMap::new();
+        // Quantized rows are identical for every request of a story —
+        // extract once per story id, lazily, only for journaled misses.
+        let mut wal_rows: Vec<Option<Vec<i32>>> = Vec::new();
+        if journal_on {
+            wal_rows.resize(num.stories.len(), None);
+            for (i, r) in trace.requests.iter().enumerate() {
+                key_meta.insert(
+                    num.keys[i],
+                    (num.stories[num.story_of[i]].digest(), r.task_idx as u32),
+                );
+            }
+        }
+
         // Moves as many queued requests as credits allow onto the link.
         // Residency (hit or miss) is decided here, per dispatched request,
         // because it depends on the chosen instance's cache state.
@@ -733,6 +776,24 @@ impl<'a> Server<'a> {
                     for &r in &reqs {
                         let admission = residency[target].admit(num.keys[r]);
                         hit[r] = admission.hit;
+                        if journal_on {
+                            if let Some(k) = admission.evicted {
+                                let (d, t) = key_meta[&k];
+                                wal_records.push(WalRecord::evict(d, t, $now.ps()));
+                            }
+                            if !admission.hit {
+                                let sid = num.story_of[r];
+                                let rows = wal_rows[sid]
+                                    .get_or_insert_with(|| num.stories[sid].quantized_rows())
+                                    .clone();
+                                wal_records.push(WalRecord::story(
+                                    num.stories[sid].digest(),
+                                    trace.requests[r].task_idx as u32,
+                                    $now.ps(),
+                                    rows,
+                                ));
+                            }
+                        }
                         if admission.scrubbed {
                             // A poisoned resident story: the digest check
                             // caught it, so this dispatch pays a full
@@ -1204,6 +1265,24 @@ impl<'a> Server<'a> {
             .collect();
         let numeric = self.apply_numeric_policy(&mut completions);
 
+        // Journal completions only after the numeric policy has settled
+        // the final answers, so replaying the WAL reproduces exactly what
+        // was served. Canonical order makes the journal a pure function
+        // of (suite, trace, config), independent of engine and threads.
+        if journal_on {
+            for c in &completions {
+                wal_records.push(WalRecord::completion(
+                    c.request.id,
+                    c.run.answer as u32,
+                    c.timestamps.drain_end.ps(),
+                ));
+            }
+            wal_records.sort_by(|a, b| {
+                (a.stamp_ps, a.kind, a.id, a.task, a.digest)
+                    .cmp(&(b.stamp_ps, b.kind, b.id, b.task, b.digest))
+            });
+        }
+
         let cache_stats = residency.iter().map(|r| r.stats()).fold(
             mann_hw::CacheStats::default(),
             |mut acc, s| {
@@ -1281,6 +1360,7 @@ impl<'a> Server<'a> {
             rejections,
             sheds,
             exports,
+            wal_records,
             report,
         }
     }
@@ -1481,6 +1561,9 @@ impl<'a> Server<'a> {
             batch,
             prune,
             index,
+            // The durable driver (`crate::store`) patches this section in
+            // after persisting the journal; the pure serve never fills it.
+            durability: DurabilityReport::default(),
         }
     }
 }

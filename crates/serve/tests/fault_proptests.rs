@@ -103,6 +103,7 @@ proptest! {
                 seus,
                 degrade_depth: depth,
                 degrade_margin: margin_q as f32 * 0.25,
+                node_kills: 0,
             },
             ..ServeConfig::default()
         };

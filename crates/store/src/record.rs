@@ -1,0 +1,199 @@
+//! The WAL record: one durable event on the story-store timeline.
+//!
+//! A record is a flat struct with a `kind` discriminant rather than an
+//! enum so it can derive the workspace serde pair (the offline derive
+//! handles named-field structs only) and travel inside `ServeOutcome`.
+//! The binary codec is hand-written little-endian: the WAL is a disk
+//! format with a CRC over every frame, so its byte layout must be exact
+//! and independent of any JSON detail.
+
+use serde::{Deserialize, Serialize};
+
+/// A story was admitted into an accelerator's residency (a `write_story`
+/// in paper terms: CONTROL + INPUT&WRITE phases streamed the quantized
+/// rows into the address/content memories).
+pub const KIND_STORY: u8 = 0;
+/// A request completed with a final (post-numeric-policy) answer.
+pub const KIND_COMPLETION: u8 = 1;
+/// A story was evicted from an accelerator's residency (LRU displacement).
+pub const KIND_EVICT: u8 = 2;
+
+/// One durable event. Which fields are meaningful depends on `kind`:
+///
+/// | field      | story            | completion     | evict           |
+/// |------------|------------------|----------------|-----------------|
+/// | `digest`   | story digest     | 0              | story digest    |
+/// | `task`     | task index       | 0              | task index      |
+/// | `id`       | 0                | request id     | 0               |
+/// | `answer`   | 0                | answer index   | 0               |
+/// | `stamp_ps` | dispatch time    | drain-end time | dispatch time   |
+/// | `resident` | 0 (1 implied)    | 0              | 0               |
+/// | `rows`     | quantized Q16.16 | empty          | empty           |
+///
+/// `resident` is nonzero only in snapshot story records, where it carries
+/// the story's residency count across all instances (a story can be live
+/// on several accelerators at once; replay must restore the exact count).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Discriminant: [`KIND_STORY`], [`KIND_COMPLETION`] or [`KIND_EVICT`].
+    pub kind: u8,
+    /// Story digest (story/evict records).
+    pub digest: u64,
+    /// Task index the story belongs to (story/evict records).
+    pub task: u32,
+    /// Request id (completion records).
+    pub id: u64,
+    /// Final answer index (completion records).
+    pub answer: u32,
+    /// Simulated-time stamp in integer picoseconds.
+    pub stamp_ps: u64,
+    /// Residency count, used only by snapshot story records (0 in the WAL).
+    pub resident: u32,
+    /// Quantized Q16.16 memory rows (story records only).
+    pub rows: Vec<i32>,
+}
+
+impl WalRecord {
+    /// A story-write record.
+    #[must_use]
+    pub fn story(digest: u64, task: u32, stamp_ps: u64, rows: Vec<i32>) -> Self {
+        Self {
+            kind: KIND_STORY,
+            digest,
+            task,
+            id: 0,
+            answer: 0,
+            stamp_ps,
+            resident: 0,
+            rows,
+        }
+    }
+
+    /// A completion record.
+    #[must_use]
+    pub fn completion(id: u64, answer: u32, stamp_ps: u64) -> Self {
+        Self {
+            kind: KIND_COMPLETION,
+            digest: 0,
+            task: 0,
+            id,
+            answer,
+            stamp_ps,
+            resident: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// An eviction record.
+    #[must_use]
+    pub fn evict(digest: u64, task: u32, stamp_ps: u64) -> Self {
+        Self {
+            kind: KIND_EVICT,
+            digest,
+            task,
+            id: 0,
+            answer: 0,
+            stamp_ps,
+            resident: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Serializes to the little-endian on-disk payload (no frame header).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(41 + 4 * self.rows.len());
+        out.push(self.kind);
+        out.extend_from_slice(&self.digest.to_le_bytes());
+        out.extend_from_slice(&self.task.to_le_bytes());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.answer.to_le_bytes());
+        out.extend_from_slice(&self.stamp_ps.to_le_bytes());
+        out.extend_from_slice(&self.resident.to_le_bytes());
+        let rows_len = u32::try_from(self.rows.len()).expect("row count fits u32");
+        out.extend_from_slice(&rows_len.to_le_bytes());
+        for row in &self.rows {
+            out.extend_from_slice(&row.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`WalRecord::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (short buffer,
+    /// unknown kind, trailing bytes, row-count mismatch).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        const HEADER: usize = 41;
+        if bytes.len() < HEADER {
+            return Err(format!("record payload too short: {} bytes", bytes.len()));
+        }
+        let kind = bytes[0];
+        if kind > KIND_EVICT {
+            return Err(format!("unknown record kind {kind}"));
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let rows_len = u32_at(37) as usize;
+        if bytes.len() != HEADER + 4 * rows_len {
+            return Err(format!(
+                "record payload length {} does not match {rows_len} rows",
+                bytes.len()
+            ));
+        }
+        let rows = bytes[HEADER..]
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Ok(Self {
+            kind,
+            digest: u64_at(1),
+            task: u32_at(9),
+            id: u64_at(13),
+            answer: u32_at(21),
+            stamp_ps: u64_at(25),
+            resident: u32_at(33),
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let recs = [
+            WalRecord::story(
+                0xDEAD_BEEF_0BAD_F00D,
+                3,
+                42_000_000,
+                vec![1, -2, i32::MIN, i32::MAX],
+            ),
+            WalRecord::completion(17, 5, 99_000),
+            WalRecord::evict(0x1234, 0, 0),
+        ];
+        for r in recs {
+            let bytes = r.to_bytes();
+            let back = WalRecord::from_bytes(&bytes).expect("decode");
+            assert_eq!(back, r);
+            assert_eq!(back.to_bytes(), bytes, "re-encode is bit-exact");
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(WalRecord::from_bytes(&[]).is_err());
+        assert!(WalRecord::from_bytes(&[9; 41]).is_err(), "unknown kind");
+        let mut ok = WalRecord::story(1, 1, 1, vec![7]).to_bytes();
+        ok.push(0);
+        assert!(WalRecord::from_bytes(&ok).is_err(), "trailing byte");
+        let short = WalRecord::story(1, 1, 1, vec![7, 8]).to_bytes();
+        assert!(
+            WalRecord::from_bytes(&short[..short.len() - 4]).is_err(),
+            "missing row"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the WAL disk format (ISSUE 9 satellite).
+//!
+//! Three families, mirroring the durability contract:
+//!
+//! 1. record framing round-trips bit-exactly,
+//! 2. arbitrary tail truncation of a sealed segment is always detected
+//!    (and lenient recovery only ever yields an order-preserving prefix —
+//!    records are never reordered or partially absorbed),
+//! 3. replay of a segment directory is order-canonical regardless of the
+//!    order the segment files were created in.
+
+use std::fs;
+
+use mann_store::{
+    decode_segment_bytes, frame_payload, frame_record, recover_segment_bytes, replay_dir,
+    seal_payload, segment_path, WalRecord,
+};
+use proptest::prelude::*;
+
+/// Builds a record deterministically from one seed, covering all kinds
+/// and a spread of row lengths (including empty).
+fn record_from(seed: u64) -> WalRecord {
+    let mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    match seed % 3 {
+        0 => {
+            let rows = (0..(mix % 9) as usize)
+                .map(|i| (mix.rotate_left(i as u32 * 7) as u32) as i32)
+                .collect();
+            WalRecord::story(mix, (seed % 23) as u32, mix >> 13, rows)
+        }
+        1 => WalRecord::completion(seed, (mix % 31) as u32, mix >> 7),
+        _ => WalRecord::evict(mix, (seed % 23) as u32, mix >> 11),
+    }
+}
+
+/// Serializes `records` into one sealed segment's bytes.
+fn sealed_segment(records: &[WalRecord]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut count = 0u64;
+    let mut xor = 0u64;
+    for r in records {
+        let payload = r.to_bytes();
+        xor ^= u64::from(mann_store::crc32_of(&payload));
+        count += 1;
+        bytes.extend_from_slice(&frame_payload(&payload));
+    }
+    bytes.extend_from_slice(&frame_payload(&seal_payload(count, xor)));
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Framing round-trips bit-exactly: decode(encode(r)) == r and the
+    /// re-encoded bytes are identical.
+    #[test]
+    fn framing_round_trips_bit_exactly(seeds in proptest::collection::vec(any::<u64>(), 0..24)) {
+        let records: Vec<WalRecord> = seeds.iter().map(|&s| record_from(s)).collect();
+        let bytes = sealed_segment(&records);
+        let read = decode_segment_bytes(&bytes, "mem", true).expect("sealed segment decodes");
+        prop_assert!(read.sealed);
+        prop_assert_eq!(&read.records, &records);
+        // Bit-exact re-encode: the same records produce the same bytes.
+        prop_assert_eq!(sealed_segment(&read.records), bytes);
+        for r in &records {
+            let payload = r.to_bytes();
+            let back = WalRecord::from_bytes(&payload).expect("payload decodes");
+            prop_assert_eq!(&back, r);
+            prop_assert_eq!(back.to_bytes(), payload);
+            prop_assert_eq!(frame_record(&back), frame_payload(&payload));
+        }
+    }
+
+    /// Truncating a sealed segment at ANY byte — frame boundaries
+    /// included — is detected by the strict reader, and lenient recovery
+    /// returns an order-preserving prefix of the original records.
+    #[test]
+    fn tail_truncation_is_always_detected(
+        seeds in proptest::collection::vec(any::<u64>(), 1..16),
+        cut_pick in any::<u64>(),
+    ) {
+        let records: Vec<WalRecord> = seeds.iter().map(|&s| record_from(s)).collect();
+        let bytes = sealed_segment(&records);
+        // Any strictly-shorter prefix, including the empty one.
+        let cut = (cut_pick % bytes.len() as u64) as usize;
+        let truncated = &bytes[..cut];
+        prop_assert!(
+            decode_segment_bytes(truncated, "mem", true).is_err(),
+            "truncation to {cut}/{} bytes went undetected", bytes.len()
+        );
+        let rec = recover_segment_bytes(truncated);
+        prop_assert!(!rec.sealed);
+        prop_assert!(rec.records.len() <= records.len());
+        // Never reordered, never partially absorbed: recovery yields an
+        // exact prefix.
+        prop_assert_eq!(&rec.records[..], &records[..rec.records.len()]);
+    }
+
+    /// Replaying a directory is order-canonical: records come back in
+    /// ascending segment order no matter what order the files were
+    /// created in (directory iteration order must not leak through).
+    #[test]
+    fn shuffled_segment_directory_replays_canonically(
+        seeds in proptest::collection::vec(any::<u64>(), 2..30),
+        parts in 2u64..5,
+        shuffle in any::<u64>(),
+    ) {
+        let records: Vec<WalRecord> = seeds.iter().map(|&s| record_from(s)).collect();
+        let parts = parts as usize;
+        let chunk = records.len().div_ceil(parts);
+        let chunks: Vec<&[WalRecord]> = records.chunks(chunk).collect();
+
+        let dir = std::env::temp_dir()
+            .join(format!("mann_store_shuffle_{:x}", shuffle ^ seeds.len() as u64));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+
+        // Create the segment files in a shuffled order.
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        let mut state = shuffle | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        for &i in &order {
+            let path = segment_path(&dir, i as u64);
+            fs::write(path, sealed_segment(chunks[i])).expect("write segment");
+        }
+
+        let replay = replay_dir(&dir).expect("replay");
+        prop_assert_eq!(replay.segments, chunks.len() as u64);
+        prop_assert_eq!(&replay.records, &records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

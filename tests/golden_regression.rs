@@ -28,8 +28,8 @@ use mann_accel::core::experiments::{fig3, fig4, table1};
 use mann_accel::core::{SuiteConfig, TaskSuite};
 use mann_accel::hw::{AccelConfig, Accelerator, MemIndexConfig};
 use mann_accel::serve::{
-    ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune, NumericPolicy,
-    SchedulePolicy, ServeConfig, Server, TraceConfig,
+    serve_cluster_durable, ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune,
+    NumericPolicy, SchedulePolicy, ServeConfig, Server, TraceConfig, WalConfig,
 };
 use serde::json::Value;
 use serde::Serialize;
@@ -305,6 +305,7 @@ fn serve_fault_campaign_is_pinned() {
             seus: 6,
             degrade_depth: 6,
             degrade_margin: 0.75,
+            node_kills: 0,
         },
         ..ServeConfig::default()
     };
@@ -427,6 +428,99 @@ fn serve_cluster_campaign_is_pinned() {
     );
 
     check_golden("serve_cluster.json", &out.report.to_value());
+}
+
+/// A K=2 durable cluster campaign with one `node_kill`: every shard-pass
+/// journals its stories, evictions and completions to a write-ahead log,
+/// the seeded victim shard is fail-stopped mid-append (leaving a torn
+/// frame on disk), and recovery replays snapshot + segments onto a fresh
+/// stack before re-dispatching the in-flight remainder. Pins the merged
+/// report — durability section included — byte for byte, and asserts the
+/// three determinism laws in-test: serial == parallel bytes, bytes are
+/// independent of the WAL directory, and the recovered report minus its
+/// durability section is byte-identical to the no-crash, no-WAL run.
+#[test]
+fn serve_recovery_campaign_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 47,
+            mean_interarrival_s: 60e-6,
+            story_pool: 6,
+        },
+        s,
+    );
+    // Fresh scratch WAL roots: counters in the durability section are
+    // path-free, so the golden bytes cannot depend on these locations.
+    let wal_root = |name: &str| {
+        let dir = std::env::temp_dir().join(format!("mann_golden_recovery_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let config_for = |dir: std::path::PathBuf, engine: EngineMode| ClusterConfig {
+        shards: 2,
+        replication: 1,
+        base: ServeConfig {
+            instances: 2,
+            queue_capacity: 128,
+            story_cache: 4,
+            policy: SchedulePolicy::StoryAffinity,
+            engine,
+            faults: FaultConfig {
+                seed: 9,
+                node_kills: 1,
+                ..FaultConfig::none()
+            },
+            wal: WalConfig {
+                enabled: true,
+                dir: dir.display().to_string(),
+                snapshot_every: 24,
+                ..WalConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+
+    let cluster = Cluster::new(s, config_for(wal_root("parallel"), EngineMode::Parallel));
+    let out = serve_cluster_durable(&cluster, &trace).expect("durable cluster serve");
+    let d = &out.report.durability;
+    assert!(d.enabled, "durability section must be published");
+    assert_eq!(d.node_kills, 1, "the campaign must kill exactly one node");
+    assert_eq!(d.torn_tails, 1, "the torn WAL tail must be detected");
+    assert!(d.replayed_records > 0, "recovery must replay the journal");
+    assert!(d.snapshots > 0, "the campaign must snapshot and compact");
+    assert_eq!(
+        out.report.completed + out.report.rejected + out.report.shed,
+        trace.len(),
+        "cluster outcome must partition the trace"
+    );
+
+    // Determinism law 1: the serial engine, on its own fresh WAL root,
+    // reproduces the parallel report — durability bytes included.
+    let serial_cluster = Cluster::new(s, config_for(wal_root("serial"), EngineMode::Serial));
+    let serial = serve_cluster_durable(&serial_cluster, &trace).expect("serial durable serve");
+    assert_eq!(
+        serial.report.to_value().print(),
+        out.report.to_value().print(),
+        "serial and parallel engines diverged on the recovered cluster report"
+    );
+
+    // Determinism law 2: the crash campaign is journal-level — stripped
+    // of its durability section, the recovered report is byte-identical
+    // to a plain run with no WAL and no kill.
+    let mut plain_config = config_for(wal_root("unused"), EngineMode::Parallel);
+    plain_config.base.faults.node_kills = 0;
+    plain_config.base.wal = WalConfig::default();
+    let plain = Cluster::new(s, plain_config).serve(&trace);
+    assert_eq!(
+        out.report.sans_durability().to_value().print(),
+        plain.report.to_value().print(),
+        "recovery must reproduce the no-crash report bytes"
+    );
+
+    check_golden("serve_recovery.json", &out.report.to_value());
 }
 
 /// The stress suite for the numeric campaign: the trained embeddings are
