@@ -11,10 +11,12 @@
 //! * serve throughput, unique-story trace:   **>= 1.2x** requests/s
 //! * same-story batch fusion, burst trace:   **>= 1.3x** simulated req/s
 //! * cluster scaling, 1 -> 4 shards:         **>= 3.0x** simulated req/s
+//! * hot-key split, pathological story:      **>= 1.3x** simulated req/s
 //!
 //! Training/kernel results are written to `BENCH_PR1.json`, serving
-//! results to `BENCH_PR3.json`, dedup results to `BENCH_PR6.json`, and
-//! cluster scale-out results to `BENCH_PR7.json`, as rows of
+//! results to `BENCH_PR3.json`, dedup results to `BENCH_PR6.json`,
+//! cluster scale-out results to `BENCH_PR7.json`, and membership /
+//! hot-key split results to `BENCH_PR10.json`, as rows of
 //! `{"metric": ..., "value": ..., "unit": ...}`. Every baseline is real,
 //! runnable code — not a recorded number — so the gate keeps meaning as
 //! hardware changes. Each reference path is cross-checked against the
@@ -43,8 +45,8 @@ use mann_core::{SuiteConfig, TaskSuite};
 use mann_hw::{AccelConfig, Accelerator, DatapathConfig, MemIndexConfig, PcieLink};
 use mann_linalg::{Matrix, Vector};
 use mann_serve::{
-    ArrivalTrace, Cluster, ClusterConfig, HopPrune, SchedulePolicy, ServeConfig, Server,
-    TraceConfig,
+    ArrivalTrace, Cluster, ClusterConfig, HopPrune, MembershipPlan, SchedulePolicy, ServeConfig,
+    Server, TraceConfig,
 };
 use memn2n::{train_step, ModelConfig, Params, TrainConfig, Trainer, Workspace};
 
@@ -873,6 +875,11 @@ fn main() {
     let mut cluster_rows: Vec<Row> = Vec::new();
     let cluster_scaling = cluster_gate(&mut cluster_rows);
 
+    // --- Live membership: hot-key splitting on a pathological
+    // single-story burst, pinned-shard vs full-replica-set fan-out.
+    let mut membership_rows: Vec<Row> = Vec::new();
+    let split_recovery = membership_gate(&mut membership_rows);
+
     // --- Sub-linear addressing: the IVF candidate index against the
     // exact scan at a multi-thousand-sentence memory point.
     let mut index_rows: Vec<Row> = Vec::new();
@@ -885,6 +892,7 @@ fn main() {
     write_rows("BENCH_PR6.json", &dedup_rows);
     write_rows("BENCH_PR7.json", &cluster_rows);
     write_rows("BENCH_PR8.json", &index_rows);
+    write_rows("BENCH_PR10.json", &membership_rows);
 
     let mut failed = Vec::new();
     if build_speedup < 1.3 {
@@ -910,6 +918,11 @@ fn main() {
     }
     if cluster_scaling < 3.0 {
         failed.push(format!("serve_cluster_scaling {cluster_scaling:.2} < 3.0"));
+    }
+    if split_recovery < 1.3 {
+        failed.push(format!(
+            "serve_hot_key_split_recovery {split_recovery:.2} < 1.3"
+        ));
     }
     if indexed_speedup < 2.0 {
         failed.push(format!(
@@ -1281,6 +1294,104 @@ fn cluster_gate(rows: &mut Vec<Row>) -> f64 {
         one.report.throughput_rps, four.report.throughput_rps,
     );
     scaling
+}
+
+/// Hot-key split gate: one pathological story receives the entire burst,
+/// so without the splitter a K=4/R=4 fleet serves it on a single shard
+/// while three sit idle. Arming the membership hot-key detector fans the
+/// story's traffic across its full replica chain; the gate floors the
+/// completed simulated-time throughput recovery at >= 1.3x and asserts
+/// the split never changes an answer or drops a request.
+fn membership_gate(rows: &mut Vec<Row>) -> f64 {
+    eprintln!("[perf_gate] training hot-key workload ...");
+    let suite = &TaskSuite::build(&SuiteConfig {
+        tasks: vec![TaskId::SingleSupportingFact],
+        train_samples: 40,
+        test_samples: 64,
+        seed: 11,
+        ..SuiteConfig::quick()
+    });
+    let burst = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 256,
+            seed: 47,
+            mean_interarrival_s: 1e-9,
+            story_pool: 1,
+        },
+        suite,
+    );
+    let base = ServeConfig {
+        instances: 2,
+        queue_capacity: 512,
+        inflight_limit: 4,
+        story_cache: 16,
+        policy: SchedulePolicy::StoryAffinity,
+        pcie: PcieLink {
+            bandwidth_bytes_per_s: 1.5e9,
+            latency_per_transfer_s: 1e-6,
+        },
+        ..ServeConfig::default()
+    };
+    let fleet = |plan: MembershipPlan| {
+        Cluster::new(
+            suite,
+            ClusterConfig {
+                shards: 4,
+                replication: 4,
+                membership: plan,
+                base: base.clone(),
+                ..ClusterConfig::default()
+            },
+        )
+        .serve(&burst)
+    };
+    let pinned = fleet(MembershipPlan::none());
+    let split = fleet(MembershipPlan::parse_spec("hot-key=8").expect("valid hot-key spec"));
+    assert_eq!(
+        pinned.report.completed,
+        burst.len(),
+        "pinned fleet dropped requests — widen the queue"
+    );
+    assert_eq!(
+        split.report.completed,
+        burst.len(),
+        "split fleet dropped requests"
+    );
+    assert_eq!(
+        pinned.report.answers_digest, split.report.answers_digest,
+        "splitting the hot key changed an answer"
+    );
+    assert!(
+        split.report.membership.split_requests > 0,
+        "the splitter never engaged — lower the threshold"
+    );
+    let recovery = split.report.throughput_rps / pinned.report.throughput_rps;
+    rows.push(Row {
+        metric: "serve_hot_key_pinned_rps",
+        value: pinned.report.throughput_rps,
+        unit: "req/s",
+    });
+    rows.push(Row {
+        metric: "serve_hot_key_split_rps",
+        value: split.report.throughput_rps,
+        unit: "req/s",
+    });
+    rows.push(Row {
+        metric: "serve_hot_key_split_recovery",
+        value: recovery,
+        unit: "x",
+    });
+    rows.push(Row {
+        metric: "serve_hot_key_split_requests",
+        value: split.report.membership.split_requests as f64,
+        unit: "req",
+    });
+    eprintln!(
+        "[perf_gate] hot-key split: {:.0} req/s (pinned) -> {:.0} req/s (split across R=4) \
+         ({recovery:.2}x)",
+        pinned.report.throughput_rps, split.report.throughput_rps,
+    );
+    recovery
 }
 
 /// Sub-linear addressing gate: exact-scan vs IVF-indexed addressing at a

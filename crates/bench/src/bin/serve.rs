@@ -74,10 +74,26 @@
 //! each running the full serve stack above. `--replication R` (default 1)
 //! arms cross-shard failover — with a fault plan active, a request
 //! stranded by an instance crash is re-dispatched to its story's replica
-//! shard at real re-upload cost. At K>1 the report is the merged
-//! `ClusterReport` (written to `serve_cluster_report.json`); at K=1/R=1
-//! the cluster layer is inert and output is byte-identical to the
-//! single-node path.
+//! shard at real re-upload cost. `--weights w0,w1,...` sets per-shard
+//! routing weights (one positive integer < 65536 per shard; zero,
+//! negative, fractional or non-finite weights are hard errors, never
+//! silently clamped). At K>1 the report is the merged `ClusterReport`
+//! (written to `serve_cluster_report.json`); at K=1/R=1 the cluster
+//! layer is inert and output is byte-identical to the single-node path.
+//!
+//! `--membership-plan <path|spec>` runs a live-membership campaign on
+//! the cluster: either a JSON file or an inline spec such as
+//! `join=3@800,drain=1@2000,fail=2@3000,retune-threshold=0.05,hot-key=8`
+//! (times in microseconds). Drained shards hand resident stories to the
+//! next live replica as real re-uploads, failed shards strand their
+//! in-flight work for `route_live` re-dispatch, joins arrive with a cold
+//! cache, queue-pressure retunes halve a shard's routing weight, and the
+//! hot-key splitter fans one pathological story across its replica set.
+//! `--hot-key-threshold <n>` overrides that one knob of whatever plan is
+//! loaded. Plans that reference a shard index ≥ K, or any membership
+//! flag on a 1-shard/1-replica run, are hard errors. The campaign adds a
+//! `membership` report section; an empty plan leaves every report byte
+//! unchanged.
 //!
 //! The serve is a pure function of `(suite, trace, config)`: rerunning
 //! with the same flags — at any `MANN_THREADS` — prints byte-identical
@@ -90,8 +106,8 @@ use mann_core::write_json_report;
 use mann_hw::{MemIndexConfig, StoryCache, DEFAULT_STORY_CACHE};
 use mann_serve::{
     serve_cluster_durable, serve_durable, ArrivalTrace, Cluster, ClusterConfig, EngineMode,
-    FaultConfig, HopPrune, NumericPolicy, SchedulePolicy, ServeConfig, Server, TraceConfig,
-    WalConfig,
+    FaultConfig, HopPrune, MembershipPlan, NumericPolicy, SchedulePolicy, ServeConfig, Server,
+    TraceConfig, WalConfig,
 };
 
 /// Prints a CLI-usage error and exits with status 2.
@@ -123,7 +139,37 @@ struct ServeArgs {
     link_latency_us: Option<f64>,
     shards: usize,
     replication: usize,
+    weights: Vec<u32>,
+    membership: MembershipPlan,
     wal: WalConfig,
+}
+
+/// Parses a `--weights` list: one routing weight per shard, each a
+/// positive integer below 2^16. Anything else — zero, negative,
+/// fractional, non-finite, or out of range — is a hard error; weights
+/// are never silently clamped into range.
+fn parse_weights(spec: &str) -> Result<Vec<u32>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .map(|tok| {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| format!("invalid shard weight {tok:?}: expected a number"))?;
+            if !v.is_finite() {
+                return Err(format!("invalid shard weight {tok:?}: must be finite"));
+            }
+            if v <= 0.0 {
+                return Err(format!("invalid shard weight {tok:?}: must be positive"));
+            }
+            if v.fract() != 0.0 {
+                return Err(format!("invalid shard weight {tok:?}: must be an integer"));
+            }
+            if v >= f64::from(1u32 << 16) {
+                return Err(format!("invalid shard weight {tok:?}: must be below 65536"));
+            }
+            Ok(v as u32)
+        })
+        .collect()
 }
 
 impl ServeArgs {
@@ -157,9 +203,12 @@ impl ServeArgs {
             link_latency_us: None,
             shards: 1,
             replication: 1,
+            weights: Vec::new(),
+            membership: MembershipPlan::none(),
             wal: WalConfig::from_env().unwrap_or_else(|e| usage_bail(e)),
         };
         let mut snapshot_every: Option<u64> = None;
+        let mut hot_key_threshold: Option<u64> = None;
         let mut watchdog_us: Option<f64> = None;
         let mut max_retries: Option<u32> = None;
         let mut it = args.into_iter();
@@ -263,6 +312,18 @@ impl ServeArgs {
                 "--replication" => {
                     out.replication = num("--replication", grab("--replication")) as usize;
                 }
+                "--weights" => {
+                    let v = grab("--weights");
+                    out.weights = parse_weights(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--membership-plan" => {
+                    let v = grab("--membership-plan");
+                    out.membership = MembershipPlan::from_arg(&v).unwrap_or_else(|e| usage_bail(e));
+                }
+                "--hot-key-threshold" => {
+                    hot_key_threshold =
+                        Some(num("--hot-key-threshold", grab("--hot-key-threshold")));
+                }
                 "--link-latency-us" => {
                     let v = grab("--link-latency-us");
                     out.link_latency_us = Some(v.parse().unwrap_or_else(|_| {
@@ -282,6 +343,26 @@ impl ServeArgs {
                 );
             }
             out.wal.snapshot_every = n;
+        }
+        if let Some(n) = hot_key_threshold {
+            out.membership.hot_key_threshold = n;
+            if let Err(e) = out.membership.validate() {
+                usage_bail(e);
+            }
+        }
+        let clustered = out.shards > 1 || out.replication > 1;
+        if !clustered {
+            // These knobs only exist at the cluster layer; accepting them
+            // on a single-node run would silently serve without them.
+            if !out.membership.is_empty() {
+                usage_bail(
+                    "--membership-plan / --hot-key-threshold need a cluster \
+                     (--shards > 1): a single node has no membership to change",
+                );
+            }
+            if !out.weights.is_empty() {
+                usage_bail("--weights needs a cluster (--shards > 1)");
+            }
         }
         if let Some(us) = watchdog_us {
             out.faults.watchdog_s = us * 1e-6;
@@ -420,6 +501,8 @@ fn main() {
         let cluster_config = ClusterConfig {
             shards: serve_args.shards,
             replication: serve_args.replication,
+            weights: serve_args.weights,
+            membership: serve_args.membership,
             base: config,
             ..ClusterConfig::default()
         };
@@ -430,6 +513,16 @@ fn main() {
             "[serve] cluster of {} shard(s), replication {} (rendezvous story routing)",
             cluster_config.shards, cluster_config.replication
         );
+        if !cluster_config.membership.is_empty() {
+            let m = &cluster_config.membership;
+            eprintln!(
+                "[serve] membership campaign active: {} event(s), retune threshold {}, \
+                 hot-key threshold {}",
+                m.events.len(),
+                m.retune_threshold,
+                m.hot_key_threshold,
+            );
+        }
         let cluster = Cluster::new(&suite, cluster_config);
         let outcome = serve_cluster_durable(&cluster, &trace).unwrap_or_else(|e| usage_bail(e));
         println!(

@@ -34,10 +34,15 @@ use std::convert::Infallible;
 
 use mann_core::report::{fnum, percent, TextTable};
 use mann_core::TaskSuite;
-use mann_hw::{fault_mix, shard_fault_seed, story_digest, PhaseCycles, SimTime};
+use mann_hw::{
+    fault_mix, shard_fault_seed, story_digest, Accelerator, PcieLink, PhaseCycles, SimTime,
+};
 use serde::Serialize;
 
 use crate::faults::{FaultConfig, FaultReport};
+use crate::membership::{
+    MembershipEpoch, MembershipEventKind, MembershipPlan, MembershipReport, MembershipView,
+};
 use crate::numeric::NumericHealth;
 use crate::report::{
     answers_digest, BatchReport, CacheReport, HopPruneReport, IndexReport, LatencySummary,
@@ -101,6 +106,11 @@ impl ShardRouter {
     /// Number of shards the router spreads keys over.
     pub fn shards(&self) -> usize {
         self.weights.len()
+    }
+
+    /// The per-shard weight vector (virtual-node counts).
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
     }
 
     /// Rendezvous score of `key` on `shard`: the best of the shard's
@@ -168,6 +178,11 @@ pub struct ClusterConfig {
     pub shard_faults: Vec<Option<FaultConfig>>,
     /// The serve stack every shard runs.
     pub base: ServeConfig,
+    /// Live-membership campaign: scheduled drains/failures/joins, weight
+    /// re-tuning, and the hot-key splitter. The default (empty) plan
+    /// leaves the cluster serve path byte-identical to before the
+    /// membership layer existed.
+    pub membership: MembershipPlan,
 }
 
 impl Default for ClusterConfig {
@@ -178,6 +193,7 @@ impl Default for ClusterConfig {
             weights: Vec::new(),
             shard_faults: Vec::new(),
             base: ServeConfig::default(),
+            membership: MembershipPlan::none(),
         }
     }
 }
@@ -205,6 +221,16 @@ impl ClusterConfig {
                 self.shards
             ));
         }
+        if let Some((shard, &w)) = self
+            .weights
+            .iter()
+            .enumerate()
+            .find(|&(_, &w)| !(1..MAX_WEIGHT).contains(&w))
+        {
+            return Err(format!(
+                "shard {shard} weight {w} out of range 1..{MAX_WEIGHT}"
+            ));
+        }
         if !self.shard_faults.is_empty() && self.shard_faults.len() != self.shards {
             return Err(format!(
                 "{} fault overrides for {} shards",
@@ -216,6 +242,9 @@ impl ClusterConfig {
         for f in self.shard_faults.iter().flatten() {
             f.validate().map_err(|e| e.to_string())?;
         }
+        self.membership
+            .validate_for(self.shards)
+            .map_err(|e| e.to_string())?;
         Ok(())
     }
 }
@@ -309,6 +338,10 @@ pub struct ClusterReport {
     /// Durability sections summed (recovery MTTR re-weighted by kill
     /// counts); key omitted when the write-ahead log is off.
     pub durability: DurabilityReport,
+    /// Live-membership summary (epoch timeline, hand-off accounting,
+    /// moved-key fraction); key omitted when the plan is empty, so every
+    /// pre-membership report stays byte-identical.
+    pub membership: MembershipReport,
     /// Each shard's primary-pass report, in shard-index order (replica
     /// passes are folded into the merged sections above).
     pub per_shard: Vec<ServeReport>,
@@ -362,6 +395,9 @@ impl Serialize for ClusterReport {
         }
         if self.durability.enabled {
             pairs.push(("durability".into(), self.durability.to_value()));
+        }
+        if self.membership.enabled {
+            pairs.push(("membership".into(), self.membership.to_value()));
         }
         pairs.push(("per_shard".into(), self.per_shard.to_value()));
         serde_json::Value::Object(pairs)
@@ -483,6 +519,10 @@ impl ClusterReport {
             out.push_str(&self.durability.render());
             out.push('\n');
         }
+        if self.membership.enabled {
+            out.push_str(&self.membership.render());
+            out.push('\n');
+        }
         let mut st = TextTable::new(vec![
             "shard".into(),
             "requests".into(),
@@ -525,6 +565,11 @@ pub struct ClusterOutcome {
     /// Ids of requests re-dispatched cross-shard at least once, ascending
     /// and deduplicated.
     pub failovers: Vec<u64>,
+    /// Ids of requests shed because no live replica existed for their key
+    /// (every shard of the story's chain down), ascending. These are the
+    /// dedicated all-replicas-down counter: they land in `sheds` (so the
+    /// cluster partition stays exact) and are never silently dropped.
+    pub unroutable: Vec<u64>,
     /// The aggregate report.
     pub report: ClusterReport,
 }
@@ -595,7 +640,63 @@ impl<'a> Cluster<'a> {
                 shard_fault_seed(cfg.faults.seed, ((pass as u64) << 32) | shard as u64);
         }
         cfg.failover_export = export;
+        // A membership fail-stop cuts this shard at T on every pass: it
+        // can still be holding re-dispatched work when it dies, and the
+        // stranded requests must come back as exports regardless of the
+        // pass-level export flag.
+        if let Some(t) = self.config.membership.fail_time(shard) {
+            cfg.fail_stop = Some(t);
+            cfg.failover_export = true;
+        }
         cfg
+    }
+
+    /// The base weight vector the membership view starts from.
+    fn effective_weights(&self) -> Vec<u32> {
+        if self.config.weights.is_empty() {
+            vec![1; self.config.shards]
+        } else {
+            self.config.weights.clone()
+        }
+    }
+
+    /// Routes every request against the live membership view *as of its
+    /// arrival* — a drained/failed shard attracts nothing after its exit,
+    /// a joining shard attracts nothing before its entry — with hot keys
+    /// fanned round-robin (by per-key arrival rank) across their full
+    /// live replica chain. Returns the per-shard pass-0 sub-traces, the
+    /// requests with no live replica at all, and the hot-split request
+    /// count. Pure in `(trace, view, hot)`.
+    fn assign_pass0(
+        &self,
+        trace: &ArrivalTrace,
+        keys: &HashMap<u64, u64>,
+        view: &MembershipView,
+        hot: &[u64],
+    ) -> (Vec<Vec<Request>>, Vec<Request>, u64) {
+        let mut pending: Vec<Vec<Request>> = vec![Vec::new(); self.config.shards];
+        let mut unroutable: Vec<Request> = Vec::new();
+        let mut split_requests = 0u64;
+        let mut hot_rank: HashMap<u64, usize> = HashMap::new();
+        for r in &trace.requests {
+            let key = keys[&r.id];
+            let chain = view.resolve(key, r.arrival);
+            if chain.is_empty() {
+                unroutable.push(*r);
+                continue;
+            }
+            let target = if hot.binary_search(&key).is_ok() {
+                split_requests += 1;
+                let rank = hot_rank.entry(key).or_insert(0);
+                let t = chain[*rank % chain.len()];
+                *rank += 1;
+                t
+            } else {
+                chain[0]
+            };
+            pending[target].push(*r);
+        }
+        (pending, unroutable, split_requests)
     }
 
     /// Serves a trace across the cluster.
@@ -639,25 +740,77 @@ impl<'a> Cluster<'a> {
             );
         }
         let replicas = self.config.replication;
+        let plan = &self.config.membership;
 
-        // Every request's replica chain and original arrival, keyed by id.
-        let routes: HashMap<u64, Vec<usize>> = trace
+        // Every request's routing key and original arrival, keyed by id.
+        let keys: HashMap<u64, u64> = trace
             .requests
             .iter()
-            .map(|r| (r.id, self.router.route(self.route_key(r), replicas)))
+            .map(|r| (r.id, self.route_key(r)))
             .collect();
         let arrival_of: HashMap<u64, SimTime> =
             trace.requests.iter().map(|r| (r.id, r.arrival)).collect();
 
-        // Pass 0: primary sub-traces, arrival order preserved.
-        let mut pending: Vec<Vec<Request>> = vec![Vec::new(); k];
-        for r in &trace.requests {
-            pending[routes[&r.id][0]].push(*r);
+        // The live membership view: with an empty plan every shard is
+        // alive forever on the base weights, and resolving a key at any
+        // instant equals the frozen `ShardRouter::route` — the whole
+        // membership layer reduces to the pre-membership routing, byte
+        // for byte (pinned by the golden suite).
+        let mut view = MembershipView::new(plan, self.effective_weights(), replicas);
+        let hot = plan.hot_keys(trace.requests.iter().map(|r| keys[&r.id]));
+
+        // Weight re-tuning: probe-serve each shard's provisional pass-0
+        // sub-trace (a *pure* serve, never the caller's `run` hook, so
+        // the durable path journals nothing twice), find the first
+        // instant its host-queue depth crosses the threshold, and divide
+        // the crossing shard's weight from that instant on. The probe
+        // runs on the pre-retune assignment, so the re-tune instants are
+        // a pure function of `(plan, trace, config)` — no fixed-point
+        // iteration, no event-loop feedback.
+        let mut retunes: Vec<(SimTime, usize)> = Vec::new();
+        if plan.retune_threshold > 0.0 {
+            let (provisional, _, _) = self.assign_pass0(trace, &keys, &view, &hot);
+            let limit = ((plan.retune_threshold * self.config.base.queue_capacity as f64).ceil()
+                as i64)
+                .max(1);
+            for (shard, reqs) in provisional.into_iter().enumerate() {
+                if reqs.is_empty() {
+                    continue;
+                }
+                let server = Server::new(self.suite, self.shard_config(shard, 0, replicas > 1));
+                let sub = ArrivalTrace {
+                    requests: reqs,
+                    config: trace.config.clone(),
+                };
+                let probe = server.serve(&sub);
+                // Occupancy deltas: +1 at enqueue, -1 at dispatch; a
+                // rejection means the queue sat at full capacity, which
+                // is >= any valid threshold.
+                let mut deltas: Vec<(SimTime, i32)> = Vec::new();
+                for c in &probe.completions {
+                    deltas.push((c.timestamps.enqueue, 1));
+                    deltas.push((c.timestamps.dispatch, -1));
+                }
+                let mut crossing = crate::scheduler::first_depth_crossing(deltas, limit);
+                if let Some(rej) = probe.rejections.iter().map(|r| r.request.arrival).min() {
+                    crossing = Some(crossing.map_or(rej, |c| c.min(rej)));
+                }
+                if let Some(t) = crossing {
+                    retunes.push((t, shard));
+                }
+            }
+            view.apply_retunes(&retunes, plan.retune_factor);
         }
+
+        // Pass 0: sub-traces routed against the live view at each
+        // request's arrival, arrival order preserved.
+        let (mut pending, mut unroutable, split_requests) =
+            self.assign_pass0(trace, &keys, &view, &hot);
 
         // Outcomes keyed by (pass, shard); folded in that canonical order
         // below, so the caller's `order` can never leak into the report.
         let mut passes: Vec<(usize, usize, ServeOutcome)> = Vec::new();
+        let mut stranded_exports = 0u64;
         let mut pass = 0usize;
         while pending.iter().any(|p| !p.is_empty()) || pass == 0 {
             let mut next_pending: Vec<Vec<Request>> = vec![Vec::new(); k];
@@ -678,14 +831,32 @@ impl<'a> Cluster<'a> {
                     config: trace.config.clone(),
                 };
                 let out = run(pass, shard, &server, &sub)?;
+                if plan.fail_time(shard).is_some() {
+                    stranded_exports += out.exports.len() as u64;
+                }
                 for ex in &out.exports {
-                    // Re-dispatch on the next replica: the request arrives
-                    // there at the watchdog handoff instant and pays its
-                    // story upload like any other arrival.
-                    next_pending[routes[&ex.request.id][pass + 1]].push(Request {
-                        arrival: ex.at,
-                        ..ex.request
-                    });
+                    // Re-dispatch against the live view *at the handoff
+                    // instant*, skipping the exporting shard: the
+                    // request arrives at its `pass`-th surviving
+                    // candidate and pays its story upload like any other
+                    // arrival. With an empty plan the exporter at pass p
+                    // is the chain's p-th entry, so the p-th survivor is
+                    // exactly the old frozen-chain `routes[id][p + 1]` —
+                    // byte-identity preserved. A request with no
+                    // surviving candidate is shed as unroutable, never
+                    // dropped or panicked on.
+                    let cands: Vec<usize> = view
+                        .resolve(keys[&ex.request.id], ex.at)
+                        .into_iter()
+                        .filter(|&s| s != shard)
+                        .collect();
+                    match cands.get(pass) {
+                        Some(&target) => next_pending[target].push(Request {
+                            arrival: ex.at,
+                            ..ex.request
+                        }),
+                        None => unroutable.push(ex.request),
+                    }
                 }
                 passes.push((pass, shard, out));
             }
@@ -693,7 +864,165 @@ impl<'a> Cluster<'a> {
             pass += 1;
         }
         passes.sort_by_key(|&(p, s, _)| (p, s));
-        Ok(self.aggregate(trace, &routes, &arrival_of, passes))
+
+        let membership = self.membership_report(
+            &keys,
+            &view,
+            &retunes,
+            &hot,
+            split_requests,
+            stranded_exports,
+            unroutable.len() as u64,
+            &passes,
+        );
+        Ok(self.aggregate(trace, &keys, &arrival_of, passes, membership, unroutable))
+    }
+
+    /// Builds the [`MembershipReport`] for a non-empty plan: lifecycle
+    /// counters, drain hand-off accounting through the link model, and
+    /// the moved-key epoch timeline measured on the live router. An empty
+    /// plan returns the disabled default (key omitted from JSON).
+    #[allow(clippy::too_many_arguments)]
+    fn membership_report(
+        &self,
+        keys: &HashMap<u64, u64>,
+        view: &MembershipView,
+        retunes: &[(SimTime, usize)],
+        hot: &[u64],
+        split_requests: u64,
+        stranded_exports: u64,
+        unroutable_shed: u64,
+        passes: &[(usize, usize, ServeOutcome)],
+    ) -> MembershipReport {
+        let plan = &self.config.membership;
+        if plan.is_empty() {
+            return MembershipReport::default();
+        }
+        let base = &self.config.base;
+        let mut m = MembershipReport {
+            enabled: true,
+            drains: plan
+                .events
+                .iter()
+                .filter(|e| e.kind == MembershipEventKind::Drain)
+                .count() as u64,
+            failures: plan
+                .events
+                .iter()
+                .filter(|e| e.kind == MembershipEventKind::Fail)
+                .count() as u64,
+            joins: plan
+                .events
+                .iter()
+                .filter(|e| e.kind == MembershipEventKind::Join)
+                .count() as u64,
+            retunes: retunes.len() as u64,
+            hot_keys: hot.len() as u64,
+            split_requests,
+            stranded_exports,
+            unroutable_shed,
+            ..MembershipReport::default()
+        };
+
+        // Drain hand-off: the stories resident on a draining shard when
+        // it exits — its most recently drained distinct stories, up to
+        // its fleet cache capacity — are re-uploaded to their next live
+        // replica through the link model, at idle-board link energy (the
+        // same precedent as fault-retry link time). The hand-off is a
+        // background copy: it costs bytes/cycles/energy but never blocks
+        // the destination's serve timeline.
+        let cache_slots = base.instances * base.story_cache;
+        for e in plan
+            .events
+            .iter()
+            .filter(|e| e.kind == MembershipEventKind::Drain)
+        {
+            let Some((_, _, out)) = passes.iter().find(|&&(p, s, _)| p == 0 && s == e.shard) else {
+                continue;
+            };
+            // Last drain instant per distinct story, with a
+            // representative request for sizing the re-upload.
+            let mut last_drained: HashMap<u64, (SimTime, Request)> = HashMap::new();
+            for c in &out.completions {
+                let key = keys[&c.request.id];
+                let entry = last_drained
+                    .entry(key)
+                    .or_insert((c.timestamps.drain_end, c.request));
+                if c.timestamps.drain_end > entry.0 {
+                    *entry = (c.timestamps.drain_end, c.request);
+                }
+            }
+            let mut resident: Vec<(u64, SimTime, Request)> = last_drained
+                .into_iter()
+                .map(|(k, (t, r))| (k, t, r))
+                .collect();
+            // Most recently used first (the LRU survivors), key ascending
+            // on ties so the hand-off set is deterministic.
+            resident.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            resident.truncate(cache_slots);
+            for (key, _, r) in resident {
+                if view.resolve(key, e.at()).is_empty() {
+                    continue; // nowhere live to hand the story to
+                }
+                let sample = &self.suite.tasks[r.task_idx].test_set[r.sample_idx];
+                let bytes = PcieLink::input_bytes(Accelerator::input_words(sample));
+                let s = base.pcie.transfer_time_s(bytes);
+                m.stories_moved += 1;
+                m.handoff_bytes += bytes;
+                m.handoff_s += s;
+                m.handoff_cycles += (s * base.clock.freq_hz()).round() as u64;
+                m.handoff_energy_j += base.power.retry_energy_j(base.clock.freq_mhz(), s);
+            }
+        }
+
+        // Moved-key timeline: at every membership boundary (lifecycle
+        // event or weight re-tune), count the distinct trace keys whose
+        // live primary differs across the instant — measured on the real
+        // router, the same measurement the moved-key-bound proptest
+        // makes. The per-leave mean fraction is the live form of the
+        // rendezvous bound: each removal relocates <= 1/K + eps of keys.
+        let mut tracked: Vec<u64> = keys.values().copied().collect();
+        tracked.sort_unstable();
+        tracked.dedup();
+        m.tracked_keys = tracked.len() as u64;
+        let mut boundaries: Vec<(SimTime, String, usize, bool)> = plan
+            .events
+            .iter()
+            .map(|e| (e.at(), e.kind.to_string(), e.shard, e.kind.is_leave()))
+            .chain(
+                retunes
+                    .iter()
+                    .map(|&(t, s)| (t, "retune".to_owned(), s, false)),
+            )
+            .collect();
+        boundaries.sort_by_key(|b| (b.0, b.2));
+        let mut leave_moved = 0u64;
+        let mut leaves = 0u64;
+        for (at, kind, shard, is_leave) in boundaries {
+            let before = SimTime::from_ps(at.ps() - 1);
+            let moved = tracked
+                .iter()
+                .filter(|&&key| view.primary(key, before) != view.primary(key, at))
+                .count() as u64;
+            m.moved_keys += moved;
+            if is_leave {
+                leave_moved += moved;
+                leaves += 1;
+            }
+            m.timeline.push(MembershipEpoch {
+                at_s: at.as_s(),
+                kind,
+                shard,
+                moved_keys: moved,
+            });
+        }
+        m.epochs = 1 + m.timeline.len();
+        m.moved_key_fraction = if leaves > 0 && !tracked.is_empty() {
+            leave_moved as f64 / (tracked.len() as f64 * leaves as f64)
+        } else {
+            0.0
+        };
+        m
     }
 
     /// Folds per-pass outcomes (already in canonical `(pass, shard)`
@@ -702,9 +1031,11 @@ impl<'a> Cluster<'a> {
     fn aggregate(
         &self,
         trace: &ArrivalTrace,
-        routes: &HashMap<u64, Vec<usize>>,
+        keys: &HashMap<u64, u64>,
         arrival_of: &HashMap<u64, SimTime>,
         passes: Vec<(usize, usize, ServeOutcome)>,
+        membership: MembershipReport,
+        unroutable: Vec<Request>,
     ) -> ClusterOutcome {
         let k = self.config.shards;
         let base = &self.config.base;
@@ -712,7 +1043,12 @@ impl<'a> Cluster<'a> {
         // ----- pool the request-level results ---------------------------
         let mut completions: Vec<Completion> = Vec::new();
         let mut rejections: Vec<Rejection> = Vec::new();
-        let mut sheds: Vec<Request> = Vec::new();
+        // Unroutable requests (no live replica) are shed — counted in the
+        // cluster partition like every other shed, plus their own counter
+        // in the membership section and `ClusterOutcome::unroutable`.
+        let mut unroutable_ids: Vec<u64> = unroutable.iter().map(|r| r.id).collect();
+        unroutable_ids.sort_unstable();
+        let mut sheds: Vec<Request> = unroutable;
         let mut failover_ids: Vec<u64> = Vec::new();
         let mut failover = ClusterFailover::default();
         let mut replay_completed: u64 = 0;
@@ -958,7 +1294,7 @@ impl<'a> Cluster<'a> {
                     .chain(sheds.iter().map(|r| r.id))
                     .collect();
                 seen.sort_unstable();
-                let mut all: Vec<u64> = routes.keys().copied().collect();
+                let mut all: Vec<u64> = keys.keys().copied().collect();
                 all.sort_unstable();
                 seen == all
             },
@@ -1002,6 +1338,7 @@ impl<'a> Cluster<'a> {
             prune,
             index,
             durability,
+            membership,
             per_shard,
         };
         ClusterOutcome {
@@ -1009,6 +1346,7 @@ impl<'a> Cluster<'a> {
             rejections,
             sheds,
             failovers: failover_ids,
+            unroutable: unroutable_ids,
             report,
         }
     }
@@ -1072,6 +1410,18 @@ mod tests {
     }
 
     #[test]
+    fn route_live_with_no_live_shards_is_empty() {
+        // The all-replicas-down edge: an empty chain, never a panic. The
+        // serve path turns this into an unroutable shed with its own
+        // counter rather than dropping the request on the floor.
+        let router = ShardRouter::new(3);
+        assert!(router.route_live(42, 2, |_| false).is_empty());
+        assert!(router.route_live(42, 3, |_| false).is_empty());
+        // A partial outage degrades the chain instead of panicking too.
+        assert_eq!(router.route_live(42, 3, |s| s == 1), vec![1]);
+    }
+
+    #[test]
     fn config_validation_catches_bad_shapes() {
         let ok = ClusterConfig {
             shards: 4,
@@ -1092,6 +1442,33 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(bad_weights.validate().is_err());
+        let zero_weight = ClusterConfig {
+            shards: 3,
+            replication: 1,
+            weights: vec![1, 0, 2],
+            ..ClusterConfig::default()
+        };
+        assert!(
+            zero_weight.validate().is_err(),
+            "a zero weight must be a hard error, not a clamp"
+        );
+        let oversize_weight = ClusterConfig {
+            shards: 2,
+            replication: 1,
+            weights: vec![1, MAX_WEIGHT],
+            ..ClusterConfig::default()
+        };
+        assert!(oversize_weight.validate().is_err());
+        let plan_out_of_range = ClusterConfig {
+            shards: 2,
+            replication: 2,
+            membership: MembershipPlan::parse_spec("fail=5@1000").expect("parseable"),
+            ..ClusterConfig::default()
+        };
+        assert!(
+            plan_out_of_range.validate().is_err(),
+            "membership events must reference shards < K"
+        );
         let bad_overrides = ClusterConfig {
             shards: 3,
             replication: 1,

@@ -113,7 +113,11 @@ pub struct FaultConfig {
     /// this is not an event-loop fault — the simulated serve itself is
     /// untouched (so it stays out of [`FaultConfig::is_active`]); the
     /// durable-store driver kills the journaling process instead and must
-    /// be enabled (`wal`) for the class to be usable.
+    /// be enabled (`wal`) for the class to be usable. Contrast with a
+    /// membership-plan `fail` event ([`crate::MembershipPlan`]), which
+    /// fail-stops a shard *inside* the simulated timeline at a scheduled
+    /// instant — stranding its in-flight work for live re-routing —
+    /// rather than killing the journaling process around it.
     pub node_kills: u32,
 }
 

@@ -36,7 +36,11 @@
 //! merges the per-shard reports (percentiles ranked over pooled samples,
 //! never averaged) and is byte-identical across engines, thread counts
 //! and shard-iteration order; at K=1/R=1 it reduces byte-identically to
-//! the single-node [`ServeReport`].
+//! the single-node [`ServeReport`]. A [`MembershipPlan`] makes the shard
+//! set itself a timeline — scheduled joins, drains and fail-stops,
+//! queue-pressure weight retuning and hot-key splitting — resolved
+//! purely against the plan so the churned report keeps every one of
+//! those byte-identity guarantees.
 //!
 //! # Determinism
 //!
@@ -50,6 +54,7 @@
 
 mod cluster;
 mod faults;
+mod membership;
 mod numeric;
 mod report;
 mod request;
@@ -63,6 +68,10 @@ pub use cluster::{
 };
 pub use faults::{FaultConfig, FaultPlan, FaultPlanError, FaultReport};
 pub use mann_ith::{HopPrune, HopPruneError};
+pub use membership::{
+    MembershipEpoch, MembershipEvent, MembershipEventKind, MembershipPlan, MembershipPlanError,
+    MembershipReport,
+};
 pub use numeric::{NumericHealth, NumericPolicy, NumericPolicyError};
 pub use report::{
     answers_digest, BatchReport, CacheReport, HopPruneReport, InstanceReport, LatencySummary,

@@ -332,6 +332,10 @@ pub struct ServeReport {
     /// Durable-store summary; `durability.enabled == false` (and the key
     /// absent from JSON) when the write-ahead log is off.
     pub durability: DurabilityReport,
+    /// Whether this serve was cut short by a membership fail-stop
+    /// (`ServeConfig::fail_stop`); the key is absent from JSON when
+    /// false, so every pre-membership report stays byte-identical.
+    pub fail_stopped: bool,
 }
 
 impl Serialize for ServeReport {
@@ -375,6 +379,9 @@ impl Serialize for ServeReport {
         }
         if self.durability.enabled {
             pairs.push(("durability".into(), self.durability.to_value()));
+        }
+        if self.fail_stopped {
+            pairs.push(("fail_stopped".into(), self.fail_stopped.to_value()));
         }
         serde_json::Value::Object(pairs)
     }
@@ -423,6 +430,10 @@ impl Deserialize for ServeReport {
             durability: match v.field("durability") {
                 Ok(dv) => Deserialize::from_value(dv)?,
                 Err(_) => DurabilityReport::default(),
+            },
+            fail_stopped: match v.field("fail_stopped") {
+                Ok(fv) => Deserialize::from_value(fv)?,
+                Err(_) => false,
             },
         })
     }
@@ -515,6 +526,9 @@ impl ServeReport {
             "setup (model upload)".into(),
             format!("{} ms", fnum(self.setup_s * 1e3, 3)),
         ]);
+        if self.fail_stopped {
+            t.row(vec!["fail-stopped".into(), "yes".into()]);
+        }
         t.row(vec!["answers digest".into(), self.answers_digest.clone()]);
         out.push_str(&t.render());
         out.push('\n');

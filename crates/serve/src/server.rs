@@ -180,6 +180,15 @@ pub struct ServeConfig {
     /// byte-identical, and the default (off) leaves even the collection
     /// path untouched.
     pub wal: WalConfig,
+    /// Cluster hook: fail-stop the whole node at this instant. The event
+    /// loop halts at the cut, unfinished busy time is rolled back, and
+    /// every request not fully drained by then is handed back in
+    /// [`ServeOutcome::exports`] for the cluster to re-route via
+    /// `route_live` (requires `failover_export`). The WAL cut is
+    /// naturally consistent: a completion that never drained is never
+    /// journaled. `None` (the default) schedules nothing and consumes no
+    /// event sequence numbers, so the serve path stays byte-identical.
+    pub fail_stop: Option<SimTime>,
 }
 
 impl Default for ServeConfig {
@@ -204,6 +213,7 @@ impl Default for ServeConfig {
             mem_index: MemIndexConfig::default(),
             failover_export: false,
             wal: WalConfig::default(),
+            fail_stop: None,
         }
     }
 }
@@ -229,6 +239,18 @@ impl ServeConfig {
         }
         self.faults.validate().map_err(|e| e.to_string())?;
         self.wal.validate()?;
+        if let Some(t) = self.fail_stop {
+            if t == SimTime::ZERO {
+                return Err("fail_stop at time zero would serve nothing".into());
+            }
+            if !self.failover_export {
+                return Err(
+                    "fail_stop requires failover_export: a fail-stopped node's stranded \
+                     requests only survive by being handed back to the cluster"
+                        .into(),
+                );
+            }
+        }
         if self.faults.node_kills > 0 && !self.wal.enabled {
             return Err(
                 "node_kills require the write-ahead log (set `wal`, --wal-dir, or MANN_WAL): \
@@ -301,6 +323,9 @@ enum Event {
     InstanceUp(usize),
     Watchdog(usize),
     Seu(usize),
+    /// Whole-node fail-stop (never scheduled without `fail_stop` set):
+    /// halts the event loop at the cut.
+    FailStop,
 }
 
 impl PartialEq for Entry {
@@ -675,6 +700,18 @@ impl<'a> Server<'a> {
                 seq += 1;
             }
         }
+        // The membership fail-stop goes on last for the same reason: a
+        // `None` cut consumes no sequence numbers at all. Arrivals at the
+        // cut instant still carry earlier seqs, so they are admitted (and
+        // then stranded) deterministically.
+        if let Some(t) = self.config.fail_stop {
+            heap.push(Entry {
+                time: t,
+                seq,
+                event: Event::FailStop,
+            });
+            seq += 1;
+        }
 
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut insts = vec![Inst::default(); self.config.instances];
@@ -967,11 +1004,32 @@ impl<'a> Server<'a> {
             };
         }
 
+        let mut halted_at: Option<SimTime> = None;
         while let Some(Entry {
             time: now, event, ..
         }) = heap.pop()
         {
             match event {
+                Event::FailStop => {
+                    // Whole-node fail-stop: the fabric, caches and host
+                    // queue vanish at the cut. Roll back every instance's
+                    // unfinished busy time (the killed compute never
+                    // happened, same rule as a crash), then halt — the
+                    // post-loop pass hands everything unfinished back to
+                    // the cluster as exports.
+                    for inst in insts.iter_mut() {
+                        let unfinished = inst.free_at.saturating_sub(now);
+                        inst.busy = inst.busy.saturating_sub(unfinished);
+                        inst.free_at = now;
+                        inst.computing.clear();
+                        inst.ready.clear();
+                        inst.inflight = 0;
+                        inst.down = true;
+                        inst.epoch += 1;
+                    }
+                    halted_at = Some(now);
+                    break;
+                }
                 Event::Arrival(i) => {
                     if queue.len() >= self.config.queue_capacity {
                         rejections.push(Rejection {
@@ -1215,15 +1273,32 @@ impl<'a> Server<'a> {
                 }
             }
         }
-        debug_assert!(queue.is_empty(), "event loop left work queued");
         debug_assert!(
-            !arb.is_busy() && arb.pending_len() == 0,
+            halted_at.is_some() || queue.is_empty(),
+            "event loop left work queued"
+        );
+        debug_assert!(
+            halted_at.is_some() || (!arb.is_busy() && arb.pending_len() == 0),
             "link work stranded"
         );
 
         // ----- assemble outcome ----------------------------------------
         let rejected_ids: std::collections::HashSet<u64> =
             rejections.iter().map(|r| r.request.id).collect();
+        if let Some(cut) = halted_at {
+            // Fail-stop stranding: every request not fully drained by the
+            // cut — queued, on the wire, computing, or not yet arrived —
+            // is exported for the cluster to re-route. Rejections stay
+            // rejections (they were bounced before the node died), so no
+            // request is ever double-counted.
+            queue.clear();
+            for (i, r) in trace.requests.iter().enumerate() {
+                if !done[i] && !shed[i] && exported[i].is_none() && !rejected_ids.contains(&r.id) {
+                    done[i] = true;
+                    exported[i] = Some(cut.max(r.arrival));
+                }
+            }
+        }
         let sheds: Vec<Request> = trace
             .requests
             .iter()
@@ -1564,6 +1639,7 @@ impl<'a> Server<'a> {
             // The durable driver (`crate::store`) patches this section in
             // after persisting the journal; the pure serve never fills it.
             durability: DurabilityReport::default(),
+            fail_stopped: self.config.fail_stop.is_some(),
         }
     }
 }

@@ -25,6 +25,15 @@
 //! Every step is accounted in a [`DurabilityReport`]; the `durability`
 //! key is omitted from JSON whenever the WAL is off, so all pre-existing
 //! golden reports stay byte-identical.
+//!
+//! A membership-plan `fail` event ([`crate::MembershipPlan`]) composes
+//! with the WAL for free: the fail-stopped shard's event loop halts at
+//! the scheduled cut, so its collected journal simply *ends* there —
+//! post-cut completions are never journaled, leaving a naturally
+//! consistent prefix on disk with no torn frame to repair. Requests the
+//! cut stranded are exported and re-dispatched by the cluster layer to a
+//! live replica, whose own pass journals them; nothing is recovered by
+//! replay because nothing past the cut was ever promised durable.
 
 use std::collections::HashMap;
 use std::convert::Infallible;

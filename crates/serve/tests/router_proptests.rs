@@ -1,6 +1,6 @@
 //! Property tests for the cluster's rendezvous hash router.
 //!
-//! Three invariants hold for *any* digest population and shard layout:
+//! Four invariants hold for *any* digest population and shard layout:
 //!
 //! 1. Placement: every key maps to exactly R distinct live shards,
 //!    deterministically, and growing R only appends to the chain (prefix
@@ -11,6 +11,10 @@
 //! 3. Minimal disruption: removing one shard moves only the keys that
 //!    ranked it — every surviving replica of every other key stays put,
 //!    in order.
+//! 4. Moved-key bound: failing one of K shards re-homes at most its fair
+//!    share of primaries (`w_dead / w_total + eps`; `1/K + eps` when
+//!    uniform) — the bound the membership layer's drain/fail epochs
+//!    rely on to keep hand-off traffic proportional.
 
 use std::collections::HashSet;
 
@@ -117,5 +121,41 @@ proptest! {
         }
         // Sanity: the dead shard owned *some* keys, so the test bit.
         prop_assert!(moved > 0, "dead shard {dead} owned no replicas of 512 keys");
+    }
+
+    /// The moved-key bound, live: failing one of K weighted shards
+    /// re-homes at most `w_dead / w_total + eps` of 4096 primaries — the
+    /// dead shard's fair share plus sampling noise — measured on the
+    /// actual router the cluster routes with. With uniform weights that
+    /// is the classic `1/K + eps` rendezvous bound. Keys not homed on
+    /// the dead shard never move at all.
+    #[test]
+    fn removing_one_shard_moves_at_most_its_fair_share(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(1u32..5, 2..9),
+        dead_pick in any::<usize>(),
+    ) {
+        let dead = dead_pick % weights.len();
+        let total: u32 = weights.iter().sum();
+        let fair = f64::from(weights[dead]) / f64::from(total);
+        let router = ShardRouter::with_weights(weights.clone());
+        let n = 4096u64;
+        let mut moved = 0u64;
+        for d in digests(seed, n) {
+            let before = router.primary(d);
+            let after = router.route_live(d, 1, |s| s != dead)[0];
+            if before == dead {
+                moved += u64::from(before != after);
+            } else {
+                prop_assert_eq!(before, after, "key off the dead shard moved");
+            }
+        }
+        let frac = moved as f64 / n as f64;
+        // eps: ~6 sigma of binomial noise at n = 4096 plus hash skew.
+        let bound = fair + 0.05;
+        prop_assert!(
+            frac <= bound,
+            "losing shard {dead} of {weights:?} moved {frac:.4} > {bound:.4}"
+        );
     }
 }

@@ -29,7 +29,7 @@ use mann_accel::core::{SuiteConfig, TaskSuite};
 use mann_accel::hw::{AccelConfig, Accelerator, MemIndexConfig};
 use mann_accel::serve::{
     serve_cluster_durable, ArrivalTrace, Cluster, ClusterConfig, EngineMode, FaultConfig, HopPrune,
-    NumericPolicy, SchedulePolicy, ServeConfig, Server, TraceConfig, WalConfig,
+    MembershipPlan, NumericPolicy, SchedulePolicy, ServeConfig, Server, TraceConfig, WalConfig,
 };
 use serde::json::Value;
 use serde::Serialize;
@@ -428,6 +428,93 @@ fn serve_cluster_campaign_is_pinned() {
     );
 
     check_golden("serve_cluster.json", &out.report.to_value());
+}
+
+/// The serve_cluster campaign with a full membership churn on top: one
+/// cold join, one planned drain, one mid-campaign fail-stop, queue-
+/// pressure weight retuning and the hot-key splitter, all on the same
+/// K=4/R=2 cluster, trace and instance-crash plan. Pins the merged
+/// report — membership section included — byte for byte, asserts every
+/// membership counter is exercised (nonzero), and pins `unroutable_shed`
+/// at exactly zero: with R=2 and only two of four shards leaving, every
+/// key keeps a live replica for the whole campaign.
+#[test]
+fn serve_membership_campaign_is_pinned() {
+    let s = suite();
+    let trace = ArrivalTrace::generate(
+        &TraceConfig {
+            requests: 96,
+            seed: 43,
+            mean_interarrival_s: 60e-6,
+            story_pool: 6,
+        },
+        s,
+    );
+    let config = ClusterConfig {
+        shards: 4,
+        replication: 2,
+        membership: MembershipPlan::parse_spec(
+            "join=3@800,drain=1@2000,fail=2@3000,retune-threshold=0.02,hot-key=9",
+        )
+        .expect("valid churn spec"),
+        base: ServeConfig {
+            instances: 2,
+            queue_capacity: 128,
+            story_cache: 4,
+            policy: SchedulePolicy::StoryAffinity,
+            faults: FaultConfig {
+                seed: 9,
+                crashes: 2,
+                crash_cooldown_s: 500e-6,
+                watchdog_s: 250e-6,
+                ..FaultConfig::none()
+            },
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let out = Cluster::new(s, config.clone()).serve(&trace);
+    let m = &out.report.membership;
+    assert!(m.enabled, "campaign must publish a membership section");
+    assert_eq!((m.joins, m.drains, m.failures), (1, 1, 1));
+    assert!(m.retunes > 0, "queue pressure must retune a shard weight");
+    assert!(m.hot_keys > 0 && m.split_requests > 0, "splitter must bite");
+    assert!(
+        m.stranded_exports > 0,
+        "the fail-stop must strand in-flight work"
+    );
+    assert!(m.stories_moved > 0, "the drain must hand stories off");
+    assert!(m.handoff_bytes > 0 && m.handoff_s > 0.0 && m.handoff_energy_j > 0.0);
+    assert!(m.tracked_keys > 0 && m.moved_keys > 0 && m.moved_key_fraction > 0.0);
+    assert_eq!(
+        m.unroutable_shed, 0,
+        "every key must keep a live replica through the churn"
+    );
+    assert_eq!(
+        out.report.completed + out.report.rejected + out.report.shed,
+        trace.len(),
+        "churned cluster outcome must partition the trace"
+    );
+
+    // Engine invariance holds with the membership layer live.
+    let serial = Cluster::new(
+        s,
+        ClusterConfig {
+            base: ServeConfig {
+                engine: EngineMode::Serial,
+                ..config.base.clone()
+            },
+            ..config.clone()
+        },
+    )
+    .serve(&trace);
+    assert_eq!(
+        serial.report.to_value().print(),
+        out.report.to_value().print(),
+        "serial and parallel engines diverged on the membership report"
+    );
+
+    check_golden("serve_membership.json", &out.report.to_value());
 }
 
 /// A K=2 durable cluster campaign with one `node_kill`: every shard-pass
